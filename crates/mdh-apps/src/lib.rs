@@ -1,0 +1,23 @@
+//! # mdh-apps
+//!
+//! The paper's case studies (Fig. 3) — linear algebra (Dot, MatVec,
+//! MatMul variants), stencils (Gaussian_2D, Jacobi_3D), data mining
+//! (PRL), quantum chemistry (CCSD(T)), deep learning (MCC, MCC_Caps) —
+//! plus the introductory Jacobi1D and MBBS examples of Section 4. Each is
+//! expressed through the textual MDH directive, compiled by the full
+//! front end, fed by deterministic data generators, and verified against
+//! an independent reference implementation in its module's tests.
+
+#![allow(clippy::needless_range_loop)]
+pub mod chem;
+pub mod data;
+pub mod dl;
+pub mod linalg;
+pub mod mbbs;
+pub mod prl;
+pub mod registry;
+pub mod spec;
+pub mod stencil;
+
+pub use registry::{all_fig3, instantiate, StudyId, FIG3_STUDIES};
+pub use spec::{AppInstance, Scale};

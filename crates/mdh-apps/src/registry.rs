@@ -1,0 +1,121 @@
+//! The case-study registry: all Fig. 3 computations × data sets.
+
+use crate::spec::{AppInstance, Scale};
+use crate::{chem, dl, linalg, mbbs, prl, stencil};
+use mdh_core::error::Result;
+
+/// Identifier of one (computation, data set) experiment of Fig. 3/4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyId {
+    pub name: &'static str,
+    pub input_no: usize,
+}
+
+/// The Fig. 3 study list, in the paper's order.
+pub const FIG3_STUDIES: &[StudyId] = &[
+    StudyId { name: "Dot", input_no: 1 },
+    StudyId { name: "Dot", input_no: 2 },
+    StudyId { name: "MatVec", input_no: 1 },
+    StudyId { name: "MatVec", input_no: 2 },
+    StudyId { name: "MatMul", input_no: 1 },
+    StudyId { name: "MatMul", input_no: 2 },
+    StudyId { name: "MatMul^T", input_no: 1 },
+    StudyId { name: "bMatMul", input_no: 1 },
+    StudyId { name: "Gaussian_2D", input_no: 1 },
+    StudyId { name: "Gaussian_2D", input_no: 2 },
+    StudyId { name: "Jacobi_3D", input_no: 1 },
+    StudyId { name: "Jacobi_3D", input_no: 2 },
+    StudyId { name: "PRL", input_no: 1 },
+    StudyId { name: "PRL", input_no: 2 },
+    StudyId { name: "CCSD(T)", input_no: 1 },
+    StudyId { name: "CCSD(T)", input_no: 2 },
+    StudyId { name: "MCC", input_no: 1 },
+    StudyId { name: "MCC", input_no: 2 },
+    StudyId { name: "MCC_Caps", input_no: 1 },
+    StudyId { name: "MCC_Caps", input_no: 2 },
+];
+
+/// Instantiate one study at a scale.
+pub fn instantiate(id: StudyId, scale: Scale) -> Result<AppInstance> {
+    match id.name {
+        "Dot" => linalg::dot(scale, id.input_no),
+        "MatVec" => linalg::matvec(scale, id.input_no),
+        "MatMul" => linalg::matmul(scale, id.input_no),
+        "MatMul^T" => linalg::matmul_t(scale, id.input_no),
+        "bMatMul" => linalg::bmatmul(scale, id.input_no),
+        "Gaussian_2D" => stencil::gaussian_2d(scale, id.input_no),
+        "Jacobi_3D" => stencil::jacobi_3d(scale, id.input_no),
+        "Jacobi1D" => stencil::jacobi_1d(scale),
+        "PRL" => prl::prl(scale, id.input_no),
+        "CCSD(T)" => chem::ccsdt(scale, id.input_no),
+        "MCC" => dl::mcc(scale, id.input_no),
+        "MCC_Caps" => dl::mcc_caps(scale, id.input_no),
+        "MBBS" => mbbs::mbbs(scale, id.input_no),
+        other => Err(mdh_core::error::MdhError::Validation(format!(
+            "unknown case study '{other}'"
+        ))),
+    }
+}
+
+/// Instantiate all Fig. 3 studies.
+pub fn all_fig3(scale: Scale) -> Result<Vec<AppInstance>> {
+    FIG3_STUDIES
+        .iter()
+        .map(|&id| instantiate(id, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_studies_instantiate_small() {
+        let apps = all_fig3(Scale::Small).unwrap();
+        assert_eq!(apps.len(), FIG3_STUDIES.len());
+        for app in &apps {
+            app.program.validate().unwrap();
+            assert!(!app.inputs.is_empty());
+        }
+    }
+
+    #[test]
+    fn fig3_characteristics_match_paper() {
+        // iteration-space dimensionality and reduction-dim presence per
+        // Fig. 3's left columns
+        let expect: &[(&str, usize, bool)] = &[
+            ("Dot", 1, true),
+            ("MatVec", 2, true),
+            ("MatMul", 3, true),
+            ("MatMul^T", 3, true),
+            ("bMatMul", 4, true),
+            ("Gaussian_2D", 2, false),
+            ("Jacobi_3D", 3, false),
+            ("PRL", 2, true),
+            ("CCSD(T)", 7, true),
+            ("MCC", 7, true),
+            ("MCC_Caps", 10, true),
+        ];
+        for &(name, rank, has_red) in expect {
+            let app = instantiate(
+                StudyId { name, input_no: 1 },
+                Scale::Small,
+            )
+            .unwrap();
+            assert_eq!(app.program.rank(), rank, "{name} rank");
+            assert_eq!(
+                !app.program.md_hom.reduction_dims().is_empty(),
+                has_red,
+                "{name} reductions"
+            );
+        }
+    }
+
+    #[test]
+    fn extra_studies_instantiate() {
+        for name in ["Jacobi1D", "MBBS"] {
+            let app = instantiate(StudyId { name, input_no: 1 }, Scale::Small).unwrap();
+            app.program.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The parallel CPU executor.
+//!
+//! Dispatches a scheduled program to the fastest applicable path:
+//!
+//! 1. [`Contraction`] — tight f32 loops for `Σ Π` tensor contractions,
+//! 2. [`MapKernel`] — direct-write f32 loops for reduction-free stencils,
+//! 3. the register-VM path (`vm_exec`) for everything with affine accesses
+//!    and scalar outputs (custom combine operators, records, `ps`),
+//! 4. the reference evaluator as a sequential fallback (always correct).
+//!
+//! All paths implement the same decomposition semantics, so results agree
+//! with `mdh_core::eval::evaluate_recursive` up to floating-point
+//! reassociation.
+
+use crate::kernels::{f32_inputs, linearize_for, Contraction, MapKernel, PartialF32, SyncSlice};
+use crate::vm_exec;
+use mdh_core::buffer::Buffer;
+use mdh_core::dsl::DslProgram;
+use mdh_core::error::{MdhError, Result};
+use mdh_core::eval;
+use mdh_core::shape::Shape;
+use mdh_lowering::plan::ExecutionPlan;
+use mdh_lowering::schedule::Schedule;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Which execution path ran (exposed for tests and reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    Contraction,
+    Map,
+    Vm,
+    Reference,
+}
+
+/// A thread-pooled CPU executor.
+pub struct CpuExecutor {
+    pool: rayon::ThreadPool,
+    pub threads: usize,
+}
+
+impl CpuExecutor {
+    pub fn new(threads: usize) -> Result<CpuExecutor> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| MdhError::Validation(format!("thread pool: {e}")))?;
+        Ok(CpuExecutor { pool, threads })
+    }
+
+    /// Use all available hardware threads.
+    pub fn with_default_threads() -> CpuExecutor {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        CpuExecutor::new(threads).expect("default thread pool")
+    }
+
+    /// Which path `run` would take for this program.
+    pub fn path_for(&self, prog: &DslProgram) -> ExecPath {
+        if Contraction::try_build(prog).is_some() {
+            ExecPath::Contraction
+        } else if MapKernel::try_build(prog).is_some() {
+            ExecPath::Map
+        } else if vm_exec::vm_applicable(prog) {
+            ExecPath::Vm
+        } else {
+            ExecPath::Reference
+        }
+    }
+
+    /// Execute the program under the given schedule.
+    pub fn run(
+        &self,
+        prog: &DslProgram,
+        schedule: &Schedule,
+        inputs: &[Buffer],
+    ) -> Result<Vec<Buffer>> {
+        prog.validate()?;
+        schedule.validate(prog, 1 << 24)?;
+        eval::check_inputs(prog, inputs)?;
+        let plan = ExecutionPlan::build(prog, schedule)?;
+        match self.path_for(prog) {
+            ExecPath::Contraction => {
+                let c = Contraction::try_build(prog).unwrap();
+                self.run_contraction(&c, prog, &plan, inputs, &schedule.inner_tiles)
+            }
+            ExecPath::Map => {
+                let mk = MapKernel::try_build(prog).unwrap();
+                self.run_map(&mk, prog, &plan, inputs)
+            }
+            ExecPath::Vm => vm_exec::run(prog, &plan, inputs, &self.pool),
+            ExecPath::Reference => eval::evaluate_recursive(prog, inputs),
+        }
+    }
+
+    /// Execute and report wall-clock time of the execution itself.
+    pub fn run_timed(
+        &self,
+        prog: &DslProgram,
+        schedule: &Schedule,
+        inputs: &[Buffer],
+    ) -> Result<(Vec<Buffer>, Duration)> {
+        let t0 = Instant::now();
+        let out = self.run(prog, schedule, inputs)?;
+        Ok((out, t0.elapsed()))
+    }
+
+    fn run_contraction(
+        &self,
+        c: &Contraction,
+        prog: &DslProgram,
+        plan: &ExecutionPlan,
+        inputs: &[Buffer],
+        schedule_tiles: &[usize],
+    ) -> Result<Vec<Buffer>> {
+        let mut outputs = eval::alloc_outputs(prog)?;
+        let (in_acc, out_acc) = linearize_for(prog, inputs, &outputs)?;
+        let ins = f32_inputs(prog, inputs)?;
+
+        let tiles = schedule_tiles;
+        let mut partials: Vec<Option<PartialF32>> = Vec::new();
+        self.pool.install(|| {
+            plan.tasks
+                .par_iter()
+                .map(|t| Some(c.run_task_tiled(&ins, &in_acc, &t.range, tiles)))
+                .collect_into_vec(&mut partials);
+        });
+
+        // combine split-reduction groups with pw(add)
+        let write_jobs: Vec<(usize, PartialF32)> = if plan.split_dims.is_empty() {
+            partials
+                .into_iter()
+                .enumerate()
+                .map(|(t, p)| (t, p.expect("partial")))
+                .collect()
+        } else {
+            let mut partials = partials;
+            plan.groups
+                .iter()
+                .map(|g| {
+                    let owner = g.task_ids[0];
+                    let mut acc = partials[owner].take().expect("owner partial");
+                    for &tid in &g.task_ids[1..] {
+                        let rhs = partials[tid].take().expect("member partial");
+                        acc.add_assign(&rhs);
+                    }
+                    (owner, acc)
+                })
+                .collect()
+        };
+
+        // write phase
+        let out_buf_idx = prog.out_view.accesses[0].buffer;
+        let out = outputs[out_buf_idx]
+            .as_f32_mut()
+            .ok_or_else(|| MdhError::Type("contraction output must be f32".into()))?;
+        let oacc = &out_acc[0];
+        for (owner, partial) in write_jobs {
+            let range = &plan.tasks[owner].range;
+            let shape = Shape::new(partial.extents.clone());
+            let mut idx = vec![0usize; prog.rank()];
+            for p in shape.iter() {
+                for (pp, &d) in c.preserved.iter().enumerate() {
+                    idx[d] = range.lo[d] + p[pp];
+                }
+                let off = oacc.offset(&idx);
+                if off < 0 {
+                    return Err(MdhError::Eval("negative output offset".into()));
+                }
+                out[off as usize] = partial.data[shape.linearize(&p)];
+            }
+        }
+        Ok(outputs)
+    }
+
+    fn run_map(
+        &self,
+        mk: &MapKernel,
+        prog: &DslProgram,
+        plan: &ExecutionPlan,
+        inputs: &[Buffer],
+    ) -> Result<Vec<Buffer>> {
+        let mut outputs = eval::alloc_outputs(prog)?;
+        let (in_acc, out_acc) = linearize_for(prog, inputs, &outputs)?;
+        let ins = f32_inputs(prog, inputs)?;
+        debug_assert!(plan.split_dims.is_empty(), "map kernels have no reductions");
+        let out_buf_idx = prog.out_view.accesses[0].buffer;
+        {
+            let out = outputs[out_buf_idx]
+                .as_f32_mut()
+                .ok_or_else(|| MdhError::Type("map output must be f32".into()))?;
+            let shared = SyncSlice::new(out);
+            self.pool.install(|| {
+                plan.tasks.par_iter().for_each(|t| {
+                    mk.run_task(&ins, &in_acc, &out_acc[0], &t.range, &shared);
+                });
+            });
+        }
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdh_core::combine::CombineOp;
+    use mdh_core::dsl::DslBuilder;
+    use mdh_core::expr::ScalarFunction;
+    use mdh_core::index_fn::{AffineExpr, IndexFn};
+    use mdh_core::types::{BasicType, ScalarKind};
+    use mdh_lowering::asm::DeviceKind;
+    use mdh_lowering::heuristics::mdh_default_schedule;
+    use mdh_lowering::schedule::ReductionStrategy;
+
+    fn exec() -> CpuExecutor {
+        CpuExecutor::new(4).unwrap()
+    }
+
+    fn matmul_prog(i: usize, j: usize, k: usize) -> DslProgram {
+        DslBuilder::new("matmul", vec![i, j, k])
+            .out_buffer("C", BasicType::F32)
+            .out_access("C", IndexFn::select(3, &[0, 1]))
+            .inp_buffer("A", BasicType::F32)
+            .inp_access("A", IndexFn::select(3, &[0, 2]))
+            .inp_buffer("B", BasicType::F32)
+            .inp_access("B", IndexFn::select(3, &[2, 1]))
+            .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::cc(), CombineOp::cc(), CombineOp::pw_add()])
+            .build()
+            .unwrap()
+    }
+
+    fn matmul_inputs(i: usize, j: usize, k: usize) -> Vec<Buffer> {
+        let mut a = Buffer::zeros("A", BasicType::F32, Shape::new(vec![i, k]));
+        a.fill_with(|f| ((f * 37) % 13) as f64 - 6.0);
+        let mut b = Buffer::zeros("B", BasicType::F32, Shape::new(vec![k, j]));
+        b.fill_with(|f| ((f * 17) % 9) as f64 * 0.25);
+        vec![a, b]
+    }
+
+    #[test]
+    fn matmul_via_contraction_path_matches_reference() {
+        let (i, j, k) = (10, 12, 9);
+        let prog = matmul_prog(i, j, k);
+        let inputs = matmul_inputs(i, j, k);
+        let ex = exec();
+        assert_eq!(ex.path_for(&prog), ExecPath::Contraction);
+        let expect = eval::evaluate_recursive(&prog, &inputs).unwrap();
+        // several schedules, with and without split reductions
+        for (par, tree) in [
+            (vec![1, 1, 1], false),
+            (vec![2, 3, 1], false),
+            (vec![2, 2, 3], true),
+            (vec![1, 1, 4], true),
+        ] {
+            let mut s = Schedule::sequential(3, DeviceKind::Cpu);
+            s.par_chunks = par.clone();
+            if tree {
+                s.reduction = ReductionStrategy::Tree;
+            }
+            let got = ex.run(&prog, &s, &inputs).unwrap();
+            assert!(
+                got[0].approx_eq(&expect[0], 1e-4),
+                "schedule par={par:?} tree={tree}"
+            );
+        }
+    }
+
+    #[test]
+    fn stencil_via_map_path_matches_reference() {
+        let n = 64;
+        let prog = DslBuilder::new("jacobi1d", vec![n])
+            .out_buffer("y", BasicType::F32)
+            .out_access("y", IndexFn::identity(1, 1))
+            .inp_buffer("x", BasicType::F32)
+            .inp_access("x", IndexFn::affine(vec![AffineExpr::new(vec![1], 0)]))
+            .inp_access("x", IndexFn::affine(vec![AffineExpr::new(vec![1], 1)]))
+            .inp_access("x", IndexFn::affine(vec![AffineExpr::new(vec![1], 2)]))
+            .scalar_function(ScalarFunction::weighted_sum(
+                "w",
+                ScalarKind::F32,
+                &[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+            ))
+            .combine_ops(vec![CombineOp::cc()])
+            .build()
+            .unwrap();
+        let mut x = Buffer::zeros("x", BasicType::F32, Shape::new(vec![n + 2]));
+        x.fill_with(|f| ((f * 31) % 11) as f64);
+        let inputs = vec![x];
+        let ex = exec();
+        assert_eq!(ex.path_for(&prog), ExecPath::Map);
+        let expect = eval::evaluate_recursive(&prog, &inputs).unwrap();
+        let mut s = Schedule::sequential(1, DeviceKind::Cpu);
+        s.par_chunks = vec![4];
+        let got = ex.run(&prog, &s, &inputs).unwrap();
+        assert!(got[0].approx_eq(&expect[0], 1e-5));
+    }
+
+    #[test]
+    fn f64_matvec_takes_vm_path() {
+        let (i, k) = (8, 8);
+        let prog = DslBuilder::new("matvec64", vec![i, k])
+            .out_buffer("w", BasicType::F64)
+            .out_access("w", IndexFn::select(2, &[0]))
+            .inp_buffer("M", BasicType::F64)
+            .inp_access("M", IndexFn::identity(2, 2))
+            .inp_buffer("v", BasicType::F64)
+            .inp_access("v", IndexFn::select(2, &[1]))
+            .scalar_function(ScalarFunction::mul2("f", ScalarKind::F64))
+            .combine_ops(vec![CombineOp::cc(), CombineOp::pw_add()])
+            .build()
+            .unwrap();
+        let ex = exec();
+        assert_eq!(ex.path_for(&prog), ExecPath::Vm);
+        let mut m = Buffer::zeros("M", BasicType::F64, Shape::new(vec![i, k]));
+        m.fill_with(|f| f as f64);
+        let mut v = Buffer::zeros("v", BasicType::F64, Shape::new(vec![k]));
+        v.fill_with(|f| 1.0 + f as f64);
+        let inputs = vec![m, v];
+        let expect = eval::evaluate_recursive(&prog, &inputs).unwrap();
+        let s = mdh_default_schedule(&prog, DeviceKind::Cpu, 4);
+        let got = ex.run(&prog, &s, &inputs).unwrap();
+        assert!(got[0].approx_eq(&expect[0], 1e-9));
+    }
+
+    #[test]
+    fn default_schedule_end_to_end_large_dot() {
+        // pure reduction with a split: exercises group combining in the
+        // contraction path
+        let n = 100_000;
+        let prog = DslBuilder::new("dot", vec![n])
+            .out_buffer("res", BasicType::F32)
+            .out_access("res", IndexFn::affine(vec![AffineExpr::constant(1, 0)]))
+            .inp_buffer("x", BasicType::F32)
+            .inp_access("x", IndexFn::identity(1, 1))
+            .inp_buffer("y", BasicType::F32)
+            .inp_access("y", IndexFn::identity(1, 1))
+            .scalar_function(ScalarFunction::mul2("f", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::pw_add()])
+            .build()
+            .unwrap();
+        let mut x = Buffer::zeros("x", BasicType::F32, Shape::new(vec![n]));
+        x.fill_with(|f| ((f % 17) as f64 - 8.0) / 16.0);
+        let mut y = Buffer::zeros("y", BasicType::F32, Shape::new(vec![n]));
+        y.fill_with(|f| ((f % 23) as f64) / 23.0);
+        let inputs = vec![x.clone(), y.clone()];
+        let s = mdh_default_schedule(&prog, DeviceKind::Cpu, 4);
+        assert!(s.splits_reduction(&prog));
+        let ex = exec();
+        let got = ex.run(&prog, &s, &inputs).unwrap();
+        let xf = x.as_f32().unwrap();
+        let yf = y.as_f32().unwrap();
+        let expect: f64 = xf.iter().zip(yf).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let got_v = got[0].as_f32().unwrap()[0] as f64;
+        assert!(
+            (got_v - expect).abs() < 1e-2 * expect.abs().max(1.0),
+            "{got_v} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn run_timed_returns_duration() {
+        let prog = matmul_prog(16, 16, 16);
+        let inputs = matmul_inputs(16, 16, 16);
+        let s = Schedule::sequential(3, DeviceKind::Cpu);
+        let (_, d) = exec().run_timed(&prog, &s, &inputs).unwrap();
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,819 @@
+//! Specialised f32 kernels — the "generated code" of the CPU backend.
+//!
+//! A real MDH implementation emits OpenCL/CUDA for the scalar function and
+//! schedule. Our documented substitution recognises the structural
+//! patterns the case studies exhibit ([`SfPattern`]) and executes them
+//! through tight, autovectorisable Rust loops:
+//!
+//! * [`Contraction`] — `out = Σ_red Π_j in_j[affine]` with `pw(add)`
+//!   reductions (Dot, MatVec, MatMul and variants, CCSD(T), MCC and
+//!   variants),
+//! * [`MapKernel`] — `out = Σ_j w_j · in_j[affine]` with no reduction
+//!   dimensions (Jacobi, Gaussian and other stencils; plain copies).
+//!
+//! Everything else runs through the register-VM path (`vm_exec`).
+
+use crate::offsets::{linearize_view, LinearAccess};
+use mdh_core::buffer::Buffer;
+use mdh_core::combine::CombineOp;
+use mdh_core::dsl::DslProgram;
+use mdh_core::error::{MdhError, Result};
+use mdh_core::expr::SfPattern;
+use mdh_core::shape::MdRange;
+use mdh_core::types::BasicType;
+
+/// Shared mutable f32 slice for provably-disjoint parallel writes.
+///
+/// Safety contract: callers must guarantee that no two concurrent tasks
+/// write the same element. The map kernel enforces this by only writing
+/// through an output access proven injective and task ranges that are
+/// disjoint by construction.
+pub struct SyncSlice {
+    ptr: *mut f32,
+    len: usize,
+}
+
+unsafe impl Send for SyncSlice {}
+unsafe impl Sync for SyncSlice {}
+
+impl SyncSlice {
+    pub fn new(s: &mut [f32]) -> SyncSlice {
+        SyncSlice {
+            ptr: s.as_mut_ptr(),
+            len: s.len(),
+        }
+    }
+
+    /// # Safety
+    /// `i < len` and no concurrent writer targets the same `i`.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, v: f32) {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) = v };
+    }
+}
+
+/// A rectangular f32 partial result over the preserved dims of one task.
+#[derive(Debug, Clone)]
+pub struct PartialF32 {
+    pub extents: Vec<usize>,
+    pub data: Vec<f32>,
+}
+
+impl PartialF32 {
+    fn zeros(extents: Vec<usize>) -> PartialF32 {
+        let n: usize = extents.iter().product::<usize>().max(1);
+        PartialF32 {
+            extents,
+            data: vec![0.0; n],
+        }
+    }
+
+    pub fn add_assign(&mut self, other: &PartialF32) {
+        debug_assert_eq!(self.extents, other.extents);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+}
+
+/// Recognised contraction structure (pattern only; linearisation against
+/// actual buffer shapes happens at run time).
+#[derive(Debug, Clone)]
+pub struct Contraction {
+    /// Param slot per product factor (slots may repeat, e.g. `x[i]*x[i]`).
+    pub factor_slots: Vec<usize>,
+    pub preserved: Vec<usize>,
+    pub reduced: Vec<usize>,
+}
+
+impl Contraction {
+    /// Check the preconditions and build the kernel descriptor.
+    pub fn try_build(prog: &DslProgram) -> Option<Contraction> {
+        if prog.out_view.accesses.len() != 1 {
+            return None;
+        }
+        if prog.out_view.buffers[prog.out_view.accesses[0].buffer].ty != BasicType::F32 {
+            return None;
+        }
+        if prog
+            .inp_view
+            .buffers
+            .iter()
+            .any(|b| b.ty != BasicType::F32)
+        {
+            return None;
+        }
+        let SfPattern::ProductOfParams(slots) = prog.md_hom.sf.recognize() else {
+            return None;
+        };
+        for op in &prog.md_hom.combine_ops {
+            match op {
+                CombineOp::Cc => {}
+                CombineOp::Pw(f) => {
+                    if f.as_builtin() != Some(mdh_core::combine::BuiltinReduce::Add) {
+                        return None;
+                    }
+                }
+                CombineOp::Ps(_) => return None,
+            }
+        }
+        // accesses must all be affine
+        if prog
+            .inp_view
+            .accesses
+            .iter()
+            .any(|a| a.index_fn.as_affine().is_none())
+            || prog.out_view.accesses[0].index_fn.as_affine().is_none()
+        {
+            return None;
+        }
+        Some(Contraction {
+            factor_slots: slots,
+            preserved: prog.md_hom.preserved_dims(),
+            reduced: prog.md_hom.collapsed_dims(),
+        })
+    }
+
+    /// Execute one task with cache blocking: the range is strip-mined by
+    /// `inner_tiles` (the schedule's cache-tile sizes) and each block runs
+    /// through the tight kernel, accumulating into one task partial. For
+    /// all-ones tiles this is exactly [`Contraction::run_task`].
+    pub fn run_task_tiled(
+        &self,
+        ins: &[&[f32]],
+        in_acc: &[LinearAccess],
+        range: &MdRange,
+        inner_tiles: &[usize],
+    ) -> PartialF32 {
+        if inner_tiles.iter().all(|&t| t <= 1) {
+            return self.run_task(ins, in_acc, range);
+        }
+        // strip-mining only pays when each cache block amortises its
+        // bookkeeping; degenerate blockings (e.g. 64-element strips of a
+        // 1-D reduction) would drown the tight loop in per-block overhead
+        let block_points: usize = (0..range.rank())
+            .map(|d| {
+                let t = inner_tiles[d].max(1);
+                if t > 1 {
+                    t.min(range.extent(d)).max(1)
+                } else {
+                    range.extent(d).max(1)
+                }
+            })
+            .product();
+        if block_points < 4096 && block_points < range.len() {
+            return self.run_task(ins, in_acc, range);
+        }
+        let pres_ext: Vec<usize> = self.preserved.iter().map(|&d| range.extent(d)).collect();
+        let mut partial = PartialF32::zeros(pres_ext.clone());
+        let pres_shape = mdh_core::shape::Shape::new(pres_ext);
+        // enumerate cache blocks: cartesian tiling of every dimension
+        let mut blocks = vec![range.clone()];
+        for d in 0..range.rank() {
+            let t = inner_tiles[d].max(1);
+            if t > 1 && t < range.extent(d) {
+                blocks = blocks
+                    .into_iter()
+                    .flat_map(|b| b.tile_dim(d, t))
+                    .collect();
+            }
+        }
+        for block in &blocks {
+            if block.is_empty() {
+                continue;
+            }
+            let sub = self.run_task(ins, in_acc, block);
+            // accumulate the block's partial into the task partial at its
+            // preserved-coordinate offset (legal: pw(add) commutes)
+            let sub_ext: Vec<usize> =
+                self.preserved.iter().map(|&d| block.extent(d)).collect();
+            let sub_shape = mdh_core::shape::Shape::new(sub_ext);
+            for idx in sub_shape.iter() {
+                let mut abs = Vec::with_capacity(idx.len());
+                for (pp, &d) in self.preserved.iter().enumerate() {
+                    abs.push(block.lo[d] - range.lo[d] + idx[pp]);
+                }
+                partial.data[pres_shape.linearize(&abs)] +=
+                    sub.data[sub_shape.linearize(&idx)];
+            }
+        }
+        partial
+    }
+
+    /// Execute one task: produce the f32 partial over its preserved dims.
+    pub fn run_task(
+        &self,
+        ins: &[&[f32]],
+        in_acc: &[LinearAccess],
+        range: &MdRange,
+    ) -> PartialF32 {
+        let pres_ext: Vec<usize> = self.preserved.iter().map(|&d| range.extent(d)).collect();
+        let mut partial = PartialF32::zeros(pres_ext.clone());
+
+        // choose the vector dim: last preserved dim with out-independent
+        // strides 0/1 in all factor accesses and a worthwhile extent
+        let vector_dim = self.preserved.last().copied().filter(|&jd| {
+            range.extent(jd) >= 8
+                && self
+                    .factor_slots
+                    .iter()
+                    .all(|&s| matches!(in_acc[s].coeffs[jd], 0 | 1))
+        });
+
+        let mut idx = range.lo.clone();
+        match vector_dim {
+            Some(jd) => self.run_row_vector(ins, in_acc, range, jd, &mut idx, &mut partial),
+            None => self.run_scalar_acc(ins, in_acc, range, &mut idx, &mut partial),
+        }
+        partial
+    }
+
+    /// Scalar-accumulator mode: one accumulator per preserved point,
+    /// reduction loop innermost with incremental offsets.
+    fn run_scalar_acc(
+        &self,
+        ins: &[&[f32]],
+        in_acc: &[LinearAccess],
+        range: &MdRange,
+        idx: &mut [usize],
+        partial: &mut PartialF32,
+    ) {
+        let pres = &self.preserved;
+        let red = &self.reduced;
+        let nf = self.factor_slots.len();
+        let inner = red.last().copied();
+        let mut offs = vec![0i64; nf];
+        let mut plin = 0usize;
+        // odometer over preserved coords
+        'pres: loop {
+            // reduction fold
+            let mut acc = 0f32;
+            for (d, l) in red.iter().zip(red.iter().map(|&d| range.lo[d])) {
+                idx[*d] = l;
+            }
+            if red.iter().any(|&d| range.extent(d) == 0) {
+                partial.data[plin] = 0.0;
+            } else {
+                'red: loop {
+                    // (re)compute base offsets at current reduced coords
+                    for (f, &slot) in self.factor_slots.iter().enumerate() {
+                        offs[f] = in_acc[slot].offset(idx);
+                    }
+                    if let Some(ind) = inner {
+                        // run the innermost reduced dim as a tight loop
+                        let n = range.hi[ind] - idx[ind];
+                        let steps: Vec<i64> = self
+                            .factor_slots
+                            .iter()
+                            .map(|&s| in_acc[s].coeffs[ind])
+                            .collect();
+                        if nf == 2 {
+                            let (s0, s1) = (steps[0], steps[1]);
+                            let (a0, a1) = (ins[self.factor_slots[0]], ins[self.factor_slots[1]]);
+                            let (mut o0, mut o1) = (offs[0], offs[1]);
+                            if s0 == 1 && s1 == 1 {
+                                let x = &a0[o0 as usize..o0 as usize + n];
+                                let y = &a1[o1 as usize..o1 as usize + n];
+                                acc += x.iter().zip(y).map(|(p, q)| p * q).sum::<f32>();
+                            } else {
+                                for _ in 0..n {
+                                    acc += a0[o0 as usize] * a1[o1 as usize];
+                                    o0 += s0;
+                                    o1 += s1;
+                                }
+                            }
+                        } else {
+                            for step in 0..n {
+                                let mut prod = 1f32;
+                                for (f, &slot) in self.factor_slots.iter().enumerate() {
+                                    prod *= ins[slot][(offs[f] + steps[f] * step as i64) as usize];
+                                }
+                                acc += prod;
+                            }
+                        }
+                        idx[ind] = range.hi[ind] - 1; // position at end for odometer
+                    } else {
+                        let mut prod = 1f32;
+                        for (f, &slot) in self.factor_slots.iter().enumerate() {
+                            prod *= ins[slot][offs[f] as usize];
+                        }
+                        acc += prod;
+                    }
+                    // advance the outer reduced dims (innermost handled above)
+                    let outer_red = &red[..red.len().saturating_sub(1)];
+                    let mut k = outer_red.len();
+                    loop {
+                        if k == 0 {
+                            break 'red;
+                        }
+                        k -= 1;
+                        let d = outer_red[k];
+                        idx[d] += 1;
+                        if idx[d] < range.hi[d] {
+                            break;
+                        }
+                        idx[d] = range.lo[d];
+                    }
+                    if let Some(ind) = inner {
+                        idx[ind] = range.lo[ind];
+                    }
+                    if outer_red.is_empty() {
+                        break 'red;
+                    }
+                }
+                partial.data[plin] = acc;
+            }
+            plin += 1;
+            // advance preserved odometer
+            let mut k = pres.len();
+            loop {
+                if k == 0 {
+                    break 'pres;
+                }
+                k -= 1;
+                let d = pres[k];
+                idx[d] += 1;
+                if idx[d] < range.hi[d] {
+                    break;
+                }
+                idx[d] = range.lo[d];
+            }
+            if pres.is_empty() {
+                break 'pres;
+            }
+        }
+    }
+
+    /// Row-vector mode (the classic `ikj` structure): the last preserved
+    /// dim becomes the vector axis; each reduction step streams a row.
+    fn run_row_vector(
+        &self,
+        ins: &[&[f32]],
+        in_acc: &[LinearAccess],
+        range: &MdRange,
+        jd: usize,
+        idx: &mut [usize],
+        partial: &mut PartialF32,
+    ) {
+        let outer_pres: Vec<usize> = self
+            .preserved
+            .iter()
+            .copied()
+            .filter(|&d| d != jd)
+            .collect();
+        let red = &self.reduced;
+        let ext_j = range.extent(jd);
+        let nf = self.factor_slots.len();
+        let mut row_base = 0usize;
+        idx[jd] = range.lo[jd];
+        'outer: loop {
+            let row = &mut partial.data[row_base..row_base + ext_j];
+            row.fill(0.0);
+            if !red.iter().any(|&d| range.extent(d) == 0) {
+                for (d, l) in red.iter().zip(red.iter().map(|&d| range.lo[d])) {
+                    idx[*d] = l;
+                }
+                'red: loop {
+                    idx[jd] = range.lo[jd];
+                    // factor bases at jj = 0
+                    let mut bases = vec![0i64; nf];
+                    for (f, &slot) in self.factor_slots.iter().enumerate() {
+                        bases[f] = in_acc[slot].offset(idx);
+                    }
+                    if nf == 2 {
+                        let (s0, s1) = (
+                            in_acc[self.factor_slots[0]].coeffs[jd],
+                            in_acc[self.factor_slots[1]].coeffs[jd],
+                        );
+                        let a0 = ins[self.factor_slots[0]];
+                        let a1 = ins[self.factor_slots[1]];
+                        match (s0, s1) {
+                            (0, 1) => {
+                                let a = a0[bases[0] as usize];
+                                let b = &a1[bases[1] as usize..bases[1] as usize + ext_j];
+                                for (r, &bv) in row.iter_mut().zip(b) {
+                                    *r += a * bv;
+                                }
+                            }
+                            (1, 0) => {
+                                let b = a1[bases[1] as usize];
+                                let a = &a0[bases[0] as usize..bases[0] as usize + ext_j];
+                                for (r, &av) in row.iter_mut().zip(a) {
+                                    *r += av * b;
+                                }
+                            }
+                            (1, 1) => {
+                                let a = &a0[bases[0] as usize..bases[0] as usize + ext_j];
+                                let b = &a1[bases[1] as usize..bases[1] as usize + ext_j];
+                                for ((r, &av), &bv) in row.iter_mut().zip(a).zip(b) {
+                                    *r += av * bv;
+                                }
+                            }
+                            (0, 0) => {
+                                let v = a0[bases[0] as usize] * a1[bases[1] as usize];
+                                for r in row.iter_mut() {
+                                    *r += v;
+                                }
+                            }
+                            _ => unreachable!("vector_dim preconditions"),
+                        }
+                    } else {
+                        for (jj, r) in row.iter_mut().enumerate() {
+                            let mut prod = 1f32;
+                            for (f, &slot) in self.factor_slots.iter().enumerate() {
+                                let s = in_acc[slot].coeffs[jd];
+                                prod *= ins[slot][(bases[f] + s * jj as i64) as usize];
+                            }
+                            *r += prod;
+                        }
+                    }
+                    // advance reduced odometer
+                    let mut k = red.len();
+                    loop {
+                        if k == 0 {
+                            break 'red;
+                        }
+                        k -= 1;
+                        let d = red[k];
+                        idx[d] += 1;
+                        if idx[d] < range.hi[d] {
+                            break;
+                        }
+                        idx[d] = range.lo[d];
+                    }
+                    if red.is_empty() {
+                        break 'red;
+                    }
+                }
+            }
+            row_base += ext_j;
+            // advance outer preserved odometer
+            let mut k = outer_pres.len();
+            loop {
+                if k == 0 {
+                    break 'outer;
+                }
+                k -= 1;
+                let d = outer_pres[k];
+                idx[d] += 1;
+                if idx[d] < range.hi[d] {
+                    break;
+                }
+                idx[d] = range.lo[d];
+            }
+            if outer_pres.is_empty() {
+                break 'outer;
+            }
+        }
+    }
+}
+
+/// Recognised map/stencil structure.
+#[derive(Debug, Clone)]
+pub struct MapKernel {
+    /// `(param slot, weight)` terms of the weighted sum.
+    pub terms: Vec<(usize, f64)>,
+}
+
+impl MapKernel {
+    pub fn try_build(prog: &DslProgram) -> Option<MapKernel> {
+        if prog.out_view.accesses.len() != 1 {
+            return None;
+        }
+        if !prog.md_hom.reduction_dims().is_empty() {
+            return None;
+        }
+        if prog.out_view.buffers[prog.out_view.accesses[0].buffer].ty != BasicType::F32 {
+            return None;
+        }
+        if prog
+            .inp_view
+            .buffers
+            .iter()
+            .any(|b| b.ty != BasicType::F32)
+        {
+            return None;
+        }
+        if prog
+            .inp_view
+            .accesses
+            .iter()
+            .any(|a| a.index_fn.as_affine().is_none())
+            || prog.out_view.accesses[0].index_fn.as_affine().is_none()
+        {
+            return None;
+        }
+        let terms = match prog.md_hom.sf.recognize() {
+            SfPattern::WeightedSum(t) => t,
+            SfPattern::Identity(p) => vec![(p, 1.0)],
+            _ => return None,
+        };
+        // the direct-write path requires a provably injective output access
+        let full = prog.md_hom.full_range();
+        if prog.out_view.accesses[0]
+            .index_fn
+            .is_injective_over(&full, 1 << 14)
+            != Some(true)
+        {
+            return None;
+        }
+        Some(MapKernel { terms })
+    }
+
+    /// Execute one task, writing directly into the shared output.
+    ///
+    /// Safety: task ranges are disjoint and the output access is injective
+    /// (checked in [`MapKernel::try_build`]), so writes never collide.
+    pub fn run_task(
+        &self,
+        ins: &[&[f32]],
+        in_acc: &[LinearAccess],
+        out_acc: &LinearAccess,
+        range: &MdRange,
+        out: &SyncSlice,
+    ) {
+        let rank = range.rank();
+        if range.is_empty() {
+            return;
+        }
+        let last = rank - 1;
+        let n_last = range.extent(last);
+        let w: Vec<f32> = self.terms.iter().map(|&(_, w)| w as f32).collect();
+        let mut idx = range.lo.clone();
+        'rows: loop {
+            idx[last] = range.lo[last];
+            let mut ioffs: Vec<i64> = self
+                .terms
+                .iter()
+                .map(|&(slot, _)| in_acc[slot].offset(&idx))
+                .collect();
+            let isteps: Vec<i64> = self
+                .terms
+                .iter()
+                .map(|&(slot, _)| in_acc[slot].coeffs[last])
+                .collect();
+            let mut ooff = out_acc.offset(&idx);
+            let ostep = out_acc.coeffs[last];
+            for _ in 0..n_last {
+                let mut v = 0f32;
+                for (t, &(slot, _)) in self.terms.iter().enumerate() {
+                    v += w[t] * ins[slot][ioffs[t] as usize];
+                }
+                // SAFETY: see method docs — disjoint injective writes
+                unsafe { out.write(ooff as usize, v) };
+                for (o, s) in ioffs.iter_mut().zip(&isteps) {
+                    *o += s;
+                }
+                ooff += ostep;
+            }
+            // advance all dims but the last
+            let mut k = last;
+            loop {
+                if k == 0 {
+                    break 'rows;
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < range.hi[k] {
+                    break;
+                }
+                idx[k] = range.lo[k];
+            }
+            if last == 0 {
+                break 'rows;
+            }
+        }
+    }
+}
+
+/// Linearise the input and output views against actual buffer shapes.
+pub fn linearize_for(
+    prog: &DslProgram,
+    inputs: &[Buffer],
+    outputs: &[Buffer],
+) -> Result<(Vec<LinearAccess>, Vec<LinearAccess>)> {
+    let rank = prog.rank();
+    let in_shapes: Vec<Vec<usize>> = inputs.iter().map(|b| b.shape.dims().to_vec()).collect();
+    let out_shapes: Vec<Vec<usize>> = outputs.iter().map(|b| b.shape.dims().to_vec()).collect();
+    let ia = linearize_view(&prog.inp_view, &in_shapes, rank)?;
+    let oa = linearize_view(&prog.out_view, &out_shapes, rank)?;
+    Ok((ia, oa))
+}
+
+/// Collect f32 slices for all input buffers.
+pub fn f32_inputs<'a>(prog: &DslProgram, inputs: &'a [Buffer]) -> Result<Vec<&'a [f32]>> {
+    // one slice per *access* (so kernels index by param slot directly)
+    prog.inp_view
+        .accesses
+        .iter()
+        .map(|a| {
+            inputs[a.buffer]
+                .as_f32()
+                .ok_or_else(|| MdhError::Type("expected f32 input".into()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdh_core::combine::CombineOp;
+    use mdh_core::dsl::DslBuilder;
+    use mdh_core::expr::ScalarFunction;
+    use mdh_core::index_fn::{AffineExpr, IndexFn};
+    use mdh_core::shape::Shape;
+    use mdh_core::types::ScalarKind;
+
+    fn matmul_prog(i: usize, j: usize, k: usize) -> DslProgram {
+        DslBuilder::new("matmul", vec![i, j, k])
+            .out_buffer("C", BasicType::F32)
+            .out_access("C", IndexFn::select(3, &[0, 1]))
+            .inp_buffer("A", BasicType::F32)
+            .inp_access("A", IndexFn::select(3, &[0, 2]))
+            .inp_buffer("B", BasicType::F32)
+            .inp_access("B", IndexFn::select(3, &[2, 1]))
+            .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::cc(), CombineOp::cc(), CombineOp::pw_add()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn contraction_recognised() {
+        let p = matmul_prog(4, 5, 6);
+        let c = Contraction::try_build(&p).unwrap();
+        assert_eq!(c.preserved, vec![0, 1]);
+        assert_eq!(c.reduced, vec![2]);
+        assert_eq!(c.factor_slots, vec![0, 1]);
+    }
+
+    #[test]
+    fn contraction_task_matches_reference() {
+        let (i, j, k) = (5, 9, 7);
+        let p = matmul_prog(i, j, k);
+        let mut a = Buffer::zeros("A", BasicType::F32, Shape::new(vec![i, k]));
+        a.fill_with(|f| ((f * 13) % 7) as f64 - 3.0);
+        let mut b = Buffer::zeros("B", BasicType::F32, Shape::new(vec![k, j]));
+        b.fill_with(|f| ((f * 11) % 5) as f64 * 0.5);
+        let inputs = vec![a, b];
+        let c = Contraction::try_build(&p).unwrap();
+        let outs = mdh_core::eval::alloc_outputs(&p).unwrap();
+        let (ia, _oa) = linearize_for(&p, &inputs, &outs).unwrap();
+        let ins = f32_inputs(&p, &inputs).unwrap();
+        // full-range task (exercises row-vector mode: j >= 8)
+        let range = p.md_hom.full_range();
+        let partial = c.run_task(&ins, &ia, &range);
+        assert_eq!(partial.extents, vec![i, j]);
+        let af = inputs[0].as_f32().unwrap();
+        let bf = inputs[1].as_f32().unwrap();
+        for ii in 0..i {
+            for jj in 0..j {
+                let expect: f32 = (0..k).map(|kk| af[ii * k + kk] * bf[kk * j + jj]).sum();
+                assert!(
+                    (partial.data[ii * j + jj] - expect).abs() < 1e-4,
+                    "C[{ii},{jj}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contraction_subrange_task() {
+        let (i, j, k) = (6, 4, 8);
+        let p = matmul_prog(i, j, k);
+        let mut a = Buffer::zeros("A", BasicType::F32, Shape::new(vec![i, k]));
+        a.fill_with(|f| f as f64);
+        let mut b = Buffer::zeros("B", BasicType::F32, Shape::new(vec![k, j]));
+        b.fill_with(|f| (f % 3) as f64);
+        let inputs = vec![a, b];
+        let c = Contraction::try_build(&p).unwrap();
+        let outs = mdh_core::eval::alloc_outputs(&p).unwrap();
+        let (ia, _) = linearize_for(&p, &inputs, &outs).unwrap();
+        let ins = f32_inputs(&p, &inputs).unwrap();
+        // a strict sub-range including a partial reduction (scalar mode: j ext < 8)
+        let range = MdRange::new(vec![1, 1, 2], vec![4, 3, 6]);
+        let partial = c.run_task(&ins, &ia, &range);
+        assert_eq!(partial.extents, vec![3, 2]);
+        let af = inputs[0].as_f32().unwrap();
+        let bf = inputs[1].as_f32().unwrap();
+        for (pi, ii) in (1..4).enumerate() {
+            for (pj, jj) in (1..3).enumerate() {
+                let expect: f32 = (2..6).map(|kk| af[ii * k + kk] * bf[kk * j + jj]).sum();
+                assert!((partial.data[pi * 2 + pj] - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_task_matches_untiled() {
+        let (i, j, k) = (9, 11, 13);
+        let p = matmul_prog(i, j, k);
+        let mut a = Buffer::zeros("A", BasicType::F32, Shape::new(vec![i, k]));
+        a.fill_with(|f| ((f * 29) % 17) as f64 - 8.0);
+        let mut b = Buffer::zeros("B", BasicType::F32, Shape::new(vec![k, j]));
+        b.fill_with(|f| ((f * 23) % 13) as f64 * 0.125);
+        let inputs = vec![a, b];
+        let c = Contraction::try_build(&p).unwrap();
+        let outs = mdh_core::eval::alloc_outputs(&p).unwrap();
+        let (ia, _) = linearize_for(&p, &inputs, &outs).unwrap();
+        let ins = f32_inputs(&p, &inputs).unwrap();
+        let range = p.md_hom.full_range();
+        let base = c.run_task(&ins, &ia, &range);
+        for tiles in [[1usize, 1, 1], [4, 4, 4], [2, 8, 3], [16, 1, 5]] {
+            let tiled = c.run_task_tiled(&ins, &ia, &range, &tiles);
+            assert_eq!(tiled.extents, base.extents);
+            for (x, y) in tiled.data.iter().zip(&base.data) {
+                assert!((x - y).abs() < 1e-3, "tiles {tiles:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_pure_reduction_task() {
+        let n = 100;
+        let p = DslBuilder::new("dot", vec![n])
+            .out_buffer("res", BasicType::F32)
+            .out_access("res", IndexFn::affine(vec![AffineExpr::constant(1, 0)]))
+            .inp_buffer("x", BasicType::F32)
+            .inp_access("x", IndexFn::identity(1, 1))
+            .inp_buffer("y", BasicType::F32)
+            .inp_access("y", IndexFn::identity(1, 1))
+            .scalar_function(ScalarFunction::mul2("f", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::pw_add()])
+            .build()
+            .unwrap();
+        let mut x = Buffer::zeros("x", BasicType::F32, Shape::new(vec![n]));
+        x.fill_with(|f| f as f64);
+        let mut y = Buffer::zeros("y", BasicType::F32, Shape::new(vec![n]));
+        y.fill_with(|_| 2.0);
+        let inputs = vec![x, y];
+        let c = Contraction::try_build(&p).unwrap();
+        assert!(c.preserved.is_empty());
+        let outs = mdh_core::eval::alloc_outputs(&p).unwrap();
+        let (ia, _) = linearize_for(&p, &inputs, &outs).unwrap();
+        let ins = f32_inputs(&p, &inputs).unwrap();
+        let partial = c.run_task(&ins, &ia, &p.md_hom.full_range());
+        let expect: f32 = (0..n).map(|f| f as f32 * 2.0).sum();
+        assert_eq!(partial.data, vec![expect]);
+    }
+
+    #[test]
+    fn map_kernel_stencil() {
+        // y[i] = 0.25*x[i] + 0.5*x[i+1] + 0.25*x[i+2]
+        let n = 10;
+        let p = DslBuilder::new("jac", vec![n])
+            .out_buffer("y", BasicType::F32)
+            .out_access("y", IndexFn::identity(1, 1))
+            .inp_buffer("x", BasicType::F32)
+            .inp_access("x", IndexFn::affine(vec![AffineExpr::new(vec![1], 0)]))
+            .inp_access("x", IndexFn::affine(vec![AffineExpr::new(vec![1], 1)]))
+            .inp_access("x", IndexFn::affine(vec![AffineExpr::new(vec![1], 2)]))
+            .scalar_function(ScalarFunction::weighted_sum(
+                "w",
+                ScalarKind::F32,
+                &[0.25, 0.5, 0.25],
+            ))
+            .combine_ops(vec![CombineOp::cc()])
+            .build()
+            .unwrap();
+        let mk = MapKernel::try_build(&p).unwrap();
+        let mut x = Buffer::zeros("x", BasicType::F32, Shape::new(vec![n + 2]));
+        x.fill_with(|f| f as f64);
+        let inputs = vec![x];
+        let mut outs = mdh_core::eval::alloc_outputs(&p).unwrap();
+        let (ia, oa) = linearize_for(&p, &inputs, &outs).unwrap();
+        let ins = f32_inputs(&p, &inputs).unwrap();
+        {
+            let out_slice = SyncSlice::new(outs[0].as_f32_mut().unwrap());
+            mk.run_task(&ins, &ia, &oa[0], &p.md_hom.full_range(), &out_slice);
+        }
+        let y = outs[0].as_f32().unwrap();
+        for i in 0..n {
+            let expect = 0.25 * i as f32 + 0.5 * (i + 1) as f32 + 0.25 * (i + 2) as f32;
+            assert!((y[i] - expect).abs() < 1e-5, "y[{i}]");
+        }
+    }
+
+    #[test]
+    fn map_kernel_rejects_reductions() {
+        let p = matmul_prog(4, 4, 4);
+        assert!(MapKernel::try_build(&p).is_none());
+    }
+
+    #[test]
+    fn contraction_rejects_f64() {
+        let p = DslBuilder::new("m", vec![4, 4, 4])
+            .out_buffer("C", BasicType::F64)
+            .out_access("C", IndexFn::select(3, &[0, 1]))
+            .inp_buffer("A", BasicType::F64)
+            .inp_access("A", IndexFn::select(3, &[0, 2]))
+            .inp_buffer("B", BasicType::F64)
+            .inp_access("B", IndexFn::select(3, &[2, 1]))
+            .scalar_function(ScalarFunction::mul2("f", ScalarKind::F64))
+            .combine_ops(vec![CombineOp::cc(), CombineOp::cc(), CombineOp::pw_add()])
+            .build()
+            .unwrap();
+        assert!(Contraction::try_build(&p).is_none());
+    }
+}

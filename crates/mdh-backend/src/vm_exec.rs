@@ -1,0 +1,944 @@
+//! Generic parallel execution through the register VM.
+//!
+//! Handles every program the specialised kernels don't: custom combine
+//! operators (PRL's `prl_max` over a 3-tuple of outputs), record inputs,
+//! prefix sums (`ps`), arbitrary scalar functions — as long as accesses
+//! are affine and outputs are scalar-typed. Two modes:
+//!
+//! * **fold mode** — no `ps` dimension; all `pw` dimensions share one
+//!   combine function. Each task folds its collapsed sub-range into
+//!   per-result partial columns; split-reduction groups combine partials
+//!   with the same function.
+//! * **scan mode** — one `ps` dimension (ordered before any `pw` dims so
+//!   the scan is applied last, matching the nested semantics); `pw` dims
+//!   must not be split across tasks. Tasks scan locally; split scan chunks
+//!   are stitched sequentially with the offset rule of Listing 17.
+
+use crate::offsets::{linearize_view, store_result, Loader};
+use crate::vm::{compile_sf, CompiledSf, ParamLoad, Reg};
+use mdh_core::buffer::Buffer;
+use mdh_core::combine::{BuiltinReduce, CombineOp, PwFunc, PwKind};
+use mdh_core::dsl::DslProgram;
+use mdh_core::error::{MdhError, Result};
+use mdh_core::shape::{MdRange, Shape};
+use mdh_core::types::ScalarKind;
+use mdh_lowering::plan::ExecutionPlan;
+
+/// Typed partial column per result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColBank {
+    F(Vec<f64>),
+    I(Vec<i64>),
+}
+
+impl ColBank {
+    fn zeros(kind: ScalarKind, n: usize) -> ColBank {
+        if kind.is_float() {
+            ColBank::F(vec![0.0; n])
+        } else {
+            ColBank::I(vec![0; n])
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            ColBank::F(v) => v.len(),
+            ColBank::I(v) => v.len(),
+        }
+    }
+}
+
+/// How tuples are combined in the hot loop.
+#[allow(clippy::large_enum_variant)]
+enum Combiner {
+    Builtin(BuiltinReduce),
+    Vm {
+        cf: CompiledSf,
+        /// registers of the lhs tuple params, then the rhs tuple params
+        /// (`None` for params the combine function never reads)
+        lhs_regs: Vec<Option<Reg>>,
+        rhs_regs: Vec<Option<Reg>>,
+    },
+}
+
+impl Combiner {
+    fn build(f: &PwFunc, width: usize) -> Result<Combiner> {
+        match &f.kind {
+            PwKind::Builtin(b) => Ok(Combiner::Builtin(*b)),
+            PwKind::Custom(sf) => {
+                if sf.results.len() != width {
+                    return Err(MdhError::Validation(
+                        "combine-function width mismatch".into(),
+                    ));
+                }
+                let cf = compile_sf(sf)?;
+                let mut regs = Vec::with_capacity(2 * width);
+                for pl in &cf.param_loads {
+                    match pl {
+                        ParamLoad::Scalar(r) => regs.push(Some(*r)),
+                        ParamLoad::Unused => regs.push(None),
+                        ParamLoad::Record(_) => {
+                            return Err(MdhError::Validation(
+                                "record-typed combine params unsupported".into(),
+                            ))
+                        }
+                    }
+                }
+                let rhs_regs = regs.split_off(width);
+                Ok(Combiner::Vm {
+                    cf,
+                    lhs_regs: regs,
+                    rhs_regs,
+                })
+            }
+        }
+    }
+
+    /// acc (lhs) ⊗ new (rhs) → acc, tuple-wide.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // hot-loop combine: banks passed flat
+    fn combine(
+        &self,
+        accf: &mut [f64],
+        acci: &mut [i64],
+        newf: &[f64],
+        newi: &[i64],
+        kinds: &[ScalarKind],
+        scratch_f: &mut [f64],
+        scratch_i: &mut [i64],
+    ) {
+        match self {
+            Combiner::Builtin(b) => {
+                for (r, k) in kinds.iter().enumerate() {
+                    if k.is_float() {
+                        accf[r] = b.apply_f64(accf[r], newf[r]);
+                    } else {
+                        acci[r] = b.apply_i64(acci[r], newi[r]);
+                    }
+                }
+            }
+            Combiner::Vm {
+                cf,
+                lhs_regs,
+                rhs_regs,
+            } => {
+                for r in 0..kinds.len() {
+                    match lhs_regs[r] {
+                        Some(Reg::F(d)) => scratch_f[d] = accf[r],
+                        Some(Reg::I(d)) => scratch_i[d] = acci[r],
+                        None => {}
+                    }
+                    match rhs_regs[r] {
+                        Some(Reg::F(d)) => scratch_f[d] = newf[r],
+                        Some(Reg::I(d)) => scratch_i[d] = newi[r],
+                        None => {}
+                    }
+                }
+                cf.run(scratch_f, scratch_i);
+                for (r, reg) in cf.result_regs.iter().enumerate() {
+                    match reg {
+                        Reg::F(d) => accf[r] = scratch_f[*d],
+                        Reg::I(d) => acci[r] = scratch_i[*d],
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Execution mode derived from the combine operators.
+enum Mode {
+    Fold(Option<PwFunc>),
+    Scan {
+        scan_dim: usize,
+        scan_fn: PwFunc,
+        fold_fn: Option<PwFunc>,
+    },
+}
+
+fn derive_mode(prog: &DslProgram) -> Result<Mode> {
+    let mut ps_dims = Vec::new();
+    let mut pw_fn: Option<PwFunc> = None;
+    for (d, op) in prog.md_hom.combine_ops.iter().enumerate() {
+        match op {
+            CombineOp::Cc => {}
+            CombineOp::Ps(f) => ps_dims.push((d, f.clone())),
+            CombineOp::Pw(f) => match &pw_fn {
+                None => pw_fn = Some(f.clone()),
+                Some(g) => {
+                    if g.name != f.name {
+                        return Err(MdhError::Validation(
+                            "VM path requires a single pw combine function".into(),
+                        ));
+                    }
+                }
+            },
+        }
+    }
+    match ps_dims.len() {
+        0 => Ok(Mode::Fold(pw_fn)),
+        1 => {
+            let (sd, sf) = ps_dims.pop().unwrap();
+            // scan must be applied after every pw fold, i.e. the ps dim
+            // must come before all pw dims in ⊗_1..⊗_D order
+            for (d, op) in prog.md_hom.combine_ops.iter().enumerate() {
+                if matches!(op, CombineOp::Pw(_)) && d < sd {
+                    return Err(MdhError::Validation(
+                        "VM path requires the ps dimension to precede pw dimensions".into(),
+                    ));
+                }
+            }
+            Ok(Mode::Scan {
+                scan_dim: sd,
+                scan_fn: sf,
+                fold_fn: pw_fn,
+            })
+        }
+        _ => Err(MdhError::Validation(
+            "VM path supports at most one ps dimension".into(),
+        )),
+    }
+}
+
+/// Whether this program can run through the VM path at all.
+pub fn vm_applicable(prog: &DslProgram) -> bool {
+    if prog
+        .out_view
+        .buffers
+        .iter()
+        .any(|b| b.ty.as_scalar().is_none())
+    {
+        return false;
+    }
+    if prog
+        .inp_view
+        .accesses
+        .iter()
+        .any(|a| a.index_fn.as_affine().is_none())
+        || prog
+            .out_view
+            .accesses
+            .iter()
+            .any(|a| a.index_fn.as_affine().is_none())
+    {
+        return false;
+    }
+    derive_mode(prog).is_ok() && compile_sf(&prog.md_hom.sf).is_ok()
+}
+
+/// A task's partial result: one column per result over its preserved dims.
+pub struct Partial {
+    pub extents: Vec<usize>,
+    pub cols: Vec<ColBank>,
+}
+
+/// Run the program on the given plan using the thread pool.
+pub fn run(
+    prog: &DslProgram,
+    plan: &ExecutionPlan,
+    inputs: &[Buffer],
+    pool: &rayon::ThreadPool,
+) -> Result<Vec<Buffer>> {
+    let mode = derive_mode(prog)?;
+    let sf = compile_sf(&prog.md_hom.sf)?;
+    let kinds = sf.result_kinds.clone();
+    let width = kinds.len();
+    let fold_combiner = match &mode {
+        Mode::Fold(f) | Mode::Scan { fold_fn: f, .. } => match f {
+            Some(f) => Some(Combiner::build(f, width)?),
+            None => None,
+        },
+    };
+    // scan-mode restriction: pw dims must not be split across tasks
+    if let Mode::Scan { scan_dim, .. } = &mode {
+        for &d in &plan.split_dims {
+            if d != *scan_dim {
+                return Err(MdhError::Validation(
+                    "scan mode cannot split pw dimensions across tasks".into(),
+                ));
+            }
+        }
+    }
+
+    let mut outputs = mdh_core::eval::alloc_outputs(prog)?;
+    mdh_core::eval::check_inputs(prog, inputs)?;
+    let rank = prog.rank();
+    let in_shapes: Vec<Vec<usize>> = inputs.iter().map(|b| b.shape.dims().to_vec()).collect();
+    let out_shapes: Vec<Vec<usize>> = outputs.iter().map(|b| b.shape.dims().to_vec()).collect();
+    let in_acc = linearize_view(&prog.inp_view, &in_shapes, rank)?;
+    let out_acc = linearize_view(&prog.out_view, &out_shapes, rank)?;
+    let loaders = Loader::build_all(prog, inputs, &sf.param_loads)?;
+
+    let preserved = prog.md_hom.preserved_dims();
+    let collapsed = prog.md_hom.collapsed_dims();
+
+    // --- per-task local computation, in parallel ------------------------
+    let scan_dim_opt = match &mode {
+        Mode::Scan { scan_dim, .. } => Some(*scan_dim),
+        Mode::Fold(_) => None,
+    };
+    let scan_combiner = match &mode {
+        Mode::Scan { scan_fn, .. } => Some(Combiner::build(scan_fn, width)?),
+        Mode::Fold(_) => None,
+    };
+
+    let mut partials: Vec<Option<Partial>> = Vec::new();
+    pool.install(|| {
+        use rayon::prelude::*;
+        plan.tasks
+            .par_iter()
+            .map(|task| {
+                run_task(
+                    &sf,
+                    fold_combiner.as_ref(),
+                    scan_combiner.as_ref(),
+                    scan_dim_opt,
+                    &kinds,
+                    &loaders,
+                    &in_acc,
+                    &preserved,
+                    &collapsed,
+                    &task.range,
+                )
+            })
+            .collect_into_vec(&mut partials);
+    });
+
+    // --- combine split-reduction groups ---------------------------------
+    let write_jobs: Vec<(usize, Partial)> = if plan.split_dims.is_empty() {
+        partials
+            .into_iter()
+            .enumerate()
+            .map(|(t, p)| (t, p.expect("task partial")))
+            .collect()
+    } else {
+        let mut partials: Vec<Option<Partial>> = partials;
+        let mut jobs = Vec::with_capacity(plan.groups.len());
+        for g in &plan.groups {
+            let owner = g.task_ids[0];
+            let mut acc = partials[owner].take().expect("group owner partial");
+            match &mode {
+                Mode::Fold(Some(f)) => {
+                    let comb = Combiner::build(f, width)?;
+                    for &tid in &g.task_ids[1..] {
+                        let rhs = partials[tid].take().expect("group member");
+                        combine_partials_elementwise(&mut acc, &rhs, &comb, &kinds)?;
+                    }
+                }
+                Mode::Fold(None) => unreachable!("split dims without pw fn"),
+                Mode::Scan {
+                    scan_dim, scan_fn, ..
+                } => {
+                    let comb = Combiner::build(scan_fn, width)?;
+                    // stitch chunks in order along the scan dim
+                    let sd_pos = preserved
+                        .iter()
+                        .position(|&d| d == *scan_dim)
+                        .expect("scan dim is preserved");
+                    for &tid in &g.task_ids[1..] {
+                        let rhs = partials[tid].take().expect("group member");
+                        acc = stitch_scan(acc, rhs, sd_pos, &comb, &kinds)?;
+                    }
+                }
+            }
+            jobs.push((owner, acc));
+        }
+        jobs
+    };
+
+    // --- write phase ----------------------------------------------------
+    for (owner, partial) in write_jobs {
+        let range = &plan.tasks[owner].range;
+        write_partial(
+            prog,
+            &partial,
+            range,
+            &preserved,
+            &out_acc,
+            &kinds,
+            &mut outputs,
+            plan,
+            owner,
+        )?;
+    }
+    Ok(outputs)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_task(
+    sf: &CompiledSf,
+    fold: Option<&Combiner>,
+    scan: Option<&Combiner>,
+    scan_dim: Option<usize>,
+    kinds: &[ScalarKind],
+    loaders: &[Loader],
+    in_acc: &[crate::offsets::LinearAccess],
+    preserved: &[usize],
+    collapsed: &[usize],
+    range: &MdRange,
+) -> Option<Partial> {
+    let width = kinds.len();
+    let extents: Vec<usize> = preserved.iter().map(|&d| range.extent(d)).collect();
+    let n = extents.iter().product::<usize>().max(1);
+    let mut cols: Vec<ColBank> = kinds.iter().map(|&k| ColBank::zeros(k, n)).collect();
+    if range.is_empty() {
+        return Some(Partial { extents, cols });
+    }
+
+    let (mut fbank, mut ibank) = sf.banks();
+    // scratch banks for the combiner VM (sized at build time)
+    let (mut cf_f, mut cf_i) = match fold.or(scan) {
+        Some(Combiner::Vm { cf, .. }) => cf.banks(),
+        _ => (Vec::new(), Vec::new()),
+    };
+    // also ensure scan combiner scratch fits (use the larger)
+    if let Some(Combiner::Vm { cf, .. }) = scan {
+        let (f2, i2) = cf.banks();
+        if f2.len() > cf_f.len() {
+            cf_f = f2;
+        }
+        if i2.len() > cf_i.len() {
+            cf_i = i2;
+        }
+    }
+
+    let mut accf = vec![0f64; width];
+    let mut acci = vec![0i64; width];
+    let mut newf = vec![0f64; width];
+    let mut newi = vec![0i64; width];
+
+    let mut idx = range.lo.clone();
+    let mut plin = 0usize;
+    'pres: loop {
+        // fold over collapsed dims
+        for &d in collapsed {
+            idx[d] = range.lo[d];
+        }
+        let mut first = true;
+        'red: loop {
+            // evaluate SF at idx
+            for (l, a) in loaders.iter().zip(in_acc) {
+                l.load(a.offset(&idx) as usize, &mut fbank, &mut ibank);
+            }
+            sf.run(&mut fbank, &mut ibank);
+            for (r, reg) in sf.result_regs.iter().enumerate() {
+                match reg {
+                    Reg::F(d) => newf[r] = fbank[*d],
+                    Reg::I(d) => newi[r] = ibank[*d],
+                }
+            }
+            if first {
+                accf.copy_from_slice(&newf);
+                acci.copy_from_slice(&newi);
+                first = false;
+            } else if let Some(c) = fold {
+                c.combine(
+                    &mut accf, &mut acci, &newf, &newi, kinds, &mut cf_f, &mut cf_i,
+                );
+            }
+            // advance collapsed odometer
+            let mut k = collapsed.len();
+            loop {
+                if k == 0 {
+                    break 'red;
+                }
+                k -= 1;
+                let d = collapsed[k];
+                idx[d] += 1;
+                if idx[d] < range.hi[d] {
+                    break;
+                }
+                idx[d] = range.lo[d];
+            }
+            if collapsed.is_empty() {
+                break 'red;
+            }
+        }
+        // store acc into columns
+        for (r, col) in cols.iter_mut().enumerate() {
+            match col {
+                ColBank::F(v) => v[plin] = accf[r],
+                ColBank::I(v) => v[plin] = acci[r],
+            }
+        }
+        plin += 1;
+        // advance preserved odometer
+        let mut k = preserved.len();
+        loop {
+            if k == 0 {
+                break 'pres;
+            }
+            k -= 1;
+            let d = preserved[k];
+            idx[d] += 1;
+            if idx[d] < range.hi[d] {
+                break;
+            }
+            idx[d] = range.lo[d];
+        }
+        if preserved.is_empty() {
+            break 'pres;
+        }
+    }
+
+    // local scan along the ps dim
+    if let (Some(sd), Some(c)) = (scan_dim, scan) {
+        let sd_pos = preserved.iter().position(|&d| d == sd)?;
+        scan_in_place(&mut cols, &extents, sd_pos, c, kinds, &mut cf_f, &mut cf_i);
+    }
+
+    Some(Partial { extents, cols })
+}
+
+/// In-place inclusive scan of partial columns along preserved-axis
+/// `sd_pos`.
+fn scan_in_place(
+    cols: &mut [ColBank],
+    extents: &[usize],
+    sd_pos: usize,
+    c: &Combiner,
+    kinds: &[ScalarKind],
+    cf_f: &mut [f64],
+    cf_i: &mut [i64],
+) {
+    let shape = Shape::new(extents.to_vec());
+    let stride: usize = extents[sd_pos + 1..].iter().product();
+    let width = kinds.len();
+    let mut accf = vec![0f64; width];
+    let mut acci = vec![0i64; width];
+    let mut newf = vec![0f64; width];
+    let mut newi = vec![0i64; width];
+    for idx in shape.iter() {
+        if idx[sd_pos] == 0 {
+            continue;
+        }
+        let i = shape.linearize(&idx);
+        let prev = i - stride;
+        for (r, col) in cols.iter().enumerate() {
+            match col {
+                ColBank::F(v) => {
+                    accf[r] = v[prev];
+                    newf[r] = v[i];
+                }
+                ColBank::I(v) => {
+                    acci[r] = v[prev];
+                    newi[r] = v[i];
+                }
+            }
+        }
+        c.combine(&mut accf, &mut acci, &newf, &newi, kinds, cf_f, cf_i);
+        for (r, col) in cols.iter_mut().enumerate() {
+            match col {
+                ColBank::F(v) => v[i] = accf[r],
+                ColBank::I(v) => v[i] = acci[r],
+            }
+        }
+    }
+}
+
+fn combine_partials_elementwise(
+    acc: &mut Partial,
+    rhs: &Partial,
+    c: &Combiner,
+    kinds: &[ScalarKind],
+) -> Result<()> {
+    if acc.extents != rhs.extents {
+        return Err(MdhError::Eval("partial extent mismatch".into()));
+    }
+    let width = kinds.len();
+    let (mut cf_f, mut cf_i) = match c {
+        Combiner::Vm { cf, .. } => cf.banks(),
+        _ => (Vec::new(), Vec::new()),
+    };
+    let n = acc.cols.first().map(|c| c.len()).unwrap_or(0);
+    let mut accf = vec![0f64; width];
+    let mut acci = vec![0i64; width];
+    let mut newf = vec![0f64; width];
+    let mut newi = vec![0i64; width];
+    for i in 0..n {
+        for (r, (a, b)) in acc.cols.iter().zip(&rhs.cols).enumerate() {
+            match (a, b) {
+                (ColBank::F(x), ColBank::F(y)) => {
+                    accf[r] = x[i];
+                    newf[r] = y[i];
+                }
+                (ColBank::I(x), ColBank::I(y)) => {
+                    acci[r] = x[i];
+                    newi[r] = y[i];
+                }
+                _ => return Err(MdhError::Eval("column kind mismatch".into())),
+            }
+        }
+        c.combine(
+            &mut accf, &mut acci, &newf, &newi, kinds, &mut cf_f, &mut cf_i,
+        );
+        for (r, a) in acc.cols.iter_mut().enumerate() {
+            match a {
+                ColBank::F(x) => x[i] = accf[r],
+                ColBank::I(x) => x[i] = acci[r],
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Stitch two scanned chunks along scan axis `sd_pos`: the rhs chunk's
+/// every element combines with the lhs chunk's final slice (Listing 17's
+/// contiguous-split rule), then the chunks concatenate.
+fn stitch_scan(
+    lhs: Partial,
+    mut rhs: Partial,
+    sd_pos: usize,
+    c: &Combiner,
+    kinds: &[ScalarKind],
+) -> Result<Partial> {
+    let width = kinds.len();
+    let (mut cf_f, mut cf_i) = match c {
+        Combiner::Vm { cf, .. } => cf.banks(),
+        _ => (Vec::new(), Vec::new()),
+    };
+    let l_ext = &lhs.extents;
+    let r_ext = &rhs.extents;
+    for (d, (a, b)) in l_ext.iter().zip(r_ext).enumerate() {
+        if d != sd_pos && a != b {
+            return Err(MdhError::Eval("scan stitch extent mismatch".into()));
+        }
+    }
+    let stride: usize = l_ext[sd_pos + 1..].iter().product();
+    let l_sd = l_ext[sd_pos];
+    if l_sd > 0 {
+        // offset every rhs element by lhs's last slice
+        let r_shape = Shape::new(r_ext.clone());
+        let mut accf = vec![0f64; width];
+        let mut acci = vec![0i64; width];
+        let mut newf = vec![0f64; width];
+        let mut newi = vec![0i64; width];
+        for idx in r_shape.iter() {
+            let ri = r_shape.linearize(&idx);
+            // corresponding lhs last-slice element
+            let mut lidx = idx.clone();
+            lidx[sd_pos] = l_sd - 1;
+            let li = Shape::new(l_ext.clone()).linearize(&lidx);
+            for (r, (a, b)) in lhs.cols.iter().zip(&rhs.cols).enumerate() {
+                match (a, b) {
+                    (ColBank::F(x), ColBank::F(y)) => {
+                        accf[r] = x[li];
+                        newf[r] = y[ri];
+                    }
+                    (ColBank::I(x), ColBank::I(y)) => {
+                        acci[r] = x[li];
+                        newi[r] = y[ri];
+                    }
+                    _ => return Err(MdhError::Eval("column kind mismatch".into())),
+                }
+            }
+            c.combine(
+                &mut accf, &mut acci, &newf, &newi, kinds, &mut cf_f, &mut cf_i,
+            );
+            for (r, b) in rhs.cols.iter_mut().enumerate() {
+                match b {
+                    ColBank::F(y) => y[ri] = accf[r],
+                    ColBank::I(y) => y[ri] = acci[r],
+                }
+            }
+        }
+    }
+    // concatenate along sd_pos
+    let mut extents = l_ext.clone();
+    extents[sd_pos] += r_ext[sd_pos];
+    let out_shape = Shape::new(extents.clone());
+    let mut cols: Vec<ColBank> = kinds
+        .iter()
+        .map(|&k| ColBank::zeros(k, out_shape.len()))
+        .collect();
+    let l_shape = Shape::new(l_ext.clone());
+    let r_shape = Shape::new(r_ext.clone());
+    for idx in l_shape.iter() {
+        let src = l_shape.linearize(&idx);
+        let dst = out_shape.linearize(&idx);
+        for (col, lcol) in cols.iter_mut().zip(&lhs.cols) {
+            copy_elem(col, dst, lcol, src);
+        }
+    }
+    for idx in r_shape.iter() {
+        let mut didx = idx.clone();
+        didx[sd_pos] += l_sd;
+        let src = r_shape.linearize(&idx);
+        let dst = out_shape.linearize(&didx);
+        for (col, rcol) in cols.iter_mut().zip(&rhs.cols) {
+            copy_elem(col, dst, rcol, src);
+        }
+    }
+    let _ = stride;
+    Ok(Partial { extents, cols })
+}
+
+fn copy_elem(dst: &mut ColBank, di: usize, src: &ColBank, si: usize) {
+    match (dst, src) {
+        (ColBank::F(d), ColBank::F(s)) => d[di] = s[si],
+        (ColBank::I(d), ColBank::I(s)) => d[di] = s[si],
+        _ => unreachable!("column kinds fixed by result kinds"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_partial(
+    prog: &DslProgram,
+    partial: &Partial,
+    owner_range: &MdRange,
+    preserved: &[usize],
+    out_acc: &[crate::offsets::LinearAccess],
+    kinds: &[ScalarKind],
+    outputs: &mut [Buffer],
+    plan: &ExecutionPlan,
+    owner: usize,
+) -> Result<()> {
+    // the partial's preserved region: for split scan dims the stitched
+    // partial covers the full dim, so derive extents from the partial
+    let mut lo = owner_range.lo.clone();
+    // split scan dims start at the group's first chunk => lo from owner
+    let shape = Shape::new(partial.extents.clone());
+    let _ = plan;
+    let _ = owner;
+    let mut idx = vec![0usize; prog.rank()];
+    // collapsed dims pinned to absolute lo of the full iteration space —
+    // out accesses don't depend on them (validated)
+    for d in prog.md_hom.collapsed_dims() {
+        idx[d] = 0;
+        lo[d] = 0;
+    }
+    for p in shape.iter() {
+        for (pp, &d) in preserved.iter().enumerate() {
+            idx[d] = lo[d] + p[pp];
+        }
+        let flat = shape.linearize(&p);
+        for (r, acc) in out_acc.iter().enumerate() {
+            let off = acc.offset(&idx);
+            if off < 0 {
+                return Err(MdhError::Eval("negative output offset".into()));
+            }
+            let (fv, iv) = match &partial.cols[r] {
+                ColBank::F(v) => (v[flat], 0),
+                ColBank::I(v) => (0.0, v[flat]),
+            };
+            store_result(
+                &mut outputs[prog.out_view.accesses[r].buffer],
+                off as usize,
+                kinds[r],
+                fv,
+                iv,
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdh_core::dsl::DslBuilder;
+    use mdh_core::expr::{BinOp, Expr, ScalarFunction, Stmt};
+    use mdh_core::eval::evaluate_recursive;
+    use mdh_core::index_fn::IndexFn;
+    use mdh_core::types::BasicType;
+    use mdh_lowering::asm::DeviceKind;
+    use mdh_lowering::schedule::{ReductionStrategy, Schedule};
+
+    fn pool() -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+    }
+
+    fn run_with(
+        prog: &DslProgram,
+        inputs: &[Buffer],
+        par_chunks: Vec<usize>,
+        tree: bool,
+    ) -> Vec<Buffer> {
+        let mut s = Schedule::sequential(prog.rank(), DeviceKind::Cpu);
+        s.par_chunks = par_chunks;
+        if tree {
+            s.reduction = ReductionStrategy::Tree;
+        }
+        let plan = ExecutionPlan::build(prog, &s).unwrap();
+        run(prog, &plan, inputs, &pool()).unwrap()
+    }
+
+    fn matvec_case() -> (DslProgram, Vec<Buffer>) {
+        let (i, k) = (13, 17);
+        let prog = DslBuilder::new("matvec", vec![i, k])
+            .out_buffer("w", BasicType::F32)
+            .out_access("w", IndexFn::select(2, &[0]))
+            .inp_buffer("M", BasicType::F32)
+            .inp_access("M", IndexFn::identity(2, 2))
+            .inp_buffer("v", BasicType::F32)
+            .inp_access("v", IndexFn::select(2, &[1]))
+            .scalar_function(ScalarFunction::mul2("f_mul", mdh_core::types::ScalarKind::F32))
+            .combine_ops(vec![CombineOp::cc(), CombineOp::pw_add()])
+            .build()
+            .unwrap();
+        let mut m = Buffer::zeros("M", BasicType::F32, Shape::new(vec![i, k]));
+        m.fill_with(|f| ((f * 7) % 11) as f64 - 5.0);
+        let mut v = Buffer::zeros("v", BasicType::F32, Shape::new(vec![k]));
+        v.fill_with(|f| (f % 4) as f64 * 0.5);
+        (prog, vec![m, v])
+    }
+
+    #[test]
+    fn fold_mode_matches_reference_no_split() {
+        let (prog, inputs) = matvec_case();
+        let expect = evaluate_recursive(&prog, &inputs).unwrap();
+        let got = run_with(&prog, &inputs, vec![4, 1], false);
+        assert!(got[0].approx_eq(&expect[0], 1e-5));
+    }
+
+    #[test]
+    fn fold_mode_matches_reference_split_reduction() {
+        let (prog, inputs) = matvec_case();
+        let expect = evaluate_recursive(&prog, &inputs).unwrap();
+        let got = run_with(&prog, &inputs, vec![3, 5], true);
+        assert!(got[0].approx_eq(&expect[0], 1e-5));
+    }
+
+    /// PRL-style custom tuple combine over two outputs.
+    #[test]
+    fn custom_tuple_combine_argmax() {
+        let (n, i) = (6, 40);
+        let argmax = ScalarFunction {
+            name: "argmax".into(),
+            params: vec![
+                ("lhs_id".into(), BasicType::I64),
+                ("lhs_w".into(), BasicType::F64),
+                ("rhs_id".into(), BasicType::I64),
+                ("rhs_w".into(), BasicType::F64),
+            ],
+            results: vec![
+                ("res_id".into(), BasicType::I64),
+                ("res_w".into(), BasicType::F64),
+            ],
+            body: vec![Stmt::If {
+                cond: Expr::Bin(BinOp::Ge, Box::new(Expr::Param(1)), Box::new(Expr::Param(3))),
+                then_branch: vec![
+                    Stmt::Assign {
+                        name: "res_id".into(),
+                        value: Expr::Param(0),
+                    },
+                    Stmt::Assign {
+                        name: "res_w".into(),
+                        value: Expr::Param(1),
+                    },
+                ],
+                else_branch: vec![
+                    Stmt::Assign {
+                        name: "res_id".into(),
+                        value: Expr::Param(2),
+                    },
+                    Stmt::Assign {
+                        name: "res_w".into(),
+                        value: Expr::Param(3),
+                    },
+                ],
+            }],
+        };
+        // per point: id = ids[i], w = weights[n*I + i]
+        let sf = ScalarFunction {
+            name: "point".into(),
+            params: vec![
+                ("id".into(), BasicType::I64),
+                ("w".into(), BasicType::F64),
+            ],
+            results: vec![
+                ("res_id".into(), BasicType::I64),
+                ("res_w".into(), BasicType::F64),
+            ],
+            body: vec![
+                Stmt::Assign {
+                    name: "res_id".into(),
+                    value: Expr::Param(0),
+                },
+                Stmt::Assign {
+                    name: "res_w".into(),
+                    value: Expr::Param(1),
+                },
+            ],
+        };
+        let prog = DslBuilder::new("prl_like", vec![n, i])
+            .out_buffer("match_id", BasicType::I64)
+            .out_access("match_id", IndexFn::select(2, &[0]))
+            .out_buffer("match_w", BasicType::F64)
+            .out_access("match_w", IndexFn::select(2, &[0]))
+            .inp_buffer("ids", BasicType::I64)
+            .inp_access("ids", IndexFn::select(2, &[1]))
+            .inp_buffer("weights", BasicType::F64)
+            .inp_access("weights", IndexFn::identity(2, 2))
+            .scalar_function(sf)
+            .combine_ops(vec![
+                CombineOp::cc(),
+                CombineOp::pw_custom(argmax).unwrap(),
+            ])
+            .build()
+            .unwrap();
+        let ids = Buffer::from_i64("ids", Shape::new(vec![i]), (0..i as i64).collect());
+        let mut weights = Buffer::zeros("weights", BasicType::F64, Shape::new(vec![n, i]));
+        weights.fill_with(|f| ((f * 29) % 97) as f64);
+        let inputs = vec![ids, weights];
+        let expect = evaluate_recursive(&prog, &inputs).unwrap();
+        // split the reduction dim to exercise tuple-wide group combining
+        let got = run_with(&prog, &inputs, vec![2, 5], true);
+        assert_eq!(got[0], expect[0]);
+        assert!(got[1].approx_eq(&expect[1], 1e-12));
+    }
+
+    #[test]
+    fn scan_mode_matches_reference() {
+        // MBBS-like: ps(add) over i, pw(add) over j
+        let (i, j) = (9, 5);
+        let prog = DslBuilder::new("mbbs", vec![i, j])
+            .out_buffer("out", BasicType::F64)
+            .out_access("out", IndexFn::select(2, &[0]))
+            .inp_buffer("M", BasicType::F64)
+            .inp_access("M", IndexFn::identity(2, 2))
+            .scalar_function(ScalarFunction::identity("id", mdh_core::types::ScalarKind::F64))
+            .combine_ops(vec![CombineOp::ps_add(), CombineOp::pw_add()])
+            .build()
+            .unwrap();
+        let mut m = Buffer::zeros("M", BasicType::F64, Shape::new(vec![i, j]));
+        m.fill_with(|f| ((f * 3) % 7) as f64 - 2.0);
+        let inputs = vec![m];
+        let expect = evaluate_recursive(&prog, &inputs).unwrap();
+        // no split
+        let got = run_with(&prog, &inputs, vec![1, 1], false);
+        assert!(got[0].approx_eq(&expect[0], 1e-12), "unsplit scan");
+        // split the scan dim across 3 tasks
+        let got = run_with(&prog, &inputs, vec![3, 1], true);
+        assert!(got[0].approx_eq(&expect[0], 1e-12), "split scan");
+    }
+
+    #[test]
+    fn scan_mode_rejects_split_pw() {
+        let prog = DslBuilder::new("mbbs", vec![4, 4])
+            .out_buffer("out", BasicType::F64)
+            .out_access("out", IndexFn::select(2, &[0]))
+            .inp_buffer("M", BasicType::F64)
+            .inp_access("M", IndexFn::identity(2, 2))
+            .scalar_function(ScalarFunction::identity("id", mdh_core::types::ScalarKind::F64))
+            .combine_ops(vec![CombineOp::ps_add(), CombineOp::pw_add()])
+            .build()
+            .unwrap();
+        let m = Buffer::zeros("M", BasicType::F64, Shape::new(vec![4, 4]));
+        let mut s = Schedule::sequential(2, DeviceKind::Cpu);
+        s.par_chunks = vec![1, 2];
+        s.reduction = ReductionStrategy::Tree;
+        let plan = ExecutionPlan::build(&prog, &s).unwrap();
+        assert!(run(&prog, &plan, &[m], &pool()).is_err());
+    }
+
+    #[test]
+    fn applicability_checks() {
+        let (prog, _) = matvec_case();
+        assert!(vm_applicable(&prog));
+    }
+}

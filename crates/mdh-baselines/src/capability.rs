@@ -1,0 +1,188 @@
+//! Program-capability analysis.
+//!
+//! The baseline schedulers decide what they can do with a program based on
+//! the same observable features the real systems key off: whether
+//! reduction operators are native (`+`, `*`, `min`, `max`), whether the
+//! loop body contains control flow (Pluto's polyhedral extraction),
+//! whether a prefix-sum operator appears (TVM's `comm_reducer`
+//! restriction), and how much concatenation parallelism exists.
+
+use mdh_core::combine::CombineOp;
+use mdh_core::dsl::DslProgram;
+use mdh_core::expr::{ScalarFunction, Stmt};
+
+/// Whether every reduction operator is native (expressible in an
+/// OpenMP/OpenACC `reduction(...)` clause).
+pub fn all_reductions_native(prog: &DslProgram) -> bool {
+    prog.md_hom
+        .combine_ops
+        .iter()
+        .all(|op| !op.is_reduction() || op.is_native_reduction())
+}
+
+/// Whether the program reduces at all (`pw` or `ps` dimensions).
+pub fn has_reduction(prog: &DslProgram) -> bool {
+    !prog.md_hom.reduction_dims().is_empty()
+}
+
+/// Whether a prefix-sum (`ps`) operator appears.
+pub fn has_prefix_sum(prog: &DslProgram) -> bool {
+    prog.md_hom
+        .combine_ops
+        .iter()
+        .any(|op| matches!(op, CombineOp::Ps(_)))
+}
+
+/// Whether any combine operator is a user-defined function.
+pub fn has_custom_reduction(prog: &DslProgram) -> bool {
+    prog.md_hom.combine_ops.iter().any(|op| match op {
+        CombineOp::Cc => false,
+        CombineOp::Pw(f) | CombineOp::Ps(f) => f.as_builtin().is_none(),
+    })
+}
+
+/// Whether the scalar function's body contains `if` statements — the
+/// feature that makes Pluto's polyhedral extraction fail on PRL
+/// ("Error extracting polyhedra from source", Section 5.2).
+pub fn body_has_control_flow(sf: &ScalarFunction) -> bool {
+    fn walk(body: &[Stmt]) -> bool {
+        body.iter().any(|s| match s {
+            Stmt::If { .. } => true,
+            Stmt::For { body, .. } => walk(body),
+            _ => false,
+        })
+    }
+    walk(&sf.body)
+}
+
+/// Total extent of concatenation dimensions — the parallelism available
+/// to systems that cannot split reductions.
+pub fn cc_parallelism(prog: &DslProgram) -> usize {
+    prog.md_hom
+        .cc_dims()
+        .iter()
+        .map(|&d| prog.md_hom.sizes[d])
+        .product::<usize>()
+        .max(1)
+}
+
+/// Heuristic "is this a simple reduction Numba's analysis handles":
+/// low-rank, single output, native add/mul reduction.
+pub fn numba_auto_parallelizable_reduction(prog: &DslProgram) -> bool {
+    if prog.rank() > 2 || prog.out_view.accesses.len() != 1 {
+        return false;
+    }
+    prog.md_hom.combine_ops.iter().all(|op| match op {
+        CombineOp::Cc => true,
+        CombineOp::Pw(f) => matches!(
+            f.as_builtin(),
+            Some(mdh_core::combine::BuiltinReduce::Add)
+                | Some(mdh_core::combine::BuiltinReduce::Mul)
+        ),
+        CombineOp::Ps(_) => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdh_core::combine::CombineOp;
+    use mdh_core::dsl::{DslBuilder, DslProgram};
+    use mdh_core::expr::{BinOp, Expr, ScalarFunction};
+    use mdh_core::index_fn::{AffineExpr, IndexFn};
+    use mdh_core::types::{BasicType, ScalarKind};
+
+    fn dot(n: usize) -> DslProgram {
+        DslBuilder::new("dot", vec![n])
+            .out_buffer("res", BasicType::F32)
+            .out_access("res", IndexFn::affine(vec![AffineExpr::constant(1, 0)]))
+            .inp_buffer("x", BasicType::F32)
+            .inp_access("x", IndexFn::identity(1, 1))
+            .inp_buffer("y", BasicType::F32)
+            .inp_access("y", IndexFn::identity(1, 1))
+            .scalar_function(ScalarFunction::mul2("f", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::pw_add()])
+            .build()
+            .unwrap()
+    }
+
+    fn custom_max_prog(n: usize) -> DslProgram {
+        let cf = ScalarFunction {
+            name: "mymax".into(),
+            params: vec![
+                ("l".into(), BasicType::F32),
+                ("r".into(), BasicType::F32),
+            ],
+            results: vec![("res".into(), BasicType::F32)],
+            body: vec![mdh_core::expr::Stmt::Assign {
+                name: "res".into(),
+                value: Expr::Select(
+                    Box::new(Expr::Bin(
+                        BinOp::Gt,
+                        Box::new(Expr::Param(0)),
+                        Box::new(Expr::Param(1)),
+                    )),
+                    Box::new(Expr::Param(0)),
+                    Box::new(Expr::Param(1)),
+                ),
+            }],
+        };
+        DslBuilder::new("custom", vec![n])
+            .out_buffer("res", BasicType::F32)
+            .out_access("res", IndexFn::affine(vec![AffineExpr::constant(1, 0)]))
+            .inp_buffer("x", BasicType::F32)
+            .inp_access("x", IndexFn::identity(1, 1))
+            .scalar_function(ScalarFunction::identity("id", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::pw_custom(cf).unwrap()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dot_is_native_reduction() {
+        let p = dot(64);
+        assert!(all_reductions_native(&p));
+        assert!(has_reduction(&p));
+        assert!(!has_prefix_sum(&p));
+        assert!(!has_custom_reduction(&p));
+        assert_eq!(cc_parallelism(&p), 1);
+        assert!(numba_auto_parallelizable_reduction(&p));
+    }
+
+    #[test]
+    fn custom_reduction_detected() {
+        let p = custom_max_prog(64);
+        assert!(!all_reductions_native(&p));
+        assert!(has_custom_reduction(&p));
+        assert!(!numba_auto_parallelizable_reduction(&p));
+    }
+
+    #[test]
+    fn control_flow_detected() {
+        let sf = ScalarFunction {
+            name: "f".into(),
+            params: vec![("a".into(), BasicType::F32)],
+            results: vec![("res".into(), BasicType::F32)],
+            body: vec![mdh_core::expr::Stmt::If {
+                cond: Expr::Bin(
+                    BinOp::Gt,
+                    Box::new(Expr::Param(0)),
+                    Box::new(Expr::lit_f32(0.0)),
+                ),
+                then_branch: vec![mdh_core::expr::Stmt::Assign {
+                    name: "res".into(),
+                    value: Expr::Param(0),
+                }],
+                else_branch: vec![mdh_core::expr::Stmt::Assign {
+                    name: "res".into(),
+                    value: Expr::lit_f32(0.0),
+                }],
+            }],
+        };
+        assert!(body_has_control_flow(&sf));
+        assert!(!body_has_control_flow(&ScalarFunction::mul2(
+            "g",
+            ScalarKind::F32
+        )));
+    }
+}

@@ -1,0 +1,17 @@
+//! # mdh-baselines
+//!
+//! Capability-faithful models of the systems the paper compares against
+//! (Section 5): schedulers for OpenMP, OpenACC, PPCG, Pluto, Numba, and
+//! TVM that encode each system's documented reduction/tiling capabilities
+//! and failure modes, plus hand-optimised vendor-library stand-ins
+//! (oneMKL/oneDNN on CPU, cuBLAS/cuDNN roofline entries on GPU-sim).
+
+#![allow(clippy::needless_range_loop)]
+pub mod capability;
+pub mod schedulers;
+pub mod vendor;
+
+pub use schedulers::{
+    Baseline, NumbaLike, OpenAccLike, OpenMpLike, PlutoLike, PpcgLike, ScheduleError, TvmLike,
+};
+pub use vendor::{VendorCpu, VendorCpuModel, VendorGpu, VendorOp};

@@ -1,0 +1,43 @@
+//! Criterion benches for the high-dimensional contractions (Fig. 4's
+//! CCSD(T), MCC and MCC_Caps rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdh_apps::{instantiate, Scale, StudyId};
+use mdh_backend::cpu::CpuExecutor;
+use mdh_baselines::vendor::VendorCpu;
+use mdh_lowering::asm::DeviceKind;
+use mdh_lowering::heuristics::mdh_default_schedule;
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn bench_study(c: &mut Criterion, name: &'static str, input_no: usize) {
+    let app = instantiate(StudyId { name, input_no }, Scale::Medium).expect("app");
+    let exec = CpuExecutor::new(threads()).expect("executor");
+    let mdh = mdh_default_schedule(&app.program, DeviceKind::Cpu, threads());
+    let vendor = VendorCpu::new(threads());
+
+    let mut g = c.benchmark_group(format!("{name}_inp{input_no}"));
+    g.sample_size(10);
+    g.bench_function("mdh", |b| {
+        b.iter(|| exec.run(&app.program, &mdh, &app.inputs).unwrap())
+    });
+    if let Some(op) = &app.vendor_op {
+        g.bench_function("vendor", |b| {
+            b.iter(|| vendor.run(op, &app.inputs).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_study(c, "CCSD(T)", 1);
+    bench_study(c, "MCC", 2);
+    bench_study(c, "MCC_Caps", 2);
+}
+
+criterion_group!(contraction, benches);
+criterion_main!(contraction);

@@ -1,0 +1,53 @@
+//! Criterion benches for the linear-algebra studies (Fig. 4's Dot,
+//! MatVec, MatMul rows): MDH's tuned CPU execution vs the OpenMP-like
+//! baseline schedule vs the vendor kernels, measured on this host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdh_apps::{instantiate, Scale, StudyId};
+use mdh_backend::cpu::CpuExecutor;
+use mdh_baselines::schedulers::{Baseline, OpenMpLike};
+use mdh_baselines::vendor::VendorCpu;
+use mdh_lowering::asm::DeviceKind;
+use mdh_lowering::heuristics::mdh_default_schedule;
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn bench_study(c: &mut Criterion, name: &'static str, input_no: usize) {
+    let app = instantiate(StudyId { name, input_no }, Scale::Medium).expect("app");
+    let exec = CpuExecutor::new(threads()).expect("executor");
+    let mdh = mdh_default_schedule(&app.program, DeviceKind::Cpu, threads());
+    let omp = OpenMpLike { threads: threads() }
+        .schedule(&app.program)
+        .expect("openmp schedule");
+    let vendor = VendorCpu::new(threads());
+
+    let mut g = c.benchmark_group(format!("{name}_inp{input_no}"));
+    g.sample_size(10);
+    g.bench_function("mdh", |b| {
+        b.iter(|| exec.run(&app.program, &mdh, &app.inputs).unwrap())
+    });
+    g.bench_function("openmp_like", |b| {
+        b.iter(|| exec.run(&app.program, &omp, &app.inputs).unwrap())
+    });
+    if let Some(op) = &app.vendor_op {
+        g.bench_function("vendor", |b| {
+            b.iter(|| vendor.run(op, &app.inputs).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_study(c, "Dot", 1);
+    bench_study(c, "MatVec", 1);
+    bench_study(c, "MatMul", 2);
+    bench_study(c, "MatMul^T", 1);
+    bench_study(c, "bMatMul", 1);
+}
+
+criterion_group!(linalg, benches);
+criterion_main!(linalg);

@@ -1,0 +1,68 @@
+//! Criterion benches for the compilation pipeline itself: directive
+//! parsing + analysis + DSL construction, scalar-function VM compilation,
+//! and the cost models — the overheads a user of the directive pays once
+//! per program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdh_apps::{instantiate, Scale, StudyId};
+use mdh_backend::cpu_model::{estimate_cpu, CpuParams};
+use mdh_backend::gpu::GpuSim;
+use mdh_backend::vm::compile_sf;
+use mdh_directive::{compile, DirectiveEnv};
+use mdh_lowering::asm::DeviceKind;
+use mdh_lowering::heuristics::mdh_default_schedule;
+
+const MATVEC: &str = "\
+@mdh( out( w = Buffer[fp32] ),
+      inp( M = Buffer[fp32], v = Buffer[fp32] ),
+      combine_ops( cc, pw(add) ) )
+def matvec(w, M, v):
+    for i in range(I):
+        for k in range(K):
+            w[i] = M[i, k] * v[k]
+";
+
+fn bench_frontend(c: &mut Criterion) {
+    let env = DirectiveEnv::new().size("I", 4096).size("K", 4096);
+    c.bench_function("directive_compile_matvec", |b| {
+        b.iter(|| compile(MATVEC, &env).unwrap())
+    });
+}
+
+fn bench_vm_compile(c: &mut Criterion) {
+    let app = instantiate(
+        StudyId {
+            name: "PRL",
+            input_no: 1,
+        },
+        Scale::Small,
+    )
+    .expect("prl");
+    c.bench_function("vm_compile_prl_sf", |b| {
+        b.iter(|| compile_sf(&app.program.md_hom.sf).unwrap())
+    });
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    let app = instantiate(
+        StudyId {
+            name: "MatMul",
+            input_no: 1,
+        },
+        Scale::Paper,
+    )
+    .expect("matmul");
+    let gpu = GpuSim::a100(1).expect("sim");
+    let gsched = mdh_default_schedule(&app.program, DeviceKind::Gpu, 108 * 32);
+    c.bench_function("gpu_cost_model_matmul", |b| {
+        b.iter(|| gpu.estimate(&app.program, &gsched).unwrap())
+    });
+    let params = CpuParams::xeon_gold_6140();
+    let csched = mdh_default_schedule(&app.program, DeviceKind::Cpu, params.smt_threads);
+    c.bench_function("cpu_cost_model_matmul", |b| {
+        b.iter(|| estimate_cpu(&app.program, &csched, &params).unwrap())
+    });
+}
+
+criterion_group!(pipeline, bench_frontend, bench_vm_compile, bench_cost_models);
+criterion_main!(pipeline);

@@ -1,0 +1,102 @@
+//! Criterion benches for reduction-operator handling: PRL's custom
+//! tuple-valued combine (the operator baselines cannot express) and
+//! MBBS's prefix sum, plus the sequential-vs-tree reduction ablation on
+//! Dot (the Section 5.2 design point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdh_apps::{instantiate, Scale, StudyId};
+use mdh_backend::cpu::CpuExecutor;
+use mdh_lowering::asm::DeviceKind;
+use mdh_lowering::heuristics::mdh_default_schedule;
+use mdh_lowering::schedule::{ReductionStrategy, Schedule};
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn bench_prl(c: &mut Criterion) {
+    let app = instantiate(
+        StudyId {
+            name: "PRL",
+            input_no: 1,
+        },
+        Scale::Medium,
+    )
+    .expect("prl");
+    let exec = CpuExecutor::new(threads()).expect("executor");
+    let mdh = mdh_default_schedule(&app.program, DeviceKind::Cpu, threads());
+    // the OpenMP treatment: custom reduction stays sequential per thread
+    let mut seq = mdh.clone();
+    for d in app.program.md_hom.reduction_dims() {
+        seq.par_chunks[d] = 1;
+        seq.block_threads[d] = 1;
+    }
+    seq.reduction = ReductionStrategy::Sequential;
+
+    let mut g = c.benchmark_group("PRL_custom_combine");
+    g.sample_size(10);
+    g.bench_function("mdh_reduction_aware", |b| {
+        b.iter(|| exec.run(&app.program, &mdh, &app.inputs).unwrap())
+    });
+    g.bench_function("sequential_reduction", |b| {
+        b.iter(|| exec.run(&app.program, &seq, &app.inputs).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_mbbs(c: &mut Criterion) {
+    let app = instantiate(
+        StudyId {
+            name: "MBBS",
+            input_no: 1,
+        },
+        Scale::Medium,
+    )
+    .expect("mbbs");
+    let exec = CpuExecutor::new(threads()).expect("executor");
+    let seq = Schedule::sequential(2, DeviceKind::Cpu);
+    let mut par = seq.clone();
+    par.par_chunks = vec![threads().max(2), 1];
+    par.reduction = ReductionStrategy::Tree;
+
+    let mut g = c.benchmark_group("MBBS_prefix_sum");
+    g.sample_size(10);
+    g.bench_function("sequential_scan", |b| {
+        b.iter(|| exec.run(&app.program, &seq, &app.inputs).unwrap())
+    });
+    g.bench_function("split_scan", |b| {
+        b.iter(|| exec.run(&app.program, &par, &app.inputs).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_dot_reduction(c: &mut Criterion) {
+    let app = instantiate(
+        StudyId {
+            name: "Dot",
+            input_no: 1,
+        },
+        Scale::Medium,
+    )
+    .expect("dot");
+    let exec = CpuExecutor::new(threads()).expect("executor");
+    let seq = Schedule::sequential(1, DeviceKind::Cpu);
+    let mut tree = seq.clone();
+    tree.par_chunks = vec![threads().max(2) * 4];
+    tree.reduction = ReductionStrategy::Tree;
+
+    let mut g = c.benchmark_group("Dot_reduction_strategy");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| exec.run(&app.program, &seq, &app.inputs).unwrap())
+    });
+    g.bench_function("tree", |b| {
+        b.iter(|| exec.run(&app.program, &tree, &app.inputs).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(reduction_ops, bench_prl, bench_mbbs, bench_dot_reduction);
+criterion_main!(reduction_ops);

@@ -1,0 +1,43 @@
+//! Criterion benches for the stencil studies (Fig. 4's Gaussian_2D and
+//! Jacobi_3D rows): the reduction-free path through the map kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdh_apps::{instantiate, Scale, StudyId};
+use mdh_backend::cpu::CpuExecutor;
+use mdh_baselines::schedulers::{Baseline, NumbaLike};
+use mdh_lowering::asm::DeviceKind;
+use mdh_lowering::heuristics::mdh_default_schedule;
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn bench_study(c: &mut Criterion, name: &'static str, input_no: usize) {
+    let app = instantiate(StudyId { name, input_no }, Scale::Medium).expect("app");
+    let exec = CpuExecutor::new(threads()).expect("executor");
+    let mdh = mdh_default_schedule(&app.program, DeviceKind::Cpu, threads());
+    let numba = NumbaLike { threads: threads() }
+        .schedule(&app.program)
+        .expect("numba schedule");
+
+    let mut g = c.benchmark_group(format!("{name}_inp{input_no}"));
+    g.sample_size(10);
+    g.bench_function("mdh", |b| {
+        b.iter(|| exec.run(&app.program, &mdh, &app.inputs).unwrap())
+    });
+    g.bench_function("numba_like", |b| {
+        b.iter(|| exec.run(&app.program, &numba, &app.inputs).unwrap())
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_study(c, "Gaussian_2D", 1);
+    bench_study(c, "Jacobi_3D", 1);
+    bench_study(c, "Jacobi1D", 1);
+}
+
+criterion_group!(stencil, benches);
+criterion_main!(stencil);

@@ -1,0 +1,55 @@
+//! Regenerates Figure 3: the table of computation and data
+//! characteristics for every case study.
+//!
+//! Usage: `cargo run -p mdh-bench --bin figure3 [-- --scale paper|medium|small]`
+//!
+//! The default scale is `paper`, reproducing the paper's sizes (no
+//! computation runs — only program construction and static analysis).
+
+use mdh_apps::instantiate;
+use mdh_bench::parse_scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| parse_scale(s))
+        .unwrap_or(mdh_apps::Scale::Paper);
+
+    println!("Figure 3: characteristics of computations and data (scale: {scale:?})\n");
+    println!(
+        "{:<12} {:>4} {:<11} {:>9} {:<9} {:>4} {:<34} {:<22} {:<17}",
+        "Computation", "No.", "Iter.Space", "Red.Dim.", "Data Acc.", "Inp.", "Sizes", "Basic Type", "Domain"
+    );
+    println!("{}", "-".repeat(130));
+
+    for &id in mdh_apps::FIG3_STUDIES {
+        let app = match instantiate(id, scale) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{} (Inp. {}): {e}", id.name, id.input_no);
+                continue;
+            }
+        };
+        let stats = app.program.stats();
+        let acc = match stats.injective_accesses {
+            Some(true) => "Inj.",
+            Some(false) => "Non-Inj.",
+            None => "Unknown",
+        };
+        println!(
+            "{:<12} {:>4} {:<11} {:>9} {:<9} {:>4} {:<34} {:<22} {:<17}",
+            app.name,
+            app.input_no,
+            format!("{}D", stats.rank),
+            stats.reduction_dims,
+            acc,
+            app.program.inp_view.buffers.len(),
+            app.sizes_desc,
+            app.basic_type_desc(),
+            app.domain,
+        );
+    }
+}

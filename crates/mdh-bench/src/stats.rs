@@ -1,0 +1,188 @@
+//! Statistical measurement protocol (Section 5.1).
+//!
+//! The paper follows Hoefler & Belli's *Scientific Benchmarking of
+//! Parallel Computing Systems* (SC'15): "we collect measurements until
+//! the 99% confidence interval was within 5% of our reported means".
+//! [`measure_until_ci`] implements exactly that stopping rule with a
+//! Student-t confidence interval.
+
+/// Two-sided Student-t critical value for the given confidence level and
+/// degrees of freedom (piecewise table + normal asymptote; 99% and 95%
+/// supported exactly, others fall back to 95%).
+pub fn t_critical(confidence: f64, dof: usize) -> f64 {
+    // tables for p = 0.995 (99% two-sided) and p = 0.975 (95% two-sided)
+    const T99: &[f64] = &[
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055,
+        3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797,
+        2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+    ];
+    const T95: &[f64] = &[
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    let table = if confidence >= 0.985 { T99 } else { T95 };
+    let asymptote = if confidence >= 0.985 { 2.576 } else { 1.960 };
+    if dof == 0 {
+        return f64::INFINITY;
+    }
+    if dof <= table.len() {
+        table[dof - 1]
+    } else if dof <= 60 {
+        // linear-ish interpolation toward the asymptote
+        let t30 = table[table.len() - 1];
+        t30 + (asymptote - t30) * ((dof - 30) as f64 / 30.0)
+    } else {
+        asymptote
+    }
+}
+
+/// Summary of a measurement session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    pub mean: f64,
+    pub std_dev: f64,
+    /// Half-width of the confidence interval.
+    pub ci_half_width: f64,
+    pub samples: usize,
+    /// Whether the stopping criterion was met (false = hit `max_samples`).
+    pub converged: bool,
+}
+
+impl Measurement {
+    /// Relative CI half-width (the paper's 5% criterion).
+    pub fn rel_ci(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.ci_half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Compute mean, sample standard deviation, and CI half-width.
+pub fn summarize(samples: &[f64], confidence: f64) -> Measurement {
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n.max(1) as f64;
+    if n < 2 {
+        return Measurement {
+            mean,
+            std_dev: 0.0,
+            ci_half_width: f64::INFINITY,
+            samples: n,
+            converged: false,
+        };
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+    let std_dev = var.sqrt();
+    let ci_half_width = t_critical(confidence, n - 1) * std_dev / (n as f64).sqrt();
+    Measurement {
+        mean,
+        std_dev,
+        ci_half_width,
+        samples: n,
+        converged: false,
+    }
+}
+
+/// Run `f` repeatedly until the `confidence` CI is within `rel_width` of
+/// the mean (the paper uses 0.99 and 0.05), bounded by `max_samples`.
+pub fn measure_until_ci(
+    mut f: impl FnMut() -> f64,
+    confidence: f64,
+    rel_width: f64,
+    min_samples: usize,
+    max_samples: usize,
+) -> Measurement {
+    let mut samples = Vec::with_capacity(min_samples.max(4));
+    loop {
+        samples.push(f());
+        if samples.len() >= min_samples.max(2) {
+            let mut m = summarize(&samples, confidence);
+            if m.rel_ci() <= rel_width {
+                m.converged = true;
+                return m;
+            }
+            if samples.len() >= max_samples {
+                return m;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_spot_checks() {
+        assert!((t_critical(0.99, 1) - 63.657).abs() < 1e-3);
+        assert!((t_critical(0.99, 10) - 3.169).abs() < 1e-3);
+        assert!((t_critical(0.95, 5) - 2.571).abs() < 1e-3);
+        assert!((t_critical(0.99, 1000) - 2.576).abs() < 1e-3);
+        assert!(t_critical(0.99, 4) > t_critical(0.95, 4), "99% CI is wider");
+        assert_eq!(t_critical(0.99, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn constant_samples_converge_immediately() {
+        let m = measure_until_ci(|| 5.0, 0.99, 0.05, 3, 100);
+        assert!(m.converged);
+        assert_eq!(m.samples, 3);
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        assert!(m.ci_half_width < 1e-9);
+    }
+
+    #[test]
+    fn noisy_samples_take_more_measurements() {
+        // deterministic "noise": alternating values
+        let mut i = 0usize;
+        let m = measure_until_ci(
+            move || {
+                i += 1;
+                if i.is_multiple_of(2) {
+                    10.0
+                } else {
+                    11.0
+                }
+            },
+            0.99,
+            0.05,
+            3,
+            500,
+        );
+        assert!(m.converged, "{m:?}");
+        assert!(m.samples > 3, "alternating values need several samples");
+        assert!((m.mean - 10.5).abs() < 0.3);
+    }
+
+    #[test]
+    fn divergent_noise_hits_cap() {
+        let mut i = 0.0f64;
+        let m = measure_until_ci(
+            move || {
+                i += 1.0;
+                i * i // growing values never stabilise
+            },
+            0.99,
+            0.05,
+            3,
+            25,
+        );
+        assert!(!m.converged);
+        assert_eq!(m.samples, 25);
+    }
+
+    #[test]
+    fn summarize_matches_hand_computation() {
+        let s = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let m = summarize(&s, 0.95);
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        // sample std dev of this classic set is ~2.138
+        assert!((m.std_dev - 2.13809).abs() < 1e-4);
+        assert_eq!(m.samples, 8);
+        // CI half width = t(0.975, 7) * sd / sqrt(8)
+        let expect = 2.365 * m.std_dev / (8f64).sqrt();
+        assert!((m.ci_half_width - expect).abs() < 1e-9);
+    }
+}

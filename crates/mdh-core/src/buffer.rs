@@ -1,0 +1,487 @@
+//! Multi-dimensional buffers.
+//!
+//! Buffers hold the inputs and outputs declared in the directive's
+//! `inp(...)` / `out(...)` clauses. Primitive buffers store their elements
+//! contiguously; record buffers (as used by PRL) are stored column-wise
+//! (structure-of-arrays), which is both what a real code generator would
+//! emit for GPU-friendly layouts and what our register-VM backend loads
+//! from.
+
+use crate::error::MdhError;
+use crate::shape::Shape;
+use crate::types::{BasicType, FieldType, RecordType, ScalarKind, Value};
+use std::sync::Arc;
+
+/// Typed storage for the elements of a buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BufferData {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    Bool(Vec<bool>),
+    Char(Vec<u8>),
+    /// Column-wise record storage: one column per field; array fields store
+    /// `lanes` consecutive primitive values per element.
+    Record(RecordStorage),
+}
+
+/// Structure-of-arrays storage for record buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordStorage {
+    pub record: Arc<RecordType>,
+    pub columns: Vec<Column>,
+}
+
+/// One field column of a record buffer. Length = `n_elems * field.lanes()`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    Bool(Vec<bool>),
+    Char(Vec<u8>),
+}
+
+impl Column {
+    fn zeros(kind: ScalarKind, n: usize) -> Column {
+        match kind {
+            ScalarKind::F32 => Column::F32(vec![0.0; n]),
+            ScalarKind::F64 => Column::F64(vec![0.0; n]),
+            ScalarKind::I32 => Column::I32(vec![0; n]),
+            ScalarKind::I64 => Column::I64(vec![0; n]),
+            ScalarKind::Bool => Column::Bool(vec![false; n]),
+            ScalarKind::Char => Column::Char(vec![0; n]),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Column::F32(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::I32(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Char(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            Column::F32(v) => Value::F32(v[i]),
+            Column::F64(v) => Value::F64(v[i]),
+            Column::I32(v) => Value::I32(v[i]),
+            Column::I64(v) => Value::I64(v[i]),
+            Column::Bool(v) => Value::Bool(v[i]),
+            Column::Char(v) => Value::Char(v[i]),
+        }
+    }
+
+    pub fn set(&mut self, i: usize, val: &Value) -> Result<(), MdhError> {
+        match (self, val) {
+            (Column::F32(v), Value::F32(x)) => v[i] = *x,
+            (Column::F64(v), Value::F64(x)) => v[i] = *x,
+            (Column::I32(v), Value::I32(x)) => v[i] = *x,
+            (Column::I64(v), Value::I64(x)) => v[i] = *x,
+            (Column::Bool(v), Value::Bool(x)) => v[i] = *x,
+            (Column::Char(v), Value::Char(x)) => v[i] = *x,
+            (col, val) => {
+                // allow numeric coercion
+                let kind = match col {
+                    Column::F32(_) => ScalarKind::F32,
+                    Column::F64(_) => ScalarKind::F64,
+                    Column::I32(_) => ScalarKind::I32,
+                    Column::I64(_) => ScalarKind::I64,
+                    Column::Bool(_) => ScalarKind::Bool,
+                    Column::Char(_) => ScalarKind::Char,
+                };
+                let coerced = val.cast(kind).ok_or_else(|| {
+                    MdhError::Type(format!(
+                        "cannot store {} into {kind} column",
+                        val.kind_name()
+                    ))
+                })?;
+                return col.set(i, &coerced);
+            }
+        }
+        Ok(())
+    }
+
+    /// Read i64 without allocation (integral columns).
+    pub fn get_i64(&self, i: usize) -> i64 {
+        match self {
+            Column::F32(v) => v[i] as i64,
+            Column::F64(v) => v[i] as i64,
+            Column::I32(v) => v[i] as i64,
+            Column::I64(v) => v[i],
+            Column::Bool(v) => v[i] as i64,
+            Column::Char(v) => v[i] as i64,
+        }
+    }
+
+    /// Read f64 without allocation.
+    pub fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            Column::F32(v) => v[i] as f64,
+            Column::F64(v) => v[i],
+            Column::I32(v) => v[i] as f64,
+            Column::I64(v) => v[i] as f64,
+            Column::Bool(v) => v[i] as i64 as f64,
+            Column::Char(v) => v[i] as f64,
+        }
+    }
+
+    pub fn set_f64(&mut self, i: usize, x: f64) {
+        match self {
+            Column::F32(v) => v[i] = x as f32,
+            Column::F64(v) => v[i] = x,
+            Column::I32(v) => v[i] = x as i32,
+            Column::I64(v) => v[i] = x as i64,
+            Column::Bool(v) => v[i] = x != 0.0,
+            Column::Char(v) => v[i] = x as u8,
+        }
+    }
+
+    pub fn set_i64(&mut self, i: usize, x: i64) {
+        match self {
+            Column::F32(v) => v[i] = x as f32,
+            Column::F64(v) => v[i] = x as f64,
+            Column::I32(v) => v[i] = x as i32,
+            Column::I64(v) => v[i] = x,
+            Column::Bool(v) => v[i] = x != 0,
+            Column::Char(v) => v[i] = x as u8,
+        }
+    }
+}
+
+/// A multi-dimensional buffer with a basic element type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buffer {
+    pub name: String,
+    pub ty: BasicType,
+    pub shape: Shape,
+    pub data: BufferData,
+}
+
+impl Buffer {
+    /// Allocate a zero-initialised buffer.
+    pub fn zeros(name: impl Into<String>, ty: BasicType, shape: Shape) -> Buffer {
+        let n = shape.len();
+        let data = match &ty {
+            BasicType::Scalar(ScalarKind::F32) => BufferData::F32(vec![0.0; n]),
+            BasicType::Scalar(ScalarKind::F64) => BufferData::F64(vec![0.0; n]),
+            BasicType::Scalar(ScalarKind::I32) => BufferData::I32(vec![0; n]),
+            BasicType::Scalar(ScalarKind::I64) => BufferData::I64(vec![0; n]),
+            BasicType::Scalar(ScalarKind::Bool) => BufferData::Bool(vec![false; n]),
+            BasicType::Scalar(ScalarKind::Char) => BufferData::Char(vec![0; n]),
+            BasicType::Record(rec) => BufferData::Record(RecordStorage {
+                record: rec.clone(),
+                columns: rec
+                    .fields
+                    .iter()
+                    .map(|(_, ft)| Column::zeros(ft.kind(), n * ft.lanes()))
+                    .collect(),
+            }),
+        };
+        Buffer {
+            name: name.into(),
+            ty,
+            shape,
+            data,
+        }
+    }
+
+    /// Build an f32 buffer from existing data.
+    pub fn from_f32(name: impl Into<String>, shape: Shape, data: Vec<f32>) -> Buffer {
+        assert_eq!(shape.len(), data.len(), "shape/data length mismatch");
+        Buffer {
+            name: name.into(),
+            ty: BasicType::F32,
+            shape,
+            data: BufferData::F32(data),
+        }
+    }
+
+    /// Build an f64 buffer from existing data.
+    pub fn from_f64(name: impl Into<String>, shape: Shape, data: Vec<f64>) -> Buffer {
+        assert_eq!(shape.len(), data.len(), "shape/data length mismatch");
+        Buffer {
+            name: name.into(),
+            ty: BasicType::F64,
+            shape,
+            data: BufferData::F64(data),
+        }
+    }
+
+    /// Build an i64 buffer from existing data.
+    pub fn from_i64(name: impl Into<String>, shape: Shape, data: Vec<i64>) -> Buffer {
+        assert_eq!(shape.len(), data.len(), "shape/data length mismatch");
+        Buffer {
+            name: name.into(),
+            ty: BasicType::I64,
+            shape,
+            data: BufferData::I64(data),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.len() * self.ty.size_bytes()
+    }
+
+    /// Read element at a multi-index as a dynamic value.
+    pub fn get(&self, idx: &[usize]) -> Value {
+        let flat = self.shape.linearize(idx);
+        self.get_flat(flat)
+    }
+
+    /// Read element at a flat index.
+    pub fn get_flat(&self, flat: usize) -> Value {
+        match &self.data {
+            BufferData::F32(v) => Value::F32(v[flat]),
+            BufferData::F64(v) => Value::F64(v[flat]),
+            BufferData::I32(v) => Value::I32(v[flat]),
+            BufferData::I64(v) => Value::I64(v[flat]),
+            BufferData::Bool(v) => Value::Bool(v[flat]),
+            BufferData::Char(v) => Value::Char(v[flat]),
+            BufferData::Record(rs) => Value::Record(
+                rs.record
+                    .fields
+                    .iter()
+                    .zip(&rs.columns)
+                    .map(|((_, ft), col)| match ft {
+                        FieldType::Scalar(_) => col.get(flat),
+                        FieldType::Array(_, lanes) => Value::Array(
+                            (0..*lanes).map(|l| col.get(flat * lanes + l)).collect(),
+                        ),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Write element at a multi-index.
+    pub fn set(&mut self, idx: &[usize], val: &Value) -> Result<(), MdhError> {
+        let flat = self.shape.linearize(idx);
+        self.set_flat(flat, val)
+    }
+
+    /// Write element at a flat index.
+    pub fn set_flat(&mut self, flat: usize, val: &Value) -> Result<(), MdhError> {
+        match (&mut self.data, val) {
+            (BufferData::F32(v), Value::F32(x)) => v[flat] = *x,
+            (BufferData::F64(v), Value::F64(x)) => v[flat] = *x,
+            (BufferData::I32(v), Value::I32(x)) => v[flat] = *x,
+            (BufferData::I64(v), Value::I64(x)) => v[flat] = *x,
+            (BufferData::Bool(v), Value::Bool(x)) => v[flat] = *x,
+            (BufferData::Char(v), Value::Char(x)) => v[flat] = *x,
+            (BufferData::Record(rs), Value::Record(fields)) => {
+                if fields.len() != rs.columns.len() {
+                    return Err(MdhError::Type(format!(
+                        "record value with {} fields stored into record type {} with {} fields",
+                        fields.len(),
+                        rs.record.name,
+                        rs.columns.len()
+                    )));
+                }
+                let field_types: Vec<FieldType> =
+                    rs.record.fields.iter().map(|(_, ft)| *ft).collect();
+                for ((col, fval), ft) in rs.columns.iter_mut().zip(fields).zip(field_types) {
+                    match (ft, fval) {
+                        (FieldType::Scalar(_), v) => col.set(flat, v)?,
+                        (FieldType::Array(_, lanes), Value::Array(items)) => {
+                            if items.len() != lanes {
+                                return Err(MdhError::Type(
+                                    "array field length mismatch".into(),
+                                ));
+                            }
+                            for (l, item) in items.iter().enumerate() {
+                                col.set(flat * lanes + l, item)?;
+                            }
+                        }
+                        (FieldType::Array(..), other) => {
+                            return Err(MdhError::Type(format!(
+                                "expected array for array field, got {}",
+                                other.kind_name()
+                            )))
+                        }
+                    }
+                }
+            }
+            (_, val) => {
+                // numeric coercion for scalar buffers
+                if let BasicType::Scalar(kind) = self.ty.clone() {
+                    let coerced = val.cast(kind).ok_or_else(|| {
+                        MdhError::Type(format!(
+                            "cannot store {} into {kind} buffer '{}'",
+                            val.kind_name(),
+                            self.name
+                        ))
+                    })?;
+                    return self.set_flat(flat, &coerced);
+                }
+                return Err(MdhError::Type(format!(
+                    "cannot store {} into buffer '{}' of type {}",
+                    val.kind_name(),
+                    self.name,
+                    self.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fill a scalar buffer from an `f64`-producing function of the flat index.
+    pub fn fill_with(&mut self, f: impl Fn(usize) -> f64) {
+        match &mut self.data {
+            BufferData::F32(v) => v.iter_mut().enumerate().for_each(|(i, x)| *x = f(i) as f32),
+            BufferData::F64(v) => v.iter_mut().enumerate().for_each(|(i, x)| *x = f(i)),
+            BufferData::I32(v) => v.iter_mut().enumerate().for_each(|(i, x)| *x = f(i) as i32),
+            BufferData::I64(v) => v.iter_mut().enumerate().for_each(|(i, x)| *x = f(i) as i64),
+            BufferData::Bool(v) => v
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, x)| *x = f(i) != 0.0),
+            BufferData::Char(v) => v.iter_mut().enumerate().for_each(|(i, x)| *x = f(i) as u8),
+            BufferData::Record(_) => panic!("fill_with is only defined for scalar buffers"),
+        }
+    }
+
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match &self.data {
+            BufferData::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f32_mut(&mut self) -> Option<&mut [f32]> {
+        match &mut self.data {
+            BufferData::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match &self.data {
+            BufferData::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match &self.data {
+            BufferData::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn record_storage(&self) -> Option<&RecordStorage> {
+        match &self.data {
+            BufferData::Record(rs) => Some(rs),
+            _ => None,
+        }
+    }
+
+    pub fn record_storage_mut(&mut self) -> Option<&mut RecordStorage> {
+        match &mut self.data {
+            BufferData::Record(rs) => Some(rs),
+            _ => None,
+        }
+    }
+
+    /// Approximate element-wise equality (testing helper).
+    pub fn approx_eq(&self, other: &Buffer, rel_tol: f64) -> bool {
+        if self.shape != other.shape || self.ty != other.ty {
+            return false;
+        }
+        (0..self.len()).all(|i| self.get_flat(i).approx_eq(&other.get_flat(i), rel_tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RecordType;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut b = Buffer::zeros("w", BasicType::F32, Shape::new(vec![2, 3]));
+        b.set(&[1, 2], &Value::F32(4.5)).unwrap();
+        assert_eq!(b.get(&[1, 2]), Value::F32(4.5));
+        assert_eq!(b.get(&[0, 0]), Value::F32(0.0));
+    }
+
+    #[test]
+    fn numeric_coercion_on_store() {
+        let mut b = Buffer::zeros("x", BasicType::I64, Shape::new(vec![2]));
+        b.set(&[0], &Value::I32(7)).unwrap();
+        assert_eq!(b.get(&[0]), Value::I64(7));
+    }
+
+    #[test]
+    fn record_roundtrip_soa() {
+        let rec = RecordType::new(
+            "db",
+            vec![
+                ("id".into(), FieldType::Scalar(ScalarKind::I64)),
+                ("values".into(), FieldType::Array(ScalarKind::F64, 3)),
+            ],
+        );
+        let mut b = Buffer::zeros("probM", BasicType::Record(rec.clone()), Shape::new(vec![4]));
+        let v = Value::Record(vec![
+            Value::I64(42),
+            Value::Array(vec![Value::F64(1.0), Value::F64(2.0), Value::F64(3.0)]),
+        ]);
+        b.set(&[2], &v).unwrap();
+        assert_eq!(b.get(&[2]), v);
+        assert_eq!(b.get(&[0]), rec.zero());
+        // verify columnar layout
+        let rs = b.record_storage().unwrap();
+        assert_eq!(rs.columns[0].len(), 4);
+        assert_eq!(rs.columns[1].len(), 12);
+        assert_eq!(rs.columns[1].get_f64(2 * 3 + 1), 2.0);
+    }
+
+    #[test]
+    fn record_store_wrong_arity_fails() {
+        let rec = RecordType::new("r", vec![("a".into(), FieldType::Scalar(ScalarKind::F32))]);
+        let mut b = Buffer::zeros("b", BasicType::Record(rec), Shape::new(vec![1]));
+        let err = b.set(&[0], &Value::Record(vec![Value::F32(1.0), Value::F32(2.0)]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn fill_with_and_slices() {
+        let mut b = Buffer::zeros("m", BasicType::F32, Shape::new(vec![4]));
+        b.fill_with(|i| i as f64 * 2.0);
+        assert_eq!(b.as_f32().unwrap(), &[0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn approx_eq_buffers() {
+        let mut a = Buffer::zeros("a", BasicType::F32, Shape::new(vec![3]));
+        let mut b = Buffer::zeros("b", BasicType::F32, Shape::new(vec![3]));
+        a.fill_with(|i| i as f64);
+        b.fill_with(|i| i as f64 + 1e-9);
+        // names differ but shape/type/content match approximately
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn size_bytes() {
+        let b = Buffer::zeros("m", BasicType::F64, Shape::new(vec![10, 10]));
+        assert_eq!(b.size_bytes(), 800);
+    }
+}

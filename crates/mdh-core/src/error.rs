@@ -1,0 +1,52 @@
+//! Error types shared across the MDH core.
+
+use std::fmt;
+
+/// Errors produced by validation, evaluation, and transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MdhError {
+    /// A type error (mismatched buffer/value/parameter types).
+    Type(String),
+    /// A structural validation error in a DSL program or directive.
+    Validation(String),
+    /// An error evaluating a scalar function or combine operator.
+    Eval(String),
+    /// An out-of-bounds buffer access.
+    OutOfBounds {
+        buffer: String,
+        index: Vec<usize>,
+        shape: Vec<usize>,
+    },
+    /// A parse error in the textual directive language (line, column, message).
+    Parse {
+        line: usize,
+        col: usize,
+        message: String,
+    },
+}
+
+impl fmt::Display for MdhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdhError::Type(m) => write!(f, "type error: {m}"),
+            MdhError::Validation(m) => write!(f, "validation error: {m}"),
+            MdhError::Eval(m) => write!(f, "evaluation error: {m}"),
+            MdhError::OutOfBounds {
+                buffer,
+                index,
+                shape,
+            } => write!(
+                f,
+                "out-of-bounds access to buffer '{buffer}': index {index:?} vs shape {shape:?}"
+            ),
+            MdhError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MdhError {}
+
+/// Convenient result alias.
+pub type Result<T, E = MdhError> = std::result::Result<T, E>;

@@ -1,0 +1,217 @@
+//! Input and output views.
+//!
+//! Views are the MDH DSL's higher-order functions `inp_view` / `out_view`
+//! (Listing 7): they declare the program's buffers and, for each buffer, the
+//! list of *accesses* — index functions from the iteration space into the
+//! buffer. A buffer may be accessed several times per iteration point
+//! (`#ACC_b` in the paper), as in a 3-point stencil reading `in[2i]`,
+//! `in[2i+1]`, `in[2i+2]`.
+
+use crate::index_fn::IndexFn;
+use crate::shape::MdRange;
+use crate::types::BasicType;
+
+/// Declaration of one buffer (name, element type, optionally an explicit
+/// shape — required when the buffer is larger than the accessed region, as
+/// for MCC's enlarged `img` buffer in Listing 12; otherwise the shape is
+/// inferred per footnote 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferDecl {
+    pub name: String,
+    pub ty: BasicType,
+    pub declared_shape: Option<Vec<usize>>,
+}
+
+impl BufferDecl {
+    pub fn new(name: impl Into<String>, ty: BasicType) -> Self {
+        BufferDecl {
+            name: name.into(),
+            ty,
+            declared_shape: None,
+        }
+    }
+
+    pub fn with_shape(name: impl Into<String>, ty: BasicType, shape: Vec<usize>) -> Self {
+        BufferDecl {
+            name: name.into(),
+            ty,
+            declared_shape: Some(shape),
+        }
+    }
+}
+
+/// One access: which buffer, through which index function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    /// Index into the view's buffer declarations.
+    pub buffer: usize,
+    pub index_fn: IndexFn,
+}
+
+impl Access {
+    pub fn new(buffer: usize, index_fn: IndexFn) -> Self {
+        Access { buffer, index_fn }
+    }
+}
+
+/// A view: buffer declarations plus an ordered access list. The access
+/// order defines the parameter order (for `inp_view`) or result order (for
+/// `out_view`) of the scalar function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct View {
+    pub buffers: Vec<BufferDecl>,
+    pub accesses: Vec<Access>,
+}
+
+impl View {
+    pub fn new(buffers: Vec<BufferDecl>, accesses: Vec<Access>) -> Self {
+        View { buffers, accesses }
+    }
+
+    pub fn empty() -> Self {
+        View {
+            buffers: Vec::new(),
+            accesses: Vec::new(),
+        }
+    }
+
+    pub fn buffer_index(&self, name: &str) -> Option<usize> {
+        self.buffers.iter().position(|b| b.name == name)
+    }
+
+    /// Accesses referring to buffer `b`.
+    pub fn accesses_of(&self, b: usize) -> impl Iterator<Item = &Access> {
+        self.accesses.iter().filter(move |a| a.buffer == b)
+    }
+
+    /// Effective shape of buffer `b`: the declared shape if present, else
+    /// the smallest shape covering all accesses over `range` (footnote 7).
+    /// Returns `None` if inference is impossible (general index function
+    /// and no declaration).
+    pub fn effective_shape(&self, b: usize, range: &MdRange) -> Option<Vec<usize>> {
+        if let Some(s) = &self.buffers[b].declared_shape {
+            return Some(s.clone());
+        }
+        let mut shape: Option<Vec<usize>> = None;
+        for a in self.accesses_of(b) {
+            let ext = a.index_fn.inferred_extents(range)?;
+            shape = Some(match shape {
+                None => ext,
+                Some(prev) => {
+                    if prev.len() != ext.len() {
+                        return None;
+                    }
+                    prev.iter().zip(&ext).map(|(&a, &b)| a.max(b)).collect()
+                }
+            });
+        }
+        shape
+    }
+
+    /// Total bytes accessed (footprint) in buffer `b` over an iteration
+    /// sub-range — the quantity the tiling cost model charges per tile.
+    pub fn footprint_bytes(&self, b: usize, range: &MdRange) -> Option<usize> {
+        let elem = self.buffers[b].ty.size_bytes();
+        // Union-of-boxes approximated by the bounding box of each access,
+        // deduplicated by taking the max single bounding box when all
+        // accesses are shifted copies (the common stencil case), else the
+        // sum of boxes.
+        let mut boxes: Vec<Vec<usize>> = Vec::new();
+        for a in self.accesses_of(b) {
+            boxes.push(a.index_fn.footprint(range)?);
+        }
+        if boxes.is_empty() {
+            return Some(0);
+        }
+        // bounding box over all accesses: conservative union for shifted
+        // stencil accesses
+        let rank = boxes[0].len();
+        if boxes.iter().any(|bx| bx.len() != rank) {
+            return None;
+        }
+        let mut hull = vec![0usize; rank];
+        for bx in &boxes {
+            for d in 0..rank {
+                hull[d] = hull[d].max(bx[d]);
+            }
+        }
+        // shifted accesses widen the hull by at most their shift; we
+        // approximate the union as the max box extents + (n_boxes - 1) in
+        // the innermost dim, capped by a plain sum of boxes.
+        let sum: usize = boxes
+            .iter()
+            .map(|bx| bx.iter().product::<usize>())
+            .sum::<usize>();
+        let hull_elems: usize = hull.iter().product();
+        Some(hull_elems.min(sum).max(1) * elem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index_fn::{AffineExpr, IndexFn};
+    use crate::types::BasicType;
+
+    /// MatVec input view: M accessed as (i,k)->(i,k), v as (i,k)->(k).
+    fn matvec_inp() -> View {
+        View::new(
+            vec![
+                BufferDecl::new("M", BasicType::F32),
+                BufferDecl::new("v", BasicType::F32),
+            ],
+            vec![
+                Access::new(0, IndexFn::identity(2, 2)),
+                Access::new(1, IndexFn::select(2, &[1])),
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_inference_matvec() {
+        let v = matvec_inp();
+        let range = MdRange::full(&[4, 7]);
+        assert_eq!(v.effective_shape(0, &range), Some(vec![4, 7]));
+        assert_eq!(v.effective_shape(1, &range), Some(vec![7]));
+    }
+
+    #[test]
+    fn declared_shape_wins() {
+        let mut v = matvec_inp();
+        v.buffers[0].declared_shape = Some(vec![10, 10]);
+        let range = MdRange::full(&[4, 7]);
+        assert_eq!(v.effective_shape(0, &range), Some(vec![10, 10]));
+    }
+
+    #[test]
+    fn stencil_multi_access_shape() {
+        // 3-point stencil: in[i], in[i+1], in[i+2]
+        let v = View::new(
+            vec![BufferDecl::new("x", BasicType::F32)],
+            vec![
+                Access::new(0, IndexFn::affine(vec![AffineExpr::new(vec![1], 0)])),
+                Access::new(0, IndexFn::affine(vec![AffineExpr::new(vec![1], 1)])),
+                Access::new(0, IndexFn::affine(vec![AffineExpr::new(vec![1], 2)])),
+            ],
+        );
+        let range = MdRange::full(&[8]);
+        assert_eq!(v.effective_shape(0, &range), Some(vec![10]));
+    }
+
+    #[test]
+    fn footprint_bytes_matvec_tile() {
+        let v = matvec_inp();
+        // a 2x3 tile of the iteration space touches 2x3 of M and 3 of v
+        let tile = MdRange::new(vec![2, 4], vec![4, 7]);
+        assert_eq!(v.footprint_bytes(0, &tile), Some(6 * 4));
+        assert_eq!(v.footprint_bytes(1, &tile), Some(3 * 4));
+    }
+
+    #[test]
+    fn buffer_lookup() {
+        let v = matvec_inp();
+        assert_eq!(v.buffer_index("v"), Some(1));
+        assert_eq!(v.buffer_index("nope"), None);
+        assert_eq!(v.accesses_of(0).count(), 1);
+    }
+}

@@ -1,0 +1,714 @@
+//! Textual surface of the MDH **DSL** itself (Listings 6 and 7).
+//!
+//! The paper's directive is translated *onto* the MDH DSL; this module
+//! also lets the DSL be written directly, for users familiar with the
+//! formalism:
+//!
+//! ```text
+//! out_view[fp32]( w = [lambda i,k: (i)] ),
+//! md_hom[I,K]( f_mul, (cc, pw(add)) ),
+//! inp_view[fp32,fp32]( M = [lambda i,k: (i,k)], v = [lambda i,k: (k)] )
+//! ```
+//!
+//! Index functions are the lambdas of `inp_view`/`out_view`; a buffer may
+//! list several (stencil accesses, `#ACC_b` in the paper). Scalar
+//! functions are referenced by name: `f_mul` (point-wise product of all
+//! accesses) and `f_id` (single-access identity) are built in; others
+//! are registered in the [`DirectiveEnv`].
+
+use crate::ast::DirectiveEnv;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::semantic::resolve_type;
+use mdh_core::combine::{BuiltinReduce, CombineOp, PwFunc};
+use mdh_core::dsl::{DslProgram, MdHom};
+use mdh_core::error::{MdhError, Result};
+use mdh_core::expr::{Expr, ScalarFunction, Stmt};
+use mdh_core::index_fn::{AffineExpr, IndexFn};
+use mdh_core::types::BasicType;
+use mdh_core::views::{Access, BufferDecl, View};
+use std::sync::Arc;
+
+struct P {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos.min(self.toks.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos.min(self.toks.len() - 1)].line
+    }
+
+    fn next(&mut self) -> TokenKind {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].kind.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, m: impl Into<String>) -> MdhError {
+        MdhError::Parse {
+            line: self.line(),
+            col: self.toks[self.pos.min(self.toks.len() - 1)].col,
+            message: m.into(),
+        }
+    }
+
+    fn expect(&mut self, k: TokenKind) -> Result<()> {
+        if self.peek() == &k {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                k.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn accept(&mut self, k: TokenKind) -> bool {
+        if self.peek() == &k {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_layout(&mut self) {
+        while matches!(
+            self.peek(),
+            TokenKind::Newline | TokenKind::Indent | TokenKind::Dedent
+        ) {
+            self.next();
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        let got = self.ident()?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{kw}', found '{got}'")))
+        }
+    }
+
+    /// `[ T, T, ... ]` — basic types per buffer.
+    fn type_list(&mut self, env: &DirectiveEnv) -> Result<Vec<BasicType>> {
+        self.expect(TokenKind::LBracket)?;
+        let mut tys = Vec::new();
+        loop {
+            let n = self.ident()?;
+            tys.push(
+                resolve_type(&n, env).ok_or_else(|| self.err(format!("unknown type '{n}'")))?,
+            );
+            if !self.accept(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RBracket)?;
+        Ok(tys)
+    }
+
+    /// `lambda i,k: (expr, expr)` → (iteration vars, affine exprs).
+    fn lambda(&mut self, vars: &mut Option<Vec<String>>, env: &DirectiveEnv) -> Result<IndexFn> {
+        self.keyword("lambda")?;
+        let mut params = Vec::new();
+        loop {
+            params.push(self.ident()?);
+            if !self.accept(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::Colon)?;
+        // all lambdas in a program must agree on the iteration variables
+        match vars {
+            None => *vars = Some(params.clone()),
+            Some(v) => {
+                if *v != params {
+                    return Err(self.err(format!(
+                        "index-function parameters {params:?} differ from {v:?}"
+                    )));
+                }
+            }
+        }
+        let rank = params.len();
+        let parenthesised = self.accept(TokenKind::LParen);
+        let mut exprs = Vec::new();
+        loop {
+            exprs.push(self.affine(&params, rank, env)?);
+            if !(parenthesised && self.accept(TokenKind::Comma)) {
+                break;
+            }
+        }
+        if parenthesised {
+            self.expect(TokenKind::RParen)?;
+        }
+        Ok(IndexFn::Affine(exprs))
+    }
+
+    /// Affine expression over the lambda parameters.
+    fn affine(&mut self, vars: &[String], rank: usize, env: &DirectiveEnv) -> Result<AffineExpr> {
+        let mut acc = self.affine_term(vars, rank, env)?;
+        loop {
+            if self.accept(TokenKind::Plus) {
+                let t = self.affine_term(vars, rank, env)?;
+                acc = AffineExpr {
+                    coeffs: acc.coeffs.iter().zip(&t.coeffs).map(|(a, b)| a + b).collect(),
+                    constant: acc.constant + t.constant,
+                };
+            } else if self.accept(TokenKind::Minus) {
+                let t = self.affine_term(vars, rank, env)?;
+                acc = AffineExpr {
+                    coeffs: acc.coeffs.iter().zip(&t.coeffs).map(|(a, b)| a - b).collect(),
+                    constant: acc.constant - t.constant,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    fn affine_term(&mut self, vars: &[String], rank: usize, env: &DirectiveEnv) -> Result<AffineExpr> {
+        let mut factors: Vec<AffineExpr> = vec![self.affine_atom(vars, rank, env)?];
+        while self.accept(TokenKind::Star) {
+            factors.push(self.affine_atom(vars, rank, env)?);
+        }
+        // product: at most one non-constant factor
+        let mut constant = 1i64;
+        let mut var_part: Option<AffineExpr> = None;
+        for f in factors {
+            if f.coeffs.iter().all(|&c| c == 0) {
+                constant *= f.constant;
+            } else if var_part.is_none() {
+                var_part = Some(f);
+            } else {
+                return Err(self.err("non-affine index expression"));
+            }
+        }
+        Ok(match var_part {
+            Some(v) => AffineExpr {
+                coeffs: v.coeffs.iter().map(|c| c * constant).collect(),
+                constant: v.constant * constant,
+            },
+            None => AffineExpr::constant(rank, constant),
+        })
+    }
+
+    fn affine_atom(&mut self, vars: &[String], rank: usize, env: &DirectiveEnv) -> Result<AffineExpr> {
+        match self.next() {
+            TokenKind::Int(v) => Ok(AffineExpr::constant(rank, v)),
+            TokenKind::Minus => {
+                let a = self.affine_atom(vars, rank, env)?;
+                Ok(AffineExpr {
+                    coeffs: a.coeffs.iter().map(|c| -c).collect(),
+                    constant: -a.constant,
+                })
+            }
+            TokenKind::LParen => {
+                let a = self.affine(vars, rank, env)?;
+                self.expect(TokenKind::RParen)?;
+                Ok(a)
+            }
+            TokenKind::Ident(n) => {
+                if let Some(d) = vars.iter().position(|v| *v == n) {
+                    Ok(AffineExpr::var(rank, d))
+                } else if let Some(&v) = env.sizes.get(&n) {
+                    Ok(AffineExpr::constant(rank, v))
+                } else {
+                    Err(self.err(format!("unknown name '{n}' in index function")))
+                }
+            }
+            other => Err(self.err(format!("unexpected {} in index function", other.describe()))),
+        }
+    }
+
+    /// `( buf = [lambda...], buf = [lambda...] )` → a view.
+    fn view(
+        &mut self,
+        tys: Vec<BasicType>,
+        vars: &mut Option<Vec<String>>,
+        env: &DirectiveEnv,
+    ) -> Result<View> {
+        self.expect(TokenKind::LParen)?;
+        let mut buffers = Vec::new();
+        let mut accesses = Vec::new();
+        loop {
+            self.skip_layout();
+            let name = self.ident()?;
+            self.expect(TokenKind::Assign)?;
+            self.expect(TokenKind::LBracket)?;
+            let b = buffers.len();
+            loop {
+                let f = self.lambda(vars, env)?;
+                accesses.push(Access::new(b, f));
+                if !self.accept(TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RBracket)?;
+            let ty = tys
+                .get(b)
+                .cloned()
+                .ok_or_else(|| self.err(format!("no type listed for buffer '{name}'")))?;
+            buffers.push(BufferDecl::new(name, ty));
+            self.skip_layout();
+            if !self.accept(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        if buffers.len() != tys.len() {
+            return Err(self.err(format!(
+                "{} types listed for {} buffers",
+                tys.len(),
+                buffers.len()
+            )));
+        }
+        Ok(View::new(buffers, accesses))
+    }
+
+    /// `cc` | `pw(name)` | `ps(name)`.
+    fn combine_op(&mut self, env: &DirectiveEnv) -> Result<CombineOp> {
+        let n = self.ident()?;
+        let resolve = |this: &P, name: &str| -> Result<PwFunc> {
+            match name {
+                "add" => Ok(PwFunc::builtin(BuiltinReduce::Add)),
+                "mul" => Ok(PwFunc::builtin(BuiltinReduce::Mul)),
+                "max" => Ok(PwFunc::builtin(BuiltinReduce::Max)),
+                "min" => Ok(PwFunc::builtin(BuiltinReduce::Min)),
+                other => env
+                    .combine_fns
+                    .get(other)
+                    .cloned()
+                    .ok_or_else(|| this.err(format!("unknown combine function '{other}'"))),
+            }
+        };
+        match n.as_str() {
+            "cc" => Ok(CombineOp::Cc),
+            "pw" => {
+                self.expect(TokenKind::LParen)?;
+                let f = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(CombineOp::Pw(resolve(self, &f)?))
+            }
+            "ps" => {
+                self.expect(TokenKind::LParen)?;
+                let f = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(CombineOp::Ps(resolve(self, &f)?))
+            }
+            other => Err(self.err(format!("unknown combine operator '{other}'"))),
+        }
+    }
+}
+
+/// Built-in scalar functions of the DSL surface.
+fn builtin_sf(
+    name: &str,
+    param_tys: &[BasicType],
+    result_tys: &[BasicType],
+) -> Option<ScalarFunction> {
+    let kind = |t: &BasicType| t.as_scalar();
+    match name {
+        // point-wise product of all accesses (Listing 6's f_mul)
+        "f_mul" if result_tys.len() == 1 && !param_tys.is_empty() => {
+            let mut e = Expr::Param(0);
+            for p in 1..param_tys.len() {
+                e = Expr::mul(e, Expr::Param(p));
+            }
+            Some(ScalarFunction {
+                name: "f_mul".into(),
+                params: param_tys
+                    .iter()
+                    .enumerate()
+                    .map(|(p, t)| (format!("p{p}"), t.clone()))
+                    .collect(),
+                results: vec![("res".into(), result_tys[0].clone())],
+                body: vec![Stmt::Assign {
+                    name: "res".into(),
+                    value: e,
+                }],
+            })
+        }
+        // point-wise sum of all accesses
+        "f_add" if result_tys.len() == 1 && !param_tys.is_empty() => {
+            let mut e = Expr::Param(0);
+            for p in 1..param_tys.len() {
+                e = Expr::add(e, Expr::Param(p));
+            }
+            Some(ScalarFunction {
+                name: "f_add".into(),
+                params: param_tys
+                    .iter()
+                    .enumerate()
+                    .map(|(p, t)| (format!("p{p}"), t.clone()))
+                    .collect(),
+                results: vec![("res".into(), result_tys[0].clone())],
+                body: vec![Stmt::Assign {
+                    name: "res".into(),
+                    value: e,
+                }],
+            })
+        }
+        // identity (Listing 13's per-point function)
+        "f_id" if param_tys.len() == 1 && result_tys.len() == 1 => {
+            let _ = kind(&param_tys[0]);
+            Some(ScalarFunction {
+                name: "f_id".into(),
+                params: vec![("a".into(), param_tys[0].clone())],
+                results: vec![("res".into(), result_tys[0].clone())],
+                body: vec![Stmt::Assign {
+                    name: "res".into(),
+                    value: Expr::Param(0),
+                }],
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Parse a textual DSL program (Listing 7) against host bindings.
+pub fn parse_dsl(src: &str, env: &DirectiveEnv) -> Result<DslProgram> {
+    let toks = tokenize(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut vars: Option<Vec<String>> = None;
+
+    p.skip_layout();
+    p.keyword("out_view")?;
+    let out_tys = p.type_list(env)?;
+    let out_view = p.view(out_tys, &mut vars, env)?;
+    p.skip_layout();
+    p.expect(TokenKind::Comma)?;
+    p.skip_layout();
+
+    p.keyword("md_hom")?;
+    p.expect(TokenKind::LBracket)?;
+    let mut sizes = Vec::new();
+    loop {
+        // size expression: identifiers/ints with + - * (constant)
+        let e = {
+            // reuse the surface-expression machinery via a tiny inline walk
+            let mut depth = 0usize;
+            let start = p.pos;
+            loop {
+                match p.peek() {
+                    TokenKind::LParen | TokenKind::LBracket => depth += 1,
+                    TokenKind::RParen => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    TokenKind::RBracket => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    TokenKind::Comma if depth == 0 => break,
+                    TokenKind::Eof => break,
+                    _ => {}
+                }
+                p.next();
+            }
+            // re-parse the token slice as a pragma-style expression through
+            // the surface AST
+            let slice = &p.toks[start..p.pos];
+            tokens_to_const(slice, env).ok_or_else(|| {
+                p.err("md_hom sizes must be constant expressions over size parameters")
+            })?
+        };
+        if e < 0 {
+            return Err(p.err(format!("negative iteration-space size {e}")));
+        }
+        sizes.push(e as usize);
+        if !p.accept(TokenKind::Comma) {
+            break;
+        }
+    }
+    p.expect(TokenKind::RBracket)?;
+    p.expect(TokenKind::LParen)?;
+    let sf_name = p.ident()?;
+    p.expect(TokenKind::Comma)?;
+    p.expect(TokenKind::LParen)?;
+    let mut combine_ops = Vec::new();
+    loop {
+        combine_ops.push(p.combine_op(env)?);
+        if !p.accept(TokenKind::Comma) {
+            break;
+        }
+    }
+    p.expect(TokenKind::RParen)?;
+    p.expect(TokenKind::RParen)?;
+    p.skip_layout();
+    p.expect(TokenKind::Comma)?;
+    p.skip_layout();
+
+    p.keyword("inp_view")?;
+    let inp_tys = p.type_list(env)?;
+    let inp_view = p.view(inp_tys, &mut vars, env)?;
+    p.skip_layout();
+
+    // rank consistency: lambdas' parameter count must equal |sizes|
+    if let Some(v) = &vars {
+        if v.len() != sizes.len() {
+            return Err(p.err(format!(
+                "index functions take {} iteration variables but md_hom lists {} sizes",
+                v.len(),
+                sizes.len()
+            )));
+        }
+    }
+
+    // resolve the scalar function
+    let param_tys: Vec<BasicType> = inp_view
+        .accesses
+        .iter()
+        .map(|a| inp_view.buffers[a.buffer].ty.clone())
+        .collect();
+    let result_tys: Vec<BasicType> = out_view
+        .accesses
+        .iter()
+        .map(|a| out_view.buffers[a.buffer].ty.clone())
+        .collect();
+    let sf = env
+        .scalar_fns
+        .get(&sf_name)
+        .cloned()
+        .or_else(|| builtin_sf(&sf_name, &param_tys, &result_tys))
+        .ok_or_else(|| p.err(format!("unknown scalar function '{sf_name}'")))?;
+
+    let prog = DslProgram::new(
+        format!("dsl_{sf_name}"),
+        out_view,
+        MdHom {
+            sizes,
+            sf: Arc::new(sf),
+            combine_ops,
+        },
+        inp_view,
+    );
+    prog.validate()?;
+    Ok(prog)
+}
+
+/// Evaluate a token slice as a constant size expression.
+fn tokens_to_const(toks: &[Token], env: &DirectiveEnv) -> Option<i64> {
+    // shunting-yard-free: re-lex through the surface parser by textual
+    // reconstruction would be wasteful; implement a tiny recursive parser
+    fn parse(toks: &[Token], pos: &mut usize, env: &DirectiveEnv, min_prec: u8) -> Option<i64> {
+        let mut lhs = match toks.get(*pos)?.kind.clone() {
+            TokenKind::Int(v) => {
+                *pos += 1;
+                v
+            }
+            TokenKind::Ident(n) => {
+                *pos += 1;
+                *env.sizes.get(&n)?
+            }
+            TokenKind::Minus => {
+                *pos += 1;
+                -parse(toks, pos, env, 3)?
+            }
+            TokenKind::LParen => {
+                *pos += 1;
+                let v = parse(toks, pos, env, 0)?;
+                if !matches!(toks.get(*pos)?.kind, TokenKind::RParen) {
+                    return None;
+                }
+                *pos += 1;
+                v
+            }
+            _ => return None,
+        };
+        loop {
+            let (prec, op) = match toks.get(*pos).map(|t| &t.kind) {
+                Some(TokenKind::Plus) => (1u8, '+'),
+                Some(TokenKind::Minus) => (1, '-'),
+                Some(TokenKind::Star) => (2, '*'),
+                Some(TokenKind::Slash) => (2, '/'),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            *pos += 1;
+            let rhs = parse(toks, pos, env, prec + 1)?;
+            lhs = match op {
+                '+' => lhs + rhs,
+                '-' => lhs - rhs,
+                '*' => lhs * rhs,
+                _ => {
+                    if rhs == 0 {
+                        return None;
+                    }
+                    lhs / rhs
+                }
+            };
+        }
+        Some(lhs)
+    }
+    let mut pos = 0;
+    let v = parse(toks, &mut pos, env, 0)?;
+    if pos == toks.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdh_core::buffer::Buffer;
+    use mdh_core::eval::evaluate_recursive;
+    use mdh_core::shape::Shape;
+
+    const MATVEC_DSL: &str = "\
+out_view[fp32]( w = [lambda i,k: (i)] ),
+md_hom[I,K]( f_mul, (cc, pw(add)) ),
+inp_view[fp32,fp32]( M = [lambda i,k: (i,k)], v = [lambda i,k: (k)] )
+";
+
+    #[test]
+    fn listing6_matvec_parses_and_runs() {
+        let env = DirectiveEnv::new().size("I", 4).size("K", 5);
+        let prog = parse_dsl(MATVEC_DSL, &env).unwrap();
+        assert_eq!(prog.md_hom.sizes, vec![4, 5]);
+        assert_eq!(prog.md_hom.reduction_dims(), vec![1]);
+        let mut m = Buffer::zeros("M", BasicType::F32, Shape::new(vec![4, 5]));
+        m.fill_with(|f| (f % 7) as f64);
+        let mut v = Buffer::zeros("v", BasicType::F32, Shape::new(vec![5]));
+        v.fill_with(|f| (f % 3) as f64);
+        let out = evaluate_recursive(&prog, &[m.clone(), v.clone()]).unwrap();
+        let (mf, vf) = (m.as_f32().unwrap(), v.as_f32().unwrap());
+        for i in 0..4 {
+            let e: f32 = (0..5).map(|k| mf[i * 5 + k] * vf[k]).sum();
+            assert_eq!(out[0].as_f32().unwrap()[i], e);
+        }
+    }
+
+    #[test]
+    fn dsl_and_directive_front_ends_agree() {
+        let env = DirectiveEnv::new().size("I", 6).size("K", 3);
+        let from_dsl = parse_dsl(MATVEC_DSL, &env).unwrap();
+        let from_directive = crate::transform::compile(
+            "\
+@mdh( out( w = Buffer[fp32] ),
+      inp( M = Buffer[fp32], v = Buffer[fp32] ),
+      combine_ops( cc, pw(add) ) )
+def matvec(w, M, v):
+    for i in range(I):
+        for k in range(K):
+            w[i] = M[i, k] * v[k]
+",
+            &env,
+        )
+        .unwrap();
+        let mut m = Buffer::zeros("M", BasicType::F32, Shape::new(vec![6, 3]));
+        m.fill_with(|f| (f % 11) as f64 * 0.5);
+        let mut v = Buffer::zeros("v", BasicType::F32, Shape::new(vec![3]));
+        v.fill_with(|f| f as f64);
+        let inputs = vec![m, v];
+        let a = evaluate_recursive(&from_dsl, &inputs).unwrap();
+        let b = evaluate_recursive(&from_directive, &inputs).unwrap();
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn stencil_multi_access_lambdas() {
+        // 3-point stencil via the DSL surface: three lambdas on one buffer
+        let src = "\
+out_view[fp32]( y = [lambda i: (i)] ),
+md_hom[N]( f_add, (cc) ),
+inp_view[fp32]( x = [lambda i: (i), lambda i: (i+1), lambda i: (i+2)] )
+";
+        let env = DirectiveEnv::new().size("N", 6);
+        let prog = parse_dsl(src, &env).unwrap();
+        assert_eq!(prog.inp_view.accesses.len(), 3);
+        assert_eq!(prog.input_shapes().unwrap(), vec![vec![8]]);
+        let mut x = Buffer::zeros("x", BasicType::F32, Shape::new(vec![8]));
+        x.fill_with(|f| f as f64);
+        let out = evaluate_recursive(&prog, &[x]).unwrap();
+        for i in 0..6 {
+            assert_eq!(out[0].as_f32().unwrap()[i], (3 * i + 3) as f32);
+        }
+    }
+
+    #[test]
+    fn strided_output_lambda() {
+        let src = "\
+out_view[fp32]( y = [lambda i: (2*i)] ),
+md_hom[N]( f_id, (cc) ),
+inp_view[fp32]( x = [lambda i: (i)] )
+";
+        let env = DirectiveEnv::new().size("N", 4);
+        let prog = parse_dsl(src, &env).unwrap();
+        assert_eq!(prog.output_shapes().unwrap(), vec![vec![7]]);
+    }
+
+    #[test]
+    fn mbbs_via_dsl_surface() {
+        let src = "\
+out_view[fp64]( bbs = [lambda i,j: (i)] ),
+md_hom[I,J]( f_id, (ps(add), pw(add)) ),
+inp_view[fp64]( M = [lambda i,j: (i,j)] )
+";
+        let env = DirectiveEnv::new().size("I", 4).size("J", 3);
+        let prog = parse_dsl(src, &env).unwrap();
+        let mut m = Buffer::zeros("M", BasicType::F64, Shape::new(vec![4, 3]));
+        m.fill_with(|f| f as f64 + 1.0);
+        let out = evaluate_recursive(&prog, &[m.clone()]).unwrap();
+        let mf = m.as_f64().unwrap();
+        let mut acc = 0.0;
+        for i in 0..4 {
+            acc += mf[i * 3] + mf[i * 3 + 1] + mf[i * 3 + 2];
+            assert!((out[0].as_f64().unwrap()[i] - acc).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mismatched_lambda_vars_rejected() {
+        let src = "\
+out_view[fp32]( y = [lambda i: (i)] ),
+md_hom[N]( f_id, (cc) ),
+inp_view[fp32]( x = [lambda a: (a)] )
+";
+        let env = DirectiveEnv::new().size("N", 4);
+        assert!(parse_dsl(src, &env).is_err());
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let src = "\
+out_view[fp32]( y = [lambda i,k: (i)] ),
+md_hom[N]( f_id, (cc) ),
+inp_view[fp32]( x = [lambda i,k: (i)] )
+";
+        let env = DirectiveEnv::new().size("N", 4);
+        let e = parse_dsl(src, &env).unwrap_err().to_string();
+        assert!(e.contains("iteration variables"), "{e}");
+    }
+
+    #[test]
+    fn unknown_scalar_fn_rejected() {
+        let src = MATVEC_DSL.replace("f_mul", "f_mystery");
+        let env = DirectiveEnv::new().size("I", 2).size("K", 2);
+        let e = parse_dsl(&src, &env).unwrap_err().to_string();
+        assert!(e.contains("f_mystery"), "{e}");
+    }
+}

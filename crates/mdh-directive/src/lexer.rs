@@ -1,0 +1,484 @@
+//! Lexer for the textual MDH directive language.
+//!
+//! The surface syntax follows the paper's Python listings: an `@mdh(...)`
+//! decorator, a `def` line, and an indentation-delimited perfect loop nest.
+//! The lexer is indentation-aware (emitting `Indent`/`Dedent` tokens, like
+//! CPython's tokenizer) so the parser can treat blocks structurally.
+
+use mdh_core::error::MdhError;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub col: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // punctuation
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+    At,
+    Assign,     // =
+    PlusAssign, // += (recognised so we can give the paper's "use =" error)
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Arrow, // ->
+    // layout
+    Newline,
+    Indent,
+    Dedent,
+    Eof,
+}
+
+impl TokenKind {
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Int(v) => format!("integer {v}"),
+            TokenKind::Float(v) => format!("float {v}"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Newline => "newline".into(),
+            TokenKind::Indent => "indent".into(),
+            TokenKind::Dedent => "dedent".into(),
+            TokenKind::Eof => "end of input".into(),
+            other => format!("'{}'", symbol(other)),
+        }
+    }
+}
+
+fn symbol(k: &TokenKind) -> &'static str {
+    match k {
+        TokenKind::LParen => "(",
+        TokenKind::RParen => ")",
+        TokenKind::LBracket => "[",
+        TokenKind::RBracket => "]",
+        TokenKind::LBrace => "{",
+        TokenKind::RBrace => "}",
+        TokenKind::Comma => ",",
+        TokenKind::Colon => ":",
+        TokenKind::Dot => ".",
+        TokenKind::At => "@",
+        TokenKind::Assign => "=",
+        TokenKind::PlusAssign => "+=",
+        TokenKind::Plus => "+",
+        TokenKind::Minus => "-",
+        TokenKind::Star => "*",
+        TokenKind::Slash => "/",
+        TokenKind::Percent => "%",
+        TokenKind::EqEq => "==",
+        TokenKind::NotEq => "!=",
+        TokenKind::Lt => "<",
+        TokenKind::Le => "<=",
+        TokenKind::Gt => ">",
+        TokenKind::Ge => ">=",
+        TokenKind::Arrow => "->",
+        _ => "?",
+    }
+}
+
+/// Tokenise directive source text.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, MdhError> {
+    let mut tokens = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    // paren depth: newlines/indentation are ignored inside brackets, which
+    // lets the `@mdh( ... )` header span multiple lines as in the listings
+    let mut depth = 0usize;
+
+    for (lineno, raw_line) in src.lines().enumerate() {
+        let line = lineno + 1;
+        // strip comments
+        let code = match raw_line.find('#') {
+            Some(p) => &raw_line[..p],
+            None => raw_line,
+        };
+        if depth == 0 {
+            if code.trim().is_empty() {
+                continue; // blank lines don't affect indentation
+            }
+            let indent = code.len() - code.trim_start().len();
+            let cur = *indents.last().unwrap();
+            if indent > cur {
+                indents.push(indent);
+                tokens.push(Token {
+                    kind: TokenKind::Indent,
+                    line,
+                    col: 1,
+                });
+            } else if indent < cur {
+                while *indents.last().unwrap() > indent {
+                    indents.pop();
+                    tokens.push(Token {
+                        kind: TokenKind::Dedent,
+                        line,
+                        col: 1,
+                    });
+                }
+                if *indents.last().unwrap() != indent {
+                    return Err(MdhError::Parse {
+                        line,
+                        col: 1,
+                        message: "inconsistent indentation".into(),
+                    });
+                }
+            }
+        } else if code.trim().is_empty() {
+            continue;
+        }
+
+        let bytes = code.as_bytes();
+        let mut i = code.len() - code.trim_start().len();
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            let col = i + 1;
+            match c {
+                ' ' | '\t' => {
+                    i += 1;
+                }
+                '(' => {
+                    depth += 1;
+                    tokens.push(tok(TokenKind::LParen, line, col));
+                    i += 1;
+                }
+                ')' => {
+                    depth = depth.saturating_sub(1);
+                    tokens.push(tok(TokenKind::RParen, line, col));
+                    i += 1;
+                }
+                '[' => {
+                    depth += 1;
+                    tokens.push(tok(TokenKind::LBracket, line, col));
+                    i += 1;
+                }
+                ']' => {
+                    depth = depth.saturating_sub(1);
+                    tokens.push(tok(TokenKind::RBracket, line, col));
+                    i += 1;
+                }
+                '{' => {
+                    depth += 1;
+                    tokens.push(tok(TokenKind::LBrace, line, col));
+                    i += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    tokens.push(tok(TokenKind::RBrace, line, col));
+                    i += 1;
+                }
+                ',' => {
+                    tokens.push(tok(TokenKind::Comma, line, col));
+                    i += 1;
+                }
+                ':' => {
+                    tokens.push(tok(TokenKind::Colon, line, col));
+                    i += 1;
+                }
+                '.' => {
+                    tokens.push(tok(TokenKind::Dot, line, col));
+                    i += 1;
+                }
+                '@' => {
+                    tokens.push(tok(TokenKind::At, line, col));
+                    i += 1;
+                }
+                '+' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        tokens.push(tok(TokenKind::PlusAssign, line, col));
+                        i += 2;
+                    } else {
+                        tokens.push(tok(TokenKind::Plus, line, col));
+                        i += 1;
+                    }
+                }
+                '-' => {
+                    if bytes.get(i + 1) == Some(&b'>') {
+                        tokens.push(tok(TokenKind::Arrow, line, col));
+                        i += 2;
+                    } else {
+                        tokens.push(tok(TokenKind::Minus, line, col));
+                        i += 1;
+                    }
+                }
+                '*' => {
+                    tokens.push(tok(TokenKind::Star, line, col));
+                    i += 1;
+                }
+                '/' => {
+                    tokens.push(tok(TokenKind::Slash, line, col));
+                    i += 1;
+                }
+                '%' => {
+                    tokens.push(tok(TokenKind::Percent, line, col));
+                    i += 1;
+                }
+                '=' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        tokens.push(tok(TokenKind::EqEq, line, col));
+                        i += 2;
+                    } else {
+                        tokens.push(tok(TokenKind::Assign, line, col));
+                        i += 1;
+                    }
+                }
+                '!' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        tokens.push(tok(TokenKind::NotEq, line, col));
+                        i += 2;
+                    } else {
+                        return Err(err(line, col, "unexpected '!'"));
+                    }
+                }
+                '<' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        tokens.push(tok(TokenKind::Le, line, col));
+                        i += 2;
+                    } else {
+                        tokens.push(tok(TokenKind::Lt, line, col));
+                        i += 1;
+                    }
+                }
+                '>' => {
+                    if bytes.get(i + 1) == Some(&b'=') {
+                        tokens.push(tok(TokenKind::Ge, line, col));
+                        i += 2;
+                    } else {
+                        tokens.push(tok(TokenKind::Gt, line, col));
+                        i += 1;
+                    }
+                }
+                '\'' | '"' => {
+                    let quote = c;
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && bytes[j] as char != quote {
+                        j += 1;
+                    }
+                    if j >= bytes.len() {
+                        return Err(err(line, col, "unterminated string"));
+                    }
+                    tokens.push(tok(
+                        TokenKind::Str(code[start..j].to_string()),
+                        line,
+                        col,
+                    ));
+                    i = j + 1;
+                }
+                c if c.is_ascii_digit() => {
+                    let start = i;
+                    let mut j = i;
+                    let mut is_float = false;
+                    while j < bytes.len() {
+                        let ch = bytes[j] as char;
+                        if ch.is_ascii_digit() {
+                            j += 1;
+                        } else if ch == '.'
+                            && !is_float
+                            && bytes
+                                .get(j + 1)
+                                .map(|&b| (b as char).is_ascii_digit())
+                                .unwrap_or(false)
+                        {
+                            is_float = true;
+                            j += 1;
+                        } else if (ch == 'e' || ch == 'E')
+                            && j > start
+                            && bytes.get(j + 1).is_some_and(|&b| {
+                                (b as char).is_ascii_digit() || b == b'-' || b == b'+'
+                            })
+                        {
+                            is_float = true;
+                            j += 2;
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &code[start..j];
+                    if is_float {
+                        let v: f64 = text
+                            .parse()
+                            .map_err(|_| err(line, col, &format!("bad float '{text}'")))?;
+                        tokens.push(tok(TokenKind::Float(v), line, col));
+                    } else {
+                        let v: i64 = text
+                            .parse()
+                            .map_err(|_| err(line, col, &format!("bad integer '{text}'")))?;
+                        tokens.push(tok(TokenKind::Int(v), line, col));
+                    }
+                    i = j;
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    let mut j = i;
+                    while j < bytes.len() {
+                        let ch = bytes[j] as char;
+                        if ch.is_ascii_alphanumeric() || ch == '_' {
+                            j += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(tok(
+                        TokenKind::Ident(code[start..j].to_string()),
+                        line,
+                        col,
+                    ));
+                    i = j;
+                }
+                other => {
+                    return Err(err(line, col, &format!("unexpected character '{other}'")));
+                }
+            }
+        }
+        if depth == 0 {
+            tokens.push(Token {
+                kind: TokenKind::Newline,
+                line,
+                col: code.len() + 1,
+            });
+        }
+    }
+    // close open blocks
+    while indents.len() > 1 {
+        indents.pop();
+        tokens.push(Token {
+            kind: TokenKind::Dedent,
+            line: src.lines().count() + 1,
+            col: 1,
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line: src.lines().count() + 1,
+        col: 1,
+    });
+    Ok(tokens)
+}
+
+fn tok(kind: TokenKind, line: usize, col: usize) -> Token {
+    Token { kind, line, col }
+}
+
+fn err(line: usize, col: usize, message: &str) -> MdhError {
+    MdhError::Parse {
+        line,
+        col,
+        message: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_tokens() {
+        let ks = kinds("a = b[i, k] * 2");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("b".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("i".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("k".into()),
+                TokenKind::RBracket,
+                TokenKind::Star,
+                TokenKind::Int(2),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let src = "for i in range(4):\n    x = 1\n    y = 2\nz = 3\n";
+        let ks = kinds(src);
+        let indents = ks.iter().filter(|k| **k == TokenKind::Indent).count();
+        let dedents = ks.iter().filter(|k| **k == TokenKind::Dedent).count();
+        assert_eq!(indents, 1);
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn nested_dedents_closed_at_eof() {
+        let src = "a:\n  b:\n    c = 1\n";
+        let ks = kinds(src);
+        let dedents = ks.iter().filter(|k| **k == TokenKind::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn multiline_parens_no_newlines() {
+        let src = "@mdh( out( w = Buffer[fp32] ),\n      inp( v = Buffer[fp32] ) )\n";
+        let ks = kinds(src);
+        let newlines = ks.iter().filter(|k| **k == TokenKind::Newline).count();
+        assert_eq!(newlines, 1, "newline inside parens must be suppressed");
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let ks = kinds("x = 1  # a comment\n");
+        assert!(ks.contains(&TokenKind::Int(1)));
+        assert!(!ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "comment")));
+    }
+
+    #[test]
+    fn plus_assign_recognised() {
+        let ks = kinds("w = 0\nw += 1\n");
+        assert!(ks.contains(&TokenKind::PlusAssign));
+    }
+
+    #[test]
+    fn floats_and_comparisons() {
+        let ks = kinds("if a >= 2.5 != b:");
+        assert!(ks.contains(&TokenKind::Ge));
+        assert!(ks.contains(&TokenKind::Float(2.5)));
+        assert!(ks.contains(&TokenKind::NotEq));
+    }
+
+    #[test]
+    fn strings() {
+        let ks = kinds("x = 'id_measure'");
+        assert!(ks.contains(&TokenKind::Str("id_measure".into())));
+    }
+
+    #[test]
+    fn inconsistent_indent_errors() {
+        let src = "a:\n    b = 1\n  c = 2\n";
+        assert!(tokenize(src).is_err());
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("x = 'oops").is_err());
+    }
+}

@@ -1,0 +1,736 @@
+//! Recursive-descent parser for the textual MDH directive language.
+//!
+//! Accepts the surface form of the paper's listings (Listings 8–13):
+//!
+//! ```text
+//! @mdh( out( w = Buffer[fp32] ),
+//!       inp( M = Buffer[fp32], v = Buffer[fp32] ),
+//!       combine_ops( cc, pw(add) ) )
+//! def matvec(w, M, v):
+//!     for i in range(I):
+//!         for k in range(K):
+//!             w[i] = M[i, k] * v[k]
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token, TokenKind};
+use mdh_core::error::{MdhError, Result};
+
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub fn new(src: &str) -> Result<Self> {
+        Ok(Parser {
+            tokens: tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> MdhError {
+        let t = self.peek();
+        MdhError::Parse {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token> {
+        if self.peek_kind() == &kind {
+            Ok(self.advance())
+        } else {
+            Err(self.err_here(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek_kind().describe()
+            )))
+        }
+    }
+
+    fn accept(&mut self, kind: TokenKind) -> bool {
+        if self.peek_kind() == &kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.err_here(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        let got = self.expect_ident()?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected keyword '{kw}', found '{got}'")))
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek_kind(), TokenKind::Newline) {
+            self.advance();
+        }
+    }
+
+    /// Parse a complete directive: `@mdh(...)` header + `def` + body.
+    pub fn parse_directive(&mut self) -> Result<DirectiveAst> {
+        self.skip_newlines();
+        let line = self.peek().line;
+        self.expect(TokenKind::At)?;
+        self.expect_keyword("mdh")?;
+        self.expect(TokenKind::LParen)?;
+
+        let mut out = Vec::new();
+        let mut inp = Vec::new();
+        let mut combine_ops = Vec::new();
+        let mut seen_out = false;
+        let mut seen_inp = false;
+        let mut seen_co = false;
+        loop {
+            let clause = self.expect_ident()?;
+            match clause.as_str() {
+                "out" => {
+                    if seen_out {
+                        return Err(self.err_here("duplicate out(...) clause"));
+                    }
+                    seen_out = true;
+                    out = self.parse_buffer_specs()?;
+                }
+                "inp" => {
+                    if seen_inp {
+                        return Err(self.err_here("duplicate inp(...) clause"));
+                    }
+                    seen_inp = true;
+                    inp = self.parse_buffer_specs()?;
+                }
+                "combine_ops" => {
+                    if seen_co {
+                        return Err(self.err_here("duplicate combine_ops(...) clause"));
+                    }
+                    seen_co = true;
+                    combine_ops = self.parse_combine_ops()?;
+                }
+                other => {
+                    return Err(self.err_here(format!(
+                        "unknown @mdh clause '{other}' (expected out, inp, or combine_ops)"
+                    )))
+                }
+            }
+            if !self.accept(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        if !seen_out {
+            return Err(self.err_here("@mdh directive requires an out(...) clause"));
+        }
+        if !seen_inp {
+            return Err(self.err_here("@mdh directive requires an inp(...) clause"));
+        }
+        if !seen_co {
+            return Err(self.err_here("@mdh directive requires a combine_ops(...) clause"));
+        }
+        self.expect(TokenKind::Newline)?;
+        self.skip_newlines();
+
+        // def name(params):
+        self.expect_keyword("def")?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek_kind(), TokenKind::RParen) {
+            loop {
+                params.push(self.expect_ident()?);
+                if !self.accept(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Colon)?;
+        self.expect(TokenKind::Newline)?;
+        let body = self.parse_block()?;
+        self.skip_newlines();
+
+        Ok(DirectiveAst {
+            name,
+            params,
+            out,
+            inp,
+            combine_ops,
+            body,
+            line,
+        })
+    }
+
+    /// `( name = Buffer[ty] , name = Buffer[ty, [shape...]] , ... )`
+    fn parse_buffer_specs(&mut self) -> Result<Vec<BufferSpec>> {
+        self.expect(TokenKind::LParen)?;
+        let mut specs = Vec::new();
+        loop {
+            let line = self.peek().line;
+            let name = self.expect_ident()?;
+            self.expect(TokenKind::Assign)?;
+            self.expect_keyword("Buffer")?;
+            self.expect(TokenKind::LBracket)?;
+            let ty_name = self.expect_ident()?;
+            let shape = if self.accept(TokenKind::Comma) {
+                self.expect(TokenKind::LBracket)?;
+                let mut dims = Vec::new();
+                loop {
+                    dims.push(self.parse_expr()?);
+                    if !self.accept(TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RBracket)?;
+                Some(dims)
+            } else {
+                None
+            };
+            self.expect(TokenKind::RBracket)?;
+            specs.push(BufferSpec {
+                name,
+                ty_name,
+                shape,
+                line,
+            });
+            if !self.accept(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(specs)
+    }
+
+    /// `( cc, pw(add), ps(f), ... )`
+    fn parse_combine_ops(&mut self) -> Result<Vec<CombineOpSpec>> {
+        self.expect(TokenKind::LParen)?;
+        let mut ops = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let spec = match name.as_str() {
+                "cc" => CombineOpSpec::Cc,
+                "pw" | "ps" => {
+                    self.expect(TokenKind::LParen)?;
+                    let f = self.expect_ident()?;
+                    self.expect(TokenKind::RParen)?;
+                    if name == "pw" {
+                        CombineOpSpec::Pw(f)
+                    } else {
+                        CombineOpSpec::Ps(f)
+                    }
+                }
+                other => {
+                    return Err(self.err_here(format!(
+                        "unknown combine operator '{other}' (expected cc, pw(f), or ps(f))"
+                    )))
+                }
+            };
+            ops.push(spec);
+            if !self.accept(TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(ops)
+    }
+
+    /// Parse an indented statement block.
+    fn parse_block(&mut self) -> Result<Vec<SurfaceStmt>> {
+        self.expect(TokenKind::Indent)?;
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek_kind() {
+                TokenKind::Dedent => {
+                    self.advance();
+                    break;
+                }
+                TokenKind::Eof => break,
+                _ => stmts.push(self.parse_stmt()?),
+            }
+        }
+        if stmts.is_empty() {
+            return Err(self.err_here("empty block"));
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<SurfaceStmt> {
+        let line = self.peek().line;
+        match self.peek_kind().clone() {
+            TokenKind::Ident(kw) if kw == "for" => {
+                self.advance();
+                let var = self.expect_ident()?;
+                self.expect_keyword("in")?;
+                self.expect_keyword("range")?;
+                self.expect(TokenKind::LParen)?;
+                let count = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Colon)?;
+                self.expect(TokenKind::Newline)?;
+                let body = self.parse_block()?;
+                Ok(SurfaceStmt::For {
+                    var,
+                    count,
+                    body,
+                    line,
+                })
+            }
+            TokenKind::Ident(kw) if kw == "if" => {
+                self.advance();
+                let cond = self.parse_expr()?;
+                self.expect(TokenKind::Colon)?;
+                self.expect(TokenKind::Newline)?;
+                let then_branch = self.parse_block()?;
+                self.skip_newlines();
+                let else_branch = if matches!(self.peek_kind(), TokenKind::Ident(k) if k == "else")
+                {
+                    self.advance();
+                    self.expect(TokenKind::Colon)?;
+                    self.expect(TokenKind::Newline)?;
+                    self.parse_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(SurfaceStmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    line,
+                })
+            }
+            TokenKind::Ident(_) => {
+                // assignment, typed declaration, or augmented assignment
+                let name = self.expect_ident()?;
+                match self.peek_kind().clone() {
+                    TokenKind::Colon => {
+                        self.advance();
+                        let ty_name = self.expect_ident()?;
+                        self.expect(TokenKind::Newline)?;
+                        Ok(SurfaceStmt::Decl {
+                            name,
+                            ty_name,
+                            line,
+                        })
+                    }
+                    TokenKind::LBracket => {
+                        self.advance();
+                        let mut indices = Vec::new();
+                        loop {
+                            indices.push(self.parse_expr()?);
+                            if !self.accept(TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(TokenKind::RBracket)?;
+                        let target = AssignTarget::Subscript(name, indices);
+                        if self.accept(TokenKind::PlusAssign) {
+                            // consume RHS for a clean resume, then report
+                            let _ = self.parse_expr()?;
+                            let _ = self.accept(TokenKind::Newline);
+                            return Ok(SurfaceStmt::AugAssign { target, line });
+                        }
+                        self.expect(TokenKind::Assign)?;
+                        let value = self.parse_expr()?;
+                        self.expect(TokenKind::Newline)?;
+                        Ok(SurfaceStmt::Assign {
+                            target,
+                            value,
+                            line,
+                        })
+                    }
+                    TokenKind::Assign => {
+                        self.advance();
+                        let value = self.parse_expr()?;
+                        self.expect(TokenKind::Newline)?;
+                        Ok(SurfaceStmt::Assign {
+                            target: AssignTarget::Name(name),
+                            value,
+                            line,
+                        })
+                    }
+                    TokenKind::PlusAssign => {
+                        self.advance();
+                        let _ = self.parse_expr()?;
+                        let _ = self.accept(TokenKind::Newline);
+                        Ok(SurfaceStmt::AugAssign {
+                            target: AssignTarget::Name(name),
+                            line,
+                        })
+                    }
+                    other => Err(self.err_here(format!(
+                        "expected assignment or declaration, found {}",
+                        other.describe()
+                    ))),
+                }
+            }
+            other => Err(self.err_here(format!("unexpected {}", other.describe()))),
+        }
+    }
+
+    /// Expression grammar (precedence climbing):
+    /// or < and < not < comparison < additive < multiplicative < unary
+    /// < postfix < primary.
+    pub fn parse_expr(&mut self) -> Result<SurfaceExpr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<SurfaceExpr> {
+        let mut lhs = self.parse_and()?;
+        while matches!(self.peek_kind(), TokenKind::Ident(k) if k == "or") {
+            self.advance();
+            let rhs = self.parse_and()?;
+            lhs = SurfaceExpr::Bin(SurfBinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<SurfaceExpr> {
+        let mut lhs = self.parse_not()?;
+        while matches!(self.peek_kind(), TokenKind::Ident(k) if k == "and") {
+            self.advance();
+            let rhs = self.parse_not()?;
+            lhs = SurfaceExpr::Bin(SurfBinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<SurfaceExpr> {
+        if matches!(self.peek_kind(), TokenKind::Ident(k) if k == "not") {
+            self.advance();
+            let e = self.parse_not()?;
+            return Ok(SurfaceExpr::Un(SurfUnOp::Not, Box::new(e)));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<SurfaceExpr> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek_kind() {
+            TokenKind::EqEq => Some(SurfBinOp::Eq),
+            TokenKind::NotEq => Some(SurfBinOp::Ne),
+            TokenKind::Lt => Some(SurfBinOp::Lt),
+            TokenKind::Le => Some(SurfBinOp::Le),
+            TokenKind::Gt => Some(SurfBinOp::Gt),
+            TokenKind::Ge => Some(SurfBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let rhs = self.parse_additive()?;
+            Ok(SurfaceExpr::Bin(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<SurfaceExpr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => SurfBinOp::Add,
+                TokenKind::Minus => SurfBinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_multiplicative()?;
+            lhs = SurfaceExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<SurfaceExpr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => SurfBinOp::Mul,
+                TokenKind::Slash => SurfBinOp::Div,
+                TokenKind::Percent => SurfBinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_unary()?;
+            lhs = SurfaceExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<SurfaceExpr> {
+        if self.accept(TokenKind::Minus) {
+            let e = self.parse_unary()?;
+            return Ok(SurfaceExpr::Un(SurfUnOp::Neg, Box::new(e)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<SurfaceExpr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            match self.peek_kind() {
+                TokenKind::LBracket => {
+                    self.advance();
+                    let mut indices = Vec::new();
+                    loop {
+                        indices.push(self.parse_expr()?);
+                        if !self.accept(TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RBracket)?;
+                    e = SurfaceExpr::Subscript(Box::new(e), indices);
+                }
+                TokenKind::Dot => {
+                    self.advance();
+                    let field = self.expect_ident()?;
+                    e = SurfaceExpr::Attr(Box::new(e), field);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<SurfaceExpr> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(SurfaceExpr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(SurfaceExpr::Float(v))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(SurfaceExpr::Str(s))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if matches!(self.peek_kind(), TokenKind::LParen) {
+                    self.advance();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek_kind(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.accept(TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    Ok(SurfaceExpr::Call(name, args))
+                } else {
+                    Ok(SurfaceExpr::Name(name))
+                }
+            }
+            other => Err(self.err_here(format!("unexpected {}", other.describe()))),
+        }
+    }
+}
+
+/// Parse one directive from source text.
+pub fn parse(src: &str) -> Result<DirectiveAst> {
+    let mut p = Parser::new(src)?;
+    let d = p.parse_directive()?;
+    p.skip_newlines();
+    // allow trailing dedents/newlines only
+    loop {
+        match p.peek_kind() {
+            TokenKind::Eof => break,
+            TokenKind::Newline | TokenKind::Dedent => {
+                p.advance();
+            }
+            other => {
+                return Err(MdhError::Parse {
+                    line: p.peek().line,
+                    col: p.peek().col,
+                    message: format!("trailing {} after directive", other.describe()),
+                })
+            }
+        }
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MATVEC: &str = "\
+@mdh( out( w = Buffer[fp32] ),
+      inp( M = Buffer[fp32], v = Buffer[fp32] ),
+      combine_ops( cc, pw(add) ) )
+def matvec(w, M, v):
+    for i in range(I):
+        for k in range(K):
+            w[i] = M[i, k] * v[k]
+";
+
+    #[test]
+    fn parses_matvec() {
+        let d = parse(MATVEC).unwrap();
+        assert_eq!(d.name, "matvec");
+        assert_eq!(d.params, vec!["w", "M", "v"]);
+        assert_eq!(d.out.len(), 1);
+        assert_eq!(d.inp.len(), 2);
+        assert_eq!(
+            d.combine_ops,
+            vec![CombineOpSpec::Cc, CombineOpSpec::Pw("add".into())]
+        );
+        // two nested loops
+        let SurfaceStmt::For { var, body, .. } = &d.body[0] else {
+            panic!("expected for");
+        };
+        assert_eq!(var, "i");
+        let SurfaceStmt::For { var, body, .. } = &body[0] else {
+            panic!("expected inner for");
+        };
+        assert_eq!(var, "k");
+        assert!(matches!(&body[0], SurfaceStmt::Assign { .. }));
+    }
+
+    #[test]
+    fn parses_buffer_with_shape() {
+        let src = "\
+@mdh( out( res = Buffer[fp32] ),
+      inp( img = Buffer[fp32, [N, 2*P+R-1, C]] ),
+      combine_ops( cc ) )
+def f(res, img):
+    for n in range(N):
+        res[n] = img[n, 0, 0]
+";
+        let d = parse(src).unwrap();
+        let shape = d.inp[0].shape.as_ref().unwrap();
+        assert_eq!(shape.len(), 3);
+        assert_eq!(shape[0], SurfaceExpr::Name("N".into()));
+    }
+
+    #[test]
+    fn parses_if_else_and_decl() {
+        let src = "\
+@mdh( out( o = Buffer[fp64] ),
+      inp( a = Buffer[fp64] ),
+      combine_ops( cc ) )
+def f(o, a):
+    for i in range(N):
+        tmp: fp64
+        tmp = a[i] * 2
+        if tmp > 1.0:
+            o[i] = tmp
+        else:
+            o[i] = 0.0
+";
+        let d = parse(src).unwrap();
+        let SurfaceStmt::For { body, .. } = &d.body[0] else {
+            panic!()
+        };
+        assert!(matches!(&body[0], SurfaceStmt::Decl { name, .. } if name == "tmp"));
+        assert!(matches!(&body[2], SurfaceStmt::If { else_branch, .. } if !else_branch.is_empty()));
+    }
+
+    #[test]
+    fn plus_assign_parsed_for_error_reporting() {
+        let src = "\
+@mdh( out( w = Buffer[fp32] ),
+      inp( v = Buffer[fp32] ),
+      combine_ops( pw(add) ) )
+def f(w, v):
+    for k in range(K):
+        w[0] += v[k]
+";
+        let d = parse(src).unwrap();
+        let SurfaceStmt::For { body, .. } = &d.body[0] else {
+            panic!()
+        };
+        assert!(matches!(&body[0], SurfaceStmt::AugAssign { .. }));
+    }
+
+    #[test]
+    fn missing_clause_rejected() {
+        let src = "\
+@mdh( out( w = Buffer[fp32] ),
+      combine_ops( cc ) )
+def f(w):
+    for i in range(I):
+        w[i] = 1
+";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn unknown_combine_op_rejected() {
+        let src = "\
+@mdh( out( w = Buffer[fp32] ),
+      inp( v = Buffer[fp32] ),
+      combine_ops( scan ) )
+def f(w, v):
+    for i in range(I):
+        w[i] = v[i]
+";
+        let e = parse(src).unwrap_err();
+        assert!(e.to_string().contains("unknown combine operator"));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let mut p = Parser::new("a + b * c").unwrap();
+        let e = p.parse_expr().unwrap();
+        // a + (b * c)
+        assert!(matches!(e, SurfaceExpr::Bin(SurfBinOp::Add, _, ref r)
+            if matches!(**r, SurfaceExpr::Bin(SurfBinOp::Mul, _, _))));
+    }
+
+    #[test]
+    fn attribute_and_string_subscript() {
+        let mut p = Parser::new("probM[n, i].match_weight").unwrap();
+        let e = p.parse_expr().unwrap();
+        assert!(matches!(e, SurfaceExpr::Attr(_, ref f) if f == "match_weight"));
+        let mut p = Parser::new("lhs['id_measure']").unwrap();
+        let e = p.parse_expr().unwrap();
+        assert!(matches!(e, SurfaceExpr::Subscript(_, ref idx)
+            if matches!(idx[0], SurfaceExpr::Str(_))));
+    }
+
+    #[test]
+    fn call_expressions() {
+        let mut p = Parser::new("max(a, b) + sqrt(c)").unwrap();
+        let e = p.parse_expr().unwrap();
+        assert!(matches!(e, SurfaceExpr::Bin(SurfBinOp::Add, _, _)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Abstract System Models (ASM).
+//!
+//! The MDH lowering [Rasch, TOPLAS 2024] targets an *abstract system
+//! model*: a hierarchy of memory and core levels that instantiates to
+//! concrete devices (a CUDA GPU: device / block / thread over DRAM /
+//! shared / registers; an OpenCL CPU: machine / core / SIMD-lane over
+//! DRAM / L2 / L1). Schedules are expressed against an ASM; the backends
+//! interpret them on the real machine (CPU) or on the simulator (GPU).
+
+/// Kind of device an ASM describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    Cpu,
+    Gpu,
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceKind::Cpu => f.write_str("CPU"),
+            DeviceKind::Gpu => f.write_str("GPU"),
+        }
+    }
+}
+
+/// A level of the core hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreLevel {
+    pub name: String,
+    /// Maximum number of parallel units at this level (1 = sequential).
+    pub max_units: usize,
+}
+
+/// A level of the memory hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryLevel {
+    pub name: String,
+    /// Capacity in bytes (usize::MAX for unbounded main memory).
+    pub capacity: usize,
+    /// Sustained bandwidth in GiB/s (for cost modelling).
+    pub bandwidth_gib_s: f64,
+}
+
+/// An abstract system model: named core and memory hierarchies plus the
+/// peak-compute figure the cost model normalises against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Asm {
+    pub name: String,
+    pub device: DeviceKind,
+    pub core_levels: Vec<CoreLevel>,
+    pub memory_levels: Vec<MemoryLevel>,
+    /// Peak FP32 throughput in GFLOP/s.
+    pub peak_gflops: f64,
+}
+
+impl Asm {
+    /// Total parallel units (product over core levels).
+    pub fn total_parallelism(&self) -> usize {
+        self.core_levels.iter().map(|l| l.max_units).product()
+    }
+
+    /// An ASM resembling the paper's CPU platform (Intel Xeon Gold 6140:
+    /// 18 cores / 36 threads, AVX-512).
+    pub fn xeon_gold_6140(threads: usize) -> Asm {
+        Asm {
+            name: "Intel Xeon Gold 6140 (model)".into(),
+            device: DeviceKind::Cpu,
+            core_levels: vec![
+                CoreLevel {
+                    name: "thread".into(),
+                    max_units: threads,
+                },
+                CoreLevel {
+                    name: "simd-lane".into(),
+                    max_units: 16, // AVX-512 fp32 lanes
+                },
+            ],
+            memory_levels: vec![
+                MemoryLevel {
+                    name: "DRAM".into(),
+                    capacity: usize::MAX,
+                    bandwidth_gib_s: 100.0,
+                },
+                MemoryLevel {
+                    name: "L2".into(),
+                    capacity: 1 << 20,
+                    bandwidth_gib_s: 800.0,
+                },
+                MemoryLevel {
+                    name: "L1".into(),
+                    capacity: 32 << 10,
+                    bandwidth_gib_s: 2000.0,
+                },
+            ],
+            peak_gflops: 2500.0,
+        }
+    }
+
+    /// An ASM resembling the paper's GPU platform (NVIDIA A100-PCIE-40GB).
+    pub fn a100() -> Asm {
+        Asm {
+            name: "NVIDIA A100-PCIE-40GB (model)".into(),
+            device: DeviceKind::Gpu,
+            core_levels: vec![
+                CoreLevel {
+                    name: "block".into(),
+                    max_units: 108 * 32, // enough blocks to saturate 108 SMs
+                },
+                CoreLevel {
+                    name: "thread".into(),
+                    max_units: 1024,
+                },
+            ],
+            memory_levels: vec![
+                MemoryLevel {
+                    name: "HBM2".into(),
+                    capacity: 40 << 30,
+                    bandwidth_gib_s: 1555.0,
+                },
+                MemoryLevel {
+                    name: "shared".into(),
+                    capacity: 164 << 10, // per-SM shared/L1
+                    bandwidth_gib_s: 19400.0,
+                },
+                MemoryLevel {
+                    name: "register".into(),
+                    capacity: 256 << 10,
+                    bandwidth_gib_s: 60000.0,
+                },
+            ],
+            peak_gflops: 19500.0,
+        }
+    }
+}
+
+/// GPU hardware constants used by the simulator's cost model, split out so
+/// tests and ablations can vary them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuParams {
+    pub num_sms: usize,
+    pub max_threads_per_block: usize,
+    pub max_threads_per_sm: usize,
+    pub warp_size: usize,
+    pub shared_mem_per_sm: usize,
+    pub dram_bw_gib_s: f64,
+    pub shared_bw_gib_s: f64,
+    pub peak_gflops: f64,
+    /// Fixed kernel-launch latency in microseconds.
+    pub launch_overhead_us: f64,
+    /// DRAM transaction granularity in bytes (coalescing unit).
+    pub transaction_bytes: usize,
+}
+
+impl GpuParams {
+    pub fn a100() -> GpuParams {
+        GpuParams {
+            num_sms: 108,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            warp_size: 32,
+            shared_mem_per_sm: 164 << 10,
+            dram_bw_gib_s: 1555.0,
+            shared_bw_gib_s: 19400.0,
+            peak_gflops: 19500.0,
+            launch_overhead_us: 5.0,
+            transaction_bytes: 32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let cpu = Asm::xeon_gold_6140(36);
+        assert_eq!(cpu.device, DeviceKind::Cpu);
+        assert_eq!(cpu.total_parallelism(), 36 * 16);
+        let gpu = Asm::a100();
+        assert_eq!(gpu.device, DeviceKind::Gpu);
+        assert!(gpu.total_parallelism() > 100_000);
+    }
+
+    #[test]
+    fn gpu_params_sane() {
+        let p = GpuParams::a100();
+        assert_eq!(p.max_threads_per_block, 1024);
+        assert!(p.dram_bw_gib_s > 1000.0);
+        assert_eq!(p.warp_size, 32);
+    }
+}

@@ -1,0 +1,154 @@
+//! Human-readable lowering explanations.
+//!
+//! Renders what the (de)composition actually does to a program under a
+//! schedule — which dimensions split into how many chunks, how partial
+//! results recombine, what stays sequential — in the vocabulary of the
+//! MDH formalism. Used by `mdhc explain` and handy in test failures.
+
+use crate::plan::ExecutionPlan;
+use crate::schedule::{ReductionStrategy, Schedule};
+use mdh_core::combine::DimBehavior;
+use mdh_core::dsl::DslProgram;
+use mdh_core::error::Result;
+use std::fmt::Write;
+
+/// Produce a multi-line explanation of the schedule's decomposition.
+pub fn explain(prog: &DslProgram, schedule: &Schedule) -> Result<String> {
+    let plan = ExecutionPlan::build(prog, schedule)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "program '{}' on {}: {}D iteration space {:?}",
+        prog.name,
+        schedule.device,
+        prog.rank(),
+        prog.md_hom.sizes
+    );
+    for (d, op) in prog.md_hom.combine_ops.iter().enumerate() {
+        let size = prog.md_hom.sizes[d];
+        let chunks = schedule.par_chunks[d];
+        let role = match op.behavior() {
+            DimBehavior::Preserve => {
+                if op.is_reduction() {
+                    "scan (ps)"
+                } else {
+                    "concatenation (cc)"
+                }
+            }
+            DimBehavior::Collapse => "reduction (pw)",
+        };
+        let mut line = format!("  dim {d} [{size}] {role} ⊗ {op}: ");
+        if chunks > 1 {
+            let _ = write!(
+                line,
+                "decomposed into {chunks} chunks of ~{}",
+                size.div_ceil(chunks)
+            );
+            if op.is_reduction() {
+                let _ = write!(
+                    line,
+                    "; partials recombined by {}",
+                    match schedule.reduction {
+                        ReductionStrategy::Tree => "a parallel combine tree",
+                        ReductionStrategy::Sequential => "a sequential fold",
+                    }
+                );
+            }
+        } else {
+            let _ = write!(line, "kept whole per unit");
+            if op.is_reduction() {
+                let _ = write!(line, " (reduced sequentially in-unit)");
+            }
+        }
+        if schedule.block_threads[d] > 1 {
+            let _ = write!(
+                line,
+                "; {} {} per chunk",
+                schedule.block_threads[d],
+                match schedule.device {
+                    crate::asm::DeviceKind::Gpu => "threads",
+                    crate::asm::DeviceKind::Cpu => "SIMD lanes",
+                }
+            );
+        }
+        if schedule.inner_tiles[d] > 1 {
+            let _ = write!(line, "; cache/staging strips of {}", schedule.inner_tiles[d]);
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(
+        out,
+        "  ⇒ {} parallel task(s){}",
+        plan.tasks.len(),
+        if plan.split_dims.is_empty() {
+            String::from(", each owning a disjoint output region")
+        } else {
+            format!(
+                ", combined in {} group(s) along split reduction dim(s) {:?}",
+                plan.groups.len(),
+                plan.split_dims
+            )
+        }
+    );
+    if schedule.stage_inputs {
+        let _ = writeln!(
+            out,
+            "  ⇒ input strips staged in fast memory before use"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  legality: every recombination is an application of the \
+         homomorphism law h(P ++ Q) = h(P) ⊗ h(Q)"
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::DeviceKind;
+    use crate::heuristics::mdh_default_schedule;
+    use mdh_core::combine::CombineOp;
+    use mdh_core::dsl::DslBuilder;
+    use mdh_core::expr::ScalarFunction;
+    use mdh_core::index_fn::IndexFn;
+    use mdh_core::types::{BasicType, ScalarKind};
+
+    fn matvec(i: usize, k: usize) -> DslProgram {
+        DslBuilder::new("matvec", vec![i, k])
+            .out_buffer("w", BasicType::F32)
+            .out_access("w", IndexFn::select(2, &[0]))
+            .inp_buffer("M", BasicType::F32)
+            .inp_access("M", IndexFn::identity(2, 2))
+            .inp_buffer("v", BasicType::F32)
+            .inp_access("v", IndexFn::select(2, &[1]))
+            .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::cc(), CombineOp::pw_add()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn explanation_mentions_key_decisions() {
+        let p = matvec(4096, 4096);
+        let s = mdh_default_schedule(&p, DeviceKind::Cpu, 16);
+        let text = explain(&p, &s).unwrap();
+        assert!(text.contains("concatenation (cc)"), "{text}");
+        assert!(text.contains("reduction (pw)"), "{text}");
+        assert!(text.contains("16 chunks"), "{text}");
+        assert!(text.contains("homomorphism law"), "{text}");
+    }
+
+    #[test]
+    fn split_reduction_explained() {
+        use crate::schedule::Schedule;
+        let p = matvec(8, 4096);
+        let mut s = Schedule::sequential(2, DeviceKind::Cpu);
+        s.par_chunks = vec![2, 8];
+        s.reduction = ReductionStrategy::Tree;
+        let text = explain(&p, &s).unwrap();
+        assert!(text.contains("parallel combine tree"), "{text}");
+        assert!(text.contains("split reduction dim(s) [1]"), "{text}");
+    }
+}

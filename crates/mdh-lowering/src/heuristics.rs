@@ -1,0 +1,216 @@
+//! Schedule heuristics.
+//!
+//! The MDH pipeline auto-tunes schedules, but needs a starting point — and
+//! several experiments compare against "heuristic" (untuned) variants of
+//! the polyhedral baselines. This module derives sensible default
+//! schedules from program structure: parallelise concatenation dimensions
+//! first, split reduction dimensions only when concatenation parallelism
+//! is insufficient, and pick cache-/block-friendly inner tiles.
+
+use crate::asm::DeviceKind;
+use crate::schedule::{ReductionStrategy, Schedule};
+use mdh_core::dsl::DslProgram;
+
+/// A reasonable default MDH schedule for the given device.
+///
+/// * CPU: spread cc dimensions over `parallel_units` threads; if the total
+///   cc extent is smaller than the thread count (reduction-heavy programs
+///   like Dot or PRL input 1), additionally split the largest reduction
+///   dimension — the capability the baselines lack.
+/// * GPU: cc dims map to blocks and threads; reduction dims are split when
+///   the grid would otherwise under-fill the device.
+pub fn mdh_default_schedule(
+    prog: &DslProgram,
+    device: DeviceKind,
+    parallel_units: usize,
+) -> Schedule {
+    let rank = prog.rank();
+    let sizes = &prog.md_hom.sizes;
+    let cc_dims = prog.md_hom.cc_dims();
+    let red_dims = prog.md_hom.reduction_dims();
+
+    let mut s = Schedule::sequential(rank, device);
+    s.stage_inputs = true;
+
+    // distribute `parallel_units` over cc dims greedily (largest first)
+    let mut budget = parallel_units.max(1);
+    let mut order: Vec<usize> = cc_dims.clone();
+    order.sort_by_key(|&d| std::cmp::Reverse(sizes[d]));
+    for &d in &order {
+        if budget <= 1 {
+            break;
+        }
+        let take = budget.min(sizes[d].max(1));
+        s.par_chunks[d] = take;
+        budget = budget.div_ceil(take);
+    }
+
+    // if cc parallelism is insufficient, split reduction dims
+    let cc_parallelism: usize = s.par_chunks.iter().product();
+    if cc_parallelism * 2 <= parallel_units && !red_dims.is_empty() {
+        let mut rbudget = (parallel_units / cc_parallelism.max(1)).max(1);
+        let mut rorder: Vec<usize> = red_dims.clone();
+        rorder.sort_by_key(|&d| std::cmp::Reverse(sizes[d]));
+        for &d in &rorder {
+            if rbudget <= 1 {
+                break;
+            }
+            let take = rbudget.min(sizes[d].max(1));
+            s.par_chunks[d] = take;
+            rbudget = rbudget.div_ceil(take);
+        }
+        if s.splits_reduction(prog) {
+            s.reduction = ReductionStrategy::Tree;
+        }
+    }
+
+    // inner tiles: favour the innermost two dims with modest tiles so the
+    // working set fits in L1/shared memory
+    for d in (0..rank).rev().take(2) {
+        let chunk = sizes[d] / s.par_chunks[d].max(1);
+        s.inner_tiles[d] = pick_tile(chunk);
+    }
+
+    if device == DeviceKind::Gpu {
+        // threads per block over the two largest preserved dims
+        let mut tbudget = 256usize;
+        let mut pdims = prog.md_hom.preserved_dims();
+        pdims.sort_by_key(|&d| std::cmp::Reverse(sizes[d]));
+        for &d in pdims.iter().take(2) {
+            if tbudget <= 1 {
+                break;
+            }
+            let per_chunk = (sizes[d] / s.par_chunks[d].max(1)).max(1);
+            let take = tbudget.min(per_chunk).min(32);
+            s.block_threads[d] = take.max(1);
+            tbudget /= take.max(1);
+        }
+        // reduction-only programs: cover the reduction dim with threads
+        if pdims.is_empty() || pdims.iter().all(|&d| sizes[d] == 1) {
+            if let Some(&d) = red_dims.first() {
+                s.block_threads[d] = 256.min(sizes[d].max(1));
+                if s.block_threads[d] > 1 {
+                    s.reduction = ReductionStrategy::Tree;
+                }
+            }
+        }
+    }
+
+    if device == DeviceKind::Cpu {
+        // generated OpenCL vectorises a suitable loop regardless of the
+        // combine operator — MDH's codegen advantage over reduction
+        // clauses (modelled through the SIMD-lane field). Pick the
+        // dimension with the most usable lanes (innermost on ties).
+        let d = (0..rank)
+            .rev()
+            .max_by_key(|&d| sizes[d].min(16))
+            .unwrap_or(rank - 1);
+        s.block_threads[d] = 16.min(sizes[d]).max(1);
+        if s.block_threads[d] > 1 && prog.md_hom.reduction_dims().contains(&d) {
+            s.reduction = ReductionStrategy::Tree;
+        }
+    }
+    s.loop_order = default_loop_order(prog);
+    s
+}
+
+/// Largest power of two ≤ 64 dividing comfortably into `extent` (≥ 1).
+fn pick_tile(extent: usize) -> usize {
+    let mut t = 64usize;
+    while t > 1 && t > extent {
+        t /= 2;
+    }
+    t.max(1)
+}
+
+/// Default loop order: preserved dims outermost (in index order), reduction
+/// dims innermost — the order that keeps output accumulators register- or
+/// cache-resident.
+pub fn default_loop_order(prog: &DslProgram) -> Vec<usize> {
+    let mut order = prog.md_hom.preserved_dims();
+    order.extend(prog.md_hom.collapsed_dims());
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdh_core::combine::CombineOp;
+    use mdh_core::dsl::DslBuilder;
+    use mdh_core::expr::ScalarFunction;
+    use mdh_core::index_fn::{AffineExpr, IndexFn};
+    use mdh_core::types::{BasicType, ScalarKind};
+
+    fn matvec(i: usize, k: usize) -> DslProgram {
+        DslBuilder::new("matvec", vec![i, k])
+            .out_buffer("w", BasicType::F32)
+            .out_access("w", IndexFn::select(2, &[0]))
+            .inp_buffer("M", BasicType::F32)
+            .inp_access("M", IndexFn::identity(2, 2))
+            .inp_buffer("v", BasicType::F32)
+            .inp_access("v", IndexFn::select(2, &[1]))
+            .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::cc(), CombineOp::pw_add()])
+            .build()
+            .unwrap()
+    }
+
+    fn dot(n: usize) -> DslProgram {
+        DslBuilder::new("dot", vec![n])
+            .out_buffer("res", BasicType::F32)
+            .out_access("res", IndexFn::affine(vec![AffineExpr::constant(1, 0)]))
+            .inp_buffer("x", BasicType::F32)
+            .inp_access("x", IndexFn::identity(1, 1))
+            .inp_buffer("y", BasicType::F32)
+            .inp_access("y", IndexFn::identity(1, 1))
+            .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::pw_add()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matvec_parallelises_cc_dim() {
+        let p = matvec(4096, 4096);
+        let s = mdh_default_schedule(&p, DeviceKind::Cpu, 16);
+        s.validate(&p, 1 << 20).unwrap();
+        assert_eq!(s.par_chunks[0], 16, "cc dim takes all threads");
+        assert_eq!(s.par_chunks[1], 1, "reduction stays sequential per thread");
+    }
+
+    #[test]
+    fn dot_splits_reduction() {
+        // a pure-reduction program *must* split the reduction dim to use
+        // the machine at all — the paper's key capability argument
+        let p = dot(1 << 20);
+        let s = mdh_default_schedule(&p, DeviceKind::Cpu, 16);
+        s.validate(&p, 1 << 20).unwrap();
+        assert!(s.par_chunks[0] > 1);
+        assert_eq!(s.reduction, ReductionStrategy::Tree);
+    }
+
+    #[test]
+    fn small_cc_dim_triggers_reduction_split() {
+        // PRL input 1 shape: small cc dim (2^10), large reduction (2^15)
+        let p = matvec(8, 1 << 15);
+        let s = mdh_default_schedule(&p, DeviceKind::Cpu, 32);
+        s.validate(&p, 1 << 20).unwrap();
+        assert!(s.par_chunks[1] > 1, "large reduction dim gets split");
+        assert_eq!(s.reduction, ReductionStrategy::Tree);
+    }
+
+    #[test]
+    fn gpu_schedule_within_limits() {
+        let p = matvec(4096, 4096);
+        let s = mdh_default_schedule(&p, DeviceKind::Gpu, 108 * 32);
+        s.validate(&p, 1 << 30).unwrap();
+        assert!(s.threads_per_block() <= 1024);
+        assert!(s.grid_size() >= 108);
+    }
+
+    #[test]
+    fn loop_order_reductions_innermost() {
+        let p = matvec(8, 8);
+        assert_eq!(default_loop_order(&p), vec![0, 1]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Schedules: the low-level representation of the MDH lowering.
+//!
+//! A [`Schedule`] fixes, per iteration-space dimension, how the dimension
+//! is (de)composed across the machine hierarchy: how many parallel chunks
+//! it is split into, how threads within a GPU block cover it, the inner
+//! sequential tile, and the loop order. These are exactly the knobs the
+//! auto-tuner searches over and the knobs whose absence cripples the
+//! baseline systems (e.g. OpenACC's lack of automatic tiling, Section 5.2).
+
+use crate::asm::DeviceKind;
+use mdh_core::combine::CombineOp;
+use mdh_core::dsl::DslProgram;
+use mdh_core::error::{MdhError, Result};
+
+/// How a reduction (`pw`/`ps`) dimension is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReductionStrategy {
+    /// Each parallel unit reduces its whole reduction range sequentially;
+    /// no inter-unit combine is needed. This is all OpenMP/OpenACC can do
+    /// for operators beyond their native set, and all PPCG/Pluto can do at
+    /// all (carried dependence).
+    Sequential,
+    /// The reduction dimension is partitioned across parallel units and
+    /// partial results are combined with a logarithmic tree — legal
+    /// because combine operators are associative (checked by the
+    /// homomorphism laws).
+    Tree,
+}
+
+/// A complete schedule for one program on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    pub device: DeviceKind,
+    /// Number of top-level parallel chunks per dimension (threads on CPU,
+    /// blocks on GPU). Product = task/grid size.
+    pub par_chunks: Vec<usize>,
+    /// GPU only: threads per block per dimension (product ≤ 1024). On CPU
+    /// this models the SIMD-lane level and is used by the cost estimate
+    /// only.
+    pub block_threads: Vec<usize>,
+    /// Innermost sequential tile per dimension (cache tile on CPU,
+    /// per-thread micro-tile on GPU).
+    pub inner_tiles: Vec<usize>,
+    /// Strategy for reduction dimensions.
+    pub reduction: ReductionStrategy,
+    /// Stage reused input regions in fast memory (GPU shared memory /
+    /// CPU cache-resident tiles).
+    pub stage_inputs: bool,
+    /// Permutation of dimensions giving the sequential loop order within a
+    /// task (outermost first).
+    pub loop_order: Vec<usize>,
+}
+
+impl Schedule {
+    /// A trivial (fully sequential, untiled) schedule.
+    pub fn sequential(rank: usize, device: DeviceKind) -> Schedule {
+        Schedule {
+            device,
+            par_chunks: vec![1; rank],
+            block_threads: vec![1; rank],
+            inner_tiles: vec![1; rank],
+            reduction: ReductionStrategy::Sequential,
+            stage_inputs: false,
+            loop_order: (0..rank).collect(),
+        }
+    }
+
+    /// Total number of top-level parallel tasks (CPU tasks / GPU blocks).
+    pub fn grid_size(&self) -> usize {
+        self.par_chunks.iter().product()
+    }
+
+    /// GPU: threads per block.
+    pub fn threads_per_block(&self) -> usize {
+        self.block_threads.iter().product()
+    }
+
+    /// Whether any reduction dimension of `prog` is split across parallel
+    /// chunks (requiring an inter-unit combine).
+    pub fn splits_reduction(&self, prog: &DslProgram) -> bool {
+        prog.md_hom
+            .reduction_dims()
+            .into_iter()
+            .any(|d| self.par_chunks[d] > 1 || self.block_threads[d] > 1)
+    }
+
+    /// Validate the schedule against a program and device limits.
+    pub fn validate(&self, prog: &DslProgram, max_parallel: usize) -> Result<()> {
+        let rank = prog.rank();
+        for (name, v) in [
+            ("par_chunks", &self.par_chunks),
+            ("block_threads", &self.block_threads),
+            ("inner_tiles", &self.inner_tiles),
+        ] {
+            if v.len() != rank {
+                return Err(MdhError::Validation(format!(
+                    "schedule field {name} has {} entries for a rank-{rank} program",
+                    v.len()
+                )));
+            }
+            if v.contains(&0) {
+                return Err(MdhError::Validation(format!(
+                    "schedule field {name} contains a zero"
+                )));
+            }
+        }
+        for d in 0..rank {
+            if self.par_chunks[d] > prog.md_hom.sizes[d].max(1) {
+                return Err(MdhError::Validation(format!(
+                    "dim {d}: {} parallel chunks exceed size {}",
+                    self.par_chunks[d], prog.md_hom.sizes[d]
+                )));
+            }
+        }
+        if self.grid_size() > max_parallel {
+            return Err(MdhError::Validation(format!(
+                "grid size {} exceeds device parallelism {max_parallel}",
+                self.grid_size()
+            )));
+        }
+        if self.device == DeviceKind::Gpu && self.threads_per_block() > 1024 {
+            return Err(MdhError::Validation(format!(
+                "threads per block {} exceeds 1024",
+                self.threads_per_block()
+            )));
+        }
+        // loop order must be a permutation of 0..rank
+        let mut seen = vec![false; rank];
+        if self.loop_order.len() != rank {
+            return Err(MdhError::Validation("loop_order length mismatch".into()));
+        }
+        for &d in &self.loop_order {
+            if d >= rank || seen[d] {
+                return Err(MdhError::Validation(format!(
+                    "loop_order {:?} is not a permutation",
+                    self.loop_order
+                )));
+            }
+            seen[d] = true;
+        }
+        // sequential reduction forbids splitting reduction dims
+        if self.reduction == ReductionStrategy::Sequential && self.splits_reduction(prog) {
+            return Err(MdhError::Validation(
+                "reduction dims are split across parallel units but the \
+                 reduction strategy is Sequential"
+                    .into(),
+            ));
+        }
+        // splitting a reduction requires an associative combine operator:
+        // cc dims are not reductions; pw/ps functions are associative by
+        // the directive contract (validated empirically by the law tests),
+        // so nothing further to check statically here.
+        let _ = CombineOp::cc();
+        Ok(())
+    }
+
+    /// A human-readable one-line summary (used by tuner logs).
+    pub fn summary(&self) -> String {
+        format!(
+            "par={:?} threads={:?} tiles={:?} red={:?} stage={} order={:?}",
+            self.par_chunks,
+            self.block_threads,
+            self.inner_tiles,
+            self.reduction,
+            self.stage_inputs,
+            self.loop_order
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdh_core::dsl::DslBuilder;
+    use mdh_core::expr::ScalarFunction;
+    use mdh_core::index_fn::IndexFn;
+    use mdh_core::types::{BasicType, ScalarKind};
+
+    fn matvec(i: usize, k: usize) -> DslProgram {
+        DslBuilder::new("matvec", vec![i, k])
+            .out_buffer("w", BasicType::F32)
+            .out_access("w", IndexFn::select(2, &[0]))
+            .inp_buffer("M", BasicType::F32)
+            .inp_access("M", IndexFn::identity(2, 2))
+            .inp_buffer("v", BasicType::F32)
+            .inp_access("v", IndexFn::select(2, &[1]))
+            .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::cc(), CombineOp::pw_add()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sequential_schedule_validates() {
+        let p = matvec(16, 16);
+        let s = Schedule::sequential(2, DeviceKind::Cpu);
+        s.validate(&p, 64).unwrap();
+        assert_eq!(s.grid_size(), 1);
+        assert!(!s.splits_reduction(&p));
+    }
+
+    #[test]
+    fn split_reduction_requires_tree() {
+        let p = matvec(16, 16);
+        let mut s = Schedule::sequential(2, DeviceKind::Cpu);
+        s.par_chunks = vec![2, 4]; // splits the k (reduction) dim
+        assert!(s.validate(&p, 64).is_err());
+        s.reduction = ReductionStrategy::Tree;
+        s.validate(&p, 64).unwrap();
+        assert!(s.splits_reduction(&p));
+    }
+
+    #[test]
+    fn rejects_zero_and_oversize() {
+        let p = matvec(16, 16);
+        let mut s = Schedule::sequential(2, DeviceKind::Cpu);
+        s.inner_tiles = vec![0, 1];
+        assert!(s.validate(&p, 64).is_err());
+        let mut s = Schedule::sequential(2, DeviceKind::Cpu);
+        s.par_chunks = vec![32, 1]; // > size 16
+        assert!(s.validate(&p, 64).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_loop_order() {
+        let p = matvec(16, 16);
+        let mut s = Schedule::sequential(2, DeviceKind::Cpu);
+        s.loop_order = vec![0, 0];
+        assert!(s.validate(&p, 64).is_err());
+    }
+
+    #[test]
+    fn gpu_thread_limit() {
+        let p = matvec(4096, 4096);
+        let mut s = Schedule::sequential(2, DeviceKind::Gpu);
+        s.block_threads = vec![64, 64]; // 4096 > 1024
+        assert!(s.validate(&p, 1 << 20).is_err());
+    }
+}

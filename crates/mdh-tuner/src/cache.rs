@@ -1,0 +1,297 @@
+//! Persistent tuning cache.
+//!
+//! Real MDH deployments amortise the paper's 12-hour tuning runs by
+//! caching the winning schedule per (program, device, size) signature —
+//! the same reuse argument the paper makes for deep-learning kernels.
+//! The cache serialises to a simple line-oriented text format (no
+//! external dependencies) and round-trips schedules exactly.
+
+use mdh_core::dsl::DslProgram;
+use mdh_lowering::asm::DeviceKind;
+use mdh_lowering::schedule::{ReductionStrategy, Schedule};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A stable signature for one tuning problem.
+pub fn program_signature(prog: &DslProgram, device: DeviceKind) -> String {
+    let sizes: Vec<String> = prog.md_hom.sizes.iter().map(|s| s.to_string()).collect();
+    let ops: Vec<String> = prog
+        .md_hom
+        .combine_ops
+        .iter()
+        .map(|o| o.to_string())
+        .collect();
+    format!(
+        "{}|{}|{}|{}",
+        prog.name,
+        device,
+        sizes.join("x"),
+        ops.join(",")
+    )
+}
+
+/// A cached schedule with its tuned cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    pub schedule: Schedule,
+    pub cost: f64,
+}
+
+/// The cache: signature → best-known schedule.
+#[derive(Debug, Clone, Default)]
+pub struct TuningCache {
+    entries: HashMap<String, CacheEntry>,
+}
+
+impl TuningCache {
+    pub fn new() -> TuningCache {
+        TuningCache::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn lookup(&self, prog: &DslProgram, device: DeviceKind) -> Option<&CacheEntry> {
+        self.entries.get(&program_signature(prog, device))
+    }
+
+    /// Insert if better than any existing entry; returns true on update.
+    pub fn record(
+        &mut self,
+        prog: &DslProgram,
+        device: DeviceKind,
+        schedule: Schedule,
+        cost: f64,
+    ) -> bool {
+        let key = program_signature(prog, device);
+        match self.entries.get(&key) {
+            Some(e) if e.cost <= cost => false,
+            _ => {
+                self.entries.insert(key, CacheEntry { schedule, cost });
+                true
+            }
+        }
+    }
+
+    // -- serialisation -----------------------------------------------------
+
+    /// Serialise to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# mdh tuning cache v1\n");
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort();
+        for key in keys {
+            let e = &self.entries[key];
+            let s = &e.schedule;
+            let join = |v: &[usize]| {
+                v.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = writeln!(
+                out,
+                "entry\t{key}\t{cost}\t{device}\tpar={par}\ttpb={tpb}\ttiles={tiles}\tred={red}\tstage={stage}\torder={order}",
+                cost = e.cost,
+                device = match s.device {
+                    DeviceKind::Cpu => "cpu",
+                    DeviceKind::Gpu => "gpu",
+                },
+                par = join(&s.par_chunks),
+                tpb = join(&s.block_threads),
+                tiles = join(&s.inner_tiles),
+                red = match s.reduction {
+                    ReductionStrategy::Sequential => "seq",
+                    ReductionStrategy::Tree => "tree",
+                },
+                stage = s.stage_inputs,
+                order = join(&s.loop_order),
+            );
+        }
+        out
+    }
+
+    /// Parse the text format (ignores unknown lines; returns an error on
+    /// malformed entries).
+    pub fn from_text(text: &str) -> Result<TuningCache, String> {
+        let mut cache = TuningCache::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split('\t');
+            if fields.next() != Some("entry") {
+                continue;
+            }
+            let err = |m: &str| format!("line {}: {m}", ln + 1);
+            let key = fields.next().ok_or_else(|| err("missing key"))?.to_string();
+            let cost: f64 = fields
+                .next()
+                .ok_or_else(|| err("missing cost"))?
+                .parse()
+                .map_err(|_| err("bad cost"))?;
+            let device = match fields.next() {
+                Some("cpu") => DeviceKind::Cpu,
+                Some("gpu") => DeviceKind::Gpu,
+                _ => return Err(err("bad device")),
+            };
+            let mut par = Vec::new();
+            let mut tpb = Vec::new();
+            let mut tiles = Vec::new();
+            let mut red = ReductionStrategy::Sequential;
+            let mut stage = false;
+            let mut order = Vec::new();
+            for f in fields {
+                let (k, v) = f.split_once('=').ok_or_else(|| err("bad field"))?;
+                let list = |v: &str| -> Result<Vec<usize>, String> {
+                    if v.is_empty() {
+                        return Ok(Vec::new());
+                    }
+                    v.split(',')
+                        .map(|x| x.parse().map_err(|_| err("bad number")))
+                        .collect()
+                };
+                match k {
+                    "par" => par = list(v)?,
+                    "tpb" => tpb = list(v)?,
+                    "tiles" => tiles = list(v)?,
+                    "red" => {
+                        red = match v {
+                            "tree" => ReductionStrategy::Tree,
+                            "seq" => ReductionStrategy::Sequential,
+                            _ => return Err(err("bad reduction strategy")),
+                        }
+                    }
+                    "stage" => stage = v == "true",
+                    "order" => order = list(v)?,
+                    _ => {} // forward compatibility
+                }
+            }
+            let schedule = Schedule {
+                device,
+                par_chunks: par,
+                block_threads: tpb,
+                inner_tiles: tiles,
+                reduction: red,
+                stage_inputs: stage,
+                loop_order: order,
+            };
+            cache.entries.insert(key, CacheEntry { schedule, cost });
+        }
+        Ok(cache)
+    }
+
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    pub fn load(path: &Path) -> std::io::Result<TuningCache> {
+        let text = std::fs::read_to_string(path)?;
+        TuningCache::from_text(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdh_core::combine::CombineOp;
+    use mdh_core::dsl::DslBuilder;
+    use mdh_core::expr::ScalarFunction;
+    use mdh_core::index_fn::IndexFn;
+    use mdh_core::types::{BasicType, ScalarKind};
+
+    fn prog(i: usize, k: usize) -> DslProgram {
+        DslBuilder::new("matvec", vec![i, k])
+            .out_buffer("w", BasicType::F32)
+            .out_access("w", IndexFn::select(2, &[0]))
+            .inp_buffer("M", BasicType::F32)
+            .inp_access("M", IndexFn::identity(2, 2))
+            .inp_buffer("v", BasicType::F32)
+            .inp_access("v", IndexFn::select(2, &[1]))
+            .scalar_function(ScalarFunction::mul2("f", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::cc(), CombineOp::pw_add()])
+            .build()
+            .unwrap()
+    }
+
+    fn sched() -> Schedule {
+        let mut s = Schedule::sequential(2, DeviceKind::Gpu);
+        s.par_chunks = vec![16, 4];
+        s.block_threads = vec![32, 8];
+        s.inner_tiles = vec![64, 32];
+        s.reduction = ReductionStrategy::Tree;
+        s.stage_inputs = true;
+        s
+    }
+
+    #[test]
+    fn signature_distinguishes_sizes_and_devices() {
+        let a = program_signature(&prog(64, 64), DeviceKind::Gpu);
+        let b = program_signature(&prog(64, 128), DeviceKind::Gpu);
+        let c = program_signature(&prog(64, 64), DeviceKind::Cpu);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn record_keeps_best() {
+        let p = prog(64, 64);
+        let mut cache = TuningCache::new();
+        assert!(cache.record(&p, DeviceKind::Gpu, sched(), 2.0));
+        assert!(!cache.record(&p, DeviceKind::Gpu, sched(), 3.0), "worse");
+        assert!(cache.record(&p, DeviceKind::Gpu, sched(), 1.0), "better");
+        assert_eq!(cache.lookup(&p, DeviceKind::Gpu).unwrap().cost, 1.0);
+    }
+
+    #[test]
+    fn text_roundtrip_exact() {
+        let p = prog(128, 256);
+        let mut cache = TuningCache::new();
+        cache.record(&p, DeviceKind::Gpu, sched(), 0.125);
+        let mut s2 = Schedule::sequential(2, DeviceKind::Cpu);
+        s2.par_chunks = vec![18, 1];
+        s2.block_threads = vec![1, 16];
+        cache.record(&prog(64, 64), DeviceKind::Cpu, s2, 3.5);
+
+        let text = cache.to_text();
+        let back = TuningCache::from_text(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back.lookup(&p, DeviceKind::Gpu).unwrap(),
+            cache.lookup(&p, DeviceKind::Gpu).unwrap()
+        );
+        assert_eq!(
+            back.lookup(&prog(64, 64), DeviceKind::Cpu).unwrap(),
+            cache.lookup(&prog(64, 64), DeviceKind::Cpu).unwrap()
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mdh_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.txt");
+        let p = prog(32, 32);
+        let mut cache = TuningCache::new();
+        cache.record(&p, DeviceKind::Gpu, sched(), 9.0);
+        cache.save(&path).unwrap();
+        let back = TuningCache::load(&path).unwrap();
+        assert_eq!(back.lookup(&p, DeviceKind::Gpu).unwrap().cost, 9.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_entries_rejected_gracefully() {
+        assert!(TuningCache::from_text("entry\tk\tnotanumber\tgpu").is_err());
+        assert!(TuningCache::from_text("# just a comment\n\n").unwrap().is_empty());
+        assert!(TuningCache::from_text("garbage line\n").unwrap().is_empty());
+    }
+}

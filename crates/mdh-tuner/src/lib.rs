@@ -1,0 +1,18 @@
+//! # mdh-tuner
+//!
+//! An ATF-style auto-tuning framework [Rasch et al., TACO 2021; pyATF,
+//! CC 2025]: constraint-based spaces of *interdependent* tuning
+//! parameters ([`space`]), generic search techniques ([`search`]), and
+//! the schedule-tuning drivers used by the MDH pipeline ([`schedule_space`]) —
+//! measured wall time on CPUs, simulated time on the GPU model.
+
+#![allow(clippy::needless_range_loop)]
+pub mod cache;
+pub mod schedule_space;
+pub mod search;
+pub mod space;
+
+pub use cache::{program_signature, CacheEntry, TuningCache};
+pub use schedule_space::{cpu_seed_schedules, seed_schedules, tune_cpu, tune_cpu_model, tune_gpu, ScheduleSpace, TunedSchedule};
+pub use search::{Budget, Sample, Technique, Tuner, TuningResult};
+pub use space::{pow2_candidates, Config, SearchSpace, TunableParam};

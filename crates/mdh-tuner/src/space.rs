@@ -1,0 +1,336 @@
+//! Constraint-based tuning-parameter spaces (the ATF model).
+//!
+//! ATF [Rasch et al., TACO 2021; pyATF, CC 2025] represents search spaces
+//! of *interdependent* tuning parameters: each parameter declares its
+//! value range plus an optional constraint over previously-declared
+//! parameters. Valid configurations form a "chain of trees", which this
+//! module enumerates, counts, and samples without materialising the full
+//! cross product.
+
+use rand::Rng;
+use std::fmt;
+use std::sync::Arc;
+
+/// Constraint over a prefix of parameter values: receives the values of
+/// all parameters declared before this one plus the candidate value.
+pub type Constraint = Arc<dyn Fn(&[i64], i64) -> bool + Send + Sync>;
+
+/// One tunable parameter.
+#[derive(Clone)]
+pub struct TunableParam {
+    pub name: String,
+    pub values: Vec<i64>,
+    pub constraint: Option<Constraint>,
+}
+
+impl fmt::Debug for TunableParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TunableParam({}, {} values{})",
+            self.name,
+            self.values.len(),
+            if self.constraint.is_some() {
+                ", constrained"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+impl TunableParam {
+    pub fn new(name: impl Into<String>, values: Vec<i64>) -> Self {
+        TunableParam {
+            name: name.into(),
+            values,
+            constraint: None,
+        }
+    }
+
+    /// Attach an interdependence constraint (`prefix` = values of earlier
+    /// parameters, `candidate` = this parameter's candidate value).
+    pub fn constrained(
+        name: impl Into<String>,
+        values: Vec<i64>,
+        c: impl Fn(&[i64], i64) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        TunableParam {
+            name: name.into(),
+            values,
+            constraint: Some(Arc::new(c)),
+        }
+    }
+}
+
+/// A complete configuration: one value per parameter, in declaration order.
+pub type Config = Vec<i64>;
+
+/// An ordered, constraint-linked parameter space.
+#[derive(Debug, Clone, Default)]
+pub struct SearchSpace {
+    pub params: Vec<TunableParam>,
+}
+
+impl SearchSpace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, p: TunableParam) -> &mut Self {
+        self.params.push(p);
+        self
+    }
+
+    pub fn len_params(&self) -> usize {
+        self.params.len()
+    }
+
+    fn candidate_ok(&self, d: usize, prefix: &[i64], v: i64) -> bool {
+        match &self.params[d].constraint {
+            Some(c) => c(prefix, v),
+            None => true,
+        }
+    }
+
+    /// Values of parameter `d` valid under the given prefix.
+    pub fn valid_values(&self, d: usize, prefix: &[i64]) -> Vec<i64> {
+        self.params[d]
+            .values
+            .iter()
+            .copied()
+            .filter(|&v| self.candidate_ok(d, prefix, v))
+            .collect()
+    }
+
+    /// Whether a full configuration satisfies every constraint.
+    pub fn is_valid(&self, config: &[i64]) -> bool {
+        if config.len() != self.params.len() {
+            return false;
+        }
+        for d in 0..config.len() {
+            if !self.params[d].values.contains(&config[d]) {
+                return false;
+            }
+            if !self.candidate_ok(d, &config[..d], config[d]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Count all valid configurations (chain-of-trees walk).
+    pub fn count(&self) -> usize {
+        fn rec(space: &SearchSpace, d: usize, prefix: &mut Vec<i64>) -> usize {
+            if d == space.params.len() {
+                return 1;
+            }
+            let mut n = 0;
+            for v in space.valid_values(d, prefix) {
+                prefix.push(v);
+                n += rec(space, d + 1, prefix);
+                prefix.pop();
+            }
+            n
+        }
+        rec(self, 0, &mut Vec::new())
+    }
+
+    /// Enumerate valid configurations up to `limit`.
+    pub fn enumerate(&self, limit: usize) -> Vec<Config> {
+        fn rec(
+            space: &SearchSpace,
+            d: usize,
+            prefix: &mut Vec<i64>,
+            out: &mut Vec<Config>,
+            limit: usize,
+        ) {
+            if out.len() >= limit {
+                return;
+            }
+            if d == space.params.len() {
+                out.push(prefix.clone());
+                return;
+            }
+            for v in space.valid_values(d, prefix) {
+                prefix.push(v);
+                rec(space, d + 1, prefix, out, limit);
+                prefix.pop();
+                if out.len() >= limit {
+                    return;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        rec(self, 0, &mut Vec::new(), &mut out, limit);
+        out
+    }
+
+    /// Sample one valid configuration uniformly-ish (random descent;
+    /// returns `None` if a dead end is hit repeatedly).
+    pub fn sample(&self, rng: &mut impl Rng, retries: usize) -> Option<Config> {
+        'outer: for _ in 0..retries.max(1) {
+            let mut cfg = Vec::with_capacity(self.params.len());
+            for d in 0..self.params.len() {
+                let vals = self.valid_values(d, &cfg);
+                if vals.is_empty() {
+                    continue 'outer;
+                }
+                cfg.push(vals[rng.gen_range(0..vals.len())]);
+            }
+            return Some(cfg);
+        }
+        None
+    }
+
+    /// Neighbours of a configuration: change one parameter to an adjacent
+    /// valid value (local-search move set).
+    pub fn neighbors(&self, config: &[i64]) -> Vec<Config> {
+        let mut out = Vec::new();
+        for d in 0..self.params.len() {
+            let vals = self.valid_values(d, &config[..d]);
+            let Some(pos) = vals.iter().position(|&v| v == config[d]) else {
+                continue;
+            };
+            for np in [pos.wrapping_sub(1), pos + 1] {
+                if let Some(&v) = vals.get(np) {
+                    let mut c = config.to_vec();
+                    c[d] = v;
+                    // later params may become invalid: repair greedily
+                    if self.repair(&mut c, d + 1) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Repair params from `from` onward to the nearest valid value.
+    fn repair(&self, config: &mut Config, from: usize) -> bool {
+        for d in from..self.params.len() {
+            if self.candidate_ok(d, &config[..d], config[d]) {
+                continue;
+            }
+            let vals = self.valid_values(d, &config[..d]);
+            match vals
+                .iter()
+                .min_by_key(|&&v| (v - config[d]).unsigned_abs())
+            {
+                Some(&v) => config[d] = v,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Named view of a configuration.
+    pub fn describe(&self, config: &[i64]) -> String {
+        self.params
+            .iter()
+            .zip(config)
+            .map(|(p, v)| format!("{}={v}", p.name))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Powers of two in `[1, max]` — the standard tile-size candidate set.
+pub fn pow2_candidates(max: usize) -> Vec<i64> {
+    let mut v = Vec::new();
+    let mut x = 1usize;
+    while x <= max {
+        v.push(x as i64);
+        x *= 2;
+    }
+    if v.is_empty() {
+        v.push(1);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// The canonical ATF example: tile sizes where tile2 divides tile1.
+    fn divides_space(n: i64) -> SearchSpace {
+        let mut s = SearchSpace::new();
+        s.add(TunableParam::constrained(
+            "tile1",
+            (1..=n).collect(),
+            move |_, v| n % v == 0,
+        ));
+        s.add(TunableParam::constrained(
+            "tile2",
+            (1..=n).collect(),
+            |prefix, v| prefix[0] % v == 0,
+        ));
+        s
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        let s = divides_space(12);
+        let all = s.enumerate(usize::MAX);
+        assert_eq!(s.count(), all.len());
+        // divisors of 12: 1,2,3,4,6,12 -> sum of d(t1) over t1|12:
+        // d(1)+d(2)+d(3)+d(4)+d(6)+d(12) = 1+2+2+3+4+6 = 18
+        assert_eq!(all.len(), 18);
+        for c in &all {
+            assert!(s.is_valid(c));
+            assert_eq!(12 % c[0], 0);
+            assert_eq!(c[0] % c[1], 0);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let s = divides_space(12);
+        assert!(!s.is_valid(&[5, 1])); // 5 does not divide 12
+        assert!(!s.is_valid(&[4, 3])); // 3 does not divide 4
+        assert!(s.is_valid(&[4, 2]));
+        assert!(!s.is_valid(&[4])); // wrong arity
+    }
+
+    #[test]
+    fn sampling_respects_constraints() {
+        let s = divides_space(24);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let c = s.sample(&mut rng, 10).unwrap();
+            assert!(s.is_valid(&c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn neighbors_are_valid() {
+        let s = divides_space(24);
+        let c = vec![12, 6];
+        for n in s.neighbors(&c) {
+            assert!(s.is_valid(&n), "{n:?}");
+            assert_ne!(n, c);
+        }
+    }
+
+    #[test]
+    fn enumerate_with_limit() {
+        let s = divides_space(24);
+        let some = s.enumerate(5);
+        assert_eq!(some.len(), 5);
+    }
+
+    #[test]
+    fn pow2_candidates_shape() {
+        assert_eq!(pow2_candidates(16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(pow2_candidates(10), vec![1, 2, 4, 8]);
+        assert_eq!(pow2_candidates(0), vec![1]);
+    }
+
+    #[test]
+    fn describe_names_params() {
+        let s = divides_space(4);
+        assert_eq!(s.describe(&[4, 2]), "tile1=4 tile2=2");
+    }
+}

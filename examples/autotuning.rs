@@ -1,0 +1,61 @@
+//! Auto-tuning: the ATF-style constraint-based search over MDH schedules
+//! (Section 5's 12-hour tuning, scaled to an evaluation budget), shown on
+//! MatMul against the A100 cost model.
+//!
+//! ```text
+//! cargo run --release --example autotuning
+//! ```
+
+use mdh::apps::{instantiate, Scale, StudyId};
+use mdh::backend::gpu::GpuSim;
+use mdh::lowering::asm::DeviceKind;
+use mdh::lowering::heuristics::mdh_default_schedule;
+use mdh::tuner::{tune_gpu, Budget, ScheduleSpace, Technique};
+
+fn main() {
+    let app = instantiate(
+        StudyId {
+            name: "MatMul",
+            input_no: 1,
+        },
+        Scale::Paper,
+    )
+    .expect("matmul");
+    let sim = GpuSim::a100(2).expect("sim");
+
+    // the search space: interdependent parameters with real constraints
+    let space = ScheduleSpace::build(&app.program, DeviceKind::Gpu, 108 * 64);
+    println!(
+        "search space: {} parameters (grid splits, threads-per-block, staging strips, \
+         reduction strategy, staging)",
+        space.space.len_params()
+    );
+
+    let heuristic = mdh_default_schedule(&app.program, DeviceKind::Gpu, 108 * 32);
+    let h = sim.estimate(&app.program, &heuristic).expect("estimate");
+    println!("heuristic schedule: {:.4} ms  [{}]", h.time_ms, heuristic.summary());
+
+    for technique in [Technique::Random, Technique::HillClimb, Technique::Annealing] {
+        for budget in [30, 120] {
+            let tuned = tune_gpu(&sim, &app.program, technique, Budget::evals(budget));
+            println!(
+                "{technique:<10?} budget {budget:>4}: {:.4} ms ({:.2}x vs heuristic)",
+                tuned.cost,
+                h.time_ms / tuned.cost
+            );
+        }
+    }
+
+    let best = tune_gpu(&sim, &app.program, Technique::Annealing, Budget::evals(200));
+    println!("\nbest schedule found: {}", best.schedule.summary());
+    let report = sim.estimate(&app.program, &best.schedule).unwrap();
+    println!(
+        "breakdown: compute {:.4} ms, memory {:.4} ms, combine {:.4} ms, \
+         occupancy {:.2}, {:.1} MiB DRAM traffic",
+        report.compute_ms,
+        report.mem_ms,
+        report.combine_ms,
+        report.occupancy,
+        report.dram_bytes / (1 << 20) as f64
+    );
+}

@@ -1,0 +1,7 @@
+@mdh( out( w = Buffer[fp32] ),
+      inp( M = Buffer[fp32], v = Buffer[fp32] ),
+      combine_ops( cc, pw(add) ) )
+def matvec(w, M, v):
+    for i in range(I):
+        for k in range(K):
+            w[i] = M[i, k] * v[k]

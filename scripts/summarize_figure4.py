@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Summarise figure4 harness output into compact speedup tables.
+
+Usage: python3 scripts/summarize_figure4.py results_figure4_gpu.txt \
+           results_figure4_cpu_model.txt
+"""
+import re
+import sys
+
+
+def parse(fn):
+    rows = {}
+    study = None
+    for line in open(fn):
+        m = re.match(r"^(\S.*) \(Inp\. (\d)\) — (GPU|CPU)", line)
+        if m:
+            study = (m.group(1), int(m.group(2)))
+            rows[study] = {}
+            continue
+        m = re.match(
+            r"\s+(\S.*?)\s{2,}([\d.]+) \S+\s+speedup of MDH:\s+([\d.]+)x", line
+        )
+        if m and study:
+            rows[study][m.group(1).strip()] = float(m.group(3))
+            continue
+        m = re.match(r"\s+(\S.*?)\s{2,}-\s+FAIL", line)
+        if m and study:
+            rows[study][m.group(1).strip()] = "FAIL"
+    return rows
+
+
+def fmt(v):
+    if v == "FAIL":
+        return "FAIL"
+    if v == "-":
+        return "-"
+    return f"{v:.2f}x" if v < 100 else f"{v:.0f}x"
+
+
+def table(rows, systems, title):
+    print(f"== {title} ==")
+    print("study | " + " | ".join(systems))
+    for k in sorted(rows):
+        print(
+            f"{k[0]} {k[1]} | "
+            + " | ".join(fmt(rows[k].get(s, "-")) for s in systems)
+        )
+    print()
+
+
+def main():
+    for fn in sys.argv[1:]:
+        rows = parse(fn)
+        if "gpu" in fn:
+            table(
+                rows,
+                [
+                    "OpenACC",
+                    "OpenACC(manual tile)",
+                    "PPCG",
+                    "PPCG+ATF",
+                    "TVM",
+                    "cuBLAS/cuDNN",
+                ],
+                fn,
+            )
+        else:
+            table(
+                rows,
+                ["OpenMP", "Pluto", "Pluto+ATF", "Numba", "TVM", "oneMKL/oneDNN"],
+                fn,
+            )
+
+
+if __name__ == "__main__":
+    main()

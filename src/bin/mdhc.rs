@@ -1,0 +1,355 @@
+//! `mdhc` — the MDH directive compiler/driver CLI.
+//!
+//! ```text
+//! mdhc compile  <file> [-D NAME=VAL]...            summarise the compiled program
+//! mdhc run      <file> [-D ...] [--threads N]      execute with generated data
+//! mdhc estimate <file> [-D ...] [--device gpu|cpu] cost-model estimates
+//! mdhc tune     <file> [-D ...] [--device gpu|cpu] [--budget N] [--cache FILE]
+//! mdhc explain  <file> [-D ...] [--device gpu|cpu] what the lowering does
+//! ```
+//!
+//! The front end is auto-detected: files containing `#pragma mdh` go
+//! through the C front end, files containing `!$mdh` through the Fortran
+//! front end, files starting with `out_view` through the textual DSL
+//! (Listing 7), everything else through the Python-like directive
+//! (Listing 8).
+
+use mdh::backend::cpu::CpuExecutor;
+use mdh::backend::cpu_model::{estimate_cpu, CpuParams};
+use mdh::backend::gpu::GpuSim;
+use mdh::core::buffer::Buffer;
+use mdh::core::dsl::DslProgram;
+use mdh::core::shape::Shape;
+use mdh::core::types::BasicType;
+use mdh::directive::{compile, compile_c, compile_fortran, parse_dsl, DirectiveEnv};
+use mdh::lowering::asm::DeviceKind;
+use mdh::lowering::heuristics::mdh_default_schedule;
+use mdh::tuner::{
+    tune_cpu_model, tune_gpu, Budget, Technique, TuningCache,
+};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mdhc <compile|run|estimate|tune|explain> <file> [-D NAME=VAL]... \
+         [--device gpu|cpu] [--threads N] [--budget N] [--cache FILE]"
+    );
+    exit(2);
+}
+
+struct Cli {
+    cmd: String,
+    file: PathBuf,
+    env: DirectiveEnv,
+    device: DeviceKind,
+    threads: usize,
+    budget: usize,
+    cache: Option<PathBuf>,
+}
+
+fn parse_cli() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let cmd = args[0].clone();
+    let file = PathBuf::from(&args[1]);
+    let mut env = DirectiveEnv::new();
+    let mut device = DeviceKind::Gpu;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut budget = 100;
+    let mut cache = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-D" => {
+                let Some(bind) = args.get(i + 1) else { usage() };
+                let Some((name, val)) = bind.split_once('=') else {
+                    eprintln!("bad binding '{bind}' (expected NAME=VAL)");
+                    exit(2);
+                };
+                let Ok(v) = val.parse::<i64>() else {
+                    eprintln!("bad value in '{bind}'");
+                    exit(2);
+                };
+                env = env.size(name, v);
+                i += 2;
+            }
+            "--device" => {
+                device = match args.get(i + 1).map(String::as_str) {
+                    Some("gpu") => DeviceKind::Gpu,
+                    Some("cpu") => DeviceKind::Cpu,
+                    _ => usage(),
+                };
+                i += 2;
+            }
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--budget" => {
+                budget = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--cache" => {
+                cache = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    Cli {
+        cmd,
+        file,
+        env,
+        device,
+        threads,
+        budget,
+        cache,
+    }
+}
+
+fn load_program(cli: &Cli) -> DslProgram {
+    let src = match std::fs::read_to_string(&cli.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", cli.file.display());
+            exit(1);
+        }
+    };
+    let result = if src.contains("#pragma mdh") {
+        compile_c(&src, &cli.env)
+    } else if src.to_ascii_lowercase().contains("!$mdh") {
+        compile_fortran(&src, &cli.env)
+    } else if src.trim_start().starts_with("out_view") {
+        parse_dsl(&src, &cli.env)
+    } else {
+        compile(&src, &cli.env)
+    };
+    match result {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", cli.file.display());
+            exit(1);
+        }
+    }
+}
+
+fn summarize(prog: &DslProgram) {
+    let stats = prog.stats();
+    println!("program       : {}", prog.name);
+    println!("iteration     : {}D {:?}", stats.rank, prog.md_hom.sizes);
+    println!(
+        "combine ops   : {}",
+        prog.md_hom
+            .combine_ops
+            .iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("reduction dims: {:?}", prog.md_hom.reduction_dims());
+    match prog.input_shapes() {
+        Ok(shapes) => {
+            for (decl, shape) in prog.inp_view.buffers.iter().zip(shapes) {
+                println!("input  {:<10} {} {:?}", decl.name, decl.ty, shape);
+            }
+        }
+        Err(e) => println!("inputs        : (shape inference failed: {e})"),
+    }
+    if let Ok(shapes) = prog.output_shapes() {
+        for (decl, shape) in prog.out_view.buffers.iter().zip(shapes) {
+            println!("output {:<10} {} {:?}", decl.name, decl.ty, shape);
+        }
+    }
+    println!(
+        "points        : {}  (~{} scalar ops)",
+        stats.points, stats.flops
+    );
+    println!(
+        "data accesses : {}",
+        match stats.injective_accesses {
+            Some(true) => "injective",
+            Some(false) => "non-injective",
+            None => "undetermined",
+        }
+    );
+}
+
+/// Generate deterministic inputs matching the program's declarations
+/// (scalar buffers only — record-typed programs need the library API).
+fn generate_inputs(prog: &DslProgram) -> Vec<Buffer> {
+    let shapes = prog.input_shapes().unwrap_or_else(|e| {
+        eprintln!("cannot infer input shapes: {e}");
+        exit(1);
+    });
+    prog.inp_view
+        .buffers
+        .iter()
+        .zip(shapes)
+        .map(|(decl, shape)| {
+            if decl.ty.as_scalar().is_none() {
+                eprintln!(
+                    "buffer '{}' has a record type; `mdhc run` supports scalar \
+                     buffers only — use the library API",
+                    decl.name
+                );
+                exit(1);
+            }
+            let mut b = Buffer::zeros(decl.name.clone(), decl.ty.clone(), Shape::new(shape));
+            b.fill_with(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5);
+            b
+        })
+        .collect()
+}
+
+fn checksum(buf: &Buffer) -> f64 {
+    match &buf.ty {
+        BasicType::Scalar(_) => (0..buf.len())
+            .map(|i| buf.get_flat(i).as_f64().unwrap_or(0.0))
+            .sum(),
+        _ => f64::NAN,
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let prog = load_program(&cli);
+    match cli.cmd.as_str() {
+        "compile" => summarize(&prog),
+        "explain" => {
+            summarize(&prog);
+            println!("---");
+            let units = match cli.device {
+                DeviceKind::Gpu => 108 * 32,
+                DeviceKind::Cpu => cli.threads,
+            };
+            let schedule = mdh_default_schedule(&prog, cli.device, units);
+            match mdh::lowering::explain::explain(&prog, &schedule) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("cannot explain: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "run" => {
+            summarize(&prog);
+            let inputs = generate_inputs(&prog);
+            let exec = match CpuExecutor::new(cli.threads) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("executor: {e}");
+                    exit(1);
+                }
+            };
+            let schedule = mdh_default_schedule(&prog, DeviceKind::Cpu, cli.threads);
+            match exec.run_timed(&prog, &schedule, &inputs) {
+                Ok((out, took)) => {
+                    println!("---");
+                    println!(
+                        "executed in {:.3} ms on {} threads (schedule: {})",
+                        took.as_secs_f64() * 1e3,
+                        cli.threads,
+                        schedule.summary()
+                    );
+                    for b in &out {
+                        println!("checksum {:<10} = {:.6}", b.name, checksum(b));
+                    }
+                }
+                Err(e) => {
+                    eprintln!("execution failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "estimate" => {
+            summarize(&prog);
+            println!("---");
+            match cli.device {
+                DeviceKind::Gpu => {
+                    let sim = GpuSim::a100(2).expect("sim");
+                    let s = mdh_default_schedule(&prog, DeviceKind::Gpu, 108 * 32);
+                    match sim.estimate(&prog, &s) {
+                        Ok(r) => println!(
+                            "A100 model, heuristic schedule: {:.4} ms \
+                             (compute {:.4}, memory {:.4}, occupancy {:.2})",
+                            r.time_ms, r.compute_ms, r.mem_ms, r.occupancy
+                        ),
+                        Err(e) => println!("A100 model: FAIL — {e}"),
+                    }
+                }
+                DeviceKind::Cpu => {
+                    let params = CpuParams::xeon_gold_6140();
+                    let s = mdh_default_schedule(&prog, DeviceKind::Cpu, params.smt_threads);
+                    match estimate_cpu(&prog, &s, &params) {
+                        Ok(r) => println!(
+                            "Xeon model, heuristic schedule: {:.4} ms \
+                             (compute {:.4}, memory {:.4}, simd {:.2})",
+                            r.time_ms, r.compute_ms, r.mem_ms, r.simd_eff
+                        ),
+                        Err(e) => println!("Xeon model: FAIL — {e}"),
+                    }
+                }
+            }
+        }
+        "tune" => {
+            summarize(&prog);
+            println!("---");
+            let mut cache = match &cli.cache {
+                Some(p) if p.exists() => TuningCache::load(p).unwrap_or_default(),
+                _ => TuningCache::new(),
+            };
+            if let Some(hit) = cache.lookup(&prog, cli.device) {
+                println!(
+                    "cache hit: {:.4} ms — {}",
+                    hit.cost,
+                    hit.schedule.summary()
+                );
+                return;
+            }
+            let tuned = match cli.device {
+                DeviceKind::Gpu => {
+                    let sim = GpuSim::a100(2).expect("sim");
+                    tune_gpu(&sim, &prog, Technique::Annealing, Budget::evals(cli.budget))
+                }
+                DeviceKind::Cpu => tune_cpu_model(
+                    &prog,
+                    &CpuParams::xeon_gold_6140(),
+                    Technique::Annealing,
+                    Budget::evals(cli.budget),
+                ),
+            };
+            println!(
+                "tuned ({} evals): {:.4} ms — {}",
+                tuned.result.evals,
+                tuned.cost,
+                tuned.schedule.summary()
+            );
+            cache.record(&prog, cli.device, tuned.schedule, tuned.cost);
+            if let Some(p) = &cli.cache {
+                if let Err(e) = cache.save(p) {
+                    eprintln!("cannot save cache {}: {e}", p.display());
+                    exit(1);
+                }
+                println!("cached to {}", p.display());
+            }
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage();
+        }
+    }
+}

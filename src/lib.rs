@@ -1,0 +1,14 @@
+//! # mdh — facade crate
+//!
+//! Re-exports the full `mdh-rs` stack under one name. See the README for a
+//! tour and `examples/` for runnable programs.
+
+pub use mdh_apps as apps;
+pub use mdh_backend as backend;
+pub use mdh_baselines as baselines;
+pub use mdh_core as core;
+pub use mdh_directive as directive;
+pub use mdh_lowering as lowering;
+pub use mdh_tuner as tuner;
+
+pub use mdh_core::prelude;

@@ -1,0 +1,188 @@
+//! Integration tests of the `mdhc` CLI: all three front ends through the
+//! binary, run/estimate/tune subcommands, and the tuning cache file.
+
+use std::process::Command;
+
+fn mdhc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mdhc"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("mdhc_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const PY_MATVEC: &str = "\
+@mdh( out( w = Buffer[fp32] ),
+      inp( M = Buffer[fp32], v = Buffer[fp32] ),
+      combine_ops( cc, pw(add) ) )
+def matvec(w, M, v):
+    for i in range(I):
+        for k in range(K):
+            w[i] = M[i, k] * v[k]
+";
+
+const C_MATVEC: &str = r#"
+#pragma mdh out(w: float[I]) inp(M: float[I][K], v: float[K]) combine_ops(cc, pw(add))
+for (int i = 0; i < I; i++) {
+    for (int k = 0; k < K; k++) {
+        w[i] = M[i][k] * v[k];
+    }
+}
+"#;
+
+const DSL_MATVEC: &str = "\
+out_view[fp32]( w = [lambda i,k: (i)] ),
+md_hom[I,K]( f_mul, (cc, pw(add)) ),
+inp_view[fp32,fp32]( M = [lambda i,k: (i,k)], v = [lambda i,k: (k)] )
+";
+
+const F_MATVEC: &str = "\
+!$mdh out(w: real[I]) inp(M: real[I][K], v: real[K]) &
+!$mdh combine_ops(cc, pw(add))
+do i = 1, I
+   do k = 1, K
+      w(i) = M(i, k) * v(k)
+   end do
+end do
+";
+
+#[test]
+fn compile_summarises_all_three_front_ends() {
+    for (name, src) in [
+        ("mv.py", PY_MATVEC),
+        ("mv.c", C_MATVEC),
+        ("mv.mdh", DSL_MATVEC),
+        ("mv.f90", F_MATVEC),
+    ] {
+        let f = write_temp(name, src);
+        let out = mdhc()
+            .args(["compile"])
+            .arg(&f)
+            .args(["-D", "I=8", "-D", "K=8"])
+            .output()
+            .expect("mdhc runs");
+        assert!(out.status.success(), "{name}: {:?}", out);
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("2D"), "{name}: {text}");
+        assert!(text.contains("reduction dims: [1]"), "{name}: {text}");
+        assert!(text.contains("pw(add)"), "{name}: {text}");
+    }
+}
+
+#[test]
+fn run_executes_and_prints_checksum() {
+    let f = write_temp("run_mv.py", PY_MATVEC);
+    let out = mdhc()
+        .args(["run"])
+        .arg(&f)
+        .args(["-D", "I=32", "-D", "K=32", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("checksum w"), "{text}");
+    assert!(text.contains("executed in"), "{text}");
+}
+
+#[test]
+fn run_checksums_agree_across_front_ends() {
+    let mut sums = Vec::new();
+    for (name, src) in [
+        ("a.py", PY_MATVEC),
+        ("a.c", C_MATVEC),
+        ("a.mdh", DSL_MATVEC),
+        ("a.f90", F_MATVEC),
+    ] {
+        let f = write_temp(name, src);
+        let out = mdhc()
+            .args(["run"])
+            .arg(&f)
+            .args(["-D", "I=16", "-D", "K=16", "--threads", "2"])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("checksum"))
+            .expect("checksum line");
+        sums.push(line.split('=').nth(1).unwrap().trim().to_string());
+    }
+    assert_eq!(sums[0], sums[1], "python vs c");
+    assert_eq!(sums[0], sums[2], "python vs dsl");
+    assert_eq!(sums[0], sums[3], "python vs fortran");
+}
+
+#[test]
+fn estimate_prints_model_times() {
+    let f = write_temp("est_mv.py", PY_MATVEC);
+    for dev in ["gpu", "cpu"] {
+        let out = mdhc()
+            .args(["estimate"])
+            .arg(&f)
+            .args(["-D", "I=1024", "-D", "K=1024", "--device", dev])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{dev}: {out:?}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("model"), "{dev}: {text}");
+    }
+}
+
+#[test]
+fn tune_writes_and_reuses_cache() {
+    let f = write_temp("tune_mv.py", PY_MATVEC);
+    let cache = std::env::temp_dir().join("mdhc_cli_tests/tune_cache.txt");
+    let _ = std::fs::remove_file(&cache);
+    let out = mdhc()
+        .args(["tune"])
+        .arg(&f)
+        .args(["-D", "I=512", "-D", "K=512", "--device", "gpu", "--budget", "20"])
+        .arg("--cache")
+        .arg(&cache)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tuned ("), "{text}");
+    assert!(cache.exists());
+
+    // second invocation hits the cache
+    let out2 = mdhc()
+        .args(["tune"])
+        .arg(&f)
+        .args(["-D", "I=512", "-D", "K=512", "--device", "gpu"])
+        .arg("--cache")
+        .arg(&cache)
+        .output()
+        .unwrap();
+    let text2 = String::from_utf8_lossy(&out2.stdout);
+    assert!(text2.contains("cache hit"), "{text2}");
+}
+
+#[test]
+fn compile_error_is_reported_with_position() {
+    let f = write_temp("bad.py", &PY_MATVEC.replace("w[i] =", "w[i] +="));
+    let out = mdhc()
+        .args(["compile"])
+        .arg(&f)
+        .args(["-D", "I=4", "-D", "K=4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("combine_ops"), "{err}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = mdhc()
+        .args(["compile", "/nonexistent/kernel.py"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

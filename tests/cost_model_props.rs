@@ -1,0 +1,147 @@
+//! Property tests of the analytic device models: for *any* valid
+//! schedule, estimates must be finite, positive, and respond to the
+//! first-order effects in the right direction.
+
+use mdh::backend::cpu_model::{estimate_cpu, CpuParams};
+use mdh::backend::gpu::GpuSim;
+use mdh::core::combine::CombineOp;
+use mdh::core::dsl::{DslBuilder, DslProgram};
+use mdh::core::expr::ScalarFunction;
+use mdh::core::index_fn::IndexFn;
+use mdh::core::types::{BasicType, ScalarKind};
+use mdh::lowering::asm::DeviceKind;
+use mdh::lowering::schedule::{ReductionStrategy, Schedule};
+use proptest::prelude::*;
+
+fn matmul(i: usize, j: usize, k: usize) -> DslProgram {
+    DslBuilder::new("matmul", vec![i, j, k])
+        .out_buffer("C", BasicType::F32)
+        .out_access("C", IndexFn::select(3, &[0, 1]))
+        .inp_buffer("A", BasicType::F32)
+        .inp_access("A", IndexFn::select(3, &[0, 2]))
+        .inp_buffer("B", BasicType::F32)
+        .inp_access("B", IndexFn::select(3, &[2, 1]))
+        .scalar_function(ScalarFunction::mul2("f", ScalarKind::F32))
+        .combine_ops(vec![CombineOp::cc(), CombineOp::cc(), CombineOp::pw_add()])
+        .build()
+        .unwrap()
+}
+
+fn pow2(max_log: u32) -> impl Strategy<Value = usize> {
+    (0..=max_log).prop_map(|e| 1usize << e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gpu_estimates_are_finite_positive_for_valid_schedules(
+        pi in pow2(6),
+        pj in pow2(6),
+        pk in pow2(4),
+        ti in pow2(5),
+        tj in pow2(5),
+        tile in pow2(6),
+        stage in any::<bool>(),
+    ) {
+        let prog = matmul(512, 512, 256);
+        let mut s = Schedule::sequential(3, DeviceKind::Gpu);
+        s.par_chunks = vec![pi.min(512), pj.min(512), pk.min(256)];
+        s.block_threads = vec![ti, tj, 1];
+        s.inner_tiles = vec![tile, tile, tile];
+        s.stage_inputs = stage;
+        if s.splits_reduction(&prog) {
+            s.reduction = ReductionStrategy::Tree;
+        }
+        prop_assume!(s.threads_per_block() <= 1024);
+        prop_assume!(s.validate(&prog, usize::MAX / 2).is_ok());
+        let sim = GpuSim::a100(1).unwrap();
+        match sim.estimate(&prog, &s) {
+            Ok(r) => {
+                prop_assert!(r.time_ms.is_finite() && r.time_ms > 0.0);
+                prop_assert!(r.compute_ms >= 0.0 && r.mem_ms >= 0.0);
+                prop_assert!((0.0..=1.0).contains(&r.occupancy));
+                prop_assert!(r.time_ms + 1e-12 >= r.compute_ms.max(r.mem_ms));
+            }
+            Err(e) => {
+                // the only legal failure is the out-of-resources check
+                prop_assert!(e.to_string().contains("out of resources"), "{e}");
+                prop_assert!(stage, "OOR requires staging");
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_estimates_are_finite_positive_for_valid_schedules(
+        pi in pow2(6),
+        pk in pow2(5),
+        tile in pow2(6),
+        simd in pow2(4),
+        stage in any::<bool>(),
+    ) {
+        let prog = matmul(256, 256, 256);
+        let mut s = Schedule::sequential(3, DeviceKind::Cpu);
+        s.par_chunks = vec![pi.min(256), 1, pk.min(256)];
+        s.block_threads = vec![1, simd.min(16), 1];
+        s.inner_tiles = vec![tile, tile, tile];
+        s.stage_inputs = stage;
+        if s.splits_reduction(&prog) {
+            s.reduction = ReductionStrategy::Tree;
+        }
+        prop_assume!(s.validate(&prog, 1 << 24).is_ok());
+        let params = CpuParams::xeon_gold_6140();
+        let r = estimate_cpu(&prog, &s, &params).unwrap();
+        prop_assert!(r.time_ms.is_finite() && r.time_ms > 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.utilization));
+        prop_assert!((0.0..=1.0).contains(&r.simd_eff));
+    }
+
+    #[test]
+    fn cpu_more_threads_never_hurt_compute_bound(
+        t1 in 1usize..18,
+        t2 in 1usize..18,
+    ) {
+        prop_assume!(t1 < t2);
+        let prog = matmul(512, 512, 64);
+        let params = CpuParams::xeon_gold_6140();
+        let mk = |threads: usize| {
+            let mut s = Schedule::sequential(3, DeviceKind::Cpu);
+            s.par_chunks = vec![threads, 1, 1];
+            s.block_threads = vec![1, 16, 1];
+            s.inner_tiles = vec![32, 32, 32];
+            s
+        };
+        let a = estimate_cpu(&prog, &mk(t1), &params).unwrap();
+        let b = estimate_cpu(&prog, &mk(t2), &params).unwrap();
+        // non-dividing thread counts legitimately waste some tile traffic
+        // (partial strips); allow that second-order effect
+        prop_assert!(b.time_ms <= a.time_ms * 1.10, "{} vs {}", b.time_ms, a.time_ms);
+    }
+
+    #[test]
+    fn gpu_bigger_problems_cost_more(scale in 1usize..5) {
+        let sim = GpuSim::a100(1).unwrap();
+        let small = matmul(128, 128, 128);
+        let big = matmul(128 * scale * 2, 128, 128);
+        let mk = |p: &DslProgram| {
+            mdh::lowering::heuristics::mdh_default_schedule(p, DeviceKind::Gpu, 108 * 32)
+        };
+        let a = sim.estimate(&small, &mk(&small)).unwrap();
+        let b = sim.estimate(&big, &mk(&big)).unwrap();
+        prop_assert!(b.time_ms >= a.time_ms * 0.999);
+    }
+}
+
+#[test]
+fn cpu_simd_never_hurts() {
+    let prog = matmul(256, 256, 256);
+    let params = CpuParams::xeon_gold_6140();
+    let mut scalar = Schedule::sequential(3, DeviceKind::Cpu);
+    scalar.par_chunks = vec![18, 1, 1];
+    scalar.inner_tiles = vec![32, 32, 32];
+    let mut simd = scalar.clone();
+    simd.block_threads = vec![1, 16, 1];
+    let a = estimate_cpu(&prog, &scalar, &params).unwrap();
+    let b = estimate_cpu(&prog, &simd, &params).unwrap();
+    assert!(b.time_ms <= a.time_ms);
+}

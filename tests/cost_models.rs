@@ -1,0 +1,129 @@
+//! Integration tests of the analytic device models: the qualitative
+//! orderings that Figure 4 relies on must hold robustly.
+
+use mdh::apps::{instantiate, Scale, StudyId};
+use mdh::backend::cpu_model::{estimate_cpu, CpuParams};
+use mdh::backend::gpu::GpuSim;
+use mdh::baselines::schedulers::{Baseline, OpenAccLike, OpenMpLike, PlutoLike, PpcgLike};
+use mdh::tuner::{tune_cpu_model, tune_gpu, Budget, Technique};
+
+fn study(name: &'static str, input_no: usize) -> mdh::apps::AppInstance {
+    instantiate(StudyId { name, input_no }, Scale::Paper).expect("study")
+}
+
+#[test]
+fn gpu_openacc_gap_on_ccsdt_matches_paper_band() {
+    // Section 5.2: >150x untiled; manual tiling brings it to ~60x
+    let sim = GpuSim::a100(1).unwrap();
+    let app = study("CCSD(T)", 1);
+    let mdh = tune_gpu(&sim, &app.program, Technique::Annealing, Budget::evals(100));
+    let acc = OpenAccLike {
+        manual_tiling: false,
+    }
+    .schedule(&app.program)
+    .unwrap();
+    let acc_t = sim.estimate(&app.program, &acc).unwrap().time_ms;
+    let manual = OpenAccLike {
+        manual_tiling: true,
+    }
+    .schedule(&app.program)
+    .unwrap();
+    let manual_t = sim.estimate(&app.program, &manual).unwrap().time_ms;
+    let gap = acc_t / mdh.cost;
+    let manual_gap = manual_t / mdh.cost;
+    assert!(gap > 60.0, "untiled OpenACC gap {gap:.0}x too small");
+    assert!(
+        manual_gap < gap,
+        "manual tiling must narrow the gap ({manual_gap:.0}x vs {gap:.0}x)"
+    );
+}
+
+#[test]
+fn gpu_ppcg_fails_on_dot_and_oor_on_caps() {
+    let app = study("Dot", 1);
+    assert!(PpcgLike::heuristic().schedule(&app.program).is_err());
+
+    let sim = GpuSim::a100(1).unwrap();
+    let caps = study("MCC_Caps", 1);
+    let s = PpcgLike::heuristic().schedule(&caps.program).unwrap();
+    let err = sim.estimate(&caps.program, &s).unwrap_err().to_string();
+    assert!(err.contains("out of resources"), "{err}");
+}
+
+#[test]
+fn gpu_prl_input_skew_matches_paper_story() {
+    // Inp. 1 (small cc dim) hurts OpenACC far more than Inp. 2
+    let sim = GpuSim::a100(1).unwrap();
+    let acc = OpenAccLike {
+        manual_tiling: false,
+    };
+    let gaps: Vec<f64> = [1, 2]
+        .iter()
+        .map(|&no| {
+            let app = study("PRL", no);
+            let mdh = tune_gpu(&sim, &app.program, Technique::Random, Budget::evals(60));
+            let s = acc.schedule(&app.program).unwrap();
+            sim.estimate(&app.program, &s).unwrap().time_ms / mdh.cost
+        })
+        .collect();
+    assert!(
+        gaps[0] > 2.0 * gaps[1],
+        "PRL Inp.1 gap ({:.0}x) must exceed Inp.2 gap ({:.0}x)",
+        gaps[0],
+        gaps[1]
+    );
+}
+
+#[test]
+fn cpu_pluto_sequentialises_dot() {
+    let params = CpuParams::xeon_gold_6140();
+    let app = study("Dot", 1);
+    let mdh = tune_cpu_model(&app.program, &params, Technique::Random, Budget::evals(40));
+    let pluto = PlutoLike::heuristic(params.smt_threads)
+        .schedule(&app.program)
+        .unwrap();
+    let pluto_t = estimate_cpu(&app.program, &pluto, &params).unwrap().time_ms;
+    assert!(
+        pluto_t > 3.0 * mdh.cost,
+        "Pluto {pluto_t:.3} ms vs MDH {:.3} ms",
+        mdh.cost
+    );
+}
+
+#[test]
+fn cpu_openmp_scalar_custom_reduction_on_prl() {
+    let params = CpuParams::xeon_gold_6140();
+    let app = study("PRL", 1);
+    let mdh = tune_cpu_model(&app.program, &params, Technique::Random, Budget::evals(40));
+    let omp = OpenMpLike {
+        threads: params.smt_threads,
+    }
+    .schedule(&app.program)
+    .unwrap();
+    let omp_r = estimate_cpu(&app.program, &omp, &params).unwrap();
+    assert!(omp_r.simd_eff < 0.2, "custom op must not vectorise");
+    assert!(
+        omp_r.time_ms > 3.0 * mdh.cost,
+        "OpenMP {:.3} ms vs MDH {:.3} ms",
+        omp_r.time_ms,
+        mdh.cost
+    );
+}
+
+#[test]
+fn cpu_mdh_beats_vendor_on_skinny_matmul() {
+    use mdh::baselines::vendor::VendorCpuModel;
+    let params = CpuParams::xeon_gold_6140();
+    let app = study("MatMul", 2); // 1x2048 · 2048x1000
+    let mdh = tune_cpu_model(&app.program, &params, Technique::Annealing, Budget::evals(60));
+    let mkl = VendorCpuModel::xeon_gold_6140().estimate_ms(app.vendor_op.as_ref().unwrap());
+    let speedup = mkl / mdh.cost;
+    assert!(
+        speedup > 1.5,
+        "MDH should beat MKL on skinny shapes (got {speedup:.2}x)"
+    );
+    assert!(
+        speedup < 20.0,
+        "gap should stay in the paper's band (got {speedup:.2}x)"
+    );
+}

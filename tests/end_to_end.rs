@@ -1,0 +1,90 @@
+//! End-to-end integration: every Fig. 3 case study, compiled from its
+//! textual directive, executed in parallel by the CPU backend under the
+//! default MDH schedule, must agree with the formal reference semantics.
+
+use mdh::apps::{instantiate, Scale, StudyId, FIG3_STUDIES};
+use mdh::backend::cpu::CpuExecutor;
+use mdh::core::eval::evaluate_recursive;
+use mdh::lowering::asm::DeviceKind;
+use mdh::lowering::heuristics::mdh_default_schedule;
+
+#[test]
+fn all_fig3_studies_match_reference_semantics() {
+    let exec = CpuExecutor::new(4).expect("executor");
+    for &id in FIG3_STUDIES {
+        let app = instantiate(id, Scale::Small).expect("instantiate");
+        let expect = evaluate_recursive(&app.program, &app.inputs)
+            .unwrap_or_else(|e| panic!("{} reference: {e}", app.name));
+        let sched = mdh_default_schedule(&app.program, DeviceKind::Cpu, 4);
+        let got = exec
+            .run(&app.program, &sched, &app.inputs)
+            .unwrap_or_else(|e| panic!("{} exec: {e}", app.name));
+        assert_eq!(got.len(), expect.len(), "{}", app.name);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!(
+                g.approx_eq(e, 1e-3),
+                "{} (Inp. {}) output '{}' mismatch",
+                app.name,
+                app.input_no,
+                g.name
+            );
+        }
+    }
+}
+
+#[test]
+fn extra_studies_match_reference_semantics() {
+    let exec = CpuExecutor::new(4).expect("executor");
+    for name in ["Jacobi1D", "MBBS"] {
+        let app = instantiate(StudyId { name, input_no: 1 }, Scale::Small).unwrap();
+        let expect = evaluate_recursive(&app.program, &app.inputs).unwrap();
+        let sched = mdh_default_schedule(&app.program, DeviceKind::Cpu, 4);
+        let got = exec.run(&app.program, &sched, &app.inputs).unwrap();
+        for (g, e) in got.iter().zip(&expect) {
+            assert!(g.approx_eq(e, 1e-6), "{name}");
+        }
+    }
+}
+
+#[test]
+fn gpu_functional_execution_matches_reference() {
+    use mdh::backend::gpu::GpuSim;
+    use mdh::tuner::{tune_gpu, Budget, Technique};
+    let sim = GpuSim::a100(2).expect("sim");
+    for name in ["MatVec", "MCC", "PRL"] {
+        let app = instantiate(StudyId { name, input_no: 1 }, Scale::Small).unwrap();
+        let tuned = tune_gpu(&sim, &app.program, Technique::Random, Budget::evals(10));
+        let (got, report) = sim
+            .run(&app.program, &tuned.schedule, &app.inputs)
+            .unwrap();
+        assert!(report.time_ms > 0.0);
+        let expect = evaluate_recursive(&app.program, &app.inputs).unwrap();
+        for (g, e) in got.iter().zip(&expect) {
+            assert!(g.approx_eq(e, 1e-3), "{name}");
+        }
+    }
+}
+
+#[test]
+fn figure3_characteristics_are_stable() {
+    // the Fig. 3 table's structural columns, asserted end-to-end through
+    // the facade crate
+    let expectations: &[(&str, usize, usize)] = &[
+        ("Dot", 1, 1),
+        ("MatVec", 2, 1),
+        ("MatMul", 3, 1),
+        ("bMatMul", 4, 1),
+        ("Gaussian_2D", 2, 0),
+        ("Jacobi_3D", 3, 0),
+        ("PRL", 2, 1),
+        ("CCSD(T)", 7, 1),
+        ("MCC", 7, 3),
+        ("MCC_Caps", 10, 4),
+    ];
+    for &(name, rank, red) in expectations {
+        let app = instantiate(StudyId { name, input_no: 1 }, Scale::Small).unwrap();
+        let stats = app.program.stats();
+        assert_eq!(stats.rank, rank, "{name}");
+        assert_eq!(stats.reduction_dims, red, "{name}");
+    }
+}

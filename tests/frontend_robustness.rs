@@ -1,0 +1,106 @@
+//! Robustness fuzzing of the directive front end: arbitrary input text
+//! must never panic the lexer or parser — it either parses or returns a
+//! positioned error. Structured mutations of a valid directive must
+//! produce actionable errors.
+
+use mdh::directive::lexer::tokenize;
+use mdh::directive::{compile, parse, DirectiveEnv};
+use proptest::prelude::*;
+
+const VALID: &str = "\
+@mdh( out( w = Buffer[fp32] ),
+      inp( M = Buffer[fp32], v = Buffer[fp32] ),
+      combine_ops( cc, pw(add) ) )
+def matvec(w, M, v):
+    for i in range(I):
+        for k in range(K):
+            w[i] = M[i, k] * v[k]
+";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(src in ".*") {
+        let _ = tokenize(&src);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_directive_like_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("@mdh".to_string()),
+                Just("def".to_string()),
+                Just("for".to_string()),
+                Just("in".to_string()),
+                Just("range".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just(":".to_string()),
+                Just("=".to_string()),
+                Just("+=".to_string()),
+                Just(",".to_string()),
+                Just("\n".to_string()),
+                Just("    ".to_string()),
+                "[a-z]{1,4}",
+                "[0-9]{1,3}",
+            ],
+            0..60,
+        )
+    ) {
+        let src = words.concat();
+        let _ = tokenize(&src);
+        let _ = parse(&src); // must not panic either
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_directives(
+        cut_at in 0usize..200,
+        insert in prop_oneof![
+            Just(""), Just(")"), Just("("), Just(":"), Just("=="),
+            Just("\n\n"), Just("combine_ops"), Just("@"), Just("0.5"),
+        ],
+    ) {
+        let mut src = VALID.to_string();
+        let cut = cut_at.min(src.len());
+        // cut at a char boundary
+        let cut = (0..=cut).rev().find(|&i| src.is_char_boundary(i)).unwrap_or(0);
+        src.truncate(cut);
+        src.push_str(insert);
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn compile_never_panics_with_random_bindings(
+        i in -3i64..300,
+        k in -3i64..300,
+    ) {
+        let env = DirectiveEnv::new().size("I", i).size("K", k);
+        let _ = compile(VALID, &env); // negative sizes must error, not panic
+    }
+}
+
+#[test]
+fn negative_loop_bound_is_an_error() {
+    let env = DirectiveEnv::new().size("I", -1).size("K", 4);
+    let err = compile(VALID, &env).unwrap_err().to_string();
+    assert!(err.contains("negative"), "{err}");
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    let src = "@mdh( out( w = Buffer[fp32] ),\n      inp( v = Buffer[ ),\n      combine_ops( cc ) )\ndef f(w, v):\n    for i in range(I):\n        w[i] = v[i]\n";
+    let err = compile(src, &DirectiveEnv::new().size("I", 4)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("parse error at 2:"), "{msg}");
+}
+
+#[test]
+fn zero_sized_dimensions_are_handled() {
+    // a zero-extent loop is legal: outputs stay zero-initialised
+    let env = DirectiveEnv::new().size("I", 0).size("K", 4);
+    let prog = compile(VALID, &env).unwrap();
+    assert_eq!(prog.md_hom.points(), 0);
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the homomorphism laws — the algebraic
+//! foundation that makes every (de)composition-based optimisation in the
+//! lowering correct. Randomised over sizes, split dimensions, split
+//! points, tile sizes, and input contents.
+
+use mdh::core::buffer::Buffer;
+use mdh::core::combine::CombineOp;
+use mdh::core::dsl::{DslBuilder, DslProgram};
+use mdh::core::expr::ScalarFunction;
+use mdh::core::index_fn::{AffineExpr, IndexFn};
+use mdh::core::laws::{check_split_law, check_tiled_decomposition, check_tree_recombination};
+use mdh::core::shape::Shape;
+use mdh::core::types::{BasicType, ScalarKind};
+use proptest::prelude::*;
+
+fn matmul_prog(i: usize, j: usize, k: usize) -> DslProgram {
+    DslBuilder::new("matmul", vec![i, j, k])
+        .out_buffer("C", BasicType::F64)
+        .out_access("C", IndexFn::select(3, &[0, 1]))
+        .inp_buffer("A", BasicType::F64)
+        .inp_access("A", IndexFn::select(3, &[0, 2]))
+        .inp_buffer("B", BasicType::F64)
+        .inp_access("B", IndexFn::select(3, &[2, 1]))
+        .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F64))
+        .combine_ops(vec![CombineOp::cc(), CombineOp::cc(), CombineOp::pw_add()])
+        .build()
+        .unwrap()
+}
+
+fn buffers_for(i: usize, j: usize, k: usize, seed: &[f64]) -> Vec<Buffer> {
+    let mut a = Buffer::zeros("A", BasicType::F64, Shape::new(vec![i, k]));
+    a.fill_with(|f| seed[f % seed.len()]);
+    let mut b = Buffer::zeros("B", BasicType::F64, Shape::new(vec![k, j]));
+    b.fill_with(|f| seed[(f * 7 + 3) % seed.len()]);
+    vec![a, b]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_split_law_holds_everywhere(
+        i in 1usize..5,
+        j in 1usize..5,
+        k in 1usize..6,
+        d in 0usize..3,
+        frac in 0.0f64..=1.0,
+        seed in prop::collection::vec(-3.0f64..3.0, 4..12),
+    ) {
+        let prog = matmul_prog(i, j, k);
+        let inputs = buffers_for(i, j, k, &seed);
+        let n = prog.md_hom.sizes[d];
+        let at = ((n as f64) * frac).round() as usize;
+        prop_assert!(check_split_law(&prog, &inputs, d, at.min(n), 1e-9).unwrap());
+    }
+
+    #[test]
+    fn matmul_tiled_decomposition_holds(
+        i in 1usize..5,
+        j in 1usize..5,
+        k in 1usize..6,
+        d in 0usize..3,
+        tile in 1usize..7,
+        seed in prop::collection::vec(-3.0f64..3.0, 4..12),
+    ) {
+        let prog = matmul_prog(i, j, k);
+        let inputs = buffers_for(i, j, k, &seed);
+        prop_assert!(check_tiled_decomposition(&prog, &inputs, d, tile, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn matmul_tree_recombination_holds(
+        i in 1usize..5,
+        j in 1usize..4,
+        k in 2usize..8,
+        tile in 1usize..4,
+        seed in prop::collection::vec(-3.0f64..3.0, 4..12),
+    ) {
+        let prog = matmul_prog(i, j, k);
+        let inputs = buffers_for(i, j, k, &seed);
+        // tree order over the reduction dim: legality of parallel reduction
+        prop_assert!(check_tree_recombination(&prog, &inputs, 2, tile, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn prefix_sum_split_law_holds(
+        n in 1usize..12,
+        at_frac in 0.0f64..=1.0,
+        vals in prop::collection::vec(-100i64..100, 1..12),
+    ) {
+        let prog = DslBuilder::new("psum", vec![n])
+            .out_buffer("out", BasicType::I64)
+            .out_access("out", IndexFn::identity(1, 1))
+            .inp_buffer("x", BasicType::I64)
+            .inp_access("x", IndexFn::identity(1, 1))
+            .scalar_function(ScalarFunction::identity("id", ScalarKind::I64))
+            .combine_ops(vec![CombineOp::ps_add()])
+            .build()
+            .unwrap();
+        let data: Vec<i64> = (0..n).map(|f| vals[f % vals.len()]).collect();
+        let x = Buffer::from_i64("x", Shape::new(vec![n]), data);
+        let at = ((n as f64) * at_frac).round() as usize;
+        prop_assert!(check_split_law(&prog, &[x], 0, at.min(n), 0.0).unwrap());
+    }
+
+    #[test]
+    fn max_reduction_split_law_holds(
+        n in 2usize..16,
+        at in 0usize..16,
+        vals in prop::collection::vec(-1000i64..1000, 2..16),
+    ) {
+        // pw(max): a non-add builtin reduction
+        let prog = DslBuilder::new("maxred", vec![n])
+            .out_buffer("res", BasicType::I64)
+            .out_access("res", IndexFn::affine(vec![AffineExpr::constant(1, 0)]))
+            .inp_buffer("x", BasicType::I64)
+            .inp_access("x", IndexFn::identity(1, 1))
+            .scalar_function(ScalarFunction::identity("id", ScalarKind::I64))
+            .combine_ops(vec![CombineOp::pw_max()])
+            .build()
+            .unwrap();
+        let data: Vec<i64> = (0..n).map(|f| vals[f % vals.len()]).collect();
+        let x = Buffer::from_i64("x", Shape::new(vec![n]), data);
+        prop_assert!(check_split_law(&prog, &[x], 0, at.min(n), 0.0).unwrap());
+    }
+}
+
+#[test]
+fn custom_combine_functions_are_associative() {
+    use mdh::apps::prl::prl_max;
+    use mdh::core::types::{Tuple, Value};
+    let f = prl_max();
+    let samples: Vec<Tuple> = (0..5)
+        .map(|i| {
+            vec![
+                Value::I64(i),
+                Value::F64((i as f64) * 1.7 - 2.0),
+                Value::I32((i % 13) as i32),
+            ]
+        })
+        .collect();
+    assert!(f.check_associative(&samples, 1e-12).unwrap());
+}

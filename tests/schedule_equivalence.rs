@@ -1,0 +1,151 @@
+//! Property: *every valid schedule computes the same result*. The
+//! executor is driven with randomised schedules (parallel chunks, split
+//! reductions, tiles, reduction strategies) and must always agree with
+//! the reference semantics — the decomposition-correctness guarantee the
+//! homomorphism laws promise, checked through the real backend.
+
+use mdh::backend::cpu::CpuExecutor;
+use mdh::core::buffer::Buffer;
+use mdh::core::combine::CombineOp;
+use mdh::core::dsl::{DslBuilder, DslProgram};
+use mdh::core::eval::evaluate_recursive;
+use mdh::core::expr::ScalarFunction;
+use mdh::core::index_fn::{AffineExpr, IndexFn};
+use mdh::core::shape::Shape;
+use mdh::core::types::{BasicType, ScalarKind};
+use mdh::lowering::asm::DeviceKind;
+use mdh::lowering::schedule::{ReductionStrategy, Schedule};
+use proptest::prelude::*;
+
+fn matvec_prog(i: usize, k: usize) -> DslProgram {
+    DslBuilder::new("matvec", vec![i, k])
+        .out_buffer("w", BasicType::F32)
+        .out_access("w", IndexFn::select(2, &[0]))
+        .inp_buffer("M", BasicType::F32)
+        .inp_access("M", IndexFn::identity(2, 2))
+        .inp_buffer("v", BasicType::F32)
+        .inp_access("v", IndexFn::select(2, &[1]))
+        .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+        .combine_ops(vec![CombineOp::cc(), CombineOp::pw_add()])
+        .build()
+        .unwrap()
+}
+
+fn schedule_from(parts: &[usize], tiles: &[usize], tree: bool) -> Schedule {
+    let mut s = Schedule::sequential(parts.len(), DeviceKind::Cpu);
+    s.par_chunks = parts.to_vec();
+    s.inner_tiles = tiles.to_vec();
+    if tree {
+        s.reduction = ReductionStrategy::Tree;
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn matvec_any_schedule_matches_reference(
+        i in 1usize..24,
+        k in 1usize..24,
+        pi in 1usize..6,
+        pk in 1usize..6,
+        ti in 1usize..8,
+        tk in 1usize..8,
+        seed in prop::collection::vec(-2.0f64..2.0, 4..10),
+    ) {
+        let prog = matvec_prog(i, k);
+        let mut m = Buffer::zeros("M", BasicType::F32, Shape::new(vec![i, k]));
+        m.fill_with(|f| seed[f % seed.len()]);
+        let mut v = Buffer::zeros("v", BasicType::F32, Shape::new(vec![k]));
+        v.fill_with(|f| seed[(f * 3 + 1) % seed.len()]);
+        let inputs = vec![m, v];
+
+        let pi = pi.min(i);
+        let pk = pk.min(k);
+        let s = schedule_from(&[pi, pk], &[ti, tk], pk > 1);
+        prop_assume!(s.validate(&prog, 1 << 24).is_ok());
+
+        let exec = CpuExecutor::new(3).unwrap();
+        let got = exec.run(&prog, &s, &inputs).unwrap();
+        let expect = evaluate_recursive(&prog, &inputs).unwrap();
+        prop_assert!(got[0].approx_eq(&expect[0], 1e-4));
+    }
+
+    #[test]
+    fn dot_any_split_matches_reference(
+        n in 1usize..200,
+        chunks in 1usize..12,
+        seed in prop::collection::vec(-1.0f64..1.0, 4..10),
+    ) {
+        let prog = DslBuilder::new("dot", vec![n])
+            .out_buffer("res", BasicType::F32)
+            .out_access("res", IndexFn::affine(vec![AffineExpr::constant(1, 0)]))
+            .inp_buffer("x", BasicType::F32)
+            .inp_access("x", IndexFn::identity(1, 1))
+            .inp_buffer("y", BasicType::F32)
+            .inp_access("y", IndexFn::identity(1, 1))
+            .scalar_function(ScalarFunction::mul2("f", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::pw_add()])
+            .build()
+            .unwrap();
+        let mut x = Buffer::zeros("x", BasicType::F32, Shape::new(vec![n]));
+        x.fill_with(|f| seed[f % seed.len()]);
+        let mut y = Buffer::zeros("y", BasicType::F32, Shape::new(vec![n]));
+        y.fill_with(|f| seed[(f * 5 + 2) % seed.len()]);
+        let inputs = vec![x, y];
+
+        let s = schedule_from(&[chunks.min(n)], &[1], chunks.min(n) > 1);
+        let exec = CpuExecutor::new(3).unwrap();
+        let got = exec.run(&prog, &s, &inputs).unwrap();
+        let expect = evaluate_recursive(&prog, &inputs).unwrap();
+        prop_assert!(got[0].approx_eq(&expect[0], 1e-3));
+    }
+
+    #[test]
+    fn scan_any_split_matches_reference(
+        i in 1usize..20,
+        j in 1usize..8,
+        chunks in 1usize..6,
+        seed in prop::collection::vec(-5.0f64..5.0, 4..10),
+    ) {
+        // MBBS-shaped: ps over i, pw over j
+        let prog = DslBuilder::new("mbbs", vec![i, j])
+            .out_buffer("out", BasicType::F64)
+            .out_access("out", IndexFn::select(2, &[0]))
+            .inp_buffer("M", BasicType::F64)
+            .inp_access("M", IndexFn::identity(2, 2))
+            .scalar_function(ScalarFunction::identity("id", ScalarKind::F64))
+            .combine_ops(vec![CombineOp::ps_add(), CombineOp::pw_add()])
+            .build()
+            .unwrap();
+        let mut m = Buffer::zeros("M", BasicType::F64, Shape::new(vec![i, j]));
+        m.fill_with(|f| seed[f % seed.len()]);
+        let inputs = vec![m];
+
+        let s = schedule_from(&[chunks.min(i), 1], &[1, 1], chunks.min(i) > 1);
+        let exec = CpuExecutor::new(3).unwrap();
+        let got = exec.run(&prog, &s, &inputs).unwrap();
+        let expect = evaluate_recursive(&prog, &inputs).unwrap();
+        prop_assert!(got[0].approx_eq(&expect[0], 1e-9));
+    }
+}
+
+#[test]
+fn prl_custom_combine_under_many_schedules() {
+    use mdh::apps::prl::{prl, prl_reference};
+    use mdh::apps::Scale;
+    let app = prl(Scale::Small, 1).unwrap();
+    let (rid, rw, _) = prl_reference(&app);
+    let exec = CpuExecutor::new(3).unwrap();
+    for (pn, pi) in [(1, 1), (3, 1), (1, 4), (2, 3), (5, 5)] {
+        let mut s = Schedule::sequential(2, DeviceKind::Cpu);
+        s.par_chunks = vec![pn, pi];
+        if pi > 1 {
+            s.reduction = ReductionStrategy::Tree;
+        }
+        let got = exec.run(&app.program, &s, &app.inputs).unwrap();
+        assert_eq!(got[0].as_i64().unwrap(), &rid[..], "schedule ({pn},{pi})");
+        assert_eq!(got[1].as_f64().unwrap(), &rw[..], "schedule ({pn},{pi})");
+    }
+}

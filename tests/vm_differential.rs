@@ -1,0 +1,230 @@
+//! Differential testing: the register VM (the backend's stand-in for
+//! generated code) must agree with the tree-walking interpreter of
+//! `mdh_core::expr` on *randomly generated* scalar functions — including
+//! nested conditionals, unrolled loops, math calls, and mixed int/float
+//! arithmetic.
+
+use mdh::backend::vm::{compile_sf, ParamLoad, Reg};
+use mdh::core::expr::{BinOp, Expr, MathFn, ScalarFunction, Stmt};
+use mdh::core::types::{BasicType, ScalarKind, Value};
+use proptest::prelude::*;
+
+/// Random expression over `n_params` f64 parameters and the locals
+/// `t0`/`t1` (assumed bound), with depth-bounded recursion.
+fn arb_expr(n_params: usize, depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0..n_params).prop_map(Expr::Param),
+        (-4.0f64..4.0).prop_map(Expr::lit_f64),
+        Just(Expr::var("t0")),
+        Just(Expr::var("t1")),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            (inner.clone(),).prop_map(|(a,)| Expr::Un(
+                mdh::core::expr::UnOp::Neg,
+                Box::new(a)
+            )),
+            (inner.clone(),).prop_map(|(a,)| Expr::Call(MathFn::Abs, vec![a])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call(
+                MathFn::Max,
+                vec![a, b]
+            )),
+            // a comparison-guarded select
+            (inner.clone(), inner.clone(), inner.clone(), inner).prop_map(
+                |(c1, c2, a, b)| Expr::Select(
+                    Box::new(Expr::Bin(BinOp::Lt, Box::new(c1), Box::new(c2))),
+                    Box::new(a),
+                    Box::new(b)
+                )
+            ),
+        ]
+    })
+    .boxed()
+}
+
+/// A random function body: locals t0/t1, optional if/else and a bounded
+/// loop, final assignment to `res`.
+fn arb_function(n_params: usize) -> impl Strategy<Value = ScalarFunction> {
+    (
+        arb_expr(n_params, 3),
+        arb_expr(n_params, 3),
+        arb_expr(n_params, 2),
+        arb_expr(n_params, 2),
+        arb_expr(n_params, 3),
+        0i64..4,
+    )
+        .prop_map(move |(t0, t1, cond_l, cond_r, res, loop_n)| {
+            let body = vec![
+                Stmt::Let {
+                    name: "t0".into(),
+                    value: Expr::lit_f64(0.0),
+                },
+                Stmt::Let {
+                    name: "t1".into(),
+                    value: Expr::lit_f64(1.0),
+                },
+                Stmt::Assign {
+                    name: "t0".into(),
+                    value: t0,
+                },
+                Stmt::If {
+                    cond: Expr::Bin(BinOp::Ge, Box::new(cond_l), Box::new(cond_r)),
+                    then_branch: vec![Stmt::Assign {
+                        name: "t1".into(),
+                        value: t1,
+                    }],
+                    else_branch: vec![Stmt::Assign {
+                        name: "t1".into(),
+                        value: Expr::var("t0"),
+                    }],
+                },
+                Stmt::For {
+                    var: "j".into(),
+                    lo: 0,
+                    hi: loop_n,
+                    body: vec![Stmt::Assign {
+                        name: "t0".into(),
+                        value: Expr::add(Expr::var("t0"), Expr::var("t1")),
+                    }],
+                },
+                Stmt::Assign {
+                    name: "res".into(),
+                    value: res,
+                },
+            ];
+            ScalarFunction {
+                name: "fuzzed".into(),
+                params: (0..n_params)
+                    .map(|p| (format!("p{p}"), BasicType::F64))
+                    .collect(),
+                results: vec![("res".into(), BasicType::F64)],
+                body,
+            }
+        })
+}
+
+fn run_vm(c: &mdh::backend::vm::CompiledSf, args: &[Value]) -> Vec<Value> {
+    let (mut f, mut i) = c.banks();
+    for (load, arg) in c.param_loads.iter().zip(args) {
+        match load {
+            ParamLoad::Unused => {}
+            ParamLoad::Scalar(Reg::F(d)) => f[*d] = arg.as_f64().unwrap(),
+            ParamLoad::Scalar(Reg::I(d)) => i[*d] = arg.as_i64().unwrap(),
+            ParamLoad::Record(_) => unreachable!("scalar-only fuzz"),
+        }
+    }
+    c.run(&mut f, &mut i);
+    c.result_regs
+        .iter()
+        .zip(&c.result_kinds)
+        .map(|(r, k)| match r {
+            Reg::F(d) => Value::from_f64(*k, f[*d]),
+            Reg::I(d) => Value::from_i64(*k, i[*d]),
+        })
+        .collect()
+}
+
+fn close(a: &Value, b: &Value) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => {
+            (x.is_nan() && y.is_nan())
+                || (x.is_infinite() && y.is_infinite() && x.signum() == y.signum())
+                || (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn vm_matches_interpreter_on_random_functions(
+        sf in arb_function(3),
+        args in prop::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        let compiled = compile_sf(&sf).expect("compiles");
+        let vals: Vec<Value> = args.iter().map(|&v| Value::F64(v)).collect();
+        let interp = sf.eval(&vals);
+        // division by zero etc. can error in the interpreter; the VM
+        // returns IEEE semantics — only compare when both succeed
+        if let Ok(expect) = interp {
+            let got = run_vm(&compiled, &vals);
+            prop_assert_eq!(got.len(), expect.len());
+            for (g, e) in got.iter().zip(&expect) {
+                prop_assert!(close(g, e), "vm={g:?} interp={e:?} sf={sf:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn vm_matches_interpreter_on_integer_functions(
+        a in -100i64..100,
+        b in -100i64..100,
+        c in 1i64..50,
+    ) {
+        // res = (p0 % p2) * p1 + p0 with integer params
+        let sf = ScalarFunction {
+            name: "ints".into(),
+            params: vec![
+                ("a".into(), BasicType::I64),
+                ("b".into(), BasicType::I64),
+                ("c".into(), BasicType::I64),
+            ],
+            results: vec![("res".into(), BasicType::I64)],
+            body: vec![Stmt::Assign {
+                name: "res".into(),
+                value: Expr::add(
+                    Expr::mul(
+                        Expr::Bin(
+                            BinOp::Rem,
+                            Box::new(Expr::Param(0)),
+                            Box::new(Expr::Param(2)),
+                        ),
+                        Expr::Param(1),
+                    ),
+                    Expr::Param(0),
+                ),
+            }],
+        };
+        let compiled = compile_sf(&sf).unwrap();
+        let vals = vec![Value::I64(a), Value::I64(b), Value::I64(c)];
+        let expect = sf.eval(&vals).unwrap();
+        let got = run_vm(&compiled, &vals);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn vm_cast_roundtrips(kind in prop_oneof![
+        Just(ScalarKind::F32), Just(ScalarKind::I32), Just(ScalarKind::I64)
+    ], v in -1000.0f64..1000.0) {
+        // res = cast(p0) — VM and interpreter agree on kind conversions
+        let sf = ScalarFunction {
+            name: "cast".into(),
+            params: vec![("a".into(), BasicType::F64)],
+            results: vec![("res".into(), BasicType::Scalar(kind))],
+            body: vec![Stmt::Assign {
+                name: "res".into(),
+                value: Expr::Cast(kind, Box::new(Expr::Param(0))),
+            }],
+        };
+        let compiled = compile_sf(&sf).unwrap();
+        let vals = vec![Value::F64(v)];
+        let expect = sf.eval(&vals).unwrap();
+        let got = run_vm(&compiled, &vals);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!(close(g, e), "vm={g:?} interp={e:?}");
+        }
+    }
+}
