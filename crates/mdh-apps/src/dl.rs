@@ -242,10 +242,7 @@ mod tests {
     fn mcc_buffer_shapes_match_fig3() {
         // input 2 at paper scale: the 230x230x3 image of Fig. 3
         let app = mcc(Scale::Paper, 2).unwrap();
-        assert_eq!(
-            app.program.input_shapes().unwrap()[0],
-            vec![1, 230, 230, 3]
-        );
+        assert_eq!(app.program.input_shapes().unwrap()[0], vec![1, 230, 230, 3]);
         assert_eq!(app.program.input_shapes().unwrap()[1], vec![64, 7, 7, 3]);
     }
 }

@@ -61,10 +61,7 @@ def matvec(w, M, v):
         input_no,
         domain: "Simulation".into(),
         program,
-        inputs: vec![
-            f32_buffer("mv_M", vec![i, k]),
-            f32_buffer("mv_v", vec![k]),
-        ],
+        inputs: vec![f32_buffer("mv_M", vec![i, k]), f32_buffer("mv_v", vec![k])],
         vendor_op: Some(VendorOp::Gemv { i, k }),
         sizes_desc: format!("{i}x{k} | {k}"),
     })
@@ -282,10 +279,15 @@ mod tests {
     fn vendor_ops_match_programs() {
         let app = matmul(Scale::Small, 1).unwrap();
         let vendor = mdh_baselines::vendor::VendorCpu::new(2);
-        let (vout, _) = vendor.run(app.vendor_op.as_ref().unwrap(), &app.inputs).unwrap();
+        let (vout, _) = vendor
+            .run(app.vendor_op.as_ref().unwrap(), &app.inputs)
+            .unwrap();
         let expect = evaluate_recursive(&app.program, &app.inputs).unwrap();
         // vendor output is i×j; program output matches
-        assert_eq!(vout[0].as_f32().unwrap().len(), expect[0].as_f32().unwrap().len());
+        assert_eq!(
+            vout[0].as_f32().unwrap().len(),
+            expect[0].as_f32().unwrap().len()
+        );
         for (a, b) in vout[0]
             .as_f32()
             .unwrap()

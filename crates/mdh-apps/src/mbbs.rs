@@ -12,8 +12,14 @@ use mdh_directive::{compile, DirectiveEnv};
 /// dimension of row sums (`pw(add)`).
 pub fn mbbs(scale: Scale, input_no: usize) -> Result<AppInstance> {
     let (i, j) = match input_no {
-        1 => (scale.pick(1 << 14, 1 << 11, 9), scale.pick(1 << 10, 1 << 8, 5)),
-        _ => (scale.pick(1 << 12, 1 << 10, 7), scale.pick(1 << 12, 1 << 9, 6)),
+        1 => (
+            scale.pick(1 << 14, 1 << 11, 9),
+            scale.pick(1 << 10, 1 << 8, 5),
+        ),
+        _ => (
+            scale.pick(1 << 12, 1 << 10, 7),
+            scale.pick(1 << 12, 1 << 9, 6),
+        ),
     };
     let src = "\
 @mdh( out( bbs = Buffer[fp64] ),

@@ -28,9 +28,7 @@ pub const FIELDS: usize = 12;
 
 /// Per-field agreement weights (match weights in the Fellegi–Sunter
 /// sense).
-pub const AGREE_W: [f64; FIELDS] = [
-    2.5, 1.8, 3.1, 1.2, 2.2, 0.9, 1.4, 2.8, 0.7, 1.9, 3.3, 1.1,
-];
+pub const AGREE_W: [f64; FIELDS] = [2.5, 1.8, 3.1, 1.2, 2.2, 0.9, 1.4, 2.8, 0.7, 1.9, 3.3, 1.1];
 
 /// Per-field disagreement penalty.
 pub const DISAGREE_W: f64 = -0.3;
@@ -60,12 +58,10 @@ pub fn query_record() -> Arc<RecordType> {
 /// Listing 11 computes.
 pub fn prl_max() -> PwFunc {
     let assign = |suffix: &str, from: usize| -> Vec<Stmt> {
-        vec![
-            Stmt::Assign {
-                name: format!("res_{suffix}"),
-                value: Expr::Param(from),
-            },
-        ]
+        vec![Stmt::Assign {
+            name: format!("res_{suffix}"),
+            value: Expr::Param(from),
+        }]
     };
     let take = |side: usize| -> Vec<Stmt> {
         // side 0 = lhs (params 0..3), side 1 = rhs (params 3..6)
@@ -96,10 +92,7 @@ pub fn prl_max() -> PwFunc {
         body: vec![Stmt::If {
             cond: Expr::and(
                 lhs_full.clone(),
-                Expr::Un(
-                    mdh_core::expr::UnOp::Not,
-                    Box::new(rhs_full.clone()),
-                ),
+                Expr::Un(mdh_core::expr::UnOp::Not, Box::new(rhs_full.clone())),
             ),
             then_branch: take(0),
             else_branch: vec![Stmt::If {

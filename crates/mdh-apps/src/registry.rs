@@ -13,26 +13,86 @@ pub struct StudyId {
 
 /// The Fig. 3 study list, in the paper's order.
 pub const FIG3_STUDIES: &[StudyId] = &[
-    StudyId { name: "Dot", input_no: 1 },
-    StudyId { name: "Dot", input_no: 2 },
-    StudyId { name: "MatVec", input_no: 1 },
-    StudyId { name: "MatVec", input_no: 2 },
-    StudyId { name: "MatMul", input_no: 1 },
-    StudyId { name: "MatMul", input_no: 2 },
-    StudyId { name: "MatMul^T", input_no: 1 },
-    StudyId { name: "bMatMul", input_no: 1 },
-    StudyId { name: "Gaussian_2D", input_no: 1 },
-    StudyId { name: "Gaussian_2D", input_no: 2 },
-    StudyId { name: "Jacobi_3D", input_no: 1 },
-    StudyId { name: "Jacobi_3D", input_no: 2 },
-    StudyId { name: "PRL", input_no: 1 },
-    StudyId { name: "PRL", input_no: 2 },
-    StudyId { name: "CCSD(T)", input_no: 1 },
-    StudyId { name: "CCSD(T)", input_no: 2 },
-    StudyId { name: "MCC", input_no: 1 },
-    StudyId { name: "MCC", input_no: 2 },
-    StudyId { name: "MCC_Caps", input_no: 1 },
-    StudyId { name: "MCC_Caps", input_no: 2 },
+    StudyId {
+        name: "Dot",
+        input_no: 1,
+    },
+    StudyId {
+        name: "Dot",
+        input_no: 2,
+    },
+    StudyId {
+        name: "MatVec",
+        input_no: 1,
+    },
+    StudyId {
+        name: "MatVec",
+        input_no: 2,
+    },
+    StudyId {
+        name: "MatMul",
+        input_no: 1,
+    },
+    StudyId {
+        name: "MatMul",
+        input_no: 2,
+    },
+    StudyId {
+        name: "MatMul^T",
+        input_no: 1,
+    },
+    StudyId {
+        name: "bMatMul",
+        input_no: 1,
+    },
+    StudyId {
+        name: "Gaussian_2D",
+        input_no: 1,
+    },
+    StudyId {
+        name: "Gaussian_2D",
+        input_no: 2,
+    },
+    StudyId {
+        name: "Jacobi_3D",
+        input_no: 1,
+    },
+    StudyId {
+        name: "Jacobi_3D",
+        input_no: 2,
+    },
+    StudyId {
+        name: "PRL",
+        input_no: 1,
+    },
+    StudyId {
+        name: "PRL",
+        input_no: 2,
+    },
+    StudyId {
+        name: "CCSD(T)",
+        input_no: 1,
+    },
+    StudyId {
+        name: "CCSD(T)",
+        input_no: 2,
+    },
+    StudyId {
+        name: "MCC",
+        input_no: 1,
+    },
+    StudyId {
+        name: "MCC",
+        input_no: 2,
+    },
+    StudyId {
+        name: "MCC_Caps",
+        input_no: 1,
+    },
+    StudyId {
+        name: "MCC_Caps",
+        input_no: 2,
+    },
 ];
 
 /// Instantiate one study at a scale.
@@ -97,11 +157,7 @@ mod tests {
             ("MCC_Caps", 10, true),
         ];
         for &(name, rank, has_red) in expect {
-            let app = instantiate(
-                StudyId { name, input_no: 1 },
-                Scale::Small,
-            )
-            .unwrap();
+            let app = instantiate(StudyId { name, input_no: 1 }, Scale::Small).unwrap();
             assert_eq!(app.program.rank(), rank, "{name} rank");
             assert_eq!(
                 !app.program.md_hom.reduction_dims().is_empty(),

@@ -78,18 +78,32 @@ impl CpuExecutor {
     ) -> Result<Vec<Buffer>> {
         prog.validate()?;
         schedule.validate(prog, 1 << 24)?;
-        eval::check_inputs(prog, inputs)?;
         let plan = ExecutionPlan::build(prog, schedule)?;
+        self.run_planned(prog, schedule, &plan, inputs)
+    }
+
+    /// Execute with an already-lowered plan, skipping program/schedule
+    /// validation and plan construction. The caller (e.g. the runtime's
+    /// plan cache) guarantees `plan` was built from `(prog, schedule)`;
+    /// only the per-request inputs are re-checked.
+    pub fn run_planned(
+        &self,
+        prog: &DslProgram,
+        schedule: &Schedule,
+        plan: &ExecutionPlan,
+        inputs: &[Buffer],
+    ) -> Result<Vec<Buffer>> {
+        eval::check_inputs(prog, inputs)?;
         match self.path_for(prog) {
             ExecPath::Contraction => {
                 let c = Contraction::try_build(prog).unwrap();
-                self.run_contraction(&c, prog, &plan, inputs, &schedule.inner_tiles)
+                self.run_contraction(&c, prog, plan, inputs, &schedule.inner_tiles)
             }
             ExecPath::Map => {
                 let mk = MapKernel::try_build(prog).unwrap();
-                self.run_map(&mk, prog, &plan, inputs)
+                self.run_map(&mk, prog, plan, inputs)
             }
-            ExecPath::Vm => vm_exec::run(prog, &plan, inputs, &self.pool),
+            ExecPath::Vm => vm_exec::run(prog, plan, inputs, &self.pool),
             ExecPath::Reference => eval::evaluate_recursive(prog, inputs),
         }
     }
@@ -351,7 +365,11 @@ mod tests {
         let got = ex.run(&prog, &s, &inputs).unwrap();
         let xf = x.as_f32().unwrap();
         let yf = y.as_f32().unwrap();
-        let expect: f64 = xf.iter().zip(yf).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let expect: f64 = xf
+            .iter()
+            .zip(yf)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         let got_v = got[0].as_f32().unwrap()[0] as f64;
         assert!(
             (got_v - expect).abs() < 1e-2 * expect.abs().max(1.0),

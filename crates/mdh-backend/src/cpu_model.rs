@@ -185,8 +185,7 @@ pub fn estimate_cpu(prog: &DslProgram, schedule: &Schedule, p: &CpuParams) -> Re
         .sum::<f64>()
         + out_points * out_elem;
     let mem_ms = if unique_bytes <= p.l3_bytes as f64 {
-        let dram_ms =
-            unique_bytes / (p.dram_bw_gib_s * bw_share * (1u64 << 30) as f64) * 1e3;
+        let dram_ms = unique_bytes / (p.dram_bw_gib_s * bw_share * (1u64 << 30) as f64) * 1e3;
         let l3_stream = (dram_bytes - unique_bytes).max(0.0);
         let l3_share = (tasks / p.cores as f64).clamp(1.0 / p.cores as f64, 1.0);
         dram_ms + l3_stream / (p.l3_bw_gib_s * l3_share * (1u64 << 30) as f64) * 1e3

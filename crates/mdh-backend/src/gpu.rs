@@ -181,10 +181,7 @@ impl GpuSim {
             // each block stages each strip's footprint once, coalesced;
             // strips are reloaded per phase
             for b in 0..prog.inp_view.buffers.len() {
-                let fp = prog
-                    .inp_view
-                    .footprint_bytes(b, &stage_range)
-                    .unwrap_or(0) as f64;
+                let fp = prog.inp_view.footprint_bytes(b, &stage_range).unwrap_or(0) as f64;
                 dram_bytes += fp * stage_phases * n_blocks as f64;
             }
             coal_num += 1.0;
@@ -235,8 +232,7 @@ impl GpuSim {
         if schedule.reduction == ReductionStrategy::Tree && split_chunks > 1 {
             // partial buffers written + read per tree pass
             let partial_bytes = out_points * out_elem * split_chunks as f64;
-            combine_ms +=
-                2.0 * partial_bytes / (p.dram_bw_gib_s * (1 << 30) as f64) * 1e3;
+            combine_ms += 2.0 * partial_bytes / (p.dram_bw_gib_s * (1 << 30) as f64) * 1e3;
             // each combine pass reduces by a block's worth of partials
             let fanout = (tpb.max(32)) as f64;
             launches += ((split_chunks as f64).ln() / fanout.ln()).ceil().max(1.0);
@@ -248,8 +244,8 @@ impl GpuSim {
             let serial: f64 = red_dims
                 .iter()
                 .map(|&d| {
-                    (sizes[d] / (schedule.par_chunks[d] * schedule.block_threads[d]).max(1))
-                        .max(1) as f64
+                    (sizes[d] / (schedule.par_chunks[d] * schedule.block_threads[d]).max(1)).max(1)
+                        as f64
                 })
                 .product();
             // ~4 cycles per dependent FMA at 1.41 GHz
@@ -273,7 +269,11 @@ impl GpuSim {
             combine_ms,
             dram_bytes,
             occupancy,
-            coalescing: if coal_den > 0.0 { coal_num / coal_den } else { 1.0 },
+            coalescing: if coal_den > 0.0 {
+                coal_num / coal_den
+            } else {
+                1.0
+            },
             shared_bytes,
         })
     }
@@ -305,8 +305,8 @@ fn coalescing_factor(
         stride += e.coeffs.get(vd).copied().unwrap_or(0) * s;
     }
     match stride.unsigned_abs() as usize {
-        0 => 1.0,         // broadcast: one transaction per warp
-        1 => 1.0,         // perfectly coalesced
+        0 => 1.0, // broadcast: one transaction per warp
+        1 => 1.0, // perfectly coalesced
         s => (s * elem).min(transaction_bytes.max(elem)) as f64 / elem as f64,
     }
 }

@@ -96,12 +96,7 @@ impl Contraction {
         if prog.out_view.buffers[prog.out_view.accesses[0].buffer].ty != BasicType::F32 {
             return None;
         }
-        if prog
-            .inp_view
-            .buffers
-            .iter()
-            .any(|b| b.ty != BasicType::F32)
-        {
+        if prog.inp_view.buffers.iter().any(|b| b.ty != BasicType::F32) {
             return None;
         }
         let SfPattern::ProductOfParams(slots) = prog.md_hom.sf.recognize() else {
@@ -173,10 +168,7 @@ impl Contraction {
         for d in 0..range.rank() {
             let t = inner_tiles[d].max(1);
             if t > 1 && t < range.extent(d) {
-                blocks = blocks
-                    .into_iter()
-                    .flat_map(|b| b.tile_dim(d, t))
-                    .collect();
+                blocks = blocks.into_iter().flat_map(|b| b.tile_dim(d, t)).collect();
             }
         }
         for block in &blocks {
@@ -186,28 +178,21 @@ impl Contraction {
             let sub = self.run_task(ins, in_acc, block);
             // accumulate the block's partial into the task partial at its
             // preserved-coordinate offset (legal: pw(add) commutes)
-            let sub_ext: Vec<usize> =
-                self.preserved.iter().map(|&d| block.extent(d)).collect();
+            let sub_ext: Vec<usize> = self.preserved.iter().map(|&d| block.extent(d)).collect();
             let sub_shape = mdh_core::shape::Shape::new(sub_ext);
             for idx in sub_shape.iter() {
                 let mut abs = Vec::with_capacity(idx.len());
                 for (pp, &d) in self.preserved.iter().enumerate() {
                     abs.push(block.lo[d] - range.lo[d] + idx[pp]);
                 }
-                partial.data[pres_shape.linearize(&abs)] +=
-                    sub.data[sub_shape.linearize(&idx)];
+                partial.data[pres_shape.linearize(&abs)] += sub.data[sub_shape.linearize(&idx)];
             }
         }
         partial
     }
 
     /// Execute one task: produce the f32 partial over its preserved dims.
-    pub fn run_task(
-        &self,
-        ins: &[&[f32]],
-        in_acc: &[LinearAccess],
-        range: &MdRange,
-    ) -> PartialF32 {
+    pub fn run_task(&self, ins: &[&[f32]], in_acc: &[LinearAccess], range: &MdRange) -> PartialF32 {
         let pres_ext: Vec<usize> = self.preserved.iter().map(|&d| range.extent(d)).collect();
         let mut partial = PartialF32::zeros(pres_ext.clone());
 
@@ -487,12 +472,7 @@ impl MapKernel {
         if prog.out_view.buffers[prog.out_view.accesses[0].buffer].ty != BasicType::F32 {
             return None;
         }
-        if prog
-            .inp_view
-            .buffers
-            .iter()
-            .any(|b| b.ty != BasicType::F32)
-        {
+        if prog.inp_view.buffers.iter().any(|b| b.ty != BasicType::F32) {
             return None;
         }
         if prog

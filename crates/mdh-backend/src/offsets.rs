@@ -156,13 +156,8 @@ pub struct RecLane<'a> {
 /// Moves one access's element at a flat offset into the register banks.
 pub enum Loader<'a> {
     Unused,
-    Scalar {
-        col: ColSlice<'a>,
-        reg: Reg,
-    },
-    Record {
-        lanes: Vec<RecLane<'a>>,
-    },
+    Scalar { col: ColSlice<'a>, reg: Reg },
+    Record { lanes: Vec<RecLane<'a>> },
 }
 
 impl<'a> Loader<'a> {

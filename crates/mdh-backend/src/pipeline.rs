@@ -118,12 +118,9 @@ impl Pipeline {
             let mut inputs = Vec::with_capacity(st.inputs.len());
             for src in &st.inputs {
                 let buf = match src {
-                    Source::External(name) => external
-                        .get(name)
-                        .cloned()
-                        .ok_or_else(|| {
-                            MdhError::Validation(format!("missing external buffer '{name}'"))
-                        })?,
+                    Source::External(name) => external.get(name).cloned().ok_or_else(|| {
+                        MdhError::Validation(format!("missing external buffer '{name}'"))
+                    })?,
                     Source::Stage { stage, buffer } => {
                         let producer = &self.stages[*stage].program;
                         let idx = producer.out_view.buffer_index(buffer).expect("validated");
@@ -132,10 +129,9 @@ impl Pipeline {
                 };
                 inputs.push(buf);
             }
-            let schedule = st
-                .schedule
-                .clone()
-                .unwrap_or_else(|| mdh_default_schedule(&st.program, DeviceKind::Cpu, exec.threads));
+            let schedule = st.schedule.clone().unwrap_or_else(|| {
+                mdh_default_schedule(&st.program, DeviceKind::Cpu, exec.threads)
+            });
             results.push(exec.run(&st.program, &schedule, &inputs)?);
         }
         Ok(results)
@@ -176,8 +172,7 @@ impl Pipeline {
             if si == self.stages.len() - 1 {
                 if let Ok(shapes) = st.program.output_shapes() {
                     for (decl, shape) in st.program.out_view.buffers.iter().zip(shapes) {
-                        let bytes =
-                            shape.iter().product::<usize>() * decl.ty.size_bytes();
+                        let bytes = shape.iter().product::<usize>() * decl.ty.size_bytes();
                         total += region.copyout(&decl.name, bytes);
                     }
                 }
@@ -277,10 +272,7 @@ mod tests {
         let pipeline = Pipeline::new()
             .stage(
                 matvec("layer1", n1, n0),
-                vec![
-                    Source::External("W1".into()),
-                    Source::External("x".into()),
-                ],
+                vec![Source::External("W1".into()), Source::External("x".into())],
             )
             .stage(
                 matvec("layer2", n2, n1),

@@ -207,7 +207,7 @@ mod tests {
         let bytes = 64 << 20; // 64 MiB of inputs
         let t_transfer = transfer_ms(&link, bytes);
         let t_kernel = 0.1; // a fast tuned kernel
-        // after N launches, amortised overhead per launch:
+                            // after N launches, amortised overhead per launch:
         let n = 100.0;
         let per_launch = t_transfer / n + t_kernel;
         assert!(per_launch < 2.0 * t_kernel + 1.0);

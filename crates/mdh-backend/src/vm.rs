@@ -244,15 +244,11 @@ fn subst(e: &Expr, consts: &HashMap<String, i64>) -> Expr {
         Expr::ArrayIndex(b, i) => {
             Expr::ArrayIndex(Box::new(subst(b, consts)), Box::new(subst(i, consts)))
         }
-        Expr::Bin(op, a, b) => Expr::Bin(
-            *op,
-            Box::new(subst(a, consts)),
-            Box::new(subst(b, consts)),
-        ),
-        Expr::Un(op, a) => Expr::Un(*op, Box::new(subst(a, consts))),
-        Expr::Call(f, args) => {
-            Expr::Call(*f, args.iter().map(|a| subst(a, consts)).collect())
+        Expr::Bin(op, a, b) => {
+            Expr::Bin(*op, Box::new(subst(a, consts)), Box::new(subst(b, consts)))
         }
+        Expr::Un(op, a) => Expr::Un(*op, Box::new(subst(a, consts))),
+        Expr::Call(f, args) => Expr::Call(*f, args.iter().map(|a| subst(a, consts)).collect()),
         Expr::Cast(k, a) => Expr::Cast(*k, Box::new(subst(a, consts))),
         Expr::Select(c, a, b) => Expr::Select(
             Box::new(subst(c, consts)),
@@ -493,9 +489,9 @@ impl Compiler {
                     r
                 }
                 other => {
-                    let v = other.as_i64().ok_or_else(|| {
-                        MdhError::Validation("unsupported literal in VM".into())
-                    })?;
+                    let v = other
+                        .as_i64()
+                        .ok_or_else(|| MdhError::Validation("unsupported literal in VM".into()))?;
                     let r = self.alloc(false);
                     if let Reg::I(d) = r {
                         self.ops.push(VmOp::ConstI(d, v));
@@ -559,9 +555,7 @@ impl Compiler {
                     .get(&(fi, lane as usize))
                     .copied()
                     .map(CVal::Reg)
-                    .ok_or_else(|| {
-                        MdhError::Validation(format!("array lane {lane} out of range"))
-                    })
+                    .ok_or_else(|| MdhError::Validation(format!("array lane {lane} out of range")))
             }
             Expr::Bin(op, a, b) => {
                 let a = self.compile_expr(a)?;
@@ -729,11 +723,7 @@ impl Compiler {
     }
 
     fn finish(self, sf: &ScalarFunction) -> Result<CompiledSf> {
-        let result_regs: Vec<Reg> = sf
-            .results
-            .iter()
-            .map(|(name, _)| self.vars[name])
-            .collect();
+        let result_regs: Vec<Reg> = sf.results.iter().map(|(name, _)| self.vars[name]).collect();
         let result_kinds: Vec<ScalarKind> = sf
             .results
             .iter()
@@ -817,13 +807,14 @@ mod tests {
         use mdh_core::expr::{BinOp, Expr, Stmt};
         let sf = ScalarFunction {
             name: "maxish".into(),
-            params: vec![
-                ("a".into(), BasicType::F64),
-                ("b".into(), BasicType::F64),
-            ],
+            params: vec![("a".into(), BasicType::F64), ("b".into(), BasicType::F64)],
             results: vec![("res".into(), BasicType::F64)],
             body: vec![Stmt::If {
-                cond: Expr::Bin(BinOp::Gt, Box::new(Expr::Param(0)), Box::new(Expr::Param(1))),
+                cond: Expr::Bin(
+                    BinOp::Gt,
+                    Box::new(Expr::Param(0)),
+                    Box::new(Expr::Param(1)),
+                ),
                 then_branch: vec![Stmt::Assign {
                     name: "res".into(),
                     value: Expr::Param(0),
@@ -912,10 +903,7 @@ mod tests {
         use mdh_core::expr::{Expr, MathFn, Stmt};
         let sf = ScalarFunction {
             name: "m".into(),
-            params: vec![
-                ("a".into(), BasicType::F64),
-                ("b".into(), BasicType::F64),
-            ],
+            params: vec![("a".into(), BasicType::F64), ("b".into(), BasicType::F64)],
             results: vec![("res".into(), BasicType::F64)],
             body: vec![Stmt::Assign {
                 name: "res".into(),
@@ -938,10 +926,7 @@ mod tests {
         use mdh_core::expr::{Expr, Stmt};
         let sf = ScalarFunction {
             name: "p".into(),
-            params: vec![
-                ("a".into(), BasicType::I64),
-                ("b".into(), BasicType::F64),
-            ],
+            params: vec![("a".into(), BasicType::I64), ("b".into(), BasicType::F64)],
             results: vec![("res".into(), BasicType::F64)],
             body: vec![Stmt::Assign {
                 name: "res".into(),

@@ -738,8 +738,8 @@ fn write_partial(
 mod tests {
     use super::*;
     use mdh_core::dsl::DslBuilder;
-    use mdh_core::expr::{BinOp, Expr, ScalarFunction, Stmt};
     use mdh_core::eval::evaluate_recursive;
+    use mdh_core::expr::{BinOp, Expr, ScalarFunction, Stmt};
     use mdh_core::index_fn::IndexFn;
     use mdh_core::types::BasicType;
     use mdh_lowering::asm::DeviceKind;
@@ -776,7 +776,10 @@ mod tests {
             .inp_access("M", IndexFn::identity(2, 2))
             .inp_buffer("v", BasicType::F32)
             .inp_access("v", IndexFn::select(2, &[1]))
-            .scalar_function(ScalarFunction::mul2("f_mul", mdh_core::types::ScalarKind::F32))
+            .scalar_function(ScalarFunction::mul2(
+                "f_mul",
+                mdh_core::types::ScalarKind::F32,
+            ))
             .combine_ops(vec![CombineOp::cc(), CombineOp::pw_add()])
             .build()
             .unwrap();
@@ -820,7 +823,11 @@ mod tests {
                 ("res_w".into(), BasicType::F64),
             ],
             body: vec![Stmt::If {
-                cond: Expr::Bin(BinOp::Ge, Box::new(Expr::Param(1)), Box::new(Expr::Param(3))),
+                cond: Expr::Bin(
+                    BinOp::Ge,
+                    Box::new(Expr::Param(1)),
+                    Box::new(Expr::Param(3)),
+                ),
                 then_branch: vec![
                     Stmt::Assign {
                         name: "res_id".into(),
@@ -846,10 +853,7 @@ mod tests {
         // per point: id = ids[i], w = weights[n*I + i]
         let sf = ScalarFunction {
             name: "point".into(),
-            params: vec![
-                ("id".into(), BasicType::I64),
-                ("w".into(), BasicType::F64),
-            ],
+            params: vec![("id".into(), BasicType::I64), ("w".into(), BasicType::F64)],
             results: vec![
                 ("res_id".into(), BasicType::I64),
                 ("res_w".into(), BasicType::F64),
@@ -875,10 +879,7 @@ mod tests {
             .inp_buffer("weights", BasicType::F64)
             .inp_access("weights", IndexFn::identity(2, 2))
             .scalar_function(sf)
-            .combine_ops(vec![
-                CombineOp::cc(),
-                CombineOp::pw_custom(argmax).unwrap(),
-            ])
+            .combine_ops(vec![CombineOp::cc(), CombineOp::pw_custom(argmax).unwrap()])
             .build()
             .unwrap();
         let ids = Buffer::from_i64("ids", Shape::new(vec![i]), (0..i as i64).collect());
@@ -901,7 +902,10 @@ mod tests {
             .out_access("out", IndexFn::select(2, &[0]))
             .inp_buffer("M", BasicType::F64)
             .inp_access("M", IndexFn::identity(2, 2))
-            .scalar_function(ScalarFunction::identity("id", mdh_core::types::ScalarKind::F64))
+            .scalar_function(ScalarFunction::identity(
+                "id",
+                mdh_core::types::ScalarKind::F64,
+            ))
             .combine_ops(vec![CombineOp::ps_add(), CombineOp::pw_add()])
             .build()
             .unwrap();
@@ -924,7 +928,10 @@ mod tests {
             .out_access("out", IndexFn::select(2, &[0]))
             .inp_buffer("M", BasicType::F64)
             .inp_access("M", IndexFn::identity(2, 2))
-            .scalar_function(ScalarFunction::identity("id", mdh_core::types::ScalarKind::F64))
+            .scalar_function(ScalarFunction::identity(
+                "id",
+                mdh_core::types::ScalarKind::F64,
+            ))
             .combine_ops(vec![CombineOp::ps_add(), CombineOp::pw_add()])
             .build()
             .unwrap();

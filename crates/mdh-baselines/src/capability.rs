@@ -109,10 +109,7 @@ mod tests {
     fn custom_max_prog(n: usize) -> DslProgram {
         let cf = ScalarFunction {
             name: "mymax".into(),
-            params: vec![
-                ("l".into(), BasicType::F32),
-                ("r".into(), BasicType::F32),
-            ],
+            params: vec![("l".into(), BasicType::F32), ("r".into(), BasicType::F32)],
             results: vec![("res".into(), BasicType::F32)],
             body: vec![mdh_core::expr::Stmt::Assign {
                 name: "res".into(),

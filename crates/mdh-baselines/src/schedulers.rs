@@ -381,9 +381,7 @@ impl Baseline for NumbaLike {
         {
             let d = prog.rank() - 1;
             s.block_threads[d] = 16.min(sizes[d]).max(1);
-            if s.block_threads[d] > 1
-                && prog.md_hom.reduction_dims().contains(&d)
-            {
+            if s.block_threads[d] > 1 && prog.md_hom.reduction_dims().contains(&d) {
                 s.reduction = ReductionStrategy::Tree;
             }
         }
@@ -473,13 +471,14 @@ mod tests {
     fn prl_like(n: usize, i: usize) -> DslProgram {
         let cf = ScalarFunction {
             name: "prl_max".into(),
-            params: vec![
-                ("l".into(), BasicType::F64),
-                ("r".into(), BasicType::F64),
-            ],
+            params: vec![("l".into(), BasicType::F64), ("r".into(), BasicType::F64)],
             results: vec![("res".into(), BasicType::F64)],
             body: vec![Stmt::If {
-                cond: Expr::Bin(BinOp::Ge, Box::new(Expr::Param(0)), Box::new(Expr::Param(1))),
+                cond: Expr::Bin(
+                    BinOp::Ge,
+                    Box::new(Expr::Param(0)),
+                    Box::new(Expr::Param(1)),
+                ),
                 then_branch: vec![Stmt::Assign {
                     name: "res".into(),
                     value: Expr::Param(0),

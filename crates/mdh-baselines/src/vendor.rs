@@ -93,11 +93,16 @@ impl VendorOp {
                 (*b * ((*i * *k) + (*k * *j) + (*i * *j))) as f64 * f
             }
             VendorOp::Conv2d {
-                n, p, q, o, r, s, c, caps,
+                n,
+                p,
+                q,
+                o,
+                r,
+                s,
+                c,
+                caps,
             } => {
-                ((*n * (2 * *p + *r) * (2 * *q + *s) * *c
-                    + *o * *r * *s * *c
-                    + *n * *p * *q * *o)
+                ((*n * (2 * *p + *r) * (2 * *q + *s) * *c + *o * *r * *s * *c + *n * *p * *q * *o)
                     * *caps) as f64
                     * f
             }
@@ -237,28 +242,30 @@ impl VendorCpu {
         assert_eq!(flt.len(), o * r * s * ch);
         assert_eq!(out.len(), n * p * q * o);
         self.pool.install(|| {
-            out.par_chunks_mut(q * o).enumerate().for_each(|(np, chunk)| {
-                let nn = np / p;
-                let pp = np % p;
-                for qq in 0..q {
-                    for oo in 0..o {
-                        let mut acc = 0f32;
-                        for rr in 0..r {
-                            for ss in 0..s {
-                                let ibase =
-                                    ((nn * ih + (2 * pp + rr)) * iw + (2 * qq + ss)) * ch;
-                                let fbase = ((oo * r + rr) * s + ss) * ch;
-                                acc += img[ibase..ibase + ch]
-                                    .iter()
-                                    .zip(&flt[fbase..fbase + ch])
-                                    .map(|(x, y)| x * y)
-                                    .sum::<f32>();
+            out.par_chunks_mut(q * o)
+                .enumerate()
+                .for_each(|(np, chunk)| {
+                    let nn = np / p;
+                    let pp = np % p;
+                    for qq in 0..q {
+                        for oo in 0..o {
+                            let mut acc = 0f32;
+                            for rr in 0..r {
+                                for ss in 0..s {
+                                    let ibase =
+                                        ((nn * ih + (2 * pp + rr)) * iw + (2 * qq + ss)) * ch;
+                                    let fbase = ((oo * r + rr) * s + ss) * ch;
+                                    acc += img[ibase..ibase + ch]
+                                        .iter()
+                                        .zip(&flt[fbase..fbase + ch])
+                                        .map(|(x, y)| x * y)
+                                        .sum::<f32>();
+                                }
                             }
+                            chunk[qq * o + oo] = acc;
                         }
-                        chunk[qq * o + oo] = acc;
                     }
-                }
-            });
+                });
         });
     }
 
@@ -415,8 +422,7 @@ impl VendorCpuModel {
     pub fn estimate_ms(&self, op: &VendorOp) -> f64 {
         let eff = self.efficiency(op);
         let compute_ms = op.flops() / (self.params.peak_gflops * 1e9 * eff) * 1e3;
-        let mem_ms =
-            op.bytes() / (self.params.dram_bw_gib_s * (1u64 << 30) as f64) * 1e3;
+        let mem_ms = op.bytes() / (self.params.dram_bw_gib_s * (1u64 << 30) as f64) * 1e3;
         // MKL dispatch + threading-runtime overhead
         compute_ms.max(mem_ms) + 0.02
     }
@@ -452,7 +458,11 @@ mod tests {
         let x: Vec<f32> = (0..n).map(|i| ((i % 13) as f32 - 6.0) / 13.0).collect();
         let y: Vec<f32> = (0..n).map(|i| ((i % 7) as f32) / 7.0).collect();
         let got = cpu().dot(&x, &y) as f64;
-        let expect: f64 = x.iter().zip(&y).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let expect: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
         assert!((got - expect).abs() < 1e-2);
     }
 
@@ -504,7 +514,9 @@ mod tests {
         let (n, p, q, o, r, s, ch) = (1, 3, 3, 2, 3, 3, 2);
         let ih = 2 * p + r - 1;
         let iw = 2 * q + s - 1;
-        let img: Vec<f32> = (0..n * ih * iw * ch).map(|x| ((x * 13) % 5) as f32).collect();
+        let img: Vec<f32> = (0..n * ih * iw * ch)
+            .map(|x| ((x * 13) % 5) as f32)
+            .collect();
         let flt: Vec<f32> = (0..o * r * s * ch).map(|x| ((x * 11) % 3) as f32).collect();
         let mut out = vec![0f32; n * p * q * o];
         cpu().conv2d(&img, &flt, n, p, q, o, r, s, ch, &mut out);

@@ -64,5 +64,10 @@ fn bench_cost_models(c: &mut Criterion) {
     });
 }
 
-criterion_group!(pipeline, bench_frontend, bench_vm_compile, bench_cost_models);
+criterion_group!(
+    pipeline,
+    bench_frontend,
+    bench_vm_compile,
+    bench_cost_models
+);
 criterion_main!(pipeline);

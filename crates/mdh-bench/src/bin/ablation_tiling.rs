@@ -30,24 +30,22 @@ fn main() {
         }
         .schedule(&app.program)
         .and_then(|s| {
-            sim.estimate(&app.program, &s).map_err(|e| {
-                mdh_baselines::schedulers::ScheduleError {
+            sim.estimate(&app.program, &s)
+                .map_err(|e| mdh_baselines::schedulers::ScheduleError {
                     system: "OpenACC".into(),
                     reason: e.to_string(),
-                }
-            })
+                })
         });
         let acc_manual = OpenAccLike {
             manual_tiling: true,
         }
         .schedule(&app.program)
         .and_then(|s| {
-            sim.estimate(&app.program, &s).map_err(|e| {
-                mdh_baselines::schedulers::ScheduleError {
+            sim.estimate(&app.program, &s)
+                .map_err(|e| mdh_baselines::schedulers::ScheduleError {
                     system: "OpenACC".into(),
                     reason: e.to_string(),
-                }
-            })
+                })
         });
 
         println!("CCSD(T) Inp. {input_no}:");

@@ -21,7 +21,15 @@ fn main() {
     println!("Figure 3: characteristics of computations and data (scale: {scale:?})\n");
     println!(
         "{:<12} {:>4} {:<11} {:>9} {:<9} {:>4} {:<34} {:<22} {:<17}",
-        "Computation", "No.", "Iter.Space", "Red.Dim.", "Data Acc.", "Inp.", "Sizes", "Basic Type", "Domain"
+        "Computation",
+        "No.",
+        "Iter.Space",
+        "Red.Dim.",
+        "Data Acc.",
+        "Inp.",
+        "Sizes",
+        "Basic Type",
+        "Domain"
     );
     println!("{}", "-".repeat(130));
 

@@ -65,18 +65,12 @@ fn main() {
         let path = format!("{:?}", exec.path_for(&app.program));
         let sched = mdh_default_schedule(&app.program, DeviceKind::Cpu, threads);
         let cpu_ok = match exec.run(&app.program, &sched, &app.inputs) {
-            Ok(got) => got
-                .iter()
-                .zip(&expect)
-                .all(|(g, e)| g.approx_eq(e, 1e-3)),
+            Ok(got) => got.iter().zip(&expect).all(|(g, e)| g.approx_eq(e, 1e-3)),
             Err(_) => false,
         };
         let gsched = mdh_default_schedule(&app.program, DeviceKind::Gpu, 108 * 32);
         let gpu_ok = match sim.run(&app.program, &gsched, &app.inputs) {
-            Ok((got, _)) => got
-                .iter()
-                .zip(&expect)
-                .all(|(g, e)| g.approx_eq(e, 1e-3)),
+            Ok((got, _)) => got.iter().zip(&expect).all(|(g, e)| g.approx_eq(e, 1e-3)),
             Err(_) => false,
         };
         if !cpu_ok || !gpu_ok {

@@ -15,6 +15,7 @@ pub mod stats;
 
 use mdh_apps::{AppInstance, Scale, StudyId};
 use mdh_backend::cpu::CpuExecutor;
+use mdh_backend::cpu_model::{estimate_cpu, CpuParams};
 use mdh_backend::gpu::GpuSim;
 use mdh_baselines::schedulers::{
     Baseline, NumbaLike, OpenAccLike, OpenMpLike, PlutoLike, PpcgLike, TvmLike,
@@ -22,7 +23,6 @@ use mdh_baselines::schedulers::{
 use mdh_baselines::vendor::{VendorCpu, VendorCpuModel, VendorGpu};
 use mdh_lowering::asm::DeviceKind;
 use mdh_lowering::schedule::Schedule;
-use mdh_backend::cpu_model::{estimate_cpu, CpuParams};
 use mdh_tuner::{tune_cpu, tune_cpu_model, tune_gpu, Budget, Technique};
 
 /// Outcome for one system on one study.
@@ -61,11 +61,7 @@ impl StudyResult {
     /// Speedup of MDH over the named system (>1 = MDH faster).
     pub fn speedup_vs(&self, system: &str) -> Option<f64> {
         let mdh = self.mdh_time()?;
-        let other = self
-            .results
-            .iter()
-            .find(|r| r.system == system)?
-            .time()?;
+        let other = self.results.iter().find(|r| r.system == system)?.time()?;
         Some(other / mdh)
     }
 }
@@ -252,9 +248,7 @@ pub fn run_cpu_study(app: &AppInstance, cfg: &HarnessConfig, timing: CpuTiming) 
     // --- vendor library ----------------------------------------------------
     {
         let outcome = match (&app.vendor_op, timing) {
-            (Some(op), CpuTiming::Model) => {
-                Ok(VendorCpuModel::xeon_gold_6140().estimate_ms(op))
-            }
+            (Some(op), CpuTiming::Model) => Ok(VendorCpuModel::xeon_gold_6140().estimate_ms(op)),
             (Some(op), CpuTiming::Measured) => {
                 let vendor = VendorCpu::new(cfg.threads);
                 let mut err = None;

@@ -263,9 +263,9 @@ impl Buffer {
                     .zip(&rs.columns)
                     .map(|((_, ft), col)| match ft {
                         FieldType::Scalar(_) => col.get(flat),
-                        FieldType::Array(_, lanes) => Value::Array(
-                            (0..*lanes).map(|l| col.get(flat * lanes + l)).collect(),
-                        ),
+                        FieldType::Array(_, lanes) => {
+                            Value::Array((0..*lanes).map(|l| col.get(flat * lanes + l)).collect())
+                        }
                     })
                     .collect(),
             ),
@@ -303,9 +303,7 @@ impl Buffer {
                         (FieldType::Scalar(_), v) => col.set(flat, v)?,
                         (FieldType::Array(_, lanes), Value::Array(items)) => {
                             if items.len() != lanes {
-                                return Err(MdhError::Type(
-                                    "array field length mismatch".into(),
-                                ));
+                                return Err(MdhError::Type("array field length mismatch".into()));
                             }
                             for (l, item) in items.iter().enumerate() {
                                 col.set(flat * lanes + l, item)?;
@@ -350,10 +348,7 @@ impl Buffer {
             BufferData::F64(v) => v.iter_mut().enumerate().for_each(|(i, x)| *x = f(i)),
             BufferData::I32(v) => v.iter_mut().enumerate().for_each(|(i, x)| *x = f(i) as i32),
             BufferData::I64(v) => v.iter_mut().enumerate().for_each(|(i, x)| *x = f(i) as i64),
-            BufferData::Bool(v) => v
-                .iter_mut()
-                .enumerate()
-                .for_each(|(i, x)| *x = f(i) != 0.0),
+            BufferData::Bool(v) => v.iter_mut().enumerate().for_each(|(i, x)| *x = f(i) != 0.0),
             BufferData::Char(v) => v.iter_mut().enumerate().for_each(|(i, x)| *x = f(i) as u8),
             BufferData::Record(_) => panic!("fill_with is only defined for scalar buffers"),
         }

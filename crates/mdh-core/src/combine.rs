@@ -446,10 +446,7 @@ mod tests {
         // a deliberately-illegal combine function
         let f = PwFunc::custom(ScalarFunction {
             name: "sub".into(),
-            params: vec![
-                ("l".into(), BasicType::F64),
-                ("r".into(), BasicType::F64),
-            ],
+            params: vec![("l".into(), BasicType::F64), ("r".into(), BasicType::F64)],
             results: vec![("res".into(), BasicType::F64)],
             body: vec![Stmt::Assign {
                 name: "res".into(),

@@ -44,7 +44,12 @@ impl Intermediate {
     /// operator. Both operands must agree on all other extents. This is the
     /// "⊗_d" of the MDH formalism applied to finished parts, used by the
     /// homomorphism-law tests and by the parallel backends' combine stage.
-    pub fn combine_along(d: usize, op: &CombineOp, lhs: &Intermediate, rhs: &Intermediate) -> Result<Intermediate> {
+    pub fn combine_along(
+        d: usize,
+        op: &CombineOp,
+        lhs: &Intermediate,
+        rhs: &Intermediate,
+    ) -> Result<Intermediate> {
         for (dd, (a, b)) in lhs.extents.iter().zip(&rhs.extents).enumerate() {
             if dd != d && a != b {
                 return Err(MdhError::Eval(format!(
@@ -119,9 +124,9 @@ impl Intermediate {
 pub fn apply_sf_at(prog: &DslProgram, inputs: &[Buffer], idx: &[usize]) -> Result<Tuple> {
     let mut args = Vec::with_capacity(prog.inp_view.accesses.len());
     for a in &prog.inp_view.accesses {
-        let bidx = a.index_fn.eval(idx).ok_or_else(|| MdhError::Eval(format!(
-            "negative buffer index at iteration point {idx:?}"
-        )))?;
+        let bidx = a.index_fn.eval(idx).ok_or_else(|| {
+            MdhError::Eval(format!("negative buffer index at iteration point {idx:?}"))
+        })?;
         let buf = &inputs[a.buffer];
         if !buf.shape.contains(&bidx) {
             return Err(MdhError::OutOfBounds {
@@ -225,9 +230,10 @@ pub fn write_outputs(
             }
         }
         for (r, a) in prog.out_view.accesses.iter().enumerate() {
-            let bidx = a.index_fn.eval(&idx).ok_or_else(|| {
-                MdhError::Eval("negative output index".into())
-            })?;
+            let bidx = a
+                .index_fn
+                .eval(&idx)
+                .ok_or_else(|| MdhError::Eval("negative output index".into()))?;
             outputs[a.buffer].set(&bidx, &tuple[r])?;
         }
     }
@@ -265,7 +271,12 @@ pub fn check_inputs(prog: &DslProgram, inputs: &[Buffer]) -> Result<()> {
             )));
         }
         if buf.shape.rank() != shape.len()
-            || buf.shape.dims().iter().zip(&shape).any(|(&have, &need)| have < need)
+            || buf
+                .shape
+                .dims()
+                .iter()
+                .zip(&shape)
+                .any(|(&have, &need)| have < need)
         {
             return Err(MdhError::Validation(format!(
                 "input buffer '{}' has shape {}, needs at least {:?}",
@@ -322,16 +333,17 @@ pub fn evaluate_direct(prog: &DslProgram, inputs: &[Buffer]) -> Result<Vec<Buffe
     }
     let range = prog.md_hom.full_range();
     let preserved = prog.md_hom.preserved_dims();
-    let acc_shape = Shape::new(preserved.iter().map(|&d| prog.md_hom.sizes[d]).collect::<Vec<_>>());
+    let acc_shape = Shape::new(
+        preserved
+            .iter()
+            .map(|&d| prog.md_hom.sizes[d])
+            .collect::<Vec<_>>(),
+    );
     let mut acc: Vec<Option<Tuple>> = vec![None; acc_shape.len().max(1)];
-    let pw = prog
-        .md_hom
-        .combine_ops
-        .iter()
-        .find_map(|op| match op {
-            CombineOp::Pw(f) => Some(f.clone()),
-            _ => None,
-        });
+    let pw = prog.md_hom.combine_ops.iter().find_map(|op| match op {
+        CombineOp::Pw(f) => Some(f.clone()),
+        _ => None,
+    });
     for idx in range.iter() {
         let tuple = apply_sf_at(prog, inputs, &idx)?;
         let key: Vec<usize> = preserved.iter().map(|&d| idx[d]).collect();
@@ -408,7 +420,10 @@ mod tests {
         let prog = matvec_prog(i, k);
         let inputs = matvec_inputs(i, k);
         let out = evaluate_recursive(&prog, &inputs).unwrap();
-        assert_eq!(out[0].as_f32().unwrap(), &matvec_expected(&inputs, i, k)[..]);
+        assert_eq!(
+            out[0].as_f32().unwrap(),
+            &matvec_expected(&inputs, i, k)[..]
+        );
     }
 
     #[test]
@@ -532,7 +547,10 @@ mod tests {
         // shrink v so accesses go out of bounds
         inputs[1] = Buffer::zeros("v", BasicType::F32, Shape::new(vec![k - 1]));
         let err = evaluate_recursive(&prog, &inputs).unwrap_err();
-        assert!(matches!(err, MdhError::Validation(_) | MdhError::OutOfBounds { .. }));
+        assert!(matches!(
+            err,
+            MdhError::Validation(_) | MdhError::OutOfBounds { .. }
+        ));
     }
 
     #[test]
@@ -541,10 +559,7 @@ mod tests {
         let n = 4;
         let prog = DslBuilder::new("strided", vec![n])
             .out_buffer_with_shape("out", BasicType::F64, vec![2 * n])
-            .out_access(
-                "out",
-                IndexFn::affine(vec![AffineExpr::new(vec![2], 0)]),
-            )
+            .out_access("out", IndexFn::affine(vec![AffineExpr::new(vec![2], 0)]))
             .inp_buffer("x", BasicType::F64)
             .inp_access("x", IndexFn::identity(1, 1))
             .scalar_function(ScalarFunction::identity("id", ScalarKind::F64))

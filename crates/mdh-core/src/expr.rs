@@ -174,15 +174,9 @@ impl Expr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// Declare-and-initialise a local variable.
-    Let {
-        name: String,
-        value: Expr,
-    },
+    Let { name: String, value: Expr },
     /// Assign to a local or result variable.
-    Assign {
-        name: String,
-        value: Expr,
-    },
+    Assign { name: String, value: Expr },
     If {
         cond: Expr,
         then_branch: Vec<Stmt>,
@@ -212,10 +206,7 @@ impl ScalarFunction {
     pub fn mul2(name: &str, ty: ScalarKind) -> ScalarFunction {
         ScalarFunction {
             name: name.into(),
-            params: vec![
-                ("a".into(), ty.into()),
-                ("b".into(), ty.into()),
-            ],
+            params: vec![("a".into(), ty.into()), ("b".into(), ty.into())],
             results: vec![("res".into(), ty.into())],
             body: vec![Stmt::Assign {
                 name: "res".into(),
@@ -241,12 +232,7 @@ impl ScalarFunction {
     /// `res = w_0 * p_0 + ... + w_{n-1} * p_{n-1}`.
     pub fn weighted_sum(name: &str, ty: ScalarKind, weights: &[f64]) -> ScalarFunction {
         assert!(!weights.is_empty());
-        let term = |i: usize| {
-            Expr::mul(
-                Expr::Lit(Value::from_f64(ty, weights[i])),
-                Expr::Param(i),
-            )
-        };
+        let term = |i: usize| Expr::mul(Expr::Lit(Value::from_f64(ty, weights[i])), Expr::Param(i));
         let mut e = term(0);
         for (i, _) in weights.iter().enumerate().skip(1) {
             e = Expr::add(e, term(i));
@@ -328,9 +314,7 @@ impl ScalarFunction {
                 Expr::Lit(_) | Expr::Param(_) | Expr::Var(_) => 0,
                 Expr::Field(e, _) | Expr::Cast(_, e) => expr_ops(e),
                 Expr::Un(_, e) => 1 + expr_ops(e),
-                Expr::ArrayIndex(a, b) | Expr::Bin(_, a, b) => {
-                    1 + expr_ops(a) + expr_ops(b)
-                }
+                Expr::ArrayIndex(a, b) | Expr::Bin(_, a, b) => 1 + expr_ops(a) + expr_ops(b),
                 Expr::Call(_, args) => 1 + args.iter().map(expr_ops).sum::<usize>(),
                 Expr::Select(c, a, b) => 1 + expr_ops(c) + expr_ops(a) + expr_ops(b),
             }
@@ -403,11 +387,7 @@ fn block_assigns(body: &[Stmt], name: &str) -> bool {
     })
 }
 
-fn exec_block(
-    body: &[Stmt],
-    args: &[Value],
-    env: &mut HashMap<String, Value>,
-) -> Result<()> {
+fn exec_block(body: &[Stmt], args: &[Value], env: &mut HashMap<String, Value>) -> Result<()> {
     for s in body {
         match s {
             Stmt::Let { name, value } | Stmt::Assign { name, value } => {
@@ -441,11 +421,7 @@ fn exec_block(
 }
 
 /// Evaluate an expression with the given parameter values and environment.
-pub fn eval_expr(
-    e: &Expr,
-    args: &[Value],
-    env: &HashMap<String, Value>,
-) -> Result<Value> {
+pub fn eval_expr(e: &Expr, args: &[Value], env: &HashMap<String, Value>) -> Result<Value> {
     match e {
         Expr::Lit(v) => Ok(v.clone()),
         Expr::Param(p) => args
@@ -501,10 +477,11 @@ pub fn eval_expr(
                         })
                     }
                 }
-                UnOp::Not => Ok(Value::Bool(
-                    !a.as_bool()
-                        .ok_or_else(|| MdhError::Eval("not of non-boolean".into()))?,
-                )),
+                UnOp::Not => {
+                    Ok(Value::Bool(!a.as_bool().ok_or_else(|| {
+                        MdhError::Eval("not of non-boolean".into())
+                    })?))
+                }
             }
         }
         Expr::Call(f, call_args) => {
@@ -647,9 +624,18 @@ pub fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
         };
         // result takes the wider of the two float kinds; f32 only if both
         // operands are at most f32-precision
-        let narrow = matches!(a, Value::F32(_) | Value::I32(_) | Value::Char(_) | Value::Bool(_))
-            && matches!(b, Value::F32(_) | Value::I32(_) | Value::Char(_) | Value::Bool(_));
-        Ok(if narrow { Value::F32(r as f32) } else { Value::F64(r) })
+        let narrow = matches!(
+            a,
+            Value::F32(_) | Value::I32(_) | Value::Char(_) | Value::Bool(_)
+        ) && matches!(
+            b,
+            Value::F32(_) | Value::I32(_) | Value::Char(_) | Value::Bool(_)
+        );
+        Ok(if narrow {
+            Value::F32(r as f32)
+        } else {
+            Value::F64(r)
+        })
     } else {
         let (x, y) = (
             a.as_i64()
@@ -794,13 +780,14 @@ mod tests {
         // res = if a > b { a } else { b } via statements
         let f = ScalarFunction {
             name: "max2".into(),
-            params: vec![
-                ("a".into(), BasicType::F64),
-                ("b".into(), BasicType::F64),
-            ],
+            params: vec![("a".into(), BasicType::F64), ("b".into(), BasicType::F64)],
             results: vec![("res".into(), BasicType::F64)],
             body: vec![Stmt::If {
-                cond: Expr::Bin(BinOp::Gt, Box::new(Expr::Param(0)), Box::new(Expr::Param(1))),
+                cond: Expr::Bin(
+                    BinOp::Gt,
+                    Box::new(Expr::Param(0)),
+                    Box::new(Expr::Param(1)),
+                ),
                 then_branch: vec![Stmt::Assign {
                     name: "res".into(),
                     value: Expr::Param(0),

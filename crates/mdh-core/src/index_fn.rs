@@ -28,7 +28,10 @@ impl AffineExpr {
     pub fn var(rank: usize, d: usize) -> Self {
         let mut coeffs = vec![0; rank];
         coeffs[d] = 1;
-        AffineExpr { coeffs, constant: 0 }
+        AffineExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// A constant expression.
@@ -130,10 +133,7 @@ impl PartialEq for IndexFn {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (IndexFn::Affine(a), IndexFn::Affine(b)) => a == b,
-            (
-                IndexFn::General { label: a, .. },
-                IndexFn::General { label: b, .. },
-            ) => a == b,
+            (IndexFn::General { label: a, .. }, IndexFn::General { label: b, .. }) => a == b,
             _ => false,
         }
     }
@@ -264,8 +264,7 @@ impl IndexFn {
                 let mut used = vec![false; rank];
                 let mut simple = true;
                 for e in exprs {
-                    let nz: Vec<usize> =
-                        (0..rank).filter(|&d| e.coeffs[d] != 0).collect();
+                    let nz: Vec<usize> = (0..rank).filter(|&d| e.coeffs[d] != 0).collect();
                     match nz.len() {
                         0 => {}
                         1 => {

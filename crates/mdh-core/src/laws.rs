@@ -45,11 +45,7 @@ pub fn check_split_law(
 }
 
 /// Check the law on every dimension at its midpoint.
-pub fn check_all_dims_midpoint(
-    prog: &DslProgram,
-    inputs: &[Buffer],
-    rel_tol: f64,
-) -> Result<bool> {
+pub fn check_all_dims_midpoint(prog: &DslProgram, inputs: &[Buffer], rel_tol: f64) -> Result<bool> {
     for d in 0..prog.rank() {
         let at = prog.md_hom.sizes[d] / 2;
         if !check_split_law(prog, inputs, d, at, rel_tol)? {

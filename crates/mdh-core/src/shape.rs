@@ -137,7 +137,10 @@ impl MdRange {
     /// (must satisfy `lo[d] <= at <= hi[d]`), yielding the `P` (lower) and
     /// `Q` (upper) parts of the MDH decomposition.
     pub fn split_at(&self, d: usize, at: usize) -> (MdRange, MdRange) {
-        assert!(self.lo[d] <= at && at <= self.hi[d], "split point out of range");
+        assert!(
+            self.lo[d] <= at && at <= self.hi[d],
+            "split point out of range"
+        );
         let mut p = self.clone();
         let mut q = self.clone();
         p.hi[d] = at;
@@ -166,13 +169,7 @@ impl MdRange {
 
     /// Iterate all multi-indices in the range (row-major).
     pub fn iter(&self) -> MultiIndexIter {
-        MultiIndexIter::new(
-            self.lo
-                .iter()
-                .zip(&self.hi)
-                .map(|(&l, &h)| l..h)
-                .collect(),
-        )
+        MultiIndexIter::new(self.lo.iter().zip(&self.hi).map(|(&l, &h)| l..h).collect())
     }
 
     pub fn contains(&self, idx: &[usize]) -> bool {

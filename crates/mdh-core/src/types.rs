@@ -118,10 +118,7 @@ impl RecordType {
     }
 
     pub fn field_type(&self, name: &str) -> Option<FieldType> {
-        self.fields
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, t)| *t)
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, t)| *t)
     }
 
     pub fn size_bytes(&self) -> usize {
@@ -351,7 +348,10 @@ mod tests {
             ],
         );
         assert_eq!(r.field_index("id"), Some(1));
-        assert_eq!(r.field_type("values"), Some(FieldType::Array(ScalarKind::F64, 8)));
+        assert_eq!(
+            r.field_type("values"),
+            Some(FieldType::Array(ScalarKind::F64, 8))
+        );
         assert_eq!(r.size_bytes(), 8 * 8 + 8);
     }
 
@@ -387,7 +387,9 @@ mod tests {
         assert!(Value::F32(1.0).approx_eq(&Value::F32(1.0 + 1e-7), 1e-5));
         assert!(!Value::F32(1.0).approx_eq(&Value::F32(1.1), 1e-5));
         assert!(Value::F64(f64::NAN).approx_eq(&Value::F64(f64::NAN), 1e-5));
-        assert!(Value::Record(vec![Value::I32(1)]).approx_eq(&Value::Record(vec![Value::I32(1)]), 0.0));
+        assert!(
+            Value::Record(vec![Value::I32(1)]).approx_eq(&Value::Record(vec![Value::I32(1)]), 0.0)
+        );
     }
 
     #[test]

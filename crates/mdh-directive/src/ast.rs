@@ -72,10 +72,7 @@ pub enum SurfaceStmt {
         line: usize,
     },
     /// `target += value` — parsed but rejected with the paper's guidance.
-    AugAssign {
-        target: AssignTarget,
-        line: usize,
-    },
+    AugAssign { target: AssignTarget, line: usize },
     /// `name: type` — a typed local declaration (as in PRL's
     /// `tmp_match_weight: fp64`).
     Decl {

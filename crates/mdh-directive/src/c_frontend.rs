@@ -110,108 +110,183 @@ fn c_tokenize(src: &str) -> Result<Vec<CToken>> {
             match c {
                 ' ' | '\t' | '\r' => i += 1,
                 '(' => {
-                    out.push(CToken { tok: CTok::LParen, line });
+                    out.push(CToken {
+                        tok: CTok::LParen,
+                        line,
+                    });
                     i += 1;
                 }
                 ')' => {
-                    out.push(CToken { tok: CTok::RParen, line });
+                    out.push(CToken {
+                        tok: CTok::RParen,
+                        line,
+                    });
                     i += 1;
                 }
                 '[' => {
-                    out.push(CToken { tok: CTok::LBracket, line });
+                    out.push(CToken {
+                        tok: CTok::LBracket,
+                        line,
+                    });
                     i += 1;
                 }
                 ']' => {
-                    out.push(CToken { tok: CTok::RBracket, line });
+                    out.push(CToken {
+                        tok: CTok::RBracket,
+                        line,
+                    });
                     i += 1;
                 }
                 '{' => {
-                    out.push(CToken { tok: CTok::LBrace, line });
+                    out.push(CToken {
+                        tok: CTok::LBrace,
+                        line,
+                    });
                     i += 1;
                 }
                 '}' => {
-                    out.push(CToken { tok: CTok::RBrace, line });
+                    out.push(CToken {
+                        tok: CTok::RBrace,
+                        line,
+                    });
                     i += 1;
                 }
                 ';' => {
-                    out.push(CToken { tok: CTok::Semi, line });
+                    out.push(CToken {
+                        tok: CTok::Semi,
+                        line,
+                    });
                     i += 1;
                 }
                 ',' => {
-                    out.push(CToken { tok: CTok::Comma, line });
+                    out.push(CToken {
+                        tok: CTok::Comma,
+                        line,
+                    });
                     i += 1;
                 }
                 ':' => {
-                    out.push(CToken { tok: CTok::Colon, line });
+                    out.push(CToken {
+                        tok: CTok::Colon,
+                        line,
+                    });
                     i += 1;
                 }
                 '+' => {
                     if bytes.get(i + 1) == Some(&b'+') {
-                        out.push(CToken { tok: CTok::PlusPlus, line });
+                        out.push(CToken {
+                            tok: CTok::PlusPlus,
+                            line,
+                        });
                         i += 2;
                     } else if bytes.get(i + 1) == Some(&b'=') {
-                        out.push(CToken { tok: CTok::PlusAssign, line });
+                        out.push(CToken {
+                            tok: CTok::PlusAssign,
+                            line,
+                        });
                         i += 2;
                     } else {
-                        out.push(CToken { tok: CTok::Plus, line });
+                        out.push(CToken {
+                            tok: CTok::Plus,
+                            line,
+                        });
                         i += 1;
                     }
                 }
                 '-' => {
-                    out.push(CToken { tok: CTok::Minus, line });
+                    out.push(CToken {
+                        tok: CTok::Minus,
+                        line,
+                    });
                     i += 1;
                 }
                 '*' => {
-                    out.push(CToken { tok: CTok::Star, line });
+                    out.push(CToken {
+                        tok: CTok::Star,
+                        line,
+                    });
                     i += 1;
                 }
                 '/' => {
-                    out.push(CToken { tok: CTok::Slash, line });
+                    out.push(CToken {
+                        tok: CTok::Slash,
+                        line,
+                    });
                     i += 1;
                 }
                 '%' => {
-                    out.push(CToken { tok: CTok::Percent, line });
+                    out.push(CToken {
+                        tok: CTok::Percent,
+                        line,
+                    });
                     i += 1;
                 }
                 '=' => {
                     if bytes.get(i + 1) == Some(&b'=') {
-                        out.push(CToken { tok: CTok::EqEq, line });
+                        out.push(CToken {
+                            tok: CTok::EqEq,
+                            line,
+                        });
                         i += 2;
                     } else {
-                        out.push(CToken { tok: CTok::Assign, line });
+                        out.push(CToken {
+                            tok: CTok::Assign,
+                            line,
+                        });
                         i += 1;
                     }
                 }
                 '!' => {
                     if bytes.get(i + 1) == Some(&b'=') {
-                        out.push(CToken { tok: CTok::NotEq, line });
+                        out.push(CToken {
+                            tok: CTok::NotEq,
+                            line,
+                        });
                         i += 2;
                     } else {
-                        out.push(CToken { tok: CTok::Not, line });
+                        out.push(CToken {
+                            tok: CTok::Not,
+                            line,
+                        });
                         i += 1;
                     }
                 }
                 '<' => {
                     if bytes.get(i + 1) == Some(&b'=') {
-                        out.push(CToken { tok: CTok::Le, line });
+                        out.push(CToken {
+                            tok: CTok::Le,
+                            line,
+                        });
                         i += 2;
                     } else {
-                        out.push(CToken { tok: CTok::Lt, line });
+                        out.push(CToken {
+                            tok: CTok::Lt,
+                            line,
+                        });
                         i += 1;
                     }
                 }
                 '>' => {
                     if bytes.get(i + 1) == Some(&b'=') {
-                        out.push(CToken { tok: CTok::Ge, line });
+                        out.push(CToken {
+                            tok: CTok::Ge,
+                            line,
+                        });
                         i += 2;
                     } else {
-                        out.push(CToken { tok: CTok::Gt, line });
+                        out.push(CToken {
+                            tok: CTok::Gt,
+                            line,
+                        });
                         i += 1;
                     }
                 }
                 '&' => {
                     if bytes.get(i + 1) == Some(&b'&') {
-                        out.push(CToken { tok: CTok::AndAnd, line });
+                        out.push(CToken {
+                            tok: CTok::AndAnd,
+                            line,
+                        });
                         i += 2;
                     } else {
                         return Err(c_err(line, "bitwise '&' is not supported"));
@@ -219,7 +294,10 @@ fn c_tokenize(src: &str) -> Result<Vec<CToken>> {
                 }
                 '|' => {
                     if bytes.get(i + 1) == Some(&b'|') {
-                        out.push(CToken { tok: CTok::OrOr, line });
+                        out.push(CToken {
+                            tok: CTok::OrOr,
+                            line,
+                        });
                         i += 2;
                     } else {
                         return Err(c_err(line, "bitwise '|' is not supported"));
@@ -246,16 +324,18 @@ fn c_tokenize(src: &str) -> Result<Vec<CToken>> {
                     let text = code[start..i].trim_end_matches(['f', 'F']);
                     if is_float {
                         out.push(CToken {
-                            tok: CTok::Float(text.parse().map_err(|_| {
-                                c_err(line, format!("bad float '{text}'"))
-                            })?),
+                            tok: CTok::Float(
+                                text.parse()
+                                    .map_err(|_| c_err(line, format!("bad float '{text}'")))?,
+                            ),
                             line,
                         });
                     } else {
                         out.push(CToken {
-                            tok: CTok::Int(text.parse().map_err(|_| {
-                                c_err(line, format!("bad integer '{text}'"))
-                            })?),
+                            tok: CTok::Int(
+                                text.parse()
+                                    .map_err(|_| c_err(line, format!("bad integer '{text}'")))?,
+                            ),
                             line,
                         });
                     }
@@ -342,7 +422,10 @@ impl<'a> PragmaParser<'a> {
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             CTok::Ident(s) => Ok(s),
-            other => Err(c_err(self.line, format!("expected identifier, found {other:?}"))),
+            other => Err(c_err(
+                self.line,
+                format!("expected identifier, found {other:?}"),
+            )),
         }
     }
 
@@ -373,7 +456,10 @@ impl<'a> PragmaParser<'a> {
                 CTok::Comma => continue,
                 CTok::RParen => break,
                 other => {
-                    return Err(c_err(self.line, format!("expected ',' or ')', found {other:?}")))
+                    return Err(c_err(
+                        self.line,
+                        format!("expected ',' or ')', found {other:?}"),
+                    ))
                 }
             }
         }
@@ -410,7 +496,10 @@ impl<'a> PragmaParser<'a> {
                 CTok::Comma => continue,
                 CTok::RParen => break,
                 other => {
-                    return Err(c_err(self.line, format!("expected ',' or ')', found {other:?}")))
+                    return Err(c_err(
+                        self.line,
+                        format!("expected ',' or ')', found {other:?}"),
+                    ))
                 }
             }
         }
@@ -461,7 +550,10 @@ impl<'a> PragmaParser<'a> {
                 self.expect(CTok::RParen)?;
                 Ok(e)
             }
-            other => Err(c_err(self.line, format!("unexpected {other:?} in size expression"))),
+            other => Err(c_err(
+                self.line,
+                format!("unexpected {other:?} in size expression"),
+            )),
         }
     }
 }
@@ -541,7 +633,10 @@ impl CParser {
                 self.expect(CTok::Semi)?;
                 let v2 = self.ident()?;
                 if v2 != var {
-                    return Err(c_err(line, "loop condition must test the induction variable"));
+                    return Err(c_err(
+                        line,
+                        "loop condition must test the induction variable",
+                    ));
                 }
                 self.expect(CTok::Lt)?;
                 let count = self.expr()?;
@@ -550,14 +645,20 @@ impl CParser {
                 match self.next() {
                     CTok::Ident(v3) => {
                         if v3 != var {
-                            return Err(c_err(line, "loop increment must use the induction variable"));
+                            return Err(c_err(
+                                line,
+                                "loop increment must use the induction variable",
+                            ));
                         }
                         self.expect(CTok::PlusPlus)?;
                     }
                     CTok::PlusPlus => {
                         let v3 = self.ident()?;
                         if v3 != var {
-                            return Err(c_err(line, "loop increment must use the induction variable"));
+                            return Err(c_err(
+                                line,
+                                "loop increment must use the induction variable",
+                            ));
                         }
                     }
                     other => {
@@ -594,9 +695,7 @@ impl CParser {
             }
             CTok::Ident(first) => {
                 // declaration (`float t = e;` / `float t;`) or assignment
-                if c_type_name(&first).is_some()
-                    && matches!(self.peek2(), CTok::Ident(_))
-                {
+                if c_type_name(&first).is_some() && matches!(self.peek2(), CTok::Ident(_)) {
                     self.next();
                     let ty_name = c_type_name(&first).unwrap().to_string();
                     let name = self.ident()?;
@@ -805,9 +904,7 @@ impl CParser {
                         "logf" | "log" => "log",
                         "fminf" | "fmin" | "min" => "min",
                         "fmaxf" | "fmax" | "max" => "max",
-                        other => {
-                            return Err(c_err(line, format!("unknown function '{other}'")))
-                        }
+                        other => return Err(c_err(line, format!("unknown function '{other}'"))),
                     };
                     Ok(SurfaceExpr::Call(mapped.to_string(), args))
                 } else {
@@ -924,7 +1021,10 @@ pub fn parse_c(src: &str) -> Result<DirectiveAst> {
     };
     let body = vec![cp.stmt()?];
     if !matches!(body[0], SurfaceStmt::For { .. }) {
-        return Err(c_err(pragma_line, "#pragma mdh must annotate a for-loop nest"));
+        return Err(c_err(
+            pragma_line,
+            "#pragma mdh must annotate a for-loop nest",
+        ));
     }
 
     let params = out.iter().chain(&inp).map(|b| b.name.clone()).collect();

@@ -111,9 +111,7 @@ impl P {
         let mut tys = Vec::new();
         loop {
             let n = self.ident()?;
-            tys.push(
-                resolve_type(&n, env).ok_or_else(|| self.err(format!("unknown type '{n}'")))?,
-            );
+            tys.push(resolve_type(&n, env).ok_or_else(|| self.err(format!("unknown type '{n}'")))?);
             if !self.accept(TokenKind::Comma) {
                 break;
             }
@@ -166,13 +164,23 @@ impl P {
             if self.accept(TokenKind::Plus) {
                 let t = self.affine_term(vars, rank, env)?;
                 acc = AffineExpr {
-                    coeffs: acc.coeffs.iter().zip(&t.coeffs).map(|(a, b)| a + b).collect(),
+                    coeffs: acc
+                        .coeffs
+                        .iter()
+                        .zip(&t.coeffs)
+                        .map(|(a, b)| a + b)
+                        .collect(),
                     constant: acc.constant + t.constant,
                 };
             } else if self.accept(TokenKind::Minus) {
                 let t = self.affine_term(vars, rank, env)?;
                 acc = AffineExpr {
-                    coeffs: acc.coeffs.iter().zip(&t.coeffs).map(|(a, b)| a - b).collect(),
+                    coeffs: acc
+                        .coeffs
+                        .iter()
+                        .zip(&t.coeffs)
+                        .map(|(a, b)| a - b)
+                        .collect(),
                     constant: acc.constant - t.constant,
                 };
             } else {
@@ -182,7 +190,12 @@ impl P {
         Ok(acc)
     }
 
-    fn affine_term(&mut self, vars: &[String], rank: usize, env: &DirectiveEnv) -> Result<AffineExpr> {
+    fn affine_term(
+        &mut self,
+        vars: &[String],
+        rank: usize,
+        env: &DirectiveEnv,
+    ) -> Result<AffineExpr> {
         let mut factors: Vec<AffineExpr> = vec![self.affine_atom(vars, rank, env)?];
         while self.accept(TokenKind::Star) {
             factors.push(self.affine_atom(vars, rank, env)?);
@@ -208,7 +221,12 @@ impl P {
         })
     }
 
-    fn affine_atom(&mut self, vars: &[String], rank: usize, env: &DirectiveEnv) -> Result<AffineExpr> {
+    fn affine_atom(
+        &mut self,
+        vars: &[String],
+        rank: usize,
+        env: &DirectiveEnv,
+    ) -> Result<AffineExpr> {
         match self.next() {
             TokenKind::Int(v) => Ok(AffineExpr::constant(rank, v)),
             TokenKind::Minus => {

@@ -21,9 +21,7 @@
 //! unchanged. Column-major storage is *not* modelled: buffers follow the
 //! row-major convention of the rest of the stack (documented limitation).
 
-use crate::ast::{
-    AssignTarget, DirectiveAst, DirectiveEnv, SurfBinOp, SurfaceExpr, SurfaceStmt,
-};
+use crate::ast::{AssignTarget, DirectiveAst, DirectiveEnv, SurfBinOp, SurfaceExpr, SurfaceStmt};
 use crate::semantic::analyze;
 use crate::transform::to_dsl;
 use mdh_core::dsl::DslProgram;
@@ -92,12 +90,7 @@ pub fn parse_fortran(src: &str) -> Result<DirectiveAst> {
     // we only want the header from the probe; body errors are ours to make
     let header = match clause_probe {
         Ok(ast) => ast,
-        Err(e) => {
-            return Err(f_err(
-                pragma_line,
-                format!("in !$mdh clauses: {e}"),
-            ))
-        }
+        Err(e) => return Err(f_err(pragma_line, format!("in !$mdh clauses: {e}"))),
     };
 
     // --- the do nest ------------------------------------------------------
@@ -246,8 +239,12 @@ impl<'a> FortranBody<'a> {
         } else if lower.starts_with("if ") || lower.starts_with("if(") {
             // `if (cond) then` ... `else` ... `end if`
             self.pos += 1;
-            let open = t.find('(').ok_or_else(|| f_err(no, "expected '(' after if"))?;
-            let close = t.rfind(')').ok_or_else(|| f_err(no, "unbalanced if condition"))?;
+            let open = t
+                .find('(')
+                .ok_or_else(|| f_err(no, "expected '(' after if"))?;
+            let close = t
+                .rfind(')')
+                .ok_or_else(|| f_err(no, "unbalanced if condition"))?;
             let cond = parse_expr(&t[open + 1..close], no, &self.loop_vars)?;
             if !t[close + 1..].trim().eq_ignore_ascii_case("then") {
                 return Err(f_err(no, "expected 'then' after if condition"));

@@ -278,11 +278,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, MdhError> {
                     if j >= bytes.len() {
                         return Err(err(line, col, "unterminated string"));
                     }
-                    tokens.push(tok(
-                        TokenKind::Str(code[start..j].to_string()),
-                        line,
-                        col,
-                    ));
+                    tokens.push(tok(TokenKind::Str(code[start..j].to_string()), line, col));
                     i = j + 1;
                 }
                 c if c.is_ascii_digit() => {
@@ -339,11 +335,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, MdhError> {
                             break;
                         }
                     }
-                    tokens.push(tok(
-                        TokenKind::Ident(code[start..j].to_string()),
-                        line,
-                        col,
-                    ));
+                    tokens.push(tok(TokenKind::Ident(code[start..j].to_string()), line, col));
                     i = j;
                 }
                 other => {
@@ -448,7 +440,9 @@ mod tests {
     fn comments_stripped() {
         let ks = kinds("x = 1  # a comment\n");
         assert!(ks.contains(&TokenKind::Int(1)));
-        assert!(!ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "comment")));
+        assert!(!ks
+            .iter()
+            .any(|k| matches!(k, TokenKind::Ident(s) if s == "comment")));
     }
 
     #[test]

@@ -48,10 +48,10 @@ pub mod semantic;
 pub mod transform;
 
 pub use ast::{DirectiveAst, DirectiveEnv};
+pub use builder::DirectiveBuilder;
 pub use c_frontend::{compile_c, parse_c};
 pub use dsl_text::parse_dsl;
 pub use fortran_frontend::{compile_fortran, parse_fortran};
-pub use builder::DirectiveBuilder;
 pub use parser::parse;
 pub use semantic::{analyze, AnalyzedDirective};
 pub use transform::{compile, directive_to_dsl, to_dsl};

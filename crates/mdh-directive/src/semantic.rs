@@ -55,7 +55,10 @@ pub fn analyze(ast: &DirectiveAst, env: &DirectiveEnv) -> Result<AnalyzedDirecti
             .filter(|s| s.name == spec.name)
             .count();
         if count > 1 {
-            return Err(err(spec.line, format!("duplicate buffer name '{}'", spec.name)));
+            return Err(err(
+                spec.line,
+                format!("duplicate buffer name '{}'", spec.name),
+            ));
         }
     }
 
@@ -81,7 +84,10 @@ pub fn analyze(ast: &DirectiveAst, env: &DirectiveEnv) -> Result<AnalyzedDirecti
                     ));
                 }
                 let n = eval_const(count, env).ok_or_else(|| {
-                    err(*line, "loop bound must be a constant expression over size parameters".to_string())
+                    err(
+                        *line,
+                        "loop bound must be a constant expression over size parameters".to_string(),
+                    )
                 })?;
                 if n < 0 {
                     return Err(err(*line, format!("negative loop bound {n}")));
@@ -108,7 +114,10 @@ pub fn analyze(ast: &DirectiveAst, env: &DirectiveEnv) -> Result<AnalyzedDirecti
         }
     }
     if loop_vars.is_empty() {
-        return Err(err(ast.line, "directive body must contain a loop nest".into()));
+        return Err(err(
+            ast.line,
+            "directive body must contain a loop nest".into(),
+        ));
     }
 
     // --- resolve combine operators --------------------------------------
@@ -197,10 +206,7 @@ fn err(line: usize, message: String) -> MdhError {
 /// A resolved buffer declaration: `(name, element type, declared shape)`.
 pub type ResolvedBuffer = (String, BasicType, Option<Vec<usize>>);
 
-fn resolve_buffers(
-    specs: &[BufferSpec],
-    env: &DirectiveEnv,
-) -> Result<Vec<ResolvedBuffer>> {
+fn resolve_buffers(specs: &[BufferSpec], env: &DirectiveEnv) -> Result<Vec<ResolvedBuffer>> {
     specs
         .iter()
         .map(|s| {
@@ -343,7 +349,11 @@ impl<'a> BodyCx<'a> {
                         ),
                     ));
                 }
-                SurfaceStmt::Decl { name, ty_name, line } => {
+                SurfaceStmt::Decl {
+                    name,
+                    ty_name,
+                    line,
+                } => {
                     let ty = resolve_type(ty_name, self.env)
                         .ok_or_else(|| err(*line, format!("unknown type '{ty_name}'")))?;
                     self.locals.insert(name.clone(), ());
@@ -377,10 +387,7 @@ impl<'a> BodyCx<'a> {
                     AssignTarget::Subscript(name, indices) => {
                         let Some(b) = self.out_index(name) else {
                             if self.inp_index(name).is_some() {
-                                return Err(err(
-                                    *line,
-                                    format!("store to input buffer '{name}'"),
-                                ));
+                                return Err(err(*line, format!("store to input buffer '{name}'")));
                             }
                             return Err(err(*line, format!("unknown buffer '{name}'")));
                         };
@@ -476,10 +483,7 @@ impl<'a> BodyCx<'a> {
                 } else if let Some(&v) = self.env.sizes.get(n) {
                     Ok(AffineExpr::constant(rank, v))
                 } else {
-                    Err(err(
-                        line,
-                        format!("unknown name '{n}' in index expression"),
-                    ))
+                    Err(err(line, format!("unknown name '{n}' in index expression")))
                 }
             }
             SurfaceExpr::Bin(op, a, b) => {
@@ -556,10 +560,7 @@ impl<'a> BodyCx<'a> {
                         ),
                     ))
                 } else if self.inp_index(n).is_some() || self.out_index(n).is_some() {
-                    Err(err(
-                        line,
-                        format!("buffer '{n}' used without subscript"),
-                    ))
+                    Err(err(line, format!("buffer '{n}' used without subscript")))
                 } else {
                     Err(err(line, format!("unknown name '{n}'")))
                 }
@@ -636,15 +637,10 @@ impl<'a> BodyCx<'a> {
                     "abs" => MathFn::Abs,
                     "min" => MathFn::Min,
                     "max" => MathFn::Max,
-                    other => {
-                        return Err(err(line, format!("unknown function '{other}'")))
-                    }
+                    other => return Err(err(line, format!("unknown function '{other}'"))),
                 };
                 if args.len() != mf.arity() {
-                    return Err(err(
-                        line,
-                        format!("'{f}' expects {} arguments", mf.arity()),
-                    ));
+                    return Err(err(line, format!("'{f}' expects {} arguments", mf.arity())));
                 }
                 let args = args
                     .iter()
@@ -667,9 +663,12 @@ impl<'a> BodyCx<'a> {
         let rec = self
             .record_type_of(base_surface)
             .ok_or_else(|| err(line, format!("field access '.{field}' on non-record value")))?;
-        let pos = rec
-            .field_index(field)
-            .ok_or_else(|| err(line, format!("record '{}' has no field '{field}'", rec.name)))?;
+        let pos = rec.field_index(field).ok_or_else(|| {
+            err(
+                line,
+                format!("record '{}' has no field '{field}'", rec.name),
+            )
+        })?;
         Ok(Expr::Field(Box::new(base_expr), format!("field{pos}")))
     }
 
@@ -729,10 +728,7 @@ def matvec(w, M, v):
         assert_eq!(a.inp_accesses.len(), 2);
         assert_eq!(a.sf.params.len(), 2);
         // M access is (i,k) -> (i,k)
-        assert_eq!(
-            a.inp_accesses[0].1,
-            IndexFn::identity(2, 2)
-        );
+        assert_eq!(a.inp_accesses[0].1, IndexFn::identity(2, 2));
         // v access is (i,k) -> (k)
         assert_eq!(a.inp_accesses[1].1, IndexFn::select(2, &[1]));
     }
@@ -883,7 +879,11 @@ def f(y, x):
 ";
         let ast = parse(src).unwrap();
         let a = analyze(&ast, &DirectiveEnv::new().size("I", 4)).unwrap();
-        assert_eq!(a.out_accesses.len(), 1, "both branches store to same access");
+        assert_eq!(
+            a.out_accesses.len(),
+            1,
+            "both branches store to same access"
+        );
         a.sf.validate().unwrap();
     }
 

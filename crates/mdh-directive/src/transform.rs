@@ -207,7 +207,9 @@ def mbbs(out, M):
         let got = out[0].as_f64().unwrap();
         // row sums then prefix over i
         let mf = m.as_f64().unwrap();
-        let rows: Vec<f64> = (0..4).map(|i| (0..3).map(|j| mf[i * 3 + j]).sum()).collect();
+        let rows: Vec<f64> = (0..4)
+            .map(|i| (0..3).map(|j| mf[i * 3 + j]).sum())
+            .collect();
         let mut pref = 0.0;
         for i in 0..4 {
             pref += rows[i];

@@ -72,7 +72,11 @@ pub fn explain(prog: &DslProgram, schedule: &Schedule) -> Result<String> {
             );
         }
         if schedule.inner_tiles[d] > 1 {
-            let _ = write!(line, "; cache/staging strips of {}", schedule.inner_tiles[d]);
+            let _ = write!(
+                line,
+                "; cache/staging strips of {}",
+                schedule.inner_tiles[d]
+            );
         }
         let _ = writeln!(out, "{line}");
     }
@@ -91,10 +95,7 @@ pub fn explain(prog: &DslProgram, schedule: &Schedule) -> Result<String> {
         }
     );
     if schedule.stage_inputs {
-        let _ = writeln!(
-            out,
-            "  ⇒ input strips staged in fast memory before use"
-        );
+        let _ = writeln!(out, "  ⇒ input strips staged in fast memory before use");
     }
     let _ = writeln!(
         out,

@@ -81,8 +81,16 @@ impl ExecutionPlan {
 
         let mut tasks = Vec::with_capacity(chunk_grid.len());
         for coord in chunk_grid.iter() {
-            let lo: Vec<usize> = coord.iter().enumerate().map(|(d, &c)| intervals[d][c].0).collect();
-            let hi: Vec<usize> = coord.iter().enumerate().map(|(d, &c)| intervals[d][c].1).collect();
+            let lo: Vec<usize> = coord
+                .iter()
+                .enumerate()
+                .map(|(d, &c)| intervals[d][c].0)
+                .collect();
+            let hi: Vec<usize> = coord
+                .iter()
+                .enumerate()
+                .map(|(d, &c)| intervals[d][c].1)
+                .collect();
             tasks.push(Task {
                 id: tasks.len(),
                 chunk_coord: coord,
@@ -101,9 +109,13 @@ impl ExecutionPlan {
             Vec::new()
         } else {
             // group by non-split coordinates
-            let key_dims: Vec<usize> =
-                (0..rank).filter(|d| !split_dims.contains(d)).collect();
-            let key_shape = Shape::new(key_dims.iter().map(|&d| chunk_counts[d]).collect::<Vec<_>>());
+            let key_dims: Vec<usize> = (0..rank).filter(|d| !split_dims.contains(d)).collect();
+            let key_shape = Shape::new(
+                key_dims
+                    .iter()
+                    .map(|&d| chunk_counts[d])
+                    .collect::<Vec<_>>(),
+            );
             let split_shape: Vec<usize> = split_dims.iter().map(|&d| chunk_counts[d]).collect();
             let split_grid = Shape::new(split_shape.clone());
             let mut groups: Vec<CombineGroup> = (0..key_shape.len())
@@ -228,7 +240,11 @@ mod tests {
             .inp_buffer("b", BasicType::F64)
             .inp_access("b", IndexFn::select(3, &[1, 2]))
             .scalar_function(ScalarFunction::mul2("f", ScalarKind::F64))
-            .combine_ops(vec![CombineOp::cc(), CombineOp::pw_add(), CombineOp::pw_add()])
+            .combine_ops(vec![
+                CombineOp::cc(),
+                CombineOp::pw_add(),
+                CombineOp::pw_add(),
+            ])
             .build()
             .unwrap();
         let mut s = Schedule::sequential(3, DeviceKind::Cpu);

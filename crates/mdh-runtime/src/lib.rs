@@ -1,0 +1,33 @@
+//! `mdh-runtime` — a persistent, concurrent execution service over the
+//! MDH pipeline.
+//!
+//! The paper's amortisation argument (§5) is that tuning cost is paid
+//! once and reused across launches. The one-shot `mdhc` CLI realises that
+//! only through a file-backed [`mdh_tuner::TuningCache`]; every process
+//! still re-lowers and re-warms everything. This crate provides the
+//! long-lived runtime that production serving needs:
+//!
+//! * a **compiled-plan cache** ([`plan_cache`]) keyed by
+//!   `(program structural signature, shape class, backend)` holding
+//!   fully-lowered execution plans, with LRU eviction and hit/miss
+//!   counters;
+//! * a **request queue + worker pool** ([`runtime`]) that batches
+//!   same-signature launches so lowering and device-residency setup
+//!   amortise across a batch;
+//! * a **background tune-and-swap policy** ([`tune`]): a miss is served
+//!   immediately from the heuristic schedule while an `mdh-tuner` search
+//!   runs asynchronously on a budget; when it beats the incumbent, the
+//!   cached plan is atomically hot-swapped and the result persisted.
+//! * a line-oriented **serving protocol** ([`server`]) over Unix domain
+//!   sockets, used by `mdhc serve` / `mdhc submit`.
+
+pub mod plan_cache;
+pub mod runtime;
+pub mod server;
+pub mod stats;
+pub mod tune;
+
+pub use plan_cache::{structural_signature, CompiledPlan, PlanCache, PlanKey, PlanSource};
+pub use runtime::{Handle, Request, Response, Runtime, RuntimeConfig};
+pub use stats::{LatencyRecorder, RuntimeStats};
+pub use tune::TunePolicy;

@@ -1,0 +1,543 @@
+//! The runtime proper: request queue, batching worker pool, and the
+//! background tuner thread.
+//!
+//! Life of a request ([`Runtime::submit`]):
+//!
+//! 1. the program is keyed by [`PlanKey`] (structural signature × shape
+//!    class × device) and enqueued;
+//! 2. a worker pops it and *drains every queued request with the same
+//!    key* (up to `max_batch`) into one batch, so the plan lookup and —
+//!    on GPU — the [`DeviceDataRegion`] residency warm-up are paid once;
+//! 3. the plan comes from the cache (hit), the persistent tuning cache
+//!    (warm start), or a fresh heuristic lowering (cold miss). A cold
+//!    miss additionally queues a background tune job — the caller is
+//!    *never* blocked on tuning;
+//! 4. the batch executes (real threads on CPU via the lowered plan, the
+//!    functional simulator on GPU) and each caller's [`Handle`] resolves.
+
+use crate::plan_cache::{CompiledPlan, PlanCache, PlanKey, PlanSource};
+use crate::stats::{LatencyRecorder, RuntimeStats};
+use crate::tune::{plan_from_tuning_cache, run_tune_job, TuneJob, TunePolicy};
+use mdh_backend::cpu::CpuExecutor;
+use mdh_backend::gpu::GpuSim;
+use mdh_backend::transfer::{DeviceDataRegion, LinkParams};
+use mdh_core::buffer::Buffer;
+use mdh_core::dsl::DslProgram;
+use mdh_core::error::{MdhError, Result};
+use mdh_lowering::asm::DeviceKind;
+use mdh_lowering::heuristics::mdh_default_schedule;
+use mdh_lowering::plan::ExecutionPlan;
+use mdh_tuner::TuningCache;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Construction-time knobs.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Request-serving worker threads.
+    pub workers: usize,
+    /// Threads of the shared CPU executor (and the GPU simulator's host
+    /// execution).
+    pub exec_threads: usize,
+    /// Max resident compiled plans (LRU beyond this).
+    pub plan_cache_capacity: usize,
+    /// Max same-key requests drained into one batch.
+    pub max_batch: usize,
+    pub tune: TunePolicy,
+    /// Load/persist tuned schedules here (shared with `mdhc tune`).
+    pub tuning_cache_path: Option<PathBuf>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        RuntimeConfig {
+            workers: 2,
+            exec_threads: hw.clamp(1, 8),
+            plan_cache_capacity: 64,
+            max_batch: 16,
+            tune: TunePolicy::default(),
+            tuning_cache_path: None,
+        }
+    }
+}
+
+/// One kernel launch.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub prog: DslProgram,
+    pub device: DeviceKind,
+    pub inputs: Vec<Buffer>,
+}
+
+/// What the runtime answers.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub outputs: Vec<Buffer>,
+    /// Whether this request's plan lookup hit the cache.
+    pub cache_hit: bool,
+    pub plan_source: PlanSource,
+    /// Swap generation of the plan that served this request (0 until a
+    /// background tune wins).
+    pub plan_epoch: u64,
+    /// Requests served together with this one (≥ 1).
+    pub batch_size: usize,
+    /// Execution time: wall-clock ms on CPU, simulated ms on GPU.
+    pub exec_ms: f64,
+    /// GPU host↔device transfer ms for this launch (0 when the region
+    /// was already resident, and always 0 on CPU).
+    pub transfer_ms: f64,
+    /// End-to-end latency (submit → reply), ms.
+    pub total_ms: f64,
+}
+
+/// Awaitable reply to one submitted request.
+pub struct Handle {
+    rx: mpsc::Receiver<Result<Response>>,
+}
+
+impl Handle {
+    /// Block until the runtime answers.
+    pub fn wait(self) -> Result<Response> {
+        self.rx.recv().map_err(|_| {
+            MdhError::Validation("runtime shut down before the request was served".into())
+        })?
+    }
+}
+
+struct Job {
+    key: PlanKey,
+    req: Request,
+    reply: mpsc::Sender<Result<Response>>,
+    submitted: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<Job>,
+    /// Jobs popped but not yet replied to (for `wait_idle`).
+    active: usize,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    completed: u64,
+    batches: u64,
+    max_batch: usize,
+    tunes_done: u64,
+    latency: LatencyRecorder,
+}
+
+struct Shared {
+    config: RuntimeConfig,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    plans: Mutex<PlanCache>,
+    tuning: Arc<Mutex<TuningCache>>,
+    counters: Mutex<Counters>,
+    /// Per-key simulated device residency (GPU requests only).
+    residency: Mutex<HashMap<PlanKey, DeviceDataRegion>>,
+    exec: CpuExecutor,
+    sim: GpuSim,
+    tune_tx: Mutex<Option<mpsc::Sender<TuneJob>>>,
+    tunes_in_flight: Mutex<HashSet<PlanKey>>,
+}
+
+/// The persistent execution runtime. Dropping it shuts it down cleanly
+/// (pending requests are still served).
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    tuner: Option<JoinHandle<()>>,
+}
+
+impl Runtime {
+    pub fn new(config: RuntimeConfig) -> Result<Runtime> {
+        let exec = CpuExecutor::new(config.exec_threads.max(1))?;
+        let sim = GpuSim::a100(config.exec_threads.max(1))?;
+        let tuning = Arc::new(Mutex::new(match &config.tuning_cache_path {
+            Some(p) => TuningCache::load_or_rebuild(p),
+            None => TuningCache::new(),
+        }));
+        let (tune_tx, tune_rx) = mpsc::channel::<TuneJob>();
+        let shared = Arc::new(Shared {
+            plans: Mutex::new(PlanCache::new(config.plan_cache_capacity)),
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            tuning,
+            counters: Mutex::new(Counters::default()),
+            residency: Mutex::new(HashMap::new()),
+            exec,
+            sim,
+            tune_tx: Mutex::new(Some(tune_tx)),
+            tunes_in_flight: Mutex::new(HashSet::new()),
+            config,
+        });
+
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mdh-runtime-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let tuner = {
+            let sh = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("mdh-runtime-tuner".into())
+                    .spawn(move || tuner_loop(&sh, tune_rx))
+                    .expect("spawn tuner"),
+            )
+        };
+
+        Ok(Runtime {
+            shared,
+            workers,
+            tuner,
+        })
+    }
+
+    /// Enqueue a launch; returns immediately with an awaitable [`Handle`].
+    pub fn submit(&self, req: Request) -> Handle {
+        let (tx, rx) = mpsc::channel();
+        let key = PlanKey::of(&req.prog, req.device);
+        let job = Job {
+            key,
+            req,
+            reply: tx,
+            submitted: Instant::now(),
+        };
+        {
+            let mut st = self.shared.state.lock().expect("queue lock");
+            st.queue.push_back(job);
+        }
+        self.shared.cv.notify_one();
+        Handle { rx }
+    }
+
+    /// Snapshot of counters and latency percentiles.
+    pub fn stats(&self) -> RuntimeStats {
+        let plans = self.shared.plans.lock().expect("plan cache lock");
+        let c = self.shared.counters.lock().expect("counters lock");
+        RuntimeStats {
+            plan_hits: plans.hits(),
+            plan_misses: plans.misses(),
+            plan_evictions: plans.evictions(),
+            plan_swaps: plans.swaps(),
+            plans_resident: plans.len(),
+            completed: c.completed,
+            batches: c.batches,
+            max_batch: c.max_batch,
+            tunes_done: c.tunes_done,
+            latency_p50_ms: c.latency.percentile(50.0),
+            latency_p99_ms: c.latency.percentile(99.0),
+            latency_mean_ms: c.latency.mean(),
+        }
+    }
+
+    /// Block until the request queue is drained and no worker is mid-batch.
+    /// (Background tuning may still be running; see [`Runtime::wait_for_tunes`].)
+    pub fn wait_idle(&self) {
+        loop {
+            {
+                let st = self.shared.state.lock().expect("queue lock");
+                if st.queue.is_empty() && st.active == 0 {
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Block until no background tune search is queued or running, or the
+    /// timeout elapses. Returns `true` when quiescent.
+    pub fn wait_for_tunes(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self
+                .shared
+                .tunes_in_flight
+                .lock()
+                .expect("tune set lock")
+                .is_empty()
+            {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Serve everything queued, stop the workers and the tuner, and join
+    /// them. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("queue lock");
+            if st.shutdown {
+                return;
+            }
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // closing the channel ends the tuner loop once drained
+        *self.shared.tune_tx.lock().expect("tune tx lock") = None;
+        if let Some(t) = self.tuner.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// worker side
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().expect("queue lock");
+            loop {
+                if let Some(first) = st.queue.pop_front() {
+                    // drain same-key requests into the batch, preserving
+                    // the relative order of everything else
+                    let mut batch = vec![first];
+                    let mut rest = VecDeque::with_capacity(st.queue.len());
+                    while let Some(j) = st.queue.pop_front() {
+                        if batch.len() < shared.config.max_batch.max(1) && j.key == batch[0].key {
+                            batch.push(j);
+                        } else {
+                            rest.push_back(j);
+                        }
+                    }
+                    st.queue = rest;
+                    st.active += batch.len();
+                    break batch;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.cv.wait(st).expect("queue cv");
+            }
+        };
+        let n = batch.len();
+        serve_batch(shared, batch);
+        let mut st = shared.state.lock().expect("queue lock");
+        st.active -= n;
+    }
+}
+
+/// Look up / build the plan for `key`, then execute every request in the
+/// batch against it.
+fn serve_batch(shared: &Shared, batch: Vec<Job>) {
+    let key = batch[0].key.clone();
+    let n = batch.len();
+
+    // ---- plan lookup (once per batch; followers count as hits) --------
+    let looked_up = shared.plans.lock().expect("plan cache lock").get(&key);
+    let (plan, first_was_hit) = match looked_up {
+        Some(p) => (Ok(p), true),
+        None => (build_and_insert(shared, &key, &batch[0].req), false),
+    };
+    let plan = match plan {
+        Ok(p) => p,
+        Err(e) => {
+            {
+                let mut c = shared.counters.lock().expect("counters lock");
+                c.completed += n as u64;
+                c.batches += 1;
+                c.max_batch = c.max_batch.max(n);
+            }
+            for job in batch {
+                let _ = job.reply.send(Err(clone_err(&e)));
+            }
+            return;
+        }
+    };
+    if n > 1 {
+        // batched followers reuse the plan we just looked up/inserted:
+        // they are cache hits by construction
+        let mut plans = shared.plans.lock().expect("plan cache lock");
+        for _ in 1..n {
+            let _ = plans.get(&key);
+        }
+    }
+
+    // a cold heuristic miss kicks off a background search
+    if !first_was_hit && plan.source == PlanSource::Heuristic && shared.config.tune.enabled {
+        maybe_queue_tune(shared, &key, &batch[0].req);
+    }
+
+    // ---- execute ------------------------------------------------------
+    {
+        let mut c = shared.counters.lock().expect("counters lock");
+        c.batches += 1;
+        c.max_batch = c.max_batch.max(n);
+    }
+    for (i, job) in batch.into_iter().enumerate() {
+        let hit = first_was_hit || i > 0;
+        let result = execute_one(shared, &plan, &job, n, hit);
+        let ok = result.is_ok();
+        // counters update strictly before the reply: a caller that
+        // observed its response must also observe it in the stats
+        {
+            let mut c = shared.counters.lock().expect("counters lock");
+            c.completed += 1;
+            if ok {
+                c.latency
+                    .record(job.submitted.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        let _ = job.reply.send(result);
+    }
+}
+
+fn build_and_insert(shared: &Shared, key: &PlanKey, req: &Request) -> Result<Arc<CompiledPlan>> {
+    req.prog.validate()?;
+    // warm start from the persistent tuning cache if a prior process
+    // (or `mdhc tune`) already solved this problem
+    let compiled = match plan_from_tuning_cache(&req.prog, req.device, &shared.tuning) {
+        Some(c) => c,
+        None => {
+            let units = match req.device {
+                DeviceKind::Cpu => shared.exec.threads,
+                DeviceKind::Gpu => shared.sim.params.num_sms * 32,
+            };
+            let schedule = mdh_default_schedule(&req.prog, req.device, units);
+            let plan = ExecutionPlan::build(&req.prog, &schedule)?;
+            CompiledPlan {
+                prog: req.prog.clone(),
+                schedule,
+                plan,
+                source: PlanSource::Heuristic,
+                cost: None,
+                epoch: 0,
+            }
+        }
+    };
+    Ok(shared
+        .plans
+        .lock()
+        .expect("plan cache lock")
+        .insert(key.clone(), compiled))
+}
+
+fn execute_one(
+    shared: &Shared,
+    plan: &CompiledPlan,
+    job: &Job,
+    batch_size: usize,
+    cache_hit: bool,
+) -> Result<Response> {
+    let (outputs, exec_ms, transfer_ms) = match job.key.device {
+        DeviceKind::Cpu => {
+            let t0 = Instant::now();
+            let out = shared.exec.run_planned(
+                &job.req.prog,
+                &plan.schedule,
+                &plan.plan,
+                &job.req.inputs,
+            )?;
+            (out, t0.elapsed().as_secs_f64() * 1e3, 0.0)
+        }
+        DeviceKind::Gpu => {
+            let transfer_ms = {
+                let mut regions = shared.residency.lock().expect("residency lock");
+                let region = regions
+                    .entry(job.key.clone())
+                    .or_insert_with(|| DeviceDataRegion::new(LinkParams::pcie4_x16()));
+                region.launch_cost_ms(&job.req.prog, &job.req.inputs)
+            };
+            let (out, report) = shared
+                .sim
+                .run(&job.req.prog, &plan.schedule, &job.req.inputs)?;
+            (out, report.time_ms, transfer_ms)
+        }
+    };
+    Ok(Response {
+        outputs,
+        cache_hit,
+        plan_source: plan.source,
+        plan_epoch: plan.epoch,
+        batch_size,
+        exec_ms,
+        transfer_ms,
+        total_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+fn maybe_queue_tune(shared: &Shared, key: &PlanKey, req: &Request) {
+    {
+        let mut in_flight = shared.tunes_in_flight.lock().expect("tune set lock");
+        if !in_flight.insert(key.clone()) {
+            return; // a search for this key is already queued/running
+        }
+    }
+    let sent = {
+        let tx = shared.tune_tx.lock().expect("tune tx lock");
+        match tx.as_ref() {
+            Some(tx) => tx
+                .send(TuneJob {
+                    key: key.clone(),
+                    prog: req.prog.clone(),
+                    inputs: req.inputs.clone(),
+                })
+                .is_ok(),
+            None => false,
+        }
+    };
+    if !sent {
+        shared
+            .tunes_in_flight
+            .lock()
+            .expect("tune set lock")
+            .remove(key);
+    }
+}
+
+fn tuner_loop(shared: &Shared, rx: mpsc::Receiver<TuneJob>) {
+    while let Ok(job) = rx.recv() {
+        let key = job.key.clone();
+        let _swapped = run_tune_job(
+            job,
+            &shared.config.tune,
+            &shared.exec,
+            &shared.sim,
+            &shared.plans,
+            &shared.tuning,
+            shared.config.tuning_cache_path.as_ref(),
+        );
+        shared.counters.lock().expect("counters lock").tunes_done += 1;
+        shared
+            .tunes_in_flight
+            .lock()
+            .expect("tune set lock")
+            .remove(&key);
+    }
+}
+
+/// `MdhError` has no `Clone`; reconstruct an equivalent for fan-out to a
+/// whole failed batch.
+fn clone_err(e: &MdhError) -> MdhError {
+    MdhError::Validation(e.to_string())
+}

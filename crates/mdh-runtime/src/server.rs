@@ -1,0 +1,368 @@
+//! `mdhc serve` / `mdhc submit`: a line-oriented serving protocol over a
+//! Unix domain socket.
+//!
+//! The protocol is deliberately tiny (no external dependencies, easy to
+//! drive with `nc -U`):
+//!
+//! ```text
+//! client → server:
+//!   SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,NAME=VAL...]\n
+//!   <len bytes of directive source (any supported front end)>
+//!   STATS\n
+//!   SHUTDOWN\n
+//!
+//! server → client (one line per launch, then a summary):
+//!   ok hit=<bool> source=<heuristic|tuned|persistent> epoch=<n> batch=<n>
+//!      exec_ms=<x> total_ms=<x> checksum=<buf>=<v>[,...]
+//!   done <count>
+//!   stats <counters>
+//!   err <message>
+//! ```
+//!
+//! `count` submits the same compiled program that many times — the
+//! demonstration of plan-cache amortisation: launch 1 is a cold miss
+//! (heuristic plan, background tune queued), launches 2..count hit.
+//! Inputs are generated deterministically server-side, so checksums are
+//! reproducible across runs and clients stay tiny.
+//!
+//! Connections are served sequentially by the accept loop; concurrency
+//! lives inside the [`Runtime`] (worker pool + batching), not in the
+//! socket layer.
+
+use crate::runtime::{Request, Response, Runtime, RuntimeConfig};
+use mdh_core::buffer::Buffer;
+use mdh_core::dsl::DslProgram;
+use mdh_core::error::{MdhError, Result};
+use mdh_core::shape::Shape;
+use mdh_core::types::BasicType;
+use mdh_directive::{compile, compile_c, compile_fortran, parse_dsl, DirectiveEnv};
+use mdh_lowering::asm::DeviceKind;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+
+/// Compile directive source through the auto-detected front end (the
+/// same dispatch as `mdhc`): `#pragma mdh` → C, `!$mdh` → Fortran, a
+/// leading `out_view` → textual DSL, otherwise the Python-like directive.
+pub fn compile_any(src: &str, env: &DirectiveEnv) -> Result<DslProgram> {
+    if src.contains("#pragma mdh") {
+        compile_c(src, env)
+    } else if src.to_ascii_lowercase().contains("!$mdh") {
+        compile_fortran(src, env)
+    } else if src.trim_start().starts_with("out_view") {
+        parse_dsl(src, env)
+    } else {
+        compile(src, env)
+    }
+}
+
+/// Deterministic inputs for a program's declared buffers (scalar element
+/// types only). The fill is integer-valued and small (range −8..8) so
+/// f32 reductions are exact and results bit-identical across schedules.
+pub fn deterministic_inputs(prog: &DslProgram) -> Result<Vec<Buffer>> {
+    let shapes = prog.input_shapes()?;
+    prog.inp_view
+        .buffers
+        .iter()
+        .zip(shapes)
+        .map(|(decl, shape)| {
+            if decl.ty.as_scalar().is_none() {
+                return Err(MdhError::Validation(format!(
+                    "buffer '{}' has a record type; the serving protocol \
+                     generates scalar inputs only",
+                    decl.name
+                )));
+            }
+            let mut b = Buffer::zeros(decl.name.clone(), decl.ty.clone(), Shape::new(shape));
+            b.fill_with(|i| ((i.wrapping_mul(2654435761)) % 16) as f64 - 8.0);
+            Ok(b)
+        })
+        .collect()
+}
+
+/// Checksum of a scalar buffer (sum of elements as f64).
+pub fn checksum(buf: &Buffer) -> f64 {
+    match &buf.ty {
+        BasicType::Scalar(_) => (0..buf.len())
+            .map(|i| buf.get_flat(i).as_f64().unwrap_or(0.0))
+            .sum(),
+        _ => f64::NAN,
+    }
+}
+
+fn format_response(resp: &Response) -> String {
+    let sums: Vec<String> = resp
+        .outputs
+        .iter()
+        .map(|b| format!("{}={:.6}", b.name, checksum(b)))
+        .collect();
+    format!(
+        "ok hit={} source={} epoch={} batch={} exec_ms={:.4} total_ms={:.4} checksum={}",
+        resp.cache_hit,
+        resp.plan_source,
+        resp.plan_epoch,
+        resp.batch_size,
+        resp.exec_ms,
+        resp.total_ms,
+        sums.join(",")
+    )
+}
+
+/// Bind `socket_path` and serve until a client sends `SHUTDOWN`.
+/// A stale socket file from a dead server is replaced.
+pub fn serve(socket_path: &Path, config: RuntimeConfig) -> std::io::Result<()> {
+    if socket_path.exists() {
+        std::fs::remove_file(socket_path)?;
+    }
+    let listener = UnixListener::bind(socket_path)?;
+    let runtime = Runtime::new(config).map_err(|e| std::io::Error::other(e.to_string()))?;
+    eprintln!("mdh-runtime: serving on {}", socket_path.display());
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mdh-runtime: accept failed: {e}");
+                continue;
+            }
+        };
+        match handle_connection(stream, &runtime) {
+            Ok(keep_going) if !keep_going => break,
+            Ok(_) => {}
+            Err(e) => eprintln!("mdh-runtime: connection error: {e}"),
+        }
+    }
+    let _ = std::fs::remove_file(socket_path);
+    Ok(())
+}
+
+/// Serve one connection. Returns `Ok(false)` when the client requested
+/// shutdown.
+fn handle_connection(stream: UnixStream, runtime: &Runtime) -> std::io::Result<bool> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Ok(true); // client went away
+    }
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    match fields.first().copied() {
+        Some("STATS") => {
+            writeln!(writer, "stats {}", runtime.stats())?;
+            Ok(true)
+        }
+        Some("SHUTDOWN") => {
+            writeln!(writer, "ok shutting down")?;
+            Ok(false)
+        }
+        Some("SUBMIT") => {
+            match handle_submit(&fields, &mut reader, runtime) {
+                Ok(lines) => {
+                    for line in lines {
+                        writeln!(writer, "{line}")?;
+                    }
+                }
+                Err(e) => writeln!(writer, "err {e}")?,
+            }
+            Ok(true)
+        }
+        _ => {
+            writeln!(writer, "err unknown command")?;
+            Ok(true)
+        }
+    }
+}
+
+fn handle_submit(
+    fields: &[&str],
+    reader: &mut impl Read,
+    runtime: &Runtime,
+) -> std::result::Result<Vec<String>, String> {
+    if fields.len() < 4 {
+        return Err("usage: SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,...]".into());
+    }
+    let device = match fields[1] {
+        "cpu" => DeviceKind::Cpu,
+        "gpu" => DeviceKind::Gpu,
+        other => return Err(format!("unknown device '{other}'")),
+    };
+    let count: usize = fields[2].parse().map_err(|_| "bad count".to_string())?;
+    let len: usize = fields[3].parse().map_err(|_| "bad length".to_string())?;
+    if count == 0 || count > 100_000 {
+        return Err("count must be in 1..=100000".into());
+    }
+    if len > 1 << 20 {
+        return Err("source too large".into());
+    }
+    let mut env = DirectiveEnv::new();
+    if let Some(binds) = fields.get(4) {
+        for bind in binds.split(',').filter(|s| !s.is_empty()) {
+            let (name, val) = bind
+                .split_once('=')
+                .ok_or_else(|| format!("bad binding '{bind}'"))?;
+            let v: i64 = val.parse().map_err(|_| format!("bad value in '{bind}'"))?;
+            env = env.size(name, v);
+        }
+    }
+    let mut src = vec![0u8; len];
+    reader
+        .read_exact(&mut src)
+        .map_err(|e| format!("short source read: {e}"))?;
+    let src = String::from_utf8(src).map_err(|_| "source is not UTF-8".to_string())?;
+
+    let prog = compile_any(&src, &env).map_err(|e| e.to_string())?;
+    let inputs = deterministic_inputs(&prog).map_err(|e| e.to_string())?;
+
+    let handles: Vec<_> = (0..count)
+        .map(|_| {
+            runtime.submit(Request {
+                prog: prog.clone(),
+                device,
+                inputs: inputs.clone(),
+            })
+        })
+        .collect();
+    let mut lines = Vec::with_capacity(count + 2);
+    let mut served = 0usize;
+    for h in handles {
+        match h.wait() {
+            Ok(resp) => {
+                lines.push(format_response(&resp));
+                served += 1;
+            }
+            Err(e) => lines.push(format!("err {e}")),
+        }
+    }
+    lines.push(format!("done {served}"));
+    lines.push(format!("stats {}", runtime.stats()));
+    Ok(lines)
+}
+
+// ---------------------------------------------------------------------------
+// client helpers (used by `mdhc submit`)
+// ---------------------------------------------------------------------------
+
+/// Submit `source` `count` times to the server at `socket_path`; returns
+/// the server's reply lines.
+pub fn client_submit(
+    socket_path: &Path,
+    source: &str,
+    device: DeviceKind,
+    count: usize,
+    bindings: &[(String, i64)],
+) -> std::io::Result<Vec<String>> {
+    let mut stream = UnixStream::connect(socket_path)?;
+    let dev = match device {
+        DeviceKind::Cpu => "cpu",
+        DeviceKind::Gpu => "gpu",
+    };
+    let binds = bindings
+        .iter()
+        .map(|(n, v)| format!("{n}={v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    if binds.is_empty() {
+        writeln!(stream, "SUBMIT {dev} {count} {}", source.len())?;
+    } else {
+        writeln!(stream, "SUBMIT {dev} {count} {} {binds}", source.len())?;
+    }
+    stream.write_all(source.as_bytes())?;
+    read_reply(stream)
+}
+
+/// Ask the server for a stats line.
+pub fn client_stats(socket_path: &Path) -> std::io::Result<Vec<String>> {
+    let mut stream = UnixStream::connect(socket_path)?;
+    writeln!(stream, "STATS")?;
+    read_reply(stream)
+}
+
+/// Ask the server to shut down.
+pub fn client_shutdown(socket_path: &Path) -> std::io::Result<Vec<String>> {
+    let mut stream = UnixStream::connect(socket_path)?;
+    writeln!(stream, "SHUTDOWN")?;
+    read_reply(stream)
+}
+
+fn read_reply(stream: UnixStream) -> std::io::Result<Vec<String>> {
+    let reader = BufReader::new(stream);
+    reader.lines().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOT: &str = "\
+@mdh( out( res = Buffer[fp32] ),
+      inp( x = Buffer[fp32], y = Buffer[fp32] ),
+      combine_ops( pw(add) ) )
+def dot(res, x, y):
+    for k in range(N):
+        res[0] = x[k] * y[k]
+";
+
+    #[test]
+    fn compile_any_dispatches_directive() {
+        let env = DirectiveEnv::new().size("N", 64);
+        let prog = compile_any(DOT, &env).unwrap();
+        assert_eq!(prog.md_hom.sizes, vec![64]);
+    }
+
+    #[test]
+    fn deterministic_inputs_are_integer_valued() {
+        let env = DirectiveEnv::new().size("N", 64);
+        let prog = compile_any(DOT, &env).unwrap();
+        let inputs = deterministic_inputs(&prog).unwrap();
+        assert_eq!(inputs.len(), 2);
+        for b in &inputs {
+            for i in 0..b.len() {
+                let v = b.get_flat(i).as_f64().unwrap();
+                assert_eq!(v, v.trunc(), "fill must be integer-valued");
+                assert!((-8.0..8.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn serve_and_submit_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mdh-runtime-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("rt.sock");
+        let sock2 = sock.clone();
+        let server = std::thread::spawn(move || {
+            serve(
+                &sock2,
+                RuntimeConfig {
+                    workers: 1,
+                    exec_threads: 2,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap();
+        });
+        // wait for the socket to appear
+        for _ in 0..500 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let lines = client_submit(&sock, DOT, DeviceKind::Cpu, 5, &[("N".into(), 64)]).unwrap();
+        let oks = lines.iter().filter(|l| l.starts_with("ok ")).count();
+        assert_eq!(oks, 5, "all launches answered: {lines:?}");
+        assert!(lines.iter().any(|l| l.starts_with("done 5")));
+        // launch 1 misses, 2..5 hit
+        assert!(lines[0].contains("hit=false"));
+        assert!(lines[1..5].iter().all(|l| l.contains("hit=true")));
+        // identical deterministic inputs → identical checksums
+        let sum = |l: &str| l.split("checksum=").nth(1).unwrap().to_string();
+        assert!(lines[1..5].iter().all(|l| sum(l) == sum(&lines[0])));
+
+        let stats = client_stats(&sock).unwrap();
+        assert!(stats[0].starts_with("stats "), "{stats:?}");
+        let bye = client_shutdown(&sock).unwrap();
+        assert!(bye[0].starts_with("ok"), "{bye:?}");
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,161 @@
+//! Runtime statistics: cache counters and latency percentiles.
+
+/// Records latencies (milliseconds) and reports percentiles.
+///
+/// Exact implementation (sorted copy on query) — serving workloads here
+/// are thousands of requests, not millions, and exactness keeps the
+/// example's printed p50/p99 honest.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_ms: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    pub fn record(&mut self, ms: f64) {
+        if ms.is_finite() {
+            self.samples_ms.push(ms);
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+    }
+
+    /// Nearest-rank percentile; `p` in [0, 100]. 0.0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    pub fn max(&self) -> f64 {
+        self.samples_ms.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// A point-in-time snapshot of the runtime's counters.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Plan-cache lookups served from cache.
+    pub plan_hits: u64,
+    /// Plan-cache lookups that had to lower a fresh plan.
+    pub plan_misses: u64,
+    /// Plans dropped by LRU eviction.
+    pub plan_evictions: u64,
+    /// Background tune results hot-swapped over an incumbent plan.
+    pub plan_swaps: u64,
+    /// Plans currently resident.
+    pub plans_resident: usize,
+    /// Requests completed (successfully or with an error response).
+    pub completed: u64,
+    /// Batches executed (a batch = 1..=max_batch same-key requests).
+    pub batches: u64,
+    /// Largest batch executed so far.
+    pub max_batch: usize,
+    /// Background tune searches finished.
+    pub tunes_done: u64,
+    /// End-to-end latency (submit → response) in ms.
+    pub latency_p50_ms: f64,
+    pub latency_p99_ms: f64,
+    pub latency_mean_ms: f64,
+}
+
+impl RuntimeStats {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.plan_hits + self.plan_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean number of requests per executed batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requests={} batches={} (mean batch {:.2}, max {}) \
+             plan cache: {} resident, {} hits / {} misses (rate {:.3}), \
+             {} evictions, {} swaps, {} tunes; \
+             latency ms: p50 {:.3} p99 {:.3} mean {:.3}",
+            self.completed,
+            self.batches,
+            self.mean_batch(),
+            self.max_batch,
+            self.plans_resident,
+            self.plan_hits,
+            self.plan_misses,
+            self.hit_rate(),
+            self.plan_evictions,
+            self.plan_swaps,
+            self.tunes_done,
+            self.latency_p50_ms,
+            self.latency_p99_ms,
+            self.latency_mean_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100 {
+            r.record(i as f64);
+        }
+        assert_eq!(r.percentile(50.0), 50.0);
+        assert_eq!(r.percentile(99.0), 99.0);
+        assert_eq!(r.percentile(100.0), 100.0);
+        assert_eq!(r.max(), 100.0);
+        assert!((r.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_recorder_is_zero() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.percentile(99.0), 0.0);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn hit_rate_and_mean_batch() {
+        let s = RuntimeStats {
+            plan_hits: 9,
+            plan_misses: 1,
+            completed: 20,
+            batches: 5,
+            ..RuntimeStats::default()
+        };
+        assert!((s.hit_rate() - 0.9).abs() < 1e-12);
+        assert!((s.mean_batch() - 4.0).abs() < 1e-12);
+    }
+}

@@ -188,6 +188,29 @@ impl TuningCache {
         Ok(cache)
     }
 
+    /// Parse the text format, salvaging what it can: malformed entry
+    /// lines are skipped instead of failing the whole file. Returns the
+    /// cache plus a description of each skipped line.
+    pub fn from_text_lossy(text: &str) -> (TuningCache, Vec<String>) {
+        let mut cache = TuningCache::new();
+        let mut skipped = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') || !trimmed.starts_with("entry\t") {
+                continue;
+            }
+            match TuningCache::from_text(line) {
+                Ok(one) => cache.entries.extend(one.entries),
+                Err(e) => skipped.push(format!(
+                    "line {}: {}",
+                    ln + 1,
+                    e.trim_start_matches("line 1: ")
+                )),
+            }
+        }
+        (cache, skipped)
+    }
+
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         std::fs::write(path, self.to_text())
     }
@@ -196,6 +219,41 @@ impl TuningCache {
         let text = std::fs::read_to_string(path)?;
         TuningCache::from_text(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Load a cache file, treating corruption as a miss rather than an
+    /// error: a missing or unreadable file yields an empty cache, and a
+    /// corrupt or truncated file yields whatever valid entries it still
+    /// contains (skipped lines are logged to stderr). Never panics —
+    /// long-lived runtimes must survive a half-written cache from a
+    /// crashed tuner. Lost entries are simply re-tuned and the file
+    /// rewritten on the next `save`.
+    pub fn load_or_rebuild(path: &Path) -> TuningCache {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return TuningCache::new(),
+            Err(e) => {
+                eprintln!(
+                    "mdh-tuner: cannot read tuning cache {}: {e}; starting empty",
+                    path.display()
+                );
+                return TuningCache::new();
+            }
+        };
+        let (cache, skipped) = TuningCache::from_text_lossy(&text);
+        if !skipped.is_empty() {
+            eprintln!(
+                "mdh-tuner: tuning cache {} is corrupt ({} bad line(s), {} salvaged); \
+                 dropped entries will be re-tuned",
+                path.display(),
+                skipped.len(),
+                cache.len()
+            );
+            for s in &skipped {
+                eprintln!("mdh-tuner:   {s}");
+            }
+        }
+        cache
     }
 }
 
@@ -291,7 +349,57 @@ mod tests {
     #[test]
     fn malformed_entries_rejected_gracefully() {
         assert!(TuningCache::from_text("entry\tk\tnotanumber\tgpu").is_err());
-        assert!(TuningCache::from_text("# just a comment\n\n").unwrap().is_empty());
+        assert!(TuningCache::from_text("# just a comment\n\n")
+            .unwrap()
+            .is_empty());
         assert!(TuningCache::from_text("garbage line\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn lossy_parse_salvages_valid_entries() {
+        let p = prog(48, 48);
+        let mut cache = TuningCache::new();
+        cache.record(&p, DeviceKind::Gpu, sched(), 0.5);
+        let good = cache.to_text();
+        // sandwich the good entry between assorted corruption
+        let text = format!(
+            "entry\tk\tnotanumber\tgpu\n{good}entry\ttruncated\nentry\tk2\t1.0\tmars\n\
+             \u{0}binary\u{1}garbage\n"
+        );
+        let (back, skipped) = TuningCache::from_text_lossy(&text);
+        assert_eq!(back.len(), 1, "the intact entry survives");
+        assert_eq!(back.lookup(&p, DeviceKind::Gpu).unwrap().cost, 0.5);
+        assert_eq!(skipped.len(), 3, "three corrupt entry lines reported");
+    }
+
+    #[test]
+    fn load_or_rebuild_never_fails_on_garbage_files() {
+        let dir = std::env::temp_dir().join("mdh_cache_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // missing file → empty cache
+        let missing = dir.join("does-not-exist.txt");
+        assert!(TuningCache::load_or_rebuild(&missing).is_empty());
+
+        // pure garbage (including invalid UTF-8 handled as read error) → empty
+        let garbage = dir.join("garbage.txt");
+        std::fs::write(&garbage, b"entry\t\xff\xfe\x00broken\nentry\tx\n").unwrap();
+        assert!(TuningCache::load_or_rebuild(&garbage).is_empty());
+
+        // truncated mid-entry (a crashed writer) → valid prefix salvaged
+        let p = prog(80, 80);
+        let mut cache = TuningCache::new();
+        cache.record(&p, DeviceKind::Cpu, sched(), 2.25);
+        let truncated = dir.join("truncated.txt");
+        let full = cache.to_text();
+        std::fs::write(&truncated, format!("{full}entry\thalf-written\t3.")).unwrap();
+        let back = TuningCache::load_or_rebuild(&truncated);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.lookup(&p, DeviceKind::Cpu).unwrap().cost, 2.25);
+
+        // strict load of the same file still errors (the lossy path is opt-in)
+        assert!(TuningCache::load(&truncated).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

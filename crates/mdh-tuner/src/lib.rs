@@ -13,6 +13,9 @@ pub mod search;
 pub mod space;
 
 pub use cache::{program_signature, CacheEntry, TuningCache};
-pub use schedule_space::{cpu_seed_schedules, seed_schedules, tune_cpu, tune_cpu_model, tune_gpu, ScheduleSpace, TunedSchedule};
+pub use schedule_space::{
+    cpu_seed_schedules, seed_schedules, tune_cpu, tune_cpu_model, tune_gpu, ScheduleSpace,
+    TunedSchedule,
+};
 pub use search::{Budget, Sample, Technique, Tuner, TuningResult};
 pub use space::{pow2_candidates, Config, SearchSpace, TunableParam};

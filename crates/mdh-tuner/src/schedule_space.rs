@@ -77,9 +77,9 @@ impl ScheduleSpace {
                 if v == 1 {
                     return true;
                 }
-                let splits = red.iter().any(|&d| {
-                    prefix[d] > 1 || (gpu && prefix[rank + d] > 1)
-                });
+                let splits = red
+                    .iter()
+                    .any(|&d| prefix[d] > 1 || (gpu && prefix[rank + d] > 1));
                 !splits
             },
         ));
@@ -102,10 +102,7 @@ impl ScheduleSpace {
         let (block_threads, inner_tiles, rest): (Vec<usize>, Vec<usize>, &[i64]) =
             if self.device == DeviceKind::Gpu {
                 (
-                    config[rank..2 * rank]
-                        .iter()
-                        .map(|&v| v as usize)
-                        .collect(),
+                    config[rank..2 * rank].iter().map(|&v| v as usize).collect(),
                     config[2 * rank..3 * rank]
                         .iter()
                         .map(|&v| v as usize)
@@ -115,10 +112,7 @@ impl ScheduleSpace {
             } else {
                 (
                     vec![1; rank],
-                    config[rank..2 * rank]
-                        .iter()
-                        .map(|&v| v as usize)
-                        .collect(),
+                    config[rank..2 * rank].iter().map(|&v| v as usize).collect(),
                     &config[2 * rank..],
                 )
             };
@@ -243,7 +237,11 @@ pub fn seed_schedules(prog: &DslProgram, max_parallel: usize) -> Vec<Schedule> {
     // device-filling reduction split: when the preserved space is too
     // small to occupy the machine, split the largest reduction dimension
     // until the grid fills (the reduction-aware move no baseline has)
-    let preserved_points: usize = preserved.iter().map(|&d| sizes[d]).product::<usize>().max(1);
+    let preserved_points: usize = preserved
+        .iter()
+        .map(|&d| sizes[d])
+        .product::<usize>()
+        .max(1);
     let device_threads = 108 * 2048;
     if preserved_points < device_threads * 2 {
         if let Some(&rd) = reductions.iter().max_by_key(|&&d| sizes[d]) {
@@ -299,7 +297,11 @@ pub fn tune_gpu(
             continue;
         }
         if let Ok(r) = sim.estimate(prog, &s) {
-            if best_seed.as_ref().map(|(_, c)| r.time_ms < *c).unwrap_or(true) {
+            if best_seed
+                .as_ref()
+                .map(|(_, c)| r.time_ms < *c)
+                .unwrap_or(true)
+            {
                 best_seed = Some((s, r.time_ms));
             }
         }
@@ -391,9 +393,10 @@ pub fn tune_cpu_model(
             .ok()
             .map(|r| r.time_ms)
     });
-    let mut best: Option<(Schedule, f64)> = result.best.as_ref().map(|(cfg, c)| {
-        (vectorise(ss.to_schedule(cfg)), *c)
-    });
+    let mut best: Option<(Schedule, f64)> = result
+        .best
+        .as_ref()
+        .map(|(cfg, c)| (vectorise(ss.to_schedule(cfg)), *c));
     for s in cpu_seed_schedules(prog, cores) {
         if s.validate(prog, 1 << 24).is_err() {
             continue;

@@ -26,7 +26,9 @@ pub struct Budget {
 
 impl Budget {
     pub fn evals(n: usize) -> Budget {
-        Budget { max_evals: n.max(1) }
+        Budget {
+            max_evals: n.max(1),
+        }
     }
 }
 
@@ -84,24 +86,27 @@ impl Tuner {
         let mut best: Option<(Config, f64)> = None;
         let mut evals = 0usize;
 
-        let mut try_eval =
-            |cfg: Config, history: &mut Vec<Sample>, best: &mut Option<(Config, f64)>, evals: &mut usize| -> Option<f64> {
-                if *evals >= self.budget.max_evals {
-                    return None;
+        let mut try_eval = |cfg: Config,
+                            history: &mut Vec<Sample>,
+                            best: &mut Option<(Config, f64)>,
+                            evals: &mut usize|
+         -> Option<f64> {
+            if *evals >= self.budget.max_evals {
+                return None;
+            }
+            *evals += 1;
+            let c = cost(&cfg);
+            history.push(Sample {
+                config: cfg.clone(),
+                cost: c,
+            });
+            if let Some(c) = c {
+                if best.as_ref().map(|(_, b)| c < *b).unwrap_or(true) {
+                    *best = Some((cfg, c));
                 }
-                *evals += 1;
-                let c = cost(&cfg);
-                history.push(Sample {
-                    config: cfg.clone(),
-                    cost: c,
-                });
-                if let Some(c) = c {
-                    if best.as_ref().map(|(_, b)| c < *b).unwrap_or(true) {
-                        *best = Some((cfg, c));
-                    }
-                }
-                c
-            };
+            }
+            c
+        };
 
         match self.technique {
             Technique::Exhaustive => {
@@ -166,8 +171,7 @@ impl Tuner {
                         evals,
                     };
                 };
-                let mut cur_cost =
-                    try_eval(cur.clone(), &mut history, &mut best, &mut evals);
+                let mut cur_cost = try_eval(cur.clone(), &mut history, &mut best, &mut evals);
                 let total = self.budget.max_evals as f64;
                 while evals < self.budget.max_evals {
                     let temp = 1.0 - (evals as f64 / total);

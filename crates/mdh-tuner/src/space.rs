@@ -213,10 +213,7 @@ impl SearchSpace {
                 continue;
             }
             let vals = self.valid_values(d, &config[..d]);
-            match vals
-                .iter()
-                .min_by_key(|&&v| (v - config[d]).unsigned_abs())
-            {
+            match vals.iter().min_by_key(|&&v| (v - config[d]).unsigned_abs()) {
                 Some(&v) => config[d] = v,
                 None => return false,
             }

@@ -33,9 +33,17 @@ fn main() {
 
     let heuristic = mdh_default_schedule(&app.program, DeviceKind::Gpu, 108 * 32);
     let h = sim.estimate(&app.program, &heuristic).expect("estimate");
-    println!("heuristic schedule: {:.4} ms  [{}]", h.time_ms, heuristic.summary());
+    println!(
+        "heuristic schedule: {:.4} ms  [{}]",
+        h.time_ms,
+        heuristic.summary()
+    );
 
-    for technique in [Technique::Random, Technique::HillClimb, Technique::Annealing] {
+    for technique in [
+        Technique::Random,
+        Technique::HillClimb,
+        Technique::Annealing,
+    ] {
         for budget in [30, 120] {
             let tuned = tune_gpu(&sim, &app.program, technique, Budget::evals(budget));
             println!(

@@ -61,15 +61,10 @@ fn main() {
     let (rid, rw, _) = prl_reference(&app);
     assert_eq!(out[0].as_i64().unwrap(), &rid[..]);
     assert_eq!(out[1].as_f64().unwrap(), &rw[..]);
-    let full = out[2]
-        .as_f32()
-        .map(|_| 0)
-        .unwrap_or_else(|| {
-            (0..rid.len())
-                .filter(|&j| {
-                    out[2].get_flat(j) == mdh::core::types::Value::I32(12)
-                })
-                .count()
-        });
+    let full = out[2].as_f32().map(|_| 0).unwrap_or_else(|| {
+        (0..rid.len())
+            .filter(|&j| out[2].get_flat(j) == mdh::core::types::Value::I32(12))
+            .count()
+    });
     println!("verified against reference; {full} queries found exact duplicates ✓");
 }

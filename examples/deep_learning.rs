@@ -52,7 +52,12 @@ fn main() {
     // --- GPU model: tuned MDH vs cuDNN-style roofline ---------------------
     let paper = mcc(Scale::Paper, 2).expect("mcc paper");
     let sim = GpuSim::a100(threads).expect("sim");
-    let tuned = tune_gpu(&sim, &paper.program, Technique::Annealing, Budget::evals(120));
+    let tuned = tune_gpu(
+        &sim,
+        &paper.program,
+        Technique::Annealing,
+        Budget::evals(120),
+    );
     let cudnn = VendorGpu::a100().estimate_ms(paper.vendor_op.as_ref().unwrap());
     println!(
         "A100 model (paper sizes): MDH tuned {:.4} ms, cuDNN-style {:.4} ms -> {:.2}x",

@@ -1,0 +1,656 @@
+//! A dependency-free stand-in for the subset of `proptest` this workspace
+//! uses (the build environment cannot reach crates.io).
+//!
+//! It keeps proptest's API shape — `proptest!`, strategies with
+//! `prop_map`/`prop_recursive`/`boxed`, `prop_oneof!`, `Just`, `any`,
+//! `prop::collection::vec`, `prop_assert*!`, `prop_assume!` — over a
+//! simple generate-and-check runner. Differences from real proptest:
+//! no shrinking (failures report the generated inputs verbatim) and no
+//! regression-file persistence; each test's RNG is seeded from its name,
+//! so runs are deterministic.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+pub mod test_runner {
+    /// Error raised by a single test case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Input rejected by `prop_assume!` — does not count as a failure.
+        Reject(String),
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config {
+                cases: 64,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Deterministic RNG driving all strategies (xoshiro256++ via
+    /// SplitMix64 seeding).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn seed_from_u64(state: u64) -> TestRng {
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Seed deterministically from a test's name.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng::seed_from_u64(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+
+        /// Uniform in `[0, n)`; `n > 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A value generator. Unlike real proptest there is no value tree /
+/// shrinking; a strategy simply produces values from the runner's RNG.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<F, R>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> R,
+        R: Debug,
+    {
+        MapStrategy { base: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+
+    /// Recursive strategies: `self` generates leaves; `recurse` wraps an
+    /// inner strategy into one producing the next level. `depth` bounds
+    /// nesting; the size hints of real proptest are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = self.boxed();
+        Recursive {
+            leaf: leaf.clone(),
+            recurse: Arc::new(move |inner| recurse(inner).boxed()),
+            depth,
+        }
+    }
+}
+
+/// Object-safe strategy handle; clones share the underlying strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+trait DynStrategy<T> {
+    fn gen_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_value(rng)
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.inner.gen_dyn(rng)
+    }
+}
+
+pub struct MapStrategy<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> Strategy for MapStrategy<B, F>
+where
+    B: Strategy,
+    F: Fn(B::Value) -> R,
+    R: Debug,
+{
+    type Value = R;
+    fn gen_value(&self, rng: &mut TestRng) -> R {
+        (self.f)(self.base.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    #[allow(clippy::type_complexity)]
+    recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T: Debug + 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let levels = rng.below(self.depth as u64 + 1) as u32;
+        let mut strat = self.leaf.clone();
+        for _ in 0..levels {
+            strat = (self.recurse)(strat);
+        }
+        strat.gen_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct OneOf<T> {
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "prop_oneof! needs options");
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].gen_value(rng)
+    }
+}
+
+// -- primitive strategies ----------------------------------------------------
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                // 1/2^53 short of inclusive; fine for property sampling
+                lo + (hi - lo) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+/// String-pattern strategy. Real proptest interprets `&str` as a regex;
+/// the shim generates arbitrary short strings (ASCII-weighted with some
+/// multi-byte and control characters mixed in), which satisfies the
+/// `".*"`-style "anything goes" patterns used in this repo's tests.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let len = rng.below(40) as usize;
+        (0..len)
+            .map(|_| match rng.below(8) {
+                0 => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(),
+                1 => ['\n', '\t', '\r', '\0', '\\', '"'][rng.below(6) as usize],
+                2 => char::from_u32(0xA1 + rng.below(0x100) as u32).unwrap_or('¡'),
+                3 => ['λ', '→', '∑', '日', '€', '𝕏'][rng.below(6) as usize],
+                _ => char::from_u32(0x61 + rng.below(26) as u32).unwrap(),
+            })
+            .collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ $(,)?)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+);
+
+// -- any ---------------------------------------------------------------------
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// -- collections -------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Size specification for collection strategies.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S, R> {
+        elem: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(elem, size)`.
+    pub fn vec<S: Strategy, R: SizeRange>(elem: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { elem, size }
+    }
+}
+
+/// The `prop::` module path used by `proptest::prelude`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+// ---------------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf {
+            options: vec![$($crate::Strategy::boxed($strat)),+],
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    { #![proptest_config($cfg:expr)] $($rest:tt)* } => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    { $($rest:tt)* } => {
+        $crate::__proptest_fns!{
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    { ($cfg:expr) } => {};
+    { ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    } => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{}': too many rejected inputs ({} after {} passes)",
+                        stringify!($name), rejected, passed
+                    );
+                }
+                $(let $arg = $crate::Strategy::gen_value(&($strat), &mut rng);)+
+                let desc = format!(
+                    concat!($(concat!(stringify!($arg), " = {:?}, ")),+),
+                    $(&$arg),+
+                );
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                match result {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => rejected += 1,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                        "proptest '{}' failed: {}\n  inputs: {}",
+                        stringify!($name), msg, desc
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Any, Arbitrary, BoxedStrategy, Just, OneOf, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in -2.0f64..=2.0, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..=2.0).contains(&y));
+            prop_assert!(u8::from(b) <= 1);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0i64..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1i64), 10i64..20, Just(3i64)]) {
+            prop_assert!(v == 1 || v == 3 || (10..20).contains(&v));
+        }
+
+        #[test]
+        fn recursive_depth_bounded(t in Just(0i64).prop_map(Tree::Leaf).boxed()
+            .prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+                    .boxed()
+            })) {
+            prop_assert!(depth(&t) <= 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,218 @@
+//! A dependency-free stand-in for the subset of `rand` 0.8 this workspace
+//! uses (the build environment cannot reach crates.io).
+//!
+//! [`rngs::StdRng`] is xoshiro256++ seeded through SplitMix64 — a
+//! high-quality, deterministic generator. It intentionally does NOT
+//! produce the same streams as the real `rand::rngs::StdRng`; every use in
+//! this repo only relies on determinism per seed, not on specific values.
+
+/// The `Rng` trait: value generation on top of a `u64` source.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in the given range (`start..end` or `start..=end`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniformly random value of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+}
+
+/// Seeding interface (the `seed_from_u64` part of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Map a `u64` to `[0, 1)` with 53 bits of precision.
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types uniformly samplable from a single `u64` (the shim's version of
+/// the `Standard` distribution).
+pub trait Standard {
+    fn from_u64(x: u64) -> Self;
+}
+
+impl Standard for bool {
+    fn from_u64(x: u64) -> bool {
+        x & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64(x: u64) -> u64 {
+        x
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(x: u64) -> f64 {
+        unit_f64(x)
+    }
+}
+
+/// Ranges samplable for `T` (the shim's `SampleRange`).
+pub trait SampleRange<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                // 1/2^53 short of inclusive; close enough for sampling
+                let u = unit_f64(rng.next_u64()) as $t;
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++, seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// A fresh generator seeded from the system clock and a counter (the
+/// shim's `thread_rng`; not cryptographic).
+pub fn thread_rng() -> rngs::StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed);
+    SeedableRng::seed_from_u64(nanos ^ COUNTER.fetch_add(0x9E37_79B9, Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(-3i64..300);
+            assert!((-3..300).contains(&i));
+            let u = rng.gen_range(0u32..=6);
+            assert!(u <= 6);
+        }
+    }
+
+    #[test]
+    fn gen_bool_roughly_matches_p() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "{hits}");
+    }
+}

@@ -1,0 +1,499 @@
+//! A small, dependency-free stand-in for the subset of `rayon` this
+//! workspace uses, implemented over `std::thread::scope`.
+//!
+//! The build environment has no access to crates.io, so the real rayon
+//! cannot be vendored; this shim keeps the same API shape (thread pools
+//! with `install`, indexed parallel iterators over slices with
+//! `map`/`zip`/`enumerate`/`for_each`/`sum`/`collect_into_vec`) and
+//! provides genuine data parallelism: parallel drivers split the index
+//! range into contiguous chunks, one per worker thread.
+//!
+//! Semantic differences from real rayon that matter here: work is split
+//! statically (no work stealing), and `install` only scopes the worker
+//! count rather than moving the closure onto pool threads. Both are
+//! observationally equivalent for the fork-join patterns in this repo.
+
+use std::cell::Cell;
+use std::fmt;
+use std::marker::PhantomData;
+
+// ---------------------------------------------------------------------------
+// thread pool
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Worker count installed by the innermost `ThreadPool::install`.
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn current_threads() -> usize {
+    let t = CURRENT_THREADS.with(|c| c.get());
+    if t == 0 {
+        default_threads()
+    } else {
+        t
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The shim never fails to
+/// build, so this is only here to satisfy the API.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A logical pool: it records a worker count that parallel drivers use
+/// while a closure runs under [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool's worker count installed for parallel
+    /// iterators created inside it.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.threads);
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Number of threads the innermost `install` scope provides (global
+/// default when called outside any pool).
+pub fn current_num_threads() -> usize {
+    current_threads()
+}
+
+// ---------------------------------------------------------------------------
+// indexed parallel iterators
+// ---------------------------------------------------------------------------
+
+/// The shim's core abstraction: a fixed-length producer whose `i`-th item
+/// can be created independently on any thread.
+///
+/// # Safety contract (internal)
+/// Drivers must call `item(i)` at most once per index; mutable producers
+/// rely on this to hand out disjoint `&mut` references.
+pub trait IndexedParallelIterator: Sized + Send {
+    type Item: Send;
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the `i`-th item. `i < self.len()`.
+    ///
+    /// # Safety
+    /// Each index must be produced at most once across all threads.
+    unsafe fn item(&self, i: usize) -> Self::Item;
+
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    fn zip<B: IndexedParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+        Self: Sync,
+    {
+        let n = self.len();
+        parallel_ranges(n, |lo, hi| {
+            for i in lo..hi {
+                // SAFETY: ranges are disjoint, each index visited once.
+                f(unsafe { self.item(i) });
+            }
+        });
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+        Self: Sync,
+    {
+        let n = self.len();
+        let partials = parallel_collect_chunks(n, |lo, hi| {
+            // SAFETY: ranges are disjoint, each index visited once.
+            (lo..hi).map(|i| unsafe { self.item(i) }).sum::<S>()
+        });
+        partials.into_iter().sum()
+    }
+
+    /// Collect into `out` preserving index order (rayon-compatible).
+    fn collect_into_vec(self, out: &mut Vec<Self::Item>)
+    where
+        Self: Sync,
+    {
+        let n = self.len();
+        out.clear();
+        out.reserve_exact(n);
+        let ptr = SendPtr(out.as_mut_ptr());
+        parallel_ranges(n, |lo, hi| {
+            // capture the whole Send+Sync wrapper, not the raw-pointer field
+            // (edition-2021 disjoint capture would grab `ptr.0` alone)
+            let slot = ptr;
+            for i in lo..hi {
+                // SAFETY: disjoint indices; the Vec has capacity `n`.
+                unsafe { slot.0.add(i).write(self.item(i)) };
+            }
+        });
+        // SAFETY: all `n` slots were initialised above.
+        unsafe { out.set_len(n) };
+    }
+}
+
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: the pointer is only used to write disjoint indices.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Run `body(lo, hi)` over a partition of `0..n` on up to
+/// `current_threads()` scoped threads.
+fn parallel_ranges<F>(n: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let workers = current_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        body(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let body = &body;
+        let mut lo = chunk; // range 0 runs on the calling thread
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            scope.spawn(move || body(lo, hi));
+            lo = hi;
+        }
+        body(0, chunk.min(n));
+    });
+}
+
+/// Like [`parallel_ranges`] but each chunk returns a value; results are
+/// returned in chunk order.
+fn parallel_collect_chunks<R, F>(n: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let workers = current_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return vec![body(0, n)];
+    }
+    let chunk = n.div_ceil(workers);
+    let bounds: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(n)))
+        .collect();
+    std::thread::scope(|scope| {
+        let body = &body;
+        let handles: Vec<_> = bounds[1..]
+            .iter()
+            .map(|&(lo, hi)| scope.spawn(move || body(lo, hi)))
+            .collect();
+        let mut out = vec![body(bounds[0].0, bounds[0].1)];
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+// -- producers --------------------------------------------------------------
+
+pub struct ParIterSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParIterSlice<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn item(&self, i: usize) -> &'a T {
+        self.slice.get_unchecked(i)
+    }
+}
+
+pub struct ParIterMutSlice<'a, T> {
+    ptr: SendPtr<T>,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParIterMutSlice<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn item(&self, i: usize) -> &'a mut T {
+        // SAFETY: drivers produce each index once, so the references are
+        // disjoint.
+        &mut *self.ptr.0.add(i)
+    }
+}
+
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk.max(1))
+    }
+    unsafe fn item(&self, i: usize) -> &'a [T] {
+        let lo = i * self.chunk;
+        let hi = (lo + self.chunk).min(self.slice.len());
+        self.slice.get_unchecked(lo..hi)
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    ptr: SendPtr<T>,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk.max(1))
+    }
+    unsafe fn item(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.chunk;
+        let hi = (lo + self.chunk).min(self.len);
+        // SAFETY: chunks are disjoint and produced once each.
+        std::slice::from_raw_parts_mut(self.ptr.0.add(lo), hi - lo)
+    }
+}
+
+// -- combinators ------------------------------------------------------------
+
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> IndexedParallelIterator for Map<B, F>
+where
+    B: IndexedParallelIterator + Sync,
+    F: Fn(B::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn item(&self, i: usize) -> R {
+        (self.f)(self.base.item(i))
+    }
+}
+
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: IndexedParallelIterator + Sync> IndexedParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn item(&self, i: usize) -> (usize, B::Item) {
+        (i, self.base.item(i))
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator + Sync,
+    B: IndexedParallelIterator + Sync,
+{
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn item(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.item(i), self.b.item(i))
+    }
+}
+
+// -- slice entry points ------------------------------------------------------
+
+/// Extension trait mirroring `rayon::slice::ParallelSlice` + friends.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIterSlice<'_, T>;
+    fn par_chunks(&self, chunk: usize) -> ParChunks<'_, T>;
+}
+
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> ParIterMutSlice<'_, T>;
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T, S: AsRef<[T]> + ?Sized> ParallelSlice<T> for S {
+    fn par_iter(&self) -> ParIterSlice<'_, T> {
+        ParIterSlice {
+            slice: self.as_ref(),
+        }
+    }
+    fn par_chunks(&self, chunk: usize) -> ParChunks<'_, T> {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        ParChunks {
+            slice: self.as_ref(),
+            chunk,
+        }
+    }
+}
+
+impl<T, S: AsMut<[T]> + ?Sized> ParallelSliceMut<T> for S {
+    fn par_iter_mut(&mut self) -> ParIterMutSlice<'_, T> {
+        let s = self.as_mut();
+        ParIterMutSlice {
+            ptr: SendPtr(s.as_mut_ptr()),
+            len: s.len(),
+            _marker: PhantomData,
+        }
+    }
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        let s = self.as_mut();
+        ParChunksMut {
+            ptr: SendPtr(s.as_mut_ptr()),
+            len: s.len(),
+            chunk,
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IndexedParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let mut out = Vec::new();
+        v.par_iter().map(|&x| x * 2).collect_into_vec(&mut out);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_for_each() {
+        let mut v = vec![0usize; 512];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * i);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * i));
+    }
+
+    #[test]
+    fn par_chunks_zip_sum() {
+        let x = vec![1.0f32; 10_000];
+        let y = vec![2.0f32; 10_000];
+        let dot: f32 = x
+            .par_chunks(128)
+            .zip(y.par_chunks(128))
+            .map(|(a, b)| a.iter().zip(b).map(|(p, q)| p * q).sum::<f32>())
+            .sum();
+        assert_eq!(dot, 20_000.0);
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_writes() {
+        let mut v = vec![0usize; 1001];
+        v.par_chunks_mut(100).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i / 100);
+        }
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+}

@@ -6,6 +6,10 @@
 //! mdhc estimate <file> [-D ...] [--device gpu|cpu] cost-model estimates
 //! mdhc tune     <file> [-D ...] [--device gpu|cpu] [--budget N] [--cache FILE]
 //! mdhc explain  <file> [-D ...] [--device gpu|cpu] what the lowering does
+//! mdhc serve    <socket> [--threads N] [--workers N] [--batch N] [--budget N]
+//!               [--cache FILE]                     persistent execution service
+//! mdhc submit   <file> --socket PATH [-D ...] [--device gpu|cpu] [--count N]
+//!                                                  send launches to a server
 //! ```
 //!
 //! The front end is auto-detected: files containing `#pragma mdh` go
@@ -24,16 +28,16 @@ use mdh::core::types::BasicType;
 use mdh::directive::{compile, compile_c, compile_fortran, parse_dsl, DirectiveEnv};
 use mdh::lowering::asm::DeviceKind;
 use mdh::lowering::heuristics::mdh_default_schedule;
-use mdh::tuner::{
-    tune_cpu_model, tune_gpu, Budget, Technique, TuningCache,
-};
+use mdh::runtime::{RuntimeConfig, TunePolicy};
+use mdh::tuner::{tune_cpu_model, tune_gpu, Budget, Technique, TuningCache};
 use std::path::PathBuf;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mdhc <compile|run|estimate|tune|explain> <file> [-D NAME=VAL]... \
-         [--device gpu|cpu] [--threads N] [--budget N] [--cache FILE]"
+        "usage: mdhc <compile|run|estimate|tune|explain|serve|submit> <file|socket> \
+         [-D NAME=VAL]... [--device gpu|cpu] [--threads N] [--budget N] [--cache FILE] \
+         [--workers N] [--batch N] [--socket PATH] [--count N]"
     );
     exit(2);
 }
@@ -42,10 +46,15 @@ struct Cli {
     cmd: String,
     file: PathBuf,
     env: DirectiveEnv,
+    bindings: Vec<(String, i64)>,
     device: DeviceKind,
     threads: usize,
     budget: usize,
     cache: Option<PathBuf>,
+    workers: usize,
+    batch: usize,
+    socket: Option<PathBuf>,
+    count: usize,
 }
 
 fn parse_cli() -> Cli {
@@ -62,6 +71,11 @@ fn parse_cli() -> Cli {
         .unwrap_or(4);
     let mut budget = 100;
     let mut cache = None;
+    let mut bindings = Vec::new();
+    let mut workers = 2;
+    let mut batch = 16;
+    let mut socket = None;
+    let mut count = 1;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -76,6 +90,7 @@ fn parse_cli() -> Cli {
                     exit(2);
                 };
                 env = env.size(name, v);
+                bindings.push((name.to_string(), v));
                 i += 2;
             }
             "--device" => {
@@ -104,6 +119,31 @@ fn parse_cli() -> Cli {
                 cache = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
                 i += 2;
             }
+            "--workers" => {
+                workers = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--batch" => {
+                batch = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--socket" => {
+                socket = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--count" => {
+                count = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage();
@@ -114,10 +154,15 @@ fn parse_cli() -> Cli {
         cmd,
         file,
         env,
+        bindings,
         device,
         threads,
         budget,
         cache,
+        workers,
+        batch,
+        socket,
+        count,
     }
 }
 
@@ -224,8 +269,71 @@ fn checksum(buf: &Buffer) -> f64 {
     }
 }
 
+/// `mdhc serve <socket>`: run the persistent execution runtime until a
+/// client sends SHUTDOWN. The socket path is `cli.file`.
+fn cmd_serve(cli: &Cli) {
+    let config = RuntimeConfig {
+        workers: cli.workers.max(1),
+        exec_threads: cli.threads,
+        max_batch: cli.batch.max(1),
+        tune: TunePolicy {
+            budget_evals: cli.budget,
+            ..TunePolicy::default()
+        },
+        tuning_cache_path: cli.cache.clone(),
+        ..RuntimeConfig::default()
+    };
+    if let Err(e) = mdh::runtime::server::serve(&cli.file, config) {
+        eprintln!("serve failed on {}: {e}", cli.file.display());
+        exit(1);
+    }
+}
+
+/// `mdhc submit <file> --socket PATH`: send the directive source to a
+/// running server `--count` times and print the replies.
+fn cmd_submit(cli: &Cli) {
+    let Some(socket) = &cli.socket else {
+        eprintln!("submit requires --socket PATH");
+        exit(2);
+    };
+    let src = match std::fs::read_to_string(&cli.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", cli.file.display());
+            exit(1);
+        }
+    };
+    match mdh::runtime::server::client_submit(
+        socket,
+        &src,
+        cli.device,
+        cli.count.max(1),
+        &cli.bindings,
+    ) {
+        Ok(lines) => {
+            let mut failed = false;
+            for line in lines {
+                println!("{line}");
+                failed |= line.starts_with("err ");
+            }
+            if failed {
+                exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot reach server at {}: {e}", socket.display());
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let cli = parse_cli();
+    match cli.cmd.as_str() {
+        "serve" => return cmd_serve(&cli),
+        "submit" => return cmd_submit(&cli),
+        _ => {}
+    }
     let prog = load_program(&cli);
     match cli.cmd.as_str() {
         "compile" => summarize(&prog),
@@ -309,15 +417,13 @@ fn main() {
             summarize(&prog);
             println!("---");
             let mut cache = match &cli.cache {
-                Some(p) if p.exists() => TuningCache::load(p).unwrap_or_default(),
-                _ => TuningCache::new(),
+                // tolerate corrupt/truncated files: salvage what parses,
+                // treat the rest as misses and re-tune
+                Some(p) => TuningCache::load_or_rebuild(p),
+                None => TuningCache::new(),
             };
             if let Some(hit) = cache.lookup(&prog, cli.device) {
-                println!(
-                    "cache hit: {:.4} ms — {}",
-                    hit.cost,
-                    hit.schedule.summary()
-                );
+                println!("cache hit: {:.4} ms — {}", hit.cost, hit.schedule.summary());
                 return;
             }
             let tuned = match cli.device {

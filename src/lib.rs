@@ -9,6 +9,7 @@ pub use mdh_baselines as baselines;
 pub use mdh_core as core;
 pub use mdh_directive as directive;
 pub use mdh_lowering as lowering;
+pub use mdh_runtime as runtime;
 pub use mdh_tuner as tuner;
 
 pub use mdh_core::prelude;

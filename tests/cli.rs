@@ -141,7 +141,9 @@ fn tune_writes_and_reuses_cache() {
     let out = mdhc()
         .args(["tune"])
         .arg(&f)
-        .args(["-D", "I=512", "-D", "K=512", "--device", "gpu", "--budget", "20"])
+        .args([
+            "-D", "I=512", "-D", "K=512", "--device", "gpu", "--budget", "20",
+        ])
         .arg("--cache")
         .arg(&cache)
         .output()

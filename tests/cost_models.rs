@@ -115,7 +115,12 @@ fn cpu_mdh_beats_vendor_on_skinny_matmul() {
     use mdh::baselines::vendor::VendorCpuModel;
     let params = CpuParams::xeon_gold_6140();
     let app = study("MatMul", 2); // 1x2048 · 2048x1000
-    let mdh = tune_cpu_model(&app.program, &params, Technique::Annealing, Budget::evals(60));
+    let mdh = tune_cpu_model(
+        &app.program,
+        &params,
+        Technique::Annealing,
+        Budget::evals(60),
+    );
     let mkl = VendorCpuModel::xeon_gold_6140().estimate_ms(app.vendor_op.as_ref().unwrap());
     let speedup = mkl / mdh.cost;
     assert!(

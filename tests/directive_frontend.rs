@@ -3,10 +3,10 @@
 //! builder, and the paper-mandated error behaviours — plus property tests
 //! randomising sizes through the whole front end.
 
+use mdh::core::buffer::Buffer;
 use mdh::core::eval::{evaluate_direct, evaluate_recursive};
 use mdh::core::shape::Shape;
 use mdh::core::types::BasicType;
-use mdh::core::buffer::Buffer;
 use mdh::directive::builder::sx;
 use mdh::directive::{compile, DirectiveBuilder, DirectiveEnv};
 use proptest::prelude::*;
@@ -79,7 +79,10 @@ fn missing_size_binding_is_reported() {
 
 #[test]
 fn wrong_operator_count_is_reported() {
-    let src = MATMUL.replace("combine_ops( cc, cc, pw(add) )", "combine_ops( cc, pw(add) )");
+    let src = MATMUL.replace(
+        "combine_ops( cc, cc, pw(add) )",
+        "combine_ops( cc, pw(add) )",
+    );
     let env = DirectiveEnv::new().size("I", 2).size("J", 2).size("K", 2);
     let err = compile(&src, &env).unwrap_err().to_string();
     assert!(err.contains("depth"), "{err}");

@@ -54,9 +54,7 @@ fn gpu_functional_execution_matches_reference() {
     for name in ["MatVec", "MCC", "PRL"] {
         let app = instantiate(StudyId { name, input_no: 1 }, Scale::Small).unwrap();
         let tuned = tune_gpu(&sim, &app.program, Technique::Random, Budget::evals(10));
-        let (got, report) = sim
-            .run(&app.program, &tuned.schedule, &app.inputs)
-            .unwrap();
+        let (got, report) = sim.run(&app.program, &tuned.schedule, &app.inputs).unwrap();
         assert!(report.time_ms > 0.0);
         let expect = evaluate_recursive(&app.program, &app.inputs).unwrap();
         for (g, e) in got.iter().zip(&expect) {

@@ -31,23 +31,17 @@ fn arb_expr(n_params: usize, depth: u32) -> BoxedStrategy<Expr> {
                 inner.clone()
             )
                 .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
-            (inner.clone(),).prop_map(|(a,)| Expr::Un(
-                mdh::core::expr::UnOp::Neg,
-                Box::new(a)
-            )),
+            (inner.clone(),).prop_map(|(a,)| Expr::Un(mdh::core::expr::UnOp::Neg, Box::new(a))),
             (inner.clone(),).prop_map(|(a,)| Expr::Call(MathFn::Abs, vec![a])),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call(
-                MathFn::Max,
-                vec![a, b]
-            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call(MathFn::Max, vec![a, b])),
             // a comparison-guarded select
-            (inner.clone(), inner.clone(), inner.clone(), inner).prop_map(
-                |(c1, c2, a, b)| Expr::Select(
+            (inner.clone(), inner.clone(), inner.clone(), inner).prop_map(|(c1, c2, a, b)| {
+                Expr::Select(
                     Box::new(Expr::Bin(BinOp::Lt, Box::new(c1), Box::new(c2))),
                     Box::new(a),
-                    Box::new(b)
+                    Box::new(b),
                 )
-            ),
+            }),
         ]
     })
     .boxed()
