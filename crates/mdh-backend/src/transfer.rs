@@ -29,6 +29,19 @@ impl LinkParams {
             latency_us: 10.0,
         }
     }
+
+    /// NVLink 3.0-class device-to-device link (A100: 12 links × ~25 GB/s
+    /// per direction ≈ 300 GB/s aggregate; we model the ~250 GiB/s a single
+    /// peer pair sustains, with much lower setup latency than a
+    /// host-mediated PCIe DMA). Used for intra-pool peer combines in
+    /// `mdh-dist`, where the serial/tree topology choice multiplies this
+    /// link's cost by N-1 or log2(N) respectively.
+    pub fn nvlink3() -> LinkParams {
+        LinkParams {
+            bandwidth_gib_s: 250.0,
+            latency_us: 2.0,
+        }
+    }
 }
 
 /// One direction of movement.
@@ -162,6 +175,17 @@ mod tests {
         assert!(big > 30.0 * small);
         // 1 GiB at 24 GiB/s ≈ 41.7 ms + latency
         assert!((big - (1000.0 / 24.0 + 0.01)).abs() < 1.0);
+    }
+
+    #[test]
+    fn nvlink_beats_pcie_for_peer_combines() {
+        let pcie = LinkParams::pcie4_x16();
+        let nv = LinkParams::nvlink3();
+        // a 64 MiB partial-result exchange: NVLink must be roughly an
+        // order of magnitude cheaper, both in latency and bandwidth terms
+        let bytes = 64 << 20;
+        assert!(transfer_ms(&nv, bytes) * 8.0 < transfer_ms(&pcie, bytes));
+        assert!(transfer_ms(&nv, 0) < transfer_ms(&pcie, 0));
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Multi-device scaling experiment: how do the Fig. 3 case studies
+//! scale across 1/2/4/8 simulated A100s, and what do the cross-device
+//! combine trees cost?
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p mdh-bench --bin dist_scaling -- \
+//!     [--scale paper|medium|small] [--out BENCH_dist.json]
+//! ```
+//!
+//! Timing comes from [`mdh_dist::DistExecutor::estimate`] — the same
+//! analytic pipeline the executor attaches to real runs (whose values
+//! are property-tested bit-identical against single-device execution),
+//! so the sweep is deterministic and free at paper sizes. Results go to
+//! stdout as a table and to `BENCH_dist.json` as machine-readable
+//! records: per-device-count hot/cold speedup, combine-tree overhead,
+//! and transfer share.
+//!
+//! The acceptance bar checked at the end: at 4 devices, at least one
+//! reduction-heavy kernel (partition strategy `pw`) must show hot
+//! speedup > 1.5x with a non-trivial combine tree.
+
+use mdh_apps::{instantiate, Scale, StudyId};
+use mdh_bench::parse_scale;
+use mdh_dist::{DevicePool, DistExecutor, DistReport};
+use mdh_lowering::partition::PartitionStrategy;
+use std::fmt::Write as _;
+
+const DEVICE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+struct Point {
+    devices: usize,
+    report: DistReport,
+    speedup_hot: f64,
+    speedup_cold: f64,
+}
+
+struct StudyResult {
+    name: String,
+    sizes: String,
+    strategy: &'static str,
+    points: Vec<Point>,
+}
+
+fn strategy_tag(r: &DistReport) -> &'static str {
+    match r.strategy {
+        Some(PartitionStrategy::Concat) => "cc",
+        Some(PartitionStrategy::Reduce) => "pw",
+        Some(PartitionStrategy::Scan) => "ps",
+        None => "none",
+    }
+}
+
+fn run_study(name: &'static str, scale: Scale) -> Option<StudyResult> {
+    let app = match instantiate(StudyId { name, input_no: 1 }, scale) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            return None;
+        }
+    };
+    let mut points = Vec::new();
+    let mut base: Option<(f64, f64)> = None;
+    for devices in DEVICE_COUNTS {
+        let dist = DistExecutor::new(DevicePool::gpus(devices)).expect("pool");
+        let report = match dist.estimate(&app.program, &app.inputs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{name} @ {devices} devices: {e}");
+                return None;
+            }
+        };
+        let (hot1, cold1) = *base.get_or_insert((report.hot_ms, report.total_ms));
+        points.push(Point {
+            devices,
+            speedup_hot: hot1 / report.hot_ms,
+            speedup_cold: cold1 / report.total_ms,
+            report,
+        });
+    }
+    let strategy = strategy_tag(&points[1].report);
+    Some(StudyResult {
+        name: app.name.clone(),
+        sizes: app.sizes_desc.clone(),
+        strategy,
+        points,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn to_json(results: &[StudyResult], scale: Scale) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"experiment\": \"dist_scaling\",");
+    let _ = writeln!(j, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(j, "  \"device_counts\": [1, 2, 4, 8],");
+    let _ = writeln!(j, "  \"topology\": \"tree\",");
+    let _ = writeln!(j, "  \"studies\": [");
+    for (si, s) in results.iter().enumerate() {
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"name\": \"{}\",", json_escape(&s.name));
+        let _ = writeln!(j, "      \"sizes\": \"{}\",", json_escape(&s.sizes));
+        let _ = writeln!(j, "      \"strategy\": \"{}\",", s.strategy);
+        let _ = writeln!(j, "      \"points\": [");
+        for (pi, p) in s.points.iter().enumerate() {
+            let r = &p.report;
+            let _ = write!(
+                j,
+                "        {{\"devices\": {}, \"hot_ms\": {:.6}, \"cold_ms\": {:.6}, \
+                 \"exec_ms\": {:.6}, \"h2d_ms\": {:.6}, \"combine_ms\": {:.6}, \
+                 \"combine_steps\": {}, \"d2h_ms\": {:.6}, \"speedup_hot\": {:.4}, \
+                 \"speedup_cold\": {:.4}, \"transfer_share\": {:.4}, \
+                 \"combine_share\": {:.4}}}",
+                p.devices,
+                r.hot_ms,
+                r.total_ms,
+                r.exec_ms,
+                r.h2d_ms,
+                r.combine.total_ms(),
+                r.combine.steps,
+                r.d2h_ms,
+                p.speedup_hot,
+                p.speedup_cold,
+                r.transfer_share(),
+                r.combine_share()
+            );
+            let _ = writeln!(j, "{}", if pi + 1 < s.points.len() { "," } else { "" });
+        }
+        let _ = writeln!(j, "      ]");
+        let _ = writeln!(j, "    }}{}", if si + 1 < results.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg(&args, "--scale")
+        .map(|s| parse_scale(&s))
+        .unwrap_or(Scale::Paper);
+    let out_path = arg(&args, "--out").unwrap_or_else(|| "BENCH_dist.json".into());
+
+    println!("=== multi-device scaling ({scale:?} scale, tree combine) ===");
+    let mut results = Vec::new();
+    for name in ["Dot", "MatVec", "MatMul", "Jacobi_3D"] {
+        let Some(s) = run_study(name, scale) else {
+            continue;
+        };
+        println!(
+            "\n--- {} ({}) — strategy {} ---",
+            s.name, s.sizes, s.strategy
+        );
+        println!(
+            "  {:>7}  {:>10}  {:>10}  {:>10}  {:>12}  {:>8}  {:>10}  {:>10}",
+            "devices",
+            "hot ms",
+            "cold ms",
+            "exec ms",
+            "combine ms",
+            "steps",
+            "hot spdup",
+            "xfer share"
+        );
+        for p in &s.points {
+            let r = &p.report;
+            println!(
+                "  {:>7}  {:>10.4}  {:>10.4}  {:>10.4}  {:>12.4}  {:>8}  {:>9.2}x  {:>9.0}%",
+                p.devices,
+                r.hot_ms,
+                r.total_ms,
+                r.exec_ms,
+                r.combine.total_ms(),
+                r.combine.steps,
+                p.speedup_hot,
+                r.transfer_share() * 100.0
+            );
+        }
+        results.push(s);
+    }
+
+    let json = to_json(&results, scale);
+    std::fs::write(&out_path, &json).expect("write BENCH_dist.json");
+    println!("\nwrote {out_path}");
+
+    // acceptance: a reduction-heavy kernel must scale through its
+    // combine tree
+    let best = results
+        .iter()
+        .filter(|s| s.strategy == "pw")
+        .filter_map(|s| {
+            s.points
+                .iter()
+                .find(|p| p.devices == 4)
+                .map(|p| (s.name.as_str(), p.speedup_hot, p.report.combine.steps))
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite speedups"));
+    match best {
+        Some((name, speedup, steps)) if speedup > 1.5 && steps > 0 => {
+            println!(
+                "acceptance: {name} hot speedup at 4 devices = {speedup:.2}x \
+                 through a {steps}-step combine tree (target > 1.5x) — OK"
+            );
+        }
+        Some((name, speedup, steps)) => {
+            eprintln!(
+                "acceptance FAILED: best reduction-heavy kernel {name} reached \
+                 {speedup:.2}x at 4 devices ({steps} combine steps); need > 1.5x"
+            );
+            std::process::exit(1);
+        }
+        None => {
+            eprintln!("acceptance FAILED: no reduction-partitioned study ran");
+            std::process::exit(1);
+        }
+    }
+}

@@ -33,6 +33,22 @@ pub enum DimBehavior {
     Collapse,
 }
 
+/// How we know a combine function is associative — the property every
+/// decomposition (tiling, thread chunking, *multi-device partitioning*)
+/// rests on. The partitioner consults this to decide which dimensions are
+/// legal to shard and how aggressively partial results may be re-grouped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Associativity {
+    /// Associative by construction (the built-in operators; exact over
+    /// integral values, associative-up-to-rounding over floats).
+    Proven,
+    /// Associative by the MDH contract: user-supplied combine functions
+    /// *must* be associative for the homomorphism laws to hold. We cannot
+    /// prove it statically; [`PwFunc::check_associative`] is the empirical
+    /// hook for validating the assumption.
+    Assumed,
+}
+
 /// Natively-supported point-wise reduction functions. These are the
 /// operators existing directive systems (OpenMP/OpenACC) can also express —
 /// the capability matrix in `mdh-baselines` keys off this distinction.
@@ -204,6 +220,22 @@ impl PwFunc {
         }
     }
 
+    /// Provenance of this function's associativity (see [`Associativity`]).
+    pub fn associativity(&self) -> Associativity {
+        match &self.kind {
+            PwKind::Builtin(_) => Associativity::Proven,
+            PwKind::Custom(_) => Associativity::Assumed,
+        }
+    }
+
+    /// Whether reordering operands (not just re-grouping) is known to be
+    /// safe. All built-in reductions are commutative; custom functions are
+    /// only required to be associative, so partial results from distinct
+    /// sub-ranges must be combined in index order unless this returns true.
+    pub fn is_commutative(&self) -> bool {
+        matches!(&self.kind, PwKind::Builtin(_))
+    }
+
     /// Empirically check associativity on the given sample tuples
     /// (`f(f(a,b),c) == f(a,f(b,c))`). Custom operators are *required* to be
     /// associative for parallelisation to be legal; this is the property
@@ -312,6 +344,33 @@ impl CombineOp {
         match self {
             CombineOp::Cc => None,
             CombineOp::Pw(f) | CombineOp::Ps(f) => Some(f),
+        }
+    }
+
+    /// Provenance of the operator's associativity. Concatenation is
+    /// associative by construction (list concatenation); `pw`/`ps` inherit
+    /// their combine function's provenance.
+    pub fn associativity(&self) -> Associativity {
+        match self {
+            CombineOp::Cc => Associativity::Proven,
+            CombineOp::Pw(f) | CombineOp::Ps(f) => f.associativity(),
+        }
+    }
+
+    /// Whether a dimension governed by this operator may be partitioned
+    /// across devices, and with which recombination obligation:
+    ///
+    /// * `cc` — always shardable; shards own disjoint output regions and
+    ///   need no cross-device combine;
+    /// * `pw(f)` — shardable because `f` is associative (proven or by
+    ///   contract); shards produce *partial* outputs that must flow through
+    ///   a combine tree;
+    /// * `ps(f)` — shardable, but recombination is an ordered carry chain
+    ///   (the `Q`-part rule of Listing 17), so the combine topology is
+    ///   forced serial.
+    pub fn device_shardable(&self) -> bool {
+        match self.associativity() {
+            Associativity::Proven | Associativity::Assumed => true,
         }
     }
 
@@ -482,6 +541,20 @@ mod tests {
         assert!(CombineOp::ps_add().is_reduction());
         assert!(CombineOp::pw_add().is_native_reduction());
         assert!(!CombineOp::ps_add().is_native_reduction());
+    }
+
+    #[test]
+    fn associativity_metadata() {
+        assert_eq!(CombineOp::cc().associativity(), Associativity::Proven);
+        assert_eq!(CombineOp::pw_add().associativity(), Associativity::Proven);
+        assert_eq!(CombineOp::ps_add().associativity(), Associativity::Proven);
+        let custom = CombineOp::Pw(prl_like());
+        assert_eq!(custom.associativity(), Associativity::Assumed);
+        assert!(custom.device_shardable());
+        assert!(!prl_like().is_commutative());
+        assert!(PwFunc::builtin(BuiltinReduce::Max).is_commutative());
+        assert!(CombineOp::cc().device_shardable());
+        assert!(CombineOp::pw_add().device_shardable());
     }
 
     #[test]

@@ -1,0 +1,709 @@
+//! The distributed executor: shard → device dispatch, concurrent
+//! execution, functional recombination, and the pool timing model.
+//!
+//! Correctness and cost are deliberately separated. The *values* are
+//! produced by really running every shard program (on the CPU executor
+//! or the functional GPU simulator) and recombining partials through the
+//! original program's combine operators in shard-index order — the MDH
+//! laws guarantee this equals single-device execution for associative
+//! operators, and keeping the fold ordered makes it bit-identical even
+//! for merely-associative (non-commutative) custom functions. The *time*
+//! is an analytic model: per-shard H2D over the shared host link
+//! (optionally overlapped with compute), the parallel execution phase,
+//! the combine topology of [`crate::topology`], and the final D2H.
+//!
+//! Two headline times are reported. `total_ms` is the cold single-launch
+//! time including input upload. `hot_ms` is the steady-state per-launch
+//! time with inputs already resident on the devices — the regime the
+//! paper measures (its GPU numbers exclude one-time transfers, which
+//! amortise across the many launches auto-tuning assumes).
+
+use crate::device::{DevicePool, DeviceSpec};
+use crate::topology::{combine_cost, CombineCost, CombineTopology};
+use mdh_backend::cpu::CpuExecutor;
+use mdh_backend::gpu::GpuSim;
+use mdh_backend::transfer::{transfer_ms, LinkParams};
+use mdh_core::buffer::Buffer;
+use mdh_core::combine::DimBehavior;
+use mdh_core::dsl::DslProgram;
+use mdh_core::error::{MdhError, Result};
+use mdh_core::shape::MdRange;
+use mdh_core::types::Tuple;
+use mdh_lowering::asm::DeviceKind;
+use mdh_lowering::heuristics::mdh_default_schedule;
+use mdh_lowering::partition::{PartitionPlan, PartitionStrategy};
+use std::time::Instant;
+
+/// What one device did for one launch.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Device label (`gpu0`, `cpu1`, ...).
+    pub device: String,
+    pub shard: usize,
+    /// The shard's global iteration sub-range.
+    pub range: MdRange,
+    /// Modelled input bytes uploaded to this device.
+    pub h2d_bytes: usize,
+    pub h2d_ms: f64,
+    /// Execution time: analytic for GPU devices, wall-clock for CPU.
+    pub exec_ms: f64,
+}
+
+/// Timing breakdown of one distributed launch.
+#[derive(Debug, Clone)]
+pub struct DistReport {
+    pub devices: usize,
+    pub shards: usize,
+    pub partition_dim: Option<usize>,
+    pub strategy: Option<PartitionStrategy>,
+    pub topology: CombineTopology,
+    pub per_shard: Vec<ShardReport>,
+    /// Total modelled H2D time (sum over devices; the link is shared).
+    pub h2d_ms: f64,
+    /// Parallel execution phase: max over devices.
+    pub exec_ms: f64,
+    /// Upload + execution phase length under the overlap setting.
+    pub upload_exec_ms: f64,
+    pub combine: CombineCost,
+    /// Final device-to-host result download.
+    pub d2h_ms: f64,
+    /// Cold single-launch time: upload/exec phase + combine + D2H.
+    pub total_ms: f64,
+    /// Steady-state per-launch time with inputs resident.
+    pub hot_ms: f64,
+}
+
+impl DistReport {
+    /// Fraction of the cold launch spent moving data (H2D + combine
+    /// links + D2H).
+    pub fn transfer_share(&self) -> f64 {
+        if self.total_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.h2d_ms + self.combine.transfer_ms + self.d2h_ms) / self.total_ms
+    }
+
+    /// Fraction of the hot launch spent recombining partials.
+    pub fn combine_share(&self) -> f64 {
+        if self.hot_ms <= 0.0 {
+            return 0.0;
+        }
+        self.combine.total_ms() / self.hot_ms
+    }
+}
+
+impl std::fmt::Display for DistReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let strat = match self.strategy {
+            Some(PartitionStrategy::Concat) => "cc",
+            Some(PartitionStrategy::Reduce) => "pw",
+            Some(PartitionStrategy::Scan) => "ps",
+            None => "none",
+        };
+        write!(
+            f,
+            "devices={} shards={} dim={} strat={} topo={} | h2d={:.3}ms exec={:.3}ms \
+             combine={:.3}ms ({} steps, xfer {:.3} + pass {:.3}) d2h={:.3}ms | \
+             cold={:.3}ms hot={:.3}ms xfer-share={:.0}% combine-share={:.0}%",
+            self.devices,
+            self.shards,
+            self.partition_dim.map_or(-1, |d| d as i64),
+            strat,
+            self.topology,
+            self.h2d_ms,
+            self.exec_ms,
+            self.combine.total_ms(),
+            self.combine.steps,
+            self.combine.transfer_ms,
+            self.combine.compute_ms,
+            self.d2h_ms,
+            self.total_ms,
+            self.hot_ms,
+            self.transfer_share() * 100.0,
+            self.combine_share() * 100.0
+        )
+    }
+}
+
+enum Runner {
+    Cpu(CpuExecutor),
+    Gpu(GpuSim),
+}
+
+/// Result slot one shard worker fills: outputs + exec time.
+type ShardSlot = Option<Result<(Vec<Buffer>, f64)>>;
+
+/// Executes programs across a [`DevicePool`].
+pub struct DistExecutor {
+    pool: DevicePool,
+    runners: Vec<Runner>,
+}
+
+impl DistExecutor {
+    pub fn new(pool: DevicePool) -> Result<DistExecutor> {
+        if pool.is_empty() {
+            return Err(MdhError::Validation("device pool is empty".into()));
+        }
+        let runners = pool
+            .devices
+            .iter()
+            .map(|d| match d {
+                DeviceSpec::Cpu { threads } => Ok(Runner::Cpu(CpuExecutor::new(*threads)?)),
+                DeviceSpec::Gpu(p) => Ok(Runner::Gpu(GpuSim::with_params(p.clone(), 1)?)),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(DistExecutor { pool, runners })
+    }
+
+    pub fn devices(&self) -> usize {
+        self.pool.len()
+    }
+
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    /// Partition `prog` across the pool, execute, recombine, and model
+    /// the launch time. Shard `i` runs on device `i`; with no shardable
+    /// dimension the whole program runs on device 0.
+    pub fn run(&self, prog: &DslProgram, inputs: &[Buffer]) -> Result<(Vec<Buffer>, DistReport)> {
+        let plan = PartitionPlan::build(prog, self.pool.len())?;
+        let host_memory = self.pool.all_host_memory();
+
+        // --- parallel shard phase -------------------------------------
+        let mut slots: Vec<ShardSlot> = (0..plan.shards.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slot, shard) in slots.iter_mut().zip(&plan.shards) {
+                let runner = &self.runners[shard.index];
+                scope.spawn(move || {
+                    *slot = Some(run_shard(runner, &shard.prog, inputs));
+                });
+            }
+        });
+        let mut shard_outs = Vec::with_capacity(slots.len());
+        let mut per_shard = Vec::with_capacity(slots.len());
+        for (slot, shard) in slots.into_iter().zip(&plan.shards) {
+            let (outs, exec_ms) =
+                slot.ok_or_else(|| MdhError::Eval("shard worker vanished".into()))??;
+            let h2d_bytes = shard_input_bytes(prog, &shard.range, inputs);
+            let is_gpu = matches!(self.pool.devices[shard.index], DeviceSpec::Gpu(_));
+            let h2d_ms = if is_gpu && !host_memory {
+                transfer_ms(&self.pool.config.host_link, h2d_bytes)
+            } else {
+                0.0
+            };
+            per_shard.push(ShardReport {
+                device: self.pool.devices[shard.index].label(shard.index),
+                shard: shard.index,
+                range: shard.range.clone(),
+                h2d_bytes,
+                h2d_ms,
+                exec_ms,
+            });
+            shard_outs.push(outs);
+        }
+
+        // --- recombination (values) -----------------------------------
+        let outputs = recombine(prog, &plan, shard_outs)?;
+
+        let out_bytes = output_bytes(&outputs);
+        let report = self.assemble_report(&plan, per_shard, out_bytes, host_memory);
+        Ok((outputs, report))
+    }
+
+    /// Model a launch without executing it: the same partition plan and
+    /// timing pipeline as [`DistExecutor::run`], with per-shard execution
+    /// taken from the analytic GPU cost model instead of a real run. No
+    /// values are produced, so arbitrarily large problem sizes cost
+    /// nothing to sweep. Requires an all-GPU pool — CPU execution is
+    /// measured, not modelled.
+    pub fn estimate(&self, prog: &DslProgram, inputs: &[Buffer]) -> Result<DistReport> {
+        let plan = PartitionPlan::build(prog, self.pool.len())?;
+        let host_memory = self.pool.all_host_memory();
+        let mut per_shard = Vec::with_capacity(plan.shards.len());
+        for shard in &plan.shards {
+            let Runner::Gpu(sim) = &self.runners[shard.index] else {
+                return Err(MdhError::Validation(
+                    "DistExecutor::estimate models all-GPU pools only; \
+                     pools with CPU devices must use run()"
+                        .into(),
+                ));
+            };
+            let units = sim.params.num_sms * 32;
+            let schedule = mdh_default_schedule(&shard.prog, DeviceKind::Gpu, units);
+            let exec_ms = sim.estimate(&shard.prog, &schedule)?.time_ms;
+            let h2d_bytes = shard_input_bytes(prog, &shard.range, inputs);
+            let h2d_ms = if host_memory {
+                0.0
+            } else {
+                transfer_ms(&self.pool.config.host_link, h2d_bytes)
+            };
+            per_shard.push(ShardReport {
+                device: self.pool.devices[shard.index].label(shard.index),
+                shard: shard.index,
+                range: shard.range.clone(),
+                h2d_bytes,
+                h2d_ms,
+                exec_ms,
+            });
+        }
+        let out_bytes = output_bytes(&mdh_core::eval::alloc_outputs(prog)?);
+        Ok(self.assemble_report(&plan, per_shard, out_bytes, host_memory))
+    }
+
+    /// Fold per-shard uploads and execution times through the pool's
+    /// overlap, combine-topology, and D2H models.
+    fn assemble_report(
+        &self,
+        plan: &PartitionPlan,
+        per_shard: Vec<ShardReport>,
+        out_bytes: usize,
+        host_memory: bool,
+    ) -> DistReport {
+        let n = plan.shards.len();
+        let exec_ms = per_shard.iter().map(|s| s.exec_ms).fold(0.0, f64::max);
+        let h2d_ms: f64 = per_shard.iter().map(|s| s.h2d_ms).sum();
+        // uploads serialise on the shared host link; with overlap, each
+        // device starts computing as soon as its own upload lands
+        let upload_exec_ms = if self.pool.config.overlap {
+            let mut cum = 0.0;
+            let mut phase: f64 = 0.0;
+            for s in &per_shard {
+                cum += s.h2d_ms;
+                phase = phase.max(cum + s.exec_ms);
+            }
+            phase
+        } else {
+            h2d_ms + exec_ms
+        };
+        let combine = combine_cost(
+            self.pool.config.topology,
+            plan.strategy(),
+            n,
+            out_bytes,
+            &self.pool.config.host_link,
+            &self.pool.config.peer_link,
+            self.pool.combine_bw_gib_s(),
+            host_memory,
+        );
+        let d2h_ms = d2h_cost(
+            &self.pool.config.host_link,
+            self.pool.config.topology,
+            plan.strategy(),
+            n,
+            out_bytes,
+            host_memory,
+        );
+        let total_ms = upload_exec_ms + combine.total_ms() + d2h_ms;
+        let hot_ms = exec_ms + combine.total_ms() + d2h_ms;
+
+        DistReport {
+            devices: self.pool.len(),
+            shards: n,
+            partition_dim: plan.dim(),
+            strategy: plan.strategy(),
+            topology: self.pool.config.topology,
+            per_shard,
+            h2d_ms,
+            exec_ms,
+            upload_exec_ms,
+            combine,
+            d2h_ms,
+            total_ms,
+            hot_ms,
+        }
+    }
+}
+
+/// Run one shard program on its device; returns outputs and exec time
+/// (analytic for the GPU simulator, measured for CPU).
+fn run_shard(runner: &Runner, prog: &DslProgram, inputs: &[Buffer]) -> Result<(Vec<Buffer>, f64)> {
+    match runner {
+        Runner::Cpu(exec) => {
+            let schedule = mdh_default_schedule(prog, DeviceKind::Cpu, exec.threads);
+            let t0 = Instant::now();
+            let outs = exec.run(prog, &schedule, inputs)?;
+            Ok((outs, t0.elapsed().as_secs_f64() * 1e3))
+        }
+        Runner::Gpu(sim) => {
+            let units = sim.params.num_sms * 32;
+            let schedule = mdh_default_schedule(prog, DeviceKind::Gpu, units);
+            let (outs, report) = sim.run(prog, &schedule, inputs)?;
+            Ok((outs, report.time_ms))
+        }
+    }
+}
+
+/// Bytes of input a device needs for its shard: the footprint of the
+/// *original* program's input accesses over the shard's global range
+/// (falling back to the whole buffer when the footprint is unknown).
+fn shard_input_bytes(prog: &DslProgram, range: &MdRange, inputs: &[Buffer]) -> usize {
+    (0..prog.inp_view.buffers.len())
+        .map(|b| {
+            prog.inp_view
+                .footprint_bytes(b, range)
+                .or_else(|| inputs.get(b).map(|buf| buf.size_bytes()))
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+fn output_bytes(outputs: &[Buffer]) -> usize {
+    outputs.iter().map(|b| b.size_bytes()).sum()
+}
+
+/// Final D2H: where does the result end up on the host?
+fn d2h_cost(
+    host: &LinkParams,
+    topology: CombineTopology,
+    strategy: Option<PartitionStrategy>,
+    n: usize,
+    out_bytes: usize,
+    host_memory: bool,
+) -> f64 {
+    if host_memory {
+        return 0.0;
+    }
+    match strategy {
+        // disjoint regions: each shard downloads its own slice (the
+        // gather IS the recombination for cc)
+        Some(PartitionStrategy::Concat) if n > 1 => {
+            n as f64 * transfer_ms(host, out_bytes / n.max(1))
+        }
+        // host-side gather already delivered the partials to the host
+        Some(PartitionStrategy::Reduce) if topology == CombineTopology::HostGather && n > 1 => 0.0,
+        // scan: every shard's locally-finalised region comes down
+        Some(PartitionStrategy::Scan) if n > 1 => n as f64 * transfer_ms(host, out_bytes / n),
+        // reduced on-device (serial/tree) or unpartitioned: one download
+        _ => transfer_ms(host, out_bytes),
+    }
+}
+
+// ---------------------------------------------------------------------
+// functional recombination
+// ---------------------------------------------------------------------
+
+/// Fold per-shard partial outputs into the final result, in shard-index
+/// order, through the original program's combine operators.
+fn recombine(
+    prog: &DslProgram,
+    plan: &PartitionPlan,
+    mut shard_outs: Vec<Vec<Buffer>>,
+) -> Result<Vec<Buffer>> {
+    let mut acc = shard_outs.remove(0);
+    let Some((d, strategy)) = plan.partition else {
+        return Ok(acc);
+    };
+    if shard_outs.is_empty() {
+        return Ok(acc);
+    }
+    match strategy {
+        PartitionStrategy::Concat => {
+            for (s, outs) in shard_outs.into_iter().enumerate() {
+                let range = pinned_range(prog, &plan.shards[s + 1].range, None);
+                copy_region(prog, &mut acc, &outs, &range)?;
+            }
+        }
+        PartitionStrategy::Reduce => {
+            let f = prog.md_hom.combine_ops[d]
+                .pw_func()
+                .expect("Reduce strategy implies a pw operator")
+                .clone();
+            // iterate the written positions once: all collapsed dims
+            // (including d) pinned, preserved dims over the full range
+            let range = pinned_range(prog, &prog.md_hom.full_range(), Some(d));
+            for outs in shard_outs {
+                for idx in range.iter() {
+                    let Some(positions) = out_positions(prog, &idx) else {
+                        continue;
+                    };
+                    let lhs = read_tuple(&acc, &positions);
+                    let rhs = read_tuple(&outs, &positions);
+                    let combined = f.combine(&lhs, &rhs)?;
+                    write_tuple(&mut acc, &positions, &combined)?;
+                }
+            }
+        }
+        PartitionStrategy::Scan => {
+            let f = prog.md_hom.combine_ops[d]
+                .pw_func()
+                .expect("Scan strategy implies a ps operator")
+                .clone();
+            // Listing 17: res[j in Q] = cf(lhs[last of P], rhs[j]).
+            // Shards are chained in order; each shard's region is updated
+            // with the carry read from the already-final previous region.
+            for (s, outs) in shard_outs.into_iter().enumerate() {
+                let shard_range = &plan.shards[s + 1].range;
+                let range = pinned_range(prog, shard_range, None);
+                let carry_d = shard_range.lo[d] - 1;
+                for idx in range.iter() {
+                    let Some(positions) = out_positions(prog, &idx) else {
+                        continue;
+                    };
+                    let mut carry_idx = idx.clone();
+                    carry_idx[d] = carry_d;
+                    let Some(carry_pos) = out_positions(prog, &carry_idx) else {
+                        continue;
+                    };
+                    let lhs = read_tuple(&acc, &carry_pos);
+                    let rhs = read_tuple(&outs, &positions);
+                    let combined = f.combine(&lhs, &rhs)?;
+                    write_tuple(&mut acc, &positions, &combined)?;
+                }
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// Restrict `range` to the positions `write_outputs` actually touches:
+/// collapsed dimensions contribute a single index (their global lo);
+/// `extra_collapse` additionally pins that dimension (the Reduce split
+/// dim, collapsed by definition).
+fn pinned_range(prog: &DslProgram, range: &MdRange, extra_collapse: Option<usize>) -> MdRange {
+    let mut r = range.clone();
+    for (dim, op) in prog.md_hom.combine_ops.iter().enumerate() {
+        if op.behavior() == DimBehavior::Collapse || extra_collapse == Some(dim) {
+            r.hi[dim] = r.lo[dim] + 1;
+        }
+    }
+    r
+}
+
+/// Buffer position written by each out access at iteration point `idx`;
+/// `None` skips points whose access lands out of bounds (never written).
+fn out_positions(prog: &DslProgram, idx: &[usize]) -> Option<Vec<(usize, Vec<usize>)>> {
+    prog.out_view
+        .accesses
+        .iter()
+        .map(|a| a.index_fn.eval(idx).map(|pos| (a.buffer, pos)))
+        .collect()
+}
+
+fn read_tuple(bufs: &[Buffer], positions: &[(usize, Vec<usize>)]) -> Tuple {
+    positions.iter().map(|(b, pos)| bufs[*b].get(pos)).collect()
+}
+
+fn write_tuple(
+    bufs: &mut [Buffer],
+    positions: &[(usize, Vec<usize>)],
+    values: &Tuple,
+) -> Result<()> {
+    for ((b, pos), v) in positions.iter().zip(values) {
+        bufs[*b].set(pos, v)?;
+    }
+    Ok(())
+}
+
+fn copy_region(
+    prog: &DslProgram,
+    acc: &mut [Buffer],
+    outs: &[Buffer],
+    range: &MdRange,
+) -> Result<()> {
+    for idx in range.iter() {
+        let Some(positions) = out_positions(prog, &idx) else {
+            continue;
+        };
+        let values = read_tuple(outs, &positions);
+        write_tuple(acc, &positions, &values)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceSpec, PoolConfig};
+    use mdh_core::combine::CombineOp;
+    use mdh_core::dsl::DslBuilder;
+    use mdh_core::expr::ScalarFunction;
+    use mdh_core::index_fn::{AffineExpr, IndexFn};
+    use mdh_core::shape::Shape;
+    use mdh_core::types::{BasicType, ScalarKind};
+
+    /// Integer-valued fill: exact in f32/f64, so every reassociation of
+    /// an add/mul reduction agrees bitwise.
+    fn int_fill(buf: &mut Buffer) {
+        buf.fill_with(|i| ((i.wrapping_mul(2654435761)) % 16) as f64 - 8.0);
+    }
+
+    fn matvec(i: usize, k: usize) -> DslProgram {
+        DslBuilder::new("matvec", vec![i, k])
+            .out_buffer("w", BasicType::F32)
+            .out_access("w", IndexFn::select(2, &[0]))
+            .inp_buffer("M", BasicType::F32)
+            .inp_access("M", IndexFn::identity(2, 2))
+            .inp_buffer("v", BasicType::F32)
+            .inp_access("v", IndexFn::select(2, &[1]))
+            .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::cc(), CombineOp::pw_add()])
+            .build()
+            .unwrap()
+    }
+
+    fn matvec_inputs(i: usize, k: usize) -> Vec<Buffer> {
+        let mut m = Buffer::zeros("M", BasicType::F32, Shape::new(vec![i, k]));
+        let mut v = Buffer::zeros("v", BasicType::F32, Shape::new(vec![k]));
+        int_fill(&mut m);
+        int_fill(&mut v);
+        vec![m, v]
+    }
+
+    fn single_device(prog: &DslProgram, inputs: &[Buffer]) -> Vec<Buffer> {
+        let exec = CpuExecutor::new(1).unwrap();
+        let schedule = mdh_default_schedule(prog, DeviceKind::Cpu, 1);
+        exec.run(prog, &schedule, inputs).unwrap()
+    }
+
+    #[test]
+    fn multi_gpu_matches_single_device_cc() {
+        let prog = matvec(13, 37);
+        let inputs = matvec_inputs(13, 37);
+        let reference = single_device(&prog, &inputs);
+        for n in [2usize, 3, 4] {
+            let dist = DistExecutor::new(DevicePool::gpus(n)).unwrap();
+            let (outs, report) = dist.run(&prog, &inputs).unwrap();
+            assert_eq!(outs, reference, "n={n}");
+            assert_eq!(report.strategy, Some(PartitionStrategy::Concat));
+            assert_eq!(report.shards, n);
+        }
+    }
+
+    #[test]
+    fn dot_reduction_partitions_and_matches() {
+        let prog = DslBuilder::new("dot", vec![101])
+            .out_buffer("res", BasicType::F32)
+            .out_access("res", IndexFn::affine(vec![AffineExpr::constant(1, 0)]))
+            .inp_buffer("x", BasicType::F32)
+            .inp_access("x", IndexFn::identity(1, 1))
+            .inp_buffer("y", BasicType::F32)
+            .inp_access("y", IndexFn::identity(1, 1))
+            .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::pw_add()])
+            .build()
+            .unwrap();
+        let mut x = Buffer::zeros("x", BasicType::F32, Shape::new(vec![101]));
+        let mut y = Buffer::zeros("y", BasicType::F32, Shape::new(vec![101]));
+        int_fill(&mut x);
+        int_fill(&mut y);
+        let inputs = vec![x, y];
+        let reference = single_device(&prog, &inputs);
+        for n in [2usize, 4, 8] {
+            let dist = DistExecutor::new(DevicePool::gpus(n)).unwrap();
+            let (outs, report) = dist.run(&prog, &inputs).unwrap();
+            assert_eq!(outs, reference, "n={n}");
+            assert_eq!(report.strategy, Some(PartitionStrategy::Reduce));
+            assert!(report.combine.steps > 0, "combine tree must be costed");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_pool_matches() {
+        let prog = matvec(9, 21);
+        let inputs = matvec_inputs(9, 21);
+        let reference = single_device(&prog, &inputs);
+        let pool = DevicePool::new(
+            vec![
+                DeviceSpec::gpu_a100(),
+                DeviceSpec::cpu(2),
+                DeviceSpec::gpu_a100(),
+            ],
+            PoolConfig::default(),
+        );
+        let dist = DistExecutor::new(pool).unwrap();
+        let (outs, report) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(outs, reference);
+        assert_eq!(report.per_shard[1].device, "cpu1");
+        assert_eq!(report.per_shard[1].h2d_ms, 0.0, "CPU shards skip H2D");
+    }
+
+    #[test]
+    fn scan_chain_matches() {
+        let prog = DslBuilder::new("psum", vec![23])
+            .out_buffer("out", BasicType::F64)
+            .out_access("out", IndexFn::identity(1, 1))
+            .inp_buffer("x", BasicType::F64)
+            .inp_access("x", IndexFn::identity(1, 1))
+            .scalar_function(ScalarFunction::identity("id", ScalarKind::F64))
+            .combine_ops(vec![CombineOp::ps_add()])
+            .build()
+            .unwrap();
+        let mut x = Buffer::zeros("x", BasicType::F64, Shape::new(vec![23]));
+        int_fill(&mut x);
+        let inputs = vec![x];
+        let reference = single_device(&prog, &inputs);
+        for n in [2usize, 3, 5] {
+            let dist = DistExecutor::new(DevicePool::gpus(n)).unwrap();
+            let (outs, report) = dist.run(&prog, &inputs).unwrap();
+            assert_eq!(outs, reference, "n={n}");
+            assert_eq!(report.strategy, Some(PartitionStrategy::Scan));
+        }
+    }
+
+    #[test]
+    fn degenerate_single_device_pool() {
+        let prog = matvec(5, 5);
+        let inputs = matvec_inputs(5, 5);
+        let dist = DistExecutor::new(DevicePool::gpus(1)).unwrap();
+        let (outs, report) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(outs, single_device(&prog, &inputs));
+        assert_eq!(report.shards, 1);
+        assert_eq!(report.combine, CombineCost::ZERO);
+        assert!(report.total_ms > 0.0);
+    }
+
+    #[test]
+    fn overlap_shortens_cold_launch() {
+        // uneven split (10 rows over 4 devices → 3,3,2,2): the bigger
+        // early shards' compute hides behind the later shards' uploads
+        let prog = matvec(10, 4096);
+        let inputs = matvec_inputs(10, 4096);
+        let overlapped = DistExecutor::new(DevicePool::gpus(4)).unwrap();
+        let fenced = DistExecutor::new(DevicePool::gpus(4).with_overlap(false)).unwrap();
+        let (_, r_overlap) = overlapped.run(&prog, &inputs).unwrap();
+        let (_, r_fenced) = fenced.run(&prog, &inputs).unwrap();
+        // modelled H2D is identical; the overlapped phase hides part of it
+        assert!(r_overlap.upload_exec_ms < r_fenced.upload_exec_ms);
+        assert!((r_overlap.h2d_ms - r_fenced.h2d_ms).abs() < 1e-9);
+        assert!(r_overlap.h2d_ms > 0.0);
+    }
+
+    #[test]
+    fn estimate_matches_run_timing_without_executing() {
+        let prog = matvec(24, 96);
+        let inputs = matvec_inputs(24, 96);
+        let dist = DistExecutor::new(DevicePool::gpus(4)).unwrap();
+        let (_, ran) = dist.run(&prog, &inputs).unwrap();
+        let est = dist.estimate(&prog, &inputs).unwrap();
+        // GPU execution time is analytic in both paths, so the modelled
+        // launch must agree exactly
+        assert_eq!(est.hot_ms, ran.hot_ms);
+        assert_eq!(est.total_ms, ran.total_ms);
+        assert_eq!(est.h2d_ms, ran.h2d_ms);
+        assert_eq!(est.shards, ran.shards);
+    }
+
+    #[test]
+    fn estimate_rejects_cpu_devices() {
+        let prog = matvec(8, 8);
+        let inputs = matvec_inputs(8, 8);
+        let pool = DevicePool::new(
+            vec![DeviceSpec::gpu_a100(), DeviceSpec::cpu(1)],
+            PoolConfig::default(),
+        );
+        let dist = DistExecutor::new(pool).unwrap();
+        assert!(dist.estimate(&prog, &inputs).is_err());
+    }
+
+    #[test]
+    fn report_displays_combine_costs() {
+        let prog = matvec(64, 64);
+        let inputs = matvec_inputs(64, 64);
+        let dist = DistExecutor::new(DevicePool::gpus(4)).unwrap();
+        let (_, report) = dist.run(&prog, &inputs).unwrap();
+        let s = report.to_string();
+        assert!(s.contains("devices=4"), "{s}");
+        assert!(s.contains("combine="), "{s}");
+    }
+}

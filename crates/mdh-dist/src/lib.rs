@@ -1,0 +1,33 @@
+//! # mdh-dist
+//!
+//! Reduction-aware multi-device execution. The MDH homomorphism laws
+//! guarantee that any decomposition of the index space — including a
+//! split across *devices* — recombines correctly through the
+//! per-dimension combine operators. This crate turns that guarantee into
+//! an executor:
+//!
+//! * [`device`] — [`device::DevicePool`]s of simulated GPUs and CPU
+//!   executors, with host/peer link and topology configuration;
+//! * [`topology`] — combine-topology cost model (serial chain vs binary
+//!   tree vs host-side gather) over the `transfer::LinkParams` links;
+//! * [`exec`] — [`exec::DistExecutor`]: partitions a program's outermost
+//!   shardable dimension with `mdh_lowering::partition::PartitionPlan`,
+//!   runs the shards concurrently, recombines partials in shard order
+//!   through `cc`/`pw(f)`/`ps(f)`, and models upload/execute/combine/
+//!   download time with transfer–compute overlap.
+//!
+//! Concatenation-partitioned dimensions shard disjoint output regions
+//! (recombination is a gather); reduction- and scan-partitioned
+//! dimensions produce *partial* outputs that flow through the combine
+//! tree with modelled link cost. Programs with no shardable dimension
+//! degrade gracefully to single-device execution.
+
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::too_many_arguments)]
+pub mod device;
+pub mod exec;
+pub mod topology;
+
+pub use device::{DevicePool, DeviceSpec, PoolConfig};
+pub use exec::{DistExecutor, DistReport, ShardReport};
+pub use topology::{combine_cost, CombineCost, CombineTopology};

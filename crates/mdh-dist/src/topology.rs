@@ -1,0 +1,322 @@
+//! Combine-topology cost model.
+//!
+//! After the parallel shard phase, per-device partial results must be
+//! recombined through the partition dimension's combine operator. The
+//! *value* of the recombination is fixed by the MDH laws (any associative
+//! grouping agrees); the *cost* depends on how partials move between
+//! devices. Three topologies are modelled:
+//!
+//! * [`CombineTopology::Serial`] — device 0 folds in each partner in
+//!   turn: `N−1` sequential (peer transfer + combine pass) steps.
+//! * [`CombineTopology::Tree`] — pairwise binary tree: `⌈log2 N⌉` levels,
+//!   each level's transfers and passes run in parallel.
+//! * [`CombineTopology::HostGather`] — every device ships its partial to
+//!   the host over the (shared, serialising) host link and the host folds
+//!   them; no peer traffic, no final D2H.
+//!
+//! Strategy overrides: `Concat` shards own disjoint output regions, so
+//! "recombination" is just the gather of those regions (no combine
+//! arithmetic, handled as D2H by the executor); `Scan` carries are
+//! inherently ordered, so the chain is serial whatever topology was
+//! configured.
+
+use mdh_backend::transfer::{transfer_ms, LinkParams};
+use mdh_lowering::partition::PartitionStrategy;
+
+/// Sustained host-memory bandwidth assumed for host-side combine folds
+/// (a memcpy-like streaming pass on a server-class CPU).
+pub const HOST_COMBINE_BW_GIB_S: f64 = 50.0;
+
+/// Fixed per-step overhead (kernel launch / driver round-trip) in ms.
+const STEP_OVERHEAD_MS: f64 = 0.005;
+
+/// How per-device partial results are recombined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CombineTopology {
+    Serial,
+    Tree,
+    HostGather,
+}
+
+impl CombineTopology {
+    pub fn parse(s: &str) -> Option<CombineTopology> {
+        match s {
+            "serial" => Some(CombineTopology::Serial),
+            "tree" => Some(CombineTopology::Tree),
+            "host" | "host-gather" | "gather" => Some(CombineTopology::HostGather),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CombineTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CombineTopology::Serial => f.write_str("serial"),
+            CombineTopology::Tree => f.write_str("tree"),
+            CombineTopology::HostGather => f.write_str("host-gather"),
+        }
+    }
+}
+
+/// Modelled cost of one recombination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CombineCost {
+    /// Critical-path length in combine steps (0 when nothing to combine).
+    pub steps: usize,
+    /// Link time on the critical path.
+    pub transfer_ms: f64,
+    /// Combine-pass compute time on the critical path.
+    pub compute_ms: f64,
+}
+
+impl CombineCost {
+    pub const ZERO: CombineCost = CombineCost {
+        steps: 0,
+        transfer_ms: 0.0,
+        compute_ms: 0.0,
+    };
+
+    pub fn total_ms(&self) -> f64 {
+        self.transfer_ms + self.compute_ms
+    }
+}
+
+/// One element-wise combine pass over `bytes` of partials: read both
+/// operands, write the result (3 streams), plus launch overhead.
+fn pass_ms(bytes: usize, bw_gib_s: f64) -> f64 {
+    STEP_OVERHEAD_MS + 3.0 * bytes as f64 / (bw_gib_s * (1u64 << 30) as f64) * 1e3
+}
+
+/// Cost of recombining `n` partials of `out_bytes` each.
+///
+/// `host_memory` pools (CPU-only) exchange nothing over links; their
+/// combine cost is pure compute. `Concat` returns zero — the gather is
+/// modelled as D2H traffic by the executor, not as a combine.
+pub fn combine_cost(
+    topology: CombineTopology,
+    strategy: Option<PartitionStrategy>,
+    n: usize,
+    out_bytes: usize,
+    host_link: &LinkParams,
+    peer_link: &LinkParams,
+    combine_bw_gib_s: f64,
+    host_memory: bool,
+) -> CombineCost {
+    let Some(strategy) = strategy else {
+        return CombineCost::ZERO;
+    };
+    if n <= 1 {
+        return CombineCost::ZERO;
+    }
+    let link = |l: &LinkParams, bytes: usize| {
+        if host_memory {
+            0.0
+        } else {
+            transfer_ms(l, bytes)
+        }
+    };
+    match strategy {
+        // disjoint regions: the executor models the gather as D2H
+        PartitionStrategy::Concat => CombineCost::ZERO,
+        // ordered carry chain over per-shard regions, serial by nature
+        PartitionStrategy::Scan => {
+            let region = out_bytes / n;
+            let steps = n - 1;
+            CombineCost {
+                steps,
+                transfer_ms: steps as f64 * link(peer_link, region),
+                compute_ms: steps as f64 * pass_ms(region, combine_bw_gib_s),
+            }
+        }
+        PartitionStrategy::Reduce => match topology {
+            CombineTopology::Serial => {
+                let steps = n - 1;
+                CombineCost {
+                    steps,
+                    transfer_ms: steps as f64 * link(peer_link, out_bytes),
+                    compute_ms: steps as f64 * pass_ms(out_bytes, combine_bw_gib_s),
+                }
+            }
+            CombineTopology::Tree => {
+                let levels = (n as f64).log2().ceil() as usize;
+                CombineCost {
+                    steps: levels,
+                    transfer_ms: levels as f64 * link(peer_link, out_bytes),
+                    compute_ms: levels as f64 * pass_ms(out_bytes, combine_bw_gib_s),
+                }
+            }
+            CombineTopology::HostGather => {
+                // shared host link serialises the N partial downloads;
+                // the host then folds N-1 times at host bandwidth
+                let folds = n - 1;
+                CombineCost {
+                    steps: folds,
+                    transfer_ms: n as f64 * link(host_link, out_bytes),
+                    compute_ms: folds as f64 * pass_ms(out_bytes, HOST_COMBINE_BW_GIB_S),
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn links() -> (LinkParams, LinkParams) {
+        (LinkParams::pcie4_x16(), LinkParams::nvlink3())
+    }
+
+    #[test]
+    fn tree_beats_serial_at_scale() {
+        let (host, peer) = links();
+        let bytes = 256 << 20;
+        for n in [4usize, 8, 16] {
+            let serial = combine_cost(
+                CombineTopology::Serial,
+                Some(PartitionStrategy::Reduce),
+                n,
+                bytes,
+                &host,
+                &peer,
+                1555.0,
+                false,
+            );
+            let tree = combine_cost(
+                CombineTopology::Tree,
+                Some(PartitionStrategy::Reduce),
+                n,
+                bytes,
+                &host,
+                &peer,
+                1555.0,
+                false,
+            );
+            assert!(tree.total_ms() < serial.total_ms(), "n={n}");
+            assert_eq!(tree.steps, (n as f64).log2().ceil() as usize);
+            assert_eq!(serial.steps, n - 1);
+        }
+    }
+
+    #[test]
+    fn host_gather_pays_the_slow_link() {
+        let (host, peer) = links();
+        let bytes = 64 << 20;
+        let gather = combine_cost(
+            CombineTopology::HostGather,
+            Some(PartitionStrategy::Reduce),
+            4,
+            bytes,
+            &host,
+            &peer,
+            1555.0,
+            false,
+        );
+        let tree = combine_cost(
+            CombineTopology::Tree,
+            Some(PartitionStrategy::Reduce),
+            4,
+            bytes,
+            &host,
+            &peer,
+            1555.0,
+            false,
+        );
+        assert!(gather.transfer_ms > tree.transfer_ms);
+    }
+
+    #[test]
+    fn concat_and_degenerate_cost_nothing() {
+        let (host, peer) = links();
+        let c = combine_cost(
+            CombineTopology::Tree,
+            Some(PartitionStrategy::Concat),
+            8,
+            1 << 30,
+            &host,
+            &peer,
+            1555.0,
+            false,
+        );
+        assert_eq!(c, CombineCost::ZERO);
+        let d = combine_cost(
+            CombineTopology::Tree,
+            None,
+            8,
+            1 << 30,
+            &host,
+            &peer,
+            1555.0,
+            false,
+        );
+        assert_eq!(d, CombineCost::ZERO);
+        let one = combine_cost(
+            CombineTopology::Serial,
+            Some(PartitionStrategy::Reduce),
+            1,
+            1 << 30,
+            &host,
+            &peer,
+            1555.0,
+            false,
+        );
+        assert_eq!(one, CombineCost::ZERO);
+    }
+
+    #[test]
+    fn scan_is_serial_whatever_the_topology() {
+        let (host, peer) = links();
+        let a = combine_cost(
+            CombineTopology::Tree,
+            Some(PartitionStrategy::Scan),
+            8,
+            64 << 20,
+            &host,
+            &peer,
+            1555.0,
+            false,
+        );
+        let b = combine_cost(
+            CombineTopology::Serial,
+            Some(PartitionStrategy::Scan),
+            8,
+            64 << 20,
+            &host,
+            &peer,
+            1555.0,
+            false,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.steps, 7);
+    }
+
+    #[test]
+    fn host_memory_pools_skip_link_traffic() {
+        let (host, peer) = links();
+        let c = combine_cost(
+            CombineTopology::Tree,
+            Some(PartitionStrategy::Reduce),
+            4,
+            64 << 20,
+            &host,
+            &peer,
+            HOST_COMBINE_BW_GIB_S,
+            true,
+        );
+        assert_eq!(c.transfer_ms, 0.0);
+        assert!(c.compute_ms > 0.0);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for t in [
+            CombineTopology::Serial,
+            CombineTopology::Tree,
+            CombineTopology::HostGather,
+        ] {
+            assert_eq!(CombineTopology::parse(&t.to_string()), Some(t));
+        }
+        assert_eq!(CombineTopology::parse("ring"), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! Multi-device vs single-device bit-identity across the full
+//! `mdh-apps` Fig. 3 registry.
+//!
+//! Scalar float inputs are re-filled with small integer values so that
+//! reduction-partitioned dimensions (whose partials are reassociated
+//! across devices) stay exact; record inputs are left as instantiated —
+//! record apps combine by *selection* (e.g. argmax), which involves no
+//! arithmetic and is exact for any values. Apps with no shardable
+//! dimension degrade to one shard and must still match trivially.
+
+use mdh_apps::{all_fig3, Scale};
+use mdh_core::buffer::{Buffer, BufferData};
+use mdh_dist::{DevicePool, DistExecutor};
+
+fn exactify(inputs: &mut [Buffer]) {
+    for (salt, buf) in inputs.iter_mut().enumerate() {
+        if matches!(buf.data, BufferData::Record(_)) {
+            continue;
+        }
+        buf.fill_with(move |i| ((i.wrapping_add(salt).wrapping_mul(2654435761)) % 16) as f64 - 8.0);
+    }
+}
+
+#[test]
+fn registry_apps_are_bit_identical_across_device_counts() {
+    let apps = all_fig3(Scale::Small).expect("registry instantiates");
+    assert!(!apps.is_empty());
+    let mut partitioned = 0usize;
+    for app in &apps {
+        let mut inputs = app.inputs.clone();
+        exactify(&mut inputs);
+        let single = DistExecutor::new(DevicePool::gpus(1)).unwrap();
+        let (reference, _) = single
+            .run(&app.program, &inputs)
+            .unwrap_or_else(|e| panic!("{} single-device run: {e}", app.name));
+        for n in [2usize, 4] {
+            let dist = DistExecutor::new(DevicePool::gpus(n)).unwrap();
+            let (outs, report) = dist
+                .run(&app.program, &inputs)
+                .unwrap_or_else(|e| panic!("{} {n}-device run: {e}", app.name));
+            assert_eq!(
+                outs, reference,
+                "{} (input {}) diverged at {n} devices",
+                app.name, app.input_no
+            );
+            if n == 4 && report.shards > 1 {
+                partitioned += 1;
+            }
+        }
+    }
+    assert!(
+        partitioned >= apps.len() / 2,
+        "only {partitioned}/{} registry apps partitioned — the shard \
+         chooser regressed",
+        apps.len()
+    );
+}

@@ -24,6 +24,7 @@ use mdh_backend::transfer::{DeviceDataRegion, LinkParams};
 use mdh_core::buffer::Buffer;
 use mdh_core::dsl::DslProgram;
 use mdh_core::error::{MdhError, Result};
+use mdh_dist::{DevicePool, DistExecutor};
 use mdh_lowering::asm::DeviceKind;
 use mdh_lowering::heuristics::mdh_default_schedule;
 use mdh_lowering::plan::ExecutionPlan;
@@ -50,6 +51,11 @@ pub struct RuntimeConfig {
     pub tune: TunePolicy,
     /// Load/persist tuned schedules here (shared with `mdhc tune`).
     pub tuning_cache_path: Option<PathBuf>,
+    /// Simulated devices serving GPU requests. With `devices > 1`, GPU
+    /// launches are partitioned across an `mdh-dist` pool of identical
+    /// A100s and recombined through the program's combine operators;
+    /// with 1 (the default) they run on the single simulator.
+    pub devices: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -64,6 +70,7 @@ impl Default for RuntimeConfig {
             max_batch: 16,
             tune: TunePolicy::default(),
             tuning_cache_path: None,
+            devices: 1,
         }
     }
 }
@@ -133,6 +140,8 @@ struct Counters {
     max_batch: usize,
     tunes_done: u64,
     latency: LatencyRecorder,
+    /// Shard executions per pool device (indexed like the pool).
+    device_dispatches: Vec<u64>,
 }
 
 struct Shared {
@@ -146,6 +155,8 @@ struct Shared {
     residency: Mutex<HashMap<PlanKey, DeviceDataRegion>>,
     exec: CpuExecutor,
     sim: GpuSim,
+    /// Multi-device pool serving GPU requests when `config.devices > 1`.
+    dist: Option<DistExecutor>,
     tune_tx: Mutex<Option<mpsc::Sender<TuneJob>>>,
     tunes_in_flight: Mutex<HashSet<PlanKey>>,
 }
@@ -162,6 +173,11 @@ impl Runtime {
     pub fn new(config: RuntimeConfig) -> Result<Runtime> {
         let exec = CpuExecutor::new(config.exec_threads.max(1))?;
         let sim = GpuSim::a100(config.exec_threads.max(1))?;
+        let dist = if config.devices > 1 {
+            Some(DistExecutor::new(DevicePool::gpus(config.devices))?)
+        } else {
+            None
+        };
         let tuning = Arc::new(Mutex::new(match &config.tuning_cache_path {
             Some(p) => TuningCache::load_or_rebuild(p),
             None => TuningCache::new(),
@@ -176,6 +192,7 @@ impl Runtime {
             residency: Mutex::new(HashMap::new()),
             exec,
             sim,
+            dist,
             tune_tx: Mutex::new(Some(tune_tx)),
             tunes_in_flight: Mutex::new(HashSet::new()),
             config,
@@ -243,6 +260,21 @@ impl Runtime {
             latency_p50_ms: c.latency.percentile(50.0),
             latency_p99_ms: c.latency.percentile(99.0),
             latency_mean_ms: c.latency.mean(),
+            device_dispatches: match &self.shared.dist {
+                Some(d) => d
+                    .pool()
+                    .devices
+                    .iter()
+                    .enumerate()
+                    .map(|(i, dev)| {
+                        (
+                            dev.label(i),
+                            c.device_dispatches.get(i).copied().unwrap_or(0),
+                        )
+                    })
+                    .collect(),
+                None => Vec::new(),
+            },
         }
     }
 
@@ -459,6 +491,26 @@ fn execute_one(
                 &job.req.inputs,
             )?;
             (out, t0.elapsed().as_secs_f64() * 1e3, 0.0)
+        }
+        // `devices > 1`: the cached plan keyed the lookup (and drives
+        // background tuning), but execution goes through the pool, which
+        // re-partitions and schedules each shard on its own device
+        DeviceKind::Gpu if shared.dist.is_some() => {
+            let dist = shared.dist.as_ref().expect("dist pool");
+            let (out, report) = dist.run(&job.req.prog, &job.req.inputs)?;
+            {
+                let mut c = shared.counters.lock().expect("counters lock");
+                if c.device_dispatches.len() < dist.devices() {
+                    c.device_dispatches.resize(dist.devices(), 0);
+                }
+                for s in &report.per_shard {
+                    c.device_dispatches[s.shard] += 1;
+                }
+            }
+            // steady-state per-launch time (exec + combine + D2H); the
+            // one-time upload is reported as transfer, matching the
+            // single-device residency convention on a cold region
+            (out, report.hot_ms, report.h2d_ms)
         }
         DeviceKind::Gpu => {
             let transfer_ms = {

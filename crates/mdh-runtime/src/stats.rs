@@ -73,6 +73,11 @@ pub struct RuntimeStats {
     pub latency_p50_ms: f64,
     pub latency_p99_ms: f64,
     pub latency_mean_ms: f64,
+    /// Shard executions dispatched to each device of the pool, labelled
+    /// (`gpu0`, `cpu1`, ...). Empty when the runtime serves GPU requests
+    /// on a single device; CPU-device requests run on the shared host
+    /// executor and are not pool dispatches.
+    pub device_dispatches: Vec<(String, u64)>,
 }
 
 impl RuntimeStats {
@@ -117,7 +122,14 @@ impl std::fmt::Display for RuntimeStats {
             self.latency_p50_ms,
             self.latency_p99_ms,
             self.latency_mean_ms,
-        )
+        )?;
+        if !self.device_dispatches.is_empty() {
+            write!(f, "; dispatch:")?;
+            for (label, n) in &self.device_dispatches {
+                write!(f, " {label}={n}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -144,6 +156,15 @@ mod tests {
         assert_eq!(r.percentile(99.0), 0.0);
         assert_eq!(r.mean(), 0.0);
         assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn display_includes_device_dispatches() {
+        let mut s = RuntimeStats::default();
+        assert!(!s.to_string().contains("dispatch:"));
+        s.device_dispatches = vec![("gpu0".into(), 7), ("gpu1".into(), 7)];
+        let line = s.to_string();
+        assert!(line.contains("dispatch: gpu0=7 gpu1=7"), "{line}");
     }
 
     #[test]

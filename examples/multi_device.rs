@@ -1,0 +1,150 @@
+//! Multi-device partitioned execution: scaling, combine topologies, and
+//! cross-device bit-identity.
+//!
+//! Three Fig. 3 case studies — MatMul (a `cc`-partitioned contraction),
+//! Dot (a reduction-heavy kernel whose partials flow through the
+//! combine tree), and the Jacobi_3D stencil — run on simulated device
+//! pools of 1/2/4/8 A100s. For each pool size the example prints the
+//! modelled timing breakdown (upload, execution, combine tree, download)
+//! plus the hot-launch speedup over one device, then checks that every
+//! pool produces *bit-identical* outputs and prints an FNV-1a hash of
+//! the result bytes.
+//!
+//! The `output-hash` lines are deterministic (inputs are integer-valued,
+//! the fold order is fixed, and the timing model is analytic) — CI runs
+//! this example twice and diffs them as a determinism smoke test.
+//!
+//! Run with `cargo run --release --example multi_device` (tiny bounded
+//! sizes, used by CI) or `--example multi_device -- --scale medium` for
+//! sizes where the modelled scaling is visible (launch latency and
+//! per-shard transfer overheads dominate the tiny CI sizes, so speedup
+//! there is < 1 by design).
+
+use mdh::apps::registry::{instantiate, StudyId};
+use mdh::apps::spec::Scale;
+use mdh::core::buffer::{Buffer, BufferData};
+use mdh::dist::{CombineTopology, DevicePool, DeviceSpec, DistExecutor, PoolConfig};
+
+/// Integer-valued refill: exact in f32/f64, so partial-result
+/// reassociation across devices cannot introduce rounding.
+fn exactify(inputs: &mut [Buffer]) {
+    for (salt, buf) in inputs.iter_mut().enumerate() {
+        if matches!(buf.data, BufferData::Record(_)) {
+            continue;
+        }
+        buf.fill_with(move |i| ((i.wrapping_add(salt).wrapping_mul(2654435761)) % 16) as f64 - 8.0);
+    }
+}
+
+/// FNV-1a over the bit patterns of every output element.
+fn output_hash(outputs: &[Buffer]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for buf in outputs {
+        for i in 0..buf.len() {
+            let bits = buf.get_flat(i).as_f64().unwrap_or(f64::NAN).to_bits();
+            for b in bits.to_le_bytes() {
+                mix(b);
+            }
+        }
+    }
+    h
+}
+
+fn main() {
+    let scale = if std::env::args().skip(1).any(|a| a == "medium") {
+        Scale::Medium
+    } else {
+        Scale::Small
+    };
+    println!("=== multi-device partitioned execution ({scale:?} scale) ===\n");
+
+    for name in ["MatMul", "Dot", "Jacobi_3D"] {
+        let mut app = instantiate(StudyId { name, input_no: 1 }, scale).expect("instantiate study");
+        exactify(&mut app.inputs);
+        println!("--- {} ({}) ---", app.name, app.sizes_desc);
+
+        let mut reference: Option<(Vec<Buffer>, f64)> = None;
+        for devices in [1usize, 2, 4, 8] {
+            let dist = DistExecutor::new(DevicePool::gpus(devices)).expect("pool");
+            let (outs, report) = dist.run(&app.program, &app.inputs).expect("run");
+            let (ref_outs, ref_hot) = reference.get_or_insert_with(|| {
+                let hot = report.hot_ms;
+                (outs.clone(), hot)
+            });
+            assert_eq!(
+                &outs, ref_outs,
+                "{name}: {devices}-device result diverged from single-device"
+            );
+            println!("  {report}  speedup(hot)={:.2}x", *ref_hot / report.hot_ms);
+        }
+        let (ref_outs, _) = reference.expect("reference recorded");
+        println!("  output-hash {name} {:#018x}\n", output_hash(&ref_outs));
+    }
+
+    // --- combine topologies on the reduction-heavy kernel ---------------
+    println!("--- combine topologies (Dot, 4 devices) ---");
+    let mut dot = instantiate(
+        StudyId {
+            name: "Dot",
+            input_no: 1,
+        },
+        Scale::Small,
+    )
+    .expect("instantiate Dot");
+    exactify(&mut dot.inputs);
+    let mut hashes = Vec::new();
+    for topo in [
+        CombineTopology::Serial,
+        CombineTopology::Tree,
+        CombineTopology::HostGather,
+    ] {
+        let dist = DistExecutor::new(DevicePool::gpus(4).with_topology(topo)).expect("pool");
+        let (outs, report) = dist.run(&dot.program, &dot.inputs).expect("run");
+        println!(
+            "  {topo:<12} combine={:.4}ms ({} steps: xfer {:.4} + pass {:.4})  hot={:.4}ms",
+            report.combine.total_ms(),
+            report.combine.steps,
+            report.combine.transfer_ms,
+            report.combine.compute_ms,
+            report.hot_ms
+        );
+        hashes.push(output_hash(&outs));
+    }
+    assert!(
+        hashes.windows(2).all(|w| w[0] == w[1]),
+        "topology must never change the value"
+    );
+    println!("  output-hash Dot/topologies {:#018x}\n", hashes[0]);
+
+    // --- heterogeneous pool: 2 GPUs + 1 CPU ------------------------------
+    println!("--- heterogeneous pool (gpu, cpu, gpu) on MatVec ---");
+    let mut mv = instantiate(
+        StudyId {
+            name: "MatVec",
+            input_no: 1,
+        },
+        Scale::Small,
+    )
+    .expect("instantiate MatVec");
+    exactify(&mut mv.inputs);
+    let single = DistExecutor::new(DevicePool::gpus(1)).expect("pool");
+    let (ref_outs, _) = single.run(&mv.program, &mv.inputs).expect("run");
+    let hetero = DistExecutor::new(DevicePool::new(
+        vec![
+            DeviceSpec::gpu_a100(),
+            DeviceSpec::cpu(2),
+            DeviceSpec::gpu_a100(),
+        ],
+        PoolConfig::default(),
+    ))
+    .expect("pool");
+    let (outs, report) = hetero.run(&mv.program, &mv.inputs).expect("run");
+    assert_eq!(outs, ref_outs, "heterogeneous pool diverged");
+    let devices: Vec<String> = report.per_shard.iter().map(|s| s.device.clone()).collect();
+    println!("  shards on {:?}: bit-identical to single device", devices);
+    println!("  output-hash MatVec/hetero {:#018x}", output_hash(&outs));
+}

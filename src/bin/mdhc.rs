@@ -7,7 +7,9 @@
 //! mdhc tune     <file> [-D ...] [--device gpu|cpu] [--budget N] [--cache FILE]
 //! mdhc explain  <file> [-D ...] [--device gpu|cpu] what the lowering does
 //! mdhc serve    <socket> [--threads N] [--workers N] [--batch N] [--budget N]
-//!               [--cache FILE]                     persistent execution service
+//!               [--cache FILE] [--devices N]       persistent execution service
+//!                                                  (--devices N > 1 partitions GPU
+//!                                                  launches across a device pool)
 //! mdhc submit   <file> --socket PATH [-D ...] [--device gpu|cpu] [--count N]
 //!                                                  send launches to a server
 //! ```
@@ -37,7 +39,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mdhc <compile|run|estimate|tune|explain|serve|submit> <file|socket> \
          [-D NAME=VAL]... [--device gpu|cpu] [--threads N] [--budget N] [--cache FILE] \
-         [--workers N] [--batch N] [--socket PATH] [--count N]"
+         [--workers N] [--batch N] [--socket PATH] [--count N] [--devices N]"
     );
     exit(2);
 }
@@ -55,6 +57,7 @@ struct Cli {
     batch: usize,
     socket: Option<PathBuf>,
     count: usize,
+    devices: usize,
 }
 
 fn parse_cli() -> Cli {
@@ -76,6 +79,7 @@ fn parse_cli() -> Cli {
     let mut batch = 16;
     let mut socket = None;
     let mut count = 1;
+    let mut devices = 1;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -144,6 +148,13 @@ fn parse_cli() -> Cli {
                     .unwrap_or_else(|| usage());
                 i += 2;
             }
+            "--devices" => {
+                devices = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage();
@@ -163,6 +174,7 @@ fn parse_cli() -> Cli {
         batch,
         socket,
         count,
+        devices,
     }
 }
 
@@ -281,6 +293,7 @@ fn cmd_serve(cli: &Cli) {
             ..TunePolicy::default()
         },
         tuning_cache_path: cli.cache.clone(),
+        devices: cli.devices.max(1),
         ..RuntimeConfig::default()
     };
     if let Err(e) = mdh::runtime::server::serve(&cli.file, config) {

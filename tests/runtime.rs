@@ -267,3 +267,73 @@ fn bursts_batch_same_signature_requests() {
     );
     assert_eq!(stats.max_batch, max_batch);
 }
+
+/// `devices = N`: GPU launches go through the `mdh-dist` pool. Results
+/// stay bit-identical to the single-device simulator, and the stats
+/// expose per-device dispatch counts (one shard per device per launch
+/// for a partitionable program).
+#[test]
+fn multi_device_serving_is_bit_identical_and_counts_dispatches() {
+    let prog = matvec_prog(32, 64);
+    let inputs = deterministic_inputs(&prog).unwrap();
+    let config = |devices: usize| RuntimeConfig {
+        workers: 2,
+        exec_threads: 2,
+        devices,
+        tune: TunePolicy {
+            enabled: false,
+            ..TunePolicy::default()
+        },
+        ..RuntimeConfig::default()
+    };
+
+    let single = Runtime::new(config(1)).unwrap();
+    let reference = single
+        .submit(Request {
+            prog: prog.clone(),
+            device: DeviceKind::Gpu,
+            inputs: inputs.clone(),
+        })
+        .wait()
+        .expect("single-device launch")
+        .outputs;
+    assert!(
+        single.stats().device_dispatches.is_empty(),
+        "no pool, no dispatch counters"
+    );
+
+    let pooled = Runtime::new(config(4)).unwrap();
+    let launches = 6;
+    let handles: Vec<_> = (0..launches)
+        .map(|_| {
+            pooled.submit(Request {
+                prog: prog.clone(),
+                device: DeviceKind::Gpu,
+                inputs: inputs.clone(),
+            })
+        })
+        .collect();
+    for h in handles {
+        let resp = h.wait().expect("pooled launch");
+        assert_eq!(resp.outputs.len(), reference.len());
+        for (got, want) in resp.outputs.iter().zip(&reference) {
+            assert_eq!(
+                f32_data(got),
+                f32_data(want),
+                "multi-device serving must be bit-identical"
+            );
+        }
+    }
+    let stats = pooled.stats();
+    assert_eq!(stats.completed, launches as u64);
+    assert_eq!(stats.device_dispatches.len(), 4);
+    assert_eq!(stats.device_dispatches[0].0, "gpu0");
+    for (label, n) in &stats.device_dispatches {
+        assert_eq!(
+            *n, launches as u64,
+            "{label} must serve one shard per launch (matvec rows split 4 ways)"
+        );
+    }
+    let line = stats.to_string();
+    assert!(line.contains("dispatch: gpu0="), "{line}");
+}
