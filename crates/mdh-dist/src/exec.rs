@@ -1,5 +1,6 @@
 //! The distributed executor: shard → device dispatch, concurrent
-//! execution, functional recombination, and the pool timing model.
+//! execution, fault injection and recovery, functional recombination,
+//! and the pool timing model.
 //!
 //! Correctness and cost are deliberately separated. The *values* are
 //! produced by really running every shard program (on the CPU executor
@@ -12,6 +13,24 @@
 //! (optionally overlapped with compute), the parallel execution phase,
 //! the combine topology of [`crate::topology`], and the final D2H.
 //!
+//! # Fault injection & recovery
+//!
+//! A [`FaultPlan`] threads a deterministic injector through every
+//! launch. Transient shard failures are retried on the same device with
+//! the capped exponential backoff of [`RetryPolicy`]; a device crash
+//! (injected, or escalation after retries are exhausted) evicts the
+//! device from the executor's health view, and the crashed shard's
+//! *program* — itself a self-contained [`DslProgram`] — is re-planned
+//! with [`PartitionPlan`] across the surviving devices and recombined
+//! into exactly the partial the dead device owed. Already-computed
+//! partials from healthy shards are always preserved: each shard's
+//! partial is independent under every strategy (`cc` regions are
+//! disjoint, `pw`/`ps` partials enter the ordered fold unchanged), so
+//! only the lost work is recomputed, and the recovered launch is
+//! bit-identical to the fault-free one. Slow-link events stretch the
+//! modelled H2D; past the policy timeout the transfer is charged at the
+//! timeout and retried once.
+//!
 //! Two headline times are reported. `total_ms` is the cold single-launch
 //! time including input upload. `hot_ms` is the steady-state per-launch
 //! time with inputs already resident on the devices — the regime the
@@ -19,6 +38,7 @@
 //! amortise across the many launches auto-tuning assumes).
 
 use crate::device::{DevicePool, DeviceSpec};
+use crate::fault::{FaultPlan, FaultStats, RetryPolicy};
 use crate::topology::{combine_cost, CombineCost, CombineTopology};
 use mdh_backend::cpu::CpuExecutor;
 use mdh_backend::gpu::GpuSim;
@@ -31,7 +51,9 @@ use mdh_core::shape::MdRange;
 use mdh_core::types::Tuple;
 use mdh_lowering::asm::DeviceKind;
 use mdh_lowering::heuristics::mdh_default_schedule;
-use mdh_lowering::partition::{PartitionPlan, PartitionStrategy};
+use mdh_lowering::partition::{PartitionOutcome, PartitionPlan, PartitionStrategy};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// What one device did for one launch.
@@ -39,25 +61,42 @@ use std::time::Instant;
 pub struct ShardReport {
     /// Device label (`gpu0`, `cpu1`, ...).
     pub device: String,
+    /// Shard index in the partition plan (recovery re-runs keep the
+    /// crashed shard's index, so several reports may share one).
     pub shard: usize,
+    /// Pool index of the device that actually executed the work.
+    pub device_index: usize,
     /// The shard's global iteration sub-range.
     pub range: MdRange,
     /// Modelled input bytes uploaded to this device.
     pub h2d_bytes: usize,
     pub h2d_ms: f64,
-    /// Execution time: analytic for GPU devices, wall-clock for CPU.
+    /// Execution time: analytic for GPU devices, wall-clock for CPU;
+    /// includes modelled retry backoff.
     pub exec_ms: f64,
+    /// Transient retries this shard needed on its device.
+    pub retries: u32,
 }
 
 /// Timing breakdown of one distributed launch.
 #[derive(Debug, Clone)]
 pub struct DistReport {
+    /// Configured pool size (including evicted devices).
     pub devices: usize,
+    /// Devices still healthy after this launch.
+    pub devices_alive: usize,
     pub shards: usize,
     pub partition_dim: Option<usize>,
     pub strategy: Option<PartitionStrategy>,
+    /// Why the plan did (not) partition — the PR 2 silent single-shard
+    /// fallback, now typed and reported.
+    pub outcome: PartitionOutcome,
     pub topology: CombineTopology,
     pub per_shard: Vec<ShardReport>,
+    /// Faults injected and recovered from during this launch.
+    pub faults: FaultStats,
+    /// Whether the launch ran (or ended) on a shrunken pool.
+    pub degraded: bool,
     /// Total modelled H2D time (sum over devices; the link is shared).
     pub h2d_ms: f64,
     /// Parallel execution phase: max over devices.
@@ -121,7 +160,21 @@ impl std::fmt::Display for DistReport {
             self.hot_ms,
             self.transfer_share() * 100.0,
             self.combine_share() * 100.0
-        )
+        )?;
+        if self.devices > 1 && self.outcome != PartitionOutcome::Partitioned {
+            write!(f, " fallback={}", self.outcome)?;
+        }
+        if !self.faults.is_zero() {
+            write!(f, " | faults: {}", self.faults)?;
+        }
+        if self.degraded {
+            write!(
+                f,
+                " [degraded: {}/{} alive]",
+                self.devices_alive, self.devices
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -130,17 +183,54 @@ enum Runner {
     Gpu(GpuSim),
 }
 
-/// Result slot one shard worker fills: outputs + exec time.
-type ShardSlot = Option<Result<(Vec<Buffer>, f64)>>;
+/// One shard attempt's outcome after the retry loop.
+enum Attempt {
+    Done {
+        outs: Vec<Buffer>,
+        exec_ms: f64,
+        retries: u32,
+        transients: u32,
+    },
+    /// The device died (injected crash, or retries exhausted).
+    Crashed { retries: u32, transients: u32 },
+}
 
-/// Executes programs across a [`DevicePool`].
+/// Result slot one shard worker fills.
+type ShardSlot = Option<Result<Attempt>>;
+
+/// Executes programs across a [`DevicePool`], injecting and recovering
+/// from the faults of an optional [`FaultPlan`].
 pub struct DistExecutor {
     pool: DevicePool,
     runners: Vec<Runner>,
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    /// Health view: `false` once a device is evicted. Evictions are
+    /// permanent for the executor's lifetime (a crashed simulated device
+    /// does not come back).
+    health: Mutex<Vec<bool>>,
+    /// Monotone launch counter driving the deterministic fault schedule.
+    launches: AtomicU64,
+    /// Cumulative fault/recovery counters across all launches.
+    cumulative: Mutex<FaultStats>,
 }
 
 impl DistExecutor {
     pub fn new(pool: DevicePool) -> Result<DistExecutor> {
+        DistExecutor::with_faults(pool, FaultPlan::none())
+    }
+
+    /// An executor whose launches are subjected to `faults` under the
+    /// default [`RetryPolicy`].
+    pub fn with_faults(pool: DevicePool, faults: FaultPlan) -> Result<DistExecutor> {
+        DistExecutor::with_faults_and_policy(pool, faults, RetryPolicy::default())
+    }
+
+    pub fn with_faults_and_policy(
+        pool: DevicePool,
+        faults: FaultPlan,
+        retry: RetryPolicy,
+    ) -> Result<DistExecutor> {
         if pool.is_empty() {
             return Err(MdhError::Validation("device pool is empty".into()));
         }
@@ -152,9 +242,19 @@ impl DistExecutor {
                 DeviceSpec::Gpu(p) => Ok(Runner::Gpu(GpuSim::with_params(p.clone(), 1)?)),
             })
             .collect::<Result<Vec<_>>>()?;
-        Ok(DistExecutor { pool, runners })
+        let health = Mutex::new(vec![true; pool.len()]);
+        Ok(DistExecutor {
+            pool,
+            runners,
+            faults,
+            retry,
+            health,
+            launches: AtomicU64::new(0),
+            cumulative: Mutex::new(FaultStats::default()),
+        })
     }
 
+    /// Configured pool size (evicted devices included).
     pub fn devices(&self) -> usize {
         self.pool.len()
     }
@@ -163,51 +263,68 @@ impl DistExecutor {
         &self.pool
     }
 
-    /// Partition `prog` across the pool, execute, recombine, and model
-    /// the launch time. Shard `i` runs on device `i`; with no shardable
-    /// dimension the whole program runs on device 0.
+    /// The fault schedule this executor injects.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Cumulative fault/recovery counters across all launches so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        *self.cumulative.lock().expect("fault stats lock")
+    }
+
+    /// Pool indices of the devices still healthy.
+    pub fn alive_devices(&self) -> Vec<usize> {
+        self.health
+            .lock()
+            .expect("health lock")
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &ok)| ok.then_some(i))
+            .collect()
+    }
+
+    pub fn healthy_count(&self) -> usize {
+        self.health
+            .lock()
+            .expect("health lock")
+            .iter()
+            .filter(|&&ok| ok)
+            .count()
+    }
+
+    /// Whether any device has been evicted.
+    pub fn is_degraded(&self) -> bool {
+        self.healthy_count() < self.pool.len()
+    }
+
+    /// Marks `device` dead. Returns whether this call performed the
+    /// healthy→dead transition: concurrent launches that dispatched to
+    /// the same dying device race to evict it, and only the winner may
+    /// count the eviction.
+    fn evict(&self, device: usize) -> bool {
+        let mut health = self.health.lock().expect("health lock");
+        std::mem::replace(&mut health[device], false)
+    }
+
+    /// Partition `prog` across the healthy devices, execute with fault
+    /// injection and recovery, recombine, and model the launch time.
+    /// Shard `i` runs on the `i`-th healthy device; with no shardable
+    /// dimension the whole program runs on the first healthy device.
     pub fn run(&self, prog: &DslProgram, inputs: &[Buffer]) -> Result<(Vec<Buffer>, DistReport)> {
-        let plan = PartitionPlan::build(prog, self.pool.len())?;
+        let launch = self.launches.fetch_add(1, Ordering::SeqCst);
         let host_memory = self.pool.all_host_memory();
+        let mut faults = FaultStats::default();
+        let level = self.run_level(prog, inputs, launch, &mut faults)?;
+        self.cumulative
+            .lock()
+            .expect("fault stats lock")
+            .absorb(&faults);
 
-        // --- parallel shard phase -------------------------------------
-        let mut slots: Vec<ShardSlot> = (0..plan.shards.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (slot, shard) in slots.iter_mut().zip(&plan.shards) {
-                let runner = &self.runners[shard.index];
-                scope.spawn(move || {
-                    *slot = Some(run_shard(runner, &shard.prog, inputs));
-                });
-            }
-        });
-        let mut shard_outs = Vec::with_capacity(slots.len());
-        let mut per_shard = Vec::with_capacity(slots.len());
-        for (slot, shard) in slots.into_iter().zip(&plan.shards) {
-            let (outs, exec_ms) =
-                slot.ok_or_else(|| MdhError::Eval("shard worker vanished".into()))??;
-            let h2d_bytes = shard_input_bytes(prog, &shard.range, inputs);
-            let is_gpu = matches!(self.pool.devices[shard.index], DeviceSpec::Gpu(_));
-            let h2d_ms = if is_gpu && !host_memory {
-                transfer_ms(&self.pool.config.host_link, h2d_bytes)
-            } else {
-                0.0
-            };
-            per_shard.push(ShardReport {
-                device: self.pool.devices[shard.index].label(shard.index),
-                shard: shard.index,
-                range: shard.range.clone(),
-                h2d_bytes,
-                h2d_ms,
-                exec_ms,
-            });
-            shard_outs.push(outs);
-        }
-
-        // --- recombination (values) -----------------------------------
-        let outputs = recombine(prog, &plan, shard_outs)?;
-
+        let outputs = recombine(prog, &level.plan, level.shard_outs)?;
         let out_bytes = output_bytes(&outputs);
-        let report = self.assemble_report(&plan, per_shard, out_bytes, host_memory);
+        let report =
+            self.assemble_report(&level.plan, level.per_shard, out_bytes, host_memory, faults);
         Ok((outputs, report))
     }
 
@@ -215,7 +332,8 @@ impl DistExecutor {
     /// timing pipeline as [`DistExecutor::run`], with per-shard execution
     /// taken from the analytic GPU cost model instead of a real run. No
     /// values are produced, so arbitrarily large problem sizes cost
-    /// nothing to sweep. Requires an all-GPU pool — CPU execution is
+    /// nothing to sweep; faults are not injected (the model is the
+    /// fault-free launch). Requires an all-GPU pool — CPU execution is
     /// measured, not modelled.
     pub fn estimate(&self, prog: &DslProgram, inputs: &[Buffer]) -> Result<DistReport> {
         let plan = PartitionPlan::build(prog, self.pool.len())?;
@@ -230,7 +348,7 @@ impl DistExecutor {
                 ));
             };
             let units = sim.params.num_sms * 32;
-            let schedule = mdh_default_schedule(&shard.prog, DeviceKind::Gpu, units);
+            let schedule = shard_schedule(&shard.prog, DeviceKind::Gpu, units);
             let exec_ms = sim.estimate(&shard.prog, &schedule)?.time_ms;
             let h2d_bytes = shard_input_bytes(prog, &shard.range, inputs);
             let h2d_ms = if host_memory {
@@ -241,14 +359,194 @@ impl DistExecutor {
             per_shard.push(ShardReport {
                 device: self.pool.devices[shard.index].label(shard.index),
                 shard: shard.index,
+                device_index: shard.index,
                 range: shard.range.clone(),
                 h2d_bytes,
                 h2d_ms,
                 exec_ms,
+                retries: 0,
             });
         }
         let out_bytes = output_bytes(&mdh_core::eval::alloc_outputs(prog)?);
-        Ok(self.assemble_report(&plan, per_shard, out_bytes, host_memory))
+        Ok(self.assemble_report(
+            &plan,
+            per_shard,
+            out_bytes,
+            host_memory,
+            FaultStats::default(),
+        ))
+    }
+
+    /// Execute one partitioning level: plan over the currently-healthy
+    /// devices, run every shard (with transient retry on-device), evict
+    /// crashed devices, and recover each crashed shard by recursively
+    /// re-planning *its* program over the survivors. Healthy shards'
+    /// partials are never recomputed.
+    fn run_level(
+        &self,
+        prog: &DslProgram,
+        inputs: &[Buffer],
+        launch: u64,
+        faults: &mut FaultStats,
+    ) -> Result<Level> {
+        let alive = self.alive_devices();
+        if alive.is_empty() {
+            return Err(MdhError::Eval(format!(
+                "all pool devices failed; replay with fault plan '{}'",
+                self.faults
+            )));
+        }
+        let plan = PartitionPlan::build(prog, alive.len())?;
+        let host_memory = self.pool.all_host_memory();
+
+        // --- parallel attempt phase (transient retries stay on-device) --
+        let mut slots: Vec<ShardSlot> = (0..plan.shards.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (i, (slot, shard)) in slots.iter_mut().zip(&plan.shards).enumerate() {
+                let dev = alive[i];
+                let runner = &self.runners[dev];
+                scope.spawn(move || {
+                    *slot = Some(self.attempt_shard(runner, dev, launch, &shard.prog, inputs));
+                });
+            }
+        });
+
+        let mut shard_outs: Vec<Option<Vec<Buffer>>> = Vec::with_capacity(slots.len());
+        let mut per_shard = Vec::with_capacity(slots.len());
+        let mut crashed: Vec<usize> = Vec::new();
+        for (i, (slot, shard)) in slots.into_iter().zip(&plan.shards).enumerate() {
+            let dev = alive[i];
+            let attempt = slot.ok_or_else(|| MdhError::Eval("shard worker vanished".into()))??;
+            match attempt {
+                Attempt::Done {
+                    outs,
+                    exec_ms,
+                    retries,
+                    transients,
+                } => {
+                    faults.retries += u64::from(retries);
+                    faults.injected_transients += u64::from(transients);
+                    let h2d_bytes = shard_input_bytes(prog, &shard.range, inputs);
+                    let is_gpu = matches!(self.pool.devices[dev], DeviceSpec::Gpu(_));
+                    let mut h2d_ms = if is_gpu && !host_memory {
+                        transfer_ms(&self.pool.config.host_link, h2d_bytes)
+                    } else {
+                        0.0
+                    };
+                    // slow-link injection on the modelled transfer: a
+                    // stretch past the timeout is charged at the timeout
+                    // and the transfer retried once at normal speed
+                    if h2d_ms > 0.0 {
+                        if let Some(factor) = self.faults.slow_factor(dev, launch) {
+                            faults.slow_links += 1;
+                            let stretched = h2d_ms * f64::from(factor);
+                            if stretched > self.retry.link_timeout_ms {
+                                faults.retries += 1;
+                                h2d_ms += self.retry.link_timeout_ms;
+                            } else {
+                                h2d_ms = stretched;
+                            }
+                        }
+                    }
+                    per_shard.push(ShardReport {
+                        device: self.pool.devices[dev].label(dev),
+                        shard: i,
+                        device_index: dev,
+                        range: shard.range.clone(),
+                        h2d_bytes,
+                        h2d_ms,
+                        exec_ms,
+                        retries,
+                    });
+                    shard_outs.push(Some(outs));
+                }
+                Attempt::Crashed {
+                    retries,
+                    transients,
+                } => {
+                    faults.retries += u64::from(retries);
+                    faults.injected_transients += u64::from(transients);
+                    faults.injected_crashes += 1;
+                    if self.evict(dev) {
+                        faults.evictions += 1;
+                    }
+                    crashed.push(i);
+                    shard_outs.push(None);
+                }
+            }
+        }
+
+        // --- recovery: re-plan each crashed shard over the survivors ---
+        // MDH re-decomposition is semantics-preserving across device
+        // counts, so partitioning the crashed shard's own program and
+        // recombining its sub-partials yields exactly the partial the
+        // dead device owed — healthy partials stay as computed.
+        for i in crashed {
+            faults.repartitions += 1;
+            let shard = &plan.shards[i];
+            let sub = self.run_level(&shard.prog, inputs, launch, faults)?;
+            let partial = recombine(&shard.prog, &sub.plan, sub.shard_outs)?;
+            per_shard.extend(sub.per_shard.into_iter().map(|mut r| {
+                r.shard = i;
+                r
+            }));
+            shard_outs[i] = Some(partial);
+        }
+
+        let shard_outs = shard_outs
+            .into_iter()
+            .map(|o| o.ok_or_else(|| MdhError::Eval("unrecovered shard".into())))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Level {
+            plan,
+            shard_outs,
+            per_shard,
+        })
+    }
+
+    /// Run one shard on its device under the transient-fault retry loop.
+    fn attempt_shard(
+        &self,
+        runner: &Runner,
+        device: usize,
+        launch: u64,
+        prog: &DslProgram,
+        inputs: &[Buffer],
+    ) -> Result<Attempt> {
+        if self.faults.crash_due(device, launch) {
+            return Ok(Attempt::Crashed {
+                retries: 0,
+                transients: 0,
+            });
+        }
+        let mut retries = 0u32;
+        let mut transients = 0u32;
+        let mut backoff_ms = 0.0;
+        let mut attempt = 0u32;
+        loop {
+            if self.faults.transient_fails(device, launch, attempt) {
+                transients += 1;
+                if retries >= self.retry.max_retries {
+                    // retries exhausted: escalate to a device crash so
+                    // the work moves to a healthy device
+                    return Ok(Attempt::Crashed {
+                        retries,
+                        transients,
+                    });
+                }
+                backoff_ms += self.retry.backoff_ms(retries);
+                retries += 1;
+                attempt += 1;
+                continue;
+            }
+            let (outs, exec_ms) = run_shard(runner, prog, inputs)?;
+            return Ok(Attempt::Done {
+                outs,
+                exec_ms: exec_ms + backoff_ms,
+                retries,
+                transients,
+            });
+        }
     }
 
     /// Fold per-shard uploads and execution times through the pool's
@@ -259,6 +557,7 @@ impl DistExecutor {
         per_shard: Vec<ShardReport>,
         out_bytes: usize,
         host_memory: bool,
+        faults: FaultStats,
     ) -> DistReport {
         let n = plan.shards.len();
         let exec_ms = per_shard.iter().map(|s| s.exec_ms).fold(0.0, f64::max);
@@ -296,14 +595,19 @@ impl DistExecutor {
         );
         let total_ms = upload_exec_ms + combine.total_ms() + d2h_ms;
         let hot_ms = exec_ms + combine.total_ms() + d2h_ms;
+        let devices_alive = self.healthy_count();
 
         DistReport {
             devices: self.pool.len(),
+            devices_alive,
             shards: n,
             partition_dim: plan.dim(),
             strategy: plan.strategy(),
+            outcome: plan.outcome,
             topology: self.pool.config.topology,
             per_shard,
+            faults,
+            degraded: devices_alive < self.pool.len(),
             h2d_ms,
             exec_ms,
             upload_exec_ms,
@@ -315,23 +619,52 @@ impl DistExecutor {
     }
 }
 
+/// What one partitioning level produced: the plan, every shard's partial
+/// (healthy or recovered), and the per-shard reports.
+struct Level {
+    plan: PartitionPlan,
+    shard_outs: Vec<Vec<Buffer>>,
+    per_shard: Vec<ShardReport>,
+}
+
 /// Run one shard program on its device; returns outputs and exec time
 /// (analytic for the GPU simulator, measured for CPU).
 fn run_shard(runner: &Runner, prog: &DslProgram, inputs: &[Buffer]) -> Result<(Vec<Buffer>, f64)> {
     match runner {
         Runner::Cpu(exec) => {
-            let schedule = mdh_default_schedule(prog, DeviceKind::Cpu, exec.threads);
+            let schedule = shard_schedule(prog, DeviceKind::Cpu, exec.threads);
             let t0 = Instant::now();
             let outs = exec.run(prog, &schedule, inputs)?;
             Ok((outs, t0.elapsed().as_secs_f64() * 1e3))
         }
         Runner::Gpu(sim) => {
             let units = sim.params.num_sms * 32;
-            let schedule = mdh_default_schedule(prog, DeviceKind::Gpu, units);
+            let schedule = shard_schedule(prog, DeviceKind::Gpu, units);
             let (outs, report) = sim.run(prog, &schedule, inputs)?;
             Ok((outs, report.time_ms))
         }
     }
+}
+
+/// Default schedule for a shard program. General (non-affine) input
+/// accesses have no computable footprint, so staging — which must
+/// validate the staged block footprint against shared memory — is
+/// disabled for them.
+fn shard_schedule(
+    prog: &DslProgram,
+    device: DeviceKind,
+    parallel_units: usize,
+) -> mdh_lowering::schedule::Schedule {
+    let mut s = mdh_default_schedule(prog, device, parallel_units);
+    if prog
+        .inp_view
+        .accesses
+        .iter()
+        .any(|a| a.index_fn.as_affine().is_none())
+    {
+        s.stage_inputs = false;
+    }
+    s
 }
 
 /// Bytes of input a device needs for its shard: the footprint of the
@@ -567,6 +900,9 @@ mod tests {
             assert_eq!(outs, reference, "n={n}");
             assert_eq!(report.strategy, Some(PartitionStrategy::Concat));
             assert_eq!(report.shards, n);
+            assert_eq!(report.outcome, PartitionOutcome::Partitioned);
+            assert!(report.faults.is_zero());
+            assert!(!report.degraded);
         }
     }
 
@@ -650,6 +986,7 @@ mod tests {
         assert_eq!(outs, single_device(&prog, &inputs));
         assert_eq!(report.shards, 1);
         assert_eq!(report.combine, CombineCost::ZERO);
+        assert_eq!(report.outcome, PartitionOutcome::SingleDevice);
         assert!(report.total_ms > 0.0);
     }
 
@@ -705,5 +1042,232 @@ mod tests {
         let s = report.to_string();
         assert!(s.contains("devices=4"), "{s}");
         assert!(s.contains("combine="), "{s}");
+        assert!(
+            !s.contains("faults:") && !s.contains("fallback="),
+            "a fault-free partitioned run prints no fault/fallback noise: {s}"
+        );
+    }
+
+    // --- fault injection & recovery -----------------------------------
+
+    fn gather_prog(n: usize) -> DslProgram {
+        use std::sync::Arc;
+        DslBuilder::new("gather", vec![n])
+            .out_buffer("out", BasicType::F64)
+            .out_access("out", IndexFn::identity(1, 1))
+            // general accesses have no inferable footprint, so the shape
+            // must be declared
+            .inp_buffer_with_shape("x", BasicType::F64, vec![n.div_ceil(2)])
+            .inp_access(
+                "x",
+                IndexFn::General {
+                    out_rank: 1,
+                    f: Arc::new(|idx: &[usize]| vec![idx[0] / 2]),
+                    label: "half".into(),
+                },
+            )
+            .scalar_function(ScalarFunction::identity("id", ScalarKind::F64))
+            .combine_ops(vec![CombineOp::cc()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn estimate_reports_general_access_fallback_reason() {
+        let prog = gather_prog(8);
+        let mut x = Buffer::zeros("x", BasicType::F64, Shape::new(vec![4]));
+        int_fill(&mut x);
+        let dist = DistExecutor::new(DevicePool::gpus(4)).unwrap();
+        let report = dist.estimate(&prog, &[x]).unwrap();
+        assert_eq!(report.outcome, PartitionOutcome::GeneralAccess);
+        assert_eq!(report.shards, 1, "pool idle, one shard");
+        let line = report.to_string();
+        assert!(
+            line.contains("fallback=general-access"),
+            "estimate must say why the pool was left idle: {line}"
+        );
+    }
+
+    #[test]
+    fn transient_faults_retry_on_device_and_stay_bit_identical() {
+        let prog = matvec(13, 37);
+        let inputs = matvec_inputs(13, 37);
+        let reference = single_device(&prog, &inputs);
+        // device 1 fails its first two attempts of launch 0
+        let faults = FaultPlan::none().transient(1, 0, 2);
+        let dist = DistExecutor::with_faults(DevicePool::gpus(4), faults).unwrap();
+        let (outs, report) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(outs, reference);
+        assert_eq!(report.faults.retries, 2);
+        assert_eq!(report.faults.injected_transients, 2);
+        assert_eq!(report.faults.evictions, 0, "transients never evict");
+        assert!(!report.degraded);
+        let s1 = report
+            .per_shard
+            .iter()
+            .find(|s| s.device_index == 1)
+            .unwrap();
+        assert_eq!(s1.retries, 2);
+        // modelled backoff (0.5 + 1.0 ms) is charged to the shard: the
+        // GPU exec model is analytic, so the same shard in a fault-free
+        // run is exactly 1.5 ms faster
+        let base = DistExecutor::new(DevicePool::gpus(4)).unwrap();
+        let (_, base_report) = base.run(&prog, &inputs).unwrap();
+        let b1 = base_report
+            .per_shard
+            .iter()
+            .find(|s| s.device_index == 1)
+            .unwrap();
+        assert!((s1.exec_ms - (b1.exec_ms + 1.5)).abs() < 1e-9);
+        assert_eq!(dist.healthy_count(), 4);
+    }
+
+    #[test]
+    fn device_crash_evicts_repartitions_and_stays_bit_identical() {
+        let prog = matvec(13, 37);
+        let inputs = matvec_inputs(13, 37);
+        let reference = single_device(&prog, &inputs);
+        let faults = FaultPlan::none().crash(2, 0);
+        let dist = DistExecutor::with_faults(DevicePool::gpus(4), faults).unwrap();
+        let (outs, report) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(outs, reference, "recovered launch must be bit-identical");
+        assert_eq!(report.faults.evictions, 1);
+        assert_eq!(report.faults.repartitions, 1);
+        assert!(report.degraded);
+        assert_eq!(report.devices_alive, 3);
+        assert_eq!(dist.alive_devices(), vec![0, 1, 3]);
+        // the crashed shard's range was recomputed on survivors: reports
+        // for shard 2 exist on devices != 2
+        let recovered: Vec<_> = report
+            .per_shard
+            .iter()
+            .filter(|s| s.shard == 2 && s.device_index != 2)
+            .collect();
+        assert!(!recovered.is_empty(), "recovery reports present");
+
+        // the *next* launch plans over 3 survivors up front
+        let (outs2, report2) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(outs2, reference);
+        assert_eq!(report2.shards, 3);
+        assert!(report2.faults.is_zero(), "no new faults on launch 1");
+        assert!(report2.degraded, "still on a shrunken pool");
+        // cumulative stats carry the launch-0 recovery
+        let cum = dist.fault_stats();
+        assert_eq!(cum.evictions, 1);
+        assert_eq!(cum.repartitions, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_escalate_to_eviction() {
+        let prog = matvec(13, 37);
+        let inputs = matvec_inputs(13, 37);
+        let reference = single_device(&prog, &inputs);
+        // 10 failing attempts > max_retries 3 → escalation
+        let faults = FaultPlan::none().transient(1, 0, 10);
+        let dist = DistExecutor::with_faults(DevicePool::gpus(4), faults).unwrap();
+        let (outs, report) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(outs, reference);
+        assert_eq!(report.faults.evictions, 1);
+        assert_eq!(report.faults.repartitions, 1);
+        assert_eq!(report.faults.retries, 3, "policy cap");
+        assert_eq!(dist.healthy_count(), 3);
+    }
+
+    #[test]
+    fn losing_every_device_is_an_error_with_replay_plan() {
+        let prog = matvec(8, 8);
+        let inputs = matvec_inputs(8, 8);
+        let faults = FaultPlan::none().crash(0, 0).crash(1, 0);
+        let dist = DistExecutor::with_faults(DevicePool::gpus(2), faults).unwrap();
+        let err = dist.run(&prog, &inputs).unwrap_err().to_string();
+        assert!(err.contains("all pool devices failed"), "{err}");
+        assert!(err.contains("crash=0@0"), "replay plan printed: {err}");
+    }
+
+    #[test]
+    fn double_crash_cascades_through_recovery() {
+        let prog = matvec(16, 24);
+        let inputs = matvec_inputs(16, 24);
+        let reference = single_device(&prog, &inputs);
+        // devices 1 and 3 both die at launch 0: shard 1 and shard 3
+        // crash in the top-level plan, each recovery re-plans over the
+        // remaining healthy devices
+        let faults = FaultPlan::none().crash(1, 0).crash(3, 0);
+        let dist = DistExecutor::with_faults(DevicePool::gpus(4), faults).unwrap();
+        let (outs, report) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(outs, reference);
+        assert_eq!(report.faults.evictions, 2);
+        assert_eq!(report.faults.repartitions, 2);
+        assert_eq!(dist.alive_devices(), vec![0, 2]);
+        assert_eq!(report.devices_alive, 2);
+    }
+
+    #[test]
+    fn slow_link_stretches_or_times_out_the_transfer() {
+        let prog = matvec(16, 2048);
+        let inputs = matvec_inputs(16, 2048);
+        // mild stretch: ×2 stays under the timeout
+        let dist = DistExecutor::with_faults(DevicePool::gpus(2), FaultPlan::none().slow(1, 0, 2))
+            .unwrap();
+        let baseline = DistExecutor::new(DevicePool::gpus(2)).unwrap();
+        let (_, slow) = dist.run(&prog, &inputs).unwrap();
+        let (_, base) = baseline.run(&prog, &inputs).unwrap();
+        assert_eq!(slow.faults.slow_links, 1);
+        let b1 = base.per_shard.iter().find(|s| s.device_index == 1).unwrap();
+        let s1 = slow.per_shard.iter().find(|s| s.device_index == 1).unwrap();
+        assert!(s1.h2d_ms > b1.h2d_ms, "stretched transfer is slower");
+
+        // brutal stretch: past the 50 ms timeout → charged at timeout
+        // and retried once
+        let policy = RetryPolicy {
+            link_timeout_ms: 1e-6,
+            ..RetryPolicy::default()
+        };
+        let dist = DistExecutor::with_faults_and_policy(
+            DevicePool::gpus(2),
+            FaultPlan::none().slow(1, 0, 1000),
+            policy,
+        )
+        .unwrap();
+        let (outs, timed_out) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(timed_out.faults.retries, 1, "timed-out transfer retried");
+        assert_eq!(outs.len(), 1);
+    }
+
+    #[test]
+    fn seeded_chaos_is_replayable() {
+        let prog = matvec(12, 20);
+        let inputs = matvec_inputs(12, 20);
+        let reference = single_device(&prog, &inputs);
+        let run_with_seed = |seed: u64| {
+            let dist = DistExecutor::with_faults(DevicePool::gpus(3), FaultPlan::seeded(seed, 400))
+                .unwrap();
+            let mut counters = Vec::new();
+            for _ in 0..8 {
+                let (outs, report) = dist.run(&prog, &inputs).unwrap();
+                assert_eq!(outs, reference, "seed={seed}");
+                counters.push(report.faults);
+            }
+            counters
+        };
+        let a = run_with_seed(7);
+        let b = run_with_seed(7);
+        assert_eq!(a, b, "same seed must replay the exact same fault history");
+        assert!(
+            a.iter().any(|f| f.retries > 0),
+            "40% chaos must actually fire over 8 launches × 3 devices"
+        );
+    }
+
+    #[test]
+    fn eviction_is_a_single_transition_under_racing_launches() {
+        // concurrent launches that both dispatched to the same dying
+        // device race to evict it; only the winner counts the eviction,
+        // so pool-level eviction totals equal devices actually lost
+        let dist = DistExecutor::new(DevicePool::gpus(3)).unwrap();
+        assert!(dist.evict(1), "first eviction performs the transition");
+        assert!(!dist.evict(1), "racing second eviction must not re-count");
+        assert_eq!(dist.healthy_count(), 2);
+        assert_eq!(dist.alive_devices(), vec![0, 2]);
     }
 }

@@ -1,0 +1,476 @@
+//! Deterministic fault injection for distributed launches.
+//!
+//! A [`FaultPlan`] is a *schedule*, not a dice roll: every decision is a
+//! pure function of `(seed, launch, device, attempt)` plus the explicit
+//! event list, so a chaos run is replayable bit-for-bit from the printed
+//! plan — no wall-clock randomness anywhere. Three fault classes are
+//! modelled, mirroring what real multi-GPU runtimes see:
+//!
+//! * **transient shard errors** (ECC hiccup, spurious launch failure):
+//!   the shard is retried on the *same* device under the capped
+//!   exponential backoff of [`RetryPolicy`];
+//! * **device crashes** (XID-class fatal errors): the device is evicted
+//!   from the pool's health view and the affected partition is re-planned
+//!   across the survivors — safe because MDH re-decomposition over a
+//!   different device count is semantics-preserving;
+//! * **slow links** (degraded PCIe lanes, contended switch): the shard's
+//!   modelled H2D transfer is stretched by a factor; past the policy's
+//!   timeout the transfer counts as failed and is retried once.
+//!
+//! All three are counted in [`FaultStats`], which the executor
+//! accumulates per launch and cumulatively, and which `mdh-runtime`
+//! surfaces in its stats line.
+
+use std::fmt;
+
+/// SplitMix64 — the only entropy source; a pure function of its input.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Retry discipline for transient faults (and timed-out transfers).
+///
+/// Backoff is *modelled* (added to the shard's reported execution time),
+/// not slept — launch timing in this crate is analytic throughout, and a
+/// deterministic model keeps chaos runs replayable and tests fast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed per shard per launch before the failure is
+    /// escalated to a device crash.
+    pub max_retries: u32,
+    /// First backoff delay, ms.
+    pub base_backoff_ms: f64,
+    /// Cap on the exponential growth, ms.
+    pub max_backoff_ms: f64,
+    /// A slow-link transfer stretched past this is deemed timed out:
+    /// it is charged at the timeout and retried once at normal speed.
+    pub link_timeout_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 0.5,
+            max_backoff_ms: 8.0,
+            link_timeout_ms: 50.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Capped exponential backoff before retry number `retry` (0-based):
+    /// `base * 2^retry`, capped at `max_backoff_ms`.
+    pub fn backoff_ms(&self, retry: u32) -> f64 {
+        (self.base_backoff_ms * f64::from(2u32.saturating_pow(retry).min(1 << 16)))
+            .min(self.max_backoff_ms)
+    }
+}
+
+/// Counters for everything the injector did and the executor recovered
+/// from. All fields are monotone when read cumulatively.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient shard failures injected (each costs ≥ 1 retry).
+    pub injected_transients: u64,
+    /// Fatal device crashes injected.
+    pub injected_crashes: u64,
+    /// Shard transfers stretched by a slow-link event.
+    pub slow_links: u64,
+    /// Shard attempts re-run (transient retries + timed-out transfers).
+    pub retries: u64,
+    /// Devices evicted from the pool health view.
+    pub evictions: u64,
+    /// Partitions re-planned over a shrunken pool after an eviction.
+    pub repartitions: u64,
+}
+
+impl FaultStats {
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Accumulate another snapshot into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.injected_transients += other.injected_transients;
+        self.injected_crashes += other.injected_crashes;
+        self.slow_links += other.slow_links;
+        self.retries += other.retries;
+        self.evictions += other.evictions;
+        self.repartitions += other.repartitions;
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retries={} evictions={} repartitions={} transients={} crashes={} slow-links={}",
+            self.retries,
+            self.evictions,
+            self.repartitions,
+            self.injected_transients,
+            self.injected_crashes,
+            self.slow_links
+        )
+    }
+}
+
+/// A deterministic, replayable schedule of injected faults.
+///
+/// Explicit events pin a fault to a `(device, launch)` pair; the seeded
+/// channel additionally makes each device's first attempt of each launch
+/// fail transiently with probability `rate` per mille, derived by
+/// hashing `(seed, launch, device)` — same seed, same chaos.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the derived-transient channel (printed for replay).
+    pub seed: u64,
+    /// Per-mille probability that a `(launch, device)` first attempt
+    /// fails transiently under the seeded channel (0 disables it).
+    pub transient_permille: u16,
+    /// `(device, launch)`: the device dies permanently when first used
+    /// at or after `launch`.
+    crashes: Vec<(usize, u64)>,
+    /// `(device, launch, count)`: the first `count` attempts fail.
+    transients: Vec<(usize, u64, u32)>,
+    /// `(device, launch, factor)`: the H2D transfer is stretched ×factor.
+    slow: Vec<(usize, u64, u32)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: inject nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Seeded chaos: each `(launch, device)` first attempt fails
+    /// transiently with probability `permille`/1000.
+    pub fn seeded(seed: u64, permille: u16) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_permille: permille.min(1000),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Schedule a permanent crash of `device` at `launch`.
+    pub fn crash(mut self, device: usize, launch: u64) -> FaultPlan {
+        self.crashes.push((device, launch));
+        self
+    }
+
+    /// Schedule `count` failing attempts for `device` at `launch`.
+    pub fn transient(mut self, device: usize, launch: u64, count: u32) -> FaultPlan {
+        self.transients.push((device, launch, count));
+        self
+    }
+
+    /// Stretch `device`'s H2D transfer at `launch` by ×`factor`.
+    pub fn slow(mut self, device: usize, launch: u64, factor: u32) -> FaultPlan {
+        self.slow.push((device, launch, factor.max(2)));
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.transient_permille == 0
+            && self.crashes.is_empty()
+            && self.transients.is_empty()
+            && self.slow.is_empty()
+    }
+
+    /// Devices with a scheduled crash (deduplicated, any launch).
+    pub fn crash_devices(&self) -> Vec<usize> {
+        let mut ds: Vec<usize> = self.crashes.iter().map(|&(d, _)| d).collect();
+        ds.sort_unstable();
+        ds.dedup();
+        ds
+    }
+
+    /// Does `device` die when used at `launch`? (Crashes are permanent:
+    /// any schedule entry at an earlier-or-equal launch applies.)
+    pub fn crash_due(&self, device: usize, launch: u64) -> bool {
+        self.crashes
+            .iter()
+            .any(|&(d, l)| d == device && l <= launch)
+    }
+
+    /// Does attempt number `attempt` (0-based) of `device` at `launch`
+    /// fail transiently?
+    pub fn transient_fails(&self, device: usize, launch: u64, attempt: u32) -> bool {
+        let explicit = self
+            .transients
+            .iter()
+            .any(|&(d, l, count)| d == device && l == launch && attempt < count);
+        if explicit {
+            return true;
+        }
+        if self.transient_permille > 0 && attempt == 0 {
+            let h = splitmix64(
+                self.seed
+                    ^ launch.wrapping_mul(0xA24B_AED4_963E_E407)
+                    ^ (device as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+            );
+            return (h % 1000) < u64::from(self.transient_permille);
+        }
+        false
+    }
+
+    /// Slow-link stretch factor for `device`'s transfer at `launch`.
+    pub fn slow_factor(&self, device: usize, launch: u64) -> Option<u32> {
+        self.slow
+            .iter()
+            .find(|&&(d, l, _)| d == device && l == launch)
+            .map(|&(_, _, f)| f)
+    }
+
+    /// Parse the `mdhc serve --faults` spec grammar:
+    ///
+    /// ```text
+    /// spec  := item (',' item)*
+    /// item  := 'seed=' u64                    seed for the derived channel
+    ///        | 'rate=' permille               derived transient rate (0..=1000)
+    ///        | 'crash=' dev '@' launch        device dies at launch
+    ///        | 'transient=' dev '@' launch ['x' count]
+    ///        | 'slow=' dev '@' launch ['x' factor]
+    /// ```
+    ///
+    /// Example: `crash=1@3,crash=3@6,transient=2@1x2,rate=25,seed=42`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let item = item.trim();
+            let (key, val) = item
+                .split_once('=')
+                .ok_or_else(|| format!("bad fault item '{item}' (expected key=value)"))?;
+            match key {
+                "seed" => {
+                    plan.seed = val
+                        .parse()
+                        .map_err(|_| format!("bad seed '{val}' (expected u64)"))?;
+                }
+                "rate" => {
+                    let p: u16 = val
+                        .parse()
+                        .map_err(|_| format!("bad rate '{val}' (expected 0..=1000 per mille)"))?;
+                    if p > 1000 {
+                        return Err(format!("rate {p} out of range (per mille, 0..=1000)"));
+                    }
+                    plan.transient_permille = p;
+                }
+                "crash" => {
+                    let (d, l) = parse_dev_at_launch(val)?;
+                    plan.crashes.push((d, l));
+                }
+                "transient" => {
+                    let (rest, count) = parse_x_suffix(val)?;
+                    let (d, l) = parse_dev_at_launch(rest)?;
+                    plan.transients.push((d, l, count.unwrap_or(1)));
+                }
+                "slow" => {
+                    let (rest, factor) = parse_x_suffix(val)?;
+                    let (d, l) = parse_dev_at_launch(rest)?;
+                    plan.slow.push((d, l, factor.unwrap_or(4).max(2)));
+                }
+                other => return Err(format!("unknown fault kind '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_dev_at_launch(s: &str) -> Result<(usize, u64), String> {
+    let (d, l) = s
+        .split_once('@')
+        .ok_or_else(|| format!("bad fault target '{s}' (expected device@launch)"))?;
+    let d = d
+        .parse()
+        .map_err(|_| format!("bad device index '{d}' in '{s}'"))?;
+    let l = l
+        .parse()
+        .map_err(|_| format!("bad launch index '{l}' in '{s}'"))?;
+    Ok((d, l))
+}
+
+/// Split an optional `x<count>` suffix off `dev@launch[x<count>]`.
+fn parse_x_suffix(s: &str) -> Result<(&str, Option<u32>), String> {
+    // the 'x' separator can only follow the launch number, so split at
+    // the last 'x' after the '@'
+    let Some(at) = s.find('@') else {
+        return Ok((s, None));
+    };
+    match s[at..].find('x') {
+        Some(rel) => {
+            let pos = at + rel;
+            let n = s[pos + 1..]
+                .parse()
+                .map_err(|_| format!("bad count/factor in '{s}'"))?;
+            Ok((&s[..pos], Some(n)))
+        }
+        None => Ok((s, None)),
+    }
+}
+
+/// Canonical round-trippable spec — `FaultPlan::parse(plan.to_string())`
+/// reproduces the plan, which is what makes a printed plan a replay
+/// ticket.
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut items = Vec::new();
+        if self.seed != 0 {
+            items.push(format!("seed={}", self.seed));
+        }
+        if self.transient_permille != 0 {
+            items.push(format!("rate={}", self.transient_permille));
+        }
+        for &(d, l) in &self.crashes {
+            items.push(format!("crash={d}@{l}"));
+        }
+        for &(d, l, c) in &self.transients {
+            items.push(format!("transient={d}@{l}x{c}"));
+        }
+        for &(d, l, x) in &self.slow {
+            items.push(format!("slow={d}@{l}x{x}"));
+        }
+        if items.is_empty() {
+            f.write_str("none")
+        } else {
+            f.write_str(&items.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        for launch in 0..16 {
+            for dev in 0..8 {
+                assert!(!p.crash_due(dev, launch));
+                assert!(!p.transient_fails(dev, launch, 0));
+                assert!(p.slow_factor(dev, launch).is_none());
+            }
+        }
+        assert_eq!(p.to_string(), "none");
+    }
+
+    #[test]
+    fn crashes_are_permanent_from_their_launch() {
+        let p = FaultPlan::none().crash(2, 5);
+        assert!(!p.crash_due(2, 4));
+        assert!(p.crash_due(2, 5));
+        assert!(p.crash_due(2, 99));
+        assert!(!p.crash_due(1, 99));
+        assert_eq!(p.crash_devices(), vec![2]);
+    }
+
+    #[test]
+    fn explicit_transients_fail_exactly_count_attempts() {
+        let p = FaultPlan::none().transient(1, 3, 2);
+        assert!(p.transient_fails(1, 3, 0));
+        assert!(p.transient_fails(1, 3, 1));
+        assert!(!p.transient_fails(1, 3, 2));
+        assert!(!p.transient_fails(1, 2, 0));
+        assert!(!p.transient_fails(0, 3, 0));
+    }
+
+    #[test]
+    fn seeded_channel_is_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(42, 500);
+        let b = FaultPlan::seeded(42, 500);
+        let c = FaultPlan::seeded(43, 500);
+        let pattern = |p: &FaultPlan| {
+            (0..64)
+                .flat_map(|l| (0..4).map(move |d| (l, d)))
+                .map(|(l, d)| p.transient_fails(d, l, 0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pattern(&a), pattern(&b), "same seed, same chaos");
+        assert_ne!(pattern(&a), pattern(&c), "different seed, different chaos");
+        // at 50% the pattern must actually contain both outcomes
+        assert!(pattern(&a).iter().any(|&x| x));
+        assert!(pattern(&a).iter().any(|&x| !x));
+        // later attempts never fail under the seeded channel
+        assert!((0..64).all(|l| !a.transient_fails(0, l, 1)));
+    }
+
+    #[test]
+    fn spec_round_trips_through_display() {
+        let p = FaultPlan::seeded(42, 25)
+            .crash(1, 3)
+            .crash(3, 6)
+            .transient(2, 1, 2)
+            .slow(0, 2, 8);
+        let spec = p.to_string();
+        assert_eq!(FaultPlan::parse(&spec).unwrap(), p, "spec: {spec}");
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let p = FaultPlan::parse("crash=1@3, transient=2@1x2, slow=0@2x8, rate=25, seed=7")
+            .expect("parses");
+        assert!(p.crash_due(1, 3));
+        assert!(p.transient_fails(2, 1, 1));
+        assert_eq!(p.slow_factor(0, 2), Some(8));
+        assert_eq!(p.transient_permille, 25);
+        assert_eq!(p.seed, 7);
+        // defaults: transient count 1, slow factor 4
+        let q = FaultPlan::parse("transient=0@0,slow=1@1").unwrap();
+        assert!(q.transient_fails(0, 0, 0));
+        assert!(!q.transient_fails(0, 0, 1));
+        assert_eq!(q.slow_factor(1, 1), Some(4));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "crash=1",
+            "crash=x@3",
+            "boom=1@2",
+            "rate=1001",
+            "seed=abc",
+            "transient=1@2xq",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "'{bad}' must be rejected");
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.backoff_ms(0), 0.5);
+        assert_eq!(r.backoff_ms(1), 1.0);
+        assert_eq!(r.backoff_ms(2), 2.0);
+        assert_eq!(r.backoff_ms(10), 8.0, "capped");
+    }
+
+    #[test]
+    fn stats_absorb_and_display() {
+        let mut a = FaultStats {
+            retries: 1,
+            evictions: 2,
+            ..FaultStats::default()
+        };
+        let b = FaultStats {
+            retries: 3,
+            repartitions: 1,
+            ..FaultStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.retries, 4);
+        assert_eq!(a.evictions, 2);
+        assert_eq!(a.repartitions, 1);
+        assert!(!a.is_zero());
+        assert!(FaultStats::default().is_zero());
+        let line = a.to_string();
+        assert!(line.contains("retries=4"), "{line}");
+        assert!(line.contains("evictions=2"), "{line}");
+    }
+}

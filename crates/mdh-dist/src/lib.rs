@@ -21,13 +21,22 @@
 //! dimensions produce *partial* outputs that flow through the combine
 //! tree with modelled link cost. Programs with no shardable dimension
 //! degrade gracefully to single-device execution.
+//!
+//! The [`fault`] module adds deterministic chaos: a seed-driven
+//! [`fault::FaultPlan`] injects device crashes, transient shard errors,
+//! and slow links into every launch, and the executor recovers —
+//! retrying transients with capped backoff, evicting crashed devices
+//! from its health view, and re-planning lost shards over the survivors
+//! — while staying bit-identical to the fault-free run.
 
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::too_many_arguments)]
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod topology;
 
 pub use device::{DevicePool, DeviceSpec, PoolConfig};
 pub use exec::{DistExecutor, DistReport, ShardReport};
+pub use fault::{FaultPlan, FaultStats, RetryPolicy};
 pub use topology::{combine_cost, CombineCost, CombineTopology};

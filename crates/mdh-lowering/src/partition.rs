@@ -49,6 +49,46 @@ pub enum PartitionStrategy {
     Scan,
 }
 
+/// Why a plan holds a single shard — or that it split. PR 2 fell back
+/// to one shard silently; the typed reason lets executors and `mdhc
+/// estimate` report *why* a pool was left idle instead of hiding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionOutcome {
+    /// The iteration space was split across devices.
+    Partitioned,
+    /// A one-device pool: nothing to split.
+    SingleDevice,
+    /// A shardable dimension exists, but a general (non-affine) access
+    /// depends on it, so the shard offset cannot be absorbed into the
+    /// access constants.
+    GeneralAccess,
+    /// No dimension has a device-shardable combine operator with extent
+    /// ≥ 2.
+    NoShardableDim,
+    /// The chosen dimension's extent could not be cut into more than
+    /// one interval.
+    IndivisibleExtent,
+}
+
+impl PartitionOutcome {
+    /// Stable kebab-case label used in reports and CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PartitionOutcome::Partitioned => "partitioned",
+            PartitionOutcome::SingleDevice => "single-device",
+            PartitionOutcome::GeneralAccess => "general-access",
+            PartitionOutcome::NoShardableDim => "no-shardable-dim",
+            PartitionOutcome::IndivisibleExtent => "indivisible-extent",
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One device's slice of the iteration space.
 #[derive(Debug, Clone)]
 pub struct Shard {
@@ -66,6 +106,8 @@ pub struct PartitionPlan {
     /// Split dimension and its recombination obligation; `None` when the
     /// plan degraded to a single shard.
     pub partition: Option<(usize, PartitionStrategy)>,
+    /// Whether (and why not) the plan split the iteration space.
+    pub outcome: PartitionOutcome,
     pub shards: Vec<Shard>,
 }
 
@@ -80,8 +122,9 @@ impl PartitionPlan {
     /// one shard running `prog` unchanged.
     pub fn build(prog: &DslProgram, n_devices: usize) -> Result<PartitionPlan> {
         prog.validate()?;
-        let single = |prog: &DslProgram| PartitionPlan {
+        let single = |prog: &DslProgram, outcome: PartitionOutcome| PartitionPlan {
             partition: None,
+            outcome,
             shards: vec![Shard {
                 index: 0,
                 range: prog.md_hom.full_range(),
@@ -89,15 +132,21 @@ impl PartitionPlan {
             }],
         };
         if n_devices <= 1 {
-            return Ok(single(prog));
+            return Ok(single(prog, PartitionOutcome::SingleDevice));
         }
-        let Some((dim, strategy)) = choose_dim(prog) else {
-            return Ok(single(prog));
+        let (chosen, blocked_by_general) = choose_dim(prog);
+        let Some((dim, strategy)) = chosen else {
+            let outcome = if blocked_by_general {
+                PartitionOutcome::GeneralAccess
+            } else {
+                PartitionOutcome::NoShardableDim
+            };
+            return Ok(single(prog, outcome));
         };
 
         let intervals = split_even(prog.md_hom.sizes[dim], n_devices);
         if intervals.len() <= 1 {
-            return Ok(single(prog));
+            return Ok(single(prog, PartitionOutcome::IndivisibleExtent));
         }
         let out_shapes = prog.output_shapes()?;
         let mut shards = Vec::with_capacity(intervals.len());
@@ -110,6 +159,7 @@ impl PartitionPlan {
         }
         Ok(PartitionPlan {
             partition: Some((dim, strategy)),
+            outcome: PartitionOutcome::Partitioned,
             shards,
         })
     }
@@ -129,10 +179,18 @@ impl PartitionPlan {
 }
 
 /// Pick the split dimension, preferring cc > pw > ps, outermost first.
-fn choose_dim(prog: &DslProgram) -> Option<(usize, PartitionStrategy)> {
+/// The second return is `true` when at least one otherwise-eligible
+/// dimension was rejected only because a general access depends on it —
+/// the signal [`PartitionOutcome::GeneralAccess`] reports.
+fn choose_dim(prog: &DslProgram) -> (Option<(usize, PartitionStrategy)>, bool) {
     let mut best: Option<(usize, PartitionStrategy)> = None;
+    let mut blocked_by_general = false;
     for (d, op) in prog.md_hom.combine_ops.iter().enumerate() {
-        if prog.md_hom.sizes[d] < 2 || !op.device_shardable() || !dim_translatable(prog, d) {
+        if prog.md_hom.sizes[d] < 2 || !op.device_shardable() {
+            continue;
+        }
+        if !dim_translatable(prog, d) {
+            blocked_by_general = true;
             continue;
         }
         let strategy = match op {
@@ -146,7 +204,7 @@ fn choose_dim(prog: &DslProgram) -> Option<(usize, PartitionStrategy)> {
             other => other,
         };
     }
-    best
+    (best, blocked_by_general)
 }
 
 fn rank_of(s: PartitionStrategy) -> u8 {
@@ -326,6 +384,7 @@ mod tests {
         assert!(!plan.is_partitioned());
         assert_eq!(plan.shards.len(), 1);
         assert_eq!(plan.shards[0].prog.name, "matvec");
+        assert_eq!(plan.outcome, PartitionOutcome::SingleDevice);
     }
 
     #[test]
@@ -333,6 +392,20 @@ mod tests {
         let p = matvec(2, 64);
         let plan = PartitionPlan::build(&p, 8).unwrap();
         assert_eq!(plan.shards.len(), 2, "cannot split extent 2 eight ways");
+        assert_eq!(plan.outcome, PartitionOutcome::Partitioned);
+    }
+
+    #[test]
+    fn outcome_labels_are_kebab_case() {
+        assert_eq!(PartitionOutcome::Partitioned.to_string(), "partitioned");
+        assert_eq!(
+            PartitionOutcome::GeneralAccess.to_string(),
+            "general-access"
+        );
+        assert_eq!(
+            PartitionOutcome::NoShardableDim.to_string(),
+            "no-shardable-dim"
+        );
     }
 
     #[test]
@@ -356,6 +429,11 @@ mod tests {
             .unwrap();
         let plan = PartitionPlan::build(&p, 4).unwrap();
         assert!(!plan.is_partitioned());
+        assert_eq!(
+            plan.outcome,
+            PartitionOutcome::GeneralAccess,
+            "the fallback must say *why* the pool is left idle"
+        );
     }
 
     #[test]

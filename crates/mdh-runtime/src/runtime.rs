@@ -24,7 +24,7 @@ use mdh_backend::transfer::{DeviceDataRegion, LinkParams};
 use mdh_core::buffer::Buffer;
 use mdh_core::dsl::DslProgram;
 use mdh_core::error::{MdhError, Result};
-use mdh_dist::{DevicePool, DistExecutor};
+use mdh_dist::{DevicePool, DistExecutor, FaultPlan};
 use mdh_lowering::asm::DeviceKind;
 use mdh_lowering::heuristics::mdh_default_schedule;
 use mdh_lowering::plan::ExecutionPlan;
@@ -56,6 +56,10 @@ pub struct RuntimeConfig {
     /// A100s and recombined through the program's combine operators;
     /// with 1 (the default) they run on the single simulator.
     pub devices: usize,
+    /// Deterministic fault schedule injected into pool launches
+    /// (`devices > 1` only). The runtime keeps serving through crashes:
+    /// evicted devices shrink the pool and requests degrade gracefully.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RuntimeConfig {
@@ -71,6 +75,7 @@ impl Default for RuntimeConfig {
             tune: TunePolicy::default(),
             tuning_cache_path: None,
             devices: 1,
+            faults: None,
         }
     }
 }
@@ -142,6 +147,8 @@ struct Counters {
     latency: LatencyRecorder,
     /// Shard executions per pool device (indexed like the pool).
     device_dispatches: Vec<u64>,
+    /// Requests served while the pool was (or became) degraded.
+    degraded_requests: u64,
 }
 
 struct Shared {
@@ -174,7 +181,11 @@ impl Runtime {
         let exec = CpuExecutor::new(config.exec_threads.max(1))?;
         let sim = GpuSim::a100(config.exec_threads.max(1))?;
         let dist = if config.devices > 1 {
-            Some(DistExecutor::new(DevicePool::gpus(config.devices))?)
+            let faults = config.faults.clone().unwrap_or_else(FaultPlan::none);
+            Some(DistExecutor::with_faults(
+                DevicePool::gpus(config.devices),
+                faults,
+            )?)
         } else {
             None
         };
@@ -247,6 +258,12 @@ impl Runtime {
     pub fn stats(&self) -> RuntimeStats {
         let plans = self.shared.plans.lock().expect("plan cache lock");
         let c = self.shared.counters.lock().expect("counters lock");
+        let faults = self
+            .shared
+            .dist
+            .as_ref()
+            .map(|d| d.fault_stats())
+            .unwrap_or_default();
         RuntimeStats {
             plan_hits: plans.hits(),
             plan_misses: plans.misses(),
@@ -275,6 +292,10 @@ impl Runtime {
                     .collect(),
                 None => Vec::new(),
             },
+            fault_retries: faults.retries,
+            device_evictions: faults.evictions,
+            repartitions: faults.repartitions,
+            degraded_requests: c.degraded_requests,
         }
     }
 
@@ -503,8 +524,13 @@ fn execute_one(
                 if c.device_dispatches.len() < dist.devices() {
                     c.device_dispatches.resize(dist.devices(), 0);
                 }
+                // after an eviction, shard index no longer equals device
+                // index: count where the work actually ran
                 for s in &report.per_shard {
-                    c.device_dispatches[s.shard] += 1;
+                    c.device_dispatches[s.device_index] += 1;
+                }
+                if report.degraded {
+                    c.degraded_requests += 1;
                 }
             }
             // steady-state per-launch time (exec + combine + D2H); the

@@ -78,6 +78,16 @@ pub struct RuntimeStats {
     /// on a single device; CPU-device requests run on the shared host
     /// executor and are not pool dispatches.
     pub device_dispatches: Vec<(String, u64)>,
+    /// Shard attempts re-run after an injected transient fault or a
+    /// timed-out transfer (monotone; pool runtimes only).
+    pub fault_retries: u64,
+    /// Devices evicted from the pool health view after a crash.
+    pub device_evictions: u64,
+    /// Partitions re-planned over a shrunken pool after an eviction.
+    pub repartitions: u64,
+    /// Requests served while the pool was degraded (at least one device
+    /// evicted, or lost during the request itself).
+    pub degraded_requests: u64,
 }
 
 impl RuntimeStats {
@@ -97,6 +107,14 @@ impl RuntimeStats {
         } else {
             self.completed as f64 / self.batches as f64
         }
+    }
+
+    /// Whether any fault/recovery activity has been recorded.
+    pub fn has_faults(&self) -> bool {
+        self.fault_retries > 0
+            || self.device_evictions > 0
+            || self.repartitions > 0
+            || self.degraded_requests > 0
     }
 }
 
@@ -128,6 +146,16 @@ impl std::fmt::Display for RuntimeStats {
             for (label, n) in &self.device_dispatches {
                 write!(f, " {label}={n}")?;
             }
+        }
+        if self.has_faults() {
+            write!(
+                f,
+                "; faults: retries={} evictions={} repartitions={} degraded-requests={}",
+                self.fault_retries,
+                self.device_evictions,
+                self.repartitions,
+                self.degraded_requests
+            )?;
         }
         Ok(())
     }
@@ -165,6 +193,23 @@ mod tests {
         s.device_dispatches = vec![("gpu0".into(), 7), ("gpu1".into(), 7)];
         let line = s.to_string();
         assert!(line.contains("dispatch: gpu0=7 gpu1=7"), "{line}");
+    }
+
+    #[test]
+    fn display_includes_fault_counters_only_when_nonzero() {
+        let mut s = RuntimeStats::default();
+        assert!(!s.has_faults());
+        assert!(!s.to_string().contains("faults:"));
+        s.fault_retries = 3;
+        s.device_evictions = 1;
+        s.repartitions = 1;
+        s.degraded_requests = 40;
+        assert!(s.has_faults());
+        let line = s.to_string();
+        assert!(
+            line.contains("faults: retries=3 evictions=1 repartitions=1 degraded-requests=40"),
+            "{line}"
+        );
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //! mdhc tune     <file> [-D ...] [--device gpu|cpu] [--budget N] [--cache FILE]
 //! mdhc explain  <file> [-D ...] [--device gpu|cpu] what the lowering does
 //! mdhc serve    <socket> [--threads N] [--workers N] [--batch N] [--budget N]
-//!               [--cache FILE] [--devices N]       persistent execution service
+//!               [--cache FILE] [--devices N] [--faults SPEC]
+//!                                                  persistent execution service
 //!                                                  (--devices N > 1 partitions GPU
-//!                                                  launches across a device pool)
+//!                                                  launches across a device pool;
+//!                                                  --faults injects a deterministic
+//!                                                  chaos schedule, e.g.
+//!                                                  "crash=1@3,transient=2@1x2,
+//!                                                  rate=25,seed=42")
 //! mdhc submit   <file> --socket PATH [-D ...] [--device gpu|cpu] [--count N]
 //!                                                  send launches to a server
 //! ```
@@ -39,7 +44,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: mdhc <compile|run|estimate|tune|explain|serve|submit> <file|socket> \
          [-D NAME=VAL]... [--device gpu|cpu] [--threads N] [--budget N] [--cache FILE] \
-         [--workers N] [--batch N] [--socket PATH] [--count N] [--devices N]"
+         [--workers N] [--batch N] [--socket PATH] [--count N] [--devices N] \
+         [--faults SPEC]"
     );
     exit(2);
 }
@@ -58,6 +64,7 @@ struct Cli {
     socket: Option<PathBuf>,
     count: usize,
     devices: usize,
+    faults: Option<mdh::dist::FaultPlan>,
 }
 
 fn parse_cli() -> Cli {
@@ -80,6 +87,7 @@ fn parse_cli() -> Cli {
     let mut socket = None;
     let mut count = 1;
     let mut devices = 1;
+    let mut faults = None;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -155,6 +163,17 @@ fn parse_cli() -> Cli {
                     .unwrap_or_else(|| usage());
                 i += 2;
             }
+            "--faults" => {
+                let spec = args.get(i + 1).unwrap_or_else(|| usage());
+                match mdh::dist::FaultPlan::parse(spec) {
+                    Ok(p) => faults = Some(p),
+                    Err(e) => {
+                        eprintln!("bad --faults spec: {e}");
+                        exit(2);
+                    }
+                }
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage();
@@ -175,6 +194,7 @@ fn parse_cli() -> Cli {
         socket,
         count,
         devices,
+        faults,
     }
 }
 
@@ -294,8 +314,16 @@ fn cmd_serve(cli: &Cli) {
         },
         tuning_cache_path: cli.cache.clone(),
         devices: cli.devices.max(1),
+        faults: cli.faults.clone(),
         ..RuntimeConfig::default()
     };
+    if let Some(plan) = &cli.faults {
+        if cli.devices <= 1 {
+            eprintln!("--faults requires --devices N > 1 (faults are injected into pool launches)");
+            exit(2);
+        }
+        println!("fault plan: {plan}");
+    }
     if let Err(e) = mdh::runtime::server::serve(&cli.file, config) {
         eprintln!("serve failed on {}: {e}", cli.file.display());
         exit(1);

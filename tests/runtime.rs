@@ -337,3 +337,128 @@ fn multi_device_serving_is_bit_identical_and_counts_dispatches() {
     let line = stats.to_string();
     assert!(line.contains("dispatch: gpu0="), "{line}");
 }
+
+/// Degraded-mode serving: 100 same-signature GPU requests on a 4-device
+/// pool while a deterministic fault plan kills a device mid-stream.
+/// Every request must still succeed bit-identically (the lost shard is
+/// re-planned over the survivors), the plan cache stays hot, and the
+/// fault counters in the stats are monotone across snapshots.
+#[test]
+fn degraded_pool_keeps_serving_through_a_mid_stream_crash() {
+    use mdh::dist::FaultPlan;
+
+    let prog = matvec_prog(32, 64);
+    let inputs = deterministic_inputs(&prog).unwrap();
+
+    let single = Runtime::new(RuntimeConfig {
+        workers: 1,
+        exec_threads: 2,
+        tune: TunePolicy {
+            enabled: false,
+            ..TunePolicy::default()
+        },
+        ..RuntimeConfig::default()
+    })
+    .unwrap();
+    let reference = single
+        .submit(Request {
+            prog: prog.clone(),
+            device: DeviceKind::Gpu,
+            inputs: inputs.clone(),
+        })
+        .wait()
+        .expect("reference launch")
+        .outputs;
+
+    // device 2 dies at pool launch 30 — mid-stream of the 100-request
+    // workload; transient hiccups on device 1 early on for good measure
+    let faults = FaultPlan::none().crash(2, 30).transient(1, 3, 2);
+    let runtime = Runtime::new(RuntimeConfig {
+        workers: 2,
+        exec_threads: 2,
+        devices: 4,
+        faults: Some(faults),
+        tune: TunePolicy {
+            enabled: false,
+            ..TunePolicy::default()
+        },
+        ..RuntimeConfig::default()
+    })
+    .unwrap();
+
+    let mut served = 0u64;
+    let mut prev = runtime.stats();
+    for _wave in 0..5 {
+        let handles: Vec<_> = (0..20)
+            .map(|_| {
+                runtime.submit(Request {
+                    prog: prog.clone(),
+                    device: DeviceKind::Gpu,
+                    inputs: inputs.clone(),
+                })
+            })
+            .collect();
+        for h in handles {
+            let resp = h.wait().expect("no request may fail during the crash");
+            served += 1;
+            assert_eq!(resp.outputs.len(), reference.len());
+            for (got, want) in resp.outputs.iter().zip(&reference) {
+                assert_eq!(
+                    f32_data(got),
+                    f32_data(want),
+                    "degraded serving must stay bit-identical"
+                );
+            }
+        }
+        // counters are monotone across snapshots
+        let snap = runtime.stats();
+        assert!(snap.completed >= prev.completed, "completed regressed");
+        assert!(snap.plan_hits >= prev.plan_hits, "plan_hits regressed");
+        assert!(
+            snap.fault_retries >= prev.fault_retries,
+            "fault_retries regressed"
+        );
+        assert!(
+            snap.device_evictions >= prev.device_evictions,
+            "device_evictions regressed"
+        );
+        assert!(
+            snap.repartitions >= prev.repartitions,
+            "repartitions regressed"
+        );
+        assert!(
+            snap.degraded_requests >= prev.degraded_requests,
+            "degraded_requests regressed"
+        );
+        prev = snap;
+    }
+    assert_eq!(served, 100, "all 100 requests answered");
+
+    let stats = runtime.stats();
+    assert_eq!(stats.completed, 100, "zero failed requests");
+    assert!(
+        stats.hit_rate() > 0.9,
+        "plan cache must stay hot through the crash, got {:.3}",
+        stats.hit_rate()
+    );
+    assert_eq!(stats.device_evictions, 1, "exactly the scheduled crash");
+    assert!(stats.repartitions >= 1, "the lost shard was re-planned");
+    assert_eq!(stats.fault_retries, 2, "the scheduled transients retried");
+    assert!(
+        stats.degraded_requests > 0 && stats.degraded_requests < 100,
+        "the crash landed mid-stream ({} degraded requests)",
+        stats.degraded_requests
+    );
+    // the dead device stops being dispatched to; survivors keep working
+    let dispatches = &stats.device_dispatches;
+    assert_eq!(dispatches.len(), 4);
+    assert!(
+        dispatches[2].1 < dispatches[0].1,
+        "evicted gpu2 must fall behind the survivors: {dispatches:?}"
+    );
+    let line = stats.to_string();
+    assert!(
+        line.contains("faults: retries=2 evictions=1"),
+        "stats line must surface the fault counters: {line}"
+    );
+}
