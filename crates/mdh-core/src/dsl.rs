@@ -144,6 +144,22 @@ impl DslProgram {
             )));
         }
         self.md_hom.sf.validate()?;
+        // the iteration-space volume must be representable: absurd sizes
+        // (e.g. an i64::MAX loop bound fed through a front end) must be a
+        // graceful error here, not an arithmetic overflow in points() or
+        // a doomed allocation later
+        if self
+            .md_hom
+            .sizes
+            .iter()
+            .try_fold(1usize, |acc, &s| acc.checked_mul(s))
+            .is_none()
+        {
+            return Err(MdhError::Validation(format!(
+                "program '{}': iteration-space volume overflows ({:?})",
+                self.name, self.md_hom.sizes
+            )));
+        }
         // access buffer indices in range
         for a in &self.inp_view.accesses {
             if a.buffer >= self.inp_view.buffers.len() {

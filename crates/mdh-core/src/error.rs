@@ -23,6 +23,34 @@ pub enum MdhError {
         col: usize,
         message: String,
     },
+    /// A serving runtime shed this request at admission (bounded queue
+    /// full). Retryable: nothing about the request itself is wrong.
+    Overloaded(String),
+    /// The request's deadline expired before (or while) it could be
+    /// served; it was not executed.
+    DeadlineExceeded(String),
+    /// A worker panicked while executing this request. The panic was
+    /// isolated to the request; the worker and queue survive.
+    WorkerPanic(String),
+    /// The circuit breaker for this request's plan key is open: recent
+    /// consecutive failures make immediate failure the cheap, safe
+    /// answer. Retryable after the breaker's cooldown.
+    BreakerOpen(String),
+    /// The serving runtime is draining for shutdown and admits no new
+    /// requests. Retryable against a replacement server.
+    Draining(String),
+}
+
+impl MdhError {
+    /// Whether a client may retry the identical request later with a
+    /// reasonable expectation of success (load-shedding and lifecycle
+    /// errors — not errors about the request itself).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            MdhError::Overloaded(_) | MdhError::BreakerOpen(_) | MdhError::Draining(_)
+        )
+    }
 }
 
 impl fmt::Display for MdhError {
@@ -42,6 +70,15 @@ impl fmt::Display for MdhError {
             MdhError::Parse { line, col, message } => {
                 write!(f, "parse error at {line}:{col}: {message}")
             }
+            // the serving protocol prints errors as `err {Display}`, so
+            // these prefixes are the wire grammar: `err overloaded ...`,
+            // `err deadline exceeded ...`, `err worker panic ...`,
+            // `err breaker open ...`, `err draining ...`
+            MdhError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            MdhError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            MdhError::WorkerPanic(m) => write!(f, "worker panic: {m}"),
+            MdhError::BreakerOpen(m) => write!(f, "breaker open: {m}"),
+            MdhError::Draining(m) => write!(f, "draining: {m}"),
         }
     }
 }

@@ -384,6 +384,7 @@ struct PragmaParser<'a> {
     toks: Vec<CToken>,
     pos: usize,
     line: usize,
+    depth: usize,
     _src: &'a str,
 }
 
@@ -394,8 +395,22 @@ impl<'a> PragmaParser<'a> {
             toks,
             pos: 0,
             line,
+            depth: 0,
             _src: text,
         })
+    }
+
+    /// Bound recursive descent to [`crate::MAX_NEST_DEPTH`]; paired with
+    /// `self.depth -= 1` on the success path.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > crate::MAX_NEST_DEPTH {
+            return Err(c_err(
+                self.line,
+                format!("nesting deeper than {} levels", crate::MAX_NEST_DEPTH),
+            ));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> &CTok {
@@ -508,7 +523,10 @@ impl<'a> PragmaParser<'a> {
 
     /// Pragma-level size expression (constants and size identifiers).
     fn expr(&mut self) -> Result<SurfaceExpr> {
-        self.additive()
+        self.descend()?;
+        let e = self.additive();
+        self.depth -= 1;
+        e
     }
 
     fn additive(&mut self) -> Result<SurfaceExpr> {
@@ -565,9 +583,23 @@ impl<'a> PragmaParser<'a> {
 struct CParser {
     toks: Vec<CToken>,
     pos: usize,
+    depth: usize,
 }
 
 impl CParser {
+    /// Bound recursive descent (expression *and* statement nesting) to
+    /// [`crate::MAX_NEST_DEPTH`]; paired with `self.depth -= 1` on the
+    /// success path.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > crate::MAX_NEST_DEPTH {
+            return Err(c_err(
+                self.line(),
+                format!("nesting deeper than {} levels", crate::MAX_NEST_DEPTH),
+            ));
+        }
+        Ok(())
+    }
     fn peek(&self) -> &CTok {
         &self.toks[self.pos.min(self.toks.len() - 1)].tok
     }
@@ -762,7 +794,8 @@ impl CParser {
 
     /// `{ stmt* }` or a single statement.
     fn block(&mut self) -> Result<Vec<SurfaceStmt>> {
-        if *self.peek() == CTok::LBrace {
+        self.descend()?;
+        let body = if *self.peek() == CTok::LBrace {
             self.next();
             let mut body = Vec::new();
             while *self.peek() != CTok::RBrace {
@@ -772,16 +805,21 @@ impl CParser {
                 body.push(self.stmt()?);
             }
             self.next();
-            Ok(body)
+            body
         } else {
-            Ok(vec![self.stmt()?])
-        }
+            vec![self.stmt()?]
+        };
+        self.depth -= 1;
+        Ok(body)
     }
 
     // expressions -----------------------------------------------------------
 
     fn expr(&mut self) -> Result<SurfaceExpr> {
-        self.or_expr()
+        self.descend()?;
+        let e = self.or_expr();
+        self.depth -= 1;
+        e
     }
 
     fn or_expr(&mut self) -> Result<SurfaceExpr> {
@@ -859,13 +897,17 @@ impl CParser {
         match self.peek() {
             CTok::Minus => {
                 self.next();
-                let e = self.unary()?;
-                Ok(SurfaceExpr::Un(SurfUnOp::Neg, Box::new(e)))
+                self.descend()?;
+                let e = self.unary();
+                self.depth -= 1;
+                Ok(SurfaceExpr::Un(SurfUnOp::Neg, Box::new(e?)))
             }
             CTok::Not => {
                 self.next();
-                let e = self.unary()?;
-                Ok(SurfaceExpr::Un(SurfUnOp::Not, Box::new(e)))
+                self.descend()?;
+                let e = self.unary();
+                self.depth -= 1;
+                Ok(SurfaceExpr::Un(SurfUnOp::Not, Box::new(e?)))
             }
             _ => self.postfix(),
         }
@@ -1018,6 +1060,7 @@ pub fn parse_c(src: &str) -> Result<DirectiveAst> {
     let mut cp = CParser {
         toks: toks[pi + 1..].to_vec(),
         pos: 0,
+        depth: 0,
     };
     let body = vec![cp.stmt()?];
     if !matches!(body[0], SurfaceStmt::For { .. }) {

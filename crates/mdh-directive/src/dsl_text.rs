@@ -31,9 +31,22 @@ use std::sync::Arc;
 struct P {
     toks: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl P {
+    /// Bound recursive descent to [`crate::MAX_NEST_DEPTH`]; paired with
+    /// `self.depth -= 1` on the success path.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > crate::MAX_NEST_DEPTH {
+            return Err(self.err(format!(
+                "nesting deeper than {} levels",
+                crate::MAX_NEST_DEPTH
+            )));
+        }
+        Ok(())
+    }
     fn peek(&self) -> &TokenKind {
         &self.toks[self.pos.min(self.toks.len() - 1)].kind
     }
@@ -159,6 +172,18 @@ impl P {
 
     /// Affine expression over the lambda parameters.
     fn affine(&mut self, vars: &[String], rank: usize, env: &DirectiveEnv) -> Result<AffineExpr> {
+        self.descend()?;
+        let e = self.affine_inner(vars, rank, env);
+        self.depth -= 1;
+        e
+    }
+
+    fn affine_inner(
+        &mut self,
+        vars: &[String],
+        rank: usize,
+        env: &DirectiveEnv,
+    ) -> Result<AffineExpr> {
         let mut acc = self.affine_term(vars, rank, env)?;
         loop {
             if self.accept(TokenKind::Plus) {
@@ -230,7 +255,10 @@ impl P {
         match self.next() {
             TokenKind::Int(v) => Ok(AffineExpr::constant(rank, v)),
             TokenKind::Minus => {
-                let a = self.affine_atom(vars, rank, env)?;
+                self.descend()?;
+                let a = self.affine_atom(vars, rank, env);
+                self.depth -= 1;
+                let a = a?;
                 Ok(AffineExpr {
                     coeffs: a.coeffs.iter().map(|c| -c).collect(),
                     constant: -a.constant,
@@ -402,7 +430,11 @@ fn builtin_sf(
 /// Parse a textual DSL program (Listing 7) against host bindings.
 pub fn parse_dsl(src: &str, env: &DirectiveEnv) -> Result<DslProgram> {
     let toks = tokenize(src)?;
-    let mut p = P { toks, pos: 0 };
+    let mut p = P {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let mut vars: Option<Vec<String>> = None;
 
     p.skip_layout();
@@ -528,7 +560,16 @@ pub fn parse_dsl(src: &str, env: &DirectiveEnv) -> Result<DslProgram> {
 fn tokens_to_const(toks: &[Token], env: &DirectiveEnv) -> Option<i64> {
     // shunting-yard-free: re-lex through the surface parser by textual
     // reconstruction would be wasteful; implement a tiny recursive parser
-    fn parse(toks: &[Token], pos: &mut usize, env: &DirectiveEnv, min_prec: u8) -> Option<i64> {
+    fn parse(
+        toks: &[Token],
+        pos: &mut usize,
+        env: &DirectiveEnv,
+        min_prec: u8,
+        depth: usize,
+    ) -> Option<i64> {
+        if depth > crate::MAX_NEST_DEPTH {
+            return None;
+        }
         let mut lhs = match toks.get(*pos)?.kind.clone() {
             TokenKind::Int(v) => {
                 *pos += 1;
@@ -540,11 +581,11 @@ fn tokens_to_const(toks: &[Token], env: &DirectiveEnv) -> Option<i64> {
             }
             TokenKind::Minus => {
                 *pos += 1;
-                -parse(toks, pos, env, 3)?
+                -parse(toks, pos, env, 3, depth + 1)?
             }
             TokenKind::LParen => {
                 *pos += 1;
-                let v = parse(toks, pos, env, 0)?;
+                let v = parse(toks, pos, env, 0, depth + 1)?;
                 if !matches!(toks.get(*pos)?.kind, TokenKind::RParen) {
                     return None;
                 }
@@ -565,7 +606,7 @@ fn tokens_to_const(toks: &[Token], env: &DirectiveEnv) -> Option<i64> {
                 break;
             }
             *pos += 1;
-            let rhs = parse(toks, pos, env, prec + 1)?;
+            let rhs = parse(toks, pos, env, prec + 1, depth + 1)?;
             lhs = match op {
                 '+' => lhs + rhs,
                 '-' => lhs - rhs,
@@ -581,7 +622,7 @@ fn tokens_to_const(toks: &[Token], env: &DirectiveEnv) -> Option<i64> {
         Some(lhs)
     }
     let mut pos = 0;
-    let v = parse(toks, &mut pos, env, 0)?;
+    let v = parse(toks, &mut pos, env, 0, 0)?;
     if pos == toks.len() {
         Some(v)
     } else {

@@ -98,6 +98,7 @@ pub fn parse_fortran(src: &str) -> Result<DirectiveAst> {
         lines: rest,
         pos: 0,
         loop_vars: Vec::new(),
+        depth: 0,
     };
     let body = vec![parser.stmt()?];
     parser.skip_blank();
@@ -167,6 +168,7 @@ struct FortranBody<'a> {
     /// occurrences inside expressions are substituted as `var + 1` so the
     /// uniform 1-based→0-based subscript shift is correct)
     loop_vars: Vec<String>,
+    depth: usize,
 }
 
 impl<'a> FortranBody<'a> {
@@ -183,6 +185,20 @@ impl<'a> FortranBody<'a> {
     }
 
     fn stmt(&mut self) -> Result<SurfaceStmt> {
+        self.depth += 1;
+        if self.depth > crate::MAX_NEST_DEPTH {
+            let no = self.current().map(|l| l.no).unwrap_or(0);
+            return Err(f_err(
+                no,
+                format!("nesting deeper than {} levels", crate::MAX_NEST_DEPTH),
+            ));
+        }
+        let r = self.stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<SurfaceStmt> {
         self.skip_blank();
         let line = self.current()?;
         let no = line.no;
@@ -390,6 +406,7 @@ fn parse_expr(s: &str, no: usize, loop_vars: &[String]) -> Result<SurfaceExpr> {
         pos: 0,
         line: no,
         loop_vars,
+        depth: 0,
     }
     .parse_top()
 }
@@ -399,9 +416,22 @@ struct ExprParser<'a> {
     pos: usize,
     line: usize,
     loop_vars: &'a [String],
+    depth: usize,
 }
 
 impl<'a> ExprParser<'a> {
+    /// Bound recursive descent to [`crate::MAX_NEST_DEPTH`]; paired with
+    /// `self.depth -= 1` on each success path.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > crate::MAX_NEST_DEPTH {
+            return Err(f_err(
+                self.line,
+                format!("nesting deeper than {} levels", crate::MAX_NEST_DEPTH),
+            ));
+        }
+        Ok(())
+    }
     fn parse_top(mut self) -> Result<SurfaceExpr> {
         let e = self.or_expr()?;
         self.skip_ws();
@@ -439,11 +469,13 @@ impl<'a> ExprParser<'a> {
     }
 
     fn or_expr(&mut self) -> Result<SurfaceExpr> {
+        self.descend()?;
         let mut lhs = self.and_expr()?;
         while self.starts("||") {
             let rhs = self.and_expr()?;
             lhs = SurfaceExpr::Bin(SurfBinOp::Or, Box::new(lhs), Box::new(rhs));
         }
+        self.depth -= 1;
         Ok(lhs)
     }
 
@@ -508,12 +540,16 @@ impl<'a> ExprParser<'a> {
 
     fn unary(&mut self) -> Result<SurfaceExpr> {
         if self.starts("-") {
-            let e = self.unary()?;
-            return Ok(SurfaceExpr::Un(crate::ast::SurfUnOp::Neg, Box::new(e)));
+            self.descend()?;
+            let e = self.unary();
+            self.depth -= 1;
+            return Ok(SurfaceExpr::Un(crate::ast::SurfUnOp::Neg, Box::new(e?)));
         }
         if self.starts("!") {
-            let e = self.unary()?;
-            return Ok(SurfaceExpr::Un(crate::ast::SurfUnOp::Not, Box::new(e)));
+            self.descend()?;
+            let e = self.unary();
+            self.depth -= 1;
+            return Ok(SurfaceExpr::Un(crate::ast::SurfUnOp::Not, Box::new(e?)));
         }
         self.primary()
     }

@@ -37,6 +37,14 @@
 //! `combine_ops(...)`. A `+=` in the body is rejected with guidance.
 
 #![allow(clippy::needless_range_loop)]
+
+/// Maximum nesting depth any front end will recurse to (parenthesised
+/// expressions, unary-operator chains, statement blocks). The serving
+/// path feeds client-controlled bytes into these recursive-descent
+/// parsers; without a bound, pathological nesting is a stack overflow —
+/// an abort `catch_unwind` cannot contain — rather than a parse error.
+pub const MAX_NEST_DEPTH: usize = 64;
+
 pub mod ast;
 pub mod builder;
 pub mod c_frontend;

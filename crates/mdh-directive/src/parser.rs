@@ -19,6 +19,7 @@ use mdh_core::error::{MdhError, Result};
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -26,7 +27,22 @@ impl Parser {
         Ok(Parser {
             tokens: tokenize(src)?,
             pos: 0,
+            depth: 0,
         })
+    }
+
+    /// Bound recursive descent to [`crate::MAX_NEST_DEPTH`]. Callers pair
+    /// this with a `self.depth -= 1` on the success path; an error
+    /// aborts the whole parse, so a missed decrement there is moot.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > crate::MAX_NEST_DEPTH {
+            return Err(self.err_here(format!(
+                "nesting deeper than {} levels",
+                crate::MAX_NEST_DEPTH
+            )));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> &Token {
@@ -266,6 +282,7 @@ impl Parser {
 
     /// Parse an indented statement block.
     fn parse_block(&mut self) -> Result<Vec<SurfaceStmt>> {
+        self.descend()?;
         self.expect(TokenKind::Indent)?;
         let mut stmts = Vec::new();
         loop {
@@ -282,6 +299,7 @@ impl Parser {
         if stmts.is_empty() {
             return Err(self.err_here("empty block"));
         }
+        self.depth -= 1;
         Ok(stmts)
     }
 
@@ -402,7 +420,10 @@ impl Parser {
     /// or < and < not < comparison < additive < multiplicative < unary
     /// < postfix < primary.
     pub fn parse_expr(&mut self) -> Result<SurfaceExpr> {
-        self.parse_or()
+        self.descend()?;
+        let e = self.parse_or();
+        self.depth -= 1;
+        e
     }
 
     fn parse_or(&mut self) -> Result<SurfaceExpr> {
@@ -428,8 +449,10 @@ impl Parser {
     fn parse_not(&mut self) -> Result<SurfaceExpr> {
         if matches!(self.peek_kind(), TokenKind::Ident(k) if k == "not") {
             self.advance();
-            let e = self.parse_not()?;
-            return Ok(SurfaceExpr::Un(SurfUnOp::Not, Box::new(e)));
+            self.descend()?;
+            let e = self.parse_not();
+            self.depth -= 1;
+            return Ok(SurfaceExpr::Un(SurfUnOp::Not, Box::new(e?)));
         }
         self.parse_comparison()
     }
@@ -487,8 +510,10 @@ impl Parser {
 
     fn parse_unary(&mut self) -> Result<SurfaceExpr> {
         if self.accept(TokenKind::Minus) {
-            let e = self.parse_unary()?;
-            return Ok(SurfaceExpr::Un(SurfUnOp::Neg, Box::new(e)));
+            self.descend()?;
+            let e = self.parse_unary();
+            self.depth -= 1;
+            return Ok(SurfaceExpr::Un(SurfUnOp::Neg, Box::new(e?)));
         }
         self.parse_postfix()
     }

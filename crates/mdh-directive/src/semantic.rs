@@ -285,26 +285,20 @@ pub fn eval_const(e: &SurfaceExpr, env: &DirectiveEnv) -> Option<i64> {
         SurfaceExpr::Name(n) => env.sizes.get(n).copied(),
         SurfaceExpr::Bin(op, a, b) => {
             let (a, b) = (eval_const(a, env)?, eval_const(b, env)?);
-            Some(match op {
-                SurfBinOp::Add => a + b,
-                SurfBinOp::Sub => a - b,
-                SurfBinOp::Mul => a * b,
-                SurfBinOp::Div => {
-                    if b == 0 {
-                        return None;
-                    }
-                    a / b
-                }
-                SurfBinOp::Mod => {
-                    if b == 0 {
-                        return None;
-                    }
-                    a % b
-                }
-                _ => return None,
-            })
+            // checked arithmetic throughout: directive sources are
+            // untrusted input, and an i64::MAX size binding must become a
+            // "not a constant" miss (and then a validation error), never
+            // an overflow panic
+            match op {
+                SurfBinOp::Add => a.checked_add(b),
+                SurfBinOp::Sub => a.checked_sub(b),
+                SurfBinOp::Mul => a.checked_mul(b),
+                SurfBinOp::Div => a.checked_div(b),
+                SurfBinOp::Mod => a.checked_rem(b),
+                _ => None,
+            }
         }
-        SurfaceExpr::Un(SurfUnOp::Neg, a) => Some(-eval_const(a, env)?),
+        SurfaceExpr::Un(SurfUnOp::Neg, a) => eval_const(a, env)?.checked_neg(),
         _ => None,
     }
 }

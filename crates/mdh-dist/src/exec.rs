@@ -53,8 +53,15 @@ use mdh_lowering::asm::DeviceKind;
 use mdh_lowering::heuristics::mdh_default_schedule;
 use mdh_lowering::partition::{PartitionOutcome, PartitionPlan, PartitionStrategy};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Poison-recovering lock: the executor's shared state (health view,
+/// cumulative fault counters) is valid after each completed mutation, so
+/// a panicking launch thread must not brick every later launch.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What one device did for one launch.
 #[derive(Debug, Clone)]
@@ -270,14 +277,12 @@ impl DistExecutor {
 
     /// Cumulative fault/recovery counters across all launches so far.
     pub fn fault_stats(&self) -> FaultStats {
-        *self.cumulative.lock().expect("fault stats lock")
+        *plock(&self.cumulative)
     }
 
     /// Pool indices of the devices still healthy.
     pub fn alive_devices(&self) -> Vec<usize> {
-        self.health
-            .lock()
-            .expect("health lock")
+        plock(&self.health)
             .iter()
             .enumerate()
             .filter_map(|(i, &ok)| ok.then_some(i))
@@ -285,12 +290,7 @@ impl DistExecutor {
     }
 
     pub fn healthy_count(&self) -> usize {
-        self.health
-            .lock()
-            .expect("health lock")
-            .iter()
-            .filter(|&&ok| ok)
-            .count()
+        plock(&self.health).iter().filter(|&&ok| ok).count()
     }
 
     /// Whether any device has been evicted.
@@ -303,7 +303,7 @@ impl DistExecutor {
     /// the same dying device race to evict it, and only the winner may
     /// count the eviction.
     fn evict(&self, device: usize) -> bool {
-        let mut health = self.health.lock().expect("health lock");
+        let mut health = plock(&self.health);
         std::mem::replace(&mut health[device], false)
     }
 
@@ -312,14 +312,26 @@ impl DistExecutor {
     /// Shard `i` runs on the `i`-th healthy device; with no shardable
     /// dimension the whole program runs on the first healthy device.
     pub fn run(&self, prog: &DslProgram, inputs: &[Buffer]) -> Result<(Vec<Buffer>, DistReport)> {
+        self.run_with_deadline(prog, inputs, None)
+    }
+
+    /// [`DistExecutor::run`] with a serve-by deadline: the launch is
+    /// refused up front if the deadline already passed, and recovery
+    /// gives up (instead of re-planning crashed shards over the
+    /// survivors) once it expires mid-launch — an expired caller has no
+    /// use for the recovered partial, so the recompute work is saved.
+    /// Shards already executing are not aborted.
+    pub fn run_with_deadline(
+        &self,
+        prog: &DslProgram,
+        inputs: &[Buffer],
+        deadline: Option<Instant>,
+    ) -> Result<(Vec<Buffer>, DistReport)> {
         let launch = self.launches.fetch_add(1, Ordering::SeqCst);
         let host_memory = self.pool.all_host_memory();
         let mut faults = FaultStats::default();
-        let level = self.run_level(prog, inputs, launch, &mut faults)?;
-        self.cumulative
-            .lock()
-            .expect("fault stats lock")
-            .absorb(&faults);
+        let level = self.run_level(prog, inputs, launch, deadline, &mut faults)?;
+        plock(&self.cumulative).absorb(&faults);
 
         let outputs = recombine(prog, &level.plan, level.shard_outs)?;
         let out_bytes = output_bytes(&outputs);
@@ -387,8 +399,14 @@ impl DistExecutor {
         prog: &DslProgram,
         inputs: &[Buffer],
         launch: u64,
+        deadline: Option<Instant>,
         faults: &mut FaultStats,
     ) -> Result<Level> {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(MdhError::DeadlineExceeded(
+                "deadline expired before pool dispatch; launch not started".into(),
+            ));
+        }
         let alive = self.alive_devices();
         if alive.is_empty() {
             return Err(MdhError::Eval(format!(
@@ -482,9 +500,16 @@ impl DistExecutor {
         // recombining its sub-partials yields exactly the partial the
         // dead device owed — healthy partials stay as computed.
         for i in crashed {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(MdhError::DeadlineExceeded(
+                    "deadline expired before crashed-shard recovery; \
+                     recompute abandoned"
+                        .into(),
+                ));
+            }
             faults.repartitions += 1;
             let shard = &plan.shards[i];
-            let sub = self.run_level(&shard.prog, inputs, launch, faults)?;
+            let sub = self.run_level(&shard.prog, inputs, launch, deadline, faults)?;
             let partial = recombine(&shard.prog, &sub.plan, sub.shard_outs)?;
             per_shard.extend(sub.per_shard.into_iter().map(|mut r| {
                 r.shard = i;

@@ -25,6 +25,7 @@ pub mod plan_cache;
 pub mod runtime;
 pub mod server;
 pub mod stats;
+mod sync;
 pub mod tune;
 
 pub use plan_cache::{structural_signature, CompiledPlan, PlanCache, PlanKey, PlanSource};

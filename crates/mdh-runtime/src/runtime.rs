@@ -3,20 +3,34 @@
 //!
 //! Life of a request ([`Runtime::submit`]):
 //!
-//! 1. the program is keyed by [`PlanKey`] (structural signature × shape
-//!    class × device) and enqueued;
+//! 1. **admission**: the queue is bounded ([`RuntimeConfig::max_queue_depth`]);
+//!    a full queue sheds the request immediately with a retryable
+//!    [`MdhError::Overloaded`], and a draining runtime answers
+//!    [`MdhError::Draining`]. Accepted requests are keyed by [`PlanKey`]
+//!    (structural signature × shape class × device) and enqueued;
 //! 2. a worker pops it and *drains every queued request with the same
 //!    key* (up to `max_batch`) into one batch, so the plan lookup and —
-//!    on GPU — the [`DeviceDataRegion`] residency warm-up are paid once;
-//! 3. the plan comes from the cache (hit), the persistent tuning cache
+//!    on GPU — the [`DeviceDataRegion`] residency warm-up are paid once.
+//!    Requests whose [`Request::deadline`] expired while queued are
+//!    answered [`MdhError::DeadlineExceeded`] during the drain, without
+//!    executing;
+//! 3. the per-key **circuit breaker** is consulted: a key with
+//!    [`RuntimeConfig::breaker_threshold`] consecutive failures fails
+//!    fast ([`MdhError::BreakerOpen`]) until a cooldown elapses, after
+//!    which a single half-open probe decides whether to close it again;
+//! 4. the plan comes from the cache (hit), the persistent tuning cache
 //!    (warm start), or a fresh heuristic lowering (cold miss). A cold
 //!    miss additionally queues a background tune job — the caller is
 //!    *never* blocked on tuning;
-//! 4. the batch executes (real threads on CPU via the lowered plan, the
-//!    functional simulator on GPU) and each caller's [`Handle`] resolves.
+//! 5. the batch executes (real threads on CPU via the lowered plan, the
+//!    functional simulator on GPU) under `catch_unwind`: a panic becomes
+//!    a per-request [`MdhError::WorkerPanic`] (and a breaker failure),
+//!    never a dead worker or a wedged queue, and each caller's
+//!    [`Handle`] resolves.
 
 use crate::plan_cache::{CompiledPlan, PlanCache, PlanKey, PlanSource};
 use crate::stats::{LatencyRecorder, RuntimeStats};
+use crate::sync::{cv_wait, lock};
 use crate::tune::{plan_from_tuning_cache, run_tune_job, TuneJob, TunePolicy};
 use mdh_backend::cpu::CpuExecutor;
 use mdh_backend::gpu::GpuSim;
@@ -30,6 +44,7 @@ use mdh_lowering::heuristics::mdh_default_schedule;
 use mdh_lowering::plan::ExecutionPlan;
 use mdh_tuner::TuningCache;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -48,6 +63,29 @@ pub struct RuntimeConfig {
     pub plan_cache_capacity: usize,
     /// Max same-key requests drained into one batch.
     pub max_batch: usize,
+    /// Admission control: requests arriving while this many are already
+    /// queued are shed with a retryable `err overloaded` instead of
+    /// growing the queue without bound (minimum 1).
+    pub max_queue_depth: usize,
+    /// Consecutive failures on one [`PlanKey`] that trip its circuit
+    /// breaker (minimum 1).
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker fails fast before admitting a single
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Serving-edge chaos hook (the [`FaultPlan`] philosophy applied one
+    /// layer up): any request whose program name equals this marker
+    /// panics inside the worker at execution time. Exercised by
+    /// `examples/overload.rs` and the overload tests to prove panic
+    /// isolation and the breaker; `None` (the default) in production.
+    pub panic_marker: Option<String>,
+    /// Max concurrent socket connections (`server` layer only; the
+    /// library API is not connection-oriented).
+    pub max_connections: usize,
+    /// Per-connection socket read timeout (`server` layer only): an idle
+    /// or half-written client is answered with an error and disconnected
+    /// instead of holding its connection thread forever.
+    pub read_timeout: Duration,
     pub tune: TunePolicy,
     /// Load/persist tuned schedules here (shared with `mdhc tune`).
     pub tuning_cache_path: Option<PathBuf>,
@@ -72,6 +110,12 @@ impl Default for RuntimeConfig {
             exec_threads: hw.clamp(1, 8),
             plan_cache_capacity: 64,
             max_batch: 16,
+            max_queue_depth: 256,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            panic_marker: None,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
             tune: TunePolicy::default(),
             tuning_cache_path: None,
             devices: 1,
@@ -86,6 +130,33 @@ pub struct Request {
     pub prog: DslProgram,
     pub device: DeviceKind,
     pub inputs: Vec<Buffer>,
+    /// Serve-by deadline. A request that expires while queued is
+    /// answered `err deadline exceeded` without executing; an expired
+    /// deadline is also checked immediately before execution. Execution
+    /// itself is not aborted mid-flight.
+    pub deadline: Option<Instant>,
+}
+
+impl Request {
+    pub fn new(prog: DslProgram, device: DeviceKind, inputs: Vec<Buffer>) -> Request {
+        Request {
+            prog,
+            device,
+            inputs,
+            deadline: None,
+        }
+    }
+
+    /// Attach an absolute serve-by deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Request {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a deadline `ms` milliseconds from now.
+    pub fn with_deadline_ms(self, ms: u64) -> Request {
+        self.with_deadline(Instant::now() + Duration::from_millis(ms))
+    }
 }
 
 /// What the runtime answers.
@@ -130,6 +201,12 @@ struct Job {
     submitted: Instant,
 }
 
+impl Job {
+    fn expired(&self, now: Instant) -> bool {
+        self.req.deadline.is_some_and(|d| now >= d)
+    }
+}
+
 #[derive(Default)]
 struct QueueState {
     queue: VecDeque<Job>,
@@ -149,6 +226,54 @@ struct Counters {
     device_dispatches: Vec<u64>,
     /// Requests served while the pool was (or became) degraded.
     degraded_requests: u64,
+    /// Requests shed at admission because the queue was full.
+    shed_requests: u64,
+    /// Requests answered `deadline exceeded` without executing.
+    deadline_exceeded: u64,
+    /// Worker panics converted into per-request errors.
+    worker_panics: u64,
+    /// Closed/half-open → open breaker transitions.
+    breaker_trips: u64,
+    /// Requests failed fast by an open breaker.
+    breaker_fast_fails: u64,
+    /// Requests rejected because the runtime was draining.
+    draining_rejects: u64,
+}
+
+/// Per-[`PlanKey`] circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerState {
+    /// Requests flow; consecutive failures are counted.
+    Closed,
+    /// Failing fast until `until`, then a single probe is admitted.
+    Open { until: Instant },
+    /// One probe is in flight; everything else fails fast.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    consecutive: u32,
+    state: BreakerState,
+}
+
+impl Default for Breaker {
+    fn default() -> Breaker {
+        Breaker {
+            consecutive: 0,
+            state: BreakerState::Closed,
+        }
+    }
+}
+
+/// What the breaker allows for a batch about to execute.
+enum Admit {
+    /// Closed: execute the whole batch.
+    Execute,
+    /// Half-open after cooldown: execute exactly one probe request.
+    Probe,
+    /// Open (or a probe already in flight): fail everything fast.
+    FastFail,
 }
 
 struct Shared {
@@ -158,6 +283,7 @@ struct Shared {
     plans: Mutex<PlanCache>,
     tuning: Arc<Mutex<TuningCache>>,
     counters: Mutex<Counters>,
+    breakers: Mutex<HashMap<PlanKey, Breaker>>,
     /// Per-key simulated device residency (GPU requests only).
     residency: Mutex<HashMap<PlanKey, DeviceDataRegion>>,
     exec: CpuExecutor,
@@ -200,6 +326,7 @@ impl Runtime {
             cv: Condvar::new(),
             tuning,
             counters: Mutex::new(Counters::default()),
+            breakers: Mutex::new(HashMap::new()),
             residency: Mutex::new(HashMap::new()),
             exec,
             sim,
@@ -237,6 +364,11 @@ impl Runtime {
     }
 
     /// Enqueue a launch; returns immediately with an awaitable [`Handle`].
+    ///
+    /// Admission control happens here: a full queue or a draining
+    /// runtime resolves the handle immediately with a retryable
+    /// [`MdhError::Overloaded`] / [`MdhError::Draining`] — the caller
+    /// always gets exactly one terminal answer.
     pub fn submit(&self, req: Request) -> Handle {
         let (tx, rx) = mpsc::channel();
         let key = PlanKey::of(&req.prog, req.device);
@@ -246,18 +378,50 @@ impl Runtime {
             reply: tx,
             submitted: Instant::now(),
         };
-        {
-            let mut st = self.shared.state.lock().expect("queue lock");
-            st.queue.push_back(job);
+        let cap = self.shared.config.max_queue_depth.max(1);
+        let rejected = {
+            let mut st = lock(&self.shared.state);
+            if st.shutdown {
+                Some((
+                    job,
+                    MdhError::Draining("runtime is shutting down".into()),
+                    true,
+                ))
+            } else if st.queue.len() >= cap {
+                let depth = st.queue.len();
+                Some((
+                    job,
+                    MdhError::Overloaded(format!(
+                        "queue depth {depth} at capacity {cap}; retry later"
+                    )),
+                    false,
+                ))
+            } else {
+                st.queue.push_back(job);
+                None
+            }
+        };
+        match rejected {
+            None => self.shared.cv.notify_one(),
+            Some((job, err, draining)) => {
+                {
+                    let mut c = lock(&self.shared.counters);
+                    if draining {
+                        c.draining_rejects += 1;
+                    } else {
+                        c.shed_requests += 1;
+                    }
+                }
+                let _ = job.reply.send(Err(err));
+            }
         }
-        self.shared.cv.notify_one();
         Handle { rx }
     }
 
     /// Snapshot of counters and latency percentiles.
     pub fn stats(&self) -> RuntimeStats {
-        let plans = self.shared.plans.lock().expect("plan cache lock");
-        let c = self.shared.counters.lock().expect("counters lock");
+        let plans = lock(&self.shared.plans);
+        let c = lock(&self.shared.counters);
         let faults = self
             .shared
             .dist
@@ -296,7 +460,19 @@ impl Runtime {
             device_evictions: faults.evictions,
             repartitions: faults.repartitions,
             degraded_requests: c.degraded_requests,
+            shed_requests: c.shed_requests,
+            deadline_exceeded: c.deadline_exceeded,
+            worker_panics: c.worker_panics,
+            breaker_trips: c.breaker_trips,
+            breaker_fast_fails: c.breaker_fast_fails,
+            draining_rejects: c.draining_rejects,
         }
+    }
+
+    /// Worker threads still alive. Equals `config.workers` unless a panic
+    /// escaped isolation (it must not — see the overload tests).
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| !w.is_finished()).count()
     }
 
     /// Block until the request queue is drained and no worker is mid-batch.
@@ -304,7 +480,7 @@ impl Runtime {
     pub fn wait_idle(&self) {
         loop {
             {
-                let st = self.shared.state.lock().expect("queue lock");
+                let st = lock(&self.shared.state);
                 if st.queue.is_empty() && st.active == 0 {
                     return;
                 }
@@ -318,13 +494,7 @@ impl Runtime {
     pub fn wait_for_tunes(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
-            if self
-                .shared
-                .tunes_in_flight
-                .lock()
-                .expect("tune set lock")
-                .is_empty()
-            {
+            if lock(&self.shared.tunes_in_flight).is_empty() {
                 return true;
             }
             if Instant::now() >= deadline {
@@ -335,10 +505,11 @@ impl Runtime {
     }
 
     /// Serve everything queued, stop the workers and the tuner, and join
-    /// them. Called automatically on drop.
+    /// them. New submissions are rejected with `err draining` from the
+    /// moment this is called. Called automatically on drop.
     pub fn shutdown(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("queue lock");
+            let mut st = lock(&self.shared.state);
             if st.shutdown {
                 return;
             }
@@ -349,7 +520,7 @@ impl Runtime {
             let _ = w.join();
         }
         // closing the channel ends the tuner loop once drained
-        *self.shared.tune_tx.lock().expect("tune tx lock") = None;
+        *lock(&self.shared.tune_tx) = None;
         if let Some(t) = self.tuner.take() {
             let _ = t.join();
         }
@@ -368,60 +539,188 @@ impl Drop for Runtime {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let batch = {
-            let mut st = shared.state.lock().expect("queue lock");
+        let (batch, lapsed) = {
+            let mut st = lock(&shared.state);
             loop {
-                if let Some(first) = st.queue.pop_front() {
-                    // drain same-key requests into the batch, preserving
-                    // the relative order of everything else
-                    let mut batch = vec![first];
-                    let mut rest = VecDeque::with_capacity(st.queue.len());
-                    while let Some(j) = st.queue.pop_front() {
-                        if batch.len() < shared.config.max_batch.max(1) && j.key == batch[0].key {
-                            batch.push(j);
-                        } else {
-                            rest.push_back(j);
-                        }
+                let now = Instant::now();
+                // Single pass over the queue: divert jobs whose deadline
+                // expired while queued (any key — they are answered
+                // without executing), anchor a batch on the first live
+                // job, and coalesce same-key followers up to max_batch.
+                let mut lapsed: Vec<Job> = Vec::new();
+                let mut batch: Vec<Job> = Vec::new();
+                let mut rest = VecDeque::with_capacity(st.queue.len());
+                while let Some(j) = st.queue.pop_front() {
+                    if j.expired(now) {
+                        lapsed.push(j);
+                    } else if batch.is_empty()
+                        || (batch.len() < shared.config.max_batch.max(1) && j.key == batch[0].key)
+                    {
+                        batch.push(j);
+                    } else {
+                        rest.push_back(j);
                     }
-                    st.queue = rest;
+                }
+                st.queue = rest;
+                if !batch.is_empty() || !lapsed.is_empty() {
                     st.active += batch.len();
-                    break batch;
+                    break (batch, lapsed);
                 }
                 if st.shutdown {
                     return;
                 }
-                st = shared.cv.wait(st).expect("queue cv");
+                st = cv_wait(&shared.cv, st);
             }
         };
+        answer_deadline_exceeded(shared, lapsed, "expired while queued");
+        if batch.is_empty() {
+            continue;
+        }
         let n = batch.len();
-        serve_batch(shared, batch);
-        let mut st = shared.state.lock().expect("queue lock");
-        st.active -= n;
+        // Backstop: serve_batch already isolates execution panics
+        // per-request; if a panic ever escapes it anyway (a plan-cache or
+        // accounting bug), the worker must still survive and keep
+        // serving. Replies dropped here resolve the callers' handles
+        // with a terminal channel-closed error.
+        if catch_unwind(AssertUnwindSafe(|| serve_batch(shared, batch))).is_err() {
+            lock(&shared.counters).worker_panics += 1;
+        }
+        lock(&shared.state).active -= n;
     }
+}
+
+/// Answer `jobs` with `deadline exceeded` without executing them.
+fn answer_deadline_exceeded(shared: &Shared, jobs: Vec<Job>, why: &str) {
+    if jobs.is_empty() {
+        return;
+    }
+    {
+        let mut c = lock(&shared.counters);
+        c.completed += jobs.len() as u64;
+        c.deadline_exceeded += jobs.len() as u64;
+    }
+    for job in jobs {
+        let waited_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+        let _ = job.reply.send(Err(MdhError::DeadlineExceeded(format!(
+            "{why} ({waited_ms:.1} ms after submit); not executed"
+        ))));
+    }
+}
+
+/// Fail `jobs` fast because their key's breaker is open.
+fn fail_fast(shared: &Shared, jobs: Vec<Job>) {
+    if jobs.is_empty() {
+        return;
+    }
+    {
+        let mut c = lock(&shared.counters);
+        c.completed += jobs.len() as u64;
+        c.breaker_fast_fails += jobs.len() as u64;
+    }
+    for job in jobs {
+        let _ = job.reply.send(Err(MdhError::BreakerOpen(format!(
+            "circuit breaker open for this plan key after {} consecutive failures; \
+             retry after the cooldown",
+            shared.config.breaker_threshold.max(1)
+        ))));
+    }
+}
+
+/// Consult the breaker for `key`. Called once per batch.
+fn breaker_admit(shared: &Shared, key: &PlanKey, now: Instant) -> Admit {
+    let mut breakers = lock(&shared.breakers);
+    let b = breakers.entry(key.clone()).or_default();
+    match b.state {
+        BreakerState::Closed => Admit::Execute,
+        BreakerState::Open { until } if now < until => Admit::FastFail,
+        BreakerState::Open { .. } => {
+            b.state = BreakerState::HalfOpen;
+            Admit::Probe
+        }
+        BreakerState::HalfOpen => Admit::FastFail,
+    }
+}
+
+/// Record one request outcome for `key`'s breaker. Returns `true` when
+/// this outcome tripped the breaker open (the caller fails the rest of
+/// its batch fast).
+fn breaker_record(shared: &Shared, key: &PlanKey, ok: bool, now: Instant) -> bool {
+    let mut breakers = lock(&shared.breakers);
+    let b = breakers.entry(key.clone()).or_default();
+    if ok {
+        // success closes a half-open breaker and resets the failure run
+        b.consecutive = 0;
+        b.state = BreakerState::Closed;
+        return false;
+    }
+    b.consecutive += 1;
+    let trip = match b.state {
+        // a failed half-open probe re-opens immediately
+        BreakerState::HalfOpen => true,
+        BreakerState::Closed => b.consecutive >= shared.config.breaker_threshold.max(1),
+        BreakerState::Open { .. } => false,
+    };
+    if trip {
+        b.state = BreakerState::Open {
+            until: now + shared.config.breaker_cooldown,
+        };
+        drop(breakers);
+        lock(&shared.counters).breaker_trips += 1;
+    }
+    trip
 }
 
 /// Look up / build the plan for `key`, then execute every request in the
 /// batch against it.
 fn serve_batch(shared: &Shared, batch: Vec<Job>) {
     let key = batch[0].key.clone();
-    let n = batch.len();
+
+    // ---- deadline check at the drain → execute boundary ---------------
+    let now = Instant::now();
+    let (lapsed, mut live): (Vec<Job>, Vec<Job>) = batch.into_iter().partition(|j| j.expired(now));
+    answer_deadline_exceeded(shared, lapsed, "expired before execution");
+    if live.is_empty() {
+        return;
+    }
+
+    // ---- circuit breaker ----------------------------------------------
+    match breaker_admit(shared, &key, now) {
+        Admit::Execute => {}
+        Admit::Probe => {
+            // exactly one request probes the half-open breaker; the rest
+            // of the batch fails fast rather than pile onto a key that is
+            // most likely still broken
+            let rest = live.split_off(1);
+            fail_fast(shared, rest);
+        }
+        Admit::FastFail => {
+            fail_fast(shared, live);
+            return;
+        }
+    }
+    let n = live.len();
 
     // ---- plan lookup (once per batch; followers count as hits) --------
-    let looked_up = shared.plans.lock().expect("plan cache lock").get(&key);
+    let looked_up = lock(&shared.plans).get(&key);
     let (plan, first_was_hit) = match looked_up {
         Some(p) => (Ok(p), true),
-        None => (build_and_insert(shared, &key, &batch[0].req), false),
+        None => (build_and_insert(shared, &key, &live[0].req), false),
     };
     let plan = match plan {
         Ok(p) => p,
         Err(e) => {
+            // a plan that cannot be built is a failure of the key, too:
+            // enough consecutive ones trip the breaker
+            for _ in 0..n {
+                breaker_record(shared, &key, false, Instant::now());
+            }
             {
-                let mut c = shared.counters.lock().expect("counters lock");
+                let mut c = lock(&shared.counters);
                 c.completed += n as u64;
                 c.batches += 1;
                 c.max_batch = c.max_batch.max(n);
             }
-            for job in batch {
+            for job in live {
                 let _ = job.reply.send(Err(clone_err(&e)));
             }
             return;
@@ -430,7 +729,7 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
     if n > 1 {
         // batched followers reuse the plan we just looked up/inserted:
         // they are cache hits by construction
-        let mut plans = shared.plans.lock().expect("plan cache lock");
+        let mut plans = lock(&shared.plans);
         for _ in 1..n {
             let _ = plans.get(&key);
         }
@@ -438,23 +737,51 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
 
     // a cold heuristic miss kicks off a background search
     if !first_was_hit && plan.source == PlanSource::Heuristic && shared.config.tune.enabled {
-        maybe_queue_tune(shared, &key, &batch[0].req);
+        maybe_queue_tune(shared, &key, &live[0].req);
     }
 
     // ---- execute ------------------------------------------------------
     {
-        let mut c = shared.counters.lock().expect("counters lock");
+        let mut c = lock(&shared.counters);
         c.batches += 1;
         c.max_batch = c.max_batch.max(n);
     }
-    for (i, job) in batch.into_iter().enumerate() {
+    let mut tripped = false;
+    let mut remaining: Vec<Job> = Vec::new();
+    for (i, job) in live.into_iter().enumerate() {
+        if tripped {
+            // the breaker tripped earlier in this very batch: stop
+            // feeding it the same key
+            remaining.push(job);
+            continue;
+        }
+        let now = Instant::now();
+        if job.expired(now) {
+            // earlier batch members took long enough to lapse this one
+            answer_deadline_exceeded(shared, vec![job], "expired mid-batch");
+            continue;
+        }
         let hit = first_was_hit || i > 0;
-        let result = execute_one(shared, &plan, &job, n, hit);
+        // Panic isolation: a panicking plan (or executor bug) becomes a
+        // per-request error and a breaker failure — never a dead worker.
+        let result = match catch_unwind(AssertUnwindSafe(|| {
+            execute_one(shared, &plan, &job, n, hit)
+        })) {
+            Ok(r) => r,
+            Err(payload) => {
+                lock(&shared.counters).worker_panics += 1;
+                Err(MdhError::WorkerPanic(format!(
+                    "execution panicked: {}; the panic was isolated to this request",
+                    panic_message(payload.as_ref())
+                )))
+            }
+        };
         let ok = result.is_ok();
+        tripped = breaker_record(shared, &key, ok, Instant::now());
         // counters update strictly before the reply: a caller that
         // observed its response must also observe it in the stats
         {
-            let mut c = shared.counters.lock().expect("counters lock");
+            let mut c = lock(&shared.counters);
             c.completed += 1;
             if ok {
                 c.latency
@@ -462,6 +789,19 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
             }
         }
         let _ = job.reply.send(result);
+    }
+    fail_fast(shared, remaining);
+}
+
+/// Best-effort rendering of a panic payload (`&str` / `String` payloads
+/// cover `panic!` with a message; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
     }
 }
 
@@ -488,11 +828,7 @@ fn build_and_insert(shared: &Shared, key: &PlanKey, req: &Request) -> Result<Arc
             }
         }
     };
-    Ok(shared
-        .plans
-        .lock()
-        .expect("plan cache lock")
-        .insert(key.clone(), compiled))
+    Ok(lock(&shared.plans).insert(key.clone(), compiled))
 }
 
 fn execute_one(
@@ -502,6 +838,12 @@ fn execute_one(
     batch_size: usize,
     cache_hit: bool,
 ) -> Result<Response> {
+    if shared.config.panic_marker.as_deref() == Some(job.req.prog.name.as_str()) {
+        panic!(
+            "injected execution panic for program '{}' (RuntimeConfig::panic_marker)",
+            job.req.prog.name
+        );
+    }
     let (outputs, exec_ms, transfer_ms) = match job.key.device {
         DeviceKind::Cpu => {
             let t0 = Instant::now();
@@ -518,9 +860,10 @@ fn execute_one(
         // re-partitions and schedules each shard on its own device
         DeviceKind::Gpu if shared.dist.is_some() => {
             let dist = shared.dist.as_ref().expect("dist pool");
-            let (out, report) = dist.run(&job.req.prog, &job.req.inputs)?;
+            let (out, report) =
+                dist.run_with_deadline(&job.req.prog, &job.req.inputs, job.req.deadline)?;
             {
-                let mut c = shared.counters.lock().expect("counters lock");
+                let mut c = lock(&shared.counters);
                 if c.device_dispatches.len() < dist.devices() {
                     c.device_dispatches.resize(dist.devices(), 0);
                 }
@@ -540,7 +883,7 @@ fn execute_one(
         }
         DeviceKind::Gpu => {
             let transfer_ms = {
-                let mut regions = shared.residency.lock().expect("residency lock");
+                let mut regions = lock(&shared.residency);
                 let region = regions
                     .entry(job.key.clone())
                     .or_insert_with(|| DeviceDataRegion::new(LinkParams::pcie4_x16()));
@@ -566,13 +909,13 @@ fn execute_one(
 
 fn maybe_queue_tune(shared: &Shared, key: &PlanKey, req: &Request) {
     {
-        let mut in_flight = shared.tunes_in_flight.lock().expect("tune set lock");
+        let mut in_flight = lock(&shared.tunes_in_flight);
         if !in_flight.insert(key.clone()) {
             return; // a search for this key is already queued/running
         }
     }
     let sent = {
-        let tx = shared.tune_tx.lock().expect("tune tx lock");
+        let tx = lock(&shared.tune_tx);
         match tx.as_ref() {
             Some(tx) => tx
                 .send(TuneJob {
@@ -585,11 +928,7 @@ fn maybe_queue_tune(shared: &Shared, key: &PlanKey, req: &Request) {
         }
     };
     if !sent {
-        shared
-            .tunes_in_flight
-            .lock()
-            .expect("tune set lock")
-            .remove(key);
+        lock(&shared.tunes_in_flight).remove(key);
     }
 }
 
@@ -605,17 +944,21 @@ fn tuner_loop(shared: &Shared, rx: mpsc::Receiver<TuneJob>) {
             &shared.tuning,
             shared.config.tuning_cache_path.as_ref(),
         );
-        shared.counters.lock().expect("counters lock").tunes_done += 1;
-        shared
-            .tunes_in_flight
-            .lock()
-            .expect("tune set lock")
-            .remove(&key);
+        lock(&shared.counters).tunes_done += 1;
+        lock(&shared.tunes_in_flight).remove(&key);
     }
 }
 
 /// `MdhError` has no `Clone`; reconstruct an equivalent for fan-out to a
-/// whole failed batch.
+/// whole failed batch. Load-shedding classifications survive the trip so
+/// clients still see the retryable error grammar.
 fn clone_err(e: &MdhError) -> MdhError {
-    MdhError::Validation(e.to_string())
+    match e {
+        MdhError::Overloaded(m) => MdhError::Overloaded(m.clone()),
+        MdhError::DeadlineExceeded(m) => MdhError::DeadlineExceeded(m.clone()),
+        MdhError::WorkerPanic(m) => MdhError::WorkerPanic(m.clone()),
+        MdhError::BreakerOpen(m) => MdhError::BreakerOpen(m.clone()),
+        MdhError::Draining(m) => MdhError::Draining(m.clone()),
+        other => MdhError::Validation(other.to_string()),
+    }
 }

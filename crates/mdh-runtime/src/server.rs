@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! client → server:
-//!   SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,NAME=VAL...]\n
+//!   SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,NAME=VAL...] [deadline_ms=<n>]\n
 //!   <len bytes of directive source (any supported front end)>
 //!   STATS\n
 //!   SHUTDOWN\n
@@ -23,11 +23,23 @@
 //! demonstration of plan-cache amortisation: launch 1 is a cold miss
 //! (heuristic plan, background tune queued), launches 2..count hit.
 //! Inputs are generated deterministically server-side, so checksums are
-//! reproducible across runs and clients stay tiny.
+//! reproducible across runs and clients stay tiny. `deadline_ms` applies
+//! a serve-by deadline (relative to header parse time) to every launch
+//! of the batch; expired launches answer `err deadline exceeded ...`.
 //!
-//! Connections are served sequentially by the accept loop; concurrency
-//! lives inside the [`Runtime`] (worker pool + batching), not in the
-//! socket layer.
+//! Every request gets exactly one terminal reply. The load-shedding
+//! grammar is the `err` prefix set from [`mdh_core::error::MdhError`]:
+//! `err overloaded ...` (queue full, retryable), `err deadline exceeded
+//! ...`, `err worker panic ...`, `err breaker open ...` (retryable after
+//! cooldown), `err draining ...` (server shutting down, retryable
+//! elsewhere), plus the socket layer's own `err header too long ...`,
+//! `err read timed out ...`, and `err too many connections ...`.
+//!
+//! Connections are served concurrently (one thread each, capped at
+//! [`RuntimeConfig::max_connections`]) with per-connection read timeouts,
+//! so one stalled client cannot wedge the accept loop. `SHUTDOWN` drains
+//! gracefully: in-flight connections and queued requests finish; new
+//! connections are answered `err draining`.
 
 use crate::runtime::{Request, Response, Runtime, RuntimeConfig};
 use mdh_core::buffer::Buffer;
@@ -37,9 +49,17 @@ use mdh_core::shape::Shape;
 use mdh_core::types::BasicType;
 use mdh_directive::{compile, compile_c, compile_fortran, parse_dsl, DirectiveEnv};
 use mdh_lowering::asm::DeviceKind;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Longest accepted command line, bytes (newline included). SUBMIT
+/// headers are a handful of short fields; anything longer is a confused
+/// or malicious client and must not be buffered without bound.
+pub const MAX_HEADER_BYTES: usize = 4096;
 
 /// Compile directive source through the auto-detected front end (the
 /// same dispatch as `mdhc`): `#pragma mdh` → C, `!$mdh` → Fortran, a
@@ -109,15 +129,36 @@ fn format_response(resp: &Response) -> String {
 }
 
 /// Bind `socket_path` and serve until a client sends `SHUTDOWN`.
-/// A stale socket file from a dead server is replaced.
+///
+/// A stale socket file from a dead server is replaced; a socket another
+/// server is *currently accepting on* is not — clobbering it would
+/// silently steal that server's clients, so this fails with
+/// `AddrInUse` instead.
 pub fn serve(socket_path: &Path, config: RuntimeConfig) -> std::io::Result<()> {
     if socket_path.exists() {
+        if UnixStream::connect(socket_path).is_ok() {
+            return Err(std::io::Error::new(
+                ErrorKind::AddrInUse,
+                format!(
+                    "socket {} belongs to a live server; refusing to replace it",
+                    socket_path.display()
+                ),
+            ));
+        }
         std::fs::remove_file(socket_path)?;
     }
     let listener = UnixListener::bind(socket_path)?;
-    let runtime = Runtime::new(config).map_err(|e| std::io::Error::other(e.to_string()))?;
+    let max_connections = config.max_connections.max(1);
+    let read_timeout = config.read_timeout;
+    let runtime = Arc::new(Runtime::new(config).map_err(|e| std::io::Error::other(e.to_string()))?);
+    let draining = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
     eprintln!("mdh-runtime: serving on {}", socket_path.display());
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
+        if draining.load(Ordering::SeqCst) {
+            break;
+        }
         let stream = match stream {
             Ok(s) => s,
             Err(e) => {
@@ -125,50 +166,100 @@ pub fn serve(socket_path: &Path, config: RuntimeConfig) -> std::io::Result<()> {
                 continue;
             }
         };
-        match handle_connection(stream, &runtime) {
-            Ok(keep_going) if !keep_going => break,
-            Ok(_) => {}
-            Err(e) => eprintln!("mdh-runtime: connection error: {e}"),
+        conns.retain(|h| !h.is_finished());
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        if active.load(Ordering::SeqCst) >= max_connections {
+            let mut s = stream;
+            let _ = writeln!(
+                s,
+                "err too many connections ({max_connections} active); retry later"
+            );
+            continue;
         }
+        active.fetch_add(1, Ordering::SeqCst);
+        let rt = Arc::clone(&runtime);
+        let dr = Arc::clone(&draining);
+        let ac = Arc::clone(&active);
+        let wake_path = socket_path.to_path_buf();
+        let handle = std::thread::Builder::new()
+            .name("mdh-serve-conn".into())
+            .spawn(move || {
+                if let Err(e) = handle_connection(stream, &rt, &dr) {
+                    eprintln!("mdh-runtime: connection error: {e}");
+                }
+                ac.fetch_sub(1, Ordering::SeqCst);
+                if dr.load(Ordering::SeqCst) {
+                    // wake the accept loop (possibly blocked in accept)
+                    // so it observes the drain flag and exits
+                    let _ = UnixStream::connect(&wake_path);
+                }
+            })
+            .expect("spawn connection thread");
+        conns.push(handle);
+    }
+    // graceful drain: every accepted connection finishes before teardown
+    for h in conns {
+        let _ = h.join();
     }
     let _ = std::fs::remove_file(socket_path);
     Ok(())
 }
 
-/// Serve one connection. Returns `Ok(false)` when the client requested
-/// shutdown.
-fn handle_connection(stream: UnixStream, runtime: &Runtime) -> std::io::Result<bool> {
+/// Serve one connection (one command, then close). Sets `draining` on
+/// `SHUTDOWN`.
+fn handle_connection(
+    stream: UnixStream,
+    runtime: &Runtime,
+    draining: &AtomicBool,
+) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    if draining.load(Ordering::SeqCst) {
+        writeln!(writer, "err draining: server is shutting down")?;
+        return Ok(());
+    }
     let mut header = String::new();
-    if reader.read_line(&mut header)? == 0 {
-        return Ok(true); // client went away
+    // cap the command line: read_line on an unbounded reader would buffer
+    // a newline-less flood whole
+    let n = match (&mut reader)
+        .take(MAX_HEADER_BYTES as u64 + 1)
+        .read_line(&mut header)
+    {
+        Ok(n) => n,
+        Err(e) if e.kind() == ErrorKind::InvalidData => {
+            writeln!(writer, "err header is not UTF-8")?;
+            return Ok(());
+        }
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            writeln!(writer, "err read timed out")?;
+            return Ok(());
+        }
+        Err(e) => return Err(e),
+    };
+    if n == 0 {
+        return Ok(()); // client went away
+    }
+    if n > MAX_HEADER_BYTES {
+        writeln!(writer, "err header too long (max {MAX_HEADER_BYTES} bytes)")?;
+        return Ok(());
     }
     let fields: Vec<&str> = header.split_whitespace().collect();
     match fields.first().copied() {
-        Some("STATS") => {
-            writeln!(writer, "stats {}", runtime.stats())?;
-            Ok(true)
-        }
+        Some("STATS") => writeln!(writer, "stats {}", runtime.stats()),
         Some("SHUTDOWN") => {
-            writeln!(writer, "ok shutting down")?;
-            Ok(false)
+            draining.store(true, Ordering::SeqCst);
+            writeln!(writer, "ok shutting down")
         }
-        Some("SUBMIT") => {
-            match handle_submit(&fields, &mut reader, runtime) {
-                Ok(lines) => {
-                    for line in lines {
-                        writeln!(writer, "{line}")?;
-                    }
+        Some("SUBMIT") => match handle_submit(&fields, &mut reader, runtime) {
+            Ok(lines) => {
+                for line in lines {
+                    writeln!(writer, "{line}")?;
                 }
-                Err(e) => writeln!(writer, "err {e}")?,
+                Ok(())
             }
-            Ok(true)
-        }
-        _ => {
-            writeln!(writer, "err unknown command")?;
-            Ok(true)
-        }
+            Err(e) => writeln!(writer, "err {e}"),
+        },
+        _ => writeln!(writer, "err unknown command"),
     }
 }
 
@@ -178,7 +269,9 @@ fn handle_submit(
     runtime: &Runtime,
 ) -> std::result::Result<Vec<String>, String> {
     if fields.len() < 4 {
-        return Err("usage: SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,...]".into());
+        return Err(
+            "usage: SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,...] [deadline_ms=<n>]".into(),
+        );
     }
     let device = match fields[1] {
         "cpu" => DeviceKind::Cpu,
@@ -194,8 +287,18 @@ fn handle_submit(
         return Err("source too large".into());
     }
     let mut env = DirectiveEnv::new();
-    if let Some(binds) = fields.get(4) {
-        for bind in binds.split(',').filter(|s| !s.is_empty()) {
+    let mut deadline: Option<Instant> = None;
+    for field in &fields[4..] {
+        // `deadline_ms` is reserved: it is a protocol option, not a size
+        // binding. The deadline clock starts at header parse time.
+        if let Some(ms) = field.strip_prefix("deadline_ms=") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("bad deadline in '{field}'"))?;
+            deadline = Some(Instant::now() + Duration::from_millis(ms));
+            continue;
+        }
+        for bind in field.split(',').filter(|s| !s.is_empty()) {
             let (name, val) = bind
                 .split_once('=')
                 .ok_or_else(|| format!("bad binding '{bind}'"))?;
@@ -214,11 +317,9 @@ fn handle_submit(
 
     let handles: Vec<_> = (0..count)
         .map(|_| {
-            runtime.submit(Request {
-                prog: prog.clone(),
-                device,
-                inputs: inputs.clone(),
-            })
+            let mut req = Request::new(prog.clone(), device, inputs.clone());
+            req.deadline = deadline;
+            runtime.submit(req)
         })
         .collect();
     let mut lines = Vec::with_capacity(count + 2);
@@ -250,21 +351,38 @@ pub fn client_submit(
     count: usize,
     bindings: &[(String, i64)],
 ) -> std::io::Result<Vec<String>> {
+    client_submit_with_deadline(socket_path, source, device, count, bindings, None)
+}
+
+/// [`client_submit`] with an optional per-launch deadline in
+/// milliseconds (server-side clock, started at header parse).
+pub fn client_submit_with_deadline(
+    socket_path: &Path,
+    source: &str,
+    device: DeviceKind,
+    count: usize,
+    bindings: &[(String, i64)],
+    deadline_ms: Option<u64>,
+) -> std::io::Result<Vec<String>> {
     let mut stream = UnixStream::connect(socket_path)?;
     let dev = match device {
         DeviceKind::Cpu => "cpu",
         DeviceKind::Gpu => "gpu",
     };
+    let mut header = format!("SUBMIT {dev} {count} {}", source.len());
     let binds = bindings
         .iter()
         .map(|(n, v)| format!("{n}={v}"))
         .collect::<Vec<_>>()
         .join(",");
-    if binds.is_empty() {
-        writeln!(stream, "SUBMIT {dev} {count} {}", source.len())?;
-    } else {
-        writeln!(stream, "SUBMIT {dev} {count} {} {binds}", source.len())?;
+    if !binds.is_empty() {
+        header.push(' ');
+        header.push_str(&binds);
     }
+    if let Some(ms) = deadline_ms {
+        header.push_str(&format!(" deadline_ms={ms}"));
+    }
+    writeln!(stream, "{header}")?;
     stream.write_all(source.as_bytes())?;
     read_reply(stream)
 }
@@ -363,6 +481,20 @@ def dot(res, x, y):
         let bye = client_shutdown(&sock).unwrap();
         assert!(bye[0].starts_with("ok"), "{bye:?}");
         server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_refuses_live_socket() {
+        let dir = std::env::temp_dir().join(format!("mdh-runtime-livesock-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("rt.sock");
+        // a live listener on the path (not a full server — connectable is
+        // what the guard checks)
+        let _holder = UnixListener::bind(&sock).unwrap();
+        let err = serve(&sock, RuntimeConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::AddrInUse, "{err}");
+        assert!(sock.exists(), "the live socket must not be unlinked");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

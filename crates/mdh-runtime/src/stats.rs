@@ -88,6 +88,18 @@ pub struct RuntimeStats {
     /// Requests served while the pool was degraded (at least one device
     /// evicted, or lost during the request itself).
     pub degraded_requests: u64,
+    /// Requests shed at admission because the bounded queue was full.
+    pub shed_requests: u64,
+    /// Requests answered `deadline exceeded` without executing.
+    pub deadline_exceeded: u64,
+    /// Worker panics isolated into per-request errors.
+    pub worker_panics: u64,
+    /// Plan-key circuit breakers tripped open.
+    pub breaker_trips: u64,
+    /// Requests failed fast by an open breaker.
+    pub breaker_fast_fails: u64,
+    /// Requests rejected because the runtime (or server) was draining.
+    pub draining_rejects: u64,
 }
 
 impl RuntimeStats {
@@ -115,6 +127,17 @@ impl RuntimeStats {
             || self.device_evictions > 0
             || self.repartitions > 0
             || self.degraded_requests > 0
+    }
+
+    /// Whether any serving-edge protection (shedding, deadlines, panic
+    /// isolation, breakers, draining) has fired.
+    pub fn has_edge_events(&self) -> bool {
+        self.shed_requests > 0
+            || self.deadline_exceeded > 0
+            || self.worker_panics > 0
+            || self.breaker_trips > 0
+            || self.breaker_fast_fails > 0
+            || self.draining_rejects > 0
     }
 }
 
@@ -155,6 +178,19 @@ impl std::fmt::Display for RuntimeStats {
                 self.device_evictions,
                 self.repartitions,
                 self.degraded_requests
+            )?;
+        }
+        if self.has_edge_events() {
+            write!(
+                f,
+                "; edge: shed={} deadline-exceeded={} worker-panics={} \
+                 breaker-trips={} breaker-fast-fails={} draining-rejects={}",
+                self.shed_requests,
+                self.deadline_exceeded,
+                self.worker_panics,
+                self.breaker_trips,
+                self.breaker_fast_fails,
+                self.draining_rejects
             )?;
         }
         Ok(())
@@ -208,6 +244,28 @@ mod tests {
         let line = s.to_string();
         assert!(
             line.contains("faults: retries=3 evictions=1 repartitions=1 degraded-requests=40"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn display_includes_edge_counters_only_when_nonzero() {
+        let mut s = RuntimeStats::default();
+        assert!(!s.has_edge_events());
+        assert!(!s.to_string().contains("edge:"));
+        s.shed_requests = 12;
+        s.deadline_exceeded = 4;
+        s.worker_panics = 3;
+        s.breaker_trips = 1;
+        s.breaker_fast_fails = 9;
+        s.draining_rejects = 2;
+        assert!(s.has_edge_events());
+        let line = s.to_string();
+        assert!(
+            line.contains(
+                "edge: shed=12 deadline-exceeded=4 worker-panics=3 \
+                 breaker-trips=1 breaker-fast-fails=9 draining-rejects=2"
+            ),
             "{line}"
         );
     }

@@ -1,0 +1,43 @@
+//! Poison-recovering lock helpers.
+//!
+//! Worker panics are isolated per-request with `catch_unwind`
+//! ([`crate::runtime`]), but panic isolation is only as good as the lock
+//! discipline underneath it: with plain `.lock().expect(..)`, one panic
+//! while any shared mutex is held poisons it, and every later `expect`
+//! turns a single bad request into a bricked runtime. Every piece of
+//! state shared across runtime threads (queue, counters, caches,
+//! breaker table) is valid after each completed mutation — there are no
+//! multi-step invariants that a panic can leave half-applied — so
+//! recovering the guard from a poisoned lock is sound, and strictly
+//! better than wedging the server.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on `cv`, recovering the guard if the mutex was poisoned.
+pub(crate) fn cv_wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Mutex::new(7);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison the mutex");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7, "state must stay reachable after a panic");
+        *lock(&m) = 8;
+        assert_eq!(*lock(&m), 8);
+    }
+}

@@ -10,6 +10,7 @@
 //! [`TuningCache`] so later *processes* start warm too.
 
 use crate::plan_cache::{CompiledPlan, PlanCache, PlanKey, PlanSource};
+use crate::sync::lock;
 use mdh_backend::cpu::CpuExecutor;
 use mdh_backend::gpu::GpuSim;
 use mdh_core::buffer::Buffer;
@@ -78,12 +79,9 @@ pub(crate) fn run_tune_job(
         cost: Some(tuned.cost),
         epoch: 0, // set by swap_if_better
     };
-    let swapped = plan_cache
-        .lock()
-        .expect("plan cache lock")
-        .swap_if_better(&job.key, candidate);
+    let swapped = lock(plan_cache).swap_if_better(&job.key, candidate);
     if swapped {
-        let mut tc = tuning_cache.lock().expect("tuning cache lock");
+        let mut tc = lock(tuning_cache);
         if tc.record(&job.prog, job.key.device, tuned.schedule, tuned.cost) {
             if let Some(path) = persist_path {
                 if let Err(e) = tc.save(path) {
@@ -106,7 +104,7 @@ pub(crate) fn plan_from_tuning_cache(
     device: DeviceKind,
     tuning_cache: &Arc<Mutex<TuningCache>>,
 ) -> Option<CompiledPlan> {
-    let tc = tuning_cache.lock().expect("tuning cache lock");
+    let tc = lock(tuning_cache);
     let entry = tc.lookup(prog, device)?;
     let plan = ExecutionPlan::build(prog, &entry.schedule).ok()?;
     Some(CompiledPlan {

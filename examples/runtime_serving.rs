@@ -41,11 +41,11 @@ fn main() {
     println!("== cold start (every signature is a plan-cache miss) ==");
     for app in &studies {
         let resp = runtime
-            .submit(Request {
-                prog: app.program.clone(),
-                device: DeviceKind::Cpu,
-                inputs: app.inputs.clone(),
-            })
+            .submit(Request::new(
+                app.program.clone(),
+                DeviceKind::Cpu,
+                app.inputs.clone(),
+            ))
             .wait()
             .expect("cold launch");
         println!(
@@ -68,11 +68,11 @@ fn main() {
     );
     for app in &studies {
         let resp = runtime
-            .submit(Request {
-                prog: app.program.clone(),
-                device: DeviceKind::Cpu,
-                inputs: app.inputs.clone(),
-            })
+            .submit(Request::new(
+                app.program.clone(),
+                DeviceKind::Cpu,
+                app.inputs.clone(),
+            ))
             .wait()
             .expect("warm launch");
         println!(
@@ -91,11 +91,11 @@ fn main() {
     let handles: Vec<_> = (0..ROUNDS)
         .flat_map(|_| {
             studies.iter().map(|app| {
-                runtime.submit(Request {
-                    prog: app.program.clone(),
-                    device: DeviceKind::Cpu,
-                    inputs: app.inputs.clone(),
-                })
+                runtime.submit(Request::new(
+                    app.program.clone(),
+                    DeviceKind::Cpu,
+                    app.inputs.clone(),
+                ))
             })
         })
         .collect();
@@ -116,11 +116,11 @@ fn main() {
     let dot = &studies[0];
     for round in 0..2 {
         let resp = runtime
-            .submit(Request {
-                prog: dot.program.clone(),
-                device: DeviceKind::Gpu,
-                inputs: dot.inputs.clone(),
-            })
+            .submit(Request::new(
+                dot.program.clone(),
+                DeviceKind::Gpu,
+                dot.inputs.clone(),
+            ))
             .wait()
             .expect("gpu launch");
         println!(

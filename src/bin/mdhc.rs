@@ -8,15 +8,22 @@
 //! mdhc explain  <file> [-D ...] [--device gpu|cpu] what the lowering does
 //! mdhc serve    <socket> [--threads N] [--workers N] [--batch N] [--budget N]
 //!               [--cache FILE] [--devices N] [--faults SPEC]
+//!               [--max-queue-depth N] [--max-connections N]
 //!                                                  persistent execution service
 //!                                                  (--devices N > 1 partitions GPU
 //!                                                  launches across a device pool;
 //!                                                  --faults injects a deterministic
 //!                                                  chaos schedule, e.g.
 //!                                                  "crash=1@3,transient=2@1x2,
-//!                                                  rate=25,seed=42")
+//!                                                  rate=25,seed=42";
+//!                                                  --max-queue-depth bounds the
+//!                                                  request queue — beyond it,
+//!                                                  submissions shed with a
+//!                                                  retryable `err overloaded`)
 //! mdhc submit   <file> --socket PATH [-D ...] [--device gpu|cpu] [--count N]
-//!                                                  send launches to a server
+//!               [--deadline-ms N]                  send launches to a server
+//!                                                  (expired launches answer
+//!                                                  `err deadline exceeded`)
 //! ```
 //!
 //! The front end is auto-detected: files containing `#pragma mdh` go
@@ -45,7 +52,7 @@ fn usage() -> ! {
         "usage: mdhc <compile|run|estimate|tune|explain|serve|submit> <file|socket> \
          [-D NAME=VAL]... [--device gpu|cpu] [--threads N] [--budget N] [--cache FILE] \
          [--workers N] [--batch N] [--socket PATH] [--count N] [--devices N] \
-         [--faults SPEC]"
+         [--faults SPEC] [--max-queue-depth N] [--max-connections N] [--deadline-ms N]"
     );
     exit(2);
 }
@@ -65,6 +72,9 @@ struct Cli {
     count: usize,
     devices: usize,
     faults: Option<mdh::dist::FaultPlan>,
+    max_queue_depth: usize,
+    max_connections: usize,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_cli() -> Cli {
@@ -88,6 +98,10 @@ fn parse_cli() -> Cli {
     let mut count = 1;
     let mut devices = 1;
     let mut faults = None;
+    let defaults = RuntimeConfig::default();
+    let mut max_queue_depth = defaults.max_queue_depth;
+    let mut max_connections = defaults.max_connections;
+    let mut deadline_ms = None;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -174,6 +188,28 @@ fn parse_cli() -> Cli {
                 }
                 i += 2;
             }
+            "--max-queue-depth" => {
+                max_queue_depth = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--max-connections" => {
+                max_connections = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage();
@@ -195,6 +231,9 @@ fn parse_cli() -> Cli {
         count,
         devices,
         faults,
+        max_queue_depth,
+        max_connections,
+        deadline_ms,
     }
 }
 
@@ -315,6 +354,8 @@ fn cmd_serve(cli: &Cli) {
         tuning_cache_path: cli.cache.clone(),
         devices: cli.devices.max(1),
         faults: cli.faults.clone(),
+        max_queue_depth: cli.max_queue_depth.max(1),
+        max_connections: cli.max_connections.max(1),
         ..RuntimeConfig::default()
     };
     if let Some(plan) = &cli.faults {
@@ -344,12 +385,13 @@ fn cmd_submit(cli: &Cli) {
             exit(1);
         }
     };
-    match mdh::runtime::server::client_submit(
+    match mdh::runtime::server::client_submit_with_deadline(
         socket,
         &src,
         cli.device,
         cli.count.max(1),
         &cli.bindings,
+        cli.deadline_ms,
     ) {
         Ok(lines) => {
             let mut failed = false;

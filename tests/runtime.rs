@@ -56,13 +56,7 @@ fn hit_rate_and_bit_identical_results_on_100_request_workload() {
     .unwrap();
 
     let handles: Vec<_> = (0..100)
-        .map(|_| {
-            runtime.submit(Request {
-                prog: prog.clone(),
-                device: DeviceKind::Cpu,
-                inputs: inputs.clone(),
-            })
-        })
+        .map(|_| runtime.submit(Request::new(prog.clone(), DeviceKind::Cpu, inputs.clone())))
         .collect();
     for h in handles {
         let resp = h.wait().expect("launch");
@@ -109,11 +103,7 @@ fn background_tune_hot_swaps_and_preserves_results() {
     .unwrap();
     let submit = || {
         runtime
-            .submit(Request {
-                prog: prog.clone(),
-                device: DeviceKind::Cpu,
-                inputs: inputs.clone(),
-            })
+            .submit(Request::new(prog.clone(), DeviceKind::Cpu, inputs.clone()))
             .wait()
             .expect("launch")
     };
@@ -172,11 +162,7 @@ fn tuned_schedules_persist_across_runtimes() {
     {
         let first = Runtime::new(config()).unwrap();
         first
-            .submit(Request {
-                prog: prog.clone(),
-                device: DeviceKind::Cpu,
-                inputs: inputs.clone(),
-            })
+            .submit(Request::new(prog.clone(), DeviceKind::Cpu, inputs.clone()))
             .wait()
             .unwrap();
         assert!(first.wait_for_tunes(Duration::from_secs(300)));
@@ -185,11 +171,7 @@ fn tuned_schedules_persist_across_runtimes() {
 
     let second = Runtime::new(config()).unwrap();
     let resp = second
-        .submit(Request {
-            prog,
-            device: DeviceKind::Cpu,
-            inputs,
-        })
+        .submit(Request::new(prog, DeviceKind::Cpu, inputs))
         .wait()
         .unwrap();
     assert!(!resp.cache_hit, "fresh process, fresh plan cache");
@@ -238,19 +220,9 @@ fn bursts_batch_same_signature_requests() {
         ..RuntimeConfig::default()
     })
     .unwrap();
-    let block_handle = runtime.submit(Request {
-        prog: blocker,
-        device: DeviceKind::Cpu,
-        inputs: blocker_inputs,
-    });
+    let block_handle = runtime.submit(Request::new(blocker, DeviceKind::Cpu, blocker_inputs));
     let handles: Vec<_> = (0..32)
-        .map(|_| {
-            runtime.submit(Request {
-                prog: prog.clone(),
-                device: DeviceKind::Cpu,
-                inputs: inputs.clone(),
-            })
-        })
+        .map(|_| runtime.submit(Request::new(prog.clone(), DeviceKind::Cpu, inputs.clone())))
         .collect();
     block_handle.wait().unwrap();
     let mut max_batch = 0;
@@ -289,11 +261,7 @@ fn multi_device_serving_is_bit_identical_and_counts_dispatches() {
 
     let single = Runtime::new(config(1)).unwrap();
     let reference = single
-        .submit(Request {
-            prog: prog.clone(),
-            device: DeviceKind::Gpu,
-            inputs: inputs.clone(),
-        })
+        .submit(Request::new(prog.clone(), DeviceKind::Gpu, inputs.clone()))
         .wait()
         .expect("single-device launch")
         .outputs;
@@ -305,13 +273,7 @@ fn multi_device_serving_is_bit_identical_and_counts_dispatches() {
     let pooled = Runtime::new(config(4)).unwrap();
     let launches = 6;
     let handles: Vec<_> = (0..launches)
-        .map(|_| {
-            pooled.submit(Request {
-                prog: prog.clone(),
-                device: DeviceKind::Gpu,
-                inputs: inputs.clone(),
-            })
-        })
+        .map(|_| pooled.submit(Request::new(prog.clone(), DeviceKind::Gpu, inputs.clone())))
         .collect();
     for h in handles {
         let resp = h.wait().expect("pooled launch");
@@ -361,11 +323,7 @@ fn degraded_pool_keeps_serving_through_a_mid_stream_crash() {
     })
     .unwrap();
     let reference = single
-        .submit(Request {
-            prog: prog.clone(),
-            device: DeviceKind::Gpu,
-            inputs: inputs.clone(),
-        })
+        .submit(Request::new(prog.clone(), DeviceKind::Gpu, inputs.clone()))
         .wait()
         .expect("reference launch")
         .outputs;
@@ -390,13 +348,7 @@ fn degraded_pool_keeps_serving_through_a_mid_stream_crash() {
     let mut prev = runtime.stats();
     for _wave in 0..5 {
         let handles: Vec<_> = (0..20)
-            .map(|_| {
-                runtime.submit(Request {
-                    prog: prog.clone(),
-                    device: DeviceKind::Gpu,
-                    inputs: inputs.clone(),
-                })
-            })
+            .map(|_| runtime.submit(Request::new(prog.clone(), DeviceKind::Gpu, inputs.clone())))
             .collect();
         for h in handles {
             let resp = h.wait().expect("no request may fail during the crash");

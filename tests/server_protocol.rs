@@ -1,0 +1,279 @@
+//! Malformed-input corpus for the Unix-socket serving protocol: every
+//! hostile or truncated byte sequence gets exactly one `err` line, the
+//! server never panics, and it still serves (and cleanly shuts down)
+//! afterwards — proving no connection threads leak and the accept loop
+//! survives abuse.
+
+use mdh::lowering::asm::DeviceKind;
+use mdh::runtime::server::{
+    client_shutdown, client_submit, client_submit_with_deadline, serve, MAX_HEADER_BYTES,
+};
+use mdh::runtime::{RuntimeConfig, TunePolicy};
+use std::io::{BufRead, BufReader, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const DOT: &str = "\
+@mdh( out( res = Buffer[fp32] ),
+      inp( x = Buffer[fp32], y = Buffer[fp32] ),
+      combine_ops( pw(add) ) )
+def dot(res, x, y):
+    for k in range(N):
+        res[0] = x[k] * y[k]
+";
+
+fn start_server(tag: &str) -> (PathBuf, std::thread::JoinHandle<()>) {
+    let dir = std::env::temp_dir().join(format!("mdh-proto-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("rt.sock");
+    let sock2 = sock.clone();
+    let server = std::thread::spawn(move || {
+        serve(
+            &sock2,
+            RuntimeConfig {
+                workers: 1,
+                exec_threads: 2,
+                read_timeout: Duration::from_millis(300),
+                tune: TunePolicy {
+                    enabled: false,
+                    ..TunePolicy::default()
+                },
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+    });
+    for _ in 0..500 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    (sock, server)
+}
+
+/// Send raw bytes, optionally half-close the write side, and collect the
+/// server's reply lines.
+fn send_raw(sock: &Path, bytes: &[u8], half_close: bool) -> Vec<String> {
+    let mut stream = UnixStream::connect(sock).expect("connect");
+    // a flooding client may hit EPIPE once the server has answered and
+    // closed; what matters is the reply, not the write
+    let _ = stream.write_all(bytes);
+    if half_close {
+        let _ = stream.shutdown(Shutdown::Write);
+    }
+    let reader = BufReader::new(stream);
+    reader.lines().map_while(|l| l.ok()).collect()
+}
+
+fn err_lines(lines: &[String]) -> usize {
+    lines.iter().filter(|l| l.starts_with("err ")).count()
+}
+
+#[test]
+fn malformed_input_corpus_answers_one_err_each_and_server_survives() {
+    let (sock, server) = start_server("corpus");
+
+    // (name, raw bytes, half-close writes?, expected err fragment)
+    let corpus: Vec<(&str, Vec<u8>, bool, &str)> = vec![
+        (
+            "truncated SUBMIT header",
+            b"SUBMIT cpu\n".to_vec(),
+            false,
+            "err usage:",
+        ),
+        (
+            "zero-byte command line",
+            b"\n".to_vec(),
+            false,
+            "err unknown command",
+        ),
+        (
+            "unknown command",
+            b"LAUNCH cpu 1 4\nabcd".to_vec(),
+            false,
+            "err unknown command",
+        ),
+        (
+            "bad count",
+            b"SUBMIT cpu eleventy 4\nabcd".to_vec(),
+            false,
+            "err bad count",
+        ),
+        (
+            "count of zero",
+            b"SUBMIT cpu 0 4\nabcd".to_vec(),
+            false,
+            "err count must be",
+        ),
+        (
+            "bad device",
+            b"SUBMIT tpu 1 4\nabcd".to_vec(),
+            false,
+            "err unknown device",
+        ),
+        (
+            "bad deadline",
+            format!("SUBMIT cpu 1 {} deadline_ms=soon\n{DOT}", DOT.len()).into_bytes(),
+            false,
+            "err bad deadline",
+        ),
+        (
+            "non-UTF8 source bytes",
+            b"SUBMIT cpu 1 4\n\xFF\xFE\xFD\xFC".to_vec(),
+            false,
+            "err source is not UTF-8",
+        ),
+        (
+            "non-UTF8 header",
+            b"SUB\xFF\xFEMIT cpu 1 4\n".to_vec(),
+            false,
+            "err header is not UTF-8",
+        ),
+        (
+            // len says 64 bytes but the client half-closes after 8:
+            // read_exact must fail cleanly, not hang past the timeout
+            "len longer than body",
+            b"SUBMIT cpu 1 64\nshort!!!".to_vec(),
+            true,
+            "err short source read",
+        ),
+        (
+            // len shorter than the body: the truncated prefix reaches the
+            // compiler and fails there; trailing bytes are discarded
+            "len shorter than body",
+            format!("SUBMIT cpu 1 8 N=64\n{DOT}").into_bytes(),
+            false,
+            "err ",
+        ),
+        (
+            "10 MB of newline-less garbage",
+            vec![b'A'; 10 << 20],
+            false,
+            "err header too long",
+        ),
+        (
+            "oversized source length",
+            format!("SUBMIT cpu 1 {}\n", 1 << 21).into_bytes(),
+            false,
+            "err source too large",
+        ),
+    ];
+
+    for (name, bytes, half_close, want) in corpus {
+        let lines = send_raw(&sock, &bytes, half_close);
+        assert_eq!(
+            err_lines(&lines),
+            1,
+            "{name}: exactly one err line, got {lines:?}"
+        );
+        assert!(
+            lines[0].starts_with(want),
+            "{name}: expected '{want}…', got {lines:?}"
+        );
+        assert_eq!(lines.len(), 1, "{name}: err is terminal, got {lines:?}");
+    }
+
+    // a client that connects and sends nothing is timed out, not leaked
+    let lines = send_raw(&sock, b"", false);
+    assert_eq!(lines, vec!["err read timed out".to_string()]);
+
+    // the server still serves a well-formed request after all of that
+    let lines = client_submit(&sock, DOT, DeviceKind::Cpu, 3, &[("N".into(), 64)]).unwrap();
+    assert_eq!(
+        lines.iter().filter(|l| l.starts_with("ok ")).count(),
+        3,
+        "{lines:?}"
+    );
+    assert!(lines.iter().any(|l| l.starts_with("done 3")), "{lines:?}");
+
+    let bye = client_shutdown(&sock).unwrap();
+    assert!(bye[0].starts_with("ok"), "{bye:?}");
+    // join proves the accept loop and every connection thread exited
+    server.join().expect("server thread exits cleanly");
+    assert!(!sock.exists(), "socket file removed on clean shutdown");
+}
+
+#[test]
+fn header_at_exactly_max_bytes_is_accepted_and_one_over_rejected() {
+    let (sock, server) = start_server("hdrcap");
+
+    // exactly MAX bytes including the newline: parsed (and then rejected
+    // as an unknown command, not as too long)
+    let mut exact = vec![b'X'; MAX_HEADER_BYTES - 1];
+    exact.push(b'\n');
+    let lines = send_raw(&sock, &exact, false);
+    assert_eq!(lines, vec!["err unknown command".to_string()]);
+
+    // one byte over: rejected as too long
+    let mut over = vec![b'X'; MAX_HEADER_BYTES];
+    over.push(b'\n');
+    let lines = send_raw(&sock, &over, false);
+    assert_eq!(err_lines(&lines), 1, "{lines:?}");
+    assert!(lines[0].starts_with("err header too long"), "{lines:?}");
+
+    let bye = client_shutdown(&sock).unwrap();
+    assert!(bye[0].starts_with("ok"), "{bye:?}");
+    server.join().unwrap();
+}
+
+#[test]
+fn submit_deadline_zero_is_answered_deadline_exceeded() {
+    let (sock, server) = start_server("deadline");
+    let lines =
+        client_submit_with_deadline(&sock, DOT, DeviceKind::Cpu, 4, &[("N".into(), 64)], Some(0))
+            .unwrap();
+    let exceeded = lines
+        .iter()
+        .filter(|l| l.starts_with("err deadline exceeded"))
+        .count();
+    assert_eq!(exceeded, 4, "all launches expired: {lines:?}");
+    assert!(lines.iter().any(|l| l.starts_with("done 0")), "{lines:?}");
+
+    // a generous deadline still serves
+    let lines = client_submit_with_deadline(
+        &sock,
+        DOT,
+        DeviceKind::Cpu,
+        2,
+        &[("N".into(), 64)],
+        Some(60_000),
+    )
+    .unwrap();
+    assert_eq!(
+        lines.iter().filter(|l| l.starts_with("ok ")).count(),
+        2,
+        "{lines:?}"
+    );
+
+    let bye = client_shutdown(&sock).unwrap();
+    assert!(bye[0].starts_with("ok"), "{bye:?}");
+    server.join().unwrap();
+}
+
+#[test]
+fn connections_after_shutdown_are_answered_draining_or_refused() {
+    let (sock, server) = start_server("drain");
+    let bye = client_shutdown(&sock).unwrap();
+    assert!(bye[0].starts_with("ok"), "{bye:?}");
+    // the window between SHUTDOWN and teardown: a connection that still
+    // gets through is answered `err draining`; once the socket is gone,
+    // connecting fails — both are clean terminal outcomes
+    for _ in 0..10 {
+        match UnixStream::connect(&sock) {
+            Ok(mut s) => {
+                let _ = writeln!(s, "STATS");
+                let mut reply = String::new();
+                let _ = BufReader::new(s).read_line(&mut reply);
+                assert!(
+                    reply.is_empty() || reply.starts_with("err draining"),
+                    "draining server must reject, got {reply:?}"
+                );
+            }
+            Err(_) => break,
+        }
+    }
+    server.join().unwrap();
+}
