@@ -34,12 +34,27 @@ pub enum ExecPath {
 }
 
 /// A thread-pooled CPU executor.
+///
+/// The pool handle is cloneable and process-shareable: build one pool
+/// and hand width-scoped handles to every executor (runtime workers,
+/// `mdh-dist` CPU devices, the GPU simulator's host threads) via
+/// [`CpuExecutor::with_pool`] so the process runs a single set of OS
+/// threads instead of one pool per executor.
 pub struct CpuExecutor {
     pool: rayon::ThreadPool,
     pub threads: usize,
 }
 
+/// Plans covering at most this many iteration-space points run with the
+/// parallel width clamped to 1: the region never crosses a thread
+/// boundary, so tiny requests skip pool publication and wakeups
+/// entirely. Chunk bracketing depends on the width, but every path
+/// combines per-task results in task-index order, so the cutoff cannot
+/// change output bits.
+const SMALL_PLAN_POINTS: usize = 2048;
+
 impl CpuExecutor {
+    /// Build an executor with its own dedicated pool of `threads`.
     pub fn new(threads: usize) -> Result<CpuExecutor> {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
@@ -48,12 +63,37 @@ impl CpuExecutor {
         Ok(CpuExecutor { pool, threads })
     }
 
+    /// Build an executor sharing an existing pool's OS threads, with its
+    /// parallel width capped at `threads`. No threads are spawned.
+    pub fn with_pool(pool: &rayon::ThreadPool, threads: usize) -> CpuExecutor {
+        let pool = pool.with_width(threads);
+        let threads = pool.current_num_threads();
+        CpuExecutor { pool, threads }
+    }
+
+    /// The executor's pool handle (share it via
+    /// [`CpuExecutor::with_pool`]).
+    pub fn pool(&self) -> &rayon::ThreadPool {
+        &self.pool
+    }
+
     /// Use all available hardware threads.
     pub fn with_default_threads() -> CpuExecutor {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
         CpuExecutor::new(threads).expect("default thread pool")
+    }
+
+    /// The pool handle a plan should execute under: full width normally,
+    /// width 1 for plans too small to amortize crossing a thread
+    /// boundary.
+    fn pool_for(&self, plan: &ExecutionPlan) -> rayon::ThreadPool {
+        if plan.covered_points() <= SMALL_PLAN_POINTS {
+            self.pool.with_width(1)
+        } else {
+            self.pool.clone()
+        }
     }
 
     /// Which path `run` would take for this program.
@@ -103,7 +143,7 @@ impl CpuExecutor {
                 let mk = MapKernel::try_build(prog).unwrap();
                 self.run_map(&mk, prog, plan, inputs)
             }
-            ExecPath::Vm => vm_exec::run(prog, plan, inputs, &self.pool),
+            ExecPath::Vm => vm_exec::run(prog, plan, inputs, &self.pool_for(plan)),
             ExecPath::Reference => eval::evaluate_recursive(prog, inputs),
         }
     }
@@ -134,7 +174,7 @@ impl CpuExecutor {
 
         let tiles = schedule_tiles;
         let mut partials: Vec<Option<PartialF32>> = Vec::new();
-        self.pool.install(|| {
+        self.pool_for(plan).install(|| {
             plan.tasks
                 .par_iter()
                 .map(|t| Some(c.run_task_tiled(&ins, &in_acc, &t.range, tiles)))
@@ -205,7 +245,7 @@ impl CpuExecutor {
                 .as_f32_mut()
                 .ok_or_else(|| MdhError::Type("map output must be f32".into()))?;
             let shared = SyncSlice::new(out);
-            self.pool.install(|| {
+            self.pool_for(plan).install(|| {
                 plan.tasks.par_iter().for_each(|t| {
                     mk.run_task(&ins, &in_acc, &out_acc[0], &t.range, &shared);
                 });

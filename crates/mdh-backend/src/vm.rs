@@ -60,6 +60,13 @@ pub enum VmOp {
     JmpIfZero(usize, usize),
     /// Unconditional jump to absolute pc.
     Jmp(usize),
+    /// `f[dst] = f[a] * f[b] + f[c]` — the peephole superinstruction for
+    /// an adjacent `FMul`+`FAdd` pair (the shape of every contraction
+    /// SF). This fuses *dispatch*, not rounding: it computes with the
+    /// same two roundings as the pair it replaces (deliberately not
+    /// `f64::mul_add`), so compiled results stay bit-identical with the
+    /// tree interpreter and with unfused programs.
+    FMulAdd(usize, usize, usize, usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,11 +116,22 @@ pub enum ParamLoad {
 }
 
 /// A compiled scalar function.
+///
+/// # Register invariant
+///
+/// `ops`, `n_fregs` and `n_iregs` are private so that a `CompiledSf` can
+/// only be produced by [`compile_sf`], whose `finish` step *verifies*
+/// that every register index appearing in `ops` (and in `param_loads` /
+/// `result_regs`) is below the corresponding bank size, and that every
+/// jump target is `<= ops.len()`. [`CompiledSf::run`] relies on that
+/// invariant to use unchecked register access in the interpreter loop —
+/// it only re-checks the (two) bank lengths at entry, not each of the
+/// millions of per-element register accesses.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledSf {
-    pub ops: Vec<VmOp>,
-    pub n_fregs: usize,
-    pub n_iregs: usize,
+    ops: Vec<VmOp>,
+    n_fregs: usize,
+    n_iregs: usize,
     /// One entry per source parameter.
     pub param_loads: Vec<ParamLoad>,
     /// One register per result.
@@ -123,64 +141,115 @@ pub struct CompiledSf {
 }
 
 impl CompiledSf {
+    /// The verified instruction stream (read-only: mutating it could
+    /// break the register invariant).
+    pub fn ops(&self) -> &[VmOp] {
+        &self.ops
+    }
+
+    /// Size of the f64 register bank this program requires.
+    pub fn n_fregs(&self) -> usize {
+        self.n_fregs
+    }
+
+    /// Size of the i64 register bank this program requires.
+    pub fn n_iregs(&self) -> usize {
+        self.n_iregs
+    }
+
     /// Execute the program on the given banks (caller loads params first).
+    ///
+    /// Bank lengths are checked once at entry; per-access bounds checks
+    /// are elided under the register invariant (see the type docs).
     #[inline]
     pub fn run(&self, f: &mut [f64], i: &mut [i64]) {
+        assert!(
+            f.len() >= self.n_fregs && i.len() >= self.n_iregs,
+            "register banks smaller than the compiled program requires"
+        );
+        macro_rules! fr {
+            ($x:expr) => {
+                *f.get_unchecked($x)
+            };
+        }
+        macro_rules! fw {
+            ($x:expr) => {
+                *f.get_unchecked_mut($x)
+            };
+        }
+        macro_rules! ir {
+            ($x:expr) => {
+                *i.get_unchecked($x)
+            };
+        }
+        macro_rules! iw {
+            ($x:expr) => {
+                *i.get_unchecked_mut($x)
+            };
+        }
         let mut pc = 0usize;
-        let ops = &self.ops;
-        while pc < ops.len() {
-            match ops[pc] {
-                VmOp::ConstF(d, v) => f[d] = v,
-                VmOp::ConstI(d, v) => i[d] = v,
-                VmOp::MovF(d, s) => f[d] = f[s],
-                VmOp::MovI(d, s) => i[d] = i[s],
-                VmOp::FAdd(d, a, b) => f[d] = f[a] + f[b],
-                VmOp::FSub(d, a, b) => f[d] = f[a] - f[b],
-                VmOp::FMul(d, a, b) => f[d] = f[a] * f[b],
-                VmOp::FDiv(d, a, b) => f[d] = f[a] / f[b],
-                VmOp::FRem(d, a, b) => f[d] = f[a] % f[b],
-                VmOp::IAdd(d, a, b) => i[d] = i[a].wrapping_add(i[b]),
-                VmOp::ISub(d, a, b) => i[d] = i[a].wrapping_sub(i[b]),
-                VmOp::IMul(d, a, b) => i[d] = i[a].wrapping_mul(i[b]),
-                VmOp::IDiv(d, a, b) => i[d] = if i[b] != 0 { i[a] / i[b] } else { 0 },
-                VmOp::IRem(d, a, b) => i[d] = if i[b] != 0 { i[a] % i[b] } else { 0 },
-                VmOp::FNeg(d, a) => f[d] = -f[a],
-                VmOp::INeg(d, a) => i[d] = -i[a],
-                VmOp::FCmp(k, d, a, b) => i[d] = k.eval_f(f[a], f[b]) as i64,
-                VmOp::ICmp(k, d, a, b) => i[d] = k.eval_i(i[a], i[b]) as i64,
-                VmOp::And(d, a, b) => i[d] = ((i[a] != 0) && (i[b] != 0)) as i64,
-                VmOp::Or(d, a, b) => i[d] = ((i[a] != 0) || (i[b] != 0)) as i64,
-                VmOp::Not(d, a) => i[d] = (i[a] == 0) as i64,
-                VmOp::IToF(d, a) => f[d] = i[a] as f64,
-                VmOp::FToI(d, a) => i[d] = f[a] as i64,
-                VmOp::Call1(mf, d, a) => {
-                    f[d] = match mf {
-                        MathFn::Sqrt => f[a].sqrt(),
-                        MathFn::Exp => f[a].exp(),
-                        MathFn::Log => f[a].ln(),
-                        MathFn::Abs => f[a].abs(),
-                        _ => unreachable!("unary call with binary fn"),
+        let ops = self.ops.as_slice();
+        // SAFETY: `finish` verified every register index in `ops` against
+        // `n_fregs`/`n_iregs` (asserted to fit the banks above) and every
+        // jump target against `ops.len()`; the fields are private, so no
+        // unverified program can reach this loop.
+        unsafe {
+            while pc < ops.len() {
+                match *ops.get_unchecked(pc) {
+                    VmOp::ConstF(d, v) => fw!(d) = v,
+                    VmOp::ConstI(d, v) => iw!(d) = v,
+                    VmOp::MovF(d, s) => fw!(d) = fr!(s),
+                    VmOp::MovI(d, s) => iw!(d) = ir!(s),
+                    VmOp::FAdd(d, a, b) => fw!(d) = fr!(a) + fr!(b),
+                    VmOp::FSub(d, a, b) => fw!(d) = fr!(a) - fr!(b),
+                    VmOp::FMul(d, a, b) => fw!(d) = fr!(a) * fr!(b),
+                    VmOp::FDiv(d, a, b) => fw!(d) = fr!(a) / fr!(b),
+                    VmOp::FRem(d, a, b) => fw!(d) = fr!(a) % fr!(b),
+                    // two roundings on purpose — see the FMulAdd docs
+                    VmOp::FMulAdd(d, a, b, c) => fw!(d) = fr!(a) * fr!(b) + fr!(c),
+                    VmOp::IAdd(d, a, b) => iw!(d) = ir!(a).wrapping_add(ir!(b)),
+                    VmOp::ISub(d, a, b) => iw!(d) = ir!(a).wrapping_sub(ir!(b)),
+                    VmOp::IMul(d, a, b) => iw!(d) = ir!(a).wrapping_mul(ir!(b)),
+                    VmOp::IDiv(d, a, b) => iw!(d) = if ir!(b) != 0 { ir!(a) / ir!(b) } else { 0 },
+                    VmOp::IRem(d, a, b) => iw!(d) = if ir!(b) != 0 { ir!(a) % ir!(b) } else { 0 },
+                    VmOp::FNeg(d, a) => fw!(d) = -fr!(a),
+                    VmOp::INeg(d, a) => iw!(d) = -ir!(a),
+                    VmOp::FCmp(k, d, a, b) => iw!(d) = k.eval_f(fr!(a), fr!(b)) as i64,
+                    VmOp::ICmp(k, d, a, b) => iw!(d) = k.eval_i(ir!(a), ir!(b)) as i64,
+                    VmOp::And(d, a, b) => iw!(d) = ((ir!(a) != 0) && (ir!(b) != 0)) as i64,
+                    VmOp::Or(d, a, b) => iw!(d) = ((ir!(a) != 0) || (ir!(b) != 0)) as i64,
+                    VmOp::Not(d, a) => iw!(d) = (ir!(a) == 0) as i64,
+                    VmOp::IToF(d, a) => fw!(d) = ir!(a) as f64,
+                    VmOp::FToI(d, a) => iw!(d) = fr!(a) as i64,
+                    VmOp::Call1(mf, d, a) => {
+                        fw!(d) = match mf {
+                            MathFn::Sqrt => fr!(a).sqrt(),
+                            MathFn::Exp => fr!(a).exp(),
+                            MathFn::Log => fr!(a).ln(),
+                            MathFn::Abs => fr!(a).abs(),
+                            _ => unreachable!("unary call with binary fn"),
+                        }
                     }
-                }
-                VmOp::Call2(mf, d, a, b) => {
-                    f[d] = match mf {
-                        MathFn::Min => f[a].min(f[b]),
-                        MathFn::Max => f[a].max(f[b]),
-                        _ => unreachable!("binary call with unary fn"),
+                    VmOp::Call2(mf, d, a, b) => {
+                        fw!(d) = match mf {
+                            MathFn::Min => fr!(a).min(fr!(b)),
+                            MathFn::Max => fr!(a).max(fr!(b)),
+                            _ => unreachable!("binary call with unary fn"),
+                        }
                     }
-                }
-                VmOp::JmpIfZero(c, target) => {
-                    if i[c] == 0 {
+                    VmOp::JmpIfZero(c, target) => {
+                        if ir!(c) == 0 {
+                            pc = target;
+                            continue;
+                        }
+                    }
+                    VmOp::Jmp(target) => {
                         pc = target;
                         continue;
                     }
                 }
-                VmOp::Jmp(target) => {
-                    pc = target;
-                    continue;
-                }
+                pc += 1;
             }
-            pc += 1;
         }
     }
 
@@ -729,15 +798,219 @@ impl Compiler {
             .iter()
             .map(|(_, ty)| ty.as_scalar().unwrap())
             .collect();
-        Ok(CompiledSf {
-            ops: self.ops,
+        let ops = fuse_mul_add(self.ops, self.n_f, &result_regs);
+        let compiled = CompiledSf {
+            ops,
             n_fregs: self.n_f,
             n_iregs: self.n_i,
             param_loads: self.param_loads,
             result_regs,
             result_kinds,
-        })
+        };
+        verify_registers(&compiled);
+        Ok(compiled)
     }
+}
+
+/// Append every f-register *read* by `op` to `out`.
+fn f_reads(op: &VmOp, out: &mut Vec<usize>) {
+    match *op {
+        VmOp::MovF(_, s) => out.push(s),
+        VmOp::FAdd(_, a, b)
+        | VmOp::FSub(_, a, b)
+        | VmOp::FMul(_, a, b)
+        | VmOp::FDiv(_, a, b)
+        | VmOp::FRem(_, a, b)
+        | VmOp::FCmp(_, _, a, b)
+        | VmOp::Call2(_, _, a, b) => {
+            out.push(a);
+            out.push(b);
+        }
+        VmOp::FMulAdd(_, a, b, c) => {
+            out.push(a);
+            out.push(b);
+            out.push(c);
+        }
+        VmOp::FNeg(_, a) | VmOp::FToI(_, a) | VmOp::Call1(_, _, a) => out.push(a),
+        _ => {}
+    }
+}
+
+/// Peephole: fuse an adjacent `FMul(t, a, b)` + `FAdd(d, t, c)` (or
+/// `FAdd(d, c, t)`) into one [`VmOp::FMulAdd`] when doing so cannot
+/// change observable behavior:
+///
+/// * no jump targets the `FAdd`'s pc (else control could reach the add
+///   without the mul),
+/// * the product register `t` is dead after the pair — either the add
+///   overwrites it (`d == t`), or `t` is read nowhere else and is not a
+///   result register.
+///
+/// Jump targets (absolute pcs, including the end-of-program pc) are
+/// remapped over the removed instructions. The fused op computes with
+/// the same two roundings as the pair, so this changes dispatch count
+/// only, never results.
+fn fuse_mul_add(ops: Vec<VmOp>, n_fregs: usize, result_regs: &[Reg]) -> Vec<VmOp> {
+    let n = ops.len();
+    let mut is_target = vec![false; n + 1];
+    for op in &ops {
+        if let VmOp::JmpIfZero(_, t) | VmOp::Jmp(t) = *op {
+            is_target[t] = true;
+        }
+    }
+    let mut read_count = vec![0usize; n_fregs];
+    let mut scratch = Vec::new();
+    for op in &ops {
+        scratch.clear();
+        f_reads(op, &mut scratch);
+        for &r in &scratch {
+            read_count[r] += 1;
+        }
+    }
+    let mut is_result = vec![false; n_fregs];
+    for r in result_regs {
+        if let Reg::F(d) = r {
+            is_result[*d] = true;
+        }
+    }
+
+    let mut keep = vec![true; n];
+    let mut fused: Vec<Option<VmOp>> = vec![None; n];
+    let mut p = 0;
+    while p + 1 < n {
+        if let (VmOp::FMul(t, a, b), VmOp::FAdd(d, x, y)) = (ops[p], ops[p + 1]) {
+            // exactly one add operand must be the product (t + t needs
+            // the product twice, which FMulAdd cannot express)
+            if !is_target[p + 1] && ((x == t) ^ (y == t)) {
+                let c = if x == t { y } else { x };
+                // reads of t by the pair itself (the mul's own operands
+                // may alias t; the add reads it exactly once)
+                let pair_reads = 1 + usize::from(a == t) + usize::from(b == t);
+                let dead = d == t || (!is_result[t] && read_count[t] == pair_reads);
+                if dead {
+                    fused[p] = Some(VmOp::FMulAdd(d, a, b, c));
+                    keep[p + 1] = false;
+                    p += 2;
+                    continue;
+                }
+            }
+        }
+        p += 1;
+    }
+
+    // remap absolute jump targets over the removed pcs
+    let mut new_pc = vec![0usize; n + 1];
+    let mut kept = 0usize;
+    for q in 0..n {
+        new_pc[q] = kept;
+        if keep[q] {
+            kept += 1;
+        }
+    }
+    new_pc[n] = kept;
+    let mut out = Vec::with_capacity(kept);
+    for (q, op) in ops.into_iter().enumerate() {
+        if !keep[q] {
+            continue;
+        }
+        let op = fused[q].unwrap_or(op);
+        out.push(match op {
+            VmOp::JmpIfZero(cnd, t) => VmOp::JmpIfZero(cnd, new_pc[t]),
+            VmOp::Jmp(t) => VmOp::Jmp(new_pc[t]),
+            other => other,
+        });
+    }
+    out
+}
+
+/// Compile-time check backing the unchecked interpreter (see the
+/// [`CompiledSf`] docs): every register index below its bank size, every
+/// jump target `<= ops.len()`. A failure is a compiler bug, not bad
+/// input, hence the panic.
+fn verify_registers(c: &CompiledSf) {
+    let in_f = |r: usize| assert!(r < c.n_fregs, "f-register {r} out of range {}", c.n_fregs);
+    let in_i = |r: usize| assert!(r < c.n_iregs, "i-register {r} out of range {}", c.n_iregs);
+    let in_pc = |t: usize| assert!(t <= c.ops.len(), "jump target {t} out of range");
+    for op in &c.ops {
+        match *op {
+            VmOp::ConstF(d, _) => in_f(d),
+            VmOp::ConstI(d, _) => in_i(d),
+            VmOp::MovF(d, s) => {
+                in_f(d);
+                in_f(s);
+            }
+            VmOp::MovI(d, s) => {
+                in_i(d);
+                in_i(s);
+            }
+            VmOp::FAdd(d, a, b)
+            | VmOp::FSub(d, a, b)
+            | VmOp::FMul(d, a, b)
+            | VmOp::FDiv(d, a, b)
+            | VmOp::FRem(d, a, b)
+            | VmOp::Call2(_, d, a, b) => {
+                in_f(d);
+                in_f(a);
+                in_f(b);
+            }
+            VmOp::FMulAdd(d, a, b, cc) => {
+                in_f(d);
+                in_f(a);
+                in_f(b);
+                in_f(cc);
+            }
+            VmOp::IAdd(d, a, b)
+            | VmOp::ISub(d, a, b)
+            | VmOp::IMul(d, a, b)
+            | VmOp::IDiv(d, a, b)
+            | VmOp::IRem(d, a, b)
+            | VmOp::And(d, a, b)
+            | VmOp::Or(d, a, b)
+            | VmOp::ICmp(_, d, a, b) => {
+                in_i(d);
+                in_i(a);
+                in_i(b);
+            }
+            VmOp::FNeg(d, a) | VmOp::Call1(_, d, a) => {
+                in_f(d);
+                in_f(a);
+            }
+            VmOp::INeg(d, a) | VmOp::Not(d, a) => {
+                in_i(d);
+                in_i(a);
+            }
+            VmOp::FCmp(_, d, a, b) => {
+                in_i(d);
+                in_f(a);
+                in_f(b);
+            }
+            VmOp::IToF(d, a) => {
+                in_f(d);
+                in_i(a);
+            }
+            VmOp::FToI(d, a) => {
+                in_i(d);
+                in_f(a);
+            }
+            VmOp::JmpIfZero(cnd, t) => {
+                in_i(cnd);
+                in_pc(t);
+            }
+            VmOp::Jmp(t) => in_pc(t),
+        }
+    }
+    let in_reg = |r: &Reg| match r {
+        Reg::F(d) => in_f(*d),
+        Reg::I(d) => in_i(*d),
+    };
+    for pl in &c.param_loads {
+        match pl {
+            ParamLoad::Unused => {}
+            ParamLoad::Scalar(r) => in_reg(r),
+            ParamLoad::Record(lanes) => lanes.iter().for_each(|(_, _, r)| in_reg(r)),
+        }
+    }
+    c.result_regs.iter().for_each(in_reg);
 }
 
 fn kind_is_float(k: ScalarKind) -> bool {
@@ -800,6 +1073,86 @@ mod tests {
         let c = compile_sf(&sf).unwrap();
         let args = vec![Value::F64(1.0), Value::F64(2.0), Value::F64(3.0)];
         assert_eq!(run_dyn(&c, &args), sf.eval(&args).unwrap());
+    }
+
+    #[test]
+    fn fma_peephole_fuses_contraction_shape() {
+        // weighted_sum is a chain of mul-then-accumulate: the peephole
+        // must fire, and results must stay exactly equal to the tree
+        // interpreter (dispatch fusion, not rounding fusion)
+        let sf = ScalarFunction::weighted_sum("g", ScalarKind::F64, &[0.5, -1.0, 2.0, 0.25]);
+        let c = compile_sf(&sf).unwrap();
+        let fused = c
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, VmOp::FMulAdd(..)))
+            .count();
+        assert!(fused > 0, "expected FMulAdd in {:?}", c.ops());
+        for vals in [[1.0, 2.0, 3.0, 4.0], [0.1, -7.5, 1e100, -0.0]] {
+            let args: Vec<Value> = vals.iter().map(|&v| Value::F64(v)).collect();
+            assert_eq!(run_dyn(&c, &args), sf.eval(&args).unwrap());
+        }
+    }
+
+    #[test]
+    fn fma_peephole_keeps_live_products_unfused() {
+        use mdh_core::expr::{Expr, Stmt};
+        // t = a*b is used twice: fusing the first add would kill the
+        // second read, so the pair must stay unfused and results match
+        let sf = ScalarFunction {
+            name: "reuse".into(),
+            params: vec![("a".into(), BasicType::F64), ("b".into(), BasicType::F64)],
+            results: vec![("res".into(), BasicType::F64)],
+            body: vec![
+                Stmt::Let {
+                    name: "t".into(),
+                    value: Expr::mul(Expr::Param(0), Expr::Param(1)),
+                },
+                Stmt::Let {
+                    name: "u".into(),
+                    value: Expr::add(Expr::var("t"), Expr::Param(0)),
+                },
+                Stmt::Assign {
+                    name: "res".into(),
+                    value: Expr::add(Expr::var("u"), Expr::var("t")),
+                },
+            ],
+        };
+        let c = compile_sf(&sf).unwrap();
+        let args = vec![Value::F64(3.5), Value::F64(-2.0)];
+        assert_eq!(run_dyn(&c, &args), sf.eval(&args).unwrap());
+    }
+
+    #[test]
+    fn fma_peephole_remaps_jumps_across_fusion() {
+        use mdh_core::expr::{BinOp, Expr, Stmt};
+        // mul+add inside both branches of an if: fusion removes ops
+        // before and between jump targets, so targets must be remapped
+        let sf = ScalarFunction {
+            name: "branchy".into(),
+            params: vec![("a".into(), BasicType::F64), ("b".into(), BasicType::F64)],
+            results: vec![("res".into(), BasicType::F64)],
+            body: vec![Stmt::If {
+                cond: Expr::Bin(
+                    BinOp::Gt,
+                    Box::new(Expr::Param(0)),
+                    Box::new(Expr::Param(1)),
+                ),
+                then_branch: vec![Stmt::Assign {
+                    name: "res".into(),
+                    value: Expr::add(Expr::mul(Expr::Param(0), Expr::Param(1)), Expr::Param(0)),
+                }],
+                else_branch: vec![Stmt::Assign {
+                    name: "res".into(),
+                    value: Expr::add(Expr::Param(1), Expr::mul(Expr::Param(0), Expr::Param(0))),
+                }],
+            }],
+        };
+        let c = compile_sf(&sf).unwrap();
+        for (a, b) in [(2.0, 1.0), (1.0, 2.0), (2.0, 2.0)] {
+            let args = vec![Value::F64(a), Value::F64(b)];
+            assert_eq!(run_dyn(&c, &args), sf.eval(&args).unwrap(), "a={a} b={b}");
+        }
     }
 
     #[test]

@@ -408,6 +408,23 @@ fn run_task(
     let mut newf = vec![0f64; width];
     let mut newi = vec![0i64; width];
 
+    // --- strength reduction --------------------------------------------
+    // The innermost collapsed dimension advances fastest, and every
+    // input access is affine, so along that dimension each access's
+    // linear offset moves by a fixed per-access stride. Hoist those
+    // strides out of the odometer: the hot loop bumps integer offsets
+    // incrementally and pays the full rank-length `offset(&idx)` dot
+    // product only once per innermost run. Offsets are exact integers,
+    // so incremental and recomputed forms are identical bit-for-bit.
+    let inner_d = collapsed.last().copied();
+    let inner_n = inner_d.map_or(1, |d| range.extent(d));
+    let outer_collapsed = &collapsed[..collapsed.len().saturating_sub(1)];
+    let steps: Vec<i64> = in_acc
+        .iter()
+        .map(|a| inner_d.map_or(0, |d| a.coeffs[d]))
+        .collect();
+    let mut offs: Vec<i64> = vec![0; in_acc.len()];
+
     let mut idx = range.lo.clone();
     let mut plin = 0usize;
     'pres: loop {
@@ -417,42 +434,49 @@ fn run_task(
         }
         let mut first = true;
         'red: loop {
-            // evaluate SF at idx
-            for (l, a) in loaders.iter().zip(in_acc) {
-                l.load(a.offset(&idx) as usize, &mut fbank, &mut ibank);
+            // base offsets for this innermost run (idx holds the run's
+            // start; the inner loop never touches idx[inner_d])
+            for (o, a) in offs.iter_mut().zip(in_acc) {
+                *o = a.offset(&idx);
             }
-            sf.run(&mut fbank, &mut ibank);
-            for (r, reg) in sf.result_regs.iter().enumerate() {
-                match reg {
-                    Reg::F(d) => newf[r] = fbank[*d],
-                    Reg::I(d) => newi[r] = ibank[*d],
+            for _ in 0..inner_n {
+                for (l, &o) in loaders.iter().zip(&offs) {
+                    l.load(o as usize, &mut fbank, &mut ibank);
+                }
+                sf.run(&mut fbank, &mut ibank);
+                for (r, reg) in sf.result_regs.iter().enumerate() {
+                    match reg {
+                        Reg::F(d) => newf[r] = fbank[*d],
+                        Reg::I(d) => newi[r] = ibank[*d],
+                    }
+                }
+                if first {
+                    accf.copy_from_slice(&newf);
+                    acci.copy_from_slice(&newi);
+                    first = false;
+                } else if let Some(c) = fold {
+                    c.combine(
+                        &mut accf, &mut acci, &newf, &newi, kinds, &mut cf_f, &mut cf_i,
+                    );
+                }
+                for (o, &s) in offs.iter_mut().zip(&steps) {
+                    *o += s;
                 }
             }
-            if first {
-                accf.copy_from_slice(&newf);
-                acci.copy_from_slice(&newi);
-                first = false;
-            } else if let Some(c) = fold {
-                c.combine(
-                    &mut accf, &mut acci, &newf, &newi, kinds, &mut cf_f, &mut cf_i,
-                );
-            }
-            // advance collapsed odometer
-            let mut k = collapsed.len();
+            // advance the outer collapsed odometer (the innermost dim
+            // was consumed by the linear loop above)
+            let mut k = outer_collapsed.len();
             loop {
                 if k == 0 {
                     break 'red;
                 }
                 k -= 1;
-                let d = collapsed[k];
+                let d = outer_collapsed[k];
                 idx[d] += 1;
                 if idx[d] < range.hi[d] {
                     break;
                 }
                 idx[d] = range.lo[d];
-            }
-            if collapsed.is_empty() {
-                break 'red;
             }
         }
         // store acc into columns

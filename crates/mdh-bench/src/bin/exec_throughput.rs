@@ -1,0 +1,690 @@
+//! Execution-engine throughput sweep: the Fig. 3 case studies over
+//! thread counts {1, 2, 4, N} on the persistent work-stealing pool.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p mdh-bench --bin exec_throughput -- \
+//!     [--scale paper|medium|small] [--quick] [--out BENCH_exec.json]
+//! ```
+//!
+//! One physical pool is built once (sized for the largest thread count);
+//! every sweep point runs through a width-scoped handle of that pool, so
+//! the per-point `threads_spawned_during` counters demonstrate that no OS
+//! threads are created after warmup. Studies whose paper sizes exceed the
+//! per-run flop budget (MCC-class convolutions are ~1e13 flops) fall back
+//! to a smaller scale, recorded per study as `scale_used`.
+//!
+//! GFLOP/s uses the algorithmic flop count `points x sf_flops_estimate`,
+//! the same estimate the GPU simulator charges — an approximation (it
+//! counts the scalar-function body once per point), not a hardware
+//! counter. Scaling efficiency is `speedup / min(threads, hw_threads)`:
+//! on a 1-hardware-thread container a 4-thread sweep point cannot exceed
+//! 1x raw speedup, so efficiency normalises by the parallelism the host
+//! can actually deliver while the raw speedup stays in the JSON.
+//!
+//! `EXEC_CHECK` lines carry only deterministic fields (FNV-1a output
+//! hashes, spawn/region counters) so CI can run the bin twice and diff
+//! them; timings live only in the table and the JSON.
+
+use mdh_apps::{instantiate, AppInstance, Scale, StudyId, FIG3_STUDIES};
+use mdh_backend::cpu::CpuExecutor;
+use mdh_bench::parse_scale;
+use mdh_core::buffer::{Buffer, BufferData, Column};
+use mdh_lowering::{mdh_default_schedule, DeviceKind, ExecutionPlan, Schedule};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Per-run algorithmic flop budget before a study falls back to a
+/// smaller scale. Paper MatMul (2 * 1024^3 ~ 2.1e9) must fit.
+const FLOP_BUDGET: f64 = 4.0e9;
+/// Keep timing a sweep point until this much time has accumulated...
+const MIN_TOTAL_S: f64 = 0.25;
+/// ...or this many timed iterations have run, whichever comes first.
+const MAX_ITERS: usize = 5;
+const HOT_LOOP_ITERS: usize = 100;
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// FNV-1a over the raw bit patterns of a buffer set. Bit-identical
+/// outputs (the pool's determinism guarantee) give identical hashes.
+fn fnv_eat(h: &mut u64, bytes: &[u8]) {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        *h = (*h ^ b as u64).wrapping_mul(PRIME);
+    }
+}
+
+fn fnv_column(h: &mut u64, c: &Column) {
+    match c {
+        Column::F32(v) => v
+            .iter()
+            .for_each(|x| fnv_eat(h, &x.to_bits().to_le_bytes())),
+        Column::F64(v) => v
+            .iter()
+            .for_each(|x| fnv_eat(h, &x.to_bits().to_le_bytes())),
+        Column::I32(v) => v.iter().for_each(|x| fnv_eat(h, &x.to_le_bytes())),
+        Column::I64(v) => v.iter().for_each(|x| fnv_eat(h, &x.to_le_bytes())),
+        Column::Bool(v) => v.iter().for_each(|x| fnv_eat(h, &[*x as u8])),
+        Column::Char(v) => fnv_eat(h, v),
+    }
+}
+
+fn fnv1a(bufs: &[Buffer]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bufs {
+        match &b.data {
+            BufferData::F32(v) => v
+                .iter()
+                .for_each(|x| fnv_eat(&mut h, &x.to_bits().to_le_bytes())),
+            BufferData::F64(v) => v
+                .iter()
+                .for_each(|x| fnv_eat(&mut h, &x.to_bits().to_le_bytes())),
+            BufferData::I32(v) => v.iter().for_each(|x| fnv_eat(&mut h, &x.to_le_bytes())),
+            BufferData::I64(v) => v.iter().for_each(|x| fnv_eat(&mut h, &x.to_le_bytes())),
+            BufferData::Bool(v) => v.iter().for_each(|x| fnv_eat(&mut h, &[*x as u8])),
+            BufferData::Char(v) => fnv_eat(&mut h, v),
+            BufferData::Record(r) => r.columns.iter().for_each(|c| fnv_column(&mut h, c)),
+        }
+    }
+    h
+}
+
+fn flops_per_run(app: &AppInstance) -> f64 {
+    let per_point = app.program.md_hom.sf.flops_estimate().max(1);
+    app.program.md_hom.points() as f64 * per_point as f64
+}
+
+/// Instantiate at the requested scale, stepping down while the study
+/// blows the per-run flop budget.
+fn instantiate_within_budget(
+    name: &'static str,
+    requested: Scale,
+    budget: f64,
+) -> Option<(AppInstance, Scale)> {
+    let ladder: &[Scale] = match requested {
+        Scale::Paper => &[Scale::Paper, Scale::Medium, Scale::Small],
+        Scale::Medium => &[Scale::Medium, Scale::Small],
+        Scale::Small => &[Scale::Small],
+    };
+    for &scale in ladder {
+        let app = match instantiate(StudyId { name, input_no: 1 }, scale) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{name} @ {scale:?}: {e}");
+                return None;
+            }
+        };
+        if flops_per_run(&app) <= budget || scale == Scale::Small {
+            return Some((app, scale));
+        }
+    }
+    None
+}
+
+struct Point {
+    threads: usize,
+    iters: usize,
+    best_ms: f64,
+    gflops: f64,
+    speedup: f64,
+    efficiency: f64,
+    threads_spawned_during: u64,
+    regions_per_run: u64,
+    output_hash: u64,
+}
+
+struct StudyRow {
+    name: String,
+    sizes: String,
+    scale_used: Scale,
+    path: String,
+    flops: f64,
+    points: Vec<Point>,
+}
+
+struct HotLoop {
+    app: String,
+    scale_used: Scale,
+    threads: usize,
+    iterations: usize,
+    threads_spawned_during: u64,
+    regions_executed: u64,
+    total_ms: f64,
+}
+
+fn time_point(
+    exec: &CpuExecutor,
+    app: &AppInstance,
+    schedule: &Schedule,
+    plan: &ExecutionPlan,
+    threads: usize,
+    quick: bool,
+    flops: f64,
+) -> Point {
+    let spawn0 = rayon::total_threads_spawned();
+    let regions0 = exec.pool().regions_executed();
+    // Warmup run doubles as the determinism probe: its output hash and
+    // region count are pure functions of (program, plan, width).
+    let out = exec
+        .run_planned(&app.program, schedule, plan, &app.inputs)
+        .expect("execution failed");
+    let output_hash = fnv1a(&out);
+    let threads_spawned_during = rayon::total_threads_spawned() - spawn0;
+    let regions_per_run = exec.pool().regions_executed() - regions0;
+
+    let (min_total, max_iters) = if quick {
+        (0.02, 2)
+    } else {
+        (MIN_TOTAL_S, MAX_ITERS)
+    };
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    let mut iters = 0;
+    while total < min_total && iters < max_iters {
+        let t0 = Instant::now();
+        let r = exec.run_planned(&app.program, schedule, plan, &app.inputs);
+        let dt = t0.elapsed().as_secs_f64();
+        r.expect("execution failed");
+        best = best.min(dt);
+        total += dt;
+        iters += 1;
+    }
+    Point {
+        threads,
+        iters,
+        best_ms: best * 1e3,
+        gflops: flops / best / 1e9,
+        speedup: 0.0,    // filled in by the caller from the 1-thread point
+        efficiency: 0.0, // ditto
+        threads_spawned_during,
+        regions_per_run,
+        output_hash,
+    }
+}
+
+fn run_study(
+    name: &'static str,
+    requested: Scale,
+    base: &CpuExecutor,
+    counts: &[usize],
+    hw: usize,
+    quick: bool,
+) -> Option<StudyRow> {
+    let budget = if quick { 1.0e8 } else { FLOP_BUDGET };
+    let (app, scale_used) = instantiate_within_budget(name, requested, budget)?;
+    app.program.validate().ok()?;
+    let flops = flops_per_run(&app);
+    let path = format!("{:?}", base.path_for(&app.program));
+
+    let mut points: Vec<Point> = Vec::new();
+    for &t in counts {
+        let exec = CpuExecutor::with_pool(base.pool(), t);
+        let schedule = mdh_default_schedule(&app.program, DeviceKind::Cpu, t);
+        if schedule.validate(&app.program, 1 << 24).is_err() {
+            eprintln!("{name} @ {t} threads: schedule rejected");
+            return None;
+        }
+        let plan = match ExecutionPlan::build(&app.program, &schedule) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{name} @ {t} threads: {e}");
+                return None;
+            }
+        };
+        let mut p = time_point(&exec, &app, &schedule, &plan, t, quick, flops);
+        let base_ms = points.first().map_or(p.best_ms, |b| b.best_ms);
+        p.speedup = base_ms / p.best_ms;
+        p.efficiency = p.speedup / t.min(hw) as f64;
+        points.push(p);
+    }
+
+    // The determinism marker: hashes and counters only, no timings.
+    for p in &points {
+        println!(
+            "EXEC_CHECK study=\"{}\" scale={:?} path={} threads={} hash={:#018x} \
+             spawns={} regions={}",
+            name,
+            scale_used,
+            path,
+            p.threads,
+            p.output_hash,
+            p.threads_spawned_during,
+            p.regions_per_run
+        );
+    }
+    Some(StudyRow {
+        name: app.name.clone(),
+        sizes: app.sizes_desc.clone(),
+        scale_used,
+        path,
+        flops,
+        points,
+    })
+}
+
+/// 100 back-to-back runs through one width-scoped handle: the serving
+/// hot path. The pool was warmed by the sweep; the spawn delta across
+/// all iterations must be zero.
+fn run_hot_loop(
+    base: &CpuExecutor,
+    requested: Scale,
+    threads: usize,
+    quick: bool,
+) -> Option<HotLoop> {
+    let budget = if quick { 1.0e8 } else { FLOP_BUDGET / 10.0 };
+    let (app, scale_used) = instantiate_within_budget("MatVec", requested, budget)?;
+    let exec = CpuExecutor::with_pool(base.pool(), threads);
+    let schedule = mdh_default_schedule(&app.program, DeviceKind::Cpu, threads);
+    let plan = ExecutionPlan::build(&app.program, &schedule).ok()?;
+    // Warmup: fault in any lazily-built state before the counter window.
+    exec.run_planned(&app.program, &schedule, &plan, &app.inputs)
+        .ok()?;
+
+    let spawn0 = rayon::total_threads_spawned();
+    let regions0 = exec.pool().regions_executed();
+    let t0 = Instant::now();
+    for _ in 0..HOT_LOOP_ITERS {
+        exec.run_planned(&app.program, &schedule, &plan, &app.inputs)
+            .expect("hot loop execution failed");
+    }
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let threads_spawned_during = rayon::total_threads_spawned() - spawn0;
+    let regions_executed = exec.pool().regions_executed() - regions0;
+    println!(
+        "EXEC_CHECK hot_loop app=\"MatVec\" scale={:?} threads={} iters={} spawns={} regions={}",
+        scale_used, threads, HOT_LOOP_ITERS, threads_spawned_during, regions_executed
+    );
+    Some(HotLoop {
+        app: app.name.clone(),
+        scale_used,
+        threads,
+        iterations: HOT_LOOP_ITERS,
+        threads_spawned_during,
+        regions_executed,
+        total_ms,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    rows: &[StudyRow],
+    hot: &HotLoop,
+    requested: Scale,
+    quick: bool,
+    hw: usize,
+    counts: &[usize],
+    pool_spawned: u64,
+    acceptance: &(f64, f64, bool),
+) -> String {
+    let counts_s = counts
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"experiment\": \"exec_throughput\",");
+    let _ = writeln!(j, "  \"requested_scale\": \"{requested:?}\",");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    let _ = writeln!(j, "  \"hw_threads\": {hw},");
+    let _ = writeln!(j, "  \"thread_counts\": [{counts_s}],");
+    let _ = writeln!(j, "  \"pool_threads_spawned_at_build\": {pool_spawned},");
+    let _ = writeln!(
+        j,
+        "  \"efficiency_basis\": \"speedup / min(threads, hw_threads)\","
+    );
+    let _ = writeln!(
+        j,
+        "  \"flops_note\": \"algorithmic: points * sf_flops_estimate, not a hardware counter\","
+    );
+    let _ = writeln!(j, "  \"studies\": [");
+    for (si, s) in rows.iter().enumerate() {
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"name\": \"{}\",", json_escape(&s.name));
+        let _ = writeln!(j, "      \"sizes\": \"{}\",", json_escape(&s.sizes));
+        let _ = writeln!(j, "      \"scale_used\": \"{:?}\",", s.scale_used);
+        let _ = writeln!(j, "      \"path\": \"{}\",", s.path);
+        let _ = writeln!(j, "      \"flops_per_run\": {:.0},", s.flops);
+        let _ = writeln!(j, "      \"points\": [");
+        for (pi, p) in s.points.iter().enumerate() {
+            let _ = write!(
+                j,
+                "        {{\"threads\": {}, \"iters\": {}, \"best_ms\": {:.4}, \
+                 \"gflops\": {:.4}, \"speedup\": {:.4}, \"efficiency\": {:.4}, \
+                 \"threads_spawned_during\": {}, \"regions_per_run\": {}, \
+                 \"output_hash\": \"{:#018x}\"}}",
+                p.threads,
+                p.iters,
+                p.best_ms,
+                p.gflops,
+                p.speedup,
+                p.efficiency,
+                p.threads_spawned_during,
+                p.regions_per_run,
+                p.output_hash
+            );
+            let _ = writeln!(j, "{}", if pi + 1 < s.points.len() { "," } else { "" });
+        }
+        let _ = writeln!(j, "      ]");
+        let _ = writeln!(j, "    }}{}", if si + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"hot_loop\": {{");
+    let _ = writeln!(j, "    \"app\": \"{}\",", json_escape(&hot.app));
+    let _ = writeln!(j, "    \"scale_used\": \"{:?}\",", hot.scale_used);
+    let _ = writeln!(j, "    \"threads\": {},", hot.threads);
+    let _ = writeln!(j, "    \"iterations\": {},", hot.iterations);
+    let _ = writeln!(
+        j,
+        "    \"threads_spawned_during\": {},",
+        hot.threads_spawned_during
+    );
+    let _ = writeln!(j, "    \"regions_executed\": {},", hot.regions_executed);
+    let _ = writeln!(j, "    \"total_ms\": {:.4},", hot.total_ms);
+    let _ = writeln!(
+        j,
+        "    \"per_iter_ms\": {:.4}",
+        hot.total_ms / hot.iterations as f64
+    );
+    let _ = writeln!(j, "  }},");
+    let (eff, speedup, pass) = acceptance;
+    let _ = writeln!(j, "  \"acceptance\": {{");
+    let _ = writeln!(j, "    \"matmul_4t_efficiency\": {eff:.4},");
+    let _ = writeln!(j, "    \"matmul_4t_speedup\": {speedup:.4},");
+    let _ = writeln!(
+        j,
+        "    \"hot_loop_spawns\": {},",
+        hot.threads_spawned_during
+    );
+    let _ = writeln!(j, "    \"pass\": {pass}");
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+/// Minimal structural JSON validator: the written report must parse and
+/// must carry the schema's required top-level keys. Catches a malformed
+/// writer before CI's deeper check does.
+mod jsonck {
+    pub fn validate(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        skip_ws(b, &mut i);
+        value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at {i}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => object(b, i),
+            Some(b'[') => array(b, i),
+            Some(b'"') => string(b, i),
+            Some(b't') => literal(b, i, b"true"),
+            Some(b'f') => literal(b, i, b"false"),
+            Some(b'n') => literal(b, i, b"null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+            other => Err(format!("unexpected {other:?} at {i}")),
+        }
+    }
+
+    fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+        *i += 1; // '{'
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b'}') {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, i);
+            string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("expected ':' at {i}"));
+            }
+            *i += 1;
+            value(b, i)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b'}') => {
+                    *i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?} at {i}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+        *i += 1; // '['
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b']') {
+            *i += 1;
+            return Ok(());
+        }
+        loop {
+            value(b, i)?;
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b']') => {
+                    *i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?} at {i}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected '\"' at {i}"));
+        }
+        *i += 1;
+        while *i < b.len() {
+            match b[*i] {
+                b'\\' => *i += 2,
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+        let start = *i;
+        if b.get(*i) == Some(&b'-') {
+            *i += 1;
+        }
+        while *i < b.len()
+            && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            *i += 1;
+        }
+        let text = std::str::from_utf8(&b[start..*i]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map_err(|e| format!("bad number '{text}': {e}"))?;
+        Ok(())
+    }
+
+    fn literal(b: &[u8], i: &mut usize, word: &[u8]) -> Result<(), String> {
+        if b.len() - *i >= word.len() && &b[*i..*i + word.len()] == word {
+            *i += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at {i}"))
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let requested = arg(&args, "--scale")
+        .map(|s| parse_scale(&s))
+        .unwrap_or(if quick { Scale::Small } else { Scale::Paper });
+    let out_path = arg(&args, "--out").unwrap_or_else(|| "BENCH_exec.json".into());
+
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1, 2, 4, hw];
+    counts.sort_unstable();
+    counts.dedup();
+    let max_threads = *counts.last().expect("nonempty");
+
+    let spawn0 = rayon::total_threads_spawned();
+    let base = CpuExecutor::new(max_threads).expect("pool");
+    let pool_spawned = rayon::total_threads_spawned() - spawn0;
+
+    println!(
+        "=== exec throughput ({requested:?} scale, hw_threads={hw}, \
+         pool={max_threads} threads, quick={quick}) ==="
+    );
+
+    let unique: Vec<&'static str> = {
+        let mut seen = Vec::new();
+        for id in FIG3_STUDIES {
+            if id.input_no == 1 && !seen.contains(&id.name) {
+                seen.push(id.name);
+            }
+        }
+        seen
+    };
+
+    let mut rows = Vec::new();
+    for name in unique {
+        let Some(row) = run_study(name, requested, &base, &counts, hw, quick) else {
+            continue;
+        };
+        println!(
+            "\n--- {} ({}) — {:?} scale, {} path, {:.2e} flops/run ---",
+            row.name, row.sizes, row.scale_used, row.path, row.flops
+        );
+        println!(
+            "  {:>7}  {:>10}  {:>9}  {:>8}  {:>10}  {:>7}  {:>8}",
+            "threads", "best ms", "GFLOP/s", "speedup", "efficiency", "spawns", "regions"
+        );
+        for p in &row.points {
+            println!(
+                "  {:>7}  {:>10.3}  {:>9.3}  {:>7.2}x  {:>10.2}  {:>7}  {:>8}",
+                p.threads,
+                p.best_ms,
+                p.gflops,
+                p.speedup,
+                p.efficiency,
+                p.threads_spawned_during,
+                p.regions_per_run
+            );
+        }
+        rows.push(row);
+    }
+
+    println!();
+    let hot = run_hot_loop(&base, requested, max_threads, quick).expect("hot loop");
+    println!(
+        "hot loop: {} x{} @ {} threads — {:.1} ms total ({:.3} ms/iter), \
+         {} threads spawned, {} regions",
+        hot.app,
+        hot.iterations,
+        hot.threads,
+        hot.total_ms,
+        hot.total_ms / hot.iterations as f64,
+        hot.threads_spawned_during,
+        hot.regions_executed
+    );
+
+    // Acceptance inputs: the MatMul 4-thread sweep point and the hot
+    // loop's spawn counter.
+    let matmul = rows
+        .iter()
+        .find(|r| r.name == "MatMul")
+        .and_then(|r| r.points.iter().find(|p| p.threads == 4));
+    let (eff, speedup) = matmul.map_or((0.0, 0.0), |p| (p.efficiency, p.speedup));
+    let pass = eff >= 0.5 && hot.threads_spawned_during == 0;
+
+    let json = to_json(
+        &rows,
+        &hot,
+        requested,
+        quick,
+        hw,
+        &counts,
+        pool_spawned,
+        &(eff, speedup, pass),
+    );
+    jsonck::validate(&json).expect("generated BENCH_exec.json is not valid JSON");
+    for key in [
+        "\"experiment\"",
+        "\"hw_threads\"",
+        "\"thread_counts\"",
+        "\"efficiency_basis\"",
+        "\"studies\"",
+        "\"hot_loop\"",
+        "\"acceptance\"",
+    ] {
+        assert!(json.contains(key), "schema self-check: missing {key}");
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_exec.json");
+    println!("\nwrote {out_path}");
+
+    if quick {
+        // CI smoke mode: determinism + schema are the contract; the
+        // timing-based acceptance bar only applies to the full run.
+        println!("acceptance: skipped in --quick mode (schema + determinism only)");
+        if hot.threads_spawned_during != 0 {
+            eprintln!(
+                "acceptance FAILED: hot loop spawned {} threads",
+                hot.threads_spawned_during
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+    match matmul {
+        Some(p) if pass => {
+            println!(
+                "acceptance: MatMul @ 4 threads efficiency {:.2} (speedup {:.2}x over \
+                 min(4, hw={hw})={} usable threads; target >= 0.5) and hot-loop \
+                 spawns = {} — OK",
+                p.efficiency,
+                p.speedup,
+                4.min(hw),
+                hot.threads_spawned_during
+            );
+        }
+        Some(p) => {
+            eprintln!(
+                "acceptance FAILED: MatMul @ 4 threads efficiency {:.2} (need >= 0.5) \
+                 or hot-loop spawns {} != 0",
+                p.efficiency, hot.threads_spawned_during
+            );
+            std::process::exit(1);
+        }
+        None => {
+            eprintln!("acceptance FAILED: MatMul 4-thread sweep point missing");
+            std::process::exit(1);
+        }
+    }
+}

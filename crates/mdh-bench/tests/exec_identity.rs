@@ -1,0 +1,229 @@
+//! Work-stealing is invisible in the results: for a FIXED execution
+//! plan, running it through width-1, width-2, and width-4 handles of
+//! one persistent pool must produce bit-identical outputs.
+//!
+//! This is the strong form of the claim. Chunk boundaries are a pure
+//! function of `(n, width)`, every chunk writes index-addressed slots,
+//! and partials are folded in task order — so which OS thread steals
+//! which chunk can never reorder a float accumulation. Inputs here are
+//! deliberately NOT integer-valued: if stealing could reassociate a
+//! reduction, inexact values would surface it as a bit difference.
+//!
+//! (Across different plans the outputs legitimately differ — a
+//! 4-thread default schedule splits reductions differently from a
+//! 1-thread one. The guarantee under test is plan-for-plan.)
+
+use mdh_apps::{instantiate, Scale, StudyId, FIG3_STUDIES};
+use mdh_backend::cpu::CpuExecutor;
+use mdh_core::buffer::{Buffer, BufferData, Column};
+use mdh_core::combine::{BuiltinReduce, CombineOp, PwFunc};
+use mdh_core::dsl::{DslBuilder, DslProgram};
+use mdh_core::expr::ScalarFunction;
+use mdh_core::index_fn::{AffineExpr, IndexFn};
+use mdh_core::shape::Shape;
+use mdh_core::types::{BasicType, ScalarKind};
+use mdh_lowering::{mdh_default_schedule, DeviceKind, ExecutionPlan};
+use proptest::prelude::*;
+
+/// Bitwise equality: distinguishes -0.0 from 0.0 and compares NaNs by
+/// payload, unlike `PartialEq` on float vectors.
+fn bits_eq(a: &[Buffer], b: &[Buffer]) -> bool {
+    fn col_eq(a: &Column, b: &Column) -> bool {
+        match (a, b) {
+            (Column::F32(x), Column::F32(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+            }
+            (Column::F64(x), Column::F64(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+            }
+            _ => a == b,
+        }
+    }
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (&x.data, &y.data) {
+            (BufferData::F32(p), BufferData::F32(q)) => {
+                p.len() == q.len() && p.iter().zip(q).all(|(s, t)| s.to_bits() == t.to_bits())
+            }
+            (BufferData::F64(p), BufferData::F64(q)) => {
+                p.len() == q.len() && p.iter().zip(q).all(|(s, t)| s.to_bits() == t.to_bits())
+            }
+            (BufferData::Record(p), BufferData::Record(q)) => {
+                p.columns.len() == q.columns.len()
+                    && p.columns.iter().zip(&q.columns).all(|(s, t)| col_eq(s, t))
+            }
+            (p, q) => p == q,
+        })
+}
+
+/// Inexact, position-dependent fill: values like 0.1*k are not binary
+/// floats, so any reassociation changes low-order bits.
+fn inexact_fill(buf: &mut Buffer, salt: usize) {
+    buf.fill_with(move |i| {
+        let k = i.wrapping_add(salt).wrapping_mul(2654435761) % 1000;
+        k as f64 * 0.1 - 31.7
+    });
+}
+
+/// Run one program under widths {1, 2, 4} of a shared pool with the
+/// SAME plan and assert bitwise identity against the width-1 result.
+/// Returns whether the width-4 run actually published parallel regions
+/// (plans under the small-`n` cutoff stay on the caller).
+fn shared_base() -> &'static CpuExecutor {
+    static POOL: std::sync::OnceLock<CpuExecutor> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| CpuExecutor::new(4).expect("pool"))
+}
+
+fn assert_width_identity(prog: &DslProgram, inputs: &[Buffer], label: &str) -> bool {
+    let base = shared_base();
+    let schedule = mdh_default_schedule(prog, DeviceKind::Cpu, 4);
+    schedule
+        .validate(prog, 1 << 24)
+        .unwrap_or_else(|e| panic!("{label}: schedule: {e}"));
+    let plan = ExecutionPlan::build(prog, &schedule).expect("plan");
+
+    let reference = CpuExecutor::with_pool(base.pool(), 1)
+        .run_planned(prog, &schedule, &plan, inputs)
+        .unwrap_or_else(|e| panic!("{label} @ width 1: {e}"));
+    let mut crossed = false;
+    for width in [2usize, 4] {
+        let exec = CpuExecutor::with_pool(base.pool(), width);
+        let regions0 = exec.pool().regions_executed();
+        let outs = exec
+            .run_planned(prog, &schedule, &plan, inputs)
+            .unwrap_or_else(|e| panic!("{label} @ width {width}: {e}"));
+        crossed |= exec.pool().regions_executed() > regions0;
+        assert!(
+            bits_eq(&reference, &outs),
+            "{label}: width {width} diverged from width 1 on a fixed plan"
+        );
+        // Run-to-run determinism at the same width, too.
+        let again = exec
+            .run_planned(prog, &schedule, &plan, inputs)
+            .unwrap_or_else(|e| panic!("{label} @ width {width} rerun: {e}"));
+        assert!(
+            bits_eq(&outs, &again),
+            "{label}: width {width} differs between runs"
+        );
+    }
+    crossed
+}
+
+/// Pick the largest scale whose iteration space stays affordable for a
+/// test (3 widths x reruns), so most studies genuinely cross the
+/// parallel threshold without minutes of runtime.
+fn scaled_instance(id: StudyId) -> (Scale, mdh_apps::AppInstance) {
+    const POINT_BUDGET: usize = 20_000_000;
+    for scale in [Scale::Medium, Scale::Small] {
+        let app = instantiate(id, scale).expect("registry instantiates");
+        if app.program.md_hom.points() <= POINT_BUDGET || scale == Scale::Small {
+            return (scale, app);
+        }
+    }
+    unreachable!("ladder ends at Small")
+}
+
+#[test]
+fn registry_apps_are_bit_identical_across_pool_widths() {
+    let mut crossed = 0usize;
+    let mut names = Vec::new();
+    for id in FIG3_STUDIES {
+        if id.input_no != 1 || names.contains(&id.name) {
+            continue;
+        }
+        names.push(id.name);
+        let (scale, app) = scaled_instance(*id);
+        let label = format!("{} ({scale:?})", app.name);
+        if assert_width_identity(&app.program, &app.inputs, &label) {
+            crossed += 1;
+        }
+    }
+    assert_eq!(names.len(), 11, "expected every unique Fig. 3 study");
+    // The sweep must not be vacuous: most studies have to publish real
+    // parallel regions (only cutoff-sized plans may stay sequential).
+    assert!(
+        crossed >= 5,
+        "only {crossed} studies crossed the parallel threshold"
+    );
+}
+
+/// MatVec-shaped program: a `cc` dimension over rows, `pw(+)` over
+/// columns.
+fn cc_pw_program(i: usize, k: usize) -> (DslProgram, Vec<Buffer>) {
+    let prog = DslBuilder::new("ident_matvec", vec![i, k])
+        .out_buffer("w", BasicType::F32)
+        .out_access("w", IndexFn::select(2, &[0]))
+        .inp_buffer("M", BasicType::F32)
+        .inp_access("M", IndexFn::identity(2, 2))
+        .inp_buffer("v", BasicType::F32)
+        .inp_access("v", IndexFn::select(2, &[1]))
+        .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+        .combine_ops(vec![CombineOp::cc(), CombineOp::pw_add()])
+        .build()
+        .expect("cc/pw program");
+    let mut m = Buffer::zeros("M", BasicType::F32, Shape::new(vec![i, k]));
+    let mut v = Buffer::zeros("v", BasicType::F32, Shape::new(vec![k]));
+    inexact_fill(&mut m, 11);
+    inexact_fill(&mut v, 23);
+    (prog, vec![m, v])
+}
+
+/// Dot-shaped program: one `pw(+)` dimension, pure reduction.
+fn pw_program(n: usize) -> (DslProgram, Vec<Buffer>) {
+    let prog = DslBuilder::new("ident_dot", vec![n])
+        .out_buffer("res", BasicType::F32)
+        .out_access("res", IndexFn::affine(vec![AffineExpr::constant(1, 0)]))
+        .inp_buffer("x", BasicType::F32)
+        .inp_access("x", IndexFn::identity(1, 1))
+        .inp_buffer("y", BasicType::F32)
+        .inp_access("y", IndexFn::identity(1, 1))
+        .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+        .combine_ops(vec![CombineOp::pw_add()])
+        .build()
+        .expect("pw program");
+    let mut x = Buffer::zeros("x", BasicType::F32, Shape::new(vec![n]));
+    let mut y = Buffer::zeros("y", BasicType::F32, Shape::new(vec![n]));
+    inexact_fill(&mut x, 37);
+    inexact_fill(&mut y, 41);
+    (prog, vec![x, y])
+}
+
+/// Running-max program: one `ps(max)` scan dimension.
+fn ps_program(n: usize) -> (DslProgram, Vec<Buffer>) {
+    let prog = DslBuilder::new("ident_scan", vec![n])
+        .out_buffer("out", BasicType::F64)
+        .out_access("out", IndexFn::identity(1, 1))
+        .inp_buffer("x", BasicType::F64)
+        .inp_access("x", IndexFn::identity(1, 1))
+        .scalar_function(ScalarFunction::identity("id", ScalarKind::F64))
+        .combine_ops(vec![CombineOp::Ps(PwFunc::builtin(BuiltinReduce::Max))])
+        .build()
+        .expect("ps program");
+    let mut x = Buffer::zeros("x", BasicType::F64, Shape::new(vec![n]));
+    inexact_fill(&mut x, 53);
+    (prog, vec![x])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Sizes straddle the small-plan cutoff (2048 points) so both the
+    // sequential shortcut and genuine multi-chunk stealing are hit.
+
+    #[test]
+    fn cc_pw_fixed_plan_is_width_invariant(i in 1usize..90, k in 1usize..90) {
+        let (prog, inputs) = cc_pw_program(i, k);
+        assert_width_identity(&prog, &inputs, "proptest cc/pw");
+    }
+
+    #[test]
+    fn pw_fixed_plan_is_width_invariant(n in 1usize..6000) {
+        let (prog, inputs) = pw_program(n);
+        assert_width_identity(&prog, &inputs, "proptest pw");
+    }
+
+    #[test]
+    fn ps_fixed_plan_is_width_invariant(n in 1usize..6000) {
+        let (prog, inputs) = ps_program(n);
+        assert_width_identity(&prog, &inputs, "proptest ps");
+    }
+}

@@ -238,15 +238,44 @@ impl DistExecutor {
         faults: FaultPlan,
         retry: RetryPolicy,
     ) -> Result<DistExecutor> {
+        DistExecutor::build(pool, faults, retry, None)
+    }
+
+    /// Like [`DistExecutor::with_faults_and_policy`], but every device
+    /// runner shares `exec_pool`'s OS threads (width-scoped per device
+    /// spec) instead of building one thread pool per device — the
+    /// process-shareable-pool mode the runtime uses to avoid
+    /// oversubscription.
+    pub fn with_faults_policy_and_pool(
+        pool: DevicePool,
+        faults: FaultPlan,
+        retry: RetryPolicy,
+        exec_pool: &rayon::ThreadPool,
+    ) -> Result<DistExecutor> {
+        DistExecutor::build(pool, faults, retry, Some(exec_pool))
+    }
+
+    fn build(
+        pool: DevicePool,
+        faults: FaultPlan,
+        retry: RetryPolicy,
+        exec_pool: Option<&rayon::ThreadPool>,
+    ) -> Result<DistExecutor> {
         if pool.is_empty() {
             return Err(MdhError::Validation("device pool is empty".into()));
         }
         let runners = pool
             .devices
             .iter()
-            .map(|d| match d {
-                DeviceSpec::Cpu { threads } => Ok(Runner::Cpu(CpuExecutor::new(*threads)?)),
-                DeviceSpec::Gpu(p) => Ok(Runner::Gpu(GpuSim::with_params(p.clone(), 1)?)),
+            .map(|d| match (d, exec_pool) {
+                (DeviceSpec::Cpu { threads }, None) => Ok(Runner::Cpu(CpuExecutor::new(*threads)?)),
+                (DeviceSpec::Cpu { threads }, Some(p)) => {
+                    Ok(Runner::Cpu(CpuExecutor::with_pool(p, *threads)))
+                }
+                (DeviceSpec::Gpu(gp), None) => Ok(Runner::Gpu(GpuSim::with_params(gp.clone(), 1)?)),
+                (DeviceSpec::Gpu(gp), Some(p)) => {
+                    Ok(Runner::Gpu(GpuSim::with_params_and_pool(gp.clone(), p, 1)))
+                }
             })
             .collect::<Result<Vec<_>>>()?;
         let health = Mutex::new(vec![true; pool.len()]);

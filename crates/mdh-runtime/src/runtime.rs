@@ -29,7 +29,7 @@
 //!    [`Handle`] resolves.
 
 use crate::plan_cache::{CompiledPlan, PlanCache, PlanKey, PlanSource};
-use crate::stats::{LatencyRecorder, RuntimeStats};
+use crate::stats::{ExecLatencyReservoir, LatencyRecorder, RuntimeStats};
 use crate::sync::{cv_wait, lock};
 use crate::tune::{plan_from_tuning_cache, run_tune_job, TuneJob, TunePolicy};
 use mdh_backend::cpu::CpuExecutor;
@@ -222,6 +222,8 @@ struct Counters {
     max_batch: usize,
     tunes_done: u64,
     latency: LatencyRecorder,
+    /// Per-request execution latency over a bounded window (micros).
+    exec_latency: ExecLatencyReservoir,
     /// Shard executions per pool device (indexed like the pool).
     device_dispatches: Vec<u64>,
     /// Requests served while the pool was (or became) degraded.
@@ -304,13 +306,21 @@ pub struct Runtime {
 
 impl Runtime {
     pub fn new(config: RuntimeConfig) -> Result<Runtime> {
+        // one physical pool of exec_threads for the whole runtime: the
+        // CPU executor, the GPU simulator's host execution, and every
+        // mdh-dist CPU device share its OS threads through width-scoped
+        // handles instead of spawning a pool each (which oversubscribed
+        // the machine once pool threads became persistent)
         let exec = CpuExecutor::new(config.exec_threads.max(1))?;
-        let sim = GpuSim::a100(config.exec_threads.max(1))?;
+        let pool = exec.pool().clone();
+        let sim = GpuSim::a100_with_pool(&pool, config.exec_threads.max(1));
         let dist = if config.devices > 1 {
             let faults = config.faults.clone().unwrap_or_else(FaultPlan::none);
-            Some(DistExecutor::with_faults(
+            Some(DistExecutor::with_faults_policy_and_pool(
                 DevicePool::gpus(config.devices),
                 faults,
+                mdh_dist::fault::RetryPolicy::default(),
+                &pool,
             )?)
         } else {
             None
@@ -441,6 +451,9 @@ impl Runtime {
             latency_p50_ms: c.latency.percentile(50.0),
             latency_p99_ms: c.latency.percentile(99.0),
             latency_mean_ms: c.latency.mean(),
+            exec_p50_us: c.exec_latency.percentile_us(50.0),
+            exec_p99_us: c.exec_latency.percentile_us(99.0),
+            exec_samples: c.exec_latency.total(),
             device_dispatches: match &self.shared.dist {
                 Some(d) => d
                     .pool()
@@ -783,9 +796,10 @@ fn serve_batch(shared: &Shared, batch: Vec<Job>) {
         {
             let mut c = lock(&shared.counters);
             c.completed += 1;
-            if ok {
+            if let Ok(resp) = &result {
                 c.latency
                     .record(job.submitted.elapsed().as_secs_f64() * 1e3);
+                c.exec_latency.record_us(resp.exec_ms * 1e3);
             }
         }
         let _ = job.reply.send(result);

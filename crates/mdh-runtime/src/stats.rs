@@ -48,6 +48,70 @@ impl LatencyRecorder {
     }
 }
 
+/// Bounded reservoir of per-request *execution* latencies
+/// (microseconds): the time spent inside the executor proper, excluding
+/// queueing, batching, and response plumbing — the figure the execution
+/// pool directly moves.
+///
+/// Memory is bounded by `capacity` no matter how long the runtime
+/// serves: once full, new samples overwrite the oldest (ring buffer),
+/// so percentiles describe the most recent `capacity` requests — the
+/// useful window for a long-lived server — and recording stays O(1) and
+/// deterministic (no sampling RNG).
+#[derive(Debug, Clone)]
+pub struct ExecLatencyReservoir {
+    samples_us: Vec<f64>,
+    capacity: usize,
+    next: usize,
+    total: u64,
+}
+
+impl Default for ExecLatencyReservoir {
+    fn default() -> ExecLatencyReservoir {
+        ExecLatencyReservoir::new(4096)
+    }
+}
+
+impl ExecLatencyReservoir {
+    pub fn new(capacity: usize) -> ExecLatencyReservoir {
+        ExecLatencyReservoir {
+            samples_us: Vec::new(),
+            capacity: capacity.max(1),
+            next: 0,
+            total: 0,
+        }
+    }
+
+    pub fn record_us(&mut self, us: f64) {
+        if !us.is_finite() || us < 0.0 {
+            return;
+        }
+        if self.samples_us.len() < self.capacity {
+            self.samples_us.push(us);
+        } else {
+            self.samples_us[self.next] = us;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.total += 1;
+    }
+
+    /// Total samples ever recorded (not capped by the window).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Nearest-rank percentile over the retained window; 0.0 when empty.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+}
+
 /// A point-in-time snapshot of the runtime's counters.
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeStats {
@@ -73,6 +137,13 @@ pub struct RuntimeStats {
     pub latency_p50_ms: f64,
     pub latency_p99_ms: f64,
     pub latency_mean_ms: f64,
+    /// Per-request *execution* latency (inside the executor, excluding
+    /// queueing/batching) in microseconds, over the bounded reservoir of
+    /// [`ExecLatencyReservoir`]. Zero until a request has executed.
+    pub exec_p50_us: f64,
+    pub exec_p99_us: f64,
+    /// Requests whose execution latency was sampled (monotone).
+    pub exec_samples: u64,
     /// Shard executions dispatched to each device of the pool, labelled
     /// (`gpu0`, `cpu1`, ...). Empty when the runtime serves GPU requests
     /// on a single device; CPU-device requests run on the shared host
@@ -164,6 +235,13 @@ impl std::fmt::Display for RuntimeStats {
             self.latency_p99_ms,
             self.latency_mean_ms,
         )?;
+        if self.exec_samples > 0 {
+            write!(
+                f,
+                "; exec us: p50 {:.1} p99 {:.1} ({} samples)",
+                self.exec_p50_us, self.exec_p99_us, self.exec_samples
+            )?;
+        }
         if !self.device_dispatches.is_empty() {
             write!(f, "; dispatch:")?;
             for (label, n) in &self.device_dispatches {
@@ -220,6 +298,36 @@ mod tests {
         assert_eq!(r.percentile(99.0), 0.0);
         assert_eq!(r.mean(), 0.0);
         assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn exec_reservoir_is_bounded_and_windows() {
+        let mut r = ExecLatencyReservoir::new(100);
+        for i in 1..=1000 {
+            r.record_us(i as f64);
+        }
+        assert_eq!(r.total(), 1000);
+        // window holds the last 100 samples: 901..=1000
+        assert_eq!(r.percentile_us(50.0), 950.0);
+        assert_eq!(r.percentile_us(99.0), 999.0);
+        // non-finite and negative samples are dropped
+        r.record_us(f64::NAN);
+        r.record_us(-1.0);
+        assert_eq!(r.total(), 1000);
+    }
+
+    #[test]
+    fn exec_line_printed_only_when_sampled() {
+        let mut s = RuntimeStats::default();
+        assert!(!s.to_string().contains("exec us:"));
+        s.exec_p50_us = 120.0;
+        s.exec_p99_us = 450.5;
+        s.exec_samples = 42;
+        let line = s.to_string();
+        assert!(
+            line.contains("exec us: p50 120.0 p99 450.5 (42 samples)"),
+            "{line}"
+        );
     }
 
     #[test]
