@@ -1,0 +1,437 @@
+//! Symbolic differentiation of the scalar-function IR.
+//!
+//! The adjoint of an MDH program needs `∂f/∂p` for each input-access
+//! parameter `p` of the forward scalar function `f`. Bodies are restricted
+//! to *straight-line* code (`let`/`assign`, `Select` expressions are fine;
+//! `if`/`for` statements are not): straight-line bodies inline to a single
+//! closed expression over `Param` slots, which is then differentiated by
+//! the textbook rules and constant-folded.
+//!
+//! Non-differentiable constructs (`%`, comparisons outside a `Select`
+//! condition, record fields) are rejected with an error rather than
+//! silently mis-differentiated.
+
+use mdh_core::error::{MdhError, Result};
+use mdh_core::expr::{eval_bin, BinOp, Expr, MathFn, ScalarFunction, Stmt, UnOp};
+use mdh_core::types::{ScalarKind, Value};
+use std::collections::HashMap;
+
+/// Inline a straight-line body into one closed expression for `result`
+/// (an expression over `Param` slots and literals only).
+pub fn inline_straightline(sf: &ScalarFunction, result: &str) -> Result<Expr> {
+    let mut env: HashMap<String, Expr> = HashMap::new();
+    // parameters are visible by name, results start zero-initialised —
+    // mirroring ScalarFunction::eval
+    for (p, (name, _)) in sf.params.iter().enumerate() {
+        env.insert(name.clone(), Expr::Param(p));
+    }
+    for (name, ty) in &sf.results {
+        env.insert(name.clone(), Expr::Lit(ty.zero()));
+    }
+    for s in &sf.body {
+        match s {
+            Stmt::Let { name, value } | Stmt::Assign { name, value } => {
+                let inlined = substitute(value, &env)?;
+                env.insert(name.clone(), inlined);
+            }
+            Stmt::If { .. } => {
+                return Err(MdhError::Validation(format!(
+                    "scalar function '{}' uses an if statement; AD supports \
+                     straight-line bodies (use a Select expression instead)",
+                    sf.name
+                )))
+            }
+            Stmt::For { .. } => {
+                return Err(MdhError::Validation(format!(
+                    "scalar function '{}' uses a for loop; AD supports \
+                     straight-line bodies only",
+                    sf.name
+                )))
+            }
+        }
+    }
+    env.remove(result)
+        .ok_or_else(|| MdhError::Validation(format!("result variable '{result}' never assigned")))
+}
+
+fn substitute(e: &Expr, env: &HashMap<String, Expr>) -> Result<Expr> {
+    Ok(match e {
+        Expr::Lit(_) | Expr::Param(_) => e.clone(),
+        Expr::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MdhError::Validation(format!("unbound variable '{name}'")))?,
+        Expr::Field(inner, f) => Expr::Field(Box::new(substitute(inner, env)?), f.clone()),
+        Expr::ArrayIndex(a, b) => {
+            Expr::ArrayIndex(Box::new(substitute(a, env)?), Box::new(substitute(b, env)?))
+        }
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(substitute(a, env)?),
+            Box::new(substitute(b, env)?),
+        ),
+        Expr::Un(op, a) => Expr::Un(*op, Box::new(substitute(a, env)?)),
+        Expr::Call(f, args) => Expr::Call(
+            *f,
+            args.iter()
+                .map(|a| substitute(a, env))
+                .collect::<Result<_>>()?,
+        ),
+        Expr::Cast(k, a) => Expr::Cast(*k, Box::new(substitute(a, env)?)),
+        Expr::Select(c, a, b) => Expr::Select(
+            Box::new(substitute(c, env)?),
+            Box::new(substitute(a, env)?),
+            Box::new(substitute(b, env)?),
+        ),
+    })
+}
+
+fn lit(kind: ScalarKind, v: f64) -> Expr {
+    Expr::Lit(Value::from_f64(kind, v))
+}
+
+/// `∂(sf.results[result_idx]) / ∂(Param(wrt))` as a closed, simplified
+/// expression over the forward parameter slots.
+pub fn derivative(sf: &ScalarFunction, result_idx: usize, wrt: usize) -> Result<Expr> {
+    let (result_name, result_ty) = sf.results.get(result_idx).ok_or_else(|| {
+        MdhError::Validation(format!(
+            "scalar function '{}' has no result #{result_idx}",
+            sf.name
+        ))
+    })?;
+    let kind = result_ty.as_scalar().ok_or_else(|| {
+        MdhError::Validation(format!(
+            "result '{result_name}' of '{}' is not a scalar type",
+            sf.name
+        ))
+    })?;
+    let closed = inline_straightline(sf, result_name)?;
+    let d = diff(&closed, wrt, kind)?;
+    Ok(simplify(&d))
+}
+
+fn diff(e: &Expr, p: usize, kind: ScalarKind) -> Result<Expr> {
+    let zero = || lit(kind, 0.0);
+    Ok(match e {
+        Expr::Lit(_) => zero(),
+        Expr::Param(q) => {
+            if *q == p {
+                lit(kind, 1.0)
+            } else {
+                zero()
+            }
+        }
+        Expr::Var(name) => {
+            return Err(MdhError::Validation(format!(
+                "free variable '{name}' survived inlining"
+            )))
+        }
+        Expr::Field(..) | Expr::ArrayIndex(..) => {
+            return Err(MdhError::Validation(
+                "record/array expressions are not differentiable".into(),
+            ))
+        }
+        Expr::Bin(BinOp::Add, a, b) => Expr::add(diff(a, p, kind)?, diff(b, p, kind)?),
+        Expr::Bin(BinOp::Sub, a, b) => Expr::sub(diff(a, p, kind)?, diff(b, p, kind)?),
+        Expr::Bin(BinOp::Mul, a, b) => Expr::add(
+            Expr::mul(diff(a, p, kind)?, (**b).clone()),
+            Expr::mul((**a).clone(), diff(b, p, kind)?),
+        ),
+        Expr::Bin(BinOp::Div, a, b) => Expr::div(
+            Expr::sub(
+                Expr::mul(diff(a, p, kind)?, (**b).clone()),
+                Expr::mul((**a).clone(), diff(b, p, kind)?),
+            ),
+            Expr::mul((**b).clone(), (**b).clone()),
+        ),
+        Expr::Bin(op, ..) => {
+            return Err(MdhError::Validation(format!(
+                "operator {op:?} is not differentiable outside a Select condition"
+            )))
+        }
+        Expr::Un(UnOp::Neg, a) => Expr::Un(UnOp::Neg, Box::new(diff(a, p, kind)?)),
+        Expr::Un(UnOp::Not, _) => {
+            return Err(MdhError::Validation(
+                "boolean negation is not differentiable".into(),
+            ))
+        }
+        Expr::Call(f, args) => {
+            let x = args[0].clone();
+            let dx = diff(&args[0], p, kind)?;
+            match f {
+                // d√x = dx / (2√x)
+                MathFn::Sqrt => Expr::div(
+                    dx,
+                    Expr::mul(lit(kind, 2.0), Expr::Call(MathFn::Sqrt, vec![x])),
+                ),
+                // d eˣ = dx·eˣ
+                MathFn::Exp => Expr::mul(dx, Expr::Call(MathFn::Exp, vec![x])),
+                // d ln x = dx/x
+                MathFn::Log => Expr::div(dx, x),
+                // subgradient: sign(x)·dx, with sign(0) taken as +1
+                MathFn::Abs => Expr::Select(
+                    Box::new(Expr::Bin(BinOp::Ge, Box::new(x), Box::new(lit(kind, 0.0)))),
+                    Box::new(dx.clone()),
+                    Box::new(Expr::Un(UnOp::Neg, Box::new(dx))),
+                ),
+                // min/max pick whichever operand wins (ties go left,
+                // matching the evaluator's `x.min(y)`/`x.max(y)`)
+                MathFn::Min | MathFn::Max => {
+                    let y = args[1].clone();
+                    let dy = diff(&args[1], p, kind)?;
+                    let cmp = if *f == MathFn::Min {
+                        BinOp::Le
+                    } else {
+                        BinOp::Ge
+                    };
+                    Expr::Select(
+                        Box::new(Expr::Bin(cmp, Box::new(x), Box::new(y))),
+                        Box::new(dx),
+                        Box::new(dy),
+                    )
+                }
+            }
+        }
+        Expr::Cast(k, a) => Expr::Cast(*k, Box::new(diff(a, p, kind)?)),
+        // piecewise derivative; the condition is treated as locally constant
+        Expr::Select(c, a, b) => Expr::Select(
+            c.clone(),
+            Box::new(diff(a, p, kind)?),
+            Box::new(diff(b, p, kind)?),
+        ),
+    })
+}
+
+fn lit_f64(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Lit(v) => v.as_f64(),
+        _ => None,
+    }
+}
+
+fn is_zero(e: &Expr) -> bool {
+    lit_f64(e) == Some(0.0)
+}
+
+fn is_one(e: &Expr) -> bool {
+    lit_f64(e) == Some(1.0)
+}
+
+/// Bottom-up algebraic simplification: fold literal arithmetic and the
+/// 0/1 identities AD introduces in bulk.
+pub fn simplify(e: &Expr) -> Expr {
+    match e {
+        Expr::Bin(op, a, b) => {
+            let a = simplify(a);
+            let b = simplify(b);
+            if let (Expr::Lit(x), Expr::Lit(y)) = (&a, &b) {
+                if !op.is_comparison() && !op.is_logical() {
+                    if let Ok(v) = eval_bin(*op, x, y) {
+                        return Expr::Lit(v);
+                    }
+                }
+            }
+            match op {
+                BinOp::Add if is_zero(&a) => b,
+                BinOp::Add if is_zero(&b) => a,
+                BinOp::Sub if is_zero(&b) => a,
+                BinOp::Mul if is_zero(&a) || is_zero(&b) => {
+                    if is_zero(&a) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+                BinOp::Mul if is_one(&a) => b,
+                BinOp::Mul if is_one(&b) => a,
+                BinOp::Div if is_zero(&a) => a,
+                BinOp::Div if is_one(&b) => a,
+                _ => Expr::Bin(*op, Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Un(UnOp::Neg, a) => {
+            let a = simplify(a);
+            if is_zero(&a) {
+                a
+            } else {
+                Expr::Un(UnOp::Neg, Box::new(a))
+            }
+        }
+        Expr::Un(op, a) => Expr::Un(*op, Box::new(simplify(a))),
+        Expr::Call(f, args) => Expr::Call(*f, args.iter().map(simplify).collect()),
+        Expr::Cast(k, a) => Expr::Cast(*k, Box::new(simplify(a))),
+        Expr::Select(c, a, b) => {
+            let a = simplify(a);
+            let b = simplify(b);
+            if a == b {
+                a
+            } else {
+                Expr::Select(Box::new(simplify(c)), Box::new(a), Box::new(b))
+            }
+        }
+        Expr::Field(a, f) => Expr::Field(Box::new(simplify(a)), f.clone()),
+        Expr::ArrayIndex(a, i) => Expr::ArrayIndex(Box::new(simplify(a)), Box::new(simplify(i))),
+        Expr::Lit(_) | Expr::Param(_) | Expr::Var(_) => e.clone(),
+    }
+}
+
+/// Shift every `Param(q)` to `Param(q + by)` (the adjoint program prepends
+/// the cotangent access, displacing the forward parameter slots).
+pub fn shift_params(e: &Expr, by: usize) -> Expr {
+    match e {
+        Expr::Param(q) => Expr::Param(q + by),
+        Expr::Lit(_) | Expr::Var(_) => e.clone(),
+        Expr::Field(a, f) => Expr::Field(Box::new(shift_params(a, by)), f.clone()),
+        Expr::ArrayIndex(a, i) => {
+            Expr::ArrayIndex(Box::new(shift_params(a, by)), Box::new(shift_params(i, by)))
+        }
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(shift_params(a, by)),
+            Box::new(shift_params(b, by)),
+        ),
+        Expr::Un(op, a) => Expr::Un(*op, Box::new(shift_params(a, by))),
+        Expr::Call(f, args) => Expr::Call(*f, args.iter().map(|a| shift_params(a, by)).collect()),
+        Expr::Cast(k, a) => Expr::Cast(*k, Box::new(shift_params(a, by))),
+        Expr::Select(c, a, b) => Expr::Select(
+            Box::new(shift_params(c, by)),
+            Box::new(shift_params(a, by)),
+            Box::new(shift_params(b, by)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdh_core::types::BasicType;
+
+    fn eval_d(sf: &ScalarFunction, wrt: usize, args: &[Value]) -> f64 {
+        let d = derivative(sf, 0, wrt).unwrap();
+        let env = HashMap::new();
+        mdh_core::expr::eval_expr(&d, args, &env)
+            .unwrap()
+            .as_f64()
+            .unwrap()
+    }
+
+    #[test]
+    fn product_rule() {
+        let f = ScalarFunction::mul2("f", ScalarKind::F64);
+        let args = [Value::F64(3.0), Value::F64(5.0)];
+        assert_eq!(eval_d(&f, 0, &args), 5.0);
+        assert_eq!(eval_d(&f, 1, &args), 3.0);
+    }
+
+    #[test]
+    fn identity_and_weighted_sum() {
+        let f = ScalarFunction::identity("id", ScalarKind::F64);
+        assert_eq!(eval_d(&f, 0, &[Value::F64(7.0)]), 1.0);
+        let g = ScalarFunction::weighted_sum("w", ScalarKind::F64, &[0.25, 0.5, 0.25]);
+        let args = [Value::F64(1.0), Value::F64(2.0), Value::F64(3.0)];
+        assert_eq!(eval_d(&g, 1, &args), 0.5);
+    }
+
+    #[test]
+    fn chain_rule_through_locals() {
+        // res = let t = a*a; t * b  =>  d/da = 2ab
+        let f = ScalarFunction {
+            name: "g".into(),
+            params: vec![("a".into(), BasicType::F64), ("b".into(), BasicType::F64)],
+            results: vec![("res".into(), BasicType::F64)],
+            body: vec![
+                Stmt::Let {
+                    name: "t".into(),
+                    value: Expr::mul(Expr::Param(0), Expr::Param(0)),
+                },
+                Stmt::Assign {
+                    name: "res".into(),
+                    value: Expr::mul(Expr::var("t"), Expr::Param(1)),
+                },
+            ],
+        };
+        let args = [Value::F64(3.0), Value::F64(5.0)];
+        assert_eq!(eval_d(&f, 0, &args), 30.0);
+        assert_eq!(eval_d(&f, 1, &args), 9.0);
+    }
+
+    #[test]
+    fn math_fn_rules() {
+        let body = |e: Expr| {
+            vec![Stmt::Assign {
+                name: "res".into(),
+                value: e,
+            }]
+        };
+        let mk = |e: Expr| ScalarFunction {
+            name: "m".into(),
+            params: vec![("a".into(), BasicType::F64)],
+            results: vec![("res".into(), BasicType::F64)],
+            body: body(e),
+        };
+        let sqrt = mk(Expr::Call(MathFn::Sqrt, vec![Expr::Param(0)]));
+        assert!((eval_d(&sqrt, 0, &[Value::F64(4.0)]) - 0.25).abs() < 1e-12);
+        let exp = mk(Expr::Call(MathFn::Exp, vec![Expr::Param(0)]));
+        assert!((eval_d(&exp, 0, &[Value::F64(1.0)]) - 1.0f64.exp()).abs() < 1e-12);
+        let abs = mk(Expr::Call(MathFn::Abs, vec![Expr::Param(0)]));
+        assert_eq!(eval_d(&abs, 0, &[Value::F64(-2.0)]), -1.0);
+    }
+
+    #[test]
+    fn rejects_control_flow() {
+        let f = ScalarFunction {
+            name: "cf".into(),
+            params: vec![("a".into(), BasicType::F64)],
+            results: vec![("res".into(), BasicType::F64)],
+            body: vec![Stmt::If {
+                cond: Expr::Bin(
+                    BinOp::Gt,
+                    Box::new(Expr::Param(0)),
+                    Box::new(Expr::lit_f64(0.0)),
+                ),
+                then_branch: vec![Stmt::Assign {
+                    name: "res".into(),
+                    value: Expr::Param(0),
+                }],
+                else_branch: vec![Stmt::Assign {
+                    name: "res".into(),
+                    value: Expr::lit_f64(0.0),
+                }],
+            }],
+        };
+        assert!(derivative(&f, 0, 0).is_err());
+    }
+
+    #[test]
+    fn select_differentiates_per_branch() {
+        // res = if a > b { a*b } else { b } — d/da is b or 0 by branch
+        let f = ScalarFunction {
+            name: "sel".into(),
+            params: vec![("a".into(), BasicType::F64), ("b".into(), BasicType::F64)],
+            results: vec![("res".into(), BasicType::F64)],
+            body: vec![Stmt::Assign {
+                name: "res".into(),
+                value: Expr::Select(
+                    Box::new(Expr::Bin(
+                        BinOp::Gt,
+                        Box::new(Expr::Param(0)),
+                        Box::new(Expr::Param(1)),
+                    )),
+                    Box::new(Expr::mul(Expr::Param(0), Expr::Param(1))),
+                    Box::new(Expr::Param(1)),
+                ),
+            }],
+        };
+        assert_eq!(eval_d(&f, 0, &[Value::F64(5.0), Value::F64(2.0)]), 2.0);
+        assert_eq!(eval_d(&f, 0, &[Value::F64(1.0), Value::F64(2.0)]), 0.0);
+    }
+
+    #[test]
+    fn simplify_folds_identities() {
+        let e = Expr::add(
+            Expr::mul(Expr::lit_f64(0.0), Expr::Param(0)),
+            Expr::mul(Expr::lit_f64(1.0), Expr::Param(1)),
+        );
+        assert_eq!(simplify(&e), Expr::Param(1));
+    }
+}

@@ -18,6 +18,10 @@ pub mod prl;
 pub mod registry;
 pub mod spec;
 pub mod stencil;
+pub mod train;
 
-pub use registry::{all_fig3, instantiate, StudyId, FIG3_STUDIES};
+pub use registry::{
+    all_fig3, instantiate, instantiate_adjoints, StudyId, FIG3_STUDIES, TRAINING_STUDIES,
+};
 pub use spec::{AppInstance, Scale};
+pub use train::DIFFERENTIABLE_FIG3;

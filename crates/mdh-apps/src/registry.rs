@@ -1,7 +1,7 @@
 //! The case-study registry: all Fig. 3 computations × data sets.
 
 use crate::spec::{AppInstance, Scale};
-use crate::{chem, dl, linalg, mbbs, prl, stencil};
+use crate::{chem, dl, linalg, mbbs, prl, stencil, train};
 use mdh_core::error::Result;
 
 /// Identifier of one (computation, data set) experiment of Fig. 3/4.
@@ -111,6 +111,7 @@ pub fn instantiate(id: StudyId, scale: Scale) -> Result<AppInstance> {
         "MCC" => dl::mcc(scale, id.input_no),
         "MCC_Caps" => dl::mcc_caps(scale, id.input_no),
         "MBBS" => mbbs::mbbs(scale, id.input_no),
+        "Histogram" => train::histogram(scale, id.input_no),
         other => Err(mdh_core::error::MdhError::Validation(format!(
             "unknown case study '{other}'"
         ))),
@@ -123,6 +124,25 @@ pub fn all_fig3(scale: Scale) -> Result<Vec<AppInstance>> {
         .iter()
         .map(|&id| instantiate(id, scale))
         .collect()
+}
+
+/// The training-shaped studies added alongside the AD transform: the
+/// Histogram indexed reduction (uniform and skewed key streams).
+pub const TRAINING_STUDIES: &[StudyId] = &[
+    StudyId {
+        name: "Histogram",
+        input_no: 1,
+    },
+    StudyId {
+        name: "Histogram",
+        input_no: 2,
+    },
+];
+
+/// Instantiate the adjoints of one forward study (see
+/// [`train::adjoints_of`]): one instance per AD-emitted adjoint part.
+pub fn instantiate_adjoints(id: StudyId, scale: Scale) -> Result<Vec<AppInstance>> {
+    train::adjoints_of(id, scale)
 }
 
 #[cfg(test)]

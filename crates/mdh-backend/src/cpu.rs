@@ -15,11 +15,12 @@
 use crate::kernels::{f32_inputs, linearize_for, Contraction, MapKernel, PartialF32, SyncSlice};
 use crate::vm_exec;
 use mdh_core::buffer::Buffer;
+use mdh_core::combine::{BuiltinReduce, PwFunc};
 use mdh_core::dsl::DslProgram;
 use mdh_core::error::{MdhError, Result};
 use mdh_core::eval;
 use mdh_core::shape::Shape;
-use mdh_lowering::plan::ExecutionPlan;
+use mdh_lowering::plan::{split_even, ExecutionPlan};
 use mdh_lowering::schedule::Schedule;
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
@@ -30,6 +31,7 @@ pub enum ExecPath {
     Contraction,
     Map,
     Vm,
+    Scatter,
     Reference,
 }
 
@@ -52,6 +54,13 @@ pub struct CpuExecutor {
 /// combines per-task results in task-index order, so the cutoff cannot
 /// change output bits.
 const SMALL_PLAN_POINTS: usize = 2048;
+
+/// Fixed number of chunks the scatter (`rbi`) path cuts the indexed
+/// dimension into. A *constant* — deliberately independent of the pool
+/// width — so the private-partial structure and the shape of the combine
+/// tree are identical at every thread count: result bits cannot depend on
+/// parallelism, only wall-clock does.
+const SCATTER_CHUNKS: usize = 16;
 
 impl CpuExecutor {
     /// Build an executor with its own dedicated pool of `threads`.
@@ -98,7 +107,9 @@ impl CpuExecutor {
 
     /// Which path `run` would take for this program.
     pub fn path_for(&self, prog: &DslProgram) -> ExecPath {
-        if Contraction::try_build(prog).is_some() {
+        if prog.md_hom.has_rbi() {
+            ExecPath::Scatter
+        } else if Contraction::try_build(prog).is_some() {
             ExecPath::Contraction
         } else if MapKernel::try_build(prog).is_some() {
             ExecPath::Map
@@ -144,8 +155,60 @@ impl CpuExecutor {
                 self.run_map(&mk, prog, plan, inputs)
             }
             ExecPath::Vm => vm_exec::run(prog, plan, inputs, &self.pool_for(plan)),
+            ExecPath::Scatter => self.run_scatter(prog, plan, inputs),
             ExecPath::Reference => eval::evaluate_recursive(prog, inputs),
         }
+    }
+
+    /// Indexed-reduction (`rbi`) path: the rbi dimension is cut into
+    /// [`SCATTER_CHUNKS`] fixed intervals; each chunk scatters into its own
+    /// zero-initialised full-shape partial in ascending point order, and the
+    /// partials are folded with a fixed binary combine tree — pair (0,1),
+    /// (2,3), … per level, in chunk-index order. Both the chunk structure
+    /// and the tree shape depend only on the program, so outputs are
+    /// bit-identical across pool widths.
+    fn run_scatter(
+        &self,
+        prog: &DslProgram,
+        plan: &ExecutionPlan,
+        inputs: &[Buffer],
+    ) -> Result<Vec<Buffer>> {
+        let d = *prog
+            .md_hom
+            .rbi_dims()
+            .first()
+            .ok_or_else(|| MdhError::Eval("scatter path requires an rbi dimension".into()))?;
+        let full = prog.md_hom.full_range();
+        let intervals = split_even(prog.md_hom.sizes[d], SCATTER_CHUNKS);
+        let mut chunk_outs: Vec<Result<Vec<Buffer>>> = Vec::new();
+        self.pool_for(plan).install(|| {
+            intervals
+                .par_iter()
+                .map(|&(lo, hi)| {
+                    let mut range = full.clone();
+                    range.lo[d] = lo;
+                    range.hi[d] = hi;
+                    let mut outs = eval::alloc_outputs(prog)?;
+                    eval::scatter_range(prog, inputs, &range, &mut outs)?;
+                    Ok(outs)
+                })
+                .collect_into_vec(&mut chunk_outs);
+        });
+        let mut layer: Vec<Vec<Buffer>> = chunk_outs.into_iter().collect::<Result<_>>()?;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut it = layer.into_iter();
+            while let Some(mut lhs) = it.next() {
+                if let Some(rhs) = it.next() {
+                    add_outputs(&mut lhs, &rhs)?;
+                }
+                next.push(lhs);
+            }
+            layer = next;
+        }
+        layer
+            .pop()
+            .ok_or_else(|| MdhError::Eval("scatter produced no partials".into()))
     }
 
     /// Execute and report wall-clock time of the execution itself.
@@ -255,6 +318,19 @@ impl CpuExecutor {
     }
 }
 
+/// Element-wise `add` of two identically-shaped output sets (rbi partial
+/// combining).
+fn add_outputs(acc: &mut [Buffer], rhs: &[Buffer]) -> Result<()> {
+    let add = PwFunc::builtin(BuiltinReduce::Add);
+    for (a, r) in acc.iter_mut().zip(rhs) {
+        for i in 0..a.len() {
+            let combined = add.combine(&vec![a.get_flat(i)], &vec![r.get_flat(i)])?;
+            a.set_flat(i, &combined[0])?;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +395,62 @@ mod tests {
                 "schedule par={par:?} tree={tree}"
             );
         }
+    }
+
+    #[test]
+    fn histogram_via_scatter_path_bit_identical_across_widths() {
+        // hist[key[i]] += w[i], integer-valued weights so addition is
+        // exact; the real assertion is bitwise equality across pool
+        // widths, which the fixed chunk structure must guarantee even
+        // for non-integer data.
+        let n = 5000;
+        let buckets = 16;
+        let keys: Vec<usize> = (0..n).map(|i| (i * 131) % buckets).collect();
+        let captured = keys.clone();
+        let prog = DslBuilder::new("hist", vec![n])
+            .out_buffer_with_shape("hist", BasicType::F32, vec![buckets])
+            .out_access(
+                "hist",
+                IndexFn::General {
+                    out_rank: 1,
+                    f: std::sync::Arc::new(move |idx: &[usize]| vec![captured[idx[0]]]),
+                    label: "key".into(),
+                },
+            )
+            .inp_buffer("w", BasicType::F32)
+            .inp_access("w", IndexFn::identity(1, 1))
+            .scalar_function(ScalarFunction::identity("id", ScalarKind::F32))
+            .combine_ops(vec![CombineOp::rbi_add()])
+            .build()
+            .unwrap();
+        let mut w = Buffer::zeros("w", BasicType::F32, Shape::new(vec![n]));
+        w.fill_with(|i| ((i.wrapping_mul(2654435761)) % 16) as f64 - 8.0);
+        let inputs = vec![w];
+        let expect = eval::evaluate_recursive(&prog, &inputs).unwrap();
+        let mut bits: Vec<Vec<u32>> = Vec::new();
+        for width in [1usize, 2, 4] {
+            let ex = CpuExecutor::new(width).unwrap();
+            assert_eq!(ex.path_for(&prog), ExecPath::Scatter);
+            let s = mdh_default_schedule(&prog, DeviceKind::Cpu, width);
+            let got = ex.run(&prog, &s, &inputs).unwrap();
+            assert_eq!(
+                got[0].as_f32().unwrap(),
+                expect[0].as_f32().unwrap(),
+                "width {width} diverges from reference"
+            );
+            bits.push(
+                got[0]
+                    .as_f32()
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect(),
+            );
+        }
+        assert!(
+            bits.windows(2).all(|p| p[0] == p[1]),
+            "scatter output bits differ across widths"
+        );
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl Contraction {
                         return None;
                     }
                 }
-                CombineOp::Ps(_) => return None,
+                CombineOp::Ps(_) | CombineOp::Rbi(_) => return None,
             }
         }
         // accesses must all be affine

@@ -163,6 +163,11 @@ fn derive_mode(prog: &DslProgram) -> Result<Mode> {
     for (d, op) in prog.md_hom.combine_ops.iter().enumerate() {
         match op {
             CombineOp::Cc => {}
+            CombineOp::Rbi(_) => {
+                return Err(MdhError::Validation(
+                    "VM path does not execute rbi programs; use the scatter path".into(),
+                ))
+            }
             CombineOp::Ps(f) => ps_dims.push((d, f.clone())),
             CombineOp::Pw(f) => match &pw_fn {
                 None => pw_fn = Some(f.clone()),

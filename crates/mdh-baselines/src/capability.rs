@@ -37,7 +37,7 @@ pub fn has_prefix_sum(prog: &DslProgram) -> bool {
 pub fn has_custom_reduction(prog: &DslProgram) -> bool {
     prog.md_hom.combine_ops.iter().any(|op| match op {
         CombineOp::Cc => false,
-        CombineOp::Pw(f) | CombineOp::Ps(f) => f.as_builtin().is_none(),
+        CombineOp::Pw(f) | CombineOp::Ps(f) | CombineOp::Rbi(f) => f.as_builtin().is_none(),
     })
 }
 
@@ -79,7 +79,8 @@ pub fn numba_auto_parallelizable_reduction(prog: &DslProgram) -> bool {
             Some(mdh_core::combine::BuiltinReduce::Add)
                 | Some(mdh_core::combine::BuiltinReduce::Mul)
         ),
-        CombineOp::Ps(_) => false,
+        // scans and indexed scatters are beyond the auto-parallelisable set
+        CombineOp::Ps(_) | CombineOp::Rbi(_) => false,
     })
 }
 

@@ -54,6 +54,7 @@ fn strategy_tag(r: &DistReport) -> &'static str {
         Some(PartitionStrategy::Concat) => "cc",
         Some(PartitionStrategy::Reduce) => "pw",
         Some(PartitionStrategy::Scan) => "ps",
+        Some(PartitionStrategy::IndexedReduce) => "rbi",
         None => "none",
     }
 }

@@ -10,9 +10,15 @@
 //! One physical pool is built once (sized for the largest thread count);
 //! every sweep point runs through a width-scoped handle of that pool, so
 //! the per-point `threads_spawned_during` counters demonstrate that no OS
-//! threads are created after warmup. Studies whose paper sizes exceed the
-//! per-run flop budget (MCC-class convolutions are ~1e13 flops) fall back
-//! to a smaller scale, recorded per study as `scale_used`.
+//! threads are created after warmup. One execution plan is built per
+//! study (for the largest width — the serving scenario, where the plan
+//! cache hands the same compiled plan to every pool width) and pinned
+//! across all sweep points, so per-point output hashes are directly
+//! comparable: the bin asserts they are bit-identical across thread
+//! counts. Studies whose paper sizes exceed the per-run flop budget
+//! (MCC-class convolutions are ~1e13 flops) fall back to a smaller
+//! scale; the fallback prints a `SCALE_FALLBACK` marker line and records
+//! its reason in the JSON as `scale_fallback_reason`.
 //!
 //! GFLOP/s uses the algorithmic flop count `points x sf_flops_estimate`,
 //! the same estimate the GPU simulator charges — an approximation (it
@@ -104,17 +110,20 @@ fn flops_per_run(app: &AppInstance) -> f64 {
 }
 
 /// Instantiate at the requested scale, stepping down while the study
-/// blows the per-run flop budget.
+/// blows the per-run flop budget. A step-down returns the reason (which
+/// scale was rejected and by how much) so callers can surface it instead
+/// of silently shrinking the study.
 fn instantiate_within_budget(
     name: &'static str,
     requested: Scale,
     budget: f64,
-) -> Option<(AppInstance, Scale)> {
+) -> Option<(AppInstance, Scale, Option<String>)> {
     let ladder: &[Scale] = match requested {
         Scale::Paper => &[Scale::Paper, Scale::Medium, Scale::Small],
         Scale::Medium => &[Scale::Medium, Scale::Small],
         Scale::Small => &[Scale::Small],
     };
+    let mut reason = None;
     for &scale in ladder {
         let app = match instantiate(StudyId { name, input_no: 1 }, scale) {
             Ok(a) => a,
@@ -123,11 +132,26 @@ fn instantiate_within_budget(
                 return None;
             }
         };
-        if flops_per_run(&app) <= budget || scale == Scale::Small {
-            return Some((app, scale));
+        let flops = flops_per_run(&app);
+        if flops <= budget || scale == Scale::Small {
+            return Some((app, scale, reason));
         }
+        reason = Some(format!(
+            "{flops:.3e} flops/run at {scale:?} exceeds budget {budget:.1e}"
+        ));
     }
     None
+}
+
+/// Loud marker for a scale step-down (deterministic: flop counts and the
+/// budget are fixed, so CI's run-twice diff still passes).
+fn announce_fallback(study: &str, requested: Scale, used: Scale, reason: &Option<String>) {
+    if let Some(reason) = reason {
+        println!(
+            "SCALE_FALLBACK study=\"{study}\" requested={requested:?} used={used:?} \
+             reason=\"{reason}\""
+        );
+    }
 }
 
 struct Point {
@@ -146,14 +170,17 @@ struct StudyRow {
     name: String,
     sizes: String,
     scale_used: Scale,
+    scale_fallback_reason: Option<String>,
     path: String,
     flops: f64,
+    plan_threads: usize,
     points: Vec<Point>,
 }
 
 struct HotLoop {
     app: String,
     scale_used: Scale,
+    scale_fallback_reason: Option<String>,
     threads: usize,
     iterations: usize,
     threads_spawned_during: u64,
@@ -220,31 +247,50 @@ fn run_study(
     quick: bool,
 ) -> Option<StudyRow> {
     let budget = if quick { 1.0e8 } else { FLOP_BUDGET };
-    let (app, scale_used) = instantiate_within_budget(name, requested, budget)?;
+    let (app, scale_used, fallback) = instantiate_within_budget(name, requested, budget)?;
+    announce_fallback(name, requested, scale_used, &fallback);
     app.program.validate().ok()?;
     let flops = flops_per_run(&app);
     let path = format!("{:?}", base.path_for(&app.program));
 
+    // One plan, pinned across every sweep point: built for the largest
+    // width (the serving scenario — the plan cache hands the same
+    // compiled plan to every pool width), so per-point output hashes are
+    // directly comparable across thread counts.
+    let plan_threads = *counts.last().expect("nonempty counts");
+    let schedule = mdh_default_schedule(&app.program, DeviceKind::Cpu, plan_threads);
+    if schedule.validate(&app.program, 1 << 24).is_err() {
+        eprintln!("{name}: schedule rejected");
+        return None;
+    }
+    let plan = match ExecutionPlan::build(&app.program, &schedule) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            return None;
+        }
+    };
+
     let mut points: Vec<Point> = Vec::new();
     for &t in counts {
         let exec = CpuExecutor::with_pool(base.pool(), t);
-        let schedule = mdh_default_schedule(&app.program, DeviceKind::Cpu, t);
-        if schedule.validate(&app.program, 1 << 24).is_err() {
-            eprintln!("{name} @ {t} threads: schedule rejected");
-            return None;
-        }
-        let plan = match ExecutionPlan::build(&app.program, &schedule) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("{name} @ {t} threads: {e}");
-                return None;
-            }
-        };
         let mut p = time_point(&exec, &app, &schedule, &plan, t, quick, flops);
         let base_ms = points.first().map_or(p.best_ms, |b| b.best_ms);
         p.speedup = base_ms / p.best_ms;
         p.efficiency = p.speedup / t.min(hw) as f64;
         points.push(p);
+    }
+
+    // In-bin validator: one pinned plan means the width sweep must be
+    // bit-identical — a hash mismatch is an executor determinism bug.
+    let h0 = points.first().map(|p| p.output_hash).unwrap_or_default();
+    for p in &points {
+        assert_eq!(
+            p.output_hash, h0,
+            "{name}: output hash diverged across thread counts under a pinned plan \
+             ({} threads vs {} threads)",
+            points[0].threads, p.threads
+        );
     }
 
     // The determinism marker: hashes and counters only, no timings.
@@ -265,8 +311,10 @@ fn run_study(
         name: app.name.clone(),
         sizes: app.sizes_desc.clone(),
         scale_used,
+        scale_fallback_reason: fallback,
         path,
         flops,
+        plan_threads,
         points,
     })
 }
@@ -281,7 +329,8 @@ fn run_hot_loop(
     quick: bool,
 ) -> Option<HotLoop> {
     let budget = if quick { 1.0e8 } else { FLOP_BUDGET / 10.0 };
-    let (app, scale_used) = instantiate_within_budget("MatVec", requested, budget)?;
+    let (app, scale_used, fallback) = instantiate_within_budget("MatVec", requested, budget)?;
+    announce_fallback("MatVec/hot_loop", requested, scale_used, &fallback);
     let exec = CpuExecutor::with_pool(base.pool(), threads);
     let schedule = mdh_default_schedule(&app.program, DeviceKind::Cpu, threads);
     let plan = ExecutionPlan::build(&app.program, &schedule).ok()?;
@@ -306,6 +355,7 @@ fn run_hot_loop(
     Some(HotLoop {
         app: app.name.clone(),
         scale_used,
+        scale_fallback_reason: fallback,
         threads,
         iterations: HOT_LOOP_ITERS,
         threads_spawned_during,
@@ -352,8 +402,17 @@ fn to_json(
         let _ = writeln!(j, "      \"name\": \"{}\",", json_escape(&s.name));
         let _ = writeln!(j, "      \"sizes\": \"{}\",", json_escape(&s.sizes));
         let _ = writeln!(j, "      \"scale_used\": \"{:?}\",", s.scale_used);
+        let _ = writeln!(
+            j,
+            "      \"scale_fallback_reason\": {},",
+            match &s.scale_fallback_reason {
+                Some(r) => format!("\"{}\"", json_escape(r)),
+                None => "null".into(),
+            }
+        );
         let _ = writeln!(j, "      \"path\": \"{}\",", s.path);
         let _ = writeln!(j, "      \"flops_per_run\": {:.0},", s.flops);
+        let _ = writeln!(j, "      \"plan_threads\": {},", s.plan_threads);
         let _ = writeln!(j, "      \"points\": [");
         for (pi, p) in s.points.iter().enumerate() {
             let _ = write!(
@@ -381,6 +440,14 @@ fn to_json(
     let _ = writeln!(j, "  \"hot_loop\": {{");
     let _ = writeln!(j, "    \"app\": \"{}\",", json_escape(&hot.app));
     let _ = writeln!(j, "    \"scale_used\": \"{:?}\",", hot.scale_used);
+    let _ = writeln!(
+        j,
+        "    \"scale_fallback_reason\": {},",
+        match &hot.scale_fallback_reason {
+            Some(r) => format!("\"{}\"", json_escape(r)),
+            None => "null".into(),
+        }
+    );
     let _ = writeln!(j, "    \"threads\": {},", hot.threads);
     let _ = writeln!(j, "    \"iterations\": {},", hot.iterations);
     let _ = writeln!(

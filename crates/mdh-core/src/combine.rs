@@ -12,11 +12,21 @@
 //!   the dimension collapses to a single element,
 //! * [`CombineOp::Ps`] — prefix sum with an arbitrary function: the
 //!   dimension survives, each position holding the scan up to it.
+//! * [`CombineOp::Rbi`] — indexed reduction (reduce-by-index / scatter-add):
+//!   the dimension collapses, but unlike `pw` the *output access* may depend
+//!   on it — each iteration point scatters its contribution into the
+//!   position selected by the output index function, and colliding
+//!   contributions combine with the operator's function. This is the
+//!   histogram / embedding-gradient operator of the reduce-by-index AD
+//!   literature.
 //!
-//! These are the three pre-implemented operators of Appendix A; fully
-//! custom operators can be added through [`PwFunc::custom`] functions
+//! `cc`/`pw`/`ps` are the three pre-implemented operators of Appendix A;
+//! fully custom operators can be added through [`PwFunc::custom`] functions
 //! operating on *tuples* of output values (as PRL's `prl_max` does across
-//! three output buffers).
+//! three output buffers). `rbi` is restricted to the built-in `add`
+//! function so that scatter collisions stay exact over the integer-valued
+//! test fills and deterministic under the fixed-order combining the
+//! backends implement.
 
 use crate::error::{MdhError, Result};
 use crate::expr::ScalarFunction;
@@ -284,6 +294,11 @@ pub enum CombineOp {
     /// Prefix sum `ps(cf)` (Listing 17): the dimension survives; position
     /// `i` holds the fold of positions `0..=i`.
     Ps(PwFunc),
+    /// Indexed reduction `rbi(cf)` (reduce-by-index): the dimension
+    /// collapses, and the output index function — which *may* depend on
+    /// this dimension — selects the scatter target per iteration point;
+    /// collisions combine with `cf` (currently restricted to `add`).
+    Rbi(PwFunc),
 }
 
 impl CombineOp {
@@ -327,10 +342,15 @@ impl CombineOp {
         Ok(CombineOp::Ps(PwFunc::custom(f)?))
     }
 
+    /// `rbi(add)` — scatter-add, the only supported indexed reduction.
+    pub fn rbi_add() -> CombineOp {
+        CombineOp::Rbi(PwFunc::builtin(BuiltinReduce::Add))
+    }
+
     pub fn behavior(&self) -> DimBehavior {
         match self {
             CombineOp::Cc | CombineOp::Ps(_) => DimBehavior::Preserve,
-            CombineOp::Pw(_) => DimBehavior::Collapse,
+            CombineOp::Pw(_) | CombineOp::Rbi(_) => DimBehavior::Collapse,
         }
     }
 
@@ -343,8 +363,13 @@ impl CombineOp {
     pub fn pw_func(&self) -> Option<&PwFunc> {
         match self {
             CombineOp::Cc => None,
-            CombineOp::Pw(f) | CombineOp::Ps(f) => Some(f),
+            CombineOp::Pw(f) | CombineOp::Ps(f) | CombineOp::Rbi(f) => Some(f),
         }
+    }
+
+    /// Whether this is an indexed reduction (`rbi`) dimension.
+    pub fn is_indexed_reduction(&self) -> bool {
+        matches!(self, CombineOp::Rbi(_))
     }
 
     /// Provenance of the operator's associativity. Concatenation is
@@ -353,7 +378,7 @@ impl CombineOp {
     pub fn associativity(&self) -> Associativity {
         match self {
             CombineOp::Cc => Associativity::Proven,
-            CombineOp::Pw(f) | CombineOp::Ps(f) => f.associativity(),
+            CombineOp::Pw(f) | CombineOp::Ps(f) | CombineOp::Rbi(f) => f.associativity(),
         }
     }
 
@@ -380,7 +405,7 @@ impl CombineOp {
         match self {
             CombineOp::Cc => false,
             CombineOp::Pw(f) => f.as_builtin().is_some(),
-            CombineOp::Ps(_) => false,
+            CombineOp::Ps(_) | CombineOp::Rbi(_) => false,
         }
     }
 }
@@ -391,6 +416,7 @@ impl fmt::Display for CombineOp {
             CombineOp::Cc => f.write_str("cc"),
             CombineOp::Pw(g) => write!(f, "pw({})", g.name),
             CombineOp::Ps(g) => write!(f, "ps({})", g.name),
+            CombineOp::Rbi(g) => write!(f, "rbi({})", g.name),
         }
     }
 }
@@ -536,11 +562,23 @@ mod tests {
         assert_eq!(CombineOp::cc().behavior(), DimBehavior::Preserve);
         assert_eq!(CombineOp::pw_add().behavior(), DimBehavior::Collapse);
         assert_eq!(CombineOp::ps_add().behavior(), DimBehavior::Preserve);
+        assert_eq!(CombineOp::rbi_add().behavior(), DimBehavior::Collapse);
         assert!(!CombineOp::cc().is_reduction());
         assert!(CombineOp::pw_add().is_reduction());
         assert!(CombineOp::ps_add().is_reduction());
+        assert!(CombineOp::rbi_add().is_reduction());
+        assert!(CombineOp::rbi_add().is_indexed_reduction());
+        assert!(!CombineOp::pw_add().is_indexed_reduction());
         assert!(CombineOp::pw_add().is_native_reduction());
         assert!(!CombineOp::ps_add().is_native_reduction());
+        assert!(!CombineOp::rbi_add().is_native_reduction());
+    }
+
+    #[test]
+    fn rbi_display_and_shardable() {
+        assert_eq!(CombineOp::rbi_add().to_string(), "rbi(add)");
+        assert_eq!(CombineOp::rbi_add().associativity(), Associativity::Proven);
+        assert!(CombineOp::rbi_add().device_shardable());
     }
 
     #[test]

@@ -83,6 +83,21 @@ impl MdHom {
             .collect()
     }
 
+    /// Indices of indexed-reduction (`rbi`) dimensions.
+    pub fn rbi_dims(&self) -> Vec<usize> {
+        self.combine_ops
+            .iter()
+            .enumerate()
+            .filter(|(_, co)| co.is_indexed_reduction())
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// Whether any dimension is an indexed reduction (`rbi`).
+    pub fn has_rbi(&self) -> bool {
+        self.combine_ops.iter().any(|co| co.is_indexed_reduction())
+    }
+
     /// The full iteration range.
     pub fn full_range(&self) -> MdRange {
         MdRange::full(&self.sizes)
@@ -190,15 +205,60 @@ impl DslProgram {
                 )));
             }
         }
-        // output index functions must not depend on collapsed dimensions —
-        // a pw-reduced dimension has no coordinate in the output
+        // output index functions must not depend on pw-collapsed dimensions
+        // — a pw-reduced dimension has no coordinate in the output. An rbi
+        // dimension is the exception: its whole point is that the output
+        // access scatters along it.
         for (ai, a) in self.out_view.accesses.iter().enumerate() {
             for dim in self.md_hom.collapsed_dims() {
+                if self.md_hom.combine_ops[dim].is_indexed_reduction() {
+                    continue;
+                }
                 if a.index_fn.depends_on(dim) {
                     return Err(MdhError::Validation(format!(
                         "program '{}': output access #{ai} depends on dimension {dim}, \
                          which is collapsed by {}",
                         self.name, self.md_hom.combine_ops[dim]
+                    )));
+                }
+            }
+        }
+        // rbi programs: the scatter evaluator folds every colliding
+        // contribution with one `add`, so every reduction dimension must be
+        // a builtin add (no pw(max)/ps mixtures whose elementwise meaning
+        // would be ambiguous), and output shapes cannot be inferred from a
+        // data-dependent scatter access — they must be declared
+        if self.md_hom.has_rbi() {
+            for (dim, co) in self.md_hom.combine_ops.iter().enumerate() {
+                if !co.is_reduction() {
+                    continue;
+                }
+                if matches!(co, CombineOp::Ps(_)) {
+                    return Err(MdhError::Validation(format!(
+                        "program '{}': dim {dim} is {co}, but ps dimensions cannot \
+                         be mixed with rbi",
+                        self.name
+                    )));
+                }
+                let is_add = co
+                    .pw_func()
+                    .and_then(|f| f.as_builtin())
+                    .map(|b| b == crate::combine::BuiltinReduce::Add)
+                    .unwrap_or(false);
+                if !is_add {
+                    return Err(MdhError::Validation(format!(
+                        "program '{}': dim {dim} combines with {co}, but every \
+                         reduction dimension of an rbi program must be a builtin add",
+                        self.name
+                    )));
+                }
+            }
+            for decl in &self.out_view.buffers {
+                if decl.declared_shape.is_none() {
+                    return Err(MdhError::Validation(format!(
+                        "program '{}': output buffer '{}' of an rbi program needs a \
+                         declared shape (scatter targets are data-dependent)",
+                        self.name, decl.name
                     )));
                 }
             }

@@ -89,6 +89,11 @@ impl Intermediate {
                     elems,
                 })
             }
+            CombineOp::Rbi(_) => Err(MdhError::Eval(
+                "rbi dimensions are not combined through intermediates; \
+                 use the scatter evaluator"
+                    .into(),
+            )),
             CombineOp::Ps(f) => {
                 // prefix-sum combine (Listing 17, contiguous split):
                 // res[P] = lhs; res[Q][j] = cf(lhs[last of P], rhs[j])
@@ -287,15 +292,76 @@ pub fn check_inputs(prog: &DslProgram, inputs: &[Buffer]) -> Result<()> {
     Ok(())
 }
 
-/// Full recursive (formal-semantics) evaluation of a program.
+/// Full recursive (formal-semantics) evaluation of a program. Programs with
+/// an `rbi` dimension are routed to the scatter evaluator — their output
+/// positions are data-dependent, so the intermediate-array machinery does
+/// not apply.
 pub fn evaluate_recursive(prog: &DslProgram, inputs: &[Buffer]) -> Result<Vec<Buffer>> {
     prog.validate()?;
     check_inputs(prog, inputs)?;
+    if prog.md_hom.has_rbi() {
+        return evaluate_scatter(prog, inputs);
+    }
     let range = prog.md_hom.full_range();
     let inter = eval_range(prog, inputs, &range)?;
     let mut outputs = alloc_outputs(prog)?;
     write_outputs(prog, &inter, &range, &mut outputs)?;
     Ok(outputs)
+}
+
+/// Reference evaluator for indexed-reduction (`rbi`) programs: outputs are
+/// zero-initialised (the `add` identity) and every iteration point — in
+/// ascending row-major order, which fixes the fold order and hence the
+/// result bits — accumulates its scalar-function results into the positions
+/// its output accesses select. Contributions from `cc` dimensions land at
+/// distinct positions by injectivity of the access along them; collapsed
+/// (`pw(add)`/`rbi(add)`) dimensions collide and sum, which is exactly the
+/// reduce-by-index semantics.
+pub fn evaluate_scatter(prog: &DslProgram, inputs: &[Buffer]) -> Result<Vec<Buffer>> {
+    prog.validate()?;
+    check_inputs(prog, inputs)?;
+    if !prog.md_hom.has_rbi() {
+        return Err(MdhError::Eval(
+            "evaluate_scatter requires at least one rbi dimension".into(),
+        ));
+    }
+    let range = prog.md_hom.full_range();
+    let mut outputs = alloc_outputs(prog)?;
+    scatter_range(prog, inputs, &range, &mut outputs)?;
+    Ok(outputs)
+}
+
+/// Accumulate one iteration sub-range into already-allocated outputs
+/// (visiting points in ascending row-major order). Shared by the reference
+/// evaluator and the parallel backends, which call it chunk by chunk.
+pub fn scatter_range(
+    prog: &DslProgram,
+    inputs: &[Buffer],
+    range: &MdRange,
+    outputs: &mut [Buffer],
+) -> Result<()> {
+    let add = crate::combine::PwFunc::builtin(crate::combine::BuiltinReduce::Add);
+    for idx in range.iter() {
+        let tuple = apply_sf_at(prog, inputs, &idx)?;
+        for (r, a) in prog.out_view.accesses.iter().enumerate() {
+            let bidx = a
+                .index_fn
+                .eval(&idx)
+                .ok_or_else(|| MdhError::Eval("negative scatter index".into()))?;
+            let buf = &mut outputs[a.buffer];
+            if !buf.shape.contains(&bidx) {
+                return Err(MdhError::OutOfBounds {
+                    buffer: buf.name.clone(),
+                    index: bidx,
+                    shape: buf.shape.dims().to_vec(),
+                });
+            }
+            let prev = buf.get(&bidx);
+            let summed = add.combine(&vec![prev], &vec![tuple[r].clone()])?;
+            buf.set(&bidx, &summed[0])?;
+        }
+    }
+    Ok(())
 }
 
 /// Whether the fast accumulator oracle applies: no `ps` dimension, and all
@@ -305,7 +371,7 @@ pub fn direct_applicable(prog: &DslProgram) -> bool {
     for op in &prog.md_hom.combine_ops {
         match op {
             CombineOp::Cc => {}
-            CombineOp::Ps(_) => return false,
+            CombineOp::Ps(_) | CombineOp::Rbi(_) => return false,
             CombineOp::Pw(f) => match pw_name {
                 None => pw_name = Some(&f.name),
                 Some(n) => {
@@ -537,6 +603,63 @@ mod tests {
                 vec![Value::I64(10)]
             ]
         );
+    }
+
+    #[test]
+    fn rbi_histogram_scatter() {
+        // hist[key[i]] += w[i]; keys are captured by the output index fn
+        let n = 10;
+        let keys: Vec<usize> = (0..n).map(|i| (i * 7 + 3) % 4).collect();
+        let captured = keys.clone();
+        let prog = DslBuilder::new("hist", vec![n])
+            .out_buffer_with_shape("hist", BasicType::F64, vec![4])
+            .out_access(
+                "hist",
+                IndexFn::General {
+                    out_rank: 1,
+                    f: std::sync::Arc::new(move |idx: &[usize]| vec![captured[idx[0]]]),
+                    label: "key".into(),
+                },
+            )
+            .inp_buffer("w", BasicType::F64)
+            .inp_access("w", IndexFn::identity(1, 1))
+            .scalar_function(ScalarFunction::identity("id", ScalarKind::F64))
+            .combine_ops(vec![CombineOp::rbi_add()])
+            .build()
+            .unwrap();
+        let mut w = Buffer::zeros("w", BasicType::F64, Shape::new(vec![n]));
+        w.fill_with(|i| i as f64 + 1.0);
+        let out = evaluate_recursive(&prog, &[w]).unwrap();
+        let mut expect = [0.0f64; 4];
+        for (i, &k) in keys.iter().enumerate() {
+            expect[k] += i as f64 + 1.0;
+        }
+        assert_eq!(out[0].as_f64().unwrap(), &expect[..]);
+    }
+
+    #[test]
+    fn rbi_validation_rules() {
+        let build = |op: CombineOp, declared: bool| {
+            let mut b = DslBuilder::new("h", vec![4, 3]);
+            b = if declared {
+                b.out_buffer_with_shape("o", BasicType::F64, vec![4])
+            } else {
+                b.out_buffer("o", BasicType::F64)
+            };
+            b.out_access("o", IndexFn::select(2, &[0]))
+                .inp_buffer("x", BasicType::F64)
+                .inp_access("x", IndexFn::identity(2, 2))
+                .scalar_function(ScalarFunction::identity("id", ScalarKind::F64))
+                .combine_ops(vec![CombineOp::rbi_add(), op])
+                .build()
+        };
+        // rbi + pw(add) with declared shapes is fine
+        assert!(build(CombineOp::pw_add(), true).is_ok());
+        // mixing rbi with ps or non-add reductions is rejected
+        assert!(build(CombineOp::ps_add(), true).is_err());
+        assert!(build(CombineOp::pw_max(), true).is_err());
+        // undeclared output shape is rejected
+        assert!(build(CombineOp::pw_add(), false).is_err());
     }
 
     #[test]

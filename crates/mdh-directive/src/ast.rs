@@ -114,6 +114,9 @@ pub enum CombineOpSpec {
     Pw(String),
     /// `ps(name)`.
     Ps(String),
+    /// `rbi(name)` — indexed reduction (scatter-add); only `add` is
+    /// accepted downstream.
+    Rbi(String),
 }
 
 /// A parsed (not yet analysed) directive: header clauses plus the

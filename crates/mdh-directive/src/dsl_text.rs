@@ -327,7 +327,7 @@ impl P {
         Ok(View::new(buffers, accesses))
     }
 
-    /// `cc` | `pw(name)` | `ps(name)`.
+    /// `cc` | `pw(name)` | `ps(name)` | `rbi(add)`.
     fn combine_op(&mut self, env: &DirectiveEnv) -> Result<CombineOp> {
         let n = self.ident()?;
         let resolve = |this: &P, name: &str| -> Result<PwFunc> {
@@ -356,6 +356,17 @@ impl P {
                 let f = self.ident()?;
                 self.expect(TokenKind::RParen)?;
                 Ok(CombineOp::Ps(resolve(self, &f)?))
+            }
+            "rbi" => {
+                self.expect(TokenKind::LParen)?;
+                let f = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                if f != "add" {
+                    return Err(self.err(format!(
+                        "rbi only supports the builtin 'add' operator, got '{f}'"
+                    )));
+                }
+                Ok(CombineOp::rbi_add())
             }
             other => Err(self.err(format!("unknown combine operator '{other}'"))),
         }

@@ -255,19 +255,19 @@ impl Parser {
             let name = self.expect_ident()?;
             let spec = match name.as_str() {
                 "cc" => CombineOpSpec::Cc,
-                "pw" | "ps" => {
+                "pw" | "ps" | "rbi" => {
                     self.expect(TokenKind::LParen)?;
                     let f = self.expect_ident()?;
                     self.expect(TokenKind::RParen)?;
-                    if name == "pw" {
-                        CombineOpSpec::Pw(f)
-                    } else {
-                        CombineOpSpec::Ps(f)
+                    match name.as_str() {
+                        "pw" => CombineOpSpec::Pw(f),
+                        "ps" => CombineOpSpec::Ps(f),
+                        _ => CombineOpSpec::Rbi(f),
                     }
                 }
                 other => {
                     return Err(self.err_here(format!(
-                        "unknown combine operator '{other}' (expected cc, pw(f), or ps(f))"
+                        "unknown combine operator '{other}' (expected cc, pw(f), ps(f), or rbi(f))"
                     )))
                 }
             };

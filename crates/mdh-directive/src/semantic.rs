@@ -275,6 +275,15 @@ fn resolve_combine_op(spec: &CombineOpSpec, env: &DirectiveEnv, line: usize) -> 
         CombineOpSpec::Cc => CombineOp::Cc,
         CombineOpSpec::Pw(f) => CombineOp::Pw(resolve_fn(f)?),
         CombineOpSpec::Ps(f) => CombineOp::Ps(resolve_fn(f)?),
+        CombineOpSpec::Rbi(f) => {
+            if f != "add" {
+                return Err(err(
+                    line,
+                    format!("rbi only supports the builtin 'add' operator, got '{f}'"),
+                ));
+            }
+            CombineOp::rbi_add()
+        }
     })
 }
 

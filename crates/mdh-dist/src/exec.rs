@@ -144,6 +144,7 @@ impl std::fmt::Display for DistReport {
             Some(PartitionStrategy::Concat) => "cc",
             Some(PartitionStrategy::Reduce) => "pw",
             Some(PartitionStrategy::Scan) => "ps",
+            Some(PartitionStrategy::IndexedReduce) => "rbi",
             None => "none",
         };
         write!(
@@ -758,7 +759,11 @@ fn d2h_cost(
             n as f64 * transfer_ms(host, out_bytes / n.max(1))
         }
         // host-side gather already delivered the partials to the host
-        Some(PartitionStrategy::Reduce) if topology == CombineTopology::HostGather && n > 1 => 0.0,
+        Some(PartitionStrategy::Reduce) | Some(PartitionStrategy::IndexedReduce)
+            if topology == CombineTopology::HostGather && n > 1 =>
+        {
+            0.0
+        }
         // scan: every shard's locally-finalised region comes down
         Some(PartitionStrategy::Scan) if n > 1 => n as f64 * transfer_ms(host, out_bytes / n),
         // reduced on-device (serial/tree) or unpartitioned: one download
@@ -808,6 +813,26 @@ fn recombine(
                     let rhs = read_tuple(&outs, &positions);
                     let combined = f.combine(&lhs, &rhs)?;
                     write_tuple(&mut acc, &positions, &combined)?;
+                }
+            }
+        }
+        PartitionStrategy::IndexedReduce => {
+            let f = prog.md_hom.combine_ops[d]
+                .pw_func()
+                .expect("IndexedReduce strategy implies an rbi operator")
+                .clone();
+            // scatter targets are data-dependent, so no sub-region can be
+            // pinned: fold the entire (identically-shaped, declared-shape)
+            // partial buffers element-wise, in shard-index order — the
+            // fixed fold order that keeps recombination bit-identical
+            for outs in shard_outs {
+                for (abuf, obuf) in acc.iter_mut().zip(&outs) {
+                    for i in 0..abuf.len() {
+                        let lhs = vec![abuf.get_flat(i)];
+                        let rhs = vec![obuf.get_flat(i)];
+                        let combined = f.combine(&lhs, &rhs)?;
+                        abuf.set_flat(i, &combined[0])?;
+                    }
                 }
             }
         }

@@ -129,7 +129,9 @@ pub fn combine_cost(
                 compute_ms: steps as f64 * pass_ms(region, combine_bw_gib_s),
             }
         }
-        PartitionStrategy::Reduce => match topology {
+        // rbi partials are full-shape buffers folded element-wise like pw
+        // partials, so the cost shape is identical
+        PartitionStrategy::Reduce | PartitionStrategy::IndexedReduce => match topology {
             CombineTopology::Serial => {
                 let steps = n - 1;
                 CombineCost {

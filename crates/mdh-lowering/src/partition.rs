@@ -27,7 +27,7 @@
 use crate::plan::split_even;
 use mdh_core::combine::CombineOp;
 use mdh_core::dsl::DslProgram;
-use mdh_core::error::{MdhError, Result};
+use mdh_core::error::Result;
 use mdh_core::index_fn::IndexFn;
 use mdh_core::shape::MdRange;
 use mdh_core::views::View;
@@ -47,6 +47,11 @@ pub enum PartitionStrategy {
     /// ordered carry chain of Listing 17 and is inherently serial in the
     /// shard index.
     Scan,
+    /// `rbi(add)` dimension: shards scatter into full-shape partial
+    /// outputs; recombination folds the *entire* buffers element-wise with
+    /// `add` in shard-index order (scatter targets are data-dependent, so
+    /// no sub-region can be pinned).
+    IndexedReduce,
 }
 
 /// Why a plan holds a single shard — or that it split. PR 2 fell back
@@ -189,7 +194,10 @@ fn choose_dim(prog: &DslProgram) -> (Option<(usize, PartitionStrategy)>, bool) {
         if prog.md_hom.sizes[d] < 2 || !op.device_shardable() {
             continue;
         }
-        if !dim_translatable(prog, d) {
+        // rbi dims are always translatable: affine accesses absorb the
+        // shard offset into their constants and general (data-dependent)
+        // accesses are wrapped with an index-shift shim
+        if !matches!(op, CombineOp::Rbi(_)) && !dim_translatable(prog, d) {
             blocked_by_general = true;
             continue;
         }
@@ -197,6 +205,7 @@ fn choose_dim(prog: &DslProgram) -> (Option<(usize, PartitionStrategy)>, bool) {
             CombineOp::Cc => PartitionStrategy::Concat,
             CombineOp::Pw(_) => PartitionStrategy::Reduce,
             CombineOp::Ps(_) => PartitionStrategy::Scan,
+            CombineOp::Rbi(_) => PartitionStrategy::IndexedReduce,
         };
         best = match best {
             None => Some((d, strategy)),
@@ -211,7 +220,8 @@ fn rank_of(s: PartitionStrategy) -> u8 {
     match s {
         PartitionStrategy::Concat => 0,
         PartitionStrategy::Reduce => 1,
-        PartitionStrategy::Scan => 2,
+        PartitionStrategy::IndexedReduce => 2,
+        PartitionStrategy::Scan => 3,
     }
 }
 
@@ -249,9 +259,14 @@ fn rewrite_shard(
     Ok(shard)
 }
 
-/// Shift every affine access by `lo` along dimension `d`, so local
-/// iteration index 0 addresses what global index `lo` addressed.
+/// Shift every access by `lo` along dimension `d`, so local iteration
+/// index 0 addresses what global index `lo` addressed. Affine accesses
+/// absorb the offset into their constants; general accesses — legal only
+/// for `rbi`-partitioned dims, where the scatter target is data-dependent
+/// by design — are wrapped with a shim that restores the global iteration
+/// coordinate before calling the original closure.
 fn translate_view(view: &mut View, d: usize, lo: usize) -> Result<()> {
+    use std::sync::Arc;
     for a in &mut view.accesses {
         match &mut a.index_fn {
             IndexFn::Affine(exprs) => {
@@ -260,13 +275,20 @@ fn translate_view(view: &mut View, d: usize, lo: usize) -> Result<()> {
                     e.constant += c * lo as i64;
                 }
             }
-            IndexFn::General { .. } => {
-                // choose_dim only picks dims no general access depends on,
-                // but depends_on is conservative for general functions —
-                // reaching here means the caller skipped that check
-                return Err(MdhError::Validation(
-                    "cannot translate a general index function for device partitioning".into(),
-                ));
+            IndexFn::General { out_rank, f, label } => {
+                let inner = Arc::clone(f);
+                *a = mdh_core::views::Access::new(
+                    a.buffer,
+                    IndexFn::General {
+                        out_rank: *out_rank,
+                        f: Arc::new(move |idx: &[usize]| {
+                            let mut global = idx.to_vec();
+                            global[d] += lo;
+                            inner(&global)
+                        }),
+                        label: format!("{label}[i{d}+{lo}]"),
+                    },
+                );
             }
         }
     }

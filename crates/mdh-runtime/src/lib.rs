@@ -29,6 +29,6 @@ mod sync;
 pub mod tune;
 
 pub use plan_cache::{structural_signature, CompiledPlan, PlanCache, PlanKey, PlanSource};
-pub use runtime::{Handle, Request, Response, Runtime, RuntimeConfig};
+pub use runtime::{GradHandle, GradResponse, Handle, Request, Response, Runtime, RuntimeConfig};
 pub use stats::{LatencyRecorder, RuntimeStats};
 pub use tune::TunePolicy;

@@ -194,6 +194,50 @@ impl Handle {
     }
 }
 
+/// Reply to a gradient round trip: the forward value plus one gradient
+/// buffer per differentiated input.
+#[derive(Debug, Clone)]
+pub struct GradResponse {
+    pub forward: Response,
+    /// `(forward input index, accumulated gradient)` in `wrt` order.
+    pub gradients: Vec<(usize, Buffer)>,
+    /// Adjoint programs executed for this round trip.
+    pub parts: usize,
+}
+
+/// Awaitable reply to [`Runtime::submit_grad`]: the forward request and
+/// every adjoint part are in flight concurrently (the adjoints need only
+/// the cotangent, not the forward value).
+pub struct GradHandle {
+    forward: Handle,
+    parts: Vec<(usize, Handle)>,
+    accs: Vec<(usize, Buffer)>,
+}
+
+impl GradHandle {
+    /// Block until the forward value and every gradient arrived. Any
+    /// sub-request error (deadline, shed, breaker, panic) fails the whole
+    /// round trip with that error.
+    pub fn wait(self) -> Result<GradResponse> {
+        let forward = self.forward.wait()?;
+        let mut gradients = self.accs;
+        let parts = self.parts.len();
+        for (w, h) in self.parts {
+            let resp = h.wait()?;
+            let acc = gradients
+                .iter_mut()
+                .find(|(gw, _)| *gw == w)
+                .expect("adjoint part for unrequested input");
+            mdh_ad::accumulate(&mut acc.1, &resp.outputs[0])?;
+        }
+        Ok(GradResponse {
+            forward,
+            gradients,
+            parts,
+        })
+    }
+}
+
 struct Job {
     key: PlanKey,
     req: Request,
@@ -240,6 +284,11 @@ struct Counters {
     breaker_fast_fails: u64,
     /// Requests rejected because the runtime was draining.
     draining_rejects: u64,
+    /// Gradient round trips started via [`Runtime::submit_grad`].
+    grad_requests: u64,
+    /// Accepted requests whose program contains an indexed reduction
+    /// (`rbi`) — AD-emitted scatter adjoints and histogram-style apps.
+    rbi_requests: u64,
 }
 
 /// Per-[`PlanKey`] circuit-breaker state.
@@ -381,6 +430,7 @@ impl Runtime {
     /// always gets exactly one terminal answer.
     pub fn submit(&self, req: Request) -> Handle {
         let (tx, rx) = mpsc::channel();
+        let is_rbi = req.prog.md_hom.has_rbi();
         let key = PlanKey::of(&req.prog, req.device);
         let job = Job {
             key,
@@ -412,7 +462,12 @@ impl Runtime {
             }
         };
         match rejected {
-            None => self.shared.cv.notify_one(),
+            None => {
+                if is_rbi {
+                    lock(&self.shared.counters).rbi_requests += 1;
+                }
+                self.shared.cv.notify_one();
+            }
             Some((job, err, draining)) => {
                 {
                     let mut c = lock(&self.shared.counters);
@@ -426,6 +481,60 @@ impl Runtime {
             }
         }
         Handle { rx }
+    }
+
+    /// Submit a gradient round trip: the forward launch plus one launch
+    /// per AD-emitted adjoint part, all through the ordinary [`submit`]
+    /// path — so every sub-request individually passes admission control,
+    /// carries the same serve-by deadline, shares the plan cache, and
+    /// counts against its plan key's circuit breaker. Gradients are taken
+    /// with respect to `wrt` (default: every float-typed input); the
+    /// cotangent defaults to all-ones (`∂Σy/∂y`).
+    ///
+    /// [`submit`]: Runtime::submit
+    pub fn submit_grad(
+        &self,
+        req: Request,
+        wrt: Option<&[usize]>,
+        cotangent: Option<Buffer>,
+    ) -> Result<GradHandle> {
+        let gp = match wrt {
+            Some(w) => mdh_ad::grad(&req.prog, w)?,
+            None => mdh_ad::grad_all(&req.prog)?,
+        };
+        let cot = match cotangent {
+            Some(c) => c,
+            None => {
+                let shape = req.prog.output_shapes()?.remove(0);
+                let decl = &req.prog.out_view.buffers[0];
+                let mut ones = Buffer::zeros(
+                    format!("{}_bar", decl.name),
+                    decl.ty.clone(),
+                    mdh_core::shape::Shape::new(shape),
+                );
+                ones.fill_with(|_| 1.0);
+                ones
+            }
+        };
+        let accs: Vec<(usize, Buffer)> = gp
+            .wrt
+            .iter()
+            .map(|&w| Ok((w, mdh_ad::zero_grad(&gp.forward, w)?)))
+            .collect::<Result<_>>()?;
+        lock(&self.shared.counters).grad_requests += 1;
+        let mut parts = Vec::with_capacity(gp.parts.len());
+        let forward = self.submit(req.clone());
+        for part in &gp.parts {
+            let inputs = mdh_ad::part_inputs(part, &cot, &req.inputs);
+            let mut sub = Request::new(part.program.clone(), req.device, inputs);
+            sub.deadline = req.deadline;
+            parts.push((part.wrt, self.submit(sub)));
+        }
+        Ok(GradHandle {
+            forward,
+            parts,
+            accs,
+        })
     }
 
     /// Snapshot of counters and latency percentiles.
@@ -479,6 +588,8 @@ impl Runtime {
             breaker_trips: c.breaker_trips,
             breaker_fast_fails: c.breaker_fast_fails,
             draining_rejects: c.draining_rejects,
+            grad_requests: c.grad_requests,
+            rbi_requests: c.rbi_requests,
         }
     }
 

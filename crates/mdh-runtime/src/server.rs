@@ -6,16 +6,17 @@
 //!
 //! ```text
 //! client → server:
-//!   SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,NAME=VAL...] [deadline_ms=<n>]\n
+//!   SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,NAME=VAL...] [deadline_ms=<n>] [grad=1]\n
 //!   <len bytes of directive source (any supported front end)>
-//!   STATS\n
+//!   STATS [json]\n
 //!   SHUTDOWN\n
 //!
 //! server → client (one line per launch, then a summary):
 //!   ok hit=<bool> source=<heuristic|tuned|persistent> epoch=<n> batch=<n>
 //!      exec_ms=<x> total_ms=<x> checksum=<buf>=<v>[,...]
+//!      [parts=<n> grad_checksum=d_<buf>=<v>[,...]]
 //!   done <count>
-//!   stats <counters>
+//!   stats <counters>            (or `stats-json {...}` for STATS json)
 //!   err <message>
 //! ```
 //!
@@ -26,6 +27,11 @@
 //! reproducible across runs and clients stay tiny. `deadline_ms` applies
 //! a serve-by deadline (relative to header parse time) to every launch
 //! of the batch; expired launches answer `err deadline exceeded ...`.
+//! `grad=1` turns each launch into a gradient round trip
+//! ([`Runtime::submit_grad`]): the forward value and the gradients with
+//! respect to every float input come back in one reply line, and every
+//! sub-request (forward + adjoint parts) individually passes admission,
+//! deadline, and breaker checks.
 //!
 //! Every request gets exactly one terminal reply. The load-shedding
 //! grammar is the `err` prefix set from [`mdh_core::error::MdhError`]:
@@ -41,7 +47,7 @@
 //! gracefully: in-flight connections and queued requests finish; new
 //! connections are answered `err draining`.
 
-use crate::runtime::{Request, Response, Runtime, RuntimeConfig};
+use crate::runtime::{GradResponse, Request, Response, Runtime, RuntimeConfig};
 use mdh_core::buffer::Buffer;
 use mdh_core::dsl::DslProgram;
 use mdh_core::error::{MdhError, Result};
@@ -124,6 +130,20 @@ fn format_response(resp: &Response) -> String {
         resp.batch_size,
         resp.exec_ms,
         resp.total_ms,
+        sums.join(",")
+    )
+}
+
+fn format_grad_response(resp: &GradResponse) -> String {
+    let sums: Vec<String> = resp
+        .gradients
+        .iter()
+        .map(|(_, b)| format!("{}={:.6}", b.name, checksum(b)))
+        .collect();
+    format!(
+        "{} parts={} grad_checksum={}",
+        format_response(&resp.forward),
+        resp.parts,
         sums.join(",")
     )
 }
@@ -245,7 +265,13 @@ fn handle_connection(
     }
     let fields: Vec<&str> = header.split_whitespace().collect();
     match fields.first().copied() {
-        Some("STATS") => writeln!(writer, "stats {}", runtime.stats()),
+        Some("STATS") => {
+            if fields.get(1).copied() == Some("json") {
+                writeln!(writer, "stats-json {}", runtime.stats().to_json())
+            } else {
+                writeln!(writer, "stats {}", runtime.stats())
+            }
+        }
         Some("SHUTDOWN") => {
             draining.store(true, Ordering::SeqCst);
             writeln!(writer, "ok shutting down")
@@ -270,7 +296,8 @@ fn handle_submit(
 ) -> std::result::Result<Vec<String>, String> {
     if fields.len() < 4 {
         return Err(
-            "usage: SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,...] [deadline_ms=<n>]".into(),
+            "usage: SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,...] [deadline_ms=<n>] [grad=1]"
+                .into(),
         );
     }
     let device = match fields[1] {
@@ -288,9 +315,14 @@ fn handle_submit(
     }
     let mut env = DirectiveEnv::new();
     let mut deadline: Option<Instant> = None;
+    let mut grad = false;
     for field in &fields[4..] {
-        // `deadline_ms` is reserved: it is a protocol option, not a size
-        // binding. The deadline clock starts at header parse time.
+        // `deadline_ms` and `grad` are reserved: protocol options, not
+        // size bindings. The deadline clock starts at header parse time.
+        if *field == "grad=1" {
+            grad = true;
+            continue;
+        }
         if let Some(ms) = field.strip_prefix("deadline_ms=") {
             let ms: u64 = ms
                 .parse()
@@ -315,22 +347,41 @@ fn handle_submit(
     let prog = compile_any(&src, &env).map_err(|e| e.to_string())?;
     let inputs = deterministic_inputs(&prog).map_err(|e| e.to_string())?;
 
-    let handles: Vec<_> = (0..count)
-        .map(|_| {
-            let mut req = Request::new(prog.clone(), device, inputs.clone());
-            req.deadline = deadline;
-            runtime.submit(req)
-        })
-        .collect();
     let mut lines = Vec::with_capacity(count + 2);
     let mut served = 0usize;
-    for h in handles {
-        match h.wait() {
-            Ok(resp) => {
-                lines.push(format_response(&resp));
-                served += 1;
+    if grad {
+        let handles: Vec<_> = (0..count)
+            .map(|_| {
+                let mut req = Request::new(prog.clone(), device, inputs.clone());
+                req.deadline = deadline;
+                runtime.submit_grad(req, None, None)
+            })
+            .collect();
+        for h in handles {
+            match h.and_then(|h| h.wait()) {
+                Ok(resp) => {
+                    lines.push(format_grad_response(&resp));
+                    served += 1;
+                }
+                Err(e) => lines.push(format!("err {e}")),
             }
-            Err(e) => lines.push(format!("err {e}")),
+        }
+    } else {
+        let handles: Vec<_> = (0..count)
+            .map(|_| {
+                let mut req = Request::new(prog.clone(), device, inputs.clone());
+                req.deadline = deadline;
+                runtime.submit(req)
+            })
+            .collect();
+        for h in handles {
+            match h.wait() {
+                Ok(resp) => {
+                    lines.push(format_response(&resp));
+                    served += 1;
+                }
+                Err(e) => lines.push(format!("err {e}")),
+            }
         }
     }
     lines.push(format!("done {served}"));
@@ -364,6 +415,48 @@ pub fn client_submit_with_deadline(
     bindings: &[(String, i64)],
     deadline_ms: Option<u64>,
 ) -> std::io::Result<Vec<String>> {
+    client_submit_full(
+        socket_path,
+        source,
+        device,
+        count,
+        bindings,
+        deadline_ms,
+        false,
+    )
+}
+
+/// [`client_submit`] as a gradient round trip (`grad=1`): each reply line
+/// carries the forward checksum plus per-input gradient checksums.
+pub fn client_submit_grad(
+    socket_path: &Path,
+    source: &str,
+    device: DeviceKind,
+    count: usize,
+    bindings: &[(String, i64)],
+    deadline_ms: Option<u64>,
+) -> std::io::Result<Vec<String>> {
+    client_submit_full(
+        socket_path,
+        source,
+        device,
+        count,
+        bindings,
+        deadline_ms,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_submit_full(
+    socket_path: &Path,
+    source: &str,
+    device: DeviceKind,
+    count: usize,
+    bindings: &[(String, i64)],
+    deadline_ms: Option<u64>,
+    grad: bool,
+) -> std::io::Result<Vec<String>> {
     let mut stream = UnixStream::connect(socket_path)?;
     let dev = match device {
         DeviceKind::Cpu => "cpu",
@@ -382,6 +475,9 @@ pub fn client_submit_with_deadline(
     if let Some(ms) = deadline_ms {
         header.push_str(&format!(" deadline_ms={ms}"));
     }
+    if grad {
+        header.push_str(" grad=1");
+    }
     writeln!(stream, "{header}")?;
     stream.write_all(source.as_bytes())?;
     read_reply(stream)
@@ -391,6 +487,14 @@ pub fn client_submit_with_deadline(
 pub fn client_stats(socket_path: &Path) -> std::io::Result<Vec<String>> {
     let mut stream = UnixStream::connect(socket_path)?;
     writeln!(stream, "STATS")?;
+    read_reply(stream)
+}
+
+/// Ask the server for the machine-readable stats snapshot
+/// (`stats-json {...}`).
+pub fn client_stats_json(socket_path: &Path) -> std::io::Result<Vec<String>> {
+    let mut stream = UnixStream::connect(socket_path)?;
+    writeln!(stream, "STATS json")?;
     read_reply(stream)
 }
 
@@ -478,6 +582,67 @@ def dot(res, x, y):
 
         let stats = client_stats(&sock).unwrap();
         assert!(stats[0].starts_with("stats "), "{stats:?}");
+        let bye = client_shutdown(&sock).unwrap();
+        assert!(bye[0].starts_with("ok"), "{bye:?}");
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_grad_roundtrip_and_json_stats() {
+        let dir = std::env::temp_dir().join(format!("mdh-runtime-grad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("rt.sock");
+        let sock2 = sock.clone();
+        let server = std::thread::spawn(move || {
+            serve(
+                &sock2,
+                RuntimeConfig {
+                    workers: 1,
+                    exec_threads: 2,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .unwrap();
+        });
+        for _ in 0..500 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let lines = client_submit_grad(
+            &sock,
+            DOT,
+            DeviceKind::Cpu,
+            3,
+            &[("N".into(), 64)],
+            Some(30_000),
+        )
+        .unwrap();
+        let oks: Vec<&String> = lines.iter().filter(|l| l.starts_with("ok ")).collect();
+        assert_eq!(oks.len(), 3, "all grad round trips answered: {lines:?}");
+        for l in &oks {
+            assert!(l.contains("parts=2"), "{l}");
+            assert!(l.contains("grad_checksum=d_x="), "{l}");
+            assert!(l.contains("d_y="), "{l}");
+        }
+        // deterministic inputs + all-ones cotangent → identical checksums
+        let gsum = |l: &str| l.split("grad_checksum=").nth(1).unwrap().to_string();
+        assert!(oks[1..].iter().all(|l| gsum(l) == gsum(oks[0])));
+        // d(Σ x·y)/dx = y: the gradient checksum equals y's input checksum
+        let env = DirectiveEnv::new().size("N", 64);
+        let inputs = deterministic_inputs(&compile_any(DOT, &env).unwrap()).unwrap();
+        assert!(
+            gsum(oks[0]).starts_with(&format!("d_x={:.6}", checksum(&inputs[1]))),
+            "{}",
+            oks[0]
+        );
+
+        let stats = client_stats_json(&sock).unwrap();
+        assert!(stats[0].starts_with("stats-json {"), "{stats:?}");
+        assert!(stats[0].contains("\"grad_requests\":3"), "{stats:?}");
+        assert!(stats[0].ends_with('}'), "{stats:?}");
         let bye = client_shutdown(&sock).unwrap();
         assert!(bye[0].starts_with("ok"), "{bye:?}");
         server.join().unwrap();

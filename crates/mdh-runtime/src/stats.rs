@@ -171,6 +171,12 @@ pub struct RuntimeStats {
     pub breaker_fast_fails: u64,
     /// Requests rejected because the runtime (or server) was draining.
     pub draining_rejects: u64,
+    /// Gradient round trips (`submit_grad` / `SUBMIT ... grad=1`): one
+    /// counted per round trip, however many adjoint parts it spawned.
+    pub grad_requests: u64,
+    /// Accepted requests whose program contains an indexed reduction
+    /// (`rbi`): histogram-style apps and AD-emitted scatter adjoints.
+    pub rbi_requests: u64,
 }
 
 impl RuntimeStats {
@@ -198,6 +204,95 @@ impl RuntimeStats {
             || self.device_evictions > 0
             || self.repartitions > 0
             || self.degraded_requests > 0
+    }
+
+    /// Whether any training-shaped traffic (gradient round trips or
+    /// indexed-reduction programs) has been served.
+    pub fn has_training(&self) -> bool {
+        self.grad_requests > 0 || self.rbi_requests > 0
+    }
+
+    /// The whole snapshot as one machine-readable JSON object (a single
+    /// line, keys in declaration order). Hand-rolled: every value is a
+    /// number, a string, or an object of numbers, so no escaping beyond
+    /// device labels (alphanumeric by construction) is needed.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(768);
+        s.push('{');
+        let field = |s: &mut String, k: &str, v: String| {
+            if s.len() > 1 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(k);
+            s.push_str("\":");
+            s.push_str(&v);
+        };
+        let num = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.4}")
+            } else {
+                "null".into()
+            }
+        };
+        field(&mut s, "plan_hits", self.plan_hits.to_string());
+        field(&mut s, "plan_misses", self.plan_misses.to_string());
+        field(&mut s, "plan_evictions", self.plan_evictions.to_string());
+        field(&mut s, "plan_swaps", self.plan_swaps.to_string());
+        field(&mut s, "plans_resident", self.plans_resident.to_string());
+        field(&mut s, "hit_rate", num(self.hit_rate()));
+        field(&mut s, "completed", self.completed.to_string());
+        field(&mut s, "batches", self.batches.to_string());
+        field(&mut s, "max_batch", self.max_batch.to_string());
+        field(&mut s, "mean_batch", num(self.mean_batch()));
+        field(&mut s, "tunes_done", self.tunes_done.to_string());
+        field(&mut s, "latency_p50_ms", num(self.latency_p50_ms));
+        field(&mut s, "latency_p99_ms", num(self.latency_p99_ms));
+        field(&mut s, "latency_mean_ms", num(self.latency_mean_ms));
+        field(&mut s, "exec_p50_us", num(self.exec_p50_us));
+        field(&mut s, "exec_p99_us", num(self.exec_p99_us));
+        field(&mut s, "exec_samples", self.exec_samples.to_string());
+        let dispatches = self
+            .device_dispatches
+            .iter()
+            .map(|(label, n)| format!("\"{label}\":{n}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        field(&mut s, "device_dispatches", format!("{{{dispatches}}}"));
+        field(&mut s, "fault_retries", self.fault_retries.to_string());
+        field(
+            &mut s,
+            "device_evictions",
+            self.device_evictions.to_string(),
+        );
+        field(&mut s, "repartitions", self.repartitions.to_string());
+        field(
+            &mut s,
+            "degraded_requests",
+            self.degraded_requests.to_string(),
+        );
+        field(&mut s, "shed_requests", self.shed_requests.to_string());
+        field(
+            &mut s,
+            "deadline_exceeded",
+            self.deadline_exceeded.to_string(),
+        );
+        field(&mut s, "worker_panics", self.worker_panics.to_string());
+        field(&mut s, "breaker_trips", self.breaker_trips.to_string());
+        field(
+            &mut s,
+            "breaker_fast_fails",
+            self.breaker_fast_fails.to_string(),
+        );
+        field(
+            &mut s,
+            "draining_rejects",
+            self.draining_rejects.to_string(),
+        );
+        field(&mut s, "grad_requests", self.grad_requests.to_string());
+        field(&mut s, "rbi_requests", self.rbi_requests.to_string());
+        s.push('}');
+        s
     }
 
     /// Whether any serving-edge protection (shedding, deadlines, panic
@@ -256,6 +351,13 @@ impl std::fmt::Display for RuntimeStats {
                 self.device_evictions,
                 self.repartitions,
                 self.degraded_requests
+            )?;
+        }
+        if self.has_training() {
+            write!(
+                f,
+                "; training: grad-requests={} rbi-requests={}",
+                self.grad_requests, self.rbi_requests
             )?;
         }
         if self.has_edge_events() {

@@ -21,9 +21,16 @@
 //!                                                  submissions shed with a
 //!                                                  retryable `err overloaded`)
 //! mdhc submit   <file> --socket PATH [-D ...] [--device gpu|cpu] [--count N]
-//!               [--deadline-ms N]                  send launches to a server
+//!               [--deadline-ms N] [--grad]         send launches to a server
 //!                                                  (expired launches answer
-//!                                                  `err deadline exceeded`)
+//!                                                  `err deadline exceeded`;
+//!                                                  --grad makes each launch a
+//!                                                  gradient round trip: forward
+//!                                                  checksum plus per-input
+//!                                                  gradient checksums)
+//! mdhc stats    <socket> [--json]                  runtime counters from a
+//!                                                  server (--json emits one
+//!                                                  machine-readable line)
 //! ```
 //!
 //! The front end is auto-detected: files containing `#pragma mdh` go
@@ -49,10 +56,11 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mdhc <compile|run|estimate|tune|explain|serve|submit> <file|socket> \
+        "usage: mdhc <compile|run|estimate|tune|explain|serve|submit|stats> <file|socket> \
          [-D NAME=VAL]... [--device gpu|cpu] [--threads N] [--budget N] [--cache FILE] \
          [--workers N] [--batch N] [--socket PATH] [--count N] [--devices N] \
-         [--faults SPEC] [--max-queue-depth N] [--max-connections N] [--deadline-ms N]"
+         [--faults SPEC] [--max-queue-depth N] [--max-connections N] [--deadline-ms N] \
+         [--grad] [--json]"
     );
     exit(2);
 }
@@ -75,6 +83,8 @@ struct Cli {
     max_queue_depth: usize,
     max_connections: usize,
     deadline_ms: Option<u64>,
+    grad: bool,
+    json: bool,
 }
 
 fn parse_cli() -> Cli {
@@ -102,6 +112,8 @@ fn parse_cli() -> Cli {
     let mut max_queue_depth = defaults.max_queue_depth;
     let mut max_connections = defaults.max_connections;
     let mut deadline_ms = None;
+    let mut grad = false;
+    let mut json = false;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -210,6 +222,14 @@ fn parse_cli() -> Cli {
                 );
                 i += 2;
             }
+            "--grad" => {
+                grad = true;
+                i += 1;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage();
@@ -234,6 +254,8 @@ fn parse_cli() -> Cli {
         max_queue_depth,
         max_connections,
         deadline_ms,
+        grad,
+        json,
     }
 }
 
@@ -385,14 +407,26 @@ fn cmd_submit(cli: &Cli) {
             exit(1);
         }
     };
-    match mdh::runtime::server::client_submit_with_deadline(
-        socket,
-        &src,
-        cli.device,
-        cli.count.max(1),
-        &cli.bindings,
-        cli.deadline_ms,
-    ) {
+    let reply = if cli.grad {
+        mdh::runtime::server::client_submit_grad(
+            socket,
+            &src,
+            cli.device,
+            cli.count.max(1),
+            &cli.bindings,
+            cli.deadline_ms,
+        )
+    } else {
+        mdh::runtime::server::client_submit_with_deadline(
+            socket,
+            &src,
+            cli.device,
+            cli.count.max(1),
+            &cli.bindings,
+            cli.deadline_ms,
+        )
+    };
+    match reply {
         Ok(lines) => {
             let mut failed = false;
             for line in lines {
@@ -410,11 +444,33 @@ fn cmd_submit(cli: &Cli) {
     }
 }
 
+/// `mdhc stats <socket> [--json]`: print the server's runtime counters,
+/// human-formatted or as one machine-readable JSON line.
+fn cmd_stats(cli: &Cli) {
+    let reply = if cli.json {
+        mdh::runtime::server::client_stats_json(&cli.file)
+    } else {
+        mdh::runtime::server::client_stats(&cli.file)
+    };
+    match reply {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot reach server at {}: {e}", cli.file.display());
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let cli = parse_cli();
     match cli.cmd.as_str() {
         "serve" => return cmd_serve(&cli),
         "submit" => return cmd_submit(&cli),
+        "stats" => return cmd_stats(&cli),
         _ => {}
     }
     let prog = load_program(&cli);

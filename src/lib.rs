@@ -3,6 +3,7 @@
 //! Re-exports the full `mdh-rs` stack under one name. See the README for a
 //! tour and `examples/` for runnable programs.
 
+pub use mdh_ad as ad;
 pub use mdh_apps as apps;
 pub use mdh_backend as backend;
 pub use mdh_baselines as baselines;
