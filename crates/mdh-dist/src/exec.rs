@@ -51,9 +51,10 @@ use mdh_core::shape::MdRange;
 use mdh_core::types::Tuple;
 use mdh_lowering::asm::DeviceKind;
 use mdh_lowering::heuristics::mdh_default_schedule;
-use mdh_lowering::partition::{PartitionOutcome, PartitionPlan, PartitionStrategy};
+use mdh_lowering::partition::{PartitionOutcome, PartitionPlan, PartitionStrategy, Shard};
+use mdh_mem::{double_buffered_phase_ms, Acquire, BlockKey, MemPool};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Poison-recovering lock: the executor's shared state (health view,
@@ -117,6 +118,40 @@ pub struct DistReport {
     pub total_ms: f64,
     /// Steady-state per-launch time with inputs resident.
     pub hot_ms: f64,
+    /// Memory-pool activity, when a [`MemPool`] is attached and enabled.
+    pub mem: Option<MemLaunchStats>,
+}
+
+/// What the memory pool did for one launch (deltas, not pool gauges —
+/// the pool itself may be shared with concurrent launches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemLaunchStats {
+    /// Operand blocks found resident and current (H2D skipped).
+    pub hits: u64,
+    /// Operand blocks uploaded this launch.
+    pub misses: u64,
+    /// Resident blocks evicted under capacity pressure by this launch.
+    pub evictions: u64,
+    /// Payload bytes actually shipped over the host link.
+    pub bytes_uploaded: u64,
+    /// Payload bytes whose upload residency made unnecessary.
+    pub bytes_avoided: u64,
+}
+
+impl MemLaunchStats {
+    pub fn is_zero(&self) -> bool {
+        *self == MemLaunchStats::default()
+    }
+}
+
+impl std::fmt::Display for MemLaunchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} evictions={} uploaded={}B avoided={}B",
+            self.hits, self.misses, self.evictions, self.bytes_uploaded, self.bytes_avoided
+        )
+    }
 }
 
 impl DistReport {
@@ -182,6 +217,9 @@ impl std::fmt::Display for DistReport {
                 self.devices_alive, self.devices
             )?;
         }
+        if let Some(mem) = &self.mem {
+            write!(f, " | mem: {mem}")?;
+        }
         Ok(())
     }
 }
@@ -213,6 +251,9 @@ pub struct DistExecutor {
     runners: Vec<Runner>,
     faults: FaultPlan,
     retry: RetryPolicy,
+    /// Device-resident buffer pool. `None` (the default) preserves the
+    /// PR 2 model exactly: every launch re-ships every input.
+    mem: Option<Arc<MemPool>>,
     /// Health view: `false` once a device is evicted. Evictions are
     /// permanent for the executor's lifetime (a crashed simulated device
     /// does not come back).
@@ -285,10 +326,30 @@ impl DistExecutor {
             runners,
             faults,
             retry,
+            mem: None,
             health,
             launches: AtomicU64::new(0),
             cumulative: Mutex::new(FaultStats::default()),
         })
+    }
+
+    /// Attach a device-resident buffer pool: shard inputs whose
+    /// content/version/region key is already resident skip H2D entirely,
+    /// and misses are double-buffered so the upload overlaps compute.
+    /// Values are unaffected — shards always compute from the host
+    /// operands — so results stay bit-identical with or without a pool.
+    pub fn with_mem(mut self, mem: Arc<MemPool>) -> DistExecutor {
+        self.mem = Some(mem);
+        self
+    }
+
+    /// The attached memory pool, if any.
+    pub fn mem_pool(&self) -> Option<&Arc<MemPool>> {
+        self.mem.as_ref()
+    }
+
+    fn mem_enabled(&self) -> bool {
+        self.mem.as_ref().is_some_and(|m| m.enabled())
     }
 
     /// Configured pool size (evicted devices included).
@@ -360,13 +421,20 @@ impl DistExecutor {
         let launch = self.launches.fetch_add(1, Ordering::SeqCst);
         let host_memory = self.pool.all_host_memory();
         let mut faults = FaultStats::default();
-        let level = self.run_level(prog, inputs, launch, deadline, &mut faults)?;
+        let mut mem_launch = None;
+        let level = self.run_level(prog, inputs, launch, deadline, &mut faults, &mut mem_launch)?;
         plock(&self.cumulative).absorb(&faults);
 
         let outputs = recombine(prog, &level.plan, level.shard_outs)?;
         let out_bytes = output_bytes(&outputs);
-        let report =
-            self.assemble_report(&level.plan, level.per_shard, out_bytes, host_memory, faults);
+        let report = self.assemble_report(
+            &level.plan,
+            level.per_shard,
+            out_bytes,
+            host_memory,
+            faults,
+            mem_launch,
+        );
         Ok((outputs, report))
     }
 
@@ -381,6 +449,7 @@ impl DistExecutor {
         let plan = PartitionPlan::build(prog, self.pool.len())?;
         let host_memory = self.pool.all_host_memory();
         let mut per_shard = Vec::with_capacity(plan.shards.len());
+        let mut mem_launch = None;
         for shard in &plan.shards {
             let Runner::Gpu(sim) = &self.runners[shard.index] else {
                 return Err(MdhError::Validation(
@@ -392,12 +461,17 @@ impl DistExecutor {
             let units = sim.params.num_sms * 32;
             let schedule = shard_schedule(&shard.prog, DeviceKind::Gpu, units);
             let exec_ms = sim.estimate(&shard.prog, &schedule)?.time_ms;
-            let h2d_bytes = shard_input_bytes(prog, &shard.range, inputs);
-            let h2d_ms = if host_memory {
-                0.0
-            } else {
-                transfer_ms(&self.pool.config.host_link, h2d_bytes)
-            };
+            // with a pool attached, estimates charge residency like real
+            // launches: a second estimate of the same workload models the
+            // warm relaunch (the regime serving cares about)
+            let (h2d_bytes, h2d_ms) = self.charge_shard_h2d(
+                shard.index,
+                shard,
+                prog,
+                inputs,
+                host_memory,
+                &mut mem_launch,
+            );
             per_shard.push(ShardReport {
                 device: self.pool.devices[shard.index].label(shard.index),
                 shard: shard.index,
@@ -416,7 +490,59 @@ impl DistExecutor {
             out_bytes,
             host_memory,
             FaultStats::default(),
+            mem_launch,
         ))
+    }
+
+    /// Model (and, with a pool attached, charge) one shard's H2D: each
+    /// input operand is looked up by its content/version/region key, hits
+    /// skip the transfer, and only missed bytes ship over the host link.
+    /// Called sequentially in shard-index order from the launch thread,
+    /// so pool mutations are deterministic per launch.
+    fn charge_shard_h2d(
+        &self,
+        dev: usize,
+        shard: &Shard,
+        prog: &DslProgram,
+        inputs: &[Buffer],
+        host_memory: bool,
+        mem_launch: &mut Option<MemLaunchStats>,
+    ) -> (usize, f64) {
+        let is_gpu = matches!(self.pool.devices[dev], DeviceSpec::Gpu(_));
+        if !is_gpu || host_memory {
+            return (0, 0.0);
+        }
+        let Some(mem) = self.mem.as_ref().filter(|m| m.enabled()) else {
+            let bytes = shard_input_bytes(prog, &shard.range, inputs);
+            return (bytes, transfer_ms(&self.pool.config.host_link, bytes));
+        };
+        let stats = mem_launch.get_or_insert_with(MemLaunchStats::default);
+        let mut upload = 0usize;
+        for region in shard.operand_regions() {
+            let bytes = input_bytes(prog, region.input, &shard.range, inputs);
+            let Some(buf) = inputs.get(region.input) else {
+                continue;
+            };
+            let key = BlockKey::new(mem.operand_id(buf), region.signature);
+            match mem.acquire(dev, key, bytes as u64) {
+                Acquire::Hit => {
+                    stats.hits += 1;
+                    stats.bytes_avoided += bytes as u64;
+                }
+                Acquire::Miss { evicted, .. } => {
+                    stats.misses += 1;
+                    stats.evictions += evicted;
+                    stats.bytes_uploaded += bytes as u64;
+                    upload += bytes;
+                }
+            }
+        }
+        if upload == 0 {
+            // a fully-resident shard issues no transfer at all, so not
+            // even the link latency is paid
+            return (0, 0.0);
+        }
+        (upload, transfer_ms(&self.pool.config.host_link, upload))
     }
 
     /// Execute one partitioning level: plan over the currently-healthy
@@ -431,6 +557,7 @@ impl DistExecutor {
         launch: u64,
         deadline: Option<Instant>,
         faults: &mut FaultStats,
+        mem_launch: &mut Option<MemLaunchStats>,
     ) -> Result<Level> {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             return Err(MdhError::DeadlineExceeded(
@@ -474,13 +601,8 @@ impl DistExecutor {
                 } => {
                     faults.retries += u64::from(retries);
                     faults.injected_transients += u64::from(transients);
-                    let h2d_bytes = shard_input_bytes(prog, &shard.range, inputs);
-                    let is_gpu = matches!(self.pool.devices[dev], DeviceSpec::Gpu(_));
-                    let mut h2d_ms = if is_gpu && !host_memory {
-                        transfer_ms(&self.pool.config.host_link, h2d_bytes)
-                    } else {
-                        0.0
-                    };
+                    let (h2d_bytes, mut h2d_ms) =
+                        self.charge_shard_h2d(dev, shard, prog, inputs, host_memory, mem_launch);
                     // slow-link injection on the modelled transfer: a
                     // stretch past the timeout is charged at the timeout
                     // and the transfer retried once at normal speed
@@ -518,6 +640,12 @@ impl DistExecutor {
                     if self.evict(dev) {
                         faults.evictions += 1;
                     }
+                    // the device's memory is gone with it: drop residency
+                    // so a later launch can never hit a stale block on a
+                    // replacement (idempotent under racing launches)
+                    if let Some(mem) = &self.mem {
+                        mem.invalidate_device(dev);
+                    }
                     crashed.push(i);
                     shard_outs.push(None);
                 }
@@ -539,7 +667,7 @@ impl DistExecutor {
             }
             faults.repartitions += 1;
             let shard = &plan.shards[i];
-            let sub = self.run_level(&shard.prog, inputs, launch, deadline, faults)?;
+            let sub = self.run_level(&shard.prog, inputs, launch, deadline, faults, mem_launch)?;
             let partial = recombine(&shard.prog, &sub.plan, sub.shard_outs)?;
             per_shard.extend(sub.per_shard.into_iter().map(|mut r| {
                 r.shard = i;
@@ -613,13 +741,19 @@ impl DistExecutor {
         out_bytes: usize,
         host_memory: bool,
         faults: FaultStats,
+        mem: Option<MemLaunchStats>,
     ) -> DistReport {
         let n = plan.shards.len();
         let exec_ms = per_shard.iter().map(|s| s.exec_ms).fold(0.0, f64::max);
         let h2d_ms: f64 = per_shard.iter().map(|s| s.h2d_ms).sum();
         // uploads serialise on the shared host link; with overlap, each
-        // device starts computing as soon as its own upload lands
-        let upload_exec_ms = if self.pool.config.overlap {
+        // device starts computing as soon as its own upload lands — and
+        // with a memory pool attached, uploads are double-buffered so
+        // compute starts after the *first half* of the shard's transfer
+        let upload_exec_ms = if self.mem_enabled() {
+            let pairs: Vec<(f64, f64)> = per_shard.iter().map(|s| (s.h2d_ms, s.exec_ms)).collect();
+            double_buffered_phase_ms(&pairs)
+        } else if self.pool.config.overlap {
             let mut cum = 0.0;
             let mut phase: f64 = 0.0;
             for s in &per_shard {
@@ -670,6 +804,7 @@ impl DistExecutor {
             d2h_ms,
             total_ms,
             hot_ms,
+            mem,
         }
     }
 }
@@ -722,17 +857,20 @@ fn shard_schedule(
     s
 }
 
-/// Bytes of input a device needs for its shard: the footprint of the
-/// *original* program's input accesses over the shard's global range
-/// (falling back to the whole buffer when the footprint is unknown).
+/// Bytes of one input a device needs for its shard: the footprint of the
+/// *original* program's access over the shard's global range (falling
+/// back to the whole buffer when the footprint is unknown).
+fn input_bytes(prog: &DslProgram, b: usize, range: &MdRange, inputs: &[Buffer]) -> usize {
+    prog.inp_view
+        .footprint_bytes(b, range)
+        .or_else(|| inputs.get(b).map(|buf| buf.size_bytes()))
+        .unwrap_or(0)
+}
+
+/// Total input bytes a device needs for its shard.
 fn shard_input_bytes(prog: &DslProgram, range: &MdRange, inputs: &[Buffer]) -> usize {
     (0..prog.inp_view.buffers.len())
-        .map(|b| {
-            prog.inp_view
-                .footprint_bytes(b, range)
-                .or_else(|| inputs.get(b).map(|buf| buf.size_bytes()))
-                .unwrap_or(0)
-        })
+        .map(|b| input_bytes(prog, b, range, inputs))
         .sum()
 }
 
@@ -1336,6 +1474,102 @@ mod tests {
             a.iter().any(|f| f.retries > 0),
             "40% chaos must actually fire over 8 launches × 3 devices"
         );
+    }
+
+    // --- memory pool integration --------------------------------------
+
+    #[test]
+    fn warm_relaunch_skips_resident_uploads() {
+        let prog = matvec(16, 2048);
+        let inputs = matvec_inputs(16, 2048);
+        let reference = single_device(&prog, &inputs);
+        let mem = Arc::new(MemPool::new(4, 1 << 30));
+        let dist = DistExecutor::new(DevicePool::gpus(4))
+            .unwrap()
+            .with_mem(Arc::clone(&mem));
+        let (cold_out, cold) = dist.run(&prog, &inputs).unwrap();
+        let (warm_out, warm) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(cold_out, reference);
+        assert_eq!(warm_out, reference, "residency must not change values");
+        let cm = cold.mem.unwrap();
+        // 4 shards × (M slice + v) — every device uploads its two blocks
+        assert_eq!((cm.hits, cm.misses), (0, 8), "{cm}");
+        assert!(cold.h2d_ms > 0.0);
+        let wm = warm.mem.unwrap();
+        assert_eq!((wm.hits, wm.misses), (8, 0), "everything resident: {wm}");
+        assert_eq!(wm.bytes_uploaded, 0);
+        assert_eq!(warm.h2d_ms, 0.0, "warm launch ships nothing");
+        assert_eq!(
+            warm.total_ms, warm.hot_ms,
+            "with all inputs resident the cold-launch model collapses \
+             onto the hot steady state"
+        );
+        assert!(cold.total_ms > warm.total_ms);
+    }
+
+    #[test]
+    fn version_bump_forces_reupload_of_that_operand_only() {
+        let prog = matvec(16, 512);
+        let inputs = matvec_inputs(16, 512);
+        let mem = Arc::new(MemPool::new(4, 1 << 30));
+        let dist = DistExecutor::new(DevicePool::gpus(4))
+            .unwrap()
+            .with_mem(Arc::clone(&mem));
+        dist.run(&prog, &inputs).unwrap();
+        mem.bump_version("M");
+        let (_, report) = dist.run(&prog, &inputs).unwrap();
+        let m = report.mem.unwrap();
+        // M re-ships on all 4 devices; v stays resident everywhere
+        assert_eq!((m.hits, m.misses), (4, 4), "{m}");
+    }
+
+    #[test]
+    fn crash_invalidates_residency_and_stays_bit_identical() {
+        let prog = matvec(13, 37);
+        let inputs = matvec_inputs(13, 37);
+        let reference = single_device(&prog, &inputs);
+        // warm everything on launch 0, crash device 2 on launch 1
+        let faults = FaultPlan::none().crash(2, 1);
+        let mem = Arc::new(MemPool::new(4, 1 << 30));
+        let dist = DistExecutor::with_faults(DevicePool::gpus(4), faults)
+            .unwrap()
+            .with_mem(Arc::clone(&mem));
+        let (out0, _) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(out0, reference);
+        assert!(mem.device_stats(2).bytes_resident > 0, "warmed up");
+        let (out1, report) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(out1, reference, "recovered launch bit-identical");
+        assert_eq!(report.faults.evictions, 1);
+        assert_eq!(
+            mem.device_stats(2).bytes_resident,
+            0,
+            "crashed device must never serve a stale resident buffer"
+        );
+        assert!(mem.device_stats(2).invalidations > 0);
+        // launch 2 plans over 3 survivors; their shard regions changed,
+        // so re-planned slices miss and then go resident again
+        let (out2, _) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(out2, reference);
+        assert_eq!(mem.device_stats(2).bytes_resident, 0, "stays cold");
+    }
+
+    #[test]
+    fn estimate_charges_residency_when_pool_attached() {
+        let prog = matvec(64, 4096);
+        let inputs = matvec_inputs(64, 4096);
+        let mem = Arc::new(MemPool::new(4, 1 << 30));
+        let dist = DistExecutor::new(DevicePool::gpus(4))
+            .unwrap()
+            .with_mem(mem);
+        let cold = dist.estimate(&prog, &inputs).unwrap();
+        let warm = dist.estimate(&prog, &inputs).unwrap();
+        assert!(cold.h2d_ms > 0.0);
+        assert_eq!(warm.h2d_ms, 0.0, "second estimate models the relaunch");
+        assert_eq!(warm.total_ms, warm.hot_ms);
+        assert!(warm.mem.unwrap().hits > 0);
+        // double-buffered misses: the cold phase is never longer than the
+        // fenced sum of upload + slowest compute
+        assert!(cold.upload_exec_ms <= cold.h2d_ms + cold.exec_ms + 1e-12);
     }
 
     #[test]

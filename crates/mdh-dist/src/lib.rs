@@ -22,6 +22,16 @@
 //! tree with modelled link cost. Programs with no shardable dimension
 //! degrade gracefully to single-device execution.
 //!
+//! A `mdh_mem::MemPool` can be attached with
+//! [`exec::DistExecutor::with_mem`]: shard inputs already resident on
+//! their device (keyed by content fingerprint × explicit version ×
+//! plan-visible region signature) skip H2D entirely, misses are
+//! double-buffered so the upload overlaps compute, and crash recovery
+//! invalidates the dead device's residency so the fault path can never
+//! serve stale bytes. Residency only affects the *time model* — values
+//! are always computed from the host operands, so results stay
+//! bit-identical pool-on vs pool-off.
+//!
 //! The [`fault`] module adds deterministic chaos: a seed-driven
 //! [`fault::FaultPlan`] injects device crashes, transient shard errors,
 //! and slow links into every launch, and the executor recovers —
@@ -37,6 +47,6 @@ pub mod fault;
 pub mod topology;
 
 pub use device::{DevicePool, DeviceSpec, PoolConfig};
-pub use exec::{DistExecutor, DistReport, ShardReport};
+pub use exec::{DistExecutor, DistReport, MemLaunchStats, ShardReport};
 pub use fault::{FaultPlan, FaultStats, RetryPolicy};
 pub use topology::{combine_cost, CombineCost, CombineTopology};

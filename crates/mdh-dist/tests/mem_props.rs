@@ -1,0 +1,240 @@
+//! Memory-pool property tests: attaching an `mdh-mem` residency pool to
+//! the distributed executor never changes a value — not across widths,
+//! not across repeated launches that flip blocks from miss to hit, not
+//! under seeded fault chaos whose crash recovery invalidates residency
+//! mid-stream, and not under eviction pressure when the budget is
+//! smaller than the working set.
+//!
+//! Residency only affects the *time model*: execution always reads the
+//! host operands. These tests pin that structural property and the
+//! pool's safety invariants (no stale bytes after a crash or a version
+//! bump, capacity never exceeded).
+
+use mdh_core::buffer::Buffer;
+use mdh_core::combine::CombineOp;
+use mdh_core::dsl::{DslBuilder, DslProgram};
+use mdh_core::expr::ScalarFunction;
+use mdh_core::index_fn::{AffineExpr, IndexFn};
+use mdh_core::shape::Shape;
+use mdh_core::types::{BasicType, ScalarKind};
+use mdh_dist::{DevicePool, DistExecutor, FaultPlan};
+use mdh_mem::MemPool;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Integer-valued, position-dependent fill (exact in f32).
+fn int_fill(buf: &mut Buffer, salt: usize) {
+    buf.fill_with(move |i| ((i.wrapping_add(salt).wrapping_mul(2654435761)) % 16) as f64 - 8.0);
+}
+
+/// MatVec: a `cc` dimension over rows (shard-split, so the matrix gets
+/// per-shard region signatures) and a `pw(+)` dimension over columns
+/// (the vector is broadcast — one width-invariant region per device).
+fn matvec(i: usize, k: usize) -> (DslProgram, Vec<Buffer>) {
+    let prog = DslBuilder::new("matvec", vec![i, k])
+        .out_buffer("w", BasicType::F32)
+        .out_access("w", IndexFn::select(2, &[0]))
+        .inp_buffer("M", BasicType::F32)
+        .inp_access("M", IndexFn::identity(2, 2))
+        .inp_buffer("v", BasicType::F32)
+        .inp_access("v", IndexFn::select(2, &[1]))
+        .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+        .combine_ops(vec![CombineOp::cc(), CombineOp::pw_add()])
+        .build()
+        .expect("matvec");
+    let mut m = Buffer::zeros("M", BasicType::F32, Shape::new(vec![i, k]));
+    let mut v = Buffer::zeros("v", BasicType::F32, Shape::new(vec![k]));
+    int_fill(&mut m, 1);
+    int_fill(&mut v, 2);
+    (prog, vec![m, v])
+}
+
+/// Dot: a single `pw(+)` dimension — both inputs split with the shard.
+fn dot(n: usize) -> (DslProgram, Vec<Buffer>) {
+    let prog = DslBuilder::new("dot", vec![n])
+        .out_buffer("res", BasicType::F32)
+        .out_access("res", IndexFn::affine(vec![AffineExpr::constant(1, 0)]))
+        .inp_buffer("x", BasicType::F32)
+        .inp_access("x", IndexFn::identity(1, 1))
+        .inp_buffer("y", BasicType::F32)
+        .inp_access("y", IndexFn::identity(1, 1))
+        .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+        .combine_ops(vec![CombineOp::pw_add()])
+        .build()
+        .expect("dot");
+    let mut x = Buffer::zeros("x", BasicType::F32, Shape::new(vec![n]));
+    let mut y = Buffer::zeros("y", BasicType::F32, Shape::new(vec![n]));
+    int_fill(&mut x, 3);
+    int_fill(&mut y, 4);
+    (prog, vec![x, y])
+}
+
+fn pooled_executor(devices: usize, budget: u64, faults: FaultPlan) -> (DistExecutor, Arc<MemPool>) {
+    let mem = Arc::new(MemPool::new(devices, budget));
+    let dist = DistExecutor::with_faults(DevicePool::gpus(devices), faults)
+        .expect("pool")
+        .with_mem(Arc::clone(&mem));
+    (dist, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pool-on output is bit-identical to the pool-off single-device
+    /// reference for widths 1/2/4, across repeated launches (launch 1
+    /// misses and populates residency, later launches hit), under a
+    /// seeded chaos schedule whose crash recovery re-plans shards and
+    /// invalidates the victim's residency mid-stream.
+    #[test]
+    fn pool_on_matches_pool_off_under_chaos(
+        i in 1usize..40,
+        k in 1usize..40,
+        seed in 0u64..1000,
+        rate in 0u16..400,
+    ) {
+        let with_crash = seed % 2 == 1;
+        let (prog, inputs) = matvec(i, k);
+        let reference = {
+            let dist = DistExecutor::new(DevicePool::gpus(1)).expect("pool");
+            dist.run(&prog, &inputs).expect("reference").0
+        };
+        for devices in [1usize, 2, 4] {
+            let plan = if with_crash && devices >= 2 {
+                FaultPlan::seeded(seed, rate).crash((seed as usize) % devices, seed % 3)
+            } else {
+                FaultPlan::seeded(seed, rate)
+            };
+            let spec = plan.to_string();
+            let (dist, _mem) = pooled_executor(devices, 1 << 30, plan);
+            for launch in 0..3 {
+                let (outs, report) = dist
+                    .run(&prog, &inputs)
+                    .unwrap_or_else(|e| panic!(
+                        "launch {launch} @ {devices} failed (replay: --faults '{spec}'): {e}"
+                    ));
+                prop_assert_eq!(
+                    &outs[..], &reference[..],
+                    "launch {} @ {} devices diverged pool-on (replay: --faults '{}')",
+                    launch, devices, spec
+                );
+                prop_assert!(report.devices_alive >= 1);
+            }
+        }
+    }
+
+    /// Budget smaller than the working set: the executor keeps producing
+    /// correct values while the pool thrashes. Eviction counters are
+    /// monotone and pooled bytes never exceed the budget, even at peak.
+    #[test]
+    fn eviction_pressure_is_correct_and_bounded(
+        n in 64usize..512,
+        devices in 1usize..5,
+    ) {
+        // room for exactly one per-shard block: each device's working
+        // set is two blocks per launch (its x and y shard regions), so
+        // every launch evicts — real LRU pressure without unpooled
+        // passthrough
+        let budget = mdh_mem::size_class_bytes(4 * n.div_ceil(devices) as u64);
+        let (dist, mem) = pooled_executor(devices, budget, FaultPlan::none());
+        let mut last_evictions = 0u64;
+        for round in 0..4 {
+            // fresh operand contents each round: new fingerprints compete
+            // for the same tiny budget
+            let (prog, mut inputs) = dot(n);
+            for (j, buf) in inputs.iter_mut().enumerate() {
+                int_fill(buf, round * 31 + j);
+            }
+            let reference = {
+                let single = DistExecutor::new(DevicePool::gpus(1)).expect("pool");
+                single.run(&prog, &inputs).expect("reference").0
+            };
+            let (outs, _) = dist.run(&prog, &inputs).expect("pressured run");
+            prop_assert_eq!(&outs[..], &reference[..], "round {} diverged", round);
+
+            let stats = mem.stats();
+            prop_assert!(
+                stats.evictions >= last_evictions,
+                "eviction counter went backwards: {} -> {}",
+                last_evictions, stats.evictions
+            );
+            last_evictions = stats.evictions;
+            for dev in 0..devices {
+                let d = mem.device_stats(dev);
+                prop_assert!(
+                    d.peak_bytes <= budget,
+                    "device {} peaked at {}B over the {}B budget",
+                    dev, d.peak_bytes, budget
+                );
+                prop_assert!(d.bytes_pooled <= budget);
+            }
+        }
+        // the working set cycles through fresh fingerprints under a tiny
+        // budget — pressure must actually have evicted something
+        prop_assert!(mem.stats().evictions > 0, "no eviction under pressure");
+    }
+}
+
+/// A crash mid-launch must leave the victim with zero resident bytes:
+/// recovery evicts the device and invalidates its residency, so a
+/// re-planned or restarted pool can never be served stale blocks.
+#[test]
+fn crash_invalidates_device_residency() {
+    let (prog, inputs) = matvec(32, 32);
+    let devices = 4;
+    let victim = 2usize;
+    // warm launch first, then the crash at launch 1
+    let plan = FaultPlan::none().crash(victim, 1);
+    let (dist, mem) = pooled_executor(devices, 1 << 30, plan);
+
+    let (_, first) = dist.run(&prog, &inputs).expect("warm launch");
+    assert!(
+        first.mem.expect("mem stats").misses > 0,
+        "first launch must upload"
+    );
+    assert!(
+        mem.device_stats(victim).bytes_resident > 0,
+        "victim must hold residency before the crash"
+    );
+
+    let (outs, second) = dist.run(&prog, &inputs).expect("crash launch");
+    assert!(second.faults.evictions >= 1, "crash must evict the victim");
+    let v = mem.device_stats(victim);
+    assert_eq!(v.bytes_resident, 0, "crashed device must hold no residency");
+    assert!(v.invalidations > 0, "crash must invalidate, not just drop");
+
+    // values survived the recovery bit-identically
+    let reference = DistExecutor::new(DevicePool::gpus(1))
+        .expect("pool")
+        .run(&prog, &inputs)
+        .expect("reference")
+        .0;
+    assert_eq!(outs, reference, "recovered launch diverged");
+}
+
+/// Bumping an operand's version makes its resident blocks stale: the
+/// next launch re-uploads (misses) instead of reusing old bytes, while
+/// the untouched operand keeps hitting.
+#[test]
+fn version_bump_forces_reupload() {
+    let (prog, inputs) = matvec(32, 32);
+    let (dist, mem) = pooled_executor(2, 1 << 30, FaultPlan::none());
+
+    dist.run(&prog, &inputs).expect("cold launch");
+    let (_, warm) = dist.run(&prog, &inputs).expect("warm launch");
+    let warm_mem = warm.mem.expect("mem stats");
+    assert_eq!(warm_mem.misses, 0, "fully warm launch must not miss");
+    assert!(warm_mem.hits > 0);
+
+    mem.bump_version("M");
+    let (_, bumped) = dist.run(&prog, &inputs).expect("bumped launch");
+    let bumped_mem = bumped.mem.expect("mem stats");
+    assert!(
+        bumped_mem.misses > 0,
+        "version bump must force re-upload of M"
+    );
+    assert!(bumped_mem.hits > 0, "v was not bumped and must still hit");
+
+    // and the new version becomes resident in turn
+    let (_, settled) = dist.run(&prog, &inputs).expect("settled launch");
+    assert_eq!(settled.mem.expect("mem stats").misses, 0);
+}

@@ -94,6 +94,30 @@ impl std::fmt::Display for PartitionOutcome {
     }
 }
 
+/// Plan-visible slice of one input operand, as a stable signature.
+///
+/// A device-resident copy of an input is reusable across launches exactly
+/// when (a) the host operand's content/version is unchanged *and* (b) the
+/// plan asks the device for the **same slice** of it. The second half is a
+/// plan property, so it is computed here: the shard's global range,
+/// restricted to the dimensions the operand's accesses actually depend
+/// on, hashed into a `u64`.
+///
+/// Restricting to dependent dimensions is what makes weights-style
+/// sharing work: a `MatVec` input `v` read as `select(dim 1)` has the
+/// same signature on every shard (shards differ only along dim 0) and at
+/// every pool width, so one resident copy serves them all — while the
+/// matrix `M`, which depends on the split dimension, signs each shard's
+/// row slice distinctly. General (data-dependent) accesses depend on
+/// every dimension, so they conservatively sign the full shard range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperandRegion {
+    /// Index into the program's input-buffer declarations.
+    pub input: usize,
+    /// FNV-1a hash of the dependent-dimension sub-range.
+    pub signature: u64,
+}
+
 /// One device's slice of the iteration space.
 #[derive(Debug, Clone)]
 pub struct Shard {
@@ -103,6 +127,46 @@ pub struct Shard {
     pub range: MdRange,
     /// The rewritten, self-contained program for this slice.
     pub prog: DslProgram,
+}
+
+impl Shard {
+    /// Region signatures for every input operand of this shard — the
+    /// plan-visible half of a residency key (see [`OperandRegion`]).
+    pub fn operand_regions(&self) -> Vec<OperandRegion> {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let eat = |h: &mut u64, x: u64| {
+            for b in x.to_le_bytes() {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        let rank = self.range.lo.len();
+        (0..self.prog.inp_view.buffers.len())
+            .map(|input| {
+                let mut h = FNV_OFFSET;
+                eat(&mut h, input as u64);
+                eat(&mut h, rank as u64);
+                for d in 0..rank {
+                    let dependent = self
+                        .prog
+                        .inp_view
+                        .accesses
+                        .iter()
+                        .any(|a| a.buffer == input && a.index_fn.depends_on(d));
+                    if dependent {
+                        eat(&mut h, d as u64);
+                        eat(&mut h, self.range.lo[d] as u64);
+                        eat(&mut h, self.range.hi[d] as u64);
+                    }
+                }
+                OperandRegion {
+                    input,
+                    signature: h,
+                }
+            })
+            .collect()
+    }
 }
 
 /// A device-granularity split of one program.
@@ -456,6 +520,71 @@ mod tests {
             PartitionOutcome::GeneralAccess,
             "the fallback must say *why* the pool is left idle"
         );
+    }
+
+    #[test]
+    fn operand_regions_share_independent_dims_and_split_dependent_ones() {
+        let p = matvec(10, 6);
+        let plan = PartitionPlan::build(&p, 4).unwrap();
+        let regions: Vec<Vec<OperandRegion>> =
+            plan.shards.iter().map(|s| s.operand_regions()).collect();
+        // input 0 is M (depends on split dim 0): distinct per shard
+        let m_sigs: Vec<u64> = regions.iter().map(|r| r[0].signature).collect();
+        for i in 0..m_sigs.len() {
+            for j in i + 1..m_sigs.len() {
+                assert_ne!(m_sigs[i], m_sigs[j], "M slices differ per shard");
+            }
+        }
+        // input 1 is v (select dim 1, independent of the split): shared
+        let v_sigs: Vec<u64> = regions.iter().map(|r| r[1].signature).collect();
+        assert!(
+            v_sigs.windows(2).all(|w| w[0] == w[1]),
+            "v shared: {v_sigs:?}"
+        );
+        // ... and shared across pool widths too — the same resident copy
+        // serves a 2-wide and a 4-wide plan
+        let plan2 = PartitionPlan::build(&p, 2).unwrap();
+        assert_eq!(
+            plan2.shards[0].operand_regions()[1].signature,
+            v_sigs[0],
+            "v signature is width-invariant"
+        );
+        // distinct inputs never collide even when ranges agree
+        assert_ne!(regions[0][0].signature, regions[0][1].signature);
+    }
+
+    #[test]
+    fn operand_regions_conservative_for_general_access() {
+        use std::sync::Arc;
+        let p = DslBuilder::new("scatter", vec![8])
+            .out_buffer_with_shape("out", BasicType::F64, vec![4])
+            .out_access(
+                "out",
+                IndexFn::General {
+                    out_rank: 1,
+                    f: Arc::new(|idx: &[usize]| vec![idx[0] % 4]),
+                    label: "mod4".into(),
+                },
+            )
+            .inp_buffer("x", BasicType::F64)
+            .inp_access(
+                "x",
+                IndexFn::General {
+                    out_rank: 1,
+                    f: Arc::new(|idx: &[usize]| vec![idx[0] / 2]),
+                    label: "half".into(),
+                },
+            )
+            .scalar_function(ScalarFunction::identity("id", ScalarKind::F64))
+            .combine_ops(vec![CombineOp::rbi_add()])
+            .build()
+            .unwrap();
+        let plan = PartitionPlan::build(&p, 2).unwrap();
+        assert!(plan.is_partitioned());
+        let s0 = plan.shards[0].operand_regions();
+        let s1 = plan.shards[1].operand_regions();
+        // a general access depends on every dim, so shards sign distinctly
+        assert_ne!(s0[0].signature, s1[0].signature);
     }
 
     #[test]

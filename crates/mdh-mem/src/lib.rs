@@ -1,0 +1,38 @@
+//! # mdh-mem — device-resident buffer pool
+//!
+//! The transfer wall is the standout gap in the dist numbers: every launch
+//! re-ships every input, so `transfer_share` ≈ 0.99 for bandwidth-bound
+//! programs and adding devices buys nothing cold. This crate is the
+//! missing layer between the partitioner and the executors: a per-device
+//! **memory pool with residency tracking**, so the "millions of requests
+//! hitting shared weights" shape uploads the weights once and then serves
+//! from device memory.
+//!
+//! Three pieces:
+//!
+//! * [`operand`] — *what is resident*: a cheap sampled content fingerprint
+//!   plus an explicit version-bump API ([`VersionTable`]) compose into an
+//!   [`OperandId`]; together with the plan-visible region signature (which
+//!   slice of the operand a shard holds) that forms the [`BlockKey`].
+//! * [`pool`] — *where it lives*: per-device size-class sub-pools under a
+//!   capacity budget with LRU eviction ([`DeviceMemPool`]), wrapped for
+//!   concurrent multi-device use ([`MemPool`]), plus the double-buffered
+//!   H2D/compute overlap model ([`double_buffered_phase_ms`]).
+//! * The integration lives downstream: `mdh-dist` consults the pool before
+//!   shipping shard inputs and invalidates residency when it evicts a
+//!   crashed device; `mdh-runtime` owns one pool per device pool and
+//!   surfaces the counters in `RuntimeStats`.
+//!
+//! Correctness stance: residency is a *performance model* decision only.
+//! Shard values are always computed from host operands, so results are
+//! bit-identical with the pool on or off, across widths, device counts,
+//! and fault schedules — property-tested in `mdh-dist/tests/mem_props.rs`.
+
+pub mod operand;
+pub mod pool;
+
+pub use operand::{fingerprint_buffer, BlockKey, OperandId, VersionTable, FINGERPRINT_SAMPLES};
+pub use pool::{
+    double_buffered_phase_ms, size_class_bytes, Acquire, DeviceMemPool, MemPool, MemStats,
+    MIN_CLASS_BYTES,
+};

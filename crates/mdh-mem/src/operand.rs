@@ -1,0 +1,275 @@
+//! Operand identity: the content/version key residency tracking hangs off.
+//!
+//! A resident device block is current exactly when the *host operand it
+//! was uploaded from* is unchanged. Two signals decide that:
+//!
+//! * a **cheap content fingerprint** ([`fingerprint_buffer`]): FNV-1a over
+//!   the buffer's name, element type, shape, and a strided sample of its
+//!   element bit patterns. Sampling keeps the cost O(1)-ish (at most
+//!   [`FINGERPRINT_SAMPLES`] elements, however large the operand), so a
+//!   16M-element weights matrix fingerprints in sub-microsecond time on a
+//!   serving hot path. The price of sampling is that a mutation confined
+//!   to unsampled elements is invisible to the fingerprint — which is why
+//!   the second signal exists;
+//! * an **explicit version** ([`VersionTable`]): callers that mutate an
+//!   operand in place bump its version (`bump("weights")`), which changes
+//!   every [`BlockKey`] derived from it and forces re-upload regardless of
+//!   what the sampled fingerprint sees. This is the `acc update device`
+//!   analogue: the host declares staleness instead of the pool guessing.
+//!
+//! The composed [`OperandId`] (fingerprint × version) plus a plan-visible
+//! region signature (which sub-range of the operand a device actually
+//! holds — computed by `mdh_lowering::partition`) forms the full residency
+//! key, [`BlockKey`].
+
+use mdh_core::buffer::{Buffer, BufferData};
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Maximum elements sampled by [`fingerprint_buffer`]. 128 strided probes
+/// catch whole-buffer refills (the common case: a new request payload)
+/// while keeping fingerprinting cost independent of operand size.
+pub const FINGERPRINT_SAMPLES: usize = 128;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_eat(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fnv_str(h: &mut u64, s: &str) {
+    fnv_eat(h, s.as_bytes());
+    fnv_eat(h, &[0xff]); // terminator so "ab"+"c" != "a"+"bc"
+}
+
+/// Strided sample of `len` positions: always the first and last elements,
+/// plus evenly spaced interior probes, `FINGERPRINT_SAMPLES` at most.
+fn sample_positions(len: usize) -> impl Iterator<Item = usize> {
+    let n = len.clamp(1, FINGERPRINT_SAMPLES);
+    let last = len.saturating_sub(1);
+    (0..n).map(move |i| {
+        if n == 1 {
+            0
+        } else {
+            // exact endpoints, monotone interior stride
+            (i * last) / (n - 1)
+        }
+    })
+}
+
+/// Cheap content fingerprint of a host operand. See the module docs for
+/// the sampling contract; identical buffers always agree, and any change
+/// visible in the sampled positions (or in name/type/shape/length)
+/// changes the fingerprint.
+pub fn fingerprint_buffer(buf: &Buffer) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_str(&mut h, &buf.name);
+    fnv_eat(&mut h, &(buf.len() as u64).to_le_bytes());
+    fnv_eat(&mut h, &(buf.size_bytes() as u64).to_le_bytes());
+    for &d in buf.shape.0.iter() {
+        fnv_eat(&mut h, &(d as u64).to_le_bytes());
+    }
+    match &buf.data {
+        BufferData::F32(v) => {
+            for i in sample_positions(v.len()) {
+                fnv_eat(&mut h, &v[i].to_bits().to_le_bytes());
+            }
+        }
+        BufferData::F64(v) => {
+            for i in sample_positions(v.len()) {
+                fnv_eat(&mut h, &v[i].to_bits().to_le_bytes());
+            }
+        }
+        BufferData::I32(v) => {
+            for i in sample_positions(v.len()) {
+                fnv_eat(&mut h, &v[i].to_le_bytes());
+            }
+        }
+        BufferData::I64(v) => {
+            for i in sample_positions(v.len()) {
+                fnv_eat(&mut h, &v[i].to_le_bytes());
+            }
+        }
+        BufferData::Bool(v) => {
+            for i in sample_positions(v.len()) {
+                fnv_eat(&mut h, &[u8::from(v[i])]);
+            }
+        }
+        BufferData::Char(v) => {
+            for i in sample_positions(v.len()) {
+                fnv_eat(&mut h, &[v[i]]);
+            }
+        }
+        BufferData::Record(rec) => {
+            // record buffers: sample every column (they are independent
+            // field arrays, so a probe per column is the cheap analogue)
+            for col in &rec.columns {
+                for i in sample_positions(col.len()) {
+                    let bits = col.get(i).as_f64().unwrap_or(f64::NAN).to_bits();
+                    fnv_eat(&mut h, &bits.to_le_bytes());
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Content/version identity of one host operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperandId {
+    /// Sampled content fingerprint of the host buffer.
+    pub fingerprint: u64,
+    /// Explicit version from the [`VersionTable`] (0 until first bump).
+    pub version: u64,
+}
+
+impl OperandId {
+    pub fn new(fingerprint: u64, version: u64) -> OperandId {
+        OperandId {
+            fingerprint,
+            version,
+        }
+    }
+}
+
+/// Full residency key of one device-resident block: *which data*
+/// ([`OperandId`]) covering *which sub-range* (the plan-visible region
+/// signature the partitioner computes for each shard's slice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    pub operand: OperandId,
+    /// Plan-visible region signature (hash of the shard sub-range along
+    /// the dimensions the operand's accesses depend on).
+    pub region: u64,
+}
+
+impl BlockKey {
+    pub fn new(operand: OperandId, region: u64) -> BlockKey {
+        BlockKey { operand, region }
+    }
+}
+
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Explicit operand versions, keyed by buffer name. Bumping a name
+/// invalidates every resident block derived from that operand, on every
+/// device, without touching the pools: the version is part of the key, so
+/// stale blocks simply stop being addressable and age out via LRU.
+#[derive(Debug, Default)]
+pub struct VersionTable {
+    versions: Mutex<HashMap<String, u64>>,
+}
+
+impl VersionTable {
+    pub fn new() -> VersionTable {
+        VersionTable::default()
+    }
+
+    /// Current version of `name` (0 until first bump).
+    pub fn version_of(&self, name: &str) -> u64 {
+        plock(&self.versions).get(name).copied().unwrap_or(0)
+    }
+
+    /// Declare `name` host-mutated; returns the new version. Every
+    /// subsequent [`BlockKey`] for this operand misses until re-upload.
+    pub fn bump(&self, name: &str) -> u64 {
+        let mut v = plock(&self.versions);
+        let slot = v.entry(name.to_string()).or_insert(0);
+        *slot += 1;
+        *slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdh_core::shape::Shape;
+    use mdh_core::types::BasicType;
+
+    fn filled(name: &str, n: usize, salt: usize) -> Buffer {
+        let mut b = Buffer::zeros(name, BasicType::F32, Shape::new(vec![n]));
+        b.fill_with(move |i| ((i.wrapping_add(salt).wrapping_mul(2654435761)) % 97) as f64);
+        b
+    }
+
+    #[test]
+    fn identical_buffers_agree() {
+        let a = filled("w", 10_000, 3);
+        let b = filled("w", 10_000, 3);
+        assert_eq!(fingerprint_buffer(&a), fingerprint_buffer(&b));
+    }
+
+    #[test]
+    fn content_name_and_shape_all_matter() {
+        let base = filled("w", 4096, 1);
+        assert_ne!(
+            fingerprint_buffer(&base),
+            fingerprint_buffer(&filled("w", 4096, 2)),
+            "different fill"
+        );
+        assert_ne!(
+            fingerprint_buffer(&base),
+            fingerprint_buffer(&filled("v", 4096, 1)),
+            "different name"
+        );
+        assert_ne!(
+            fingerprint_buffer(&base),
+            fingerprint_buffer(&filled("w", 4097, 1)),
+            "different length"
+        );
+        let mut reshaped = filled("w", 4096, 1);
+        reshaped.shape = Shape::new(vec![64, 64]);
+        assert_ne!(
+            fingerprint_buffer(&base),
+            fingerprint_buffer(&reshaped),
+            "different shape, same bytes"
+        );
+    }
+
+    #[test]
+    fn endpoint_mutations_are_always_visible() {
+        // first and last elements are always sampled, whatever the size
+        for n in [1usize, 2, 100, 100_000] {
+            let base = filled("w", n, 5);
+            let mut head = base.clone();
+            head.set_flat(0, &mdh_core::types::Value::F64(1234.5))
+                .unwrap();
+            assert_ne!(fingerprint_buffer(&base), fingerprint_buffer(&head));
+            let mut tail = base.clone();
+            tail.set_flat(n - 1, &mdh_core::types::Value::F64(-77.0))
+                .unwrap();
+            assert_ne!(fingerprint_buffer(&base), fingerprint_buffer(&tail));
+        }
+    }
+
+    #[test]
+    fn sample_positions_are_bounded_and_cover_endpoints() {
+        for n in [1usize, 7, 128, 129, 1 << 20] {
+            let pos: Vec<usize> = sample_positions(n).collect();
+            assert!(pos.len() <= FINGERPRINT_SAMPLES);
+            assert_eq!(pos[0], 0);
+            assert_eq!(*pos.last().unwrap(), n - 1);
+            assert!(pos.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        }
+    }
+
+    #[test]
+    fn version_table_bumps_invalidate_keys() {
+        let table = VersionTable::new();
+        assert_eq!(table.version_of("weights"), 0);
+        let fp = fingerprint_buffer(&filled("weights", 64, 1));
+        let before = BlockKey::new(OperandId::new(fp, table.version_of("weights")), 42);
+        assert_eq!(table.bump("weights"), 1);
+        assert_eq!(table.bump("weights"), 2);
+        let after = BlockKey::new(OperandId::new(fp, table.version_of("weights")), 42);
+        assert_ne!(before, after, "bump must change the residency key");
+        assert_eq!(table.version_of("other"), 0, "names are independent");
+    }
+}

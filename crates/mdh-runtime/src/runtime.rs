@@ -42,6 +42,7 @@ use mdh_dist::{DevicePool, DistExecutor, FaultPlan};
 use mdh_lowering::asm::DeviceKind;
 use mdh_lowering::heuristics::mdh_default_schedule;
 use mdh_lowering::plan::ExecutionPlan;
+use mdh_mem::MemPool;
 use mdh_tuner::TuningCache;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -98,6 +99,13 @@ pub struct RuntimeConfig {
     /// (`devices > 1` only). The runtime keeps serving through crashes:
     /// evicted devices shrink the pool and requests degrade gracefully.
     pub faults: Option<FaultPlan>,
+    /// Per-device residency budget for the `mdh-mem` buffer pool
+    /// (`devices > 1` only). Shard inputs already resident on their
+    /// device skip H2D; misses are double-buffered so the upload
+    /// overlaps compute. `0` disables the pool (every launch pays full
+    /// transfer, matching the pre-pool time model). Results are
+    /// bit-identical either way — residency only affects timing.
+    pub mem_budget_bytes: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -120,6 +128,7 @@ impl Default for RuntimeConfig {
             tuning_cache_path: None,
             devices: 1,
             faults: None,
+            mem_budget_bytes: 2 << 30,
         }
     }
 }
@@ -341,6 +350,9 @@ struct Shared {
     sim: GpuSim,
     /// Multi-device pool serving GPU requests when `config.devices > 1`.
     dist: Option<DistExecutor>,
+    /// Device-resident buffer pool shared with `dist` (None when the
+    /// pool is disabled or single-device).
+    mem: Option<Arc<MemPool>>,
     tune_tx: Mutex<Option<mpsc::Sender<TuneJob>>>,
     tunes_in_flight: Mutex<HashSet<PlanKey>>,
 }
@@ -363,14 +375,26 @@ impl Runtime {
         let exec = CpuExecutor::new(config.exec_threads.max(1))?;
         let pool = exec.pool().clone();
         let sim = GpuSim::a100_with_pool(&pool, config.exec_threads.max(1));
+        let mem = if config.devices > 1 && config.mem_budget_bytes > 0 {
+            Some(Arc::new(MemPool::new(
+                config.devices,
+                config.mem_budget_bytes,
+            )))
+        } else {
+            None
+        };
         let dist = if config.devices > 1 {
             let faults = config.faults.clone().unwrap_or_else(FaultPlan::none);
-            Some(DistExecutor::with_faults_policy_and_pool(
+            let mut d = DistExecutor::with_faults_policy_and_pool(
                 DevicePool::gpus(config.devices),
                 faults,
                 mdh_dist::fault::RetryPolicy::default(),
                 &pool,
-            )?)
+            )?;
+            if let Some(m) = &mem {
+                d = d.with_mem(Arc::clone(m));
+            }
+            Some(d)
         } else {
             None
         };
@@ -390,6 +414,7 @@ impl Runtime {
             exec,
             sim,
             dist,
+            mem,
             tune_tx: Mutex::new(Some(tune_tx)),
             tunes_in_flight: Mutex::new(HashSet::new()),
             config,
@@ -547,6 +572,12 @@ impl Runtime {
             .as_ref()
             .map(|d| d.fault_stats())
             .unwrap_or_default();
+        let mem = self
+            .shared
+            .mem
+            .as_ref()
+            .map(|m| m.stats())
+            .unwrap_or_default();
         RuntimeStats {
             plan_hits: plans.hits(),
             plan_misses: plans.misses(),
@@ -590,7 +621,31 @@ impl Runtime {
             draining_rejects: c.draining_rejects,
             grad_requests: c.grad_requests,
             rbi_requests: c.rbi_requests,
+            mem_hits: mem.hits,
+            mem_misses: mem.misses,
+            mem_evictions: mem.evictions,
+            mem_bytes_resident: mem.bytes_resident,
+            mem_bytes_avoided: mem.bytes_avoided,
         }
+    }
+
+    /// Handle to the device-resident buffer pool, when one is active
+    /// (`devices > 1` and `mem_budget_bytes > 0`).
+    pub fn mem_pool(&self) -> Option<&Arc<MemPool>> {
+        self.shared.mem.as_ref()
+    }
+
+    /// Declare that the host contents of the named buffer changed.
+    /// Device-resident copies keyed under the old version stop matching,
+    /// so the next launch re-uploads instead of reusing stale bytes.
+    /// Returns the new version (0 when no pool is active — without a
+    /// pool nothing is cached, so there is nothing to invalidate).
+    pub fn bump_operand_version(&self, name: &str) -> u64 {
+        self.shared
+            .mem
+            .as_ref()
+            .map(|m| m.bump_version(name))
+            .unwrap_or(0)
     }
 
     /// Worker threads still alive. Equals `config.workers` unless a panic

@@ -177,6 +177,18 @@ pub struct RuntimeStats {
     /// Accepted requests whose program contains an indexed reduction
     /// (`rbi`): histogram-style apps and AD-emitted scatter adjoints.
     pub rbi_requests: u64,
+    /// Memory-pool residency hits — pool launches that skipped an operand
+    /// upload because the device already held the current bytes (monotone;
+    /// `devices > 1` with a nonzero `mem_budget_bytes` only).
+    pub mem_hits: u64,
+    /// Memory-pool residency misses — operand blocks uploaded (monotone).
+    pub mem_misses: u64,
+    /// Resident blocks evicted under capacity pressure (monotone).
+    pub mem_evictions: u64,
+    /// Bytes currently resident across every device of the pool (gauge).
+    pub mem_bytes_resident: u64,
+    /// Upload bytes skipped thanks to residency (monotone).
+    pub mem_bytes_avoided: u64,
 }
 
 impl RuntimeStats {
@@ -291,8 +303,30 @@ impl RuntimeStats {
         );
         field(&mut s, "grad_requests", self.grad_requests.to_string());
         field(&mut s, "rbi_requests", self.rbi_requests.to_string());
+        field(&mut s, "mem_hits", self.mem_hits.to_string());
+        field(&mut s, "mem_misses", self.mem_misses.to_string());
+        field(&mut s, "mem_evictions", self.mem_evictions.to_string());
+        field(
+            &mut s,
+            "mem_bytes_resident",
+            self.mem_bytes_resident.to_string(),
+        );
+        field(
+            &mut s,
+            "mem_bytes_avoided",
+            self.mem_bytes_avoided.to_string(),
+        );
         s.push('}');
         s
+    }
+
+    /// Whether the memory pool has seen any traffic (or holds any bytes).
+    pub fn has_mem(&self) -> bool {
+        self.mem_hits > 0
+            || self.mem_misses > 0
+            || self.mem_evictions > 0
+            || self.mem_bytes_resident > 0
+            || self.mem_bytes_avoided > 0
     }
 
     /// Whether any serving-edge protection (shedding, deadlines, panic
@@ -358,6 +392,17 @@ impl std::fmt::Display for RuntimeStats {
                 f,
                 "; training: grad-requests={} rbi-requests={}",
                 self.grad_requests, self.rbi_requests
+            )?;
+        }
+        if self.has_mem() {
+            write!(
+                f,
+                "; mem: hits={} misses={} evictions={} resident={}B avoided={}B",
+                self.mem_hits,
+                self.mem_misses,
+                self.mem_evictions,
+                self.mem_bytes_resident,
+                self.mem_bytes_avoided
             )?;
         }
         if self.has_edge_events() {
@@ -477,6 +522,115 @@ mod tests {
                  breaker-trips=1 breaker-fast-fails=9 draining-rejects=2"
             ),
             "{line}"
+        );
+    }
+
+    #[test]
+    fn display_includes_mem_counters_only_when_nonzero() {
+        let mut s = RuntimeStats::default();
+        assert!(!s.has_mem());
+        assert!(!s.to_string().contains("mem:"));
+        s.mem_hits = 96;
+        s.mem_misses = 8;
+        s.mem_evictions = 2;
+        s.mem_bytes_resident = 4096;
+        s.mem_bytes_avoided = 1 << 20;
+        assert!(s.has_mem());
+        let line = s.to_string();
+        assert!(
+            line.contains("mem: hits=96 misses=8 evictions=2 resident=4096B avoided=1048576B"),
+            "{line}"
+        );
+    }
+
+    /// Top-level keys of a one-line JSON object, in order. Tracks brace
+    /// depth so nested objects (device_dispatches) don't leak labels in.
+    fn top_level_keys(json: &str) -> Vec<String> {
+        let mut keys = Vec::new();
+        let mut depth = 0i32;
+        let mut chars = json.char_indices().peekable();
+        let mut expecting_key = false;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    expecting_key = depth == 1;
+                }
+                '}' => depth -= 1,
+                ',' if depth == 1 => expecting_key = true,
+                '"' if depth == 1 && expecting_key => {
+                    let rest = &json[i + 1..];
+                    let end = rest.find('"').expect("closing quote");
+                    keys.push(rest[..end].to_string());
+                    expecting_key = false;
+                    for _ in 0..end + 1 {
+                        chars.next();
+                    }
+                }
+                _ => {}
+            }
+        }
+        keys
+    }
+
+    #[test]
+    fn json_schema_is_stable_between_idle_and_busy_snapshots() {
+        // the regression this guards: counters must NOT disappear from the
+        // JSON form when zero — machine consumers key on a fixed schema
+        let idle = RuntimeStats::default();
+        let busy = RuntimeStats {
+            plan_hits: 10,
+            plan_misses: 2,
+            plan_evictions: 1,
+            plan_swaps: 1,
+            plans_resident: 4,
+            completed: 12,
+            batches: 6,
+            max_batch: 3,
+            tunes_done: 2,
+            latency_p50_ms: 0.4,
+            latency_p99_ms: 1.9,
+            latency_mean_ms: 0.6,
+            exec_p50_us: 55.0,
+            exec_p99_us: 410.0,
+            exec_samples: 12,
+            device_dispatches: vec![("gpu0".into(), 9), ("gpu1".into(), 3)],
+            fault_retries: 1,
+            device_evictions: 1,
+            repartitions: 1,
+            degraded_requests: 2,
+            shed_requests: 3,
+            deadline_exceeded: 1,
+            worker_panics: 1,
+            breaker_trips: 1,
+            breaker_fast_fails: 2,
+            draining_rejects: 1,
+            grad_requests: 2,
+            rbi_requests: 1,
+            mem_hits: 96,
+            mem_misses: 8,
+            mem_evictions: 2,
+            mem_bytes_resident: 4096,
+            mem_bytes_avoided: 1 << 20,
+        };
+        let idle_keys = top_level_keys(&idle.to_json());
+        let busy_keys = top_level_keys(&busy.to_json());
+        assert_eq!(
+            idle_keys, busy_keys,
+            "JSON key set must not depend on which counters are nonzero"
+        );
+        for k in [
+            "mem_hits",
+            "mem_misses",
+            "mem_evictions",
+            "mem_bytes_resident",
+            "mem_bytes_avoided",
+        ] {
+            assert!(idle_keys.iter().any(|x| x == k), "missing {k}");
+        }
+        assert!(
+            !idle_keys.iter().any(|k| k == "gpu0"),
+            "nested labels are not top-level keys"
         );
     }
 

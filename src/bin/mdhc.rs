@@ -8,6 +8,7 @@
 //! mdhc explain  <file> [-D ...] [--device gpu|cpu] what the lowering does
 //! mdhc serve    <socket> [--threads N] [--workers N] [--batch N] [--budget N]
 //!               [--cache FILE] [--devices N] [--faults SPEC]
+//!               [--mem-budget BYTES[k|m|g]]
 //!               [--max-queue-depth N] [--max-connections N]
 //!                                                  persistent execution service
 //!                                                  (--devices N > 1 partitions GPU
@@ -16,6 +17,9 @@
 //!                                                  chaos schedule, e.g.
 //!                                                  "crash=1@3,transient=2@1x2,
 //!                                                  rate=25,seed=42";
+//!                                                  --mem-budget caps the per-device
+//!                                                  resident buffer pool — repeated
+//!                                                  operands skip H2D; 0 disables;
 //!                                                  --max-queue-depth bounds the
 //!                                                  request queue — beyond it,
 //!                                                  submissions shed with a
@@ -59,8 +63,8 @@ fn usage() -> ! {
         "usage: mdhc <compile|run|estimate|tune|explain|serve|submit|stats> <file|socket> \
          [-D NAME=VAL]... [--device gpu|cpu] [--threads N] [--budget N] [--cache FILE] \
          [--workers N] [--batch N] [--socket PATH] [--count N] [--devices N] \
-         [--faults SPEC] [--max-queue-depth N] [--max-connections N] [--deadline-ms N] \
-         [--grad] [--json]"
+         [--faults SPEC] [--mem-budget BYTES[k|m|g]] [--max-queue-depth N] \
+         [--max-connections N] [--deadline-ms N] [--grad] [--json]"
     );
     exit(2);
 }
@@ -80,6 +84,7 @@ struct Cli {
     count: usize,
     devices: usize,
     faults: Option<mdh::dist::FaultPlan>,
+    mem_budget: Option<u64>,
     max_queue_depth: usize,
     max_connections: usize,
     deadline_ms: Option<u64>,
@@ -108,6 +113,7 @@ fn parse_cli() -> Cli {
     let mut count = 1;
     let mut devices = 1;
     let mut faults = None;
+    let mut mem_budget = None;
     let defaults = RuntimeConfig::default();
     let mut max_queue_depth = defaults.max_queue_depth;
     let mut max_connections = defaults.max_connections;
@@ -200,6 +206,17 @@ fn parse_cli() -> Cli {
                 }
                 i += 2;
             }
+            "--mem-budget" => {
+                let spec = args.get(i + 1).unwrap_or_else(|| usage());
+                match parse_bytes(spec) {
+                    Some(b) => mem_budget = Some(b),
+                    None => {
+                        eprintln!("bad --mem-budget '{spec}' (expected BYTES with optional k/m/g suffix, 0 disables)");
+                        exit(2);
+                    }
+                }
+                i += 2;
+            }
             "--max-queue-depth" => {
                 max_queue_depth = args
                     .get(i + 1)
@@ -251,6 +268,7 @@ fn parse_cli() -> Cli {
         count,
         devices,
         faults,
+        mem_budget,
         max_queue_depth,
         max_connections,
         deadline_ms,
@@ -353,6 +371,30 @@ fn generate_inputs(prog: &DslProgram) -> Vec<Buffer> {
         .collect()
 }
 
+fn format_bytes(b: u64) -> String {
+    if b >= 1 << 30 && b.is_multiple_of(1 << 30) {
+        format!("{}GiB", b >> 30)
+    } else if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
+        format!("{}MiB", b >> 20)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Byte count with optional k/m/g (KiB/MiB/GiB) suffix: `512m`, `2g`, `0`.
+fn parse_bytes(spec: &str) -> Option<u64> {
+    let s = spec.trim().to_ascii_lowercase();
+    let (digits, shift) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => match s.as_bytes()[s.len() - 1] {
+            b'k' => (d, 10),
+            b'm' => (d, 20),
+            _ => (d, 30),
+        },
+        None => (s.as_str(), 0),
+    };
+    digits.parse::<u64>().ok()?.checked_shl(shift)
+}
+
 fn checksum(buf: &Buffer) -> f64 {
     match &buf.ty {
         BasicType::Scalar(_) => (0..buf.len())
@@ -376,10 +418,20 @@ fn cmd_serve(cli: &Cli) {
         tuning_cache_path: cli.cache.clone(),
         devices: cli.devices.max(1),
         faults: cli.faults.clone(),
+        mem_budget_bytes: cli
+            .mem_budget
+            .unwrap_or(RuntimeConfig::default().mem_budget_bytes),
         max_queue_depth: cli.max_queue_depth.max(1),
         max_connections: cli.max_connections.max(1),
         ..RuntimeConfig::default()
     };
+    if config.devices > 1 && config.mem_budget_bytes > 0 {
+        println!(
+            "mem pool: {} per device across {} devices",
+            format_bytes(config.mem_budget_bytes),
+            config.devices
+        );
+    }
     if let Some(plan) = &cli.faults {
         if cli.devices <= 1 {
             eprintln!("--faults requires --devices N > 1 (faults are injected into pool launches)");

@@ -11,6 +11,7 @@ pub use mdh_core as core;
 pub use mdh_directive as directive;
 pub use mdh_dist as dist;
 pub use mdh_lowering as lowering;
+pub use mdh_mem as mem;
 pub use mdh_runtime as runtime;
 pub use mdh_tuner as tuner;
 
