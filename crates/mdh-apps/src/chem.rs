@@ -124,7 +124,7 @@ mod tests {
     fn ccsdt_parallel_run_matches_reference() {
         let app = ccsdt(Scale::Small, 1).unwrap();
         let exec = CpuExecutor::new(4).unwrap();
-        assert_eq!(exec.path_for(&app.program), ExecPath::Contraction);
+        assert_eq!(exec.path_for(&app.program), ExecPath::Fast);
         let expect = evaluate_recursive(&app.program, &app.inputs).unwrap();
         let s = mdh_default_schedule(&app.program, DeviceKind::Cpu, 4);
         let got = exec.run(&app.program, &s, &app.inputs).unwrap();

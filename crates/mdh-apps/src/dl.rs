@@ -231,7 +231,7 @@ mod tests {
     fn mcc_caps_small_runs_and_matches_reference() {
         let app = mcc_caps(Scale::Small, 2).unwrap();
         let exec = CpuExecutor::new(4).unwrap();
-        assert_eq!(exec.path_for(&app.program), ExecPath::Contraction);
+        assert_eq!(exec.path_for(&app.program), ExecPath::Fast);
         let expect = evaluate_recursive(&app.program, &app.inputs).unwrap();
         let s = mdh_default_schedule(&app.program, DeviceKind::Cpu, 4);
         let got = exec.run(&app.program, &s, &app.inputs).unwrap();

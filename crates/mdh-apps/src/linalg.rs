@@ -266,12 +266,7 @@ mod tests {
             matmul_t(Scale::Small, 1).unwrap(),
             bmatmul(Scale::Small, 1).unwrap(),
         ] {
-            assert_eq!(
-                exec.path_for(&app.program),
-                ExecPath::Contraction,
-                "{}",
-                app.name
-            );
+            assert_eq!(exec.path_for(&app.program), ExecPath::Fast, "{}", app.name);
         }
     }
 

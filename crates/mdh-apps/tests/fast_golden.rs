@@ -1,0 +1,120 @@
+//! Golden-hash registry coverage over the Fig. 3 studies.
+//!
+//! Every study runs twice — once through the fast-path registry (Auto)
+//! and once with the registry force-disabled (ForceVm) — and the two
+//! output hashes must be identical, bit for bit. The test also records
+//! *which* studies compile a fast kernel and pins that set: if a future
+//! change silently drops a study off the fast path (or silently adds
+//! one), the expectation table here fails loudly instead of the
+//! regression hiding inside a benchmark delta.
+
+use mdh_apps::{instantiate, Scale, FIG3_STUDIES};
+use mdh_backend::fast;
+use mdh_backend::{CpuExecutor, ExecPath, FastMode};
+use mdh_core::buffer::{Buffer, BufferData, Column};
+use mdh_lowering::{mdh_default_schedule, DeviceKind};
+
+/// FNV-1a over the raw output bits, mirroring `exec_throughput`'s
+/// output hashing so divergence here matches divergence in the bench.
+fn fnv1a(bufs: &[Buffer]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    let column = |c: &Column, eat: &mut dyn FnMut(&[u8])| match c {
+        Column::F32(v) => v.iter().for_each(|x| eat(&x.to_bits().to_le_bytes())),
+        Column::F64(v) => v.iter().for_each(|x| eat(&x.to_bits().to_le_bytes())),
+        Column::I32(v) => v.iter().for_each(|x| eat(&x.to_le_bytes())),
+        Column::I64(v) => v.iter().for_each(|x| eat(&x.to_le_bytes())),
+        Column::Bool(v) => v.iter().for_each(|x| eat(&[*x as u8])),
+        Column::Char(v) => eat(v),
+    };
+    for b in bufs {
+        match &b.data {
+            BufferData::F32(v) => v.iter().for_each(|x| eat(&x.to_bits().to_le_bytes())),
+            BufferData::F64(v) => v.iter().for_each(|x| eat(&x.to_bits().to_le_bytes())),
+            BufferData::I32(v) => v.iter().for_each(|x| eat(&x.to_le_bytes())),
+            BufferData::I64(v) => v.iter().for_each(|x| eat(&x.to_le_bytes())),
+            BufferData::Bool(v) => v.iter().for_each(|x| eat(&[*x as u8])),
+            BufferData::Char(v) => eat(v),
+            BufferData::Record(r) => r.columns.iter().for_each(|c| column(c, &mut eat)),
+        }
+    }
+    h
+}
+
+/// Studies expected to compile a fast kernel at Small scale. PRL is the
+/// lone exception: its record-tuple custom combine is outside the
+/// `cc`/`pw(add)` subset the fast path admits.
+fn expect_fast(name: &str) -> bool {
+    name != "PRL"
+}
+
+#[test]
+fn fig3_fast_path_hashes_match_vm_and_coverage_is_pinned() {
+    let auto = CpuExecutor::new(4).unwrap();
+    let vm = CpuExecutor::new(4)
+        .unwrap()
+        .with_fast_mode(FastMode::ForceVm);
+    assert_eq!(auto.fast_mode(), FastMode::Auto);
+    assert_eq!(vm.fast_mode(), FastMode::ForceVm);
+
+    let mut seen = Vec::new();
+    for &id in FIG3_STUDIES {
+        let app = instantiate(id, Scale::Small).unwrap();
+        let path = auto.path_for(&app.program);
+        if expect_fast(&app.name) {
+            assert_eq!(
+                path,
+                ExecPath::Fast,
+                "{} no.{} silently fell off the fast path",
+                app.name,
+                app.input_no
+            );
+        } else {
+            assert_ne!(
+                path,
+                ExecPath::Fast,
+                "{} no.{} unexpectedly joined the fast path — update the table",
+                app.name,
+                app.input_no
+            );
+            let reason = fast::classify(&app.program).unwrap_err();
+            assert!(!reason.is_empty(), "{}: empty fallback reason", app.name);
+        }
+
+        let schedule = mdh_default_schedule(&app.program, DeviceKind::Cpu, 4);
+        let (hits0, _) = fast::registry().counters();
+        let fast_out = auto.run(&app.program, &schedule, &app.inputs).unwrap();
+        let (hits1, _) = fast::registry().counters();
+        if path == ExecPath::Fast {
+            assert!(
+                hits1 > hits0,
+                "{} routed Fast but recorded no kernel hit",
+                app.name
+            );
+        }
+        let vm_out = vm.run(&app.program, &schedule, &app.inputs).unwrap();
+        let fh = fnv1a(&fast_out);
+        let vh = fnv1a(&vm_out);
+        assert_eq!(
+            fh, vh,
+            "{} no.{}: fast hash {fh:#018x} != vm hash {vh:#018x}",
+            app.name, app.input_no
+        );
+        seen.push((app.name.clone(), path == ExecPath::Fast));
+    }
+
+    // every unique study appears, and the fast set is exactly the table
+    let fast_names: Vec<&str> = seen
+        .iter()
+        .filter(|(_, f)| *f)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    assert!(fast_names.contains(&"MatMul"));
+    assert!(fast_names.contains(&"Dot"));
+    assert!(!fast_names.contains(&"PRL"));
+}

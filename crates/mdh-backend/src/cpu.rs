@@ -12,6 +12,7 @@
 //! with `mdh_core::eval::evaluate_recursive` up to floating-point
 //! reassociation.
 
+use crate::fast;
 use crate::kernels::{f32_inputs, linearize_for, Contraction, MapKernel, PartialF32, SyncSlice};
 use crate::vm_exec;
 use mdh_core::buffer::Buffer;
@@ -28,11 +29,26 @@ use std::time::{Duration, Instant};
 /// Which execution path ran (exposed for tests and reports).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecPath {
+    /// Registry-compiled tiled/vectorized kernel (bit-identical to Vm).
+    Fast,
     Contraction,
     Map,
     Vm,
     Scatter,
     Reference,
+}
+
+/// Fast-path routing policy (per executor, default [`FastMode::Auto`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FastMode {
+    /// Route eligible programs through the fast-kernel registry.
+    #[default]
+    Auto,
+    /// Never consult the registry; use the pre-registry path order.
+    Disabled,
+    /// Route everything VM-applicable to `vm_exec` (differential
+    /// baseline for the fast path — same plan, same bits expected).
+    ForceVm,
 }
 
 /// A thread-pooled CPU executor.
@@ -45,6 +61,7 @@ pub enum ExecPath {
 pub struct CpuExecutor {
     pool: rayon::ThreadPool,
     pub threads: usize,
+    fast_mode: FastMode,
 }
 
 /// Plans covering at most this many iteration-space points run with the
@@ -69,7 +86,11 @@ impl CpuExecutor {
             .num_threads(threads)
             .build()
             .map_err(|e| MdhError::Validation(format!("thread pool: {e}")))?;
-        Ok(CpuExecutor { pool, threads })
+        Ok(CpuExecutor {
+            pool,
+            threads,
+            fast_mode: FastMode::Auto,
+        })
     }
 
     /// Build an executor sharing an existing pool's OS threads, with its
@@ -77,7 +98,22 @@ impl CpuExecutor {
     pub fn with_pool(pool: &rayon::ThreadPool, threads: usize) -> CpuExecutor {
         let pool = pool.with_width(threads);
         let threads = pool.current_num_threads();
-        CpuExecutor { pool, threads }
+        CpuExecutor {
+            pool,
+            threads,
+            fast_mode: FastMode::Auto,
+        }
+    }
+
+    /// Set the fast-path routing policy (builder style).
+    pub fn with_fast_mode(mut self, mode: FastMode) -> CpuExecutor {
+        self.fast_mode = mode;
+        self
+    }
+
+    /// The executor's fast-path routing policy.
+    pub fn fast_mode(&self) -> FastMode {
+        self.fast_mode
     }
 
     /// The executor's pool handle (share it via
@@ -108,8 +144,27 @@ impl CpuExecutor {
     /// Which path `run` would take for this program.
     pub fn path_for(&self, prog: &DslProgram) -> ExecPath {
         if prog.md_hom.has_rbi() {
-            ExecPath::Scatter
-        } else if Contraction::try_build(prog).is_some() {
+            return ExecPath::Scatter;
+        }
+        match self.fast_mode {
+            FastMode::Auto => {
+                if fast::classify(prog).is_ok() {
+                    return ExecPath::Fast;
+                }
+            }
+            FastMode::ForceVm => {
+                if vm_exec::vm_applicable(prog) {
+                    return ExecPath::Vm;
+                }
+            }
+            FastMode::Disabled => {}
+        }
+        self.slow_path_for(prog)
+    }
+
+    /// The pre-registry path order — what a fast-path miss falls back to.
+    fn slow_path_for(&self, prog: &DslProgram) -> ExecPath {
+        if Contraction::try_build(prog).is_some() {
             ExecPath::Contraction
         } else if MapKernel::try_build(prog).is_some() {
             ExecPath::Map
@@ -145,7 +200,35 @@ impl CpuExecutor {
         inputs: &[Buffer],
     ) -> Result<Vec<Buffer>> {
         eval::check_inputs(prog, inputs)?;
-        match self.path_for(prog) {
+        let path = self.path_for(prog);
+        // in Auto mode every non-rbi run either hits a kernel or counts
+        // as a fallback, so hits/(hits+fallbacks) is fast-path coverage
+        if self.fast_mode == FastMode::Auto && path != ExecPath::Fast && !prog.md_hom.has_rbi() {
+            fast::registry().record_fallback();
+        }
+        self.run_on_path(path, prog, schedule, plan, inputs)
+    }
+
+    fn run_on_path(
+        &self,
+        path: ExecPath,
+        prog: &DslProgram,
+        schedule: &Schedule,
+        plan: &ExecutionPlan,
+        inputs: &[Buffer],
+    ) -> Result<Vec<Buffer>> {
+        match path {
+            ExecPath::Fast => {
+                if let Ok(kernel) = fast::registry().lookup_or_compile(prog, plan) {
+                    if let Some(outs) = kernel.run(prog, plan, inputs, &self.pool_for(plan))? {
+                        fast::registry().record_hit();
+                        return Ok(outs);
+                    }
+                }
+                // dynamic bail: transparent per-run fallback
+                fast::registry().record_fallback();
+                self.run_on_path(self.slow_path_for(prog), prog, schedule, plan, inputs)
+            }
             ExecPath::Contraction => {
                 let c = Contraction::try_build(prog).unwrap();
                 self.run_contraction(&c, prog, plan, inputs, &schedule.inner_tiles)
@@ -375,7 +458,8 @@ mod tests {
         let prog = matmul_prog(i, j, k);
         let inputs = matmul_inputs(i, j, k);
         let ex = exec();
-        assert_eq!(ex.path_for(&prog), ExecPath::Contraction);
+        assert_eq!(ex.path_for(&prog), ExecPath::Fast);
+        assert_eq!(ex.slow_path_for(&prog), ExecPath::Contraction);
         let expect = eval::evaluate_recursive(&prog, &inputs).unwrap();
         // several schedules, with and without split reductions
         for (par, tree) in [
@@ -475,7 +559,8 @@ mod tests {
         x.fill_with(|f| ((f * 31) % 11) as f64);
         let inputs = vec![x];
         let ex = exec();
-        assert_eq!(ex.path_for(&prog), ExecPath::Map);
+        assert_eq!(ex.path_for(&prog), ExecPath::Fast);
+        assert_eq!(ex.slow_path_for(&prog), ExecPath::Map);
         let expect = eval::evaluate_recursive(&prog, &inputs).unwrap();
         let mut s = Schedule::sequential(1, DeviceKind::Cpu);
         s.par_chunks = vec![4];

@@ -1,0 +1,126 @@
+//! Vectorized weighted-sum map kernel (stencils), bit-identical to the VM.
+//!
+//! Map programs have no reduction: every output point is an independent
+//! left-nested weighted sum of its inputs. The VM evaluates that sum in
+//! f64 (f32 loads widened exactly, f32 literals widened exactly) and
+//! rounds once at the store; this kernel performs the identical chain per
+//! point, eight points at a time along the innermost dimension through a
+//! [`Line`]. Because points are independent, chunking and parallel task
+//! order cannot change bits — the only ordering that matters is the
+//! per-point term fold, which [`strict_weighted_sum`] pinned to the VM's.
+//!
+//! [`strict_weighted_sum`]: crate::fast::pattern::strict_weighted_sum
+
+use crate::fast::contraction::advance;
+use crate::fast::line::{Line, LANES};
+use crate::kernels::{f32_inputs, linearize_for, SyncSlice};
+use crate::offsets::LinearAccess;
+use mdh_core::buffer::Buffer;
+use mdh_core::dsl::DslProgram;
+use mdh_core::error::{MdhError, Result};
+use mdh_core::eval;
+use mdh_core::shape::MdRange;
+use mdh_lowering::plan::ExecutionPlan;
+use rayon::prelude::*;
+
+/// A compiled map kernel: `out[..] = Σ_t w_t * x_{slot_t}[..]`, terms in
+/// the scalar function's fold order.
+#[derive(Debug, Clone)]
+pub struct FastMap {
+    /// `(input access slot, weight)` per term, in fold order.
+    pub(crate) terms: Vec<(usize, f64)>,
+}
+
+impl FastMap {
+    /// Execute on a plan. Map plans never split a reduction, and
+    /// classify() proved the output access injective, so tasks write
+    /// disjoint regions directly into the shared output.
+    pub fn run(
+        &self,
+        prog: &DslProgram,
+        plan: &ExecutionPlan,
+        inputs: &[Buffer],
+        pool: &rayon::ThreadPool,
+    ) -> Result<Option<Vec<Buffer>>> {
+        let mut outputs = eval::alloc_outputs(prog)?;
+        let (in_acc, out_acc) = linearize_for(prog, inputs, &outputs)?;
+        let ins = f32_inputs(prog, inputs)?;
+        debug_assert!(plan.split_dims.is_empty());
+        let out_buf = prog.out_view.accesses[0].buffer;
+        {
+            let out = outputs[out_buf]
+                .as_f32_mut()
+                .ok_or_else(|| MdhError::Type("fast map output must be f32".into()))?;
+            let shared = SyncSlice::new(out);
+            pool.install(|| {
+                plan.tasks
+                    .par_iter()
+                    .for_each(|t| self.run_task(&ins, &in_acc, &out_acc[0], &t.range, &shared));
+            });
+        }
+        Ok(Some(outputs))
+    }
+
+    fn run_task(
+        &self,
+        ins: &[&[f32]],
+        in_acc: &[LinearAccess],
+        oacc: &LinearAccess,
+        range: &MdRange,
+        out: &SyncSlice,
+    ) {
+        if range.is_empty() {
+            return;
+        }
+        let rank = range.rank();
+        let last = rank - 1;
+        let n_last = range.extent(last);
+        let outer: Vec<usize> = (0..last).collect();
+        let isteps: Vec<i64> = self
+            .terms
+            .iter()
+            .map(|&(s, _)| in_acc[s].coeffs[last])
+            .collect();
+        let ostep = oacc.coeffs[last];
+        let mut idx = range.lo.clone();
+        loop {
+            idx[last] = range.lo[last];
+            let ibase: Vec<i64> = self
+                .terms
+                .iter()
+                .map(|&(s, _)| in_acc[s].offset(&idx))
+                .collect();
+            let obase = oacc.offset(&idx);
+            let mut done = 0usize;
+            while done < n_last {
+                let ln = (n_last - done).min(LANES);
+                let mut acc = Line::zero();
+                for (t, &(slot, w)) in self.terms.iter().enumerate() {
+                    let xs = ins[slot];
+                    let b = ibase[t] + done as i64 * isteps[t];
+                    let st = isteps[t];
+                    if t == 0 {
+                        for l in 0..ln {
+                            acc.0[l] = w * (xs[(b + l as i64 * st) as usize] as f64);
+                        }
+                    } else {
+                        for l in 0..ln {
+                            acc.0[l] += w * (xs[(b + l as i64 * st) as usize] as f64);
+                        }
+                    }
+                }
+                let ob = obase + done as i64 * ostep;
+                for l in 0..ln {
+                    // SAFETY: classify() proved the output access injective
+                    // over the full iteration space, and plan tasks cover
+                    // disjoint index ranges, so no two writes alias.
+                    unsafe { out.write((ob + l as i64 * ostep) as usize, acc.0[l] as f32) };
+                }
+                done += ln;
+            }
+            if !advance(&mut idx, &outer, range) {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Fast-path kernel engine: tiled, vectorized CPU kernels that are
+//! bit-identical to the VM interpreter.
+//!
+//! `vm_exec` defines this backend's reference semantics: a fixed
+//! decomposition into tasks, a fixed strictly-sequential f64 fold per
+//! output point, a fixed group-combine order, one f32 rounding at the
+//! store. The fast path re-implements the *hot* subset of those
+//! semantics as compiled loop nests — cache-blocked via the plan's tile
+//! geometry, vectorized through the 8-lane [`Line`] accumulator — while
+//! reproducing every floating-point operation of the VM in the same
+//! order. [`classify`] is the gate: it admits a program only when the
+//! kernels can honour that contract, and returns a human-readable reason
+//! otherwise (surfaced as `fallback_reason` in benchmarks and stats).
+//!
+//! Eligibility (checked in this order):
+//! - no `rbi` dimension (those own the scatter path),
+//! - a single affine f32 output access, all-affine all-f32 inputs,
+//! - combine ops restricted to `cc` and builtin `pw(add)`,
+//! - a scalar function the strict matchers in [`pattern`] accept:
+//!   a two-factor product (contraction family) or a left-nested
+//!   weighted sum (map family),
+//! - contractions: the output access must not depend on reduced dims;
+//!   maps: the output access must be provably injective.
+//!
+//! Everything else falls back — transparently, per run — to the VM or
+//! the older f32 kernels via `CpuExecutor`.
+
+pub mod line;
+pub mod pattern;
+
+mod contraction;
+mod map;
+mod registry;
+
+pub use contraction::FastContraction;
+pub use map::FastMap;
+pub use registry::{registry, FastRegistry, KernelSig};
+
+use mdh_core::buffer::Buffer;
+use mdh_core::combine::{BuiltinReduce, CombineOp};
+use mdh_core::dsl::DslProgram;
+use mdh_core::error::Result;
+use mdh_core::types::BasicType;
+use mdh_lowering::plan::ExecutionPlan;
+
+/// A compiled fast-path kernel.
+#[derive(Debug, Clone)]
+pub enum FastKernel {
+    Contraction(FastContraction),
+    Map(FastMap),
+}
+
+impl FastKernel {
+    /// Execute on a plan. `Ok(None)` means the kernel declined at
+    /// runtime (dynamic geometry); the caller falls back to the VM.
+    pub fn run(
+        &self,
+        prog: &DslProgram,
+        plan: &ExecutionPlan,
+        inputs: &[Buffer],
+        pool: &rayon::ThreadPool,
+    ) -> Result<Option<Vec<Buffer>>> {
+        match self {
+            FastKernel::Contraction(c) => c.run(prog, plan, inputs, pool),
+            FastKernel::Map(m) => m.run(prog, plan, inputs, pool),
+        }
+    }
+}
+
+/// Decide whether a program is fast-path eligible, and compile it if so.
+/// The `Err` string is the fallback reason.
+pub fn classify(prog: &DslProgram) -> std::result::Result<FastKernel, String> {
+    if prog.md_hom.has_rbi() {
+        return Err("indexed reduction (rbi) runs on the scatter path".into());
+    }
+    if prog.out_view.accesses.len() != 1 {
+        return Err("more than one output access".into());
+    }
+    let out_access = &prog.out_view.accesses[0];
+    if prog.out_view.buffers[out_access.buffer].ty != BasicType::F32 {
+        return Err("output is not f32".into());
+    }
+    if prog.inp_view.buffers.iter().any(|b| b.ty != BasicType::F32) {
+        return Err("non-f32 input buffer".into());
+    }
+    if prog
+        .inp_view
+        .accesses
+        .iter()
+        .any(|a| a.index_fn.as_affine().is_none())
+    {
+        return Err("non-affine input access".into());
+    }
+    let Some(out_exprs) = out_access.index_fn.as_affine() else {
+        return Err("non-affine output access".into());
+    };
+    let mut has_pw = false;
+    for op in &prog.md_hom.combine_ops {
+        match op {
+            CombineOp::Cc => {}
+            CombineOp::Pw(f) => {
+                if f.as_builtin() != Some(BuiltinReduce::Add) {
+                    return Err("reduction is not builtin pw(add)".into());
+                }
+                has_pw = true;
+            }
+            CombineOp::Ps(_) => return Err("prefix scan (ps) needs the VM's scan combine".into()),
+            CombineOp::Rbi(_) => {
+                return Err("indexed reduction (rbi) runs on the scatter path".into())
+            }
+        }
+    }
+    let nacc = prog.inp_view.accesses.len();
+    if has_pw {
+        let Some((f0, f1)) = pattern::strict_product2(&prog.md_hom.sf) else {
+            return Err("scalar function is not a strict two-factor product".into());
+        };
+        if f0 >= nacc || f1 >= nacc {
+            return Err("product factor slot out of range".into());
+        }
+        let collapsed = prog.md_hom.collapsed_dims();
+        for e in out_exprs {
+            for &d in &collapsed {
+                if e.coeffs.get(d).copied().unwrap_or(0) != 0 {
+                    return Err("output access depends on a reduced dimension".into());
+                }
+            }
+        }
+        Ok(FastKernel::Contraction(FastContraction {
+            f0,
+            f1,
+            preserved: prog.md_hom.preserved_dims(),
+            collapsed,
+        }))
+    } else {
+        let Some(terms) = pattern::strict_weighted_sum(&prog.md_hom.sf) else {
+            return Err("scalar function is not a strict weighted sum".into());
+        };
+        if terms.iter().any(|&(s, _)| s >= nacc) {
+            return Err("weighted-sum slot out of range".into());
+        }
+        let full = prog.md_hom.full_range();
+        if out_access.index_fn.is_injective_over(&full, 1 << 14) != Some(true) {
+            return Err("output access not provably injective".into());
+        }
+        Ok(FastKernel::Map(FastMap { terms }))
+    }
+}

@@ -1,0 +1,167 @@
+//! Strict scalar-function pattern matchers for the fast path.
+//!
+//! `kernels.rs` recognises patterns up to reassociation, which is fine for
+//! the f32 `Contraction`/`MapKernel` paths that define their own fold
+//! order. The fast path instead promises *bit identity with the VM*, so
+//! its matchers are deliberately stricter: they accept only expression
+//! shapes whose evaluation the kernel reproduces operation-for-operation
+//! (left-nested additions, literal-times-parameter terms), and reject
+//! anything that would require reassociating floating-point arithmetic.
+
+use mdh_core::expr::{BinOp, Expr, ScalarFunction, Stmt};
+use mdh_core::types::Value;
+
+/// The single-assignment body `res = <expr>` of a one-result function,
+/// or `None` for anything with locals, control flow, or multiple results.
+fn single_assign(sf: &ScalarFunction) -> Option<&Expr> {
+    if sf.results.len() != 1 || sf.body.len() != 1 {
+        return None;
+    }
+    match &sf.body[0] {
+        Stmt::Assign { name, value } if *name == sf.results[0].0 => Some(value),
+        _ => None,
+    }
+}
+
+/// A float literal as the f64 the VM's register bank would hold: f32
+/// literals widen exactly, f64 literals pass through. Non-float literals
+/// are rejected (integer arithmetic has different semantics).
+fn lit_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F32(x) => Some(*x as f64),
+        Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Match `res = p_i * p_j` exactly (the `mul2` shape every contraction
+/// study uses). Returns the two parameter slots in multiplication order.
+pub fn strict_product2(sf: &ScalarFunction) -> Option<(usize, usize)> {
+    match single_assign(sf)? {
+        Expr::Bin(BinOp::Mul, a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Param(i), Expr::Param(j)) => Some((*i, *j)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Match a left-nested weighted sum `res = w_0*p_a + w_1*p_b + ...`
+/// exactly as the VM would evaluate it: terms in source order, additions
+/// left-associated. Each term is `lit * param`, `param * lit`, or a bare
+/// `param` (weight 1.0 — `1.0 * x` is bitwise `x` for every finite and
+/// quiet-NaN f64, and a bare parameter multiplies by nothing in the VM
+/// too, so the kernel folds it with weight 1.0 without a bit change for
+/// finite data; f64 multiplication is bitwise commutative on finite
+/// values, covering the `param * lit` orientation).
+///
+/// Returns `(slot, weight)` pairs in fold order.
+pub fn strict_weighted_sum(sf: &ScalarFunction) -> Option<Vec<(usize, f64)>> {
+    let mut terms = Vec::new();
+    collect_sum(single_assign(sf)?, &mut terms)?;
+    Some(terms)
+}
+
+fn collect_sum(e: &Expr, out: &mut Vec<(usize, f64)>) -> Option<()> {
+    match e {
+        // left-nested only: `a + b` where `b` must be a leaf term —
+        // a right-nested addition means a different fold order, reject
+        Expr::Bin(BinOp::Add, a, b) => {
+            collect_sum(a, out)?;
+            out.push(term(b)?);
+            Some(())
+        }
+        _ => {
+            out.push(term(e)?);
+            Some(())
+        }
+    }
+}
+
+fn term(e: &Expr) -> Option<(usize, f64)> {
+    match e {
+        Expr::Param(i) => Some((*i, 1.0)),
+        Expr::Bin(BinOp::Mul, a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Lit(v), Expr::Param(i)) | (Expr::Param(i), Expr::Lit(v)) => {
+                Some((*i, lit_f64(v)?))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdh_core::types::ScalarKind;
+
+    #[test]
+    fn mul2_matches_strictly() {
+        let sf = ScalarFunction::mul2("f", ScalarKind::F32);
+        assert_eq!(strict_product2(&sf), Some((0, 1)));
+        assert!(strict_weighted_sum(&sf).is_none());
+    }
+
+    #[test]
+    fn weighted_sum_matches_in_fold_order() {
+        let sf = ScalarFunction::weighted_sum("f", ScalarKind::F32, &[0.25, 0.5, 0.25]);
+        let terms = strict_weighted_sum(&sf).unwrap();
+        assert_eq!(terms.len(), 3);
+        assert_eq!(terms[0].0, 0);
+        assert_eq!(terms[2].0, 2);
+        // f32 literal 0.25 widens exactly
+        assert_eq!(terms[0].1, 0.25);
+        assert!(strict_product2(&sf).is_none());
+    }
+
+    #[test]
+    fn identity_is_a_bare_param_sum() {
+        let sf = ScalarFunction::identity("f", ScalarKind::F32);
+        assert_eq!(strict_weighted_sum(&sf), Some(vec![(0, 1.0)]));
+    }
+
+    #[test]
+    fn right_nested_add_is_rejected() {
+        // res = p0 + (p1 + p2) folds in a different order than the VM's
+        // left-nested rendering — must not match
+        let sf = ScalarFunction {
+            name: "f".into(),
+            params: vec![
+                ("p0".into(), ScalarKind::F32.into()),
+                ("p1".into(), ScalarKind::F32.into()),
+                ("p2".into(), ScalarKind::F32.into()),
+            ],
+            results: vec![("res".into(), ScalarKind::F32.into())],
+            body: vec![Stmt::Assign {
+                name: "res".into(),
+                value: Expr::add(Expr::Param(0), Expr::add(Expr::Param(1), Expr::Param(2))),
+            }],
+        };
+        assert!(strict_weighted_sum(&sf).is_none());
+    }
+
+    #[test]
+    fn factor_times_sum_is_rejected() {
+        // res = 0.333 * (a + b + c) — jacobi1d's directive shape; the
+        // kernel would have to distribute the multiply, changing bits
+        let sf = ScalarFunction {
+            name: "f".into(),
+            params: vec![
+                ("a".into(), ScalarKind::F32.into()),
+                ("b".into(), ScalarKind::F32.into()),
+                ("c".into(), ScalarKind::F32.into()),
+            ],
+            results: vec![("res".into(), ScalarKind::F32.into())],
+            body: vec![Stmt::Assign {
+                name: "res".into(),
+                value: Expr::mul(
+                    Expr::Lit(Value::F64(0.333)),
+                    Expr::add(Expr::add(Expr::Param(0), Expr::Param(1)), Expr::Param(2)),
+                ),
+            }],
+        };
+        assert!(strict_weighted_sum(&sf).is_none());
+        assert!(strict_product2(&sf).is_none());
+    }
+}

@@ -781,6 +781,160 @@ mod tests {
         assert!(MapKernel::try_build(&p).is_none());
     }
 
+    /// The safety contract behind [`SyncSlice`]: the map path may write
+    /// through a shared `&[f32]` without synchronisation only because
+    /// (a) the plan's task ranges partition the iteration space and
+    /// (b) the output access is injective over it. This property test
+    /// builds arbitrary affine output accesses, and checks that every
+    /// provably-injective one yields pairwise-disjoint per-task write
+    /// sets, while every non-injective one is rejected by both
+    /// `MapKernel::try_build` and `fast::classify`.
+    mod sync_slice_disjointness {
+        use super::*;
+        use crate::fast;
+        use mdh_lowering::plan::ExecutionPlan;
+        use mdh_lowering::schedule::Schedule;
+        use mdh_lowering::DeviceKind;
+        use proptest::prelude::*;
+        use std::collections::HashSet;
+
+        const MAX_RANK: usize = 3;
+
+        #[derive(Debug, Clone)]
+        struct Case {
+            sizes: Vec<usize>,
+            // one (coeffs, constant) affine expr per output-buffer dim
+            exprs: Vec<(Vec<i64>, i64)>,
+            chunks: Vec<usize>,
+        }
+
+        fn case() -> impl Strategy<Value = Case> {
+            (
+                1usize..=MAX_RANK,
+                proptest::collection::vec(2usize..=6, MAX_RANK),
+                proptest::collection::vec(
+                    (proptest::collection::vec(0i64..3, MAX_RANK), 0i64..3),
+                    1..=2,
+                ),
+                proptest::collection::vec(1usize..=3, MAX_RANK),
+            )
+                .prop_map(|(rank, sizes, exprs, chunks)| Case {
+                    sizes: sizes[..rank].to_vec(),
+                    exprs: exprs
+                        .into_iter()
+                        .map(|(c, k)| (c[..rank].to_vec(), k))
+                        .collect(),
+                    chunks: chunks[..rank]
+                        .iter()
+                        .zip(&sizes)
+                        .map(|(&c, &s)| c.min(s))
+                        .collect(),
+                })
+        }
+
+        fn build_prog(case: &Case) -> DslProgram {
+            let rank = case.sizes.len();
+            let out_shape: Vec<usize> = case
+                .exprs
+                .iter()
+                .map(|(c, k)| {
+                    let mx: i64 = c
+                        .iter()
+                        .zip(&case.sizes)
+                        .map(|(&ci, &s)| ci * (s as i64 - 1))
+                        .sum::<i64>()
+                        + k;
+                    mx as usize + 1
+                })
+                .collect();
+            let out_fn = IndexFn::affine(
+                case.exprs
+                    .iter()
+                    .map(|(c, k)| AffineExpr::new(c.clone(), *k))
+                    .collect(),
+            );
+            DslBuilder::new("disjoint", case.sizes.clone())
+                .out_buffer_with_shape("y", BasicType::F32, out_shape)
+                .out_access("y", out_fn)
+                .inp_buffer("x", BasicType::F32)
+                .inp_access("x", IndexFn::identity(rank, rank))
+                .scalar_function(ScalarFunction::weighted_sum("w", ScalarKind::F32, &[1.0]))
+                .combine_ops(vec![CombineOp::cc(); rank])
+                .build()
+                .unwrap()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn task_write_sets_disjoint_iff_injective(case in case()) {
+                let prog = build_prog(&case);
+                let full = prog.md_hom.full_range();
+                let injective = prog.out_view.accesses[0]
+                    .index_fn
+                    .is_injective_over(&full, 1 << 14);
+                // ranks <= 3 with sizes <= 6 stay under the sample budget,
+                // so injectivity is always decided
+                prop_assert!(injective.is_some());
+                if injective != Some(true) {
+                    // rejected everywhere that writes through SyncSlice
+                    prop_assert!(MapKernel::try_build(&prog).is_none());
+                    prop_assert!(fast::classify(&prog).is_err());
+                    return Ok(());
+                }
+                prop_assert!(MapKernel::try_build(&prog).is_some());
+
+                let mut s = Schedule::sequential(prog.rank(), DeviceKind::Cpu);
+                s.par_chunks = case.chunks.clone();
+                s.validate(&prog, 1 << 24).unwrap();
+                let plan = ExecutionPlan::build(&prog, &s).unwrap();
+
+                let inputs = vec![Buffer::zeros(
+                    "x",
+                    BasicType::F32,
+                    Shape::new(case.sizes.clone()),
+                )];
+                let outs = mdh_core::eval::alloc_outputs(&prog).unwrap();
+                let (_, oa) = linearize_for(&prog, &inputs, &outs).unwrap();
+                let out_len = outs[0].len();
+
+                let mut seen: HashSet<i64> = HashSet::new();
+                for task in &plan.tasks {
+                    let r = &task.range;
+                    if r.is_empty() {
+                        continue;
+                    }
+                    let mut idx = r.lo.clone();
+                    'points: loop {
+                        let off = oa[0].offset(&idx);
+                        prop_assert!(off >= 0 && (off as usize) < out_len);
+                        // a collision within a task would also break the
+                        // deterministic-output contract, so assert global
+                        // uniqueness, not just cross-task disjointness
+                        prop_assert!(
+                            seen.insert(off),
+                            "offset {off} written twice (task ranges {:?})",
+                            plan.tasks.iter().map(|t| &t.range).collect::<Vec<_>>()
+                        );
+                        let mut d = idx.len();
+                        loop {
+                            if d == 0 {
+                                break 'points;
+                            }
+                            d -= 1;
+                            idx[d] += 1;
+                            if idx[d] < r.hi[d] {
+                                break;
+                            }
+                            idx[d] = r.lo[d];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn contraction_rejects_f64() {
         let p = DslBuilder::new("m", vec![4, 4, 4])

@@ -15,6 +15,7 @@
 #![allow(clippy::needless_range_loop)]
 pub mod cpu;
 pub mod cpu_model;
+pub mod fast;
 pub mod gpu;
 pub mod kernels;
 pub mod offsets;
@@ -23,8 +24,9 @@ pub mod transfer;
 pub mod vm;
 pub mod vm_exec;
 
-pub use cpu::{CpuExecutor, ExecPath};
+pub use cpu::{CpuExecutor, ExecPath, FastMode};
 pub use cpu_model::{estimate_cpu, CpuParams, CpuReport};
+pub use fast::{FastKernel, FastRegistry};
 pub use gpu::{GpuReport, GpuSim};
 pub use pipeline::{Pipeline, Source, Stage};
 pub use transfer::{DeviceDataRegion, LinkParams};

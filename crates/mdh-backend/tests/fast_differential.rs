@@ -1,0 +1,362 @@
+//! Differential proof of the fast path's bit-identity contract.
+//!
+//! The fast kernels promise: for any eligible program and any FIXED
+//! execution plan, their output is bitwise equal to `vm_exec` on that
+//! same plan, at every pool width. This harness generates random affine
+//! `cc`/`pw` contraction programs and random weighted-sum map programs —
+//! with deliberately inexact (non-binary-float) fills, so any fold-order
+//! deviation must surface as a bit difference — and checks the kernel
+//! against the VM under pool widths 1, 2, and 4.
+//!
+//! Schedules are randomized too: per-dim parallel chunking (exercising
+//! the split-reduction group combine) and per-dim tile sizes (exercising
+//! the blocked loop structure).
+
+use mdh_backend::fast;
+use mdh_backend::vm_exec;
+use mdh_core::buffer::{Buffer, BufferData};
+use mdh_core::combine::CombineOp;
+use mdh_core::dsl::{DslBuilder, DslProgram};
+use mdh_core::expr::ScalarFunction;
+use mdh_core::index_fn::{AffineExpr, IndexFn};
+use mdh_core::shape::Shape;
+use mdh_core::types::{BasicType, ScalarKind};
+use mdh_lowering::plan::ExecutionPlan;
+use mdh_lowering::schedule::{ReductionStrategy, Schedule};
+use mdh_lowering::DeviceKind;
+use proptest::prelude::*;
+
+fn shared_base() -> &'static mdh_backend::CpuExecutor {
+    static POOL: std::sync::OnceLock<mdh_backend::CpuExecutor> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| mdh_backend::CpuExecutor::new(4).expect("pool"))
+}
+
+/// Bitwise output equality (distinguishes -0.0/0.0, compares NaN bits).
+fn bits_eq(a: &[Buffer], b: &[Buffer]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (&x.data, &y.data) {
+            (BufferData::F32(p), BufferData::F32(q)) => {
+                p.len() == q.len() && p.iter().zip(q).all(|(s, t)| s.to_bits() == t.to_bits())
+            }
+            (p, q) => p == q,
+        })
+}
+
+/// Inexact, position-dependent fill: 0.1*k is not a binary float, so a
+/// reassociated fold changes low-order bits.
+fn inexact_fill(buf: &mut Buffer, salt: usize) {
+    buf.fill_with(move |i| {
+        let k = i.wrapping_add(salt).wrapping_mul(2654435761) % 1000;
+        k as f64 * 0.1 - 31.7
+    });
+}
+
+/// The proptest shim has no `prop_flat_map`, so strategies generate all
+/// dimension-indexed material at `MAX_RANK` and truncate to the drawn
+/// rank in `prop_map`.
+const MAX_RANK: usize = 3;
+const TILE_CHOICES: [usize; 5] = [1, 2, 4, 8, 64];
+const WEIGHT_CHOICES: [f64; 5] = [1.0, 0.1, 0.25, 0.333, -2.5];
+
+/// One random affine access: coefficients per iteration dim plus a
+/// constant, one expr per buffer dim.
+#[derive(Debug, Clone)]
+struct RandAccess {
+    exprs: Vec<(Vec<i64>, i64)>,
+}
+
+impl RandAccess {
+    fn truncated(&self, rank: usize) -> RandAccess {
+        RandAccess {
+            exprs: self
+                .exprs
+                .iter()
+                .map(|(c, k)| (c[..rank].to_vec(), *k))
+                .collect(),
+        }
+    }
+
+    fn index_fn(&self) -> IndexFn {
+        IndexFn::affine(
+            self.exprs
+                .iter()
+                .map(|(c, k)| AffineExpr::new(c.clone(), *k))
+                .collect(),
+        )
+    }
+
+    /// Smallest buffer shape covering the access over `sizes`.
+    fn buffer_shape(&self, sizes: &[usize]) -> Vec<usize> {
+        self.exprs
+            .iter()
+            .map(|(coeffs, constant)| {
+                let hi: i64 = coeffs
+                    .iter()
+                    .zip(sizes)
+                    .map(|(&c, &s)| c * (s as i64 - 1))
+                    .sum::<i64>()
+                    + constant;
+                (hi + 1) as usize
+            })
+            .collect()
+    }
+}
+
+fn rand_access() -> impl Strategy<Value = RandAccess> {
+    prop::collection::vec((prop::collection::vec(0i64..3, MAX_RANK), 0i64..3), 1..=2)
+        .prop_map(|exprs| RandAccess { exprs })
+}
+
+#[derive(Debug, Clone)]
+struct ContractionCase {
+    sizes: Vec<usize>,
+    /// Bitmask of pw (reduced) dims; never 0.
+    pw_mask: usize,
+    acc0: RandAccess,
+    acc1: RandAccess,
+    tiles: Vec<usize>,
+    chunks: Vec<usize>,
+    salt: usize,
+}
+
+fn contraction_case() -> impl Strategy<Value = ContractionCase> {
+    (
+        1usize..=MAX_RANK,
+        prop::collection::vec(2usize..=7, MAX_RANK),
+        1usize..(1 << MAX_RANK),
+        rand_access(),
+        rand_access(),
+        prop::collection::vec(0usize..TILE_CHOICES.len(), MAX_RANK),
+        prop::collection::vec(1usize..=2, MAX_RANK),
+        0usize..1000,
+    )
+        .prop_map(|(rank, sizes, mask, acc0, acc1, tiles, chunks, salt)| {
+            let mut pw_mask = mask & ((1 << rank) - 1);
+            if pw_mask == 0 {
+                pw_mask = 1;
+            }
+            ContractionCase {
+                sizes: sizes[..rank].to_vec(),
+                pw_mask,
+                acc0: acc0.truncated(rank),
+                acc1: acc1.truncated(rank),
+                tiles: tiles[..rank].iter().map(|&t| TILE_CHOICES[t]).collect(),
+                chunks: chunks[..rank].to_vec(),
+                salt,
+            }
+        })
+}
+
+fn build_contraction(case: &ContractionCase) -> DslProgram {
+    let rank = case.sizes.len();
+    let ops: Vec<CombineOp> = (0..rank)
+        .map(|d| {
+            if case.pw_mask >> d & 1 == 1 {
+                CombineOp::pw_add()
+            } else {
+                CombineOp::cc()
+            }
+        })
+        .collect();
+    let preserved: Vec<usize> = (0..rank).filter(|d| case.pw_mask >> d & 1 == 0).collect();
+    let mut b = DslBuilder::new("rand_contraction", case.sizes.clone());
+    b = if preserved.is_empty() {
+        b.out_buffer_with_shape("res", BasicType::F32, vec![1])
+            .out_access(
+                "res",
+                IndexFn::affine(vec![AffineExpr::new(vec![0; rank], 0)]),
+            )
+    } else {
+        b.out_buffer("res", BasicType::F32)
+            .out_access("res", IndexFn::select(rank, &preserved))
+    };
+    b.inp_buffer("x0", BasicType::F32)
+        .inp_access("x0", case.acc0.index_fn())
+        .inp_buffer("x1", BasicType::F32)
+        .inp_access("x1", case.acc1.index_fn())
+        .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+        .combine_ops(ops)
+        .build()
+        .expect("valid random contraction")
+}
+
+#[derive(Debug, Clone)]
+struct MapCase {
+    sizes: Vec<usize>,
+    accs: Vec<RandAccess>,
+    weights: Vec<f64>,
+    tiles: Vec<usize>,
+    chunks: Vec<usize>,
+    salt: usize,
+}
+
+fn map_case() -> impl Strategy<Value = MapCase> {
+    (
+        1usize..=MAX_RANK,
+        prop::collection::vec(2usize..=7, MAX_RANK),
+        prop::collection::vec(rand_access(), 1..=3),
+        prop::collection::vec(0usize..WEIGHT_CHOICES.len(), 3),
+        prop::collection::vec(0usize..TILE_CHOICES.len(), MAX_RANK),
+        prop::collection::vec(1usize..=2, MAX_RANK),
+        0usize..1000,
+    )
+        .prop_map(
+            |(rank, sizes, accs, weights, tiles, chunks, salt)| MapCase {
+                sizes: sizes[..rank].to_vec(),
+                accs: accs.iter().map(|a| a.truncated(rank)).collect(),
+                weights: weights.iter().map(|&w| WEIGHT_CHOICES[w]).collect(),
+                tiles: tiles[..rank].iter().map(|&t| TILE_CHOICES[t]).collect(),
+                chunks: chunks[..rank].to_vec(),
+                salt,
+            },
+        )
+}
+
+fn build_map(case: &MapCase) -> DslProgram {
+    let rank = case.sizes.len();
+    let ops: Vec<CombineOp> = (0..rank).map(|_| CombineOp::cc()).collect();
+    let weights: Vec<f64> = case
+        .accs
+        .iter()
+        .zip(&case.weights)
+        .map(|(_, &w)| w)
+        .collect();
+    let mut b = DslBuilder::new("rand_map", case.sizes.clone())
+        .out_buffer("res", BasicType::F32)
+        .out_access("res", IndexFn::identity(rank, rank));
+    for (i, acc) in case.accs.iter().enumerate() {
+        let name = format!("x{i}");
+        b = b
+            .inp_buffer(&name, BasicType::F32)
+            .inp_access(&name, acc.index_fn());
+    }
+    b.scalar_function(ScalarFunction::weighted_sum(
+        "f_ws",
+        ScalarKind::F32,
+        &weights,
+    ))
+    .combine_ops(ops)
+    .build()
+    .expect("valid random map")
+}
+
+/// Build inputs sized for the accesses, fill inexactly.
+fn build_inputs(
+    prog: &DslProgram,
+    accs: &[&RandAccess],
+    sizes: &[usize],
+    salt: usize,
+) -> Vec<Buffer> {
+    accs.iter()
+        .enumerate()
+        .map(|(i, acc)| {
+            let decl = &prog.inp_view.buffers[i];
+            let mut buf = Buffer::zeros(
+                decl.name.clone(),
+                BasicType::F32,
+                Shape::new(acc.buffer_shape(sizes)),
+            );
+            inexact_fill(&mut buf, salt.wrapping_add(i * 97));
+            buf
+        })
+        .collect()
+}
+
+/// A fixed randomized schedule: given per-dim chunks and tiles. Any pw
+/// dim with more than one chunk makes this a split-reduction plan.
+fn build_plan(prog: &DslProgram, chunks: &[usize], tiles: &[usize]) -> ExecutionPlan {
+    let rank = prog.rank();
+    let mut s = Schedule::sequential(rank, DeviceKind::Cpu);
+    s.par_chunks = chunks.to_vec();
+    s.inner_tiles = tiles.to_vec();
+    let reduction_split = prog
+        .md_hom
+        .reduction_dims()
+        .iter()
+        .any(|&d| chunks[d].min(prog.md_hom.sizes[d]) > 1);
+    if reduction_split {
+        s.reduction = ReductionStrategy::Tree;
+    }
+    s.validate(prog, 1 << 24).expect("valid random schedule");
+    ExecutionPlan::build(prog, &s).expect("plan")
+}
+
+/// The core assertion: fast kernel output == `vm_exec` output, bitwise,
+/// on the same plan, at pool widths 1/2/4.
+fn assert_fast_matches_vm(prog: &DslProgram, plan: &ExecutionPlan, inputs: &[Buffer]) {
+    let kernel = fast::classify(prog).expect("generated program must be fast-eligible");
+    let base = shared_base();
+    let vm_pool = base.pool().with_width(1);
+    let vm_out = vm_exec::run(prog, plan, inputs, &vm_pool).expect("vm_exec");
+    for width in [1usize, 2, 4] {
+        let pool = base.pool().with_width(width);
+        let fast_out = kernel
+            .run(prog, plan, inputs, &pool)
+            .expect("fast kernel run")
+            .expect("fast kernel must accept this plan");
+        assert!(
+            bits_eq(&vm_out, &fast_out),
+            "fast path diverged from vm_exec at width {width} for {}",
+            prog.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_contractions_bit_identical_to_vm(case in contraction_case()) {
+        let prog = build_contraction(&case);
+        let inputs = build_inputs(&prog, &[&case.acc0, &case.acc1], &case.sizes, case.salt);
+        let plan = build_plan(&prog, &case.chunks, &case.tiles);
+        assert_fast_matches_vm(&prog, &plan, &inputs);
+    }
+
+    #[test]
+    fn random_maps_bit_identical_to_vm(case in map_case()) {
+        let prog = build_map(&case);
+        let accs: Vec<&RandAccess> = case.accs.iter().collect();
+        let inputs = build_inputs(&prog, &accs, &case.sizes, case.salt);
+        let plan = build_plan(&prog, &case.chunks, &case.tiles);
+        assert_fast_matches_vm(&prog, &plan, &inputs);
+    }
+}
+
+/// The full executor in Auto mode must agree bitwise with ForceVm mode
+/// on an eligible program — the end-to-end form of the contract,
+/// including the registry, routing, and fallback accounting.
+#[test]
+fn executor_auto_matches_force_vm_end_to_end() {
+    let (i, j, k) = (37, 29, 23);
+    let prog = DslBuilder::new("mm_e2e", vec![i, j, k])
+        .out_buffer("c", BasicType::F32)
+        .out_access("c", IndexFn::select(3, &[0, 1]))
+        .inp_buffer("a", BasicType::F32)
+        .inp_access("a", IndexFn::select(3, &[0, 2]))
+        .inp_buffer("b", BasicType::F32)
+        .inp_access("b", IndexFn::select(3, &[2, 1]))
+        .scalar_function(ScalarFunction::mul2("f_mul", ScalarKind::F32))
+        .combine_ops(vec![CombineOp::cc(), CombineOp::cc(), CombineOp::pw_add()])
+        .build()
+        .unwrap();
+    let mut a = Buffer::zeros("a", BasicType::F32, Shape::new(vec![i, k]));
+    let mut b = Buffer::zeros("b", BasicType::F32, Shape::new(vec![k, j]));
+    inexact_fill(&mut a, 5);
+    inexact_fill(&mut b, 11);
+    let inputs = vec![a, b];
+    let schedule = mdh_lowering::mdh_default_schedule(&prog, DeviceKind::Cpu, 4);
+    let plan = ExecutionPlan::build(&prog, &schedule).unwrap();
+    let base = shared_base();
+    let auto = mdh_backend::CpuExecutor::with_pool(base.pool(), 4);
+    assert_eq!(auto.path_for(&prog), mdh_backend::ExecPath::Fast);
+    let (hits0, _) = fast::registry().counters();
+    let fast_out = auto.run_planned(&prog, &schedule, &plan, &inputs).unwrap();
+    let (hits1, _) = fast::registry().counters();
+    assert!(hits1 > hits0, "eligible program must count a kernel hit");
+    let vm = mdh_backend::CpuExecutor::with_pool(base.pool(), 4)
+        .with_fast_mode(mdh_backend::FastMode::ForceVm);
+    assert_eq!(vm.path_for(&prog), mdh_backend::ExecPath::Vm);
+    let vm_out = vm.run_planned(&prog, &schedule, &plan, &inputs).unwrap();
+    assert!(bits_eq(&fast_out, &vm_out));
+}

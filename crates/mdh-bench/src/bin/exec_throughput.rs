@@ -31,9 +31,17 @@
 //! `EXEC_CHECK` lines carry only deterministic fields (FNV-1a output
 //! hashes, spawn/region counters) so CI can run the bin twice and diff
 //! them; timings live only in the table and the JSON.
+//!
+//! The `fast_vs_vm` study re-runs every pinned plan through a
+//! registry-disabled (`FastMode::ForceVm`) executor and compares output
+//! hashes: on a kernel hit the fast path must be bit-identical to the
+//! VM, and a mismatch aborts the bench. Which studies hit a kernel (and
+//! each fallback's reason) lands in the JSON next to both engines'
+//! GFLOP/s.
 
 use mdh_apps::{instantiate, AppInstance, Scale, StudyId, FIG3_STUDIES};
-use mdh_backend::cpu::CpuExecutor;
+use mdh_backend::cpu::{CpuExecutor, ExecPath, FastMode};
+use mdh_backend::fast;
 use mdh_bench::parse_scale;
 use mdh_core::buffer::{Buffer, BufferData, Column};
 use mdh_lowering::{mdh_default_schedule, DeviceKind, ExecutionPlan, Schedule};
@@ -177,6 +185,20 @@ struct StudyRow {
     points: Vec<Point>,
 }
 
+/// One study's fast-path-vs-VM comparison, on the same pinned plan:
+/// whether the registry compiled a kernel, why not if it didn't, and
+/// the throughput + output-hash pair for both engines.
+struct FastVsVm {
+    name: String,
+    kernel_hit: bool,
+    fallback_reason: Option<String>,
+    fast_gflops: f64,
+    vm_gflops: f64,
+    fast_hash: u64,
+    vm_hash: u64,
+    hash_match: bool,
+}
+
 struct HotLoop {
     app: String,
     scale_used: Scale,
@@ -245,7 +267,7 @@ fn run_study(
     counts: &[usize],
     hw: usize,
     quick: bool,
-) -> Option<StudyRow> {
+) -> Option<(StudyRow, FastVsVm)> {
     let budget = if quick { 1.0e8 } else { FLOP_BUDGET };
     let (app, scale_used, fallback) = instantiate_within_budget(name, requested, budget)?;
     announce_fallback(name, requested, scale_used, &fallback);
@@ -307,16 +329,67 @@ fn run_study(
             p.regions_per_run
         );
     }
-    Some(StudyRow {
+
+    // Fast-vs-VM differential: re-run the SAME pinned plan through a
+    // registry-disabled executor and compare output hashes. On a kernel
+    // hit the hashes must match bit for bit — that is the fast path's
+    // core contract, so a mismatch aborts the bench.
+    let kernel_hit = base.path_for(&app.program) == ExecPath::Fast;
+    let fallback_reason = fast::classify(&app.program).err();
+    let vm = CpuExecutor::with_pool(base.pool(), plan_threads).with_fast_mode(FastMode::ForceVm);
+    let t0 = Instant::now();
+    let vm_out = vm
+        .run_planned(&app.program, &schedule, &plan, &app.inputs)
+        .expect("vm execution failed");
+    let vm_dt = t0.elapsed().as_secs_f64();
+    let vm_hash = fnv1a(&vm_out);
+    let fast_point = points
+        .iter()
+        .find(|p| p.threads == plan_threads)
+        .unwrap_or(points.last().expect("nonempty points"));
+    let fast_hash = fast_point.output_hash;
+    let hash_match = fast_hash == vm_hash;
+    if kernel_hit {
+        assert!(
+            hash_match,
+            "{name}: fast-path hash {fast_hash:#018x} != vm hash {vm_hash:#018x} \
+             under the same pinned plan"
+        );
+    }
+    println!(
+        "EXEC_CHECK fast_vs_vm study=\"{}\" kernel_hit={} reason=\"{}\" \
+         fast_hash={:#018x} vm_hash={:#018x} match={}",
+        name,
+        kernel_hit,
+        fallback_reason.as_deref().unwrap_or("-"),
+        fast_hash,
+        vm_hash,
+        hash_match
+    );
+    let fvv = FastVsVm {
         name: app.name.clone(),
-        sizes: app.sizes_desc.clone(),
-        scale_used,
-        scale_fallback_reason: fallback,
-        path,
-        flops,
-        plan_threads,
-        points,
-    })
+        kernel_hit,
+        fallback_reason,
+        fast_gflops: fast_point.gflops,
+        vm_gflops: flops / vm_dt / 1e9,
+        fast_hash,
+        vm_hash,
+        hash_match,
+    };
+
+    Some((
+        StudyRow {
+            name: app.name.clone(),
+            sizes: app.sizes_desc.clone(),
+            scale_used,
+            scale_fallback_reason: fallback,
+            path,
+            flops,
+            plan_threads,
+            points,
+        },
+        fvv,
+    ))
 }
 
 /// 100 back-to-back runs through one width-scoped handle: the serving
@@ -367,6 +440,8 @@ fn run_hot_loop(
 #[allow(clippy::too_many_arguments)]
 fn to_json(
     rows: &[StudyRow],
+    fast_vs_vm: &[FastVsVm],
+    kernel_counters: (u64, u64),
     hot: &HotLoop,
     requested: Scale,
     quick: bool,
@@ -437,6 +512,33 @@ fn to_json(
         let _ = writeln!(j, "    }}{}", if si + 1 < rows.len() { "," } else { "" });
     }
     let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"fast_vs_vm\": [");
+    for (fi, f) in fast_vs_vm.iter().enumerate() {
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"name\": \"{}\",", json_escape(&f.name));
+        let _ = writeln!(j, "      \"kernel_hit\": {},", f.kernel_hit);
+        let _ = writeln!(
+            j,
+            "      \"fallback_reason\": {},",
+            match &f.fallback_reason {
+                Some(r) => format!("\"{}\"", json_escape(r)),
+                None => "null".into(),
+            }
+        );
+        let _ = writeln!(j, "      \"fast_gflops\": {:.4},", f.fast_gflops);
+        let _ = writeln!(j, "      \"vm_gflops\": {:.4},", f.vm_gflops);
+        let _ = writeln!(j, "      \"fast_hash\": \"{:#018x}\",", f.fast_hash);
+        let _ = writeln!(j, "      \"vm_hash\": \"{:#018x}\",", f.vm_hash);
+        let _ = writeln!(j, "      \"hash_match\": {}", f.hash_match);
+        let _ = writeln!(
+            j,
+            "    }}{}",
+            if fi + 1 < fast_vs_vm.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"kernel_hits\": {},", kernel_counters.0);
+    let _ = writeln!(j, "  \"kernel_fallbacks\": {},", kernel_counters.1);
     let _ = writeln!(j, "  \"hot_loop\": {{");
     let _ = writeln!(j, "    \"app\": \"{}\",", json_escape(&hot.app));
     let _ = writeln!(j, "    \"scale_used\": \"{:?}\",", hot.scale_used);
@@ -641,10 +743,12 @@ fn main() {
     };
 
     let mut rows = Vec::new();
+    let mut fast_vs_vm = Vec::new();
     for name in unique {
-        let Some(row) = run_study(name, requested, &base, &counts, hw, quick) else {
+        let Some((row, fvv)) = run_study(name, requested, &base, &counts, hw, quick) else {
             continue;
         };
+        fast_vs_vm.push(fvv);
         println!(
             "\n--- {} ({}) — {:?} scale, {} path, {:.2e} flops/run ---",
             row.name, row.sizes, row.scale_used, row.path, row.flops
@@ -693,6 +797,8 @@ fn main() {
 
     let json = to_json(
         &rows,
+        &fast_vs_vm,
+        fast::registry().counters(),
         &hot,
         requested,
         quick,
@@ -708,6 +814,9 @@ fn main() {
         "\"thread_counts\"",
         "\"efficiency_basis\"",
         "\"studies\"",
+        "\"fast_vs_vm\"",
+        "\"kernel_hits\"",
+        "\"kernel_fallbacks\"",
         "\"hot_loop\"",
         "\"acceptance\"",
     ] {

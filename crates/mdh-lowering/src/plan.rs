@@ -44,6 +44,12 @@ pub struct ExecutionPlan {
     /// Combine groups (one per distinct non-split chunk coordinate); empty
     /// when `split_dims` is empty.
     pub groups: Vec<CombineGroup>,
+    /// Cache-tile sizes per dimension, carried over from the schedule so
+    /// backends can derive their loop structure from the plan alone.
+    pub inner_tiles: Vec<usize>,
+    /// Sequential loop order within a task (outermost first), carried
+    /// over from the schedule.
+    pub loop_order: Vec<usize>,
 }
 
 /// Split `size` into `chunks` contiguous intervals as evenly as possible.
@@ -142,7 +148,14 @@ impl ExecutionPlan {
             tasks,
             split_dims,
             groups,
+            inner_tiles: schedule.inner_tiles.clone(),
+            loop_order: schedule.loop_order.clone(),
         })
+    }
+
+    /// The cache-tile size for a dimension (1 when untiled or unknown).
+    pub fn tile_for(&self, d: usize) -> usize {
+        self.inner_tiles.get(d).copied().unwrap_or(1).max(1)
     }
 
     /// Total number of iteration points covered (must equal the program's).

@@ -578,6 +578,7 @@ impl Runtime {
             .as_ref()
             .map(|m| m.stats())
             .unwrap_or_default();
+        let (fast_hits, fast_fallbacks) = mdh_backend::fast::registry().counters();
         RuntimeStats {
             plan_hits: plans.hits(),
             plan_misses: plans.misses(),
@@ -626,6 +627,8 @@ impl Runtime {
             mem_evictions: mem.evictions,
             mem_bytes_resident: mem.bytes_resident,
             mem_bytes_avoided: mem.bytes_avoided,
+            kernel_hits: fast_hits,
+            kernel_fallbacks: fast_fallbacks,
         }
     }
 

@@ -189,6 +189,12 @@ pub struct RuntimeStats {
     pub mem_bytes_resident: u64,
     /// Upload bytes skipped thanks to residency (monotone).
     pub mem_bytes_avoided: u64,
+    /// CPU executions served by a registry-compiled fast-path kernel
+    /// (monotone; process-wide, shared with any co-resident executors).
+    pub kernel_hits: u64,
+    /// CPU executions that were fast-path candidates but fell back to the
+    /// VM or legacy kernels, with a recorded reason (monotone).
+    pub kernel_fallbacks: u64,
 }
 
 impl RuntimeStats {
@@ -316,6 +322,12 @@ impl RuntimeStats {
             "mem_bytes_avoided",
             self.mem_bytes_avoided.to_string(),
         );
+        field(&mut s, "kernel_hits", self.kernel_hits.to_string());
+        field(
+            &mut s,
+            "kernel_fallbacks",
+            self.kernel_fallbacks.to_string(),
+        );
         s.push('}');
         s
     }
@@ -327,6 +339,11 @@ impl RuntimeStats {
             || self.mem_evictions > 0
             || self.mem_bytes_resident > 0
             || self.mem_bytes_avoided > 0
+    }
+
+    /// Whether the fast-path kernel registry has seen any traffic.
+    pub fn has_fast(&self) -> bool {
+        self.kernel_hits > 0 || self.kernel_fallbacks > 0
     }
 
     /// Whether any serving-edge protection (shedding, deadlines, panic
@@ -403,6 +420,13 @@ impl std::fmt::Display for RuntimeStats {
                 self.mem_evictions,
                 self.mem_bytes_resident,
                 self.mem_bytes_avoided
+            )?;
+        }
+        if self.has_fast() {
+            write!(
+                f,
+                "; fast: kernel-hits={} kernel-fallbacks={}",
+                self.kernel_hits, self.kernel_fallbacks
             )?;
         }
         if self.has_edge_events() {
@@ -543,6 +567,21 @@ mod tests {
         );
     }
 
+    #[test]
+    fn display_includes_fast_counters_only_when_nonzero() {
+        let mut s = RuntimeStats::default();
+        assert!(!s.has_fast());
+        assert!(!s.to_string().contains("fast:"));
+        s.kernel_hits = 17;
+        s.kernel_fallbacks = 3;
+        assert!(s.has_fast());
+        let line = s.to_string();
+        assert!(
+            line.contains("fast: kernel-hits=17 kernel-fallbacks=3"),
+            "{line}"
+        );
+    }
+
     /// Top-level keys of a one-line JSON object, in order. Tracks brace
     /// depth so nested objects (device_dispatches) don't leak labels in.
     fn top_level_keys(json: &str) -> Vec<String> {
@@ -612,6 +651,8 @@ mod tests {
             mem_evictions: 2,
             mem_bytes_resident: 4096,
             mem_bytes_avoided: 1 << 20,
+            kernel_hits: 42,
+            kernel_fallbacks: 7,
         };
         let idle_keys = top_level_keys(&idle.to_json());
         let busy_keys = top_level_keys(&busy.to_json());
@@ -625,6 +666,8 @@ mod tests {
             "mem_evictions",
             "mem_bytes_resident",
             "mem_bytes_avoided",
+            "kernel_hits",
+            "kernel_fallbacks",
         ] {
             assert!(idle_keys.iter().any(|x| x == k), "missing {k}");
         }
