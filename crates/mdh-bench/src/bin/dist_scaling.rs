@@ -26,7 +26,7 @@
 
 use mdh_apps::{instantiate, Scale, StudyId};
 use mdh_bench::parse_scale;
-use mdh_dist::{DevicePool, DistExecutor, DistReport, MemLaunchStats};
+use mdh_dist::{DevicePool, DistExecutor, DistReport, FaultPlan, HealPolicy, MemLaunchStats};
 use mdh_lowering::partition::PartitionStrategy;
 use mdh_mem::MemPool;
 use std::fmt::Write as _;
@@ -41,6 +41,17 @@ const RESIDENT_BUDGET: u64 = 2 << 30;
 /// Device counts for the `resident` study (8 adds nothing: the warm
 /// path is already transfer-free at 4).
 const RESIDENT_COUNTS: [usize; 3] = [1, 2, 4];
+/// `healing` study shape: a straggler workload where every
+/// `HEALING_STRAGGLER_EVERY`-th launch stretches one rotating device's
+/// H2D by `HEALING_SLOW_FACTOR`, run with and without the hedged
+/// watchdog. Fixed at Small scale and real (not estimated) launches —
+/// faults only fire on real launches — so the study costs milliseconds
+/// at any sweep scale.
+const HEALING_DEVICES: usize = 4;
+const HEALING_LAUNCHES: usize = 24;
+const HEALING_STRAGGLER_EVERY: usize = 3;
+const HEALING_SLOW_FACTOR: u32 = 40;
+const HEALING_HEDGE_MS: f64 = 0.05;
 
 fn arg(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -183,11 +194,129 @@ fn run_resident_study(name: &'static str, scale: Scale, gated: bool) -> Option<R
     })
 }
 
+/// One arm of the `healing` study: per-launch modelled totals plus the
+/// cumulative fault counters of the arm's executor.
+struct HealingArm {
+    totals_ms: Vec<f64>,
+    stats: mdh_dist::FaultStats,
+}
+
+impl HealingArm {
+    /// Nearest-rank percentile of the modelled launch totals.
+    fn percentile_ms(&self, p: f64) -> f64 {
+        if self.totals_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.totals_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite totals"));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    fn mean_ms(&self) -> f64 {
+        if self.totals_ms.is_empty() {
+            return 0.0;
+        }
+        self.totals_ms.iter().sum::<f64>() / self.totals_ms.len() as f64
+    }
+}
+
+struct HealingResult {
+    name: String,
+    sizes: String,
+    plan: String,
+    unhedged: HealingArm,
+    hedged: HealingArm,
+}
+
+/// The rotating-straggler fault plan shared by both arms: every
+/// `HEALING_STRAGGLER_EVERY`-th launch, device `launch % devices` gets a
+/// `HEALING_SLOW_FACTOR`× slow H2D link.
+fn healing_plan() -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for launch in (0..HEALING_LAUNCHES).step_by(HEALING_STRAGGLER_EVERY) {
+        plan = plan.slow(launch % HEALING_DEVICES, launch as u64, HEALING_SLOW_FACTOR);
+    }
+    plan
+}
+
+fn run_healing_arm(app: &mdh_apps::AppInstance, heal: Option<HealPolicy>) -> Option<HealingArm> {
+    let mut dist =
+        DistExecutor::with_faults(DevicePool::gpus(HEALING_DEVICES), healing_plan()).expect("pool");
+    if let Some(h) = heal {
+        dist = dist.with_healing(h);
+    }
+    let mut totals_ms = Vec::with_capacity(HEALING_LAUNCHES);
+    for launch in 0..HEALING_LAUNCHES {
+        let (_, report) = match dist.run(&app.program, &app.inputs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("healing launch {launch}: {e}");
+                return None;
+            }
+        };
+        totals_ms.push(report.total_ms);
+    }
+    Some(HealingArm {
+        totals_ms,
+        stats: dist.fault_stats(),
+    })
+}
+
+/// The `healing` study: the same straggler workload through an unhedged
+/// and a hedged executor. Real launches (the fault channel only fires on
+/// real launches), always at Small scale.
+fn run_healing_study(name: &'static str) -> Option<HealingResult> {
+    let app = match instantiate(StudyId { name, input_no: 1 }, Scale::Small) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            return None;
+        }
+    };
+    let unhedged = run_healing_arm(&app, None)?;
+    let hedged = run_healing_arm(
+        &app,
+        Some(HealPolicy {
+            hedge_ms: HEALING_HEDGE_MS,
+            probe_every: 0,
+            reinstate_after: 0,
+        }),
+    )?;
+    Some(HealingResult {
+        name: app.name.clone(),
+        sizes: app.sizes_desc.clone(),
+        plan: healing_plan().to_string(),
+        unhedged,
+        hedged,
+    })
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn to_json(results: &[StudyResult], resident: &[ResidentResult], scale: Scale) -> String {
+fn healing_arm_json(label: &str, arm: &HealingArm) -> String {
+    format!(
+        "{{\"label\": \"{label}\", \"p50_ms\": {:.6}, \"p99_ms\": {:.6}, \
+         \"max_ms\": {:.6}, \"mean_ms\": {:.6}, \"hedges\": {}, \"retries\": {}, \
+         \"slow_links\": {}}}",
+        arm.percentile_ms(50.0),
+        arm.percentile_ms(99.0),
+        arm.percentile_ms(100.0),
+        arm.mean_ms(),
+        arm.stats.hedges,
+        arm.stats.retries,
+        arm.stats.slow_links,
+    )
+}
+
+fn to_json(
+    results: &[StudyResult],
+    resident: &[ResidentResult],
+    healing: &[HealingResult],
+    scale: Scale,
+) -> String {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
     let _ = writeln!(j, "  \"experiment\": \"dist_scaling\",");
@@ -273,6 +402,35 @@ fn to_json(results: &[StudyResult], resident: &[ResidentResult], scale: Scale) -
         );
     }
     let _ = writeln!(j, "    ]");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"healing\": {{");
+    let _ = writeln!(j, "    \"devices\": {HEALING_DEVICES},");
+    let _ = writeln!(j, "    \"launches\": {HEALING_LAUNCHES},");
+    let _ = writeln!(j, "    \"straggler_every\": {HEALING_STRAGGLER_EVERY},");
+    let _ = writeln!(j, "    \"slow_factor\": {HEALING_SLOW_FACTOR},");
+    let _ = writeln!(j, "    \"hedge_ms\": {HEALING_HEDGE_MS},");
+    let _ = writeln!(j, "    \"scale\": \"Small\",");
+    let _ = writeln!(j, "    \"studies\": [");
+    for (si, s) in healing.iter().enumerate() {
+        let _ = writeln!(j, "      {{");
+        let _ = writeln!(j, "        \"name\": \"{}\",", json_escape(&s.name));
+        let _ = writeln!(j, "        \"sizes\": \"{}\",", json_escape(&s.sizes));
+        let _ = writeln!(j, "        \"plan\": \"{}\",", json_escape(&s.plan));
+        let _ = writeln!(j, "        \"arms\": [");
+        let _ = writeln!(
+            j,
+            "          {},",
+            healing_arm_json("unhedged", &s.unhedged)
+        );
+        let _ = writeln!(j, "          {}", healing_arm_json("hedged", &s.hedged));
+        let _ = writeln!(j, "        ]");
+        let _ = writeln!(
+            j,
+            "      }}{}",
+            if si + 1 < healing.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "    ]");
     let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
     j
@@ -341,6 +499,56 @@ fn validate_resident(resident: &[ResidentResult]) {
         println!(
             "resident acceptance: warm relaunches transfer-free on inputs; \
              gated workload under 10% transfer share and within 2x of hot — OK"
+        );
+    } else {
+        std::process::exit(1);
+    }
+}
+
+/// In-bin acceptance for the `healing` study: the hedged watchdog must
+/// beat the unhedged executor on modelled tail latency — p99 strictly
+/// lower — and the mechanism must actually have engaged (stragglers
+/// fired in both arms, hedges fired only in the hedged arm).
+fn validate_healing(healing: &[HealingResult]) {
+    let mut ok = true;
+    let mut fail = |msg: String| {
+        eprintln!("healing acceptance FAILED: {msg}");
+        ok = false;
+    };
+    if healing.is_empty() {
+        fail("no healing study ran".into());
+    }
+    for s in healing {
+        if s.unhedged.stats.slow_links == 0 {
+            fail(format!("{}: unhedged arm saw no straggler events", s.name));
+        }
+        if s.hedged.stats.slow_links == 0 {
+            fail(format!("{}: hedged arm saw no straggler events", s.name));
+        }
+        if s.unhedged.stats.hedges != 0 {
+            fail(format!(
+                "{}: unhedged arm recorded {} hedges (policy disabled)",
+                s.name, s.unhedged.stats.hedges
+            ));
+        }
+        if s.hedged.stats.hedges == 0 {
+            fail(format!("{}: hedged arm never hedged a straggler", s.name));
+        }
+        let (u99, h99) = (s.unhedged.percentile_ms(99.0), s.hedged.percentile_ms(99.0));
+        if h99 >= u99 {
+            fail(format!(
+                "{}: hedged p99 {h99:.4}ms not strictly below unhedged p99 {u99:.4}ms",
+                s.name
+            ));
+        }
+    }
+    if ok {
+        let s = &healing[0];
+        println!(
+            "healing acceptance: hedged p99 {:.4}ms < unhedged p99 {:.4}ms \
+             under the rotating-straggler plan — OK",
+            s.hedged.percentile_ms(99.0),
+            s.unhedged.percentile_ms(99.0)
         );
     } else {
         std::process::exit(1);
@@ -432,11 +640,47 @@ fn main() {
         resident.push(s);
     }
 
-    let json = to_json(&results, &resident, scale);
+    // healing study: the same straggler workload through an unhedged
+    // and a hedged executor — real launches at Small scale, so the
+    // fault channel fires and the study costs milliseconds regardless
+    // of the sweep scale
+    println!("\n=== self-healing: hedged watchdog vs stragglers (Small, 4 devices) ===");
+    let mut healing = Vec::new();
+    if let Some(s) = run_healing_study("MatVec") {
+        println!(
+            "\n--- {} ({}) — {} launches, 1-in-{} straggler x{}, hedge {} ms ---",
+            s.name,
+            s.sizes,
+            HEALING_LAUNCHES,
+            HEALING_STRAGGLER_EVERY,
+            HEALING_SLOW_FACTOR,
+            HEALING_HEDGE_MS
+        );
+        println!(
+            "  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>6}  {:>10}",
+            "arm", "p50 ms", "p99 ms", "max ms", "mean ms", "hedges", "slow links"
+        );
+        for (label, arm) in [("unhedged", &s.unhedged), ("hedged", &s.hedged)] {
+            println!(
+                "  {:>8}  {:>10.4}  {:>10.4}  {:>10.4}  {:>10.4}  {:>6}  {:>10}",
+                label,
+                arm.percentile_ms(50.0),
+                arm.percentile_ms(99.0),
+                arm.percentile_ms(100.0),
+                arm.mean_ms(),
+                arm.stats.hedges,
+                arm.stats.slow_links
+            );
+        }
+        healing.push(s);
+    }
+
+    let json = to_json(&results, &resident, &healing, scale);
     std::fs::write(&out_path, &json).expect("write BENCH_dist.json");
     println!("\nwrote {out_path}");
 
     validate_resident(&resident);
+    validate_healing(&healing);
 
     // acceptance: a reduction-heavy kernel must scale through its
     // combine tree

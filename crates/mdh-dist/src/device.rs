@@ -1,9 +1,63 @@
 //! Device pools: the set of simulated devices a distributed run spreads
-//! shards over, plus the link/topology configuration of the pool.
+//! shards over, the link/topology configuration of the pool, and the
+//! per-device health states of the executor's self-healing machine.
 
 use crate::topology::CombineTopology;
 use mdh_backend::transfer::LinkParams;
 use mdh_lowering::asm::{DeviceKind, GpuParams};
+use std::fmt;
+
+/// Health state of one pool device in the executor's state machine:
+///
+/// ```text
+/// Healthy ──crash──────────────▶ Evicted
+///    │                             │ passes `reinstate_after`
+///    │ hang / straggler hedge      │ consecutive probes
+///    ▼                             ▼
+/// Probation ──1 passing probe──▶ Reinstating ──next probe cycle──▶ Healthy
+/// ```
+///
+/// Only `Healthy` devices receive shards. `Probation` and `Evicted`
+/// devices sit out of the rotation and are probed on the
+/// [`crate::fault::HealPolicy`] cadence; `Reinstating` marks a device
+/// whose probe quota was met and whose residency was just invalidated —
+/// it rejoins as `Healthy` on the following probe cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// In the rotation, receiving shards.
+    Healthy,
+    /// Suspect (hanged or straggled into a hedge): out of rotation, one
+    /// passing probe rejoins.
+    Probation,
+    /// Crashed: out of rotation, needs the policy's consecutive probe
+    /// passes to earn reinstatement.
+    Evicted,
+    /// Probe quota met, residency invalidated; rejoins next cycle.
+    Reinstating,
+}
+
+impl DeviceHealth {
+    /// Whether the device is in the shard rotation.
+    pub fn in_rotation(&self) -> bool {
+        matches!(self, DeviceHealth::Healthy)
+    }
+
+    /// Stable kebab-case label used in reports and stats.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceHealth::Healthy => "healthy",
+            DeviceHealth::Probation => "probation",
+            DeviceHealth::Evicted => "evicted",
+            DeviceHealth::Reinstating => "reinstating",
+        }
+    }
+}
+
+impl fmt::Display for DeviceHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// One member of a device pool. Heterogeneous mixes are allowed: a shard
 /// lands on whichever device its index maps to.
@@ -136,6 +190,22 @@ impl DevicePool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn health_labels_and_rotation() {
+        assert!(DeviceHealth::Healthy.in_rotation());
+        for s in [
+            DeviceHealth::Probation,
+            DeviceHealth::Evicted,
+            DeviceHealth::Reinstating,
+        ] {
+            assert!(!s.in_rotation(), "{s} must sit out of the rotation");
+        }
+        assert_eq!(DeviceHealth::Healthy.to_string(), "healthy");
+        assert_eq!(DeviceHealth::Probation.label(), "probation");
+        assert_eq!(DeviceHealth::Evicted.label(), "evicted");
+        assert_eq!(DeviceHealth::Reinstating.label(), "reinstating");
+    }
 
     #[test]
     fn labels_and_kinds() {

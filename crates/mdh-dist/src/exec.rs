@@ -31,14 +31,43 @@
 //! modelled H2D; past the policy timeout the transfer is charged at the
 //! timeout and retried once.
 //!
+//! # Self-healing
+//!
+//! A [`HealPolicy`] upgrades the executor from fail-and-forget to a
+//! health *state machine* per device ([`DeviceHealth`]):
+//!
+//! * **shard watchdog + hedged re-execution**: every attempt gets a
+//!   modelled completion deadline — its fault-free time plus the
+//!   policy's `hedge_ms` slack. A *hang* fault (or a slow-link straggler
+//!   stretched past the deadline) triggers a hedge: the shard is
+//!   speculatively re-executed on a healthy spare and the first modelled
+//!   completion wins. Hedging is safe because shard execution is
+//!   deterministic — the winner cannot change bytes — and debug builds
+//!   assert both results equal whenever both finish. Hang victims are
+//!   demoted to `Probation`.
+//! * **probation & reinstatement**: out-of-rotation devices are probed
+//!   every `probe_every` launches with a deterministic health check
+//!   against the fault schedule. An `Evicted` device that passes
+//!   `reinstate_after` consecutive probes (one suffices for
+//!   `Probation`) moves to `Reinstating` — its residency is invalidated
+//!   via [`MemPool::invalidate_device`] so no stale block survives the
+//!   outage — and rejoins the rotation as `Healthy` on the next probe
+//!   cycle. With the default (disabled) policy, evictions are permanent
+//!   and hangs escalate to crashes, reproducing the pre-healing
+//!   executor exactly.
+//!
+//! All modelled time, never slept: hangs, hedge thresholds, and probes
+//! are pure functions of `(plan, launch)`, so chaos runs stay replayable
+//! bit-for-bit and tests stay fast.
+//!
 //! Two headline times are reported. `total_ms` is the cold single-launch
 //! time including input upload. `hot_ms` is the steady-state per-launch
 //! time with inputs already resident on the devices — the regime the
 //! paper measures (its GPU numbers exclude one-time transfers, which
 //! amortise across the many launches auto-tuning assumes).
 
-use crate::device::{DevicePool, DeviceSpec};
-use crate::fault::{FaultPlan, FaultStats, RetryPolicy};
+use crate::device::{DeviceHealth, DevicePool, DeviceSpec};
+use crate::fault::{FaultPlan, FaultStats, HealPolicy, RetryPolicy};
 use crate::topology::{combine_cost, CombineCost, CombineTopology};
 use mdh_backend::cpu::CpuExecutor;
 use mdh_backend::gpu::GpuSim;
@@ -120,6 +149,11 @@ pub struct DistReport {
     pub hot_ms: f64,
     /// Memory-pool activity, when a [`MemPool`] is attached and enabled.
     pub mem: Option<MemLaunchStats>,
+    /// Health state of every pool device after this launch (or at
+    /// estimate time), indexed by pool position — the report explains
+    /// *why* a device holds no shard (probation vs evicted), not just
+    /// that shards moved.
+    pub device_health: Vec<DeviceHealth>,
 }
 
 /// What the memory pool did for one launch (deltas, not pool gauges —
@@ -136,6 +170,9 @@ pub struct MemLaunchStats {
     pub bytes_uploaded: u64,
     /// Payload bytes whose upload residency made unnecessary.
     pub bytes_avoided: u64,
+    /// Resident blocks whose fingerprint revalidation failed (injected
+    /// corruption detected): invalidated and re-uploaded fresh.
+    pub corruptions: u64,
 }
 
 impl MemLaunchStats {
@@ -150,7 +187,11 @@ impl std::fmt::Display for MemLaunchStats {
             f,
             "hits={} misses={} evictions={} uploaded={}B avoided={}B",
             self.hits, self.misses, self.evictions, self.bytes_uploaded, self.bytes_avoided
-        )
+        )?;
+        if self.corruptions != 0 {
+            write!(f, " corrupt={}", self.corruptions)?;
+        }
+        Ok(())
     }
 }
 
@@ -220,6 +261,14 @@ impl std::fmt::Display for DistReport {
         if let Some(mem) = &self.mem {
             write!(f, " | mem: {mem}")?;
         }
+        if self.device_health.iter().any(|h| !h.in_rotation()) {
+            write!(f, " | health:")?;
+            for (i, h) in self.device_health.iter().enumerate() {
+                if !h.in_rotation() {
+                    write!(f, " dev{i}={h}")?;
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -237,12 +286,48 @@ enum Attempt {
         retries: u32,
         transients: u32,
     },
-    /// The device died (injected crash, or retries exhausted).
-    Crashed { retries: u32, transients: u32 },
+    /// The device died (injected crash, retries exhausted, or — with
+    /// hedging disabled — a hang escalated to a crash).
+    Crashed {
+        retries: u32,
+        transients: u32,
+        /// Whether this crash is an escalated hang (counts towards
+        /// `injected_hangs`, not `injected_crashes`).
+        hung: bool,
+    },
+    /// The attempt hangs (hedging enabled): it would never complete, so
+    /// the watchdog fires at the modelled deadline. The outputs the
+    /// attempt *would* have produced are kept for the debug-build
+    /// equality assertion against the hedge.
+    Hung {
+        outs: Vec<Buffer>,
+        /// Modelled fault-free execution time of the attempt — the basis
+        /// of the watchdog deadline.
+        exec_ms: f64,
+        retries: u32,
+        transients: u32,
+    },
 }
 
 /// Result slot one shard worker fills.
 type ShardSlot = Option<Result<Attempt>>;
+
+/// Per-device entry of the executor's health state machine.
+#[derive(Debug, Clone, Copy)]
+struct HealthSlot {
+    state: DeviceHealth,
+    /// Consecutive passing probes since the device left the rotation.
+    passes: u32,
+}
+
+impl HealthSlot {
+    fn healthy() -> HealthSlot {
+        HealthSlot {
+            state: DeviceHealth::Healthy,
+            passes: 0,
+        }
+    }
+}
 
 /// Executes programs across a [`DevicePool`], injecting and recovering
 /// from the faults of an optional [`FaultPlan`].
@@ -251,13 +336,17 @@ pub struct DistExecutor {
     runners: Vec<Runner>,
     faults: FaultPlan,
     retry: RetryPolicy,
+    /// Self-healing knobs. The default policy disables hedging and
+    /// probing, making evictions permanent and hangs escalate to crashes
+    /// — exactly the pre-healing executor.
+    heal: HealPolicy,
     /// Device-resident buffer pool. `None` (the default) preserves the
     /// PR 2 model exactly: every launch re-ships every input.
     mem: Option<Arc<MemPool>>,
-    /// Health view: `false` once a device is evicted. Evictions are
-    /// permanent for the executor's lifetime (a crashed simulated device
-    /// does not come back).
-    health: Mutex<Vec<bool>>,
+    /// Per-device health state machine (see [`DeviceHealth`]). Without a
+    /// probing [`HealPolicy`], devices only ever move Healthy→Evicted
+    /// and stay there for the executor's lifetime.
+    health: Mutex<Vec<HealthSlot>>,
     /// Monotone launch counter driving the deterministic fault schedule.
     launches: AtomicU64,
     /// Cumulative fault/recovery counters across all launches.
@@ -320,17 +409,32 @@ impl DistExecutor {
                 }
             })
             .collect::<Result<Vec<_>>>()?;
-        let health = Mutex::new(vec![true; pool.len()]);
+        let health = Mutex::new(vec![HealthSlot::healthy(); pool.len()]);
         Ok(DistExecutor {
             pool,
             runners,
             faults,
             retry,
+            heal: HealPolicy::default(),
             mem: None,
             health,
             launches: AtomicU64::new(0),
             cumulative: Mutex::new(FaultStats::default()),
         })
+    }
+
+    /// Enable the self-healing layer: hedged re-execution of hung or
+    /// straggling shards (`hedge_ms` slack over the modelled completion
+    /// deadline) and probation/reinstatement probing of out-of-rotation
+    /// devices every `probe_every` launches.
+    pub fn with_healing(mut self, heal: HealPolicy) -> DistExecutor {
+        self.heal = heal;
+        self
+    }
+
+    /// The self-healing policy in effect.
+    pub fn heal_policy(&self) -> &HealPolicy {
+        &self.heal
     }
 
     /// Attach a device-resident buffer pool: shard inputs whose
@@ -371,31 +475,113 @@ impl DistExecutor {
         *plock(&self.cumulative)
     }
 
-    /// Pool indices of the devices still healthy.
+    /// Pool indices of the devices in the shard rotation.
     pub fn alive_devices(&self) -> Vec<usize> {
         plock(&self.health)
             .iter()
             .enumerate()
-            .filter_map(|(i, &ok)| ok.then_some(i))
+            .filter_map(|(i, s)| s.state.in_rotation().then_some(i))
             .collect()
     }
 
     pub fn healthy_count(&self) -> usize {
-        plock(&self.health).iter().filter(|&&ok| ok).count()
+        plock(&self.health)
+            .iter()
+            .filter(|s| s.state.in_rotation())
+            .count()
     }
 
-    /// Whether any device has been evicted.
+    /// Health state of every pool device, indexed by pool position.
+    pub fn device_health(&self) -> Vec<DeviceHealth> {
+        plock(&self.health).iter().map(|s| s.state).collect()
+    }
+
+    /// Whether any device is out of the rotation.
     pub fn is_degraded(&self) -> bool {
         self.healthy_count() < self.pool.len()
     }
 
-    /// Marks `device` dead. Returns whether this call performed the
-    /// healthy→dead transition: concurrent launches that dispatched to
-    /// the same dying device race to evict it, and only the winner may
-    /// count the eviction.
+    /// Marks `device` dead. Returns whether this call removed the device
+    /// from the rotation: concurrent launches that dispatched to the
+    /// same dying device race to evict it, and only the winner may count
+    /// the eviction.
     fn evict(&self, device: usize) -> bool {
         let mut health = plock(&self.health);
-        std::mem::replace(&mut health[device], false)
+        let was_in_rotation = health[device].state.in_rotation();
+        health[device].state = DeviceHealth::Evicted;
+        health[device].passes = 0;
+        was_in_rotation
+    }
+
+    /// Demotes a hang victim to probation. Returns whether this call
+    /// performed the Healthy→Probation transition.
+    fn demote(&self, device: usize) -> bool {
+        let mut health = plock(&self.health);
+        if health[device].state == DeviceHealth::Healthy {
+            health[device].state = DeviceHealth::Probation;
+            health[device].passes = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// First in-rotation device other than `victim`, if any — the target
+    /// a hedged re-execution lands on.
+    fn hedge_target(&self, victim: usize) -> Option<usize> {
+        plock(&self.health)
+            .iter()
+            .enumerate()
+            .find(|&(i, s)| i != victim && s.state.in_rotation())
+            .map(|(i, _)| i)
+    }
+
+    /// One probe cycle over the out-of-rotation devices, run every
+    /// `probe_every` launches. A probe is a deterministic health check
+    /// against the fault schedule at this launch: it passes iff the
+    /// device is neither crashed (its flap window cleared) nor hanging.
+    /// `Probation` rejoins after one pass, `Evicted` after the policy's
+    /// consecutive-pass quota; both pass through `Reinstating`, where the
+    /// device's residency is invalidated so no block that went stale
+    /// during the outage can ever be served, and rejoin as `Healthy` on
+    /// the next cycle.
+    fn run_probe_cycle(&self, launch: u64, faults: &mut FaultStats) {
+        if !self.heal.probing() || launch == 0 || !launch.is_multiple_of(self.heal.probe_every) {
+            return;
+        }
+        let mut health = plock(&self.health);
+        for (dev, slot) in health.iter_mut().enumerate() {
+            match slot.state {
+                DeviceHealth::Healthy => {}
+                DeviceHealth::Reinstating => {
+                    slot.state = DeviceHealth::Healthy;
+                    slot.passes = 0;
+                }
+                DeviceHealth::Probation | DeviceHealth::Evicted => {
+                    faults.probes += 1;
+                    let passed =
+                        !self.faults.crash_due(dev, launch) && !self.faults.hang_due(dev, launch);
+                    if !passed {
+                        slot.passes = 0;
+                        continue;
+                    }
+                    slot.passes += 1;
+                    let quota = if slot.state == DeviceHealth::Probation {
+                        1
+                    } else {
+                        self.heal.reinstate_after.max(1)
+                    };
+                    if slot.passes >= quota {
+                        slot.state = DeviceHealth::Reinstating;
+                        slot.passes = 0;
+                        faults.reinstatements += 1;
+                        if let Some(mem) = &self.mem {
+                            mem.invalidate_device(dev);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Partition `prog` across the healthy devices, execute with fault
@@ -421,6 +607,9 @@ impl DistExecutor {
         let launch = self.launches.fetch_add(1, Ordering::SeqCst);
         let host_memory = self.pool.all_host_memory();
         let mut faults = FaultStats::default();
+        // heal before planning: a device reinstated by this cycle joins
+        // this launch's rotation
+        self.run_probe_cycle(launch, &mut faults);
         let mut mem_launch = None;
         let level = self.run_level(prog, inputs, launch, deadline, &mut faults, &mut mem_launch)?;
         plock(&self.cumulative).absorb(&faults);
@@ -446,12 +635,27 @@ impl DistExecutor {
     /// fault-free launch). Requires an all-GPU pool — CPU execution is
     /// measured, not modelled.
     pub fn estimate(&self, prog: &DslProgram, inputs: &[Buffer]) -> Result<DistReport> {
-        let plan = PartitionPlan::build(prog, self.pool.len())?;
+        // model what a launch would actually do: plan over the devices
+        // in the rotation, not the configured pool — and let the report
+        // carry every device's health so a skipped device is explained
+        // (probation vs evicted), not silently absent
+        let alive = self.alive_devices();
+        if alive.is_empty() {
+            return Err(MdhError::Eval(format!(
+                "all pool devices failed; replay with fault plan '{}'",
+                self.faults
+            )));
+        }
+        let plan = PartitionPlan::build(prog, alive.len())?;
         let host_memory = self.pool.all_host_memory();
         let mut per_shard = Vec::with_capacity(plan.shards.len());
         let mut mem_launch = None;
+        // the estimate models the fault-free launch, so injected faults
+        // are never charged — the throwaway stats stay zero
+        let mut no_faults = FaultStats::default();
         for shard in &plan.shards {
-            let Runner::Gpu(sim) = &self.runners[shard.index] else {
+            let dev = alive[shard.index];
+            let Runner::Gpu(sim) = &self.runners[dev] else {
                 return Err(MdhError::Validation(
                     "DistExecutor::estimate models all-GPU pools only; \
                      pools with CPU devices must use run()"
@@ -465,17 +669,19 @@ impl DistExecutor {
             // launches: a second estimate of the same workload models the
             // warm relaunch (the regime serving cares about)
             let (h2d_bytes, h2d_ms) = self.charge_shard_h2d(
-                shard.index,
+                dev,
                 shard,
                 prog,
                 inputs,
                 host_memory,
+                None,
+                &mut no_faults,
                 &mut mem_launch,
             );
             per_shard.push(ShardReport {
-                device: self.pool.devices[shard.index].label(shard.index),
+                device: self.pool.devices[dev].label(dev),
                 shard: shard.index,
-                device_index: shard.index,
+                device_index: dev,
                 range: shard.range.clone(),
                 h2d_bytes,
                 h2d_ms,
@@ -499,6 +705,11 @@ impl DistExecutor {
     /// skip the transfer, and only missed bytes ship over the host link.
     /// Called sequentially in shard-index order from the launch thread,
     /// so pool mutations are deterministic per launch.
+    ///
+    /// `launch` is `Some` for real launches — the corruption schedule is
+    /// consulted, and a resident block whose fingerprint revalidation
+    /// fails is invalidated and re-uploaded fresh — and `None` for
+    /// estimates, which model the fault-free launch.
     fn charge_shard_h2d(
         &self,
         dev: usize,
@@ -506,6 +717,8 @@ impl DistExecutor {
         prog: &DslProgram,
         inputs: &[Buffer],
         host_memory: bool,
+        launch: Option<u64>,
+        faults: &mut FaultStats,
         mem_launch: &mut Option<MemLaunchStats>,
     ) -> (usize, f64) {
         let is_gpu = matches!(self.pool.devices[dev], DeviceSpec::Gpu(_));
@@ -516,6 +729,7 @@ impl DistExecutor {
             let bytes = shard_input_bytes(prog, &shard.range, inputs);
             return (bytes, transfer_ms(&self.pool.config.host_link, bytes));
         };
+        let corrupted = launch.is_some_and(|l| self.faults.corrupt_due(dev, l));
         let stats = mem_launch.get_or_insert_with(MemLaunchStats::default);
         let mut upload = 0usize;
         for region in shard.operand_regions() {
@@ -524,6 +738,15 @@ impl DistExecutor {
                 continue;
             };
             let key = BlockKey::new(mem.operand_id(buf), region.signature);
+            // revalidate the resident fingerprint before trusting a hit:
+            // an injected bit-flip fails the strided re-sample, the block
+            // is invalidated, and the acquire below misses into a fresh
+            // upload — values never depended on residency, so the result
+            // is unchanged
+            if corrupted && mem.detect_corruption(dev, key) {
+                stats.corruptions += 1;
+                faults.injected_corruptions += 1;
+            }
             match mem.acquire(dev, key, bytes as u64) {
                 Acquire::Hit => {
                     stats.hits += 1;
@@ -601,16 +824,29 @@ impl DistExecutor {
                 } => {
                     faults.retries += u64::from(retries);
                     faults.injected_transients += u64::from(transients);
-                    let (h2d_bytes, mut h2d_ms) =
-                        self.charge_shard_h2d(dev, shard, prog, inputs, host_memory, mem_launch);
+                    let (h2d_bytes, mut h2d_ms) = self.charge_shard_h2d(
+                        dev,
+                        shard,
+                        prog,
+                        inputs,
+                        host_memory,
+                        Some(launch),
+                        faults,
+                        mem_launch,
+                    );
+                    let fair_h2d = h2d_ms;
                     // slow-link injection on the modelled transfer: a
                     // stretch past the timeout is charged at the timeout
-                    // and the transfer retried once at normal speed
+                    // and the transfer retried once at normal speed —
+                    // unless the watchdog is armed, which charges the
+                    // full stretch and hedges past-deadline stragglers
                     if h2d_ms > 0.0 {
                         if let Some(factor) = self.faults.slow_factor(dev, launch) {
                             faults.slow_links += 1;
                             let stretched = h2d_ms * f64::from(factor);
-                            if stretched > self.retry.link_timeout_ms {
+                            if self.heal.hedging() {
+                                h2d_ms = stretched;
+                            } else if stretched > self.retry.link_timeout_ms {
                                 faults.retries += 1;
                                 h2d_ms += self.retry.link_timeout_ms;
                             } else {
@@ -618,7 +854,7 @@ impl DistExecutor {
                             }
                         }
                     }
-                    per_shard.push(ShardReport {
+                    let mut report = ShardReport {
                         device: self.pool.devices[dev].label(dev),
                         shard: i,
                         device_index: dev,
@@ -627,16 +863,147 @@ impl DistExecutor {
                         h2d_ms,
                         exec_ms,
                         retries,
-                    });
+                    };
+                    // straggler watchdog: the shard's completion deadline
+                    // is its fault-free span plus the hedge slack; a
+                    // transfer stretched past it is speculatively re-run
+                    // on a healthy spare and the first modelled
+                    // completion wins (both produce identical bytes)
+                    if self.heal.hedging() && h2d_ms > fair_h2d + self.heal.hedge_ms {
+                        if let Some(spare) = self.hedge_target(dev) {
+                            faults.hedges += 1;
+                            let deadline_ms = fair_h2d + exec_ms + self.heal.hedge_ms;
+                            let (houts, hexec) =
+                                run_shard(&self.runners[spare], &shard.prog, inputs)?;
+                            let (hh2d_bytes, hh2d_ms) = self.charge_shard_h2d(
+                                spare,
+                                shard,
+                                prog,
+                                inputs,
+                                host_memory,
+                                Some(launch),
+                                faults,
+                                mem_launch,
+                            );
+                            debug_assert_eq!(
+                                outs, houts,
+                                "hedged re-execution diverged from the straggler"
+                            );
+                            let straggler_done = h2d_ms + exec_ms;
+                            let hedge_done = deadline_ms + hh2d_ms + hexec;
+                            if hedge_done < straggler_done {
+                                // hedge wins: the straggler's abandoned
+                                // transfer frees the link; the hedge's
+                                // exec charge carries the watchdog wait
+                                report = ShardReport {
+                                    device: self.pool.devices[spare].label(spare),
+                                    shard: i,
+                                    device_index: spare,
+                                    range: shard.range.clone(),
+                                    h2d_bytes: hh2d_bytes,
+                                    h2d_ms: hh2d_ms,
+                                    exec_ms: deadline_ms + hexec,
+                                    retries: 0,
+                                };
+                            }
+                        }
+                    }
+                    per_shard.push(report);
                     shard_outs.push(Some(outs));
                 }
-                Attempt::Crashed {
+                Attempt::Hung {
+                    outs,
+                    exec_ms,
                     retries,
                     transients,
                 } => {
                     faults.retries += u64::from(retries);
                     faults.injected_transients += u64::from(transients);
-                    faults.injected_crashes += 1;
+                    faults.injected_hangs += 1;
+                    // the victim uploaded (or hit residency), then hung
+                    // in the kernel: charge it up to the watchdog
+                    // deadline, then abandon it to probation
+                    let (h2d_bytes, h2d_ms) = self.charge_shard_h2d(
+                        dev,
+                        shard,
+                        prog,
+                        inputs,
+                        host_memory,
+                        Some(launch),
+                        faults,
+                        mem_launch,
+                    );
+                    if self.demote(dev) {
+                        faults.probations += 1;
+                    }
+                    per_shard.push(ShardReport {
+                        device: self.pool.devices[dev].label(dev),
+                        shard: i,
+                        device_index: dev,
+                        range: shard.range.clone(),
+                        h2d_bytes,
+                        h2d_ms,
+                        exec_ms: exec_ms + self.heal.hedge_ms,
+                        retries,
+                    });
+                    let Some(spare) = self.hedge_target(dev) else {
+                        // no in-rotation spare to hedge on: the hang
+                        // degenerates to a crash so recovery (or the
+                        // all-devices-failed error) takes over
+                        if self.evict(dev) {
+                            faults.evictions += 1;
+                        }
+                        if let Some(mem) = &self.mem {
+                            mem.invalidate_device(dev);
+                        }
+                        crashed.push(i);
+                        shard_outs.push(None);
+                        continue;
+                    };
+                    faults.hedges += 1;
+                    let deadline_ms = h2d_ms + exec_ms + self.heal.hedge_ms;
+                    let (houts, hexec) = run_shard(&self.runners[spare], &shard.prog, inputs)?;
+                    let (hh2d_bytes, hh2d_ms) = self.charge_shard_h2d(
+                        spare,
+                        shard,
+                        prog,
+                        inputs,
+                        host_memory,
+                        Some(launch),
+                        faults,
+                        mem_launch,
+                    );
+                    debug_assert_eq!(
+                        outs, houts,
+                        "hedged re-execution diverged from the hung attempt"
+                    );
+                    // the hedge starts when the watchdog fires: its
+                    // completion is the deadline plus its own (possibly
+                    // residency-shortened) upload and execution
+                    per_shard.push(ShardReport {
+                        device: self.pool.devices[spare].label(spare),
+                        shard: i,
+                        device_index: spare,
+                        range: shard.range.clone(),
+                        h2d_bytes: hh2d_bytes,
+                        h2d_ms: hh2d_ms,
+                        exec_ms: deadline_ms + hexec,
+                        retries: 0,
+                    });
+                    shard_outs.push(Some(houts));
+                }
+                Attempt::Crashed {
+                    retries,
+                    transients,
+                    hung,
+                } => {
+                    faults.retries += u64::from(retries);
+                    faults.injected_transients += u64::from(transients);
+                    if hung {
+                        faults.injected_hangs += 1;
+                    } else {
+                        faults.injected_crashes += 1;
+                    }
                     if self.evict(dev) {
                         faults.evictions += 1;
                     }
@@ -700,6 +1067,17 @@ impl DistExecutor {
             return Ok(Attempt::Crashed {
                 retries: 0,
                 transients: 0,
+                hung: false,
+            });
+        }
+        let hang = self.faults.hang_due(device, launch);
+        if hang && !self.heal.hedging() {
+            // no watchdog armed: a hang is indistinguishable from a dead
+            // device, so it escalates to a crash and the work moves on
+            return Ok(Attempt::Crashed {
+                retries: 0,
+                transients: 0,
+                hung: true,
             });
         }
         let mut retries = 0u32;
@@ -715,6 +1093,7 @@ impl DistExecutor {
                     return Ok(Attempt::Crashed {
                         retries,
                         transients,
+                        hung: false,
                     });
                 }
                 backoff_ms += self.retry.backoff_ms(retries);
@@ -723,6 +1102,17 @@ impl DistExecutor {
                 continue;
             }
             let (outs, exec_ms) = run_shard(runner, prog, inputs)?;
+            if hang {
+                // the attempt would never complete; the modelled time
+                // (and the outputs, kept for the debug-build equality
+                // assertion) anchor the watchdog deadline
+                return Ok(Attempt::Hung {
+                    outs,
+                    exec_ms: exec_ms + backoff_ms,
+                    retries,
+                    transients,
+                });
+            }
             return Ok(Attempt::Done {
                 outs,
                 exec_ms: exec_ms + backoff_ms,
@@ -784,7 +1174,8 @@ impl DistExecutor {
         );
         let total_ms = upload_exec_ms + combine.total_ms() + d2h_ms;
         let hot_ms = exec_ms + combine.total_ms() + d2h_ms;
-        let devices_alive = self.healthy_count();
+        let device_health = self.device_health();
+        let devices_alive = device_health.iter().filter(|h| h.in_rotation()).count();
 
         DistReport {
             devices: self.pool.len(),
@@ -805,6 +1196,7 @@ impl DistExecutor {
             total_ms,
             hot_ms,
             mem,
+            device_health,
         }
     }
 }
@@ -1570,6 +1962,218 @@ mod tests {
         // double-buffered misses: the cold phase is never longer than the
         // fenced sum of upload + slowest compute
         assert!(cold.upload_exec_ms <= cold.h2d_ms + cold.exec_ms + 1e-12);
+    }
+
+    // --- self-healing: hangs, hedging, probation, corruption ----------
+
+    fn healing(hedge_ms: f64, probe_every: u64, reinstate_after: u32) -> HealPolicy {
+        HealPolicy {
+            hedge_ms,
+            probe_every,
+            reinstate_after,
+        }
+    }
+
+    #[test]
+    fn hang_escalates_to_crash_without_healing() {
+        let prog = matvec(13, 37);
+        let inputs = matvec_inputs(13, 37);
+        let reference = single_device(&prog, &inputs);
+        let faults = FaultPlan::none().hang(1, 0);
+        let dist = DistExecutor::with_faults(DevicePool::gpus(4), faults).unwrap();
+        let (outs, report) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(outs, reference, "escalated hang recovers bit-identically");
+        assert_eq!(report.faults.injected_hangs, 1);
+        assert_eq!(report.faults.injected_crashes, 0, "a hang is not a crash");
+        assert_eq!(report.faults.evictions, 1, "no watchdog ⇒ permanent loss");
+        assert_eq!(report.faults.repartitions, 1);
+        assert_eq!(report.faults.hedges, 0);
+        assert_eq!(dist.healthy_count(), 3);
+        assert_eq!(dist.device_health()[1], DeviceHealth::Evicted);
+    }
+
+    #[test]
+    fn hang_is_hedged_and_victim_goes_to_probation() {
+        let prog = matvec(13, 37);
+        let inputs = matvec_inputs(13, 37);
+        let reference = single_device(&prog, &inputs);
+        let faults = FaultPlan::none().hang(1, 0);
+        let dist = DistExecutor::with_faults(DevicePool::gpus(4), faults)
+            .unwrap()
+            .with_healing(healing(5.0, 0, 3));
+        let (outs, report) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(outs, reference, "hedged result is bit-identical");
+        assert_eq!(report.faults.injected_hangs, 1);
+        assert_eq!(report.faults.hedges, 1);
+        assert_eq!(report.faults.probations, 1);
+        assert_eq!(report.faults.evictions, 0, "the watchdog saved the device");
+        assert_eq!(report.faults.repartitions, 0, "no recovery re-plan needed");
+        assert_eq!(dist.device_health()[1], DeviceHealth::Probation);
+        assert_eq!(dist.healthy_count(), 3);
+        // the hung shard has two reports: the abandoned victim attempt
+        // (charged up to the watchdog deadline) and the winning hedge
+        let shard1: Vec<_> = report.per_shard.iter().filter(|s| s.shard == 1).collect();
+        assert_eq!(shard1.len(), 2, "victim + hedge");
+        assert!(shard1.iter().any(|s| s.device_index == 1));
+        assert!(shard1.iter().any(|s| s.device_index != 1));
+        let line = report.to_string();
+        assert!(line.contains("dev1=probation"), "{line}");
+        assert!(line.contains("hangs=1 hedges=1"), "{line}");
+    }
+
+    #[test]
+    fn hang_with_no_spare_degenerates_to_crash() {
+        let prog = matvec(8, 8);
+        let inputs = matvec_inputs(8, 8);
+        let faults = FaultPlan::none().hang(0, 0);
+        let dist = DistExecutor::with_faults(DevicePool::gpus(1), faults)
+            .unwrap()
+            .with_healing(healing(5.0, 0, 3));
+        let err = dist.run(&prog, &inputs).unwrap_err().to_string();
+        assert!(err.contains("all pool devices failed"), "{err}");
+        assert_eq!(dist.device_health()[0], DeviceHealth::Evicted);
+    }
+
+    #[test]
+    fn probation_rejoins_after_one_passing_probe() {
+        let prog = matvec(13, 37);
+        let inputs = matvec_inputs(13, 37);
+        let reference = single_device(&prog, &inputs);
+        let faults = FaultPlan::none().hang(1, 0);
+        let dist = DistExecutor::with_faults(DevicePool::gpus(4), faults)
+            .unwrap()
+            .with_healing(healing(5.0, 2, 3));
+        // launch 0: hang → probation. launch 2's probe passes (no fault
+        // due) → Reinstating. launch 4's cycle completes the rejoin.
+        for launch in 0..5u64 {
+            let (outs, report) = dist.run(&prog, &inputs).unwrap();
+            assert_eq!(outs, reference, "launch {launch}");
+            if launch == 4 {
+                assert_eq!(report.shards, 4, "reinstated device takes a shard");
+                assert!(!report.degraded);
+            }
+        }
+        assert_eq!(dist.healthy_count(), 4);
+        assert_eq!(dist.device_health()[1], DeviceHealth::Healthy);
+        let cum = dist.fault_stats();
+        assert_eq!(cum.probations, 1);
+        assert_eq!(cum.probes, 1, "one probe sufficed for probation");
+        assert_eq!(cum.reinstatements, 1);
+        assert_eq!(cum.evictions, 0);
+    }
+
+    #[test]
+    fn flapping_device_is_evicted_probed_and_reinstated() {
+        let prog = matvec(13, 37);
+        let inputs = matvec_inputs(13, 37);
+        let reference = single_device(&prog, &inputs);
+        // device 1 is down for launches 1–2, then recovers
+        let faults = FaultPlan::none().flap(1, 1, 2);
+        let dist = DistExecutor::with_faults(DevicePool::gpus(4), faults)
+            .unwrap()
+            .with_healing(healing(5.0, 2, 2));
+        // launch 1: crash → Evicted. probe@2 fails (still down), probe@4
+        // passes (1/2), probe@6 passes (2/2) → Reinstating, cycle@8 →
+        // Healthy. Health counters grow monotonically throughout.
+        let mut last = FaultStats::default();
+        for launch in 0..9u64 {
+            let (outs, _) = dist.run(&prog, &inputs).unwrap();
+            assert_eq!(outs, reference, "launch {launch}");
+            let cum = dist.fault_stats();
+            assert!(cum.probes >= last.probes, "monotone probe counter");
+            assert!(cum.reinstatements >= last.reinstatements);
+            last = cum;
+        }
+        assert_eq!(dist.healthy_count(), 4, "flapping device rejoined");
+        assert_eq!(dist.device_health()[1], DeviceHealth::Healthy);
+        let cum = dist.fault_stats();
+        assert_eq!(cum.evictions, 1);
+        assert_eq!(cum.probes, 3, "one failing + two passing probes");
+        assert_eq!(cum.reinstatements, 1);
+        assert_eq!(cum.injected_crashes, 1);
+    }
+
+    #[test]
+    fn corruption_is_detected_reuploaded_and_bit_identical() {
+        let prog = matvec(16, 512);
+        let inputs = matvec_inputs(16, 512);
+        let reference = single_device(&prog, &inputs);
+        // warm on launch 0; every resident block on device 2 fails its
+        // fingerprint revalidation at launch 1
+        let faults = FaultPlan::none().corrupt(2, 1);
+        let mem = Arc::new(MemPool::new(4, 1 << 30));
+        let dist = DistExecutor::with_faults(DevicePool::gpus(4), faults)
+            .unwrap()
+            .with_mem(Arc::clone(&mem));
+        let (out0, warm) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(out0, reference);
+        assert_eq!(warm.mem.unwrap().misses, 8);
+        let (out1, report) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(out1, reference, "corruption never reaches the values");
+        let m = report.mem.unwrap();
+        // device 2's two blocks (M slice + v) re-upload; the rest hit
+        assert_eq!(m.corruptions, 2, "{m}");
+        assert_eq!((m.hits, m.misses), (6, 2), "{m}");
+        assert_eq!(report.faults.injected_corruptions, 2);
+        assert_eq!(mem.stats().corruptions_detected, 2);
+        assert!(mem.device_stats(2).invalidations >= 2);
+        // the fresh copies are resident again: launch 2 is all hits
+        let (out2, report2) = dist.run(&prog, &inputs).unwrap();
+        assert_eq!(out2, reference);
+        assert_eq!(report2.mem.unwrap().hits, 8);
+        assert_eq!(report2.faults.injected_corruptions, 0);
+    }
+
+    #[test]
+    fn straggler_hedge_beats_the_stretched_transfer() {
+        let prog = matvec(16, 2048);
+        let inputs = matvec_inputs(16, 2048);
+        let reference = single_device(&prog, &inputs);
+        let faults = FaultPlan::none().slow(1, 0, 1000);
+        let hedged = DistExecutor::with_faults(DevicePool::gpus(2), faults.clone())
+            .unwrap()
+            .with_healing(healing(0.1, 0, 3));
+        let unhedged = DistExecutor::with_faults(DevicePool::gpus(2), faults).unwrap();
+        let (outs, h) = hedged.run(&prog, &inputs).unwrap();
+        let (outs_u, u) = unhedged.run(&prog, &inputs).unwrap();
+        assert_eq!(outs, reference);
+        assert_eq!(outs_u, reference);
+        assert_eq!(h.faults.slow_links, 1);
+        assert_eq!(h.faults.hedges, 1, "watchdog fired on the straggler");
+        assert_eq!(h.faults.retries, 0, "hedging supersedes the timeout retry");
+        // the winning hedge ran shard 1 on device 0
+        let s1 = h.per_shard.iter().find(|s| s.shard == 1).unwrap();
+        assert_eq!(s1.device_index, 0, "hedge result replaced the straggler");
+        assert!(
+            h.total_ms < u.total_ms,
+            "hedged launch must beat the straggler: {} vs {}",
+            h.total_ms,
+            u.total_ms
+        );
+        // a straggler hedge is not a health event: the link was slow,
+        // not the device sick
+        assert_eq!(hedged.healthy_count(), 2);
+    }
+
+    #[test]
+    fn estimate_reports_device_health_and_plans_over_survivors() {
+        let prog = matvec(13, 37);
+        let inputs = matvec_inputs(13, 37);
+        let faults = FaultPlan::none().crash(2, 0);
+        let dist = DistExecutor::with_faults(DevicePool::gpus(4), faults).unwrap();
+        dist.run(&prog, &inputs).unwrap();
+        let est = dist.estimate(&prog, &inputs).unwrap();
+        assert_eq!(est.shards, 3, "estimate plans over the rotation");
+        assert_eq!(est.device_health[2], DeviceHealth::Evicted);
+        assert!(
+            est.per_shard.iter().all(|s| s.device_index != 2),
+            "no shard modelled on the evicted device"
+        );
+        let line = est.to_string();
+        assert!(
+            line.contains("dev2=evicted"),
+            "estimate must say why the device was skipped: {line}"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! A [`FaultPlan`] is a *schedule*, not a dice roll: every decision is a
 //! pure function of `(seed, launch, device, attempt)` plus the explicit
 //! event list, so a chaos run is replayable bit-for-bit from the printed
-//! plan — no wall-clock randomness anywhere. Three fault classes are
+//! plan — no wall-clock randomness anywhere. Five fault classes are
 //! modelled, mirroring what real multi-GPU runtimes see:
 //!
 //! * **transient shard errors** (ECC hiccup, spurious launch failure):
@@ -12,14 +12,27 @@
 //! * **device crashes** (XID-class fatal errors): the device is evicted
 //!   from the pool's health view and the affected partition is re-planned
 //!   across the survivors — safe because MDH re-decomposition over a
-//!   different device count is semantics-preserving;
+//!   different device count is semantics-preserving. A crash may carry a
+//!   *flap window* (`crash=d@lxW`): the fault clears after `W` launches,
+//!   so a probing executor can reinstate the device;
 //! * **slow links** (degraded PCIe lanes, contended switch): the shard's
 //!   modelled H2D transfer is stretched by a factor; past the policy's
-//!   timeout the transfer counts as failed and is retried once.
+//!   timeout the transfer counts as failed and is retried once;
+//! * **hangs** (stuck kernel, wedged driver queue): the shard attempt
+//!   never completes. A watchdog-enabled executor hedges the shard onto
+//!   a healthy device at its modelled deadline; without a watchdog the
+//!   hang escalates to a crash;
+//! * **corruptions** (bit-flip in device-resident memory): a resident
+//!   block's revalidation fingerprint stops matching. The memory pool
+//!   detects the mismatch on hit, invalidates the block, and re-uploads
+//!   — values are unaffected because shards always compute from host
+//!   operands.
 //!
-//! All three are counted in [`FaultStats`], which the executor
+//! All five are counted in [`FaultStats`], which the executor
 //! accumulates per launch and cumulatively, and which `mdh-runtime`
-//! surfaces in its stats line.
+//! surfaces in its stats line. [`HealPolicy`] configures the self-healing
+//! side: the hedge threshold and the probe/reinstatement cadence of the
+//! executor's device health state machine.
 
 use std::fmt;
 
@@ -63,10 +76,63 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Capped exponential backoff before retry number `retry` (0-based):
-    /// `base * 2^retry`, capped at `max_backoff_ms`.
+    /// `base * 2^retry`, capped at `max_backoff_ms`. The doubling count
+    /// saturates before it ever becomes a float and a non-finite product
+    /// clamps to the cap, so pathological attempt counts or absurd base
+    /// delays can never overflow the modelled backoff into `inf`/`NaN`.
     pub fn backoff_ms(&self, retry: u32) -> f64 {
-        (self.base_backoff_ms * f64::from(2u32.saturating_pow(retry).min(1 << 16)))
-            .min(self.max_backoff_ms)
+        let doublings = retry.min(63);
+        let factor = (1u64 << doublings) as f64;
+        let raw = self.base_backoff_ms * factor;
+        if raw.is_finite() {
+            raw.min(self.max_backoff_ms)
+        } else {
+            self.max_backoff_ms
+        }
+    }
+}
+
+/// Self-healing knobs: the shard watchdog's hedge threshold and the
+/// probe/reinstatement cadence of the device health state machine.
+///
+/// The default policy disables healing entirely (no hedging, no probes),
+/// which reproduces the pre-healing executor exactly: hangs escalate to
+/// crashes and evictions are permanent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealPolicy {
+    /// Modelled hedge slack, ms: a shard whose modelled completion
+    /// exceeds its fault-free time by more than this is speculatively
+    /// re-executed on a healthy device and the first completion wins.
+    /// `0` disables the watchdog.
+    pub hedge_ms: f64,
+    /// Probe period in launches: every `probe_every`-th launch sends a
+    /// deterministic probe to each out-of-rotation device. `0` disables
+    /// probing (evictions stay permanent).
+    pub probe_every: u64,
+    /// Consecutive passing probes an evicted device needs before it is
+    /// reinstated. Probation (hang-suspect) devices always need one.
+    pub reinstate_after: u32,
+}
+
+impl Default for HealPolicy {
+    fn default() -> HealPolicy {
+        HealPolicy {
+            hedge_ms: 0.0,
+            probe_every: 0,
+            reinstate_after: 3,
+        }
+    }
+}
+
+impl HealPolicy {
+    /// Whether the shard watchdog (hedged re-execution) is active.
+    pub fn hedging(&self) -> bool {
+        self.hedge_ms > 0.0
+    }
+
+    /// Whether out-of-rotation devices are probed for reinstatement.
+    pub fn probing(&self) -> bool {
+        self.probe_every > 0
     }
 }
 
@@ -80,10 +146,22 @@ pub struct FaultStats {
     pub injected_crashes: u64,
     /// Shard transfers stretched by a slow-link event.
     pub slow_links: u64,
+    /// Shard attempts that hung (never completed on their device).
+    pub injected_hangs: u64,
+    /// Resident-block corruptions detected by pool revalidation.
+    pub injected_corruptions: u64,
     /// Shard attempts re-run (transient retries + timed-out transfers).
     pub retries: u64,
+    /// Hedged re-executions launched by the shard watchdog.
+    pub hedges: u64,
     /// Devices evicted from the pool health view.
     pub evictions: u64,
+    /// Devices demoted to probation (hang/straggler suspects).
+    pub probations: u64,
+    /// Reinstatement probes sent to out-of-rotation devices.
+    pub probes: u64,
+    /// Devices reinstated into the rotation after passing their probes.
+    pub reinstatements: u64,
     /// Partitions re-planned over a shrunken pool after an eviction.
     pub repartitions: u64,
 }
@@ -93,14 +171,30 @@ impl FaultStats {
         *self == FaultStats::default()
     }
 
-    /// Accumulate another snapshot into this one.
+    /// Accumulate another snapshot into this one (saturating: cumulative
+    /// counters must stay monotone, never wrap).
     pub fn absorb(&mut self, other: &FaultStats) {
-        self.injected_transients += other.injected_transients;
-        self.injected_crashes += other.injected_crashes;
-        self.slow_links += other.slow_links;
-        self.retries += other.retries;
-        self.evictions += other.evictions;
-        self.repartitions += other.repartitions;
+        self.injected_transients = self
+            .injected_transients
+            .saturating_add(other.injected_transients);
+        self.injected_crashes = self.injected_crashes.saturating_add(other.injected_crashes);
+        self.slow_links = self.slow_links.saturating_add(other.slow_links);
+        self.injected_hangs = self.injected_hangs.saturating_add(other.injected_hangs);
+        self.injected_corruptions = self
+            .injected_corruptions
+            .saturating_add(other.injected_corruptions);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.hedges = self.hedges.saturating_add(other.hedges);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+        self.probations = self.probations.saturating_add(other.probations);
+        self.probes = self.probes.saturating_add(other.probes);
+        self.reinstatements = self.reinstatements.saturating_add(other.reinstatements);
+        self.repartitions = self.repartitions.saturating_add(other.repartitions);
+    }
+
+    /// Whether any self-healing machinery fired (watchdog or probes).
+    pub fn any_healing(&self) -> bool {
+        self.hedges != 0 || self.probes != 0 || self.probations != 0 || self.reinstatements != 0
     }
 }
 
@@ -115,7 +209,21 @@ impl fmt::Display for FaultStats {
             self.injected_transients,
             self.injected_crashes,
             self.slow_links
-        )
+        )?;
+        if self.injected_hangs != 0 || self.hedges != 0 {
+            write!(f, " hangs={} hedges={}", self.injected_hangs, self.hedges)?;
+        }
+        if self.injected_corruptions != 0 {
+            write!(f, " corruptions={}", self.injected_corruptions)?;
+        }
+        if self.probes != 0 || self.probations != 0 || self.reinstatements != 0 {
+            write!(
+                f,
+                " probes={} probations={} reinstatements={}",
+                self.probes, self.probations, self.reinstatements
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -132,13 +240,20 @@ pub struct FaultPlan {
     /// Per-mille probability that a `(launch, device)` first attempt
     /// fails transiently under the seeded channel (0 disables it).
     pub transient_permille: u16,
-    /// `(device, launch)`: the device dies permanently when first used
-    /// at or after `launch`.
-    crashes: Vec<(usize, u64)>,
+    /// `(device, launch, down_for)`: the device dies when first used at
+    /// or after `launch`. `down_for == 0` means permanently; a nonzero
+    /// window is a *flap* — the fault clears `down_for` launches later,
+    /// so reinstatement probes start passing.
+    crashes: Vec<(usize, u64, u64)>,
     /// `(device, launch, count)`: the first `count` attempts fail.
     transients: Vec<(usize, u64, u32)>,
     /// `(device, launch, factor)`: the H2D transfer is stretched ×factor.
     slow: Vec<(usize, u64, u32)>,
+    /// `(device, launch)`: the shard attempt at `launch` never completes.
+    hangs: Vec<(usize, u64)>,
+    /// `(device, launch)`: the device's resident blocks are corrupted at
+    /// `launch` — every pool hit on it that launch fails revalidation.
+    corrupt: Vec<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -159,7 +274,30 @@ impl FaultPlan {
 
     /// Schedule a permanent crash of `device` at `launch`.
     pub fn crash(mut self, device: usize, launch: u64) -> FaultPlan {
-        self.crashes.push((device, launch));
+        self.crashes.push((device, launch, 0));
+        self
+    }
+
+    /// Schedule a *flap*: `device` crashes at `launch` but the fault
+    /// clears `down_for` launches later, so a probing executor can
+    /// reinstate it.
+    pub fn flap(mut self, device: usize, launch: u64, down_for: u64) -> FaultPlan {
+        self.crashes.push((device, launch, down_for.max(1)));
+        self
+    }
+
+    /// Schedule a hang: `device`'s shard attempt at `launch` never
+    /// completes (the watchdog hedges it; without a watchdog it
+    /// escalates to a crash).
+    pub fn hang(mut self, device: usize, launch: u64) -> FaultPlan {
+        self.hangs.push((device, launch));
+        self
+    }
+
+    /// Schedule a resident-memory corruption on `device` at `launch`:
+    /// pool hits on that device fail revalidation that launch.
+    pub fn corrupt(mut self, device: usize, launch: u64) -> FaultPlan {
+        self.corrupt.push((device, launch));
         self
     }
 
@@ -180,22 +318,38 @@ impl FaultPlan {
             && self.crashes.is_empty()
             && self.transients.is_empty()
             && self.slow.is_empty()
+            && self.hangs.is_empty()
+            && self.corrupt.is_empty()
     }
 
     /// Devices with a scheduled crash (deduplicated, any launch).
     pub fn crash_devices(&self) -> Vec<usize> {
-        let mut ds: Vec<usize> = self.crashes.iter().map(|&(d, _)| d).collect();
+        let mut ds: Vec<usize> = self.crashes.iter().map(|&(d, _, _)| d).collect();
         ds.sort_unstable();
         ds.dedup();
         ds
     }
 
-    /// Does `device` die when used at `launch`? (Crashes are permanent:
-    /// any schedule entry at an earlier-or-equal launch applies.)
+    /// Does `device` die when used at `launch`? A windowless crash is
+    /// permanent (any entry at an earlier-or-equal launch applies); a
+    /// flap clears once `launch` passes the end of its down window.
     pub fn crash_due(&self, device: usize, launch: u64) -> bool {
-        self.crashes
+        self.crashes.iter().any(|&(d, l, down)| {
+            d == device && l <= launch && (down == 0 || launch < l.saturating_add(down))
+        })
+    }
+
+    /// Does `device`'s shard attempt at `launch` hang (never complete)?
+    pub fn hang_due(&self, device: usize, launch: u64) -> bool {
+        self.hangs.iter().any(|&(d, l)| d == device && l == launch)
+    }
+
+    /// Are `device`'s resident blocks corrupted at `launch` (pool hits
+    /// fail revalidation)?
+    pub fn corrupt_due(&self, device: usize, launch: u64) -> bool {
+        self.corrupt
             .iter()
-            .any(|&(d, l)| d == device && l <= launch)
+            .any(|&(d, l)| d == device && l == launch)
     }
 
     /// Does attempt number `attempt` (0-based) of `device` at `launch`
@@ -233,12 +387,15 @@ impl FaultPlan {
     /// spec  := item (',' item)*
     /// item  := 'seed=' u64                    seed for the derived channel
     ///        | 'rate=' permille               derived transient rate (0..=1000)
-    ///        | 'crash=' dev '@' launch        device dies at launch
+    ///        | 'crash=' dev '@' launch ['x' down]   device dies at launch
+    ///        |                                (with 'x': flaps — clears after down launches)
     ///        | 'transient=' dev '@' launch ['x' count]
     ///        | 'slow=' dev '@' launch ['x' factor]
+    ///        | 'hang=' dev '@' launch         shard attempt never completes
+    ///        | 'corrupt=' dev '@' launch      resident blocks fail revalidation
     /// ```
     ///
-    /// Example: `crash=1@3,crash=3@6,transient=2@1x2,rate=25,seed=42`.
+    /// Example: `crash=1@3x4,hang=2@5,corrupt=0@6,transient=2@1x2,rate=25,seed=42`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
         for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
@@ -262,8 +419,9 @@ impl FaultPlan {
                     plan.transient_permille = p;
                 }
                 "crash" => {
-                    let (d, l) = parse_dev_at_launch(val)?;
-                    plan.crashes.push((d, l));
+                    let (rest, down) = parse_x_suffix(val)?;
+                    let (d, l) = parse_dev_at_launch(rest)?;
+                    plan.crashes.push((d, l, u64::from(down.unwrap_or(0))));
                 }
                 "transient" => {
                     let (rest, count) = parse_x_suffix(val)?;
@@ -274,6 +432,14 @@ impl FaultPlan {
                     let (rest, factor) = parse_x_suffix(val)?;
                     let (d, l) = parse_dev_at_launch(rest)?;
                     plan.slow.push((d, l, factor.unwrap_or(4).max(2)));
+                }
+                "hang" => {
+                    let (d, l) = parse_dev_at_launch(val)?;
+                    plan.hangs.push((d, l));
+                }
+                "corrupt" => {
+                    let (d, l) = parse_dev_at_launch(val)?;
+                    plan.corrupt.push((d, l));
                 }
                 other => return Err(format!("unknown fault kind '{other}'")),
             }
@@ -326,14 +492,24 @@ impl fmt::Display for FaultPlan {
         if self.transient_permille != 0 {
             items.push(format!("rate={}", self.transient_permille));
         }
-        for &(d, l) in &self.crashes {
-            items.push(format!("crash={d}@{l}"));
+        for &(d, l, down) in &self.crashes {
+            if down == 0 {
+                items.push(format!("crash={d}@{l}"));
+            } else {
+                items.push(format!("crash={d}@{l}x{down}"));
+            }
         }
         for &(d, l, c) in &self.transients {
             items.push(format!("transient={d}@{l}x{c}"));
         }
         for &(d, l, x) in &self.slow {
             items.push(format!("slow={d}@{l}x{x}"));
+        }
+        for &(d, l) in &self.hangs {
+            items.push(format!("hang={d}@{l}"));
+        }
+        for &(d, l) in &self.corrupt {
+            items.push(format!("corrupt={d}@{l}"));
         }
         if items.is_empty() {
             f.write_str("none")
@@ -356,9 +532,37 @@ mod tests {
                 assert!(!p.crash_due(dev, launch));
                 assert!(!p.transient_fails(dev, launch, 0));
                 assert!(p.slow_factor(dev, launch).is_none());
+                assert!(!p.hang_due(dev, launch));
+                assert!(!p.corrupt_due(dev, launch));
             }
         }
         assert_eq!(p.to_string(), "none");
+    }
+
+    #[test]
+    fn flap_windows_clear_after_their_down_period() {
+        let p = FaultPlan::none().flap(1, 3, 2);
+        assert!(!p.crash_due(1, 2), "not down yet");
+        assert!(p.crash_due(1, 3), "down at the flap launch");
+        assert!(p.crash_due(1, 4), "still down inside the window");
+        assert!(!p.crash_due(1, 5), "window elapsed: the fault cleared");
+        assert!(!p.crash_due(0, 3), "other devices unaffected");
+        // a permanent crash alongside a flap stays permanent
+        let q = FaultPlan::none().flap(1, 3, 2).crash(1, 10);
+        assert!(!q.crash_due(1, 6));
+        assert!(q.crash_due(1, 10) && q.crash_due(1, 1000));
+    }
+
+    #[test]
+    fn hang_and_corrupt_are_single_launch_events() {
+        let p = FaultPlan::none().hang(2, 4).corrupt(0, 7);
+        assert!(p.hang_due(2, 4));
+        assert!(!p.hang_due(2, 3) && !p.hang_due(2, 5));
+        assert!(!p.hang_due(1, 4));
+        assert!(p.corrupt_due(0, 7));
+        assert!(!p.corrupt_due(0, 6) && !p.corrupt_due(0, 8));
+        assert!(!p.corrupt_due(2, 7));
+        assert!(!p.is_empty());
     }
 
     #[test]
@@ -406,21 +610,35 @@ mod tests {
         let p = FaultPlan::seeded(42, 25)
             .crash(1, 3)
             .crash(3, 6)
+            .flap(2, 4, 3)
             .transient(2, 1, 2)
-            .slow(0, 2, 8);
+            .slow(0, 2, 8)
+            .hang(1, 5)
+            .corrupt(0, 6);
         let spec = p.to_string();
         assert_eq!(FaultPlan::parse(&spec).unwrap(), p, "spec: {spec}");
+        assert!(spec.contains("crash=2@4x3"), "flap window printed: {spec}");
+        assert!(spec.contains("hang=1@5"), "{spec}");
+        assert!(spec.contains("corrupt=0@6"), "{spec}");
     }
 
     #[test]
     fn parse_accepts_the_documented_grammar() {
-        let p = FaultPlan::parse("crash=1@3, transient=2@1x2, slow=0@2x8, rate=25, seed=7")
-            .expect("parses");
+        let p = FaultPlan::parse(
+            "crash=1@3, transient=2@1x2, slow=0@2x8, hang=3@4, corrupt=1@5, rate=25, seed=7",
+        )
+        .expect("parses");
         assert!(p.crash_due(1, 3));
         assert!(p.transient_fails(2, 1, 1));
         assert_eq!(p.slow_factor(0, 2), Some(8));
+        assert!(p.hang_due(3, 4));
+        assert!(p.corrupt_due(1, 5));
         assert_eq!(p.transient_permille, 25);
         assert_eq!(p.seed, 7);
+        // a crash with an x-suffix is a flap: it clears after the window
+        let flap = FaultPlan::parse("crash=1@3x2").unwrap();
+        assert!(flap.crash_due(1, 4));
+        assert!(!flap.crash_due(1, 5));
         // defaults: transient count 1, slow factor 4
         let q = FaultPlan::parse("transient=0@0,slow=1@1").unwrap();
         assert!(q.transient_fails(0, 0, 0));
@@ -437,6 +655,10 @@ mod tests {
             "rate=1001",
             "seed=abc",
             "transient=1@2xq",
+            "hang=3",
+            "hang=a@1",
+            "corrupt=@2",
+            "crash=1@2xz",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "'{bad}' must be rejected");
         }
@@ -452,6 +674,47 @@ mod tests {
     }
 
     #[test]
+    fn backoff_saturates_at_pathological_boundaries() {
+        // attempt counts far beyond any retry budget must clamp to the
+        // cap, never overflow the doubling into inf/NaN
+        let r = RetryPolicy::default();
+        for retry in [31, 32, 63, 64, 1 << 20, u32::MAX] {
+            let b = r.backoff_ms(retry);
+            assert!(b.is_finite(), "retry={retry} gave {b}");
+            assert_eq!(b, r.max_backoff_ms, "retry={retry}");
+        }
+        // an absurd base delay whose doubled product is non-finite still
+        // clamps to the cap instead of propagating inf
+        let huge = RetryPolicy {
+            base_backoff_ms: f64::MAX,
+            max_backoff_ms: 8.0,
+            ..RetryPolicy::default()
+        };
+        for retry in [0, 1, 2, 63, u32::MAX] {
+            assert_eq!(huge.backoff_ms(retry), 8.0, "retry={retry}");
+        }
+        // and a zero-base policy stays exactly zero at every attempt
+        let zero = RetryPolicy {
+            base_backoff_ms: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(zero.backoff_ms(u32::MAX), 0.0);
+    }
+
+    #[test]
+    fn heal_policy_defaults_disable_healing() {
+        let h = HealPolicy::default();
+        assert!(!h.hedging(), "watchdog off by default");
+        assert!(!h.probing(), "probes off by default");
+        let on = HealPolicy {
+            hedge_ms: 0.5,
+            probe_every: 4,
+            reinstate_after: 2,
+        };
+        assert!(on.hedging() && on.probing());
+    }
+
+    #[test]
     fn stats_absorb_and_display() {
         let mut a = FaultStats {
             retries: 1,
@@ -461,16 +724,53 @@ mod tests {
         let b = FaultStats {
             retries: 3,
             repartitions: 1,
+            injected_hangs: 1,
+            hedges: 1,
+            probes: 5,
+            probations: 1,
+            reinstatements: 1,
+            injected_corruptions: 2,
             ..FaultStats::default()
         };
         a.absorb(&b);
         assert_eq!(a.retries, 4);
         assert_eq!(a.evictions, 2);
         assert_eq!(a.repartitions, 1);
+        assert_eq!(a.hedges, 1);
+        assert_eq!(a.probes, 5);
         assert!(!a.is_zero());
+        assert!(a.any_healing());
+        assert!(!FaultStats::default().any_healing());
         assert!(FaultStats::default().is_zero());
         let line = a.to_string();
         assert!(line.contains("retries=4"), "{line}");
         assert!(line.contains("evictions=2"), "{line}");
+        assert!(line.contains("hangs=1 hedges=1"), "{line}");
+        assert!(line.contains("corruptions=2"), "{line}");
+        assert!(
+            line.contains("probes=5 probations=1 reinstatements=1"),
+            "{line}"
+        );
+        // the healing suffix stays out of fault lines that never healed
+        let quiet = FaultStats {
+            retries: 2,
+            ..FaultStats::default()
+        };
+        let qline = quiet.to_string();
+        assert!(!qline.contains("hedges"), "{qline}");
+        assert!(!qline.contains("probes"), "{qline}");
+    }
+
+    #[test]
+    fn absorb_saturates_instead_of_wrapping() {
+        let mut a = FaultStats {
+            retries: u64::MAX - 1,
+            ..FaultStats::default()
+        };
+        a.absorb(&FaultStats {
+            retries: 5,
+            ..FaultStats::default()
+        });
+        assert_eq!(a.retries, u64::MAX, "monotone under saturation");
     }
 }

@@ -33,11 +33,18 @@
 //! bit-identical pool-on vs pool-off.
 //!
 //! The [`fault`] module adds deterministic chaos: a seed-driven
-//! [`fault::FaultPlan`] injects device crashes, transient shard errors,
-//! and slow links into every launch, and the executor recovers —
-//! retrying transients with capped backoff, evicting crashed devices
-//! from its health view, and re-planning lost shards over the survivors
-//! — while staying bit-identical to the fault-free run.
+//! [`fault::FaultPlan`] injects device crashes (permanent or flapping),
+//! transient shard errors, slow links, shard hangs, and resident-buffer
+//! corruption into every launch, and the executor recovers — retrying
+//! transients with capped backoff, evicting crashed devices, and
+//! re-planning lost shards over the survivors — while staying
+//! bit-identical to the fault-free run. A [`fault::HealPolicy`] arms the
+//! self-healing layer on top: a shard watchdog hedges hung or straggling
+//! shards onto healthy spares (first modelled completion wins), and a
+//! per-device health state machine ([`device::DeviceHealth`]) probes
+//! out-of-rotation devices on a deterministic cadence and reinstates
+//! them — invalidating their residency first — once they pass the
+//! policy's consecutive-probe quota.
 
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::too_many_arguments)]
@@ -46,7 +53,7 @@ pub mod exec;
 pub mod fault;
 pub mod topology;
 
-pub use device::{DevicePool, DeviceSpec, PoolConfig};
+pub use device::{DeviceHealth, DevicePool, DeviceSpec, PoolConfig};
 pub use exec::{DistExecutor, DistReport, MemLaunchStats, ShardReport};
-pub use fault::{FaultPlan, FaultStats, RetryPolicy};
+pub use fault::{FaultPlan, FaultStats, HealPolicy, RetryPolicy};
 pub use topology::{combine_cost, CombineCost, CombineTopology};

@@ -18,9 +18,11 @@ use mdh_core::expr::ScalarFunction;
 use mdh_core::index_fn::{AffineExpr, IndexFn};
 use mdh_core::shape::Shape;
 use mdh_core::types::{BasicType, ScalarKind};
-use mdh_dist::{DevicePool, DistExecutor, FaultPlan};
+use mdh_dist::{DevicePool, DistExecutor, FaultPlan, HealPolicy};
+use mdh_mem::MemPool;
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
+use std::sync::Arc;
 
 /// Integer-valued, position-dependent fill (exact in f32).
 fn int_fill(buf: &mut Buffer, salt: usize) {
@@ -81,6 +83,76 @@ fn chaos_plan(seed: u64, rate: u16, devices: usize, with_crash: bool) -> FaultPl
     } else {
         plan
     }
+}
+
+/// A self-healing chaos schedule for a pool of `devices`: seeded
+/// transients plus — when the pool is wide enough — a flapping crash at
+/// launch 1 (down for 2 launches), a resident-buffer corruption at
+/// launch 2, and a shard hang at launch 6, by which point the flapped
+/// device has been probed back into the rotation (probe cadence 2,
+/// reinstate after 1 pass: down 1–2, probe 4 passes, healthy at 6), so
+/// the hedge always has a spare.
+fn healing_chaos_plan(seed: u64, rate: u16, devices: usize) -> FaultPlan {
+    let plan = FaultPlan::seeded(seed, rate.min(400));
+    if devices >= 2 {
+        let flapper = (seed as usize) % devices;
+        let hanger = (seed as usize + 1) % devices;
+        plan.flap(flapper, 1, 2)
+            .corrupt((seed as usize + 1) % devices, 2)
+            .hang(hanger, 6)
+    } else {
+        plan.corrupt(0, 2)
+    }
+}
+
+/// Executor with the full self-healing stack armed: hedged watchdog,
+/// probe cadence 2, one passing probe to reinstate, and a residency pool
+/// so corruption schedules have resident bytes to corrupt.
+fn healing_executor(devices: usize, plan: FaultPlan) -> DistExecutor {
+    DistExecutor::with_faults(DevicePool::gpus(devices), plan)
+        .expect("pool")
+        .with_mem(Arc::new(MemPool::new(devices, 1 << 30)))
+        .with_healing(HealPolicy {
+            hedge_ms: 0.05,
+            probe_every: 2,
+            reinstate_after: 1,
+        })
+}
+
+/// Run 8 healing-enabled launches across widths 1/2/4 and assert each is
+/// bit-identical to the fault-free reference. Failure messages carry the
+/// replay spec.
+fn assert_healing_identical(
+    prog: &DslProgram,
+    inputs: &[Buffer],
+    reference: &[Buffer],
+    seed: u64,
+    rate: u16,
+) -> std::result::Result<(), TestCaseError> {
+    for devices in [1usize, 2, 4] {
+        let plan = healing_chaos_plan(seed, rate, devices);
+        let spec = plan.to_string();
+        let dist = healing_executor(devices, plan);
+        for launch in 0..8 {
+            let (outs, report) = dist.run(prog, inputs).unwrap_or_else(|e| {
+                panic!("launch {launch} @ {devices} failed (replay: --faults '{spec}'): {e}")
+            });
+            prop_assert_eq!(
+                &outs[..],
+                reference,
+                "launch {} @ {} devices diverged under healing (replay: --faults '{}')",
+                launch,
+                devices,
+                spec
+            );
+            prop_assert!(
+                report.devices_alive >= 1,
+                "pool emptied (replay: --faults '{}')",
+                spec
+            );
+        }
+    }
+    Ok(())
 }
 
 /// MatVec: a `cc` dimension over rows and a `pw(+)` dimension over
@@ -246,5 +318,89 @@ proptest! {
         prop_assert_eq!(cum.evictions, 1, "one scheduled crash, one eviction (replay: --faults '{}')", spec);
         prop_assert!(cum.repartitions >= 1, "eviction mid-launch re-plans (replay: --faults '{}')", spec);
         prop_assert_eq!(dist.healthy_count(), devices - 1);
+    }
+
+    /// Self-healing chaos (flap + corrupt + hang, hedged watchdog and
+    /// probe reinstatement armed) stays bit-identical for the `cc`
+    /// operator across widths 1/2/4.
+    #[test]
+    fn cc_survives_hang_corrupt_flap_with_healing(
+        i in 1usize..32,
+        k in 1usize..32,
+        seed in 0u64..1 << 32,
+        rate in 0u16..400,
+    ) {
+        let (prog, inputs) = matvec(i, k);
+        let reference = reference_run(&prog, &inputs);
+        assert_healing_identical(&prog, &inputs, &reference, seed, rate)?;
+    }
+
+    /// Same schedule, `pw(+)`: a hedged shard's partial must slot into
+    /// the same fold position as the victim's would have.
+    #[test]
+    fn pw_add_survives_hang_corrupt_flap_with_healing(
+        n in 1usize..300,
+        seed in 0u64..1 << 32,
+        rate in 0u16..400,
+    ) {
+        let (prog, inputs) = dot(n);
+        let reference = reference_run(&prog, &inputs);
+        assert_healing_identical(&prog, &inputs, &reference, seed, rate)?;
+    }
+
+    /// Same schedule, `ps(max)`: the ordered cross-shard carry chain —
+    /// most sensitive to a hedge or reinstatement reordering shards.
+    #[test]
+    fn ps_max_survives_hang_corrupt_flap_with_healing(
+        n in 1usize..160,
+        seed in 0u64..1 << 32,
+        rate in 0u16..400,
+    ) {
+        let (prog, inputs) = running_max(n);
+        let reference = reference_run(&prog, &inputs);
+        assert_healing_identical(&prog, &inputs, &reference, seed, rate)?;
+    }
+
+    /// Reinstatement is deterministic: a device flapping down for 2
+    /// launches under probe cadence 2 / quota 2 follows one fixed
+    /// timeline for any seed, victim, and width — evicted at launch 1,
+    /// probed (fail, pass, pass) at 2/4/6, reinstated once, back in the
+    /// rotation by launch 8 — and the cumulative healing counters
+    /// reconcile with the sum of the per-launch reports.
+    #[test]
+    fn flap_reinstatement_timeline_is_deterministic(
+        i in 2usize..24,
+        k in 1usize..24,
+        devices in 2usize..7,
+        seed in 0u64..1 << 32,
+    ) {
+        let (prog, inputs) = matvec(i, k);
+        // the crash only fires when the victim is used (see above)
+        let victim = (seed as usize) % devices.min(i);
+        let plan = FaultPlan::none().flap(victim, 1, 2);
+        let spec = plan.to_string();
+        let dist = DistExecutor::with_faults(DevicePool::gpus(devices), plan)
+            .expect("pool")
+            .with_healing(HealPolicy {
+                hedge_ms: 0.0,
+                probe_every: 2,
+                reinstate_after: 2,
+            });
+        let reference = reference_run(&prog, &inputs);
+        let mut summed = mdh_dist::FaultStats::default();
+        for launch in 0..9 {
+            let (outs, report) = dist.run(&prog, &inputs).expect("run");
+            prop_assert_eq!(
+                &outs[..], &reference[..],
+                "launch {} diverged (replay: --faults '{}')", launch, spec
+            );
+            summed.absorb(&report.faults);
+        }
+        let cum = dist.fault_stats();
+        prop_assert_eq!(&cum, &summed, "cumulative != sum of per-launch (replay: --faults '{}')", spec);
+        prop_assert_eq!(cum.evictions, 1, "one flap, one eviction (replay: --faults '{}')", spec);
+        prop_assert_eq!(cum.reinstatements, 1, "one reinstatement (replay: --faults '{}')", spec);
+        prop_assert_eq!(cum.probes, 3, "probes at 2 (fail), 4, 6 (replay: --faults '{}')", spec);
+        prop_assert_eq!(dist.healthy_count(), devices, "flapped device must be back in rotation");
     }
 }

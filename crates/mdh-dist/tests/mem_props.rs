@@ -122,6 +122,73 @@ proptest! {
         }
     }
 
+    /// Corruption schedules: every detected corruption is counted as an
+    /// invalidation too, the corrupted block is re-uploaded fresh, and
+    /// the launch result is bit-identical to the pool-off reference —
+    /// detection ⇒ invalidation ⇒ unchanged values, for any width,
+    /// victim, and corruption launch.
+    #[test]
+    fn corruption_detection_invalidates_and_preserves_values(
+        i in 1usize..40,
+        k in 1usize..40,
+        devices in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let (prog, inputs) = matvec(i, k);
+        let reference = {
+            let dist = DistExecutor::new(DevicePool::gpus(1)).expect("pool");
+            dist.run(&prog, &inputs).expect("reference").0
+        };
+        // corrupt a device that is guaranteed to receive a shard, on a
+        // warm launch so there are resident bytes to corrupt
+        let victim = (seed as usize) % devices.min(i);
+        let at = 1 + seed % 3;
+        let plan = FaultPlan::none().corrupt(victim, at);
+        let spec = plan.to_string();
+        let (dist, mem) = pooled_executor(devices, 1 << 30, plan);
+        let mut detected = 0u64;
+        for launch in 0..5 {
+            let (outs, report) = dist
+                .run(&prog, &inputs)
+                .unwrap_or_else(|e| panic!(
+                    "launch {launch} failed (replay: --faults '{spec}'): {e}"
+                ));
+            prop_assert_eq!(
+                &outs[..], &reference[..],
+                "launch {} diverged under corruption (replay: --faults '{}')",
+                launch, spec
+            );
+            let m = report.mem.expect("mem stats");
+            detected += m.corruptions;
+            if launch as u64 == at {
+                prop_assert!(
+                    m.corruptions > 0,
+                    "scheduled corruption must be detected (replay: --faults '{}')",
+                    spec
+                );
+                prop_assert_eq!(
+                    m.misses, m.corruptions,
+                    "every detected corruption re-uploads fresh (replay: --faults '{}')",
+                    spec
+                );
+            } else {
+                prop_assert_eq!(
+                    m.corruptions, 0,
+                    "corruption fires only at its scheduled launch (replay: --faults '{}')",
+                    spec
+                );
+            }
+        }
+        let stats = mem.stats();
+        prop_assert_eq!(stats.corruptions_detected, detected);
+        prop_assert!(
+            stats.invalidations >= stats.corruptions_detected,
+            "every detection counts as an invalidation: {} < {}",
+            stats.invalidations, stats.corruptions_detected
+        );
+        prop_assert_eq!(dist.fault_stats().injected_corruptions, detected);
+    }
+
     /// Budget smaller than the working set: the executor keeps producing
     /// correct values while the pool thrashes. Eviction counters are
     /// monotone and pooled bytes never exceed the budget, even at peak.

@@ -94,6 +94,10 @@ pub struct MemStats {
     pub bytes_uploaded: u64,
     /// Payload bytes whose upload was skipped (hits).
     pub bytes_avoided: u64,
+    /// Resident blocks whose fingerprint revalidation failed
+    /// ([`DeviceMemPool::detect_corruption`]): counted here *and* as an
+    /// invalidation, since the block is dropped.
+    pub corruptions_detected: u64,
 }
 
 impl MemStats {
@@ -112,6 +116,7 @@ impl MemStats {
         self.peak_bytes += o.peak_bytes;
         self.bytes_uploaded += o.bytes_uploaded;
         self.bytes_avoided += o.bytes_avoided;
+        self.corruptions_detected += o.corruptions_detected;
     }
 }
 
@@ -260,6 +265,26 @@ impl DeviceMemPool {
     pub fn resident_blocks(&self) -> usize {
         self.resident.len()
     }
+
+    /// Revalidation of a resident block's fingerprint failed (the strided
+    /// re-sample of the device copy no longer matches the key): drop the
+    /// block so the caller's next [`DeviceMemPool::acquire`] misses into a
+    /// fresh upload. Returns whether a resident block was actually
+    /// dropped — a non-resident key has nothing to corrupt. Counts one
+    /// detected corruption *and* one invalidation; values are never read
+    /// from residency, so the result of the launch is unchanged.
+    pub fn detect_corruption(&mut self, key: BlockKey) -> bool {
+        let Some(entry) = self.resident.remove(&key) else {
+            return false;
+        };
+        self.stats.bytes_resident -= entry.class_bytes;
+        self.stats.corruptions_detected += 1;
+        self.stats.invalidations += 1;
+        // the block's allocation itself is fine — only the bytes are
+        // untrusted — so it returns to its class free list for reuse
+        *self.free.entry(entry.class_bytes).or_insert(0) += 1;
+        true
+    }
 }
 
 fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -334,6 +359,16 @@ impl MemPool {
     pub fn invalidate_device(&self, dev: usize) {
         if let Some(d) = self.devices.get(dev) {
             plock(d).invalidate_all();
+        }
+    }
+
+    /// Corruption path: the resident copy of `key` on `dev` failed its
+    /// fingerprint revalidation. Drops the block (returning whether it
+    /// was resident) so the next acquire misses into a fresh H2D.
+    pub fn detect_corruption(&self, dev: usize, key: BlockKey) -> bool {
+        match self.devices.get(dev) {
+            Some(d) => plock(d).detect_corruption(key),
+            None => false,
         }
     }
 
@@ -502,6 +537,33 @@ mod tests {
         assert_eq!(s.invalidations, 2);
         assert_eq!(s.misses, 2, "history preserved");
         assert!(!p.acquire(key(1, 0, 0), 4096).is_hit(), "no stale hits");
+    }
+
+    #[test]
+    fn corruption_detection_invalidates_only_the_bad_block() {
+        let mut p = DeviceMemPool::new(1 << 20);
+        let (good, bad) = (key(1, 0, 0), key(2, 0, 0));
+        p.acquire(good, 1000);
+        p.acquire(bad, 1000);
+        assert!(p.detect_corruption(bad), "resident block dropped");
+        assert!(!p.detect_corruption(bad), "already gone: nothing to drop");
+        let s = p.stats();
+        assert_eq!(s.corruptions_detected, 1);
+        assert_eq!(s.invalidations, 1);
+        assert!(p.acquire(good, 1000).is_hit(), "good block untouched");
+        assert!(!p.acquire(bad, 1000).is_hit(), "bad block re-uploads");
+        // the dropped allocation was reusable: the re-upload claims it
+        // from the free list instead of allocating fresh
+        assert_eq!(p.stats().reuses, 1);
+        assert!(p.acquire(bad, 1000).is_hit(), "fresh copy resident again");
+    }
+
+    #[test]
+    fn corruption_on_unknown_key_or_device_is_inert() {
+        let pool = MemPool::new(1, 1 << 20);
+        assert!(!pool.detect_corruption(0, key(9, 0, 0)), "never resident");
+        assert!(!pool.detect_corruption(5, key(9, 0, 0)), "no such device");
+        assert_eq!(pool.stats().corruptions_detected, 0);
     }
 
     #[test]

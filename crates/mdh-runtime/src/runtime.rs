@@ -106,6 +106,19 @@ pub struct RuntimeConfig {
     /// transfer, matching the pre-pool time model). Results are
     /// bit-identical either way — residency only affects timing.
     pub mem_budget_bytes: u64,
+    /// Shard watchdog hedge margin in modelled milliseconds
+    /// (`devices > 1` only): a shard exceeding its fault-free modelled
+    /// completion by this much is speculatively re-executed on a healthy
+    /// spare, first completion wins. `0.0` (the default) disables
+    /// hedging — hangs escalate to crashes.
+    pub hedge_ms: f64,
+    /// Probe out-of-rotation devices every this many launches
+    /// (`devices > 1` only). `0` (the default) disables probing —
+    /// evictions stay permanent.
+    pub probe_every: u64,
+    /// Consecutive passing probes an evicted device needs to earn
+    /// reinstatement (probation devices always need exactly one).
+    pub reinstate_after: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -129,6 +142,9 @@ impl Default for RuntimeConfig {
             devices: 1,
             faults: None,
             mem_budget_bytes: 2 << 30,
+            hedge_ms: 0.0,
+            probe_every: 0,
+            reinstate_after: 3,
         }
     }
 }
@@ -394,6 +410,11 @@ impl Runtime {
             if let Some(m) = &mem {
                 d = d.with_mem(Arc::clone(m));
             }
+            d = d.with_healing(mdh_dist::HealPolicy {
+                hedge_ms: config.hedge_ms,
+                probe_every: config.probe_every,
+                reinstate_after: config.reinstate_after,
+            });
             Some(d)
         } else {
             None
@@ -629,6 +650,23 @@ impl Runtime {
             mem_bytes_avoided: mem.bytes_avoided,
             kernel_hits: fast_hits,
             kernel_fallbacks: fast_fallbacks,
+            fault_hangs: faults.injected_hangs,
+            fault_hedges: faults.hedges,
+            health_probes: faults.probes,
+            health_probations: faults.probations,
+            health_reinstatements: faults.reinstatements,
+            corruptions_detected: mem.corruptions_detected,
+            device_health: match &self.shared.dist {
+                Some(d) => d
+                    .pool()
+                    .devices
+                    .iter()
+                    .zip(d.device_health())
+                    .enumerate()
+                    .map(|(i, (dev, h))| (dev.label(i), h.label().to_string()))
+                    .collect(),
+                None => Vec::new(),
+            },
         }
     }
 

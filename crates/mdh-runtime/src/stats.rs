@@ -195,6 +195,24 @@ pub struct RuntimeStats {
     /// CPU executions that were fast-path candidates but fell back to the
     /// VM or legacy kernels, with a recorded reason (monotone).
     pub kernel_fallbacks: u64,
+    /// Injected shard hangs caught by the watchdog (monotone).
+    pub fault_hangs: u64,
+    /// Hung or straggling shards hedged onto a healthy spare (monotone).
+    pub fault_hedges: u64,
+    /// Health probes run against out-of-rotation devices (monotone).
+    pub health_probes: u64,
+    /// Devices demoted to probation after a hang (monotone).
+    pub health_probations: u64,
+    /// Devices reinstated into the rotation after passing their probe
+    /// quota (monotone).
+    pub health_reinstatements: u64,
+    /// Resident-buffer corruptions detected by fingerprint revalidation
+    /// and repaired with a fresh upload (monotone).
+    pub corruptions_detected: u64,
+    /// Current health state of each pool device, labelled
+    /// (`gpu0`, ...) → `healthy`/`probation`/`evicted`/`reinstating`
+    /// (gauge; empty for single-device runtimes).
+    pub device_health: Vec<(String, String)>,
 }
 
 impl RuntimeStats {
@@ -228,6 +246,19 @@ impl RuntimeStats {
     /// indexed-reduction programs) has been served.
     pub fn has_training(&self) -> bool {
         self.grad_requests > 0 || self.rbi_requests > 0
+    }
+
+    /// Whether the self-healing layer has recorded any activity (hangs,
+    /// hedges, probes, transitions, corruption repairs) or any device is
+    /// currently out of the rotation.
+    pub fn has_healing(&self) -> bool {
+        self.fault_hangs > 0
+            || self.fault_hedges > 0
+            || self.health_probes > 0
+            || self.health_probations > 0
+            || self.health_reinstatements > 0
+            || self.corruptions_detected > 0
+            || self.device_health.iter().any(|(_, h)| h != "healthy")
     }
 
     /// The whole snapshot as one machine-readable JSON object (a single
@@ -328,6 +359,31 @@ impl RuntimeStats {
             "kernel_fallbacks",
             self.kernel_fallbacks.to_string(),
         );
+        field(&mut s, "fault_hangs", self.fault_hangs.to_string());
+        field(&mut s, "fault_hedges", self.fault_hedges.to_string());
+        field(&mut s, "health_probes", self.health_probes.to_string());
+        field(
+            &mut s,
+            "health_probations",
+            self.health_probations.to_string(),
+        );
+        field(
+            &mut s,
+            "health_reinstatements",
+            self.health_reinstatements.to_string(),
+        );
+        field(
+            &mut s,
+            "corruptions_detected",
+            self.corruptions_detected.to_string(),
+        );
+        let health = self
+            .device_health
+            .iter()
+            .map(|(label, state)| format!("\"{label}\":\"{state}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        field(&mut s, "device_health", format!("{{{health}}}"));
         s.push('}');
         s
     }
@@ -403,6 +459,24 @@ impl std::fmt::Display for RuntimeStats {
                 self.repartitions,
                 self.degraded_requests
             )?;
+        }
+        if self.has_healing() {
+            write!(
+                f,
+                "; healing: hangs={} hedges={} probes={} probations={} \
+                 reinstatements={} corruptions={}",
+                self.fault_hangs,
+                self.fault_hedges,
+                self.health_probes,
+                self.health_probations,
+                self.health_reinstatements,
+                self.corruptions_detected
+            )?;
+            for (label, state) in &self.device_health {
+                if state != "healthy" {
+                    write!(f, " {label}={state}")?;
+                }
+            }
         }
         if self.has_training() {
             write!(
@@ -653,6 +727,16 @@ mod tests {
             mem_bytes_avoided: 1 << 20,
             kernel_hits: 42,
             kernel_fallbacks: 7,
+            fault_hangs: 2,
+            fault_hedges: 2,
+            health_probes: 5,
+            health_probations: 2,
+            health_reinstatements: 1,
+            corruptions_detected: 3,
+            device_health: vec![
+                ("gpu0".into(), "healthy".into()),
+                ("gpu1".into(), "probation".into()),
+            ],
         };
         let idle_keys = top_level_keys(&idle.to_json());
         let busy_keys = top_level_keys(&busy.to_json());
@@ -668,6 +752,13 @@ mod tests {
             "mem_bytes_avoided",
             "kernel_hits",
             "kernel_fallbacks",
+            "fault_hangs",
+            "fault_hedges",
+            "health_probes",
+            "health_probations",
+            "health_reinstatements",
+            "corruptions_detected",
+            "device_health",
         ] {
             assert!(idle_keys.iter().any(|x| x == k), "missing {k}");
         }
@@ -675,6 +766,37 @@ mod tests {
             !idle_keys.iter().any(|k| k == "gpu0"),
             "nested labels are not top-level keys"
         );
+        assert!(
+            busy.to_json().contains("\"gpu1\":\"probation\""),
+            "device health states are nested string values"
+        );
+    }
+
+    #[test]
+    fn display_includes_healing_only_when_active() {
+        let mut s = RuntimeStats::default();
+        assert!(!s.has_healing());
+        assert!(!s.to_string().contains("healing:"));
+        // an all-healthy gauge alone does not make the section print
+        s.device_health = vec![("gpu0".into(), "healthy".into())];
+        assert!(!s.has_healing());
+        s.fault_hangs = 1;
+        s.fault_hedges = 1;
+        s.health_probes = 2;
+        s.health_probations = 1;
+        s.health_reinstatements = 1;
+        s.corruptions_detected = 4;
+        s.device_health.push(("gpu1".into(), "evicted".into()));
+        assert!(s.has_healing());
+        let line = s.to_string();
+        assert!(
+            line.contains(
+                "healing: hangs=1 hedges=1 probes=2 probations=1 \
+                 reinstatements=1 corruptions=4 gpu1=evicted"
+            ),
+            "{line}"
+        );
+        assert!(!line.contains("gpu0=healthy"), "{line}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! mdhc serve    <socket> [--threads N] [--workers N] [--batch N] [--budget N]
 //!               [--cache FILE] [--devices N] [--faults SPEC]
 //!               [--mem-budget BYTES[k|m|g]]
+//!               [--hedge-ms MS] [--probe-every N] [--reinstate-after N]
 //!               [--max-queue-depth N] [--max-connections N]
 //!                                                  persistent execution service
 //!                                                  (--devices N > 1 partitions GPU
@@ -16,10 +17,18 @@
 //!                                                  --faults injects a deterministic
 //!                                                  chaos schedule, e.g.
 //!                                                  "crash=1@3,transient=2@1x2,
+//!                                                  hang=0@5,corrupt=1@2,
 //!                                                  rate=25,seed=42";
 //!                                                  --mem-budget caps the per-device
 //!                                                  resident buffer pool — repeated
 //!                                                  operands skip H2D; 0 disables;
+//!                                                  --hedge-ms arms the shard
+//!                                                  watchdog: hung/straggling shards
+//!                                                  are hedged onto a healthy spare;
+//!                                                  --probe-every probes evicted
+//!                                                  devices every N launches and
+//!                                                  reinstates them after
+//!                                                  --reinstate-after passing probes;
 //!                                                  --max-queue-depth bounds the
 //!                                                  request queue — beyond it,
 //!                                                  submissions shed with a
@@ -63,7 +72,8 @@ fn usage() -> ! {
         "usage: mdhc <compile|run|estimate|tune|explain|serve|submit|stats> <file|socket> \
          [-D NAME=VAL]... [--device gpu|cpu] [--threads N] [--budget N] [--cache FILE] \
          [--workers N] [--batch N] [--socket PATH] [--count N] [--devices N] \
-         [--faults SPEC] [--mem-budget BYTES[k|m|g]] [--max-queue-depth N] \
+         [--faults SPEC] [--mem-budget BYTES[k|m|g]] [--hedge-ms MS] \
+         [--probe-every N] [--reinstate-after N] [--max-queue-depth N] \
          [--max-connections N] [--deadline-ms N] [--grad] [--json]"
     );
     exit(2);
@@ -85,6 +95,9 @@ struct Cli {
     devices: usize,
     faults: Option<mdh::dist::FaultPlan>,
     mem_budget: Option<u64>,
+    hedge_ms: f64,
+    probe_every: u64,
+    reinstate_after: u32,
     max_queue_depth: usize,
     max_connections: usize,
     deadline_ms: Option<u64>,
@@ -115,6 +128,9 @@ fn parse_cli() -> Cli {
     let mut faults = None;
     let mut mem_budget = None;
     let defaults = RuntimeConfig::default();
+    let mut hedge_ms = defaults.hedge_ms;
+    let mut probe_every = defaults.probe_every;
+    let mut reinstate_after = defaults.reinstate_after;
     let mut max_queue_depth = defaults.max_queue_depth;
     let mut max_connections = defaults.max_connections;
     let mut deadline_ms = None;
@@ -217,6 +233,28 @@ fn parse_cli() -> Cli {
                 }
                 i += 2;
             }
+            "--hedge-ms" => {
+                hedge_ms = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--probe-every" => {
+                probe_every = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--reinstate-after" => {
+                reinstate_after = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
             "--max-queue-depth" => {
                 max_queue_depth = args
                     .get(i + 1)
@@ -269,6 +307,9 @@ fn parse_cli() -> Cli {
         devices,
         faults,
         mem_budget,
+        hedge_ms,
+        probe_every,
+        reinstate_after,
         max_queue_depth,
         max_connections,
         deadline_ms,
@@ -421,6 +462,9 @@ fn cmd_serve(cli: &Cli) {
         mem_budget_bytes: cli
             .mem_budget
             .unwrap_or(RuntimeConfig::default().mem_budget_bytes),
+        hedge_ms: cli.hedge_ms,
+        probe_every: cli.probe_every,
+        reinstate_after: cli.reinstate_after,
         max_queue_depth: cli.max_queue_depth.max(1),
         max_connections: cli.max_connections.max(1),
         ..RuntimeConfig::default()
@@ -438,6 +482,12 @@ fn cmd_serve(cli: &Cli) {
             exit(2);
         }
         println!("fault plan: {plan}");
+    }
+    if config.devices > 1 && (config.hedge_ms > 0.0 || config.probe_every > 0) {
+        println!(
+            "healing: hedge {:.3} ms, probe every {} launches, reinstate after {} passes",
+            config.hedge_ms, config.probe_every, config.reinstate_after
+        );
     }
     if let Err(e) = mdh::runtime::server::serve(&cli.file, config) {
         eprintln!("serve failed on {}: {e}", cli.file.display());

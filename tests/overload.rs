@@ -260,6 +260,159 @@ fn breaker_half_open_probe_closes_after_cooldown() {
     assert_eq!(stats.worker_panics, 2, "stats: {stats}");
 }
 
+/// Two requests hitting a cooled-down breaker at the same time: exactly
+/// one is admitted as the half-open probe; the other must fail fast
+/// rather than pile a second probe onto a key that is most likely still
+/// broken. Whether the two race to separate workers or drain into one
+/// batch, the single-probe invariant holds.
+#[test]
+fn half_open_admits_exactly_one_of_two_simultaneous_probes() {
+    let mut poison = dot_prog(48);
+    poison.name = "poison".into();
+    let inputs = deterministic_inputs(&poison).unwrap();
+
+    let runtime = Runtime::new(RuntimeConfig {
+        workers: 2,
+        exec_threads: 2,
+        breaker_threshold: 1,
+        breaker_cooldown: Duration::from_millis(1000),
+        panic_marker: Some("poison".into()),
+        tune: no_tune(),
+        ..RuntimeConfig::default()
+    })
+    .unwrap();
+
+    // trip the breaker with a single panic (threshold 1)
+    let r = runtime
+        .submit(Request::new(
+            poison.clone(),
+            DeviceKind::Cpu,
+            inputs.clone(),
+        ))
+        .wait();
+    assert!(matches!(r, Err(MdhError::WorkerPanic(_))), "{r:?}");
+
+    std::thread::sleep(Duration::from_millis(1200));
+    // two simultaneous submissions race for the single half-open slot
+    let h1 = runtime.submit(Request::new(
+        poison.clone(),
+        DeviceKind::Cpu,
+        inputs.clone(),
+    ));
+    let h2 = runtime.submit(Request::new(
+        poison.clone(),
+        DeviceKind::Cpu,
+        inputs.clone(),
+    ));
+    let answers = [h1.wait(), h2.wait()];
+    let panics = answers
+        .iter()
+        .filter(|a| matches!(a, Err(MdhError::WorkerPanic(_))))
+        .count();
+    let fast = answers
+        .iter()
+        .filter(|a| matches!(a, Err(MdhError::BreakerOpen(_))))
+        .count();
+    assert_eq!(panics, 1, "exactly one probe may execute: {answers:?}");
+    assert_eq!(fast, 1, "the loser must fail fast: {answers:?}");
+
+    let stats = runtime.stats();
+    assert_eq!(stats.worker_panics, 2, "stats: {stats}");
+    assert_eq!(
+        stats.breaker_trips, 2,
+        "initial trip + failed-probe reopen: {stats}"
+    );
+    assert_eq!(runtime.live_workers(), 2);
+}
+
+/// A successful half-open probe must fully reset the breaker: the next
+/// failure run needs the whole threshold again before tripping, and the
+/// reopened breaker fails fast cleanly.
+#[test]
+fn successful_probe_resets_threshold_before_reopening() {
+    let mut poison = dot_prog(96);
+    poison.name = "poison".into();
+    let healed = dot_prog(96); // same structure & shape ⇒ same plan key
+    let inputs = deterministic_inputs(&poison).unwrap();
+
+    let runtime = Runtime::new(RuntimeConfig {
+        workers: 1, // serialise: every submission is its own batch
+        exec_threads: 2,
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(50),
+        panic_marker: Some("poison".into()),
+        tune: no_tune(),
+        ..RuntimeConfig::default()
+    })
+    .unwrap();
+
+    // trip: two consecutive panics
+    for _ in 0..2 {
+        let r = runtime
+            .submit(Request::new(
+                poison.clone(),
+                DeviceKind::Cpu,
+                inputs.clone(),
+            ))
+            .wait();
+        assert!(matches!(r, Err(MdhError::WorkerPanic(_))), "{r:?}");
+    }
+    std::thread::sleep(Duration::from_millis(120));
+    // the probe succeeds and closes the breaker
+    runtime
+        .submit(Request::new(
+            healed.clone(),
+            DeviceKind::Cpu,
+            inputs.clone(),
+        ))
+        .wait()
+        .expect("successful probe closes the breaker");
+
+    // the failure counter was reset by the success: the first panic of
+    // the next run must NOT trip (closed breaker, threshold 2) ...
+    let r = runtime
+        .submit(Request::new(
+            poison.clone(),
+            DeviceKind::Cpu,
+            inputs.clone(),
+        ))
+        .wait();
+    assert!(matches!(r, Err(MdhError::WorkerPanic(_))), "{r:?}");
+    runtime
+        .submit(Request::new(
+            healed.clone(),
+            DeviceKind::Cpu,
+            inputs.clone(),
+        ))
+        .wait()
+        .expect("one failure below threshold must not reopen the breaker");
+
+    // ... but a full failure run reopens it cleanly
+    for _ in 0..2 {
+        let r = runtime
+            .submit(Request::new(
+                poison.clone(),
+                DeviceKind::Cpu,
+                inputs.clone(),
+            ))
+            .wait();
+        assert!(matches!(r, Err(MdhError::WorkerPanic(_))), "{r:?}");
+    }
+    let r = runtime
+        .submit(Request::new(
+            healed.clone(),
+            DeviceKind::Cpu,
+            inputs.clone(),
+        ))
+        .wait();
+    assert!(matches!(r, Err(MdhError::BreakerOpen(_))), "{r:?}");
+
+    let stats = runtime.stats();
+    assert_eq!(stats.breaker_trips, 2, "stats: {stats}");
+    assert_eq!(stats.worker_panics, 5, "stats: {stats}");
+    assert_eq!(stats.breaker_fast_fails, 1, "stats: {stats}");
+}
+
 /// Requests that expire while queued are answered without executing:
 /// the drain loop skips them even when a different-key batch anchors.
 #[test]
