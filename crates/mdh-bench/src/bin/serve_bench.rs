@@ -1,0 +1,647 @@
+//! Serving-scale benchmark: pipelined multiplexed transport, per-tenant
+//! weighted-fair admission, and consistent-hash runtime shards.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p mdh-bench --bin serve_bench -- \
+//!     [--quick] [--out BENCH_serve.json]
+//! ```
+//!
+//! Three studies, each against a real in-process `serve_opts` server
+//! driven over its public client API:
+//!
+//! * **pipeline** — the same request stream once as N one-command
+//!   connections (connect, SUBMIT, read, close — the pre-pipelining
+//!   client) and once as N `id=`-tagged frames on a single PIPE
+//!   connection. The full run gates pipelined throughput at >= 3x the
+//!   sequential baseline; both reply sets must carry identical result
+//!   checksums.
+//! * **fairness** — one flooding tenant fires a 64-request burst into a
+//!   quota-4 queue while three polite tenants trickle sequential
+//!   requests. Every polite request must complete (no starvation), the
+//!   flooder must still be served, and the surplus burst must shed.
+//! * **identity** — the same 8-plan-key workload through `--shards`
+//!   fronts of 1, 2, and 4 shards over the unix transport, plus a
+//!   2-shard front over TCP: result checksums must be bit-identical
+//!   everywhere, and the hash-ring fingerprints and per-shard route
+//!   counts must replay exactly.
+//!
+//! `SERVE_CHECK` lines carry only deterministic fields (checksum hashes,
+//! ring fingerprints, route counts, completion booleans) so CI runs the
+//! bin twice and diffs them; timings live only in the JSON. `--quick`
+//! shrinks the pipeline stream and skips the timing gate (determinism +
+//! schema stay enforced), mirroring `exec_throughput`.
+
+use mdh_lowering::DeviceKind;
+use mdh_runtime::server::{
+    client_shutdown_addr, client_stats_json_addr, client_submit_opts, client_submit_pipelined,
+    serve_opts, DEFAULT_VNODES,
+};
+use mdh_runtime::{HashRing, RuntimeConfig, ServeOptions, ServerAddr, SubmitClientOpts};
+use std::fmt::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// The workload every study submits: a dot product over `N` (bound per
+/// request), small enough that transport and scheduling — the things
+/// under test — dominate the wall clock.
+const DOT: &str = "\
+@mdh( out( res = Buffer[fp32] ),
+      inp( x = Buffer[fp32], y = Buffer[fp32] ),
+      combine_ops( pw(add) ) )
+def dot(res, x, y):
+    for k in range(N):
+        res[0] = x[k] * y[k]
+";
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic digest of a reply set: the sorted multiset of
+/// `checksum=` tokens from `ok` lines. Timings and hit/source flags stay
+/// out of the hash.
+fn checksum_hash(lines: &[String]) -> u64 {
+    let mut sums: Vec<&str> = lines
+        .iter()
+        .filter(|l| l.starts_with("ok "))
+        .filter_map(|l| l.split_whitespace().find(|t| t.starts_with("checksum=")))
+        .collect();
+    sums.sort_unstable();
+    fnv1a(sums.join("\n").as_bytes())
+}
+
+fn ok_count(lines: &[String]) -> usize {
+    lines.iter().filter(|l| l.starts_with("ok ")).count()
+}
+
+fn err_count(lines: &[String]) -> usize {
+    lines.iter().filter(|l| l.starts_with("err ")).count()
+}
+
+/// Spawn a server thread and wait until its listener accepts.
+struct Server {
+    addr: ServerAddr,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl Server {
+    fn start(opts: ServeOptions, config: RuntimeConfig) -> Server {
+        let addr = match &opts.tcp {
+            Some(tcp) => ServerAddr::Tcp(tcp.clone()),
+            None => ServerAddr::Unix(opts.unix.clone().expect("a listener")),
+        };
+        let unix = opts.unix.clone();
+        let thread = std::thread::spawn(move || {
+            serve_opts(opts, config).expect("serve_opts");
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let up = match &addr {
+                ServerAddr::Unix(p) => p.exists(),
+                ServerAddr::Tcp(a) => TcpStream::connect(a.as_str()).is_ok(),
+            };
+            if up {
+                // the unix listener binds first; when we are probing tcp,
+                // also wait for the socket file so both transports are live
+                if unix.as_ref().is_none_or(|p| p.exists()) {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "server did not come up");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        Server { addr, thread }
+    }
+
+    fn stop(self) {
+        client_shutdown_addr(&self.addr).expect("shutdown");
+        self.thread.join().expect("server thread");
+    }
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mdh-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// A free TCP port: bind to :0, note the port, release it. The tiny
+/// window before the server rebinds is acceptable for a benchmark.
+fn free_tcp_addr() -> String {
+    let l = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+    let addr = l.local_addr().expect("local addr");
+    format!("127.0.0.1:{}", addr.port())
+}
+
+fn opts_for(tenant: Option<&str>, n: i64) -> SubmitClientOpts {
+    SubmitClientOpts {
+        bindings: vec![("N".to_string(), n)],
+        deadline_ms: None,
+        grad: false,
+        tenant: tenant.map(str::to_string),
+    }
+}
+
+/// Pull `"key":<u64>` out of the server's single-line stats JSON.
+fn stats_u64(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat).map(|i| i + pat.len()).unwrap_or(0);
+    json[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+/// Pull a nested `"key":{...}` object (single-line, no nested braces)
+/// out of the stats JSON, verbatim.
+fn stats_obj(json: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":{{");
+    let Some(start) = json.find(&pat).map(|i| i + pat.len() - 1) else {
+        return "{}".to_string();
+    };
+    let end = json[start..]
+        .find('}')
+        .map_or(json.len(), |i| start + i + 1);
+    json[start..end].to_string()
+}
+
+fn server_stats_json(addr: &ServerAddr) -> String {
+    let lines = client_stats_json_addr(addr).expect("stats json");
+    lines
+        .iter()
+        .find_map(|l| l.strip_prefix("stats-json "))
+        .expect("stats-json line")
+        .to_string()
+}
+
+// ---------------------------------------------------------------------------
+// study 1: pipelined vs one-command-per-connection throughput
+// ---------------------------------------------------------------------------
+
+struct PipelineResult {
+    count: usize,
+    depth: usize,
+    sequential_ms: f64,
+    pipelined_ms: f64,
+    speedup: f64,
+    seq_hash: u64,
+    pipe_hash: u64,
+    hash_match: bool,
+    pipelined_connections: u64,
+    pipelined_frames: u64,
+}
+
+fn run_pipeline_study(dir: &Path, count: usize, reps: usize) -> PipelineResult {
+    let config = RuntimeConfig {
+        workers: 2,
+        exec_threads: 2,
+        ..RuntimeConfig::default()
+    };
+    let depth = config.pipeline_depth;
+    let server = Server::start(
+        ServeOptions {
+            unix: Some(dir.join("pipeline.sock")),
+            ..ServeOptions::default()
+        },
+        config,
+    );
+    let addr = server.addr.clone();
+    let opts = opts_for(None, 256);
+
+    // warm the plan cache so both arms measure steady-state serving
+    client_submit_opts(&addr, DOT, DeviceKind::Cpu, 1, &opts).expect("warmup");
+
+    // Interleaved best-of-`reps` timing: one-core containers schedule
+    // noisily, and alternating the arms keeps a background hiccup from
+    // landing entirely on one of them.
+    let mut sequential_ms = f64::INFINITY;
+    let mut pipelined_ms = f64::INFINITY;
+    let mut seq_lines = Vec::new();
+    let mut pipe_lines = Vec::new();
+    for _ in 0..reps {
+        // arm A: the pre-pipelining client — one connection per command
+        let t0 = Instant::now();
+        let mut lines = Vec::with_capacity(count * 2);
+        for _ in 0..count {
+            lines.extend(client_submit_opts(&addr, DOT, DeviceKind::Cpu, 1, &opts).expect("seq"));
+        }
+        sequential_ms = sequential_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        seq_lines = lines;
+
+        // arm B: the same stream as frames on one pipelined connection
+        let t0 = Instant::now();
+        let lines =
+            client_submit_pipelined(&addr, DOT, DeviceKind::Cpu, count, &opts).expect("pipelined");
+        pipelined_ms = pipelined_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        pipe_lines = lines;
+    }
+
+    let stats = server_stats_json(&addr);
+    server.stop();
+
+    let seq_hash = checksum_hash(&seq_lines);
+    let pipe_hash = checksum_hash(&pipe_lines);
+    assert_eq!(
+        ok_count(&seq_lines),
+        count,
+        "sequential arm dropped replies"
+    );
+    assert_eq!(
+        ok_count(&pipe_lines),
+        count,
+        "pipelined arm dropped replies"
+    );
+    assert_eq!(
+        seq_hash, pipe_hash,
+        "pipelined replies must be checksum-identical to sequential"
+    );
+    PipelineResult {
+        count,
+        depth,
+        sequential_ms,
+        pipelined_ms,
+        speedup: sequential_ms / pipelined_ms,
+        seq_hash,
+        pipe_hash,
+        hash_match: seq_hash == pipe_hash,
+        pipelined_connections: stats_u64(&stats, "pipelined_connections"),
+        pipelined_frames: stats_u64(&stats, "pipelined_frames"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// study 2: K-tenant flood fairness under quota + DRR
+// ---------------------------------------------------------------------------
+
+const POLITE_TENANTS: [&str; 3] = ["polite-a", "polite-b", "polite-c"];
+const POLITE_REQUESTS: usize = 24;
+const FLOOD_BURST: usize = 64;
+const TENANT_QUOTA: usize = 4;
+
+struct FairnessResult {
+    polite_ok: usize,
+    polite_expected: usize,
+    noisy_ok: usize,
+    noisy_err: usize,
+    tenant_shed: u64,
+    shed_requests: u64,
+    tenant_dispatches: String,
+    checksum_hash: u64,
+}
+
+fn run_fairness_study(dir: &Path) -> FairnessResult {
+    let config = RuntimeConfig {
+        workers: 2,
+        exec_threads: 2,
+        tenant_quota: TENANT_QUOTA,
+        tenant_weights: vec![("noisy".to_string(), 1), ("polite-a".to_string(), 2)],
+        ..RuntimeConfig::default()
+    };
+    let server = Server::start(
+        ServeOptions {
+            unix: Some(dir.join("fairness.sock")),
+            ..ServeOptions::default()
+        },
+        config,
+    );
+    let addr = server.addr.clone();
+
+    // warm the plan cache so the flood races dispatch, not lowering
+    client_submit_opts(&addr, DOT, DeviceKind::Cpu, 1, &opts_for(None, 256)).expect("warmup");
+
+    // the flooder: one SUBMIT frame carrying a 64-request burst — the
+    // server enqueues the whole burst back-to-back, so a quota of 4
+    // must shed most of it no matter how fast the workers drain
+    let flood_addr = addr.clone();
+    let flood = std::thread::spawn(move || {
+        client_submit_opts(
+            &flood_addr,
+            DOT,
+            DeviceKind::Cpu,
+            FLOOD_BURST,
+            &opts_for(Some("noisy"), 256),
+        )
+        .expect("flood submit")
+    });
+
+    // the polite tenants: sequential single requests, depth <= 1 each
+    let polite: Vec<_> = POLITE_TENANTS
+        .iter()
+        .map(|tenant| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut lines = Vec::new();
+                for _ in 0..POLITE_REQUESTS {
+                    lines.extend(
+                        client_submit_opts(
+                            &addr,
+                            DOT,
+                            DeviceKind::Cpu,
+                            1,
+                            &opts_for(Some(tenant), 256),
+                        )
+                        .expect("polite submit"),
+                    );
+                }
+                lines
+            })
+        })
+        .collect();
+
+    let noisy_lines = flood.join().expect("flood thread");
+    let mut polite_lines = Vec::new();
+    for t in polite {
+        polite_lines.extend(t.join().expect("polite thread"));
+    }
+    let stats = server_stats_json(&addr);
+    server.stop();
+
+    let polite_ok = ok_count(&polite_lines);
+    let noisy_ok = ok_count(&noisy_lines);
+    let noisy_err = err_count(&noisy_lines);
+    assert_eq!(
+        noisy_ok + noisy_err,
+        FLOOD_BURST,
+        "flood replies went missing"
+    );
+    FairnessResult {
+        polite_ok,
+        polite_expected: POLITE_TENANTS.len() * POLITE_REQUESTS,
+        noisy_ok,
+        noisy_err,
+        tenant_shed: stats_u64(&stats, "tenant_shed"),
+        shed_requests: stats_u64(&stats, "shed_requests"),
+        tenant_dispatches: stats_obj(&stats, "tenant_dispatches"),
+        checksum_hash: checksum_hash(&polite_lines),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// study 3: bit-identity across shard counts and transports
+// ---------------------------------------------------------------------------
+
+/// Distinct `N` bindings — 8 distinct plan keys, so a multi-shard front
+/// actually spreads the workload across the ring.
+const IDENTITY_KEYS: [i64; 8] = [128, 192, 256, 320, 384, 448, 512, 576];
+const IDENTITY_REPEAT: usize = 3;
+
+struct IdentityPoint {
+    shards: usize,
+    transport: &'static str,
+    fingerprint: u64,
+    hash: u64,
+    routes: String,
+}
+
+fn run_identity_point(dir: &Path, shards: usize, tcp: bool) -> IdentityPoint {
+    let transport = if tcp { "tcp" } else { "unix" };
+    let config = RuntimeConfig {
+        workers: 1,
+        exec_threads: 2,
+        ..RuntimeConfig::default()
+    };
+    let server = Server::start(
+        ServeOptions {
+            unix: Some(dir.join(format!("identity-{shards}-{transport}.sock"))),
+            tcp: tcp.then(free_tcp_addr),
+            shards,
+            ..ServeOptions::default()
+        },
+        config,
+    );
+    let addr = server.addr.clone();
+    let mut lines = Vec::new();
+    for n in IDENTITY_KEYS {
+        lines.extend(
+            client_submit_opts(
+                &addr,
+                DOT,
+                DeviceKind::Cpu,
+                IDENTITY_REPEAT,
+                &opts_for(None, n),
+            )
+            .expect("identity submit"),
+        );
+    }
+    let stats = server_stats_json(&addr);
+    server.stop();
+    assert_eq!(
+        ok_count(&lines),
+        IDENTITY_KEYS.len() * IDENTITY_REPEAT,
+        "identity workload dropped replies (shards={shards}, {transport})"
+    );
+    IdentityPoint {
+        shards,
+        transport,
+        fingerprint: HashRing::new(shards, DEFAULT_VNODES).fingerprint(),
+        hash: checksum_hash(&lines),
+        routes: stats_obj(&stats, "shard_routes"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// report
+// ---------------------------------------------------------------------------
+
+fn to_json(
+    quick: bool,
+    hw: usize,
+    pipe: &PipelineResult,
+    fair: &FairnessResult,
+    identity: &[IdentityPoint],
+    bit_identical: bool,
+    pass: bool,
+) -> String {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"experiment\": \"serve_bench\",");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    let _ = writeln!(j, "  \"hw_threads\": {hw},");
+    let _ = writeln!(j, "  \"pipeline\": {{");
+    let _ = writeln!(j, "    \"count\": {},", pipe.count);
+    let _ = writeln!(j, "    \"depth\": {},", pipe.depth);
+    let _ = writeln!(j, "    \"sequential_ms\": {:.4},", pipe.sequential_ms);
+    let _ = writeln!(j, "    \"pipelined_ms\": {:.4},", pipe.pipelined_ms);
+    let _ = writeln!(j, "    \"speedup\": {:.4},", pipe.speedup);
+    let _ = writeln!(j, "    \"seq_hash\": \"{:#018x}\",", pipe.seq_hash);
+    let _ = writeln!(j, "    \"pipe_hash\": \"{:#018x}\",", pipe.pipe_hash);
+    let _ = writeln!(j, "    \"hash_match\": {},", pipe.hash_match);
+    let _ = writeln!(
+        j,
+        "    \"pipelined_connections\": {},",
+        pipe.pipelined_connections
+    );
+    let _ = writeln!(j, "    \"pipelined_frames\": {}", pipe.pipelined_frames);
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"fairness\": {{");
+    let _ = writeln!(j, "    \"tenant_quota\": {TENANT_QUOTA},");
+    let _ = writeln!(j, "    \"flood_burst\": {FLOOD_BURST},");
+    let _ = writeln!(j, "    \"polite_ok\": {},", fair.polite_ok);
+    let _ = writeln!(j, "    \"polite_expected\": {},", fair.polite_expected);
+    let _ = writeln!(j, "    \"noisy_ok\": {},", fair.noisy_ok);
+    let _ = writeln!(j, "    \"noisy_err\": {},", fair.noisy_err);
+    let _ = writeln!(j, "    \"tenant_shed\": {},", fair.tenant_shed);
+    let _ = writeln!(j, "    \"shed_requests\": {},", fair.shed_requests);
+    let _ = writeln!(j, "    \"tenant_dispatches\": {},", fair.tenant_dispatches);
+    let _ = writeln!(j, "    \"checksum_hash\": \"{:#018x}\"", fair.checksum_hash);
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"identity\": [");
+    for (i, p) in identity.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"shards\": {}, \"transport\": \"{}\", \
+             \"ring_fingerprint\": \"{:#018x}\", \"hash\": \"{:#018x}\", \
+             \"routes\": {}}}",
+            p.shards, p.transport, p.fingerprint, p.hash, p.routes
+        );
+        let _ = writeln!(j, "{}", if i + 1 < identity.len() { "," } else { "" });
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"acceptance\": {{");
+    let _ = writeln!(j, "    \"pipeline_speedup\": {:.4},", pipe.speedup);
+    let _ = writeln!(j, "    \"pipeline_speedup_target\": 3.0,");
+    let _ = writeln!(
+        j,
+        "    \"no_starvation\": {},",
+        fair.polite_ok == fair.polite_expected && fair.noisy_ok > 0
+    );
+    let _ = writeln!(j, "    \"flood_shed\": {},", fair.tenant_shed > 0);
+    let _ = writeln!(j, "    \"bit_identical\": {bit_identical},");
+    let _ = writeln!(j, "    \"pass\": {pass}");
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = arg(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".into());
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let dir = scratch_dir();
+
+    println!("=== serve bench (hw_threads={hw}, quick={quick}) ===");
+
+    // --- study 1: pipelined vs one-command-per-connection -----------------
+    let count = if quick { 32 } else { 256 };
+    let reps = if quick { 1 } else { 5 };
+    let pipe = run_pipeline_study(&dir, count, reps);
+    println!(
+        "pipeline: {} requests — sequential {:.1} ms, pipelined {:.1} ms \
+         ({:.2}x), depth {}",
+        pipe.count, pipe.sequential_ms, pipe.pipelined_ms, pipe.speedup, pipe.depth
+    );
+    println!(
+        "SERVE_CHECK pipeline count={} seq_hash={:#018x} pipe_hash={:#018x} \
+         match={} frames={}",
+        pipe.count, pipe.seq_hash, pipe.pipe_hash, pipe.hash_match, pipe.pipelined_frames
+    );
+
+    // --- study 2: tenant flood fairness -----------------------------------
+    let fair = run_fairness_study(&dir);
+    println!(
+        "fairness: polite {}/{} ok, noisy {} ok + {} shed (tenant_shed={})",
+        fair.polite_ok, fair.polite_expected, fair.noisy_ok, fair.noisy_err, fair.tenant_shed
+    );
+    println!(
+        "SERVE_CHECK fairness polite_ok={}/{} noisy_answered={}/{} \
+         flood_shed={} polite_hash={:#018x}",
+        fair.polite_ok,
+        fair.polite_expected,
+        fair.noisy_ok + fair.noisy_err,
+        FLOOD_BURST,
+        fair.tenant_shed > 0,
+        fair.checksum_hash
+    );
+    assert_eq!(
+        fair.polite_ok, fair.polite_expected,
+        "a polite tenant starved behind the flood"
+    );
+    assert!(
+        fair.noisy_ok > 0,
+        "the flooding tenant must still be served"
+    );
+    assert!(fair.tenant_shed > 0, "the flood burst must shed at quota");
+
+    // --- study 3: bit-identity across shards and transports ---------------
+    let mut identity = Vec::new();
+    for shards in [1usize, 2, 4] {
+        identity.push(run_identity_point(&dir, shards, false));
+    }
+    identity.push(run_identity_point(&dir, 2, true));
+    for p in &identity {
+        println!(
+            "SERVE_CHECK identity shards={} transport={} fingerprint={:#018x} \
+             hash={:#018x} routes={}",
+            p.shards, p.transport, p.fingerprint, p.hash, p.routes
+        );
+    }
+    let h0 = identity[0].hash;
+    let bit_identical = identity.iter().all(|p| p.hash == h0);
+    assert!(
+        bit_identical,
+        "results diverged across shard counts / transports"
+    );
+    println!(
+        "identity: {} points, all checksum-identical",
+        identity.len()
+    );
+
+    let speedup_ok = quick || pipe.speedup >= 3.0;
+    let pass = speedup_ok
+        && pipe.hash_match
+        && fair.polite_ok == fair.polite_expected
+        && fair.noisy_ok > 0
+        && fair.tenant_shed > 0
+        && bit_identical;
+
+    let json = to_json(quick, hw, &pipe, &fair, &identity, bit_identical, pass);
+    for key in [
+        "\"experiment\"",
+        "\"pipeline\"",
+        "\"fairness\"",
+        "\"identity\"",
+        "\"acceptance\"",
+    ] {
+        assert!(json.contains(key), "schema self-check: missing {key}");
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("wrote {out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if quick {
+        println!("acceptance: timing gate skipped in --quick mode (schema + determinism only)");
+        return;
+    }
+    if pass {
+        println!(
+            "acceptance: pipelined {:.2}x over one-command-per-connection \
+             (target >= 3x), no starvation, flood shed, bit-identical across \
+             shards {{1,2,4}} and transports — OK",
+            pipe.speedup
+        );
+    } else {
+        eprintln!(
+            "acceptance FAILED: speedup {:.2}x (need >= 3x) hash_match={} \
+             bit_identical={}",
+            pipe.speedup, pipe.hash_match, bit_identical
+        );
+        std::process::exit(1);
+    }
+}

@@ -19,9 +19,12 @@
 //!   runs asynchronously on a budget; when it beats the incumbent, the
 //!   cached plan is atomically hot-swapped and the result persisted.
 //! * a line-oriented **serving protocol** ([`server`]) over Unix domain
-//!   sockets, used by `mdhc serve` / `mdhc submit`.
+//!   sockets and TCP — with opt-in pipelined multiplexed framing and
+//!   consistent-hash runtime shards ([`ring`]) — used by `mdhc serve` /
+//!   `mdhc submit` / `mdhc front`.
 
 pub mod plan_cache;
+pub mod ring;
 pub mod runtime;
 pub mod server;
 pub mod stats;
@@ -29,6 +32,10 @@ mod sync;
 pub mod tune;
 
 pub use plan_cache::{structural_signature, CompiledPlan, PlanCache, PlanKey, PlanSource};
-pub use runtime::{GradHandle, GradResponse, Handle, Request, Response, Runtime, RuntimeConfig};
+pub use ring::HashRing;
+pub use runtime::{
+    GradHandle, GradResponse, Handle, Request, Response, Runtime, RuntimeConfig, DEFAULT_TENANT,
+};
+pub use server::{ServeOptions, ServerAddr, SubmitClientOpts};
 pub use stats::{LatencyRecorder, RuntimeStats};
 pub use tune::TunePolicy;

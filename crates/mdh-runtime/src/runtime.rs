@@ -119,6 +119,21 @@ pub struct RuntimeConfig {
     /// Consecutive passing probes an evicted device needs to earn
     /// reinstatement (probation devices always need exactly one).
     pub reinstate_after: u32,
+    /// Per-tenant admission quota: a tenant with this many requests
+    /// already queued has further submissions shed with a retryable
+    /// `err overloaded` (counted as [`RuntimeStats::tenant_shed`]) while
+    /// other tenants keep flowing. `0` (the default) disables the
+    /// per-tenant cap — only the global `max_queue_depth` applies.
+    pub tenant_quota: usize,
+    /// Deficit-round-robin weights per tenant name; unlisted tenants
+    /// (including the [`DEFAULT_TENANT`]) weigh 1. A tenant with weight
+    /// `w` earns `w` times the dispatch quantum per scheduler round.
+    pub tenant_weights: Vec<(String, u32)>,
+    /// Per-connection cap on pipelined frames in flight (server layer
+    /// only): a pipelined client submitting faster than the runtime
+    /// drains is backpressured at this depth rather than ballooning
+    /// server memory (minimum 1).
+    pub pipeline_depth: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -145,6 +160,9 @@ impl Default for RuntimeConfig {
             hedge_ms: 0.0,
             probe_every: 0,
             reinstate_after: 3,
+            tenant_quota: 0,
+            tenant_weights: Vec::new(),
+            pipeline_depth: 32,
         }
     }
 }
@@ -160,6 +178,12 @@ pub struct Request {
     /// deadline is also checked immediately before execution. Execution
     /// itself is not aborted mid-flight.
     pub deadline: Option<Instant>,
+    /// Fair-queueing tenant this request is billed to. `None` joins the
+    /// [`DEFAULT_TENANT`]. Each tenant has its own FIFO under the
+    /// deficit-round-robin scheduler and its own admission quota
+    /// ([`RuntimeConfig::tenant_quota`]), so one flooding tenant sheds
+    /// while the others keep their dispatch share.
+    pub tenant: Option<String>,
 }
 
 impl Request {
@@ -169,6 +193,7 @@ impl Request {
             device,
             inputs,
             deadline: None,
+            tenant: None,
         }
     }
 
@@ -181,6 +206,12 @@ impl Request {
     /// Attach a deadline `ms` milliseconds from now.
     pub fn with_deadline_ms(self, ms: u64) -> Request {
         self.with_deadline(Instant::now() + Duration::from_millis(ms))
+    }
+
+    /// Bill this request to the named fair-queueing tenant.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Request {
+        self.tenant = Some(tenant.into());
+        self
     }
 }
 
@@ -276,9 +307,41 @@ impl Job {
     }
 }
 
+/// Tenant name a request without an explicit tenant is billed to. On
+/// the wire, `tenant=default` and omitting `tenant=` are the same
+/// tenant — one FIFO, one quota, one dispatch counter.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Base deficit-round-robin quantum: requests a weight-1 tenant earns
+/// per scheduler round. Small relative to `max_batch` so weights bite
+/// (a weight-`w` tenant banks `w`× this per visit), large enough that
+/// batching still amortises plan lookups.
+const DRR_QUANTUM: u64 = 4;
+
+/// A tenant may bank at most this many rounds of unused deficit —
+/// bounded banking keeps a long-idle tenant from bursting unboundedly
+/// when it returns.
+const DRR_MAX_BANKED_ROUNDS: u64 = 8;
+
+/// One tenant's FIFO plus its deficit-round-robin credit.
+#[derive(Default)]
+struct TenantQueue {
+    jobs: VecDeque<Job>,
+    /// Requests this tenant may dispatch before the scheduler rotates
+    /// on. Replenished by `DRR_QUANTUM × weight` per visit; reset when
+    /// the FIFO drains (classic DRR: an empty tenant banks nothing).
+    deficit: u64,
+}
+
+/// The admission queue: per-tenant FIFOs scheduled by deficit round
+/// robin. The ring holds each tenant with queued work exactly once, in
+/// round-robin order; `queued` is the cross-tenant total the global
+/// `max_queue_depth` bounds.
 #[derive(Default)]
 struct QueueState {
-    queue: VecDeque<Job>,
+    tenants: HashMap<String, TenantQueue>,
+    ring: VecDeque<String>,
+    queued: usize,
     /// Jobs popped but not yet replied to (for `wait_idle`).
     active: usize,
     shutdown: bool,
@@ -314,6 +377,16 @@ struct Counters {
     /// Accepted requests whose program contains an indexed reduction
     /// (`rbi`) — AD-emitted scatter adjoints and histogram-style apps.
     rbi_requests: u64,
+    /// Requests shed at admission by a per-tenant quota (the global
+    /// queue still had room; the tenant's own FIFO was full).
+    tenant_shed: u64,
+    /// Requests dispatched to execution, by tenant (BTreeMap so stats
+    /// render in a deterministic order).
+    tenant_dispatches: std::collections::BTreeMap<String, u64>,
+    /// Pipelined (`PIPE`) connections opened against this runtime.
+    pipelined_connections: u64,
+    /// Frames served through pipelined connections.
+    pipelined_frames: u64,
 }
 
 /// Per-[`PlanKey`] circuit-breaker state.
@@ -478,6 +551,10 @@ impl Runtime {
         let (tx, rx) = mpsc::channel();
         let is_rbi = req.prog.md_hom.has_rbi();
         let key = PlanKey::of(&req.prog, req.device);
+        let tenant = req
+            .tenant
+            .clone()
+            .unwrap_or_else(|| DEFAULT_TENANT.to_string());
         let job = Job {
             key,
             req,
@@ -485,26 +562,51 @@ impl Runtime {
             submitted: Instant::now(),
         };
         let cap = self.shared.config.max_queue_depth.max(1);
+        let quota = self.shared.config.tenant_quota;
+        /// Why admission turned a request away.
+        enum Reject {
+            Draining,
+            Global,
+            Tenant,
+        }
         let rejected = {
             let mut st = lock(&self.shared.state);
             if st.shutdown {
                 Some((
                     job,
                     MdhError::Draining("runtime is shutting down".into()),
-                    true,
+                    Reject::Draining,
                 ))
-            } else if st.queue.len() >= cap {
-                let depth = st.queue.len();
+            } else if st.queued >= cap {
+                let depth = st.queued;
                 Some((
                     job,
                     MdhError::Overloaded(format!(
                         "queue depth {depth} at capacity {cap}; retry later"
                     )),
-                    false,
+                    Reject::Global,
                 ))
             } else {
-                st.queue.push_back(job);
-                None
+                let tq = st.tenants.entry(tenant.clone()).or_default();
+                if quota > 0 && tq.jobs.len() >= quota {
+                    let depth = tq.jobs.len();
+                    Some((
+                        job,
+                        MdhError::Overloaded(format!(
+                            "tenant '{tenant}' queue depth {depth} at quota {quota}; \
+                             other tenants unaffected; retry later"
+                        )),
+                        Reject::Tenant,
+                    ))
+                } else {
+                    let was_empty = tq.jobs.is_empty();
+                    tq.jobs.push_back(job);
+                    st.queued += 1;
+                    if was_empty {
+                        st.ring.push_back(tenant);
+                    }
+                    None
+                }
             }
         };
         match rejected {
@@ -514,13 +616,16 @@ impl Runtime {
                 }
                 self.shared.cv.notify_one();
             }
-            Some((job, err, draining)) => {
+            Some((job, err, why)) => {
                 {
                     let mut c = lock(&self.shared.counters);
-                    if draining {
-                        c.draining_rejects += 1;
-                    } else {
-                        c.shed_requests += 1;
+                    match why {
+                        Reject::Draining => c.draining_rejects += 1,
+                        Reject::Global => c.shed_requests += 1,
+                        Reject::Tenant => {
+                            c.shed_requests += 1;
+                            c.tenant_shed += 1;
+                        }
                     }
                 }
                 let _ = job.reply.send(Err(err));
@@ -643,6 +748,15 @@ impl Runtime {
             draining_rejects: c.draining_rejects,
             grad_requests: c.grad_requests,
             rbi_requests: c.rbi_requests,
+            tenant_shed: c.tenant_shed,
+            tenant_dispatches: c
+                .tenant_dispatches
+                .iter()
+                .map(|(t, n)| (t.clone(), *n))
+                .collect(),
+            pipelined_connections: c.pipelined_connections,
+            pipelined_frames: c.pipelined_frames,
+            shard_routes: Vec::new(),
             mem_hits: mem.hits,
             mem_misses: mem.misses,
             mem_evictions: mem.evictions,
@@ -689,6 +803,18 @@ impl Runtime {
             .unwrap_or(0)
     }
 
+    /// Record a pipelined (`PIPE`) connection opened against this
+    /// runtime (server layer).
+    pub fn note_pipelined_connection(&self) {
+        lock(&self.shared.counters).pipelined_connections += 1;
+    }
+
+    /// Record one frame served through a pipelined connection (server
+    /// layer; counted on the runtime the frame was routed to).
+    pub fn note_pipelined_frame(&self) {
+        lock(&self.shared.counters).pipelined_frames += 1;
+    }
+
     /// Worker threads still alive. Equals `config.workers` unless a panic
     /// escaped isolation (it must not — see the overload tests).
     pub fn live_workers(&self) -> usize {
@@ -701,7 +827,7 @@ impl Runtime {
         loop {
             {
                 let st = lock(&self.shared.state);
-                if st.queue.is_empty() && st.active == 0 {
+                if st.queued == 0 && st.active == 0 {
                     return;
                 }
             }
@@ -757,34 +883,86 @@ impl Drop for Runtime {
 // worker side
 // ---------------------------------------------------------------------------
 
+/// Weight of a tenant under the DRR scheduler (unlisted tenants weigh 1).
+fn tenant_weight(config: &RuntimeConfig, tenant: &str) -> u64 {
+    config
+        .tenant_weights
+        .iter()
+        .find(|(t, _)| t == tenant)
+        .map(|(_, w)| (*w).max(1) as u64)
+        .unwrap_or(1)
+}
+
+/// One deficit-round-robin scheduling decision, under the state lock.
+///
+/// Visits tenants in ring order: each visited tenant first has its
+/// expired jobs diverted (answered without executing), then — if live
+/// work remains — earns `DRR_QUANTUM × weight` deficit and dispatches
+/// one batch anchored on its head job's [`PlanKey`], coalescing same-key
+/// followers up to `min(deficit, max_batch)`. A drained tenant leaves
+/// the ring (and banks nothing); one with work left rotates to the back,
+/// so a flooding tenant cannot lock out the ring. Returns the batch, the
+/// diverted jobs, and the dispatching tenant's name.
+fn drr_pop(st: &mut QueueState, config: &RuntimeConfig) -> (Vec<Job>, Vec<Job>, String) {
+    let now = Instant::now();
+    let mut lapsed: Vec<Job> = Vec::new();
+    while let Some(tenant) = st.ring.pop_front() {
+        let Some(tq) = st.tenants.get_mut(&tenant) else {
+            continue;
+        };
+        // divert expired jobs first — they must not consume deficit
+        let mut live = VecDeque::with_capacity(tq.jobs.len());
+        while let Some(j) = tq.jobs.pop_front() {
+            if j.expired(now) {
+                lapsed.push(j);
+            } else {
+                live.push_back(j);
+            }
+        }
+        tq.jobs = live;
+        if tq.jobs.is_empty() {
+            // all expired; accounted for on whichever return path fires
+            st.tenants.remove(&tenant);
+            continue;
+        }
+        let weight = tenant_weight(config, &tenant);
+        let quantum = DRR_QUANTUM * weight;
+        tq.deficit = (tq.deficit + quantum).min(quantum * DRR_MAX_BANKED_ROUNDS);
+        let cap = (tq.deficit as usize).min(config.max_batch.max(1)).max(1);
+        let anchor = tq.jobs[0].key.clone();
+        let mut batch: Vec<Job> = Vec::new();
+        let mut rest = VecDeque::with_capacity(tq.jobs.len());
+        while let Some(j) = tq.jobs.pop_front() {
+            if batch.len() < cap && j.key == anchor {
+                batch.push(j);
+            } else {
+                rest.push_back(j);
+            }
+        }
+        tq.jobs = rest;
+        tq.deficit -= batch.len() as u64;
+        if tq.jobs.is_empty() {
+            st.tenants.remove(&tenant);
+        } else {
+            st.ring.push_back(tenant.clone());
+        }
+        st.queued -= batch.len() + lapsed.len();
+        return (batch, lapsed, tenant);
+    }
+    // ring exhausted: only expired (or no) work anywhere
+    st.queued -= lapsed.len();
+    (Vec::new(), lapsed, String::new())
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
-        let (batch, lapsed) = {
+        let (batch, lapsed, tenant) = {
             let mut st = lock(&shared.state);
             loop {
-                let now = Instant::now();
-                // Single pass over the queue: divert jobs whose deadline
-                // expired while queued (any key — they are answered
-                // without executing), anchor a batch on the first live
-                // job, and coalesce same-key followers up to max_batch.
-                let mut lapsed: Vec<Job> = Vec::new();
-                let mut batch: Vec<Job> = Vec::new();
-                let mut rest = VecDeque::with_capacity(st.queue.len());
-                while let Some(j) = st.queue.pop_front() {
-                    if j.expired(now) {
-                        lapsed.push(j);
-                    } else if batch.is_empty()
-                        || (batch.len() < shared.config.max_batch.max(1) && j.key == batch[0].key)
-                    {
-                        batch.push(j);
-                    } else {
-                        rest.push_back(j);
-                    }
-                }
-                st.queue = rest;
+                let (batch, lapsed, tenant) = drr_pop(&mut st, &shared.config);
                 if !batch.is_empty() || !lapsed.is_empty() {
                     st.active += batch.len();
-                    break (batch, lapsed);
+                    break (batch, lapsed, tenant);
                 }
                 if st.shutdown {
                     return;
@@ -797,6 +975,10 @@ fn worker_loop(shared: &Shared) {
             continue;
         }
         let n = batch.len();
+        {
+            let mut c = lock(&shared.counters);
+            *c.tenant_dispatches.entry(tenant).or_default() += n as u64;
+        }
         // Backstop: serve_batch already isolates execution panics
         // per-request; if a panic ever escapes it anyway (a plan-cache or
         // accounting bug), the worker must still survive and keep

@@ -1,15 +1,17 @@
-//! `mdhc serve` / `mdhc submit`: a line-oriented serving protocol over a
-//! Unix domain socket.
+//! `mdhc serve` / `mdhc submit`: a line-oriented serving protocol over
+//! Unix domain sockets and TCP.
 //!
 //! The protocol is deliberately tiny (no external dependencies, easy to
-//! drive with `nc -U`):
+//! drive with `nc -U` or `nc`):
 //!
 //! ```text
 //! client → server:
-//!   SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,NAME=VAL...] [deadline_ms=<n>] [grad=1]\n
+//!   SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,NAME=VAL...] [deadline_ms=<n>]
+//!          [grad=1] [tenant=<name>]\n
 //!   <len bytes of directive source (any supported front end)>
 //!   STATS [json]\n
 //!   SHUTDOWN\n
+//!   PIPE\n                        (switch this connection to pipelined framing)
 //!
 //! server → client (one line per launch, then a summary):
 //!   ok hit=<bool> source=<heuristic|tuned|persistent> epoch=<n> batch=<n>
@@ -28,26 +30,62 @@
 //! a serve-by deadline (relative to header parse time) to every launch
 //! of the batch; expired launches answer `err deadline exceeded ...`.
 //! `grad=1` turns each launch into a gradient round trip
-//! ([`Runtime::submit_grad`]): the forward value and the gradients with
-//! respect to every float input come back in one reply line, and every
-//! sub-request (forward + adjoint parts) individually passes admission,
-//! deadline, and breaker checks.
+//! ([`Runtime::submit_grad`]). `tenant=<name>` bills the launches to a
+//! fair-queueing tenant ([`Request::with_tenant`]): each tenant has its
+//! own FIFO, deficit-round-robin dispatch share, and admission quota, so
+//! one flooding tenant sheds while the others keep flowing.
+//!
+//! ## Pipelined framing
+//!
+//! A connection that first sends `PIPE` (answered `ok pipelined
+//! depth=<n>`) switches to multiplexed framing: it may then send many
+//! `SUBMIT` frames with strictly increasing `id=<n>` tags without
+//! waiting for replies. Reply lines come back prefixed `id=<n> `, each
+//! frame's lines contiguous, but *frames may complete out of order* —
+//! the id is the correlation key. At most `pipeline_depth` frames are in
+//! flight per connection; past that the server stops reading and
+//! backpressure reaches the client through the socket. Closing the write
+//! side ends the frame stream; remaining frames drain, then the
+//! connection closes. A malformed frame (non-increasing id, oversized
+//! header, short body, a non-SUBMIT command mid-pipeline) is terminal:
+//! in-flight frames finish, one unprefixed `err ...` line is written
+//! last, and the connection closes.
+//!
+//! ## Transports and shards
+//!
+//! [`serve`] binds a unix socket; [`serve_opts`] can additionally (or
+//! instead) bind a TCP listener — same wire grammar, same header cap,
+//! read-timeout, connection cap (shared across both listeners), and
+//! drain semantics — and can run N runtime shards, routing each request
+//! by the consistent hash of its [`PlanKey`] ([`HashRing`]) so plan
+//! caches, tuning caches, and `mdh-mem` residency stay warm per shard.
+//! `STATS` on a sharded server answers the merged view
+//! ([`RuntimeStats::merge_shards`]) plus per-shard route counters.
 //!
 //! Every request gets exactly one terminal reply. The load-shedding
 //! grammar is the `err` prefix set from [`mdh_core::error::MdhError`]:
-//! `err overloaded ...` (queue full, retryable), `err deadline exceeded
-//! ...`, `err worker panic ...`, `err breaker open ...` (retryable after
-//! cooldown), `err draining ...` (server shutting down, retryable
-//! elsewhere), plus the socket layer's own `err header too long ...`,
-//! `err read timed out ...`, and `err too many connections ...`.
+//! `err overloaded ...` (queue or tenant quota full, retryable), `err
+//! deadline exceeded ...`, `err worker panic ...`, `err breaker open
+//! ...` (retryable after cooldown), `err draining ...` (server shutting
+//! down, retryable elsewhere), plus the socket layer's own `err header
+//! too long ...`, `err read timed out ...`, and `err too many
+//! connections ...`.
 //!
 //! Connections are served concurrently (one thread each, capped at
-//! [`RuntimeConfig::max_connections`]) with per-connection read timeouts,
-//! so one stalled client cannot wedge the accept loop. `SHUTDOWN` drains
-//! gracefully: in-flight connections and queued requests finish; new
-//! connections are answered `err draining`.
+//! [`RuntimeConfig::max_connections`] via an atomic compare-and-swap, so
+//! a burst cannot momentarily exceed the cap) with per-connection
+//! read/write timeouts, so one stalled client cannot wedge the accept
+//! loop. A failed connection-thread spawn (thread exhaustion) degrades
+//! to answering `err overloaded` on that connection — the server keeps
+//! accepting. `SHUTDOWN` drains gracefully: in-flight connections and
+//! queued requests finish; new connections are answered `err draining`.
+//!
+//! [`RuntimeStats::merge_shards`]: crate::stats::RuntimeStats::merge_shards
 
-use crate::runtime::{GradResponse, Request, Response, Runtime, RuntimeConfig};
+use crate::plan_cache::PlanKey;
+use crate::ring::{fnv1a, HashRing};
+use crate::runtime::{GradHandle, GradResponse, Handle, Request, Response, Runtime, RuntimeConfig};
+use crate::sync::{lock, Semaphore};
 use mdh_core::buffer::Buffer;
 use mdh_core::dsl::DslProgram;
 use mdh_core::error::{MdhError, Result};
@@ -55,17 +93,22 @@ use mdh_core::shape::Shape;
 use mdh_core::types::BasicType;
 use mdh_directive::{compile, compile_c, compile_fortran, parse_dsl, DirectiveEnv};
 use mdh_lowering::asm::DeviceKind;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Longest accepted command line, bytes (newline included). SUBMIT
 /// headers are a handful of short fields; anything longer is a confused
 /// or malicious client and must not be buffered without bound.
 pub const MAX_HEADER_BYTES: usize = 4096;
+
+/// Default virtual nodes per shard on the consistent-hash ring.
+pub const DEFAULT_VNODES: usize = 64;
 
 /// Compile directive source through the auto-detected front end (the
 /// same dispatch as `mdhc`): `#pragma mdh` → C, `!$mdh` → Fortran, a
@@ -148,6 +191,281 @@ fn format_grad_response(resp: &GradResponse) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// transports
+// ---------------------------------------------------------------------------
+
+/// One accepted connection, whichever listener it arrived on. Both
+/// transports speak the identical wire grammar with identical caps and
+/// timeouts.
+#[derive(Debug)]
+pub enum AnyStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl AnyStream {
+    pub fn try_clone(&self) -> std::io::Result<AnyStream> {
+        match self {
+            AnyStream::Unix(s) => s.try_clone().map(AnyStream::Unix),
+            AnyStream::Tcp(s) => s.try_clone().map(AnyStream::Tcp),
+        }
+    }
+
+    pub fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            AnyStream::Unix(s) => s.set_read_timeout(d),
+            AnyStream::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+
+    pub fn set_write_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            AnyStream::Unix(s) => s.set_write_timeout(d),
+            AnyStream::Tcp(s) => s.set_write_timeout(d),
+        }
+    }
+
+    /// Half-close the write side: the peer reads EOF (end of frames) but
+    /// this end keeps reading replies.
+    pub fn shutdown_write(&self) -> std::io::Result<()> {
+        match self {
+            AnyStream::Unix(s) => s.shutdown(Shutdown::Write),
+            AnyStream::Tcp(s) => s.shutdown(Shutdown::Write),
+        }
+    }
+}
+
+impl Read for AnyStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            AnyStream::Unix(s) => s.read(buf),
+            AnyStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for AnyStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            AnyStream::Unix(s) => s.write(buf),
+            AnyStream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            AnyStream::Unix(s) => s.flush(),
+            AnyStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Where a client connects: a unix socket path or a TCP `host:port`.
+#[derive(Debug, Clone)]
+pub enum ServerAddr {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+impl ServerAddr {
+    pub fn connect(&self) -> std::io::Result<AnyStream> {
+        match self {
+            ServerAddr::Unix(p) => UnixStream::connect(p).map(AnyStream::Unix),
+            ServerAddr::Tcp(a) => {
+                let s = TcpStream::connect(a)?;
+                let _ = s.set_nodelay(true);
+                Ok(AnyStream::Tcp(s))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ServerAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+            ServerAddr::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+enum AnyListener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl AnyListener {
+    fn accept(&self) -> std::io::Result<AnyStream> {
+        match self {
+            AnyListener::Unix(l) => l.accept().map(|(s, _)| AnyStream::Unix(s)),
+            AnyListener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                AnyStream::Tcp(s)
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shard router
+// ---------------------------------------------------------------------------
+
+/// Most front-end memo entries a server retains. A serving fleet sees a
+/// small working set of distinct (source, bindings) pairs; when the memo
+/// overflows it is simply cleared — correctness never depends on a hit.
+const FRONTEND_MEMO_CAP: usize = 64;
+
+/// Bounded memo for front-end compilation on the serving edge. A
+/// pipelined connection re-sends the same directive source on every
+/// frame, and re-parsing and re-lowering it per frame would dominate
+/// service time for small requests — the runtime's plan cache only
+/// amortises *scheduling*, not the front end. Keyed by the FNV digest of
+/// the source plus the sorted size bindings (which fully determine the
+/// [`DirectiveEnv`] the wire protocol can express); holds the compiled
+/// program and its deterministic inputs, which requests clone per launch
+/// exactly as the uncached path did.
+type MemoKey = (u64, Vec<(String, i64)>);
+type Compiled = Arc<(DslProgram, Vec<Buffer>)>;
+
+struct FrontendMemo {
+    entries: Mutex<HashMap<MemoKey, Compiled>>,
+}
+
+impl FrontendMemo {
+    fn new() -> FrontendMemo {
+        FrontendMemo {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn compile(&self, src: &str, spec: &SubmitSpec) -> std::result::Result<Compiled, String> {
+        let mut bindings = spec.bindings.clone();
+        bindings.sort();
+        let key = (fnv1a(src.as_bytes()), bindings);
+        if let Some(hit) = lock(&self.entries).get(&key).cloned() {
+            return Ok(hit);
+        }
+        // compile outside the lock: a miss is the slow path, and one
+        // confused client must not serialise every other connection
+        let prog = compile_any(src, &spec.env).map_err(|e| e.to_string())?;
+        let inputs = deterministic_inputs(&prog).map_err(|e| e.to_string())?;
+        let compiled = Arc::new((prog, inputs));
+        let mut entries = lock(&self.entries);
+        if entries.len() >= FRONTEND_MEMO_CAP {
+            entries.clear();
+        }
+        entries.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+}
+
+/// Routes requests to one of N runtime shards by consistent hash of the
+/// plan key. With one shard the ring is skipped entirely and stats pass
+/// through unmerged.
+struct Router {
+    shards: Vec<Arc<Runtime>>,
+    ring: Option<HashRing>,
+    routes: Vec<AtomicU64>,
+    memo: FrontendMemo,
+}
+
+impl Router {
+    fn new(config: &RuntimeConfig, shards: usize, vnodes: usize) -> Result<Router> {
+        let n = shards.max(1);
+        let mut rts = Vec::with_capacity(n);
+        for _ in 0..n {
+            rts.push(Arc::new(Runtime::new(config.clone())?));
+        }
+        Ok(Router {
+            shards: rts,
+            ring: (n > 1).then(|| HashRing::new(n, vnodes.max(1))),
+            routes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            memo: FrontendMemo::new(),
+        })
+    }
+
+    fn shard_for(&self, key: &PlanKey) -> usize {
+        match &self.ring {
+            Some(ring) => ring.route(key),
+            None => 0,
+        }
+    }
+
+    fn submit(&self, req: Request) -> Handle {
+        let i = self.shard_for(&PlanKey::of(&req.prog, req.device));
+        self.routes[i].fetch_add(1, Ordering::Relaxed);
+        self.shards[i].submit(req)
+    }
+
+    fn submit_grad(&self, req: Request) -> Result<GradHandle> {
+        let i = self.shard_for(&PlanKey::of(&req.prog, req.device));
+        self.routes[i].fetch_add(1, Ordering::Relaxed);
+        self.shards[i].submit_grad(req, None, None)
+    }
+
+    fn stats(&self) -> crate::stats::RuntimeStats {
+        if self.shards.len() == 1 {
+            return self.shards[0].stats();
+        }
+        let snaps: Vec<_> = self.shards.iter().map(|r| r.stats()).collect();
+        let mut merged = crate::stats::RuntimeStats::merge_shards(&snaps);
+        merged.shard_routes = self
+            .routes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (format!("shard{i}"), n.load(Ordering::Relaxed)))
+            .collect();
+        merged
+    }
+
+    fn note_pipelined_connection(&self) {
+        self.shards[0].note_pipelined_connection();
+    }
+
+    fn note_pipelined_frame(&self) {
+        self.shards[0].note_pipelined_frame();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// server
+// ---------------------------------------------------------------------------
+
+/// What [`serve_opts`] listens on and how many runtime shards it runs.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Unix socket path to bind (at least one of `unix`/`tcp` required).
+    pub unix: Option<PathBuf>,
+    /// TCP `host:port` to bind alongside (or instead of) the socket.
+    pub tcp: Option<String>,
+    /// Runtime shards (`0` and `1` both mean a single unsharded runtime).
+    pub shards: usize,
+    /// Virtual nodes per shard on the hash ring (`0` → [`DEFAULT_VNODES`]).
+    pub vnodes: usize,
+}
+
+/// Everything a connection thread needs, shared across both accept loops.
+struct ServerCtx {
+    router: Router,
+    draining: AtomicBool,
+    active: AtomicUsize,
+    max_connections: usize,
+    pipeline_depth: usize,
+    wake_unix: Option<PathBuf>,
+    wake_tcp: Option<SocketAddr>,
+}
+
+/// Atomically claim a connection slot: the check and the increment are
+/// one compare-and-swap, so a burst of simultaneous accepts can never
+/// exceed `cap` (the race the old load-then-add admission had).
+fn try_admit(active: &AtomicUsize, cap: usize) -> bool {
+    active
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < cap).then_some(n + 1)
+        })
+        .is_ok()
+}
+
 /// Bind `socket_path` and serve until a client sends `SHUTDOWN`.
 ///
 /// A stale socket file from a dead server is replaced; a socket another
@@ -155,6 +473,16 @@ fn format_grad_response(resp: &GradResponse) -> String {
 /// silently steal that server's clients, so this fails with
 /// `AddrInUse` instead.
 pub fn serve(socket_path: &Path, config: RuntimeConfig) -> std::io::Result<()> {
+    serve_opts(
+        ServeOptions {
+            unix: Some(socket_path.to_path_buf()),
+            ..ServeOptions::default()
+        },
+        config,
+    )
+}
+
+fn bind_unix(socket_path: &Path) -> std::io::Result<UnixListener> {
     if socket_path.exists() {
         if UnixStream::connect(socket_path).is_ok() {
             return Err(std::io::Error::new(
@@ -167,116 +495,188 @@ pub fn serve(socket_path: &Path, config: RuntimeConfig) -> std::io::Result<()> {
         }
         std::fs::remove_file(socket_path)?;
     }
-    let listener = UnixListener::bind(socket_path)?;
+    UnixListener::bind(socket_path)
+}
+
+/// Serve on every listener in `opts` (unix and/or TCP), over
+/// `opts.shards` runtime shards, until a client sends `SHUTDOWN`.
+pub fn serve_opts(opts: ServeOptions, config: RuntimeConfig) -> std::io::Result<()> {
+    if opts.unix.is_none() && opts.tcp.is_none() {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            "serve_opts needs at least one listener (unix socket or tcp)",
+        ));
+    }
+    let unix_listener = opts.unix.as_deref().map(bind_unix).transpose()?;
+    let tcp_listener = opts.tcp.as_deref().map(TcpListener::bind).transpose()?;
+    let wake_tcp = tcp_listener.as_ref().and_then(|l| l.local_addr().ok());
+
     let max_connections = config.max_connections.max(1);
     let read_timeout = config.read_timeout;
-    let runtime = Arc::new(Runtime::new(config).map_err(|e| std::io::Error::other(e.to_string()))?);
-    let draining = Arc::new(AtomicBool::new(false));
-    let active = Arc::new(AtomicUsize::new(0));
-    eprintln!("mdh-runtime: serving on {}", socket_path.display());
+    let pipeline_depth = config.pipeline_depth.max(1);
+    let vnodes = if opts.vnodes == 0 {
+        DEFAULT_VNODES
+    } else {
+        opts.vnodes
+    };
+    let router = Router::new(&config, opts.shards, vnodes)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    if let Some(ring) = &router.ring {
+        // deterministic: the run-twice CI jobs diff this line
+        eprintln!(
+            "mdh-runtime: shard ring: shards={} vnodes={} fingerprint={:016x}",
+            ring.shards(),
+            ring.vnodes(),
+            ring.fingerprint()
+        );
+    }
+    if let Some(p) = &opts.unix {
+        eprintln!("mdh-runtime: serving on {}", p.display());
+    }
+    if let Some(addr) = &wake_tcp {
+        eprintln!("mdh-runtime: serving on tcp {addr}");
+    }
+
+    let ctx = Arc::new(ServerCtx {
+        router,
+        draining: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        max_connections,
+        pipeline_depth,
+        wake_unix: opts.unix.clone(),
+        wake_tcp,
+    });
+    let mut acceptors = Vec::new();
+    if let Some(l) = unix_listener {
+        let ctx = Arc::clone(&ctx);
+        acceptors.push(
+            std::thread::Builder::new()
+                .name("mdh-accept-unix".into())
+                .spawn(move || accept_loop(AnyListener::Unix(l), &ctx, read_timeout))?,
+        );
+    }
+    if let Some(l) = tcp_listener {
+        let ctx = Arc::clone(&ctx);
+        acceptors.push(
+            std::thread::Builder::new()
+                .name("mdh-accept-tcp".into())
+                .spawn(move || accept_loop(AnyListener::Tcp(l), &ctx, read_timeout))?,
+        );
+    }
+    for a in acceptors {
+        let _ = a.join();
+    }
+    if let Some(p) = &opts.unix {
+        let _ = std::fs::remove_file(p);
+    }
+    Ok(())
+}
+
+/// Accept connections on one listener until drain. Every accepted
+/// connection finishes (joins) before this returns.
+fn accept_loop(listener: AnyListener, ctx: &Arc<ServerCtx>, read_timeout: Duration) {
     let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if draining.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match stream {
+    loop {
+        let stream = match listener.accept() {
             Ok(s) => s,
             Err(e) => {
+                if ctx.draining.load(Ordering::SeqCst) {
+                    break;
+                }
                 eprintln!("mdh-runtime: accept failed: {e}");
                 continue;
             }
         };
+        if ctx.draining.load(Ordering::SeqCst) {
+            break;
+        }
         conns.retain(|h| !h.is_finished());
         let _ = stream.set_read_timeout(Some(read_timeout));
-        if active.load(Ordering::SeqCst) >= max_connections {
+        let _ = stream.set_write_timeout(Some(read_timeout));
+        if !try_admit(&ctx.active, ctx.max_connections) {
             let mut s = stream;
             let _ = writeln!(
                 s,
-                "err too many connections ({max_connections} active); retry later"
+                "err too many connections ({} active); retry later",
+                ctx.max_connections
             );
             continue;
         }
-        active.fetch_add(1, Ordering::SeqCst);
-        let rt = Arc::clone(&runtime);
-        let dr = Arc::clone(&draining);
-        let ac = Arc::clone(&active);
-        let wake_path = socket_path.to_path_buf();
-        let handle = std::thread::Builder::new()
+        // A refusal handle taken *before* the spawn: if the spawn fails,
+        // the closure (which owns `stream`) is dropped and the original
+        // fd closes — the dup'd clone stays writable.
+        let refusal = stream.try_clone();
+        let ctx2 = Arc::clone(ctx);
+        let spawned = std::thread::Builder::new()
             .name("mdh-serve-conn".into())
             .spawn(move || {
-                if let Err(e) = handle_connection(stream, &rt, &dr) {
+                if let Err(e) = handle_connection(stream, &ctx2) {
                     eprintln!("mdh-runtime: connection error: {e}");
                 }
-                ac.fetch_sub(1, Ordering::SeqCst);
-                if dr.load(Ordering::SeqCst) {
-                    // wake the accept loop (possibly blocked in accept)
-                    // so it observes the drain flag and exits
-                    let _ = UnixStream::connect(&wake_path);
+                connection_done(&ctx2);
+            });
+        match spawned {
+            Ok(handle) => conns.push(handle),
+            Err(e) => {
+                // thread exhaustion must not kill the server: shed this
+                // connection (retryable) and keep accepting
+                ctx.active.fetch_sub(1, Ordering::SeqCst);
+                eprintln!("mdh-runtime: spawn connection thread failed: {e}");
+                if let Ok(mut s) = refusal {
+                    let _ = writeln!(s, "err overloaded: no thread for connection; retry later");
                 }
-            })
-            .expect("spawn connection thread");
-        conns.push(handle);
+            }
+        }
     }
     // graceful drain: every accepted connection finishes before teardown
     for h in conns {
         let _ = h.join();
     }
-    let _ = std::fs::remove_file(socket_path);
-    Ok(())
 }
 
-/// Serve one connection (one command, then close). Sets `draining` on
+/// Release this connection's slot; during drain, nudge both accept
+/// loops (possibly blocked in `accept`) so they observe the flag.
+fn connection_done(ctx: &ServerCtx) {
+    ctx.active.fetch_sub(1, Ordering::SeqCst);
+    if ctx.draining.load(Ordering::SeqCst) {
+        if let Some(p) = &ctx.wake_unix {
+            let _ = UnixStream::connect(p);
+        }
+        if let Some(a) = &ctx.wake_tcp {
+            let _ = TcpStream::connect(a);
+        }
+    }
+}
+
+/// Serve one connection: one command, then close — unless the command
+/// is `PIPE`, which switches to pipelined framing. Sets draining on
 /// `SHUTDOWN`.
-fn handle_connection(
-    stream: UnixStream,
-    runtime: &Runtime,
-    draining: &AtomicBool,
-) -> std::io::Result<()> {
+fn handle_connection(stream: AnyStream, ctx: &Arc<ServerCtx>) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    if draining.load(Ordering::SeqCst) {
+    if ctx.draining.load(Ordering::SeqCst) {
         writeln!(writer, "err draining: server is shutting down")?;
         return Ok(());
     }
-    let mut header = String::new();
-    // cap the command line: read_line on an unbounded reader would buffer
-    // a newline-less flood whole
-    let n = match (&mut reader)
-        .take(MAX_HEADER_BYTES as u64 + 1)
-        .read_line(&mut header)
-    {
-        Ok(n) => n,
-        Err(e) if e.kind() == ErrorKind::InvalidData => {
-            writeln!(writer, "err header is not UTF-8")?;
-            return Ok(());
-        }
-        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-            writeln!(writer, "err read timed out")?;
-            return Ok(());
-        }
-        Err(e) => return Err(e),
+    let header = match read_header(&mut reader, &mut writer)? {
+        Some(h) => h,
+        None => return Ok(()),
     };
-    if n == 0 {
-        return Ok(()); // client went away
-    }
-    if n > MAX_HEADER_BYTES {
-        writeln!(writer, "err header too long (max {MAX_HEADER_BYTES} bytes)")?;
-        return Ok(());
-    }
     let fields: Vec<&str> = header.split_whitespace().collect();
     match fields.first().copied() {
         Some("STATS") => {
             if fields.get(1).copied() == Some("json") {
-                writeln!(writer, "stats-json {}", runtime.stats().to_json())
+                writeln!(writer, "stats-json {}", ctx.router.stats().to_json())
             } else {
-                writeln!(writer, "stats {}", runtime.stats())
+                writeln!(writer, "stats {}", ctx.router.stats())
             }
         }
         Some("SHUTDOWN") => {
-            draining.store(true, Ordering::SeqCst);
+            ctx.draining.store(true, Ordering::SeqCst);
             writeln!(writer, "ok shutting down")
         }
-        Some("SUBMIT") => match handle_submit(&fields, &mut reader, runtime) {
+        Some("PIPE") => handle_pipelined(reader, writer, ctx),
+        Some("SUBMIT") => match handle_submit(&fields, &mut reader, ctx) {
             Ok(lines) => {
                 for line in lines {
                     writeln!(writer, "{line}")?;
@@ -289,14 +689,74 @@ fn handle_connection(
     }
 }
 
-fn handle_submit(
+/// Read one capped header line. `Ok(None)` means the command was already
+/// answered (or the client went away) and the connection is done.
+fn read_header(
+    reader: &mut BufReader<AnyStream>,
+    writer: &mut AnyStream,
+) -> std::io::Result<Option<String>> {
+    let mut header = String::new();
+    // cap the command line: read_line on an unbounded reader would buffer
+    // a newline-less flood whole
+    let n = match reader
+        .take(MAX_HEADER_BYTES as u64 + 1)
+        .read_line(&mut header)
+    {
+        Ok(n) => n,
+        Err(e) if e.kind() == ErrorKind::InvalidData => {
+            writeln!(writer, "err header is not UTF-8")?;
+            return Ok(None);
+        }
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            writeln!(writer, "err read timed out")?;
+            return Ok(None);
+        }
+        Err(e) => return Err(e),
+    };
+    if n == 0 {
+        return Ok(None); // client went away
+    }
+    if n > MAX_HEADER_BYTES {
+        writeln!(writer, "err header too long (max {MAX_HEADER_BYTES} bytes)")?;
+        return Ok(None);
+    }
+    Ok(Some(header))
+}
+
+// ---------------------------------------------------------------------------
+// SUBMIT parsing and execution
+// ---------------------------------------------------------------------------
+
+/// A parsed SUBMIT header.
+struct SubmitSpec {
+    device: DeviceKind,
+    count: usize,
+    len: usize,
+    deadline: Option<Instant>,
+    grad: bool,
+    env: DirectiveEnv,
+    /// The raw size bindings behind `env` — the front-end memo key.
+    bindings: Vec<(String, i64)>,
+    tenant: Option<String>,
+    /// Frame id — required (and only valid) on pipelined connections.
+    id: Option<u64>,
+}
+
+fn valid_tenant(t: &str) -> bool {
+    !t.is_empty()
+        && t.len() <= 64
+        && t.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+fn parse_submit_header(
     fields: &[&str],
-    reader: &mut impl Read,
-    runtime: &Runtime,
-) -> std::result::Result<Vec<String>, String> {
+    pipelined: bool,
+) -> std::result::Result<SubmitSpec, String> {
     if fields.len() < 4 {
         return Err(
-            "usage: SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,...] [deadline_ms=<n>] [grad=1]"
+            "usage: SUBMIT <cpu|gpu> <count> <len> [NAME=VAL,...] [deadline_ms=<n>] \
+             [grad=1] [tenant=<name>]"
                 .into(),
         );
     }
@@ -313,21 +773,46 @@ fn handle_submit(
     if len > 1 << 20 {
         return Err("source too large".into());
     }
-    let mut env = DirectiveEnv::new();
-    let mut deadline: Option<Instant> = None;
-    let mut grad = false;
+    let mut spec = SubmitSpec {
+        device,
+        count,
+        len,
+        deadline: None,
+        grad: false,
+        env: DirectiveEnv::new(),
+        bindings: Vec::new(),
+        tenant: None,
+        id: None,
+    };
     for field in &fields[4..] {
-        // `deadline_ms` and `grad` are reserved: protocol options, not
-        // size bindings. The deadline clock starts at header parse time.
+        // `deadline_ms`, `grad`, `tenant`, and `id` are reserved: protocol
+        // options, not size bindings. The deadline clock starts at header
+        // parse time.
         if *field == "grad=1" {
-            grad = true;
+            spec.grad = true;
             continue;
         }
         if let Some(ms) = field.strip_prefix("deadline_ms=") {
             let ms: u64 = ms
                 .parse()
                 .map_err(|_| format!("bad deadline in '{field}'"))?;
-            deadline = Some(Instant::now() + Duration::from_millis(ms));
+            spec.deadline = Some(Instant::now() + Duration::from_millis(ms));
+            continue;
+        }
+        if let Some(t) = field.strip_prefix("tenant=") {
+            if !valid_tenant(t) {
+                return Err(format!(
+                    "bad tenant '{t}' (want [A-Za-z0-9_-], 1..=64 chars)"
+                ));
+            }
+            spec.tenant = Some(t.to_string());
+            continue;
+        }
+        if let Some(id) = field.strip_prefix("id=") {
+            if !pipelined {
+                return Err("id= is only valid on a pipelined (PIPE) connection".into());
+            }
+            spec.id = Some(id.parse::<u64>().map_err(|_| "bad id".to_string())?);
             continue;
         }
         for bind in field.split(',').filter(|s| !s.is_empty()) {
@@ -335,58 +820,278 @@ fn handle_submit(
                 .split_once('=')
                 .ok_or_else(|| format!("bad binding '{bind}'"))?;
             let v: i64 = val.parse().map_err(|_| format!("bad value in '{bind}'"))?;
-            env = env.size(name, v);
+            spec.env = spec.env.size(name, v);
+            spec.bindings.push((name.to_string(), v));
         }
     }
-    let mut src = vec![0u8; len];
-    reader
-        .read_exact(&mut src)
-        .map_err(|e| format!("short source read: {e}"))?;
-    let src = String::from_utf8(src).map_err(|_| "source is not UTF-8".to_string())?;
+    Ok(spec)
+}
 
-    let prog = compile_any(&src, &env).map_err(|e| e.to_string())?;
-    let inputs = deterministic_inputs(&prog).map_err(|e| e.to_string())?;
+/// Compile and execute one SUBMIT's launches; returns the per-launch
+/// reply lines plus the `done <served>` line.
+fn run_submit(
+    spec: &SubmitSpec,
+    src: &str,
+    router: &Router,
+) -> std::result::Result<Vec<String>, String> {
+    collect_frame(submit_frame(spec, src, router))
+}
 
-    let mut lines = Vec::with_capacity(count + 2);
+/// A SUBMIT's launches after admission: either the in-flight handles or
+/// the compile error. Splitting submission from collection lets the
+/// pipelined reader enqueue a frame's work immediately (so the runtime
+/// sees up to `pipeline_depth` frames at once and can batch them) while
+/// the collector pool waits out the handles concurrently.
+enum FrameWork {
+    Plain(Vec<Handle>),
+    Grad(Vec<Result<GradHandle>>),
+    Failed(String),
+}
+
+/// Compile (through the memo) and submit one SUBMIT's launches without
+/// waiting for any of them.
+fn submit_frame(spec: &SubmitSpec, src: &str, router: &Router) -> FrameWork {
+    let compiled = match router.memo.compile(src, spec) {
+        Ok(c) => c,
+        Err(e) => return FrameWork::Failed(e),
+    };
+    let (prog, inputs) = (&compiled.0, &compiled.1);
+    let make_req = || {
+        let mut req = Request::new(prog.clone(), spec.device, inputs.clone());
+        req.deadline = spec.deadline;
+        req.tenant = spec.tenant.clone();
+        req
+    };
+    if spec.grad {
+        FrameWork::Grad(
+            (0..spec.count)
+                .map(|_| router.submit_grad(make_req()))
+                .collect(),
+        )
+    } else {
+        FrameWork::Plain((0..spec.count).map(|_| router.submit(make_req())).collect())
+    }
+}
+
+/// Wait out a frame's handles; returns the per-launch reply lines plus
+/// the `done <served>` line, or the frame-level error.
+fn collect_frame(work: FrameWork) -> std::result::Result<Vec<String>, String> {
+    let mut lines = Vec::new();
     let mut served = 0usize;
-    if grad {
-        let handles: Vec<_> = (0..count)
-            .map(|_| {
-                let mut req = Request::new(prog.clone(), device, inputs.clone());
-                req.deadline = deadline;
-                runtime.submit_grad(req, None, None)
-            })
-            .collect();
-        for h in handles {
-            match h.and_then(|h| h.wait()) {
-                Ok(resp) => {
-                    lines.push(format_grad_response(&resp));
-                    served += 1;
+    match work {
+        FrameWork::Failed(e) => return Err(e),
+        FrameWork::Grad(handles) => {
+            for h in handles {
+                match h.and_then(|h| h.wait()) {
+                    Ok(resp) => {
+                        lines.push(format_grad_response(&resp));
+                        served += 1;
+                    }
+                    Err(e) => lines.push(format!("err {e}")),
                 }
-                Err(e) => lines.push(format!("err {e}")),
             }
         }
-    } else {
-        let handles: Vec<_> = (0..count)
-            .map(|_| {
-                let mut req = Request::new(prog.clone(), device, inputs.clone());
-                req.deadline = deadline;
-                runtime.submit(req)
-            })
-            .collect();
-        for h in handles {
-            match h.wait() {
-                Ok(resp) => {
-                    lines.push(format_response(&resp));
-                    served += 1;
+        FrameWork::Plain(handles) => {
+            for h in handles {
+                match h.wait() {
+                    Ok(resp) => {
+                        lines.push(format_response(&resp));
+                        served += 1;
+                    }
+                    Err(e) => lines.push(format!("err {e}")),
                 }
-                Err(e) => lines.push(format!("err {e}")),
             }
         }
     }
     lines.push(format!("done {served}"));
-    lines.push(format!("stats {}", runtime.stats()));
     Ok(lines)
+}
+
+fn handle_submit(
+    fields: &[&str],
+    reader: &mut impl Read,
+    ctx: &ServerCtx,
+) -> std::result::Result<Vec<String>, String> {
+    let spec = parse_submit_header(fields, false)?;
+    let mut src = vec![0u8; spec.len];
+    reader
+        .read_exact(&mut src)
+        .map_err(|e| format!("short source read: {e}"))?;
+    let src = String::from_utf8(src).map_err(|_| "source is not UTF-8".to_string())?;
+    let mut lines = run_submit(&spec, &src, &ctx.router)?;
+    lines.push(format!("stats {}", ctx.router.stats()));
+    Ok(lines)
+}
+
+// ---------------------------------------------------------------------------
+// pipelined framing
+// ---------------------------------------------------------------------------
+
+/// One in-flight pipelined frame: already submitted to the runtime by
+/// the reader, waiting to have its handles collected.
+struct Frame {
+    id: u64,
+    work: FrameWork,
+}
+
+/// Serve a pipelined connection: read frames in order, execute them
+/// concurrently (a small collector pool — frames complete out of order),
+/// serialize replies through a single writer thread, cap frames in
+/// flight at `pipeline_depth`.
+fn handle_pipelined(
+    mut reader: BufReader<AnyStream>,
+    mut writer: AnyStream,
+    ctx: &Arc<ServerCtx>,
+) -> std::io::Result<()> {
+    let depth = ctx.pipeline_depth;
+    writeln!(writer, "ok pipelined depth={depth}")?;
+    ctx.router.note_pipelined_connection();
+
+    // The writer thread is the sole owner of the write half: each channel
+    // message is one frame's contiguous reply lines. The small bound
+    // chains backpressure client ← reader ← collectors ← writer. Replies
+    // are buffered and flushed only once the channel goes momentarily
+    // idle, so a burst of completed frames costs one syscall, not one
+    // per line.
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<String>>(8);
+    let writer_thread = std::thread::spawn(move || {
+        let mut writer = std::io::BufWriter::new(writer);
+        while let Ok(mut lines) = reply_rx.recv() {
+            loop {
+                for line in lines {
+                    if writeln!(writer, "{line}").is_err() {
+                        return; // client gone; senders see the drop
+                    }
+                }
+                match reply_rx.try_recv() {
+                    Ok(more) => lines = more,
+                    Err(_) => break,
+                }
+            }
+            let _ = writer.flush();
+        }
+    });
+
+    // Collector pool: the reader has already submitted each frame's
+    // requests, so up to `depth` frames sit in the runtime queue at once
+    // (where same-plan frames coalesce into batches); collectors only
+    // wait out handles and format replies. Frames are handed off in
+    // arrival order but each collector waits its own frame's handles, so
+    // a slow frame does not block a fast one behind it.
+    let inflight = Arc::new(Semaphore::new(depth));
+    let (frame_tx, frame_rx) = mpsc::channel::<Frame>();
+    let frame_rx = Arc::new(Mutex::new(frame_rx));
+    let collectors: Vec<_> = (0..depth.min(4))
+        .map(|_| {
+            let rx = Arc::clone(&frame_rx);
+            let tx = reply_tx.clone();
+            let inflight = Arc::clone(&inflight);
+            std::thread::spawn(move || loop {
+                let frame = {
+                    let rx = lock(&rx);
+                    rx.recv()
+                };
+                let Ok(frame) = frame else { break };
+                let lines = match collect_frame(frame.work) {
+                    Ok(lines) => lines,
+                    Err(e) => vec![format!("err {e}")],
+                };
+                let id = frame.id;
+                let _ = tx.send(lines.into_iter().map(|l| format!("id={id} {l}")).collect());
+                inflight.release();
+            })
+        })
+        .collect();
+
+    // Reader loop (this thread): frames come off the socket in order;
+    // ids must strictly increase (deterministic duplicate detection).
+    // A malformed frame is terminal: stop reading, let in-flight frames
+    // drain, write one unprefixed err line last.
+    let mut terminal: Option<String> = None;
+    let mut last_id: Option<u64> = None;
+    loop {
+        let mut header = String::new();
+        let n = match (&mut reader)
+            .take(MAX_HEADER_BYTES as u64 + 1)
+            .read_line(&mut header)
+        {
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                terminal = Some("err header is not UTF-8".into());
+                break;
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                terminal = Some("err read timed out".into());
+                break;
+            }
+            Err(_) => break,
+        };
+        if n == 0 {
+            break; // clean end of frames (client half-closed)
+        }
+        if n > MAX_HEADER_BYTES {
+            terminal = Some(format!(
+                "err header too long (max {MAX_HEADER_BYTES} bytes)"
+            ));
+            break;
+        }
+        let fields: Vec<&str> = header.split_whitespace().collect();
+        match fields.first().copied() {
+            Some("SUBMIT") => {}
+            Some(other) => {
+                terminal = Some(format!(
+                    "err pipelined connection accepts only SUBMIT frames (got {other})"
+                ));
+                break;
+            }
+            None => continue, // bare newline between frames: tolerated
+        }
+        let spec = match parse_submit_header(&fields, true) {
+            Ok(s) => s,
+            Err(e) => {
+                terminal = Some(format!("err {e}"));
+                break;
+            }
+        };
+        let Some(id) = spec.id else {
+            terminal = Some("err pipelined SUBMIT requires id=<n>".into());
+            break;
+        };
+        if let Some(prev) = last_id {
+            if id <= prev {
+                terminal = Some(format!("err id must increase (got {id} after {prev})"));
+                break;
+            }
+        }
+        last_id = Some(id);
+        let mut src = vec![0u8; spec.len];
+        if let Err(e) = reader.read_exact(&mut src) {
+            terminal = Some(format!("err short source read: {e}"));
+            break;
+        }
+        let Ok(src) = String::from_utf8(src) else {
+            terminal = Some("err source is not UTF-8".into());
+            break;
+        };
+        ctx.router.note_pipelined_frame();
+        inflight.acquire(); // ≤ depth frames past this point
+        let work = submit_frame(&spec, &src, &ctx.router);
+        if frame_tx.send(Frame { id, work }).is_err() {
+            break;
+        }
+    }
+    drop(frame_tx);
+    for c in collectors {
+        let _ = c.join();
+    }
+    // every accepted frame has replied; the terminal error (if any) is
+    // the last line on the connection
+    if let Some(line) = terminal {
+        let _ = reply_tx.send(vec![line]);
+    }
+    drop(reply_tx);
+    let _ = writer_thread.join();
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -415,14 +1120,16 @@ pub fn client_submit_with_deadline(
     bindings: &[(String, i64)],
     deadline_ms: Option<u64>,
 ) -> std::io::Result<Vec<String>> {
-    client_submit_full(
-        socket_path,
+    client_submit_opts(
+        &ServerAddr::Unix(socket_path.to_path_buf()),
         source,
         device,
         count,
-        bindings,
-        deadline_ms,
-        false,
+        &SubmitClientOpts {
+            bindings: bindings.to_vec(),
+            deadline_ms,
+            ..SubmitClientOpts::default()
+        },
     )
 }
 
@@ -436,34 +1143,43 @@ pub fn client_submit_grad(
     bindings: &[(String, i64)],
     deadline_ms: Option<u64>,
 ) -> std::io::Result<Vec<String>> {
-    client_submit_full(
-        socket_path,
+    client_submit_opts(
+        &ServerAddr::Unix(socket_path.to_path_buf()),
         source,
         device,
         count,
-        bindings,
-        deadline_ms,
-        true,
+        &SubmitClientOpts {
+            bindings: bindings.to_vec(),
+            deadline_ms,
+            grad: true,
+            ..SubmitClientOpts::default()
+        },
     )
 }
 
-#[allow(clippy::too_many_arguments)]
-fn client_submit_full(
-    socket_path: &Path,
-    source: &str,
+/// Client-side options for a submit round trip.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitClientOpts {
+    pub bindings: Vec<(String, i64)>,
+    pub deadline_ms: Option<u64>,
+    pub grad: bool,
+    pub tenant: Option<String>,
+}
+
+fn submit_header(
     device: DeviceKind,
     count: usize,
-    bindings: &[(String, i64)],
-    deadline_ms: Option<u64>,
-    grad: bool,
-) -> std::io::Result<Vec<String>> {
-    let mut stream = UnixStream::connect(socket_path)?;
+    len: usize,
+    opts: &SubmitClientOpts,
+    id: Option<u64>,
+) -> String {
     let dev = match device {
         DeviceKind::Cpu => "cpu",
         DeviceKind::Gpu => "gpu",
     };
-    let mut header = format!("SUBMIT {dev} {count} {}", source.len());
-    let binds = bindings
+    let mut header = format!("SUBMIT {dev} {count} {len}");
+    let binds = opts
+        .bindings
         .iter()
         .map(|(n, v)| format!("{n}={v}"))
         .collect::<Vec<_>>()
@@ -472,20 +1188,108 @@ fn client_submit_full(
         header.push(' ');
         header.push_str(&binds);
     }
-    if let Some(ms) = deadline_ms {
+    if let Some(ms) = opts.deadline_ms {
         header.push_str(&format!(" deadline_ms={ms}"));
     }
-    if grad {
+    if opts.grad {
         header.push_str(" grad=1");
     }
+    if let Some(t) = &opts.tenant {
+        header.push_str(&format!(" tenant={t}"));
+    }
+    if let Some(id) = id {
+        header.push_str(&format!(" id={id}"));
+    }
+    header
+}
+
+/// One-command submit over either transport, with full options.
+pub fn client_submit_opts(
+    addr: &ServerAddr,
+    source: &str,
+    device: DeviceKind,
+    count: usize,
+    opts: &SubmitClientOpts,
+) -> std::io::Result<Vec<String>> {
+    let mut stream = addr.connect()?;
+    let header = submit_header(device, count, source.len(), opts, None);
     writeln!(stream, "{header}")?;
     stream.write_all(source.as_bytes())?;
     read_reply(stream)
 }
 
+/// Submit `count` launches as `count` pipelined frames (one launch each)
+/// over a single multiplexed connection — the amortised replacement for
+/// `count` sequential connections.
+///
+/// Replies are re-ordered by frame id and their `id=<n> ` prefixes
+/// stripped, so the returned lines read like `count` sequential submits:
+/// per frame, its `ok`/`err` lines then `done <served>`. Any terminal
+/// (unprefixed) protocol error line is kept last.
+pub fn client_submit_pipelined(
+    addr: &ServerAddr,
+    source: &str,
+    device: DeviceKind,
+    count: usize,
+    opts: &SubmitClientOpts,
+) -> std::io::Result<Vec<String>> {
+    let stream = addr.connect()?;
+    let raw = stream.try_clone()?;
+    // concurrent reader: replies stream back while frames are still being
+    // written, so neither side's socket buffer has to hold everything
+    let reader = std::thread::spawn(move || -> std::io::Result<Vec<String>> {
+        BufReader::new(stream).lines().collect()
+    });
+    // buffered writes: many small frames coalesce into few syscalls
+    let mut w = std::io::BufWriter::new(raw);
+    writeln!(w, "PIPE")?;
+    for id in 1..=count as u64 {
+        let header = submit_header(device, 1, source.len(), opts, Some(id));
+        writeln!(w, "{header}")?;
+        w.write_all(source.as_bytes())?;
+    }
+    w.flush()?;
+    w.into_inner()
+        .map_err(|e| std::io::Error::other(e.to_string()))?
+        .shutdown_write()?; // end of frames
+    let lines = reader
+        .join()
+        .map_err(|_| std::io::Error::other("reply reader panicked"))??;
+    Ok(order_pipelined_replies(lines))
+}
+
+/// Group pipelined reply lines by frame id, order frames by id, strip
+/// the `id=<n> ` prefixes. The `ok pipelined ...` banner is dropped;
+/// unprefixed lines (terminal protocol errors) sort last, in order.
+fn order_pipelined_replies(lines: Vec<String>) -> Vec<String> {
+    let mut frames: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+    let mut trailing = Vec::new();
+    for line in lines {
+        if line.starts_with("ok pipelined") {
+            continue;
+        }
+        let parsed = line.strip_prefix("id=").and_then(|rest| {
+            let (id, body) = rest.split_once(' ')?;
+            Some((id.parse::<u64>().ok()?, body.to_string()))
+        });
+        match parsed {
+            Some((id, body)) => frames.entry(id).or_default().push(body),
+            None => trailing.push(line),
+        }
+    }
+    let mut out: Vec<String> = frames.into_values().flatten().collect();
+    out.extend(trailing);
+    out
+}
+
 /// Ask the server for a stats line.
 pub fn client_stats(socket_path: &Path) -> std::io::Result<Vec<String>> {
-    let mut stream = UnixStream::connect(socket_path)?;
+    client_stats_addr(&ServerAddr::Unix(socket_path.to_path_buf()))
+}
+
+/// [`client_stats`] over either transport.
+pub fn client_stats_addr(addr: &ServerAddr) -> std::io::Result<Vec<String>> {
+    let mut stream = addr.connect()?;
     writeln!(stream, "STATS")?;
     read_reply(stream)
 }
@@ -493,19 +1297,29 @@ pub fn client_stats(socket_path: &Path) -> std::io::Result<Vec<String>> {
 /// Ask the server for the machine-readable stats snapshot
 /// (`stats-json {...}`).
 pub fn client_stats_json(socket_path: &Path) -> std::io::Result<Vec<String>> {
-    let mut stream = UnixStream::connect(socket_path)?;
+    client_stats_json_addr(&ServerAddr::Unix(socket_path.to_path_buf()))
+}
+
+/// [`client_stats_json`] over either transport.
+pub fn client_stats_json_addr(addr: &ServerAddr) -> std::io::Result<Vec<String>> {
+    let mut stream = addr.connect()?;
     writeln!(stream, "STATS json")?;
     read_reply(stream)
 }
 
 /// Ask the server to shut down.
 pub fn client_shutdown(socket_path: &Path) -> std::io::Result<Vec<String>> {
-    let mut stream = UnixStream::connect(socket_path)?;
+    client_shutdown_addr(&ServerAddr::Unix(socket_path.to_path_buf()))
+}
+
+/// [`client_shutdown`] over either transport.
+pub fn client_shutdown_addr(addr: &ServerAddr) -> std::io::Result<Vec<String>> {
+    let mut stream = addr.connect()?;
     writeln!(stream, "SHUTDOWN")?;
     read_reply(stream)
 }
 
-fn read_reply(stream: UnixStream) -> std::io::Result<Vec<String>> {
+fn read_reply(stream: AnyStream) -> std::io::Result<Vec<String>> {
     let reader = BufReader::new(stream);
     reader.lines().collect()
 }
@@ -543,6 +1357,67 @@ def dot(res, x, y):
                 assert!((-8.0..8.0).contains(&v));
             }
         }
+    }
+
+    #[test]
+    fn try_admit_is_race_free_under_a_burst() {
+        // regression: the old load-then-add admission let a burst exceed
+        // max_connections; the CAS must make over-admission impossible
+        let active = Arc::new(AtomicUsize::new(0));
+        let cap = 8;
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..64)
+            .map(|_| {
+                let active = Arc::clone(&active);
+                let admitted = Arc::clone(&admitted);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        if try_admit(&active, cap) {
+                            let now = admitted.fetch_add(1, Ordering::SeqCst) + 1;
+                            assert!(now <= cap, "admission exceeded the cap: {now}");
+                            std::thread::yield_now();
+                            admitted.fetch_sub(1, Ordering::SeqCst);
+                            active.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(active.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn order_pipelined_replies_sorts_by_id_and_strips_prefixes() {
+        let lines = vec![
+            "ok pipelined depth=32".to_string(),
+            "id=2 ok second".to_string(),
+            "id=2 done 1".to_string(),
+            "id=1 ok first".to_string(),
+            "id=1 done 1".to_string(),
+            "err id must increase (got 2 after 2)".to_string(),
+        ];
+        assert_eq!(
+            order_pipelined_replies(lines),
+            vec![
+                "ok first",
+                "done 1",
+                "ok second",
+                "done 1",
+                "err id must increase (got 2 after 2)",
+            ]
+        );
+    }
+
+    #[test]
+    fn tenant_names_are_validated() {
+        assert!(valid_tenant("team-a_1"));
+        assert!(!valid_tenant(""));
+        assert!(!valid_tenant("has space"));
+        assert!(!valid_tenant("quote\"y"));
+        assert!(!valid_tenant(&"x".repeat(65)));
     }
 
     #[test]

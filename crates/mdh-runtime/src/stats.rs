@@ -213,6 +213,20 @@ pub struct RuntimeStats {
     /// (`gpu0`, ...) → `healthy`/`probation`/`evicted`/`reinstating`
     /// (gauge; empty for single-device runtimes).
     pub device_health: Vec<(String, String)>,
+    /// Requests shed at admission because their tenant's queue was at its
+    /// per-tenant quota (a subset of `shed_requests`).
+    pub tenant_shed: u64,
+    /// Requests dispatched to workers, per tenant (`default` for requests
+    /// submitted without a tenant). Sorted by tenant name.
+    pub tenant_dispatches: Vec<(String, u64)>,
+    /// Connections that negotiated pipelined (`PIPE`) framing (monotone).
+    pub pipelined_connections: u64,
+    /// Frames served over pipelined connections (monotone).
+    pub pipelined_frames: u64,
+    /// Requests routed to each runtime shard by a front, labelled
+    /// (`shard0`, ...). Empty unless the snapshot came from a front's
+    /// shard merge.
+    pub shard_routes: Vec<(String, u64)>,
 }
 
 impl RuntimeStats {
@@ -259,6 +273,89 @@ impl RuntimeStats {
             || self.health_reinstatements > 0
             || self.corruptions_detected > 0
             || self.device_health.iter().any(|(_, h)| h != "healthy")
+    }
+
+    /// Whether tenant-aware scheduling has recorded anything beyond the
+    /// default tenant's traffic (a shed, or a named tenant dispatching).
+    pub fn has_tenants(&self) -> bool {
+        self.tenant_shed > 0 || self.tenant_dispatches.iter().any(|(t, _)| t != "default")
+    }
+
+    /// Whether any connection has negotiated pipelined framing.
+    pub fn has_pipeline(&self) -> bool {
+        self.pipelined_connections > 0 || self.pipelined_frames > 0
+    }
+
+    /// Merge per-shard snapshots into one front-level view.
+    ///
+    /// Counters sum across shards; latency percentiles take the max (an
+    /// upper bound — exact cross-shard percentiles would need the raw
+    /// reservoirs); per-device labels are prefixed `sN-` so shards stay
+    /// tellable apart; per-tenant dispatches merge by tenant name. The
+    /// fast-kernel counters are process-wide (every shard sees the same
+    /// registry), so they take the max rather than summing.
+    /// `shard_routes` is left empty — the front fills it from its own
+    /// routing table.
+    pub fn merge_shards(shards: &[RuntimeStats]) -> RuntimeStats {
+        let mut m = RuntimeStats::default();
+        let mut tenants: std::collections::BTreeMap<String, u64> = Default::default();
+        for (i, s) in shards.iter().enumerate() {
+            m.plan_hits += s.plan_hits;
+            m.plan_misses += s.plan_misses;
+            m.plan_evictions += s.plan_evictions;
+            m.plan_swaps += s.plan_swaps;
+            m.plans_resident += s.plans_resident;
+            m.completed += s.completed;
+            m.batches += s.batches;
+            m.max_batch = m.max_batch.max(s.max_batch);
+            m.tunes_done += s.tunes_done;
+            m.latency_p50_ms = m.latency_p50_ms.max(s.latency_p50_ms);
+            m.latency_p99_ms = m.latency_p99_ms.max(s.latency_p99_ms);
+            m.latency_mean_ms = m.latency_mean_ms.max(s.latency_mean_ms);
+            m.exec_p50_us = m.exec_p50_us.max(s.exec_p50_us);
+            m.exec_p99_us = m.exec_p99_us.max(s.exec_p99_us);
+            m.exec_samples += s.exec_samples;
+            for (label, n) in &s.device_dispatches {
+                m.device_dispatches.push((format!("s{i}-{label}"), *n));
+            }
+            m.fault_retries += s.fault_retries;
+            m.device_evictions += s.device_evictions;
+            m.repartitions += s.repartitions;
+            m.degraded_requests += s.degraded_requests;
+            m.shed_requests += s.shed_requests;
+            m.deadline_exceeded += s.deadline_exceeded;
+            m.worker_panics += s.worker_panics;
+            m.breaker_trips += s.breaker_trips;
+            m.breaker_fast_fails += s.breaker_fast_fails;
+            m.draining_rejects += s.draining_rejects;
+            m.grad_requests += s.grad_requests;
+            m.rbi_requests += s.rbi_requests;
+            m.mem_hits += s.mem_hits;
+            m.mem_misses += s.mem_misses;
+            m.mem_evictions += s.mem_evictions;
+            m.mem_bytes_resident += s.mem_bytes_resident;
+            m.mem_bytes_avoided += s.mem_bytes_avoided;
+            m.kernel_hits = m.kernel_hits.max(s.kernel_hits);
+            m.kernel_fallbacks = m.kernel_fallbacks.max(s.kernel_fallbacks);
+            m.fault_hangs += s.fault_hangs;
+            m.fault_hedges += s.fault_hedges;
+            m.health_probes += s.health_probes;
+            m.health_probations += s.health_probations;
+            m.health_reinstatements += s.health_reinstatements;
+            m.corruptions_detected += s.corruptions_detected;
+            for (label, state) in &s.device_health {
+                m.device_health
+                    .push((format!("s{i}-{label}"), state.clone()));
+            }
+            m.tenant_shed += s.tenant_shed;
+            for (t, n) in &s.tenant_dispatches {
+                *tenants.entry(t.clone()).or_default() += *n;
+            }
+            m.pipelined_connections += s.pipelined_connections;
+            m.pipelined_frames += s.pipelined_frames;
+        }
+        m.tenant_dispatches = tenants.into_iter().collect();
+        m
     }
 
     /// The whole snapshot as one machine-readable JSON object (a single
@@ -384,6 +481,34 @@ impl RuntimeStats {
             .collect::<Vec<_>>()
             .join(",");
         field(&mut s, "device_health", format!("{{{health}}}"));
+        // tenant names come from the wire (validated charset) or the
+        // library API (arbitrary) — escape the two JSON-breaking bytes
+        let esc = |t: &str| t.replace('\\', "\\\\").replace('"', "\\\"");
+        field(&mut s, "tenant_shed", self.tenant_shed.to_string());
+        let tenants = self
+            .tenant_dispatches
+            .iter()
+            .map(|(t, n)| format!("\"{}\":{n}", esc(t)))
+            .collect::<Vec<_>>()
+            .join(",");
+        field(&mut s, "tenant_dispatches", format!("{{{tenants}}}"));
+        field(
+            &mut s,
+            "pipelined_connections",
+            self.pipelined_connections.to_string(),
+        );
+        field(
+            &mut s,
+            "pipelined_frames",
+            self.pipelined_frames.to_string(),
+        );
+        let routes = self
+            .shard_routes
+            .iter()
+            .map(|(label, n)| format!("\"{label}\":{n}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        field(&mut s, "shard_routes", format!("{{{routes}}}"));
         s.push('}');
         s
     }
@@ -515,6 +640,25 @@ impl std::fmt::Display for RuntimeStats {
                 self.breaker_fast_fails,
                 self.draining_rejects
             )?;
+        }
+        if self.has_tenants() {
+            write!(f, "; tenants: shed={}", self.tenant_shed)?;
+            for (t, n) in &self.tenant_dispatches {
+                write!(f, " {t}={n}")?;
+            }
+        }
+        if self.has_pipeline() {
+            write!(
+                f,
+                "; pipeline: connections={} frames={}",
+                self.pipelined_connections, self.pipelined_frames
+            )?;
+        }
+        if !self.shard_routes.is_empty() {
+            write!(f, "; shards:")?;
+            for (label, n) in &self.shard_routes {
+                write!(f, " {label}={n}")?;
+            }
         }
         Ok(())
     }
@@ -737,6 +881,11 @@ mod tests {
                 ("gpu0".into(), "healthy".into()),
                 ("gpu1".into(), "probation".into()),
             ],
+            tenant_shed: 4,
+            tenant_dispatches: vec![("default".into(), 5), ("tenant-a".into(), 7)],
+            pipelined_connections: 2,
+            pipelined_frames: 64,
+            shard_routes: vec![("shard0".into(), 30), ("shard1".into(), 34)],
         };
         let idle_keys = top_level_keys(&idle.to_json());
         let busy_keys = top_level_keys(&busy.to_json());
@@ -759,6 +908,11 @@ mod tests {
             "health_reinstatements",
             "corruptions_detected",
             "device_health",
+            "tenant_shed",
+            "tenant_dispatches",
+            "pipelined_connections",
+            "pipelined_frames",
+            "shard_routes",
         ] {
             assert!(idle_keys.iter().any(|x| x == k), "missing {k}");
         }
@@ -770,6 +924,92 @@ mod tests {
             busy.to_json().contains("\"gpu1\":\"probation\""),
             "device health states are nested string values"
         );
+        assert!(
+            !idle_keys.iter().any(|k| k == "tenant-a" || k == "shard0"),
+            "tenant and shard labels are not top-level keys"
+        );
+        assert!(
+            busy.to_json().contains("\"tenant-a\":7"),
+            "per-tenant dispatches are nested values"
+        );
+        assert!(
+            busy.to_json().contains("\"shard0\":30"),
+            "per-shard routes are nested values"
+        );
+    }
+
+    #[test]
+    fn display_includes_tenant_and_pipeline_sections_only_when_active() {
+        let mut s = RuntimeStats::default();
+        assert!(!s.has_tenants());
+        assert!(!s.has_pipeline());
+        // default-tenant-only traffic does not print a tenant section
+        s.tenant_dispatches = vec![("default".into(), 10)];
+        assert!(!s.has_tenants());
+        s.tenant_shed = 3;
+        s.tenant_dispatches.push(("noisy".into(), 90));
+        s.pipelined_connections = 2;
+        s.pipelined_frames = 40;
+        s.shard_routes = vec![("shard0".into(), 25), ("shard1".into(), 75)];
+        assert!(s.has_tenants());
+        assert!(s.has_pipeline());
+        let line = s.to_string();
+        assert!(
+            line.contains("tenants: shed=3 default=10 noisy=90"),
+            "{line}"
+        );
+        assert!(line.contains("pipeline: connections=2 frames=40"), "{line}");
+        assert!(line.contains("shards: shard0=25 shard1=75"), "{line}");
+    }
+
+    #[test]
+    fn merge_shards_sums_counters_and_prefixes_labels() {
+        let a = RuntimeStats {
+            completed: 10,
+            shed_requests: 1,
+            latency_p99_ms: 2.0,
+            max_batch: 3,
+            device_dispatches: vec![("gpu0".into(), 4)],
+            tenant_dispatches: vec![("default".into(), 6), ("t1".into(), 4)],
+            tenant_shed: 1,
+            pipelined_frames: 8,
+            kernel_hits: 100,
+            ..RuntimeStats::default()
+        };
+        let b = RuntimeStats {
+            completed: 20,
+            shed_requests: 2,
+            latency_p99_ms: 5.0,
+            max_batch: 2,
+            device_dispatches: vec![("gpu0".into(), 9)],
+            tenant_dispatches: vec![("t1".into(), 20)],
+            pipelined_frames: 16,
+            kernel_hits: 100,
+            ..RuntimeStats::default()
+        };
+        let m = RuntimeStats::merge_shards(&[a, b]);
+        assert_eq!(m.completed, 30);
+        assert_eq!(m.shed_requests, 3);
+        assert_eq!(m.tenant_shed, 1);
+        assert_eq!(m.max_batch, 3);
+        assert!(
+            (m.latency_p99_ms - 5.0).abs() < 1e-12,
+            "percentiles take max"
+        );
+        assert_eq!(
+            m.device_dispatches,
+            vec![("s0-gpu0".to_string(), 4), ("s1-gpu0".to_string(), 9)]
+        );
+        assert_eq!(
+            m.tenant_dispatches,
+            vec![("default".to_string(), 6), ("t1".to_string(), 24)]
+        );
+        assert_eq!(m.pipelined_frames, 24);
+        assert_eq!(
+            m.kernel_hits, 100,
+            "process-wide counters take max, not sum"
+        );
+        assert!(m.shard_routes.is_empty(), "routes are filled by the front");
     }
 
     #[test]

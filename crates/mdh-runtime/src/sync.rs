@@ -23,10 +23,69 @@ pub(crate) fn cv_wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGua
     cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
 }
 
+/// A counting semaphore over the same poison-recovering primitives —
+/// used by the pipelined server to cap frames in flight per connection
+/// (acquire blocks the reader, so backpressure reaches the client
+/// through the unread socket rather than through unbounded buffering).
+pub(crate) struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    pub(crate) fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until a permit is available, then take it.
+    pub(crate) fn acquire(&self) {
+        let mut n = lock(&self.permits);
+        while *n == 0 {
+            n = cv_wait(&self.cv, n);
+        }
+        *n -= 1;
+    }
+
+    /// Return a permit, waking one blocked acquirer.
+    pub(crate) fn release(&self) {
+        *lock(&self.permits) += 1;
+        self.cv.notify_one();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Mutex;
+
+    #[test]
+    fn semaphore_caps_concurrency() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let sem = Arc::new(Semaphore::new(3));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..16)
+            .map(|_| {
+                let (sem, peak, inside) = (sem.clone(), peak.clone(), inside.clone());
+                std::thread::spawn(move || {
+                    sem.acquire();
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    sem.release();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3, "cap must hold");
+    }
 
     #[test]
     fn lock_recovers_from_poison() {

@@ -11,6 +11,8 @@
 //!               [--mem-budget BYTES[k|m|g]]
 //!               [--hedge-ms MS] [--probe-every N] [--reinstate-after N]
 //!               [--max-queue-depth N] [--max-connections N]
+//!               [--tcp HOST:PORT] [--tenant-quota N]
+//!               [--tenant-weight NAME=W]... [--pipeline-depth N]
 //!                                                  persistent execution service
 //!                                                  (--devices N > 1 partitions GPU
 //!                                                  launches across a device pool;
@@ -32,16 +34,34 @@
 //!                                                  --max-queue-depth bounds the
 //!                                                  request queue — beyond it,
 //!                                                  submissions shed with a
-//!                                                  retryable `err overloaded`)
-//! mdhc submit   <file> --socket PATH [-D ...] [--device gpu|cpu] [--count N]
-//!               [--deadline-ms N] [--grad]         send launches to a server
+//!                                                  retryable `err overloaded`;
+//!                                                  --tcp binds a TCP listener
+//!                                                  alongside the unix socket;
+//!                                                  --tenant-quota caps each
+//!                                                  tenant's queued requests;
+//!                                                  --tenant-weight skews the
+//!                                                  fair scheduler's shares)
+//! mdhc front    <socket> --shards N [serve flags]  like serve, but runs N
+//!                                                  runtime shards and routes
+//!                                                  each request by consistent
+//!                                                  hash of its plan key, so
+//!                                                  plan/tuning/memory caches
+//!                                                  stay warm per shard
+//! mdhc submit   <file> --socket PATH [--tcp HOST:PORT] [-D ...]
+//!               [--device gpu|cpu] [--count N] [--deadline-ms N] [--grad]
+//!               [--tenant NAME] [--sequential]     send launches to a server
 //!                                                  (expired launches answer
 //!                                                  `err deadline exceeded`;
 //!                                                  --grad makes each launch a
 //!                                                  gradient round trip: forward
 //!                                                  checksum plus per-input
-//!                                                  gradient checksums)
-//! mdhc stats    <socket> [--json]                  runtime counters from a
+//!                                                  gradient checksums;
+//!                                                  --count N > 1 uses one
+//!                                                  pipelined connection with N
+//!                                                  in-flight frames unless
+//!                                                  --sequential forces N
+//!                                                  one-command connections)
+//! mdhc stats    <socket> [--tcp HOST:PORT] [--json] runtime counters from a
 //!                                                  server (--json emits one
 //!                                                  machine-readable line)
 //! ```
@@ -69,12 +89,14 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mdhc <compile|run|estimate|tune|explain|serve|submit|stats> <file|socket> \
+        "usage: mdhc <compile|run|estimate|tune|explain|serve|front|submit|stats> <file|socket> \
          [-D NAME=VAL]... [--device gpu|cpu] [--threads N] [--budget N] [--cache FILE] \
          [--workers N] [--batch N] [--socket PATH] [--count N] [--devices N] \
          [--faults SPEC] [--mem-budget BYTES[k|m|g]] [--hedge-ms MS] \
          [--probe-every N] [--reinstate-after N] [--max-queue-depth N] \
-         [--max-connections N] [--deadline-ms N] [--grad] [--json]"
+         [--max-connections N] [--deadline-ms N] [--grad] [--json] \
+         [--tcp HOST:PORT] [--tenant NAME] [--tenant-quota N] [--tenant-weight NAME=W] \
+         [--pipeline-depth N] [--shards N] [--sequential]"
     );
     exit(2);
 }
@@ -103,6 +125,13 @@ struct Cli {
     deadline_ms: Option<u64>,
     grad: bool,
     json: bool,
+    tcp: Option<String>,
+    tenant: Option<String>,
+    tenant_quota: usize,
+    tenant_weights: Vec<(String, u32)>,
+    pipeline_depth: usize,
+    shards: usize,
+    sequential: bool,
 }
 
 fn parse_cli() -> Cli {
@@ -111,7 +140,14 @@ fn parse_cli() -> Cli {
         usage();
     }
     let cmd = args[0].clone();
-    let file = PathBuf::from(&args[1]);
+    // the positional (file or socket path) is optional for invocations
+    // that name their target by flag instead: `serve --tcp HOST:PORT`,
+    // `stats --tcp HOST:PORT --json`
+    let (file, flags_start) = if args[1].starts_with('-') {
+        (PathBuf::new(), 1)
+    } else {
+        (PathBuf::from(&args[1]), 2)
+    };
     let mut env = DirectiveEnv::new();
     let mut device = DeviceKind::Gpu;
     let mut threads = std::thread::available_parallelism()
@@ -136,7 +172,14 @@ fn parse_cli() -> Cli {
     let mut deadline_ms = None;
     let mut grad = false;
     let mut json = false;
-    let mut i = 2;
+    let mut tcp = None;
+    let mut tenant = None;
+    let mut tenant_quota = defaults.tenant_quota;
+    let mut tenant_weights = Vec::new();
+    let mut pipeline_depth = defaults.pipeline_depth;
+    let mut shards = 1;
+    let mut sequential = false;
+    let mut i = flags_start;
     while i < args.len() {
         match args[i].as_str() {
             "-D" => {
@@ -285,6 +328,53 @@ fn parse_cli() -> Cli {
                 json = true;
                 i += 1;
             }
+            "--tcp" => {
+                tcp = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--tenant" => {
+                tenant = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--tenant-quota" => {
+                tenant_quota = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--tenant-weight" => {
+                let spec = args.get(i + 1).unwrap_or_else(|| usage());
+                let parsed = spec
+                    .split_once('=')
+                    .and_then(|(n, w)| Some((n.to_string(), w.parse::<u32>().ok()?)));
+                match parsed {
+                    Some(pair) => tenant_weights.push(pair),
+                    None => {
+                        eprintln!("bad --tenant-weight '{spec}' (expected NAME=WEIGHT)");
+                        exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--pipeline-depth" => {
+                pipeline_depth = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--shards" => {
+                shards = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--sequential" => {
+                sequential = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage();
@@ -315,6 +405,13 @@ fn parse_cli() -> Cli {
         deadline_ms,
         grad,
         json,
+        tcp,
+        tenant,
+        tenant_quota,
+        tenant_weights,
+        pipeline_depth,
+        shards,
+        sequential,
     }
 }
 
@@ -445,9 +542,12 @@ fn checksum(buf: &Buffer) -> f64 {
     }
 }
 
-/// `mdhc serve <socket>`: run the persistent execution runtime until a
-/// client sends SHUTDOWN. The socket path is `cli.file`.
-fn cmd_serve(cli: &Cli) {
+/// `mdhc serve <socket>` / `mdhc front <socket> --shards N`: run the
+/// persistent execution runtime until a client sends SHUTDOWN. The
+/// socket path is `cli.file`; `--tcp` binds a TCP listener alongside it;
+/// `shards > 1` (the `front` command) routes requests across N runtime
+/// shards by consistent hash of the plan key.
+fn cmd_serve(cli: &Cli, shards: usize) {
     let config = RuntimeConfig {
         workers: cli.workers.max(1),
         exec_threads: cli.threads,
@@ -467,6 +567,9 @@ fn cmd_serve(cli: &Cli) {
         reinstate_after: cli.reinstate_after,
         max_queue_depth: cli.max_queue_depth.max(1),
         max_connections: cli.max_connections.max(1),
+        tenant_quota: cli.tenant_quota,
+        tenant_weights: cli.tenant_weights.clone(),
+        pipeline_depth: cli.pipeline_depth.max(1),
         ..RuntimeConfig::default()
     };
     if config.devices > 1 && config.mem_budget_bytes > 0 {
@@ -489,19 +592,60 @@ fn cmd_serve(cli: &Cli) {
             config.hedge_ms, config.probe_every, config.reinstate_after
         );
     }
-    if let Err(e) = mdh::runtime::server::serve(&cli.file, config) {
-        eprintln!("serve failed on {}: {e}", cli.file.display());
+    if config.tenant_quota > 0 || !config.tenant_weights.is_empty() {
+        let weights = config
+            .tenant_weights
+            .iter()
+            .map(|(n, w)| format!("{n}={w}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "tenants: quota {} per tenant, weights [{}]",
+            config.tenant_quota, weights
+        );
+    }
+    let unix = (cli.file.as_os_str() != "").then(|| cli.file.clone());
+    if unix.is_none() && cli.tcp.is_none() {
+        eprintln!("serve needs a socket path and/or --tcp HOST:PORT");
+        exit(2);
+    }
+    let opts = mdh::runtime::ServeOptions {
+        unix,
+        tcp: cli.tcp.clone(),
+        shards,
+        ..mdh::runtime::ServeOptions::default()
+    };
+    if let Err(e) = mdh::runtime::server::serve_opts(opts, config) {
+        eprintln!("serve failed: {e}");
         exit(1);
     }
 }
 
-/// `mdhc submit <file> --socket PATH`: send the directive source to a
-/// running server `--count` times and print the replies.
+/// The submit/stats target: `--tcp HOST:PORT` wins over `--socket PATH`
+/// (or the positional socket path for `stats`).
+fn target_addr(cli: &Cli, positional: bool) -> mdh::runtime::ServerAddr {
+    if let Some(tcp) = &cli.tcp {
+        return mdh::runtime::ServerAddr::Tcp(tcp.clone());
+    }
+    if positional && cli.file.as_os_str() != "" {
+        return mdh::runtime::ServerAddr::Unix(cli.file.clone());
+    }
+    match &cli.socket {
+        Some(p) => mdh::runtime::ServerAddr::Unix(p.clone()),
+        None => {
+            eprintln!("need a socket path, --socket PATH, or --tcp HOST:PORT");
+            exit(2);
+        }
+    }
+}
+
+/// `mdhc submit <file> --socket PATH | --tcp HOST:PORT`: send the
+/// directive source to a running server `--count` times and print the
+/// replies. With `--count N > 1` the requests ride one pipelined (PIPE)
+/// connection by default; `--sequential` restores one-frame-at-a-time
+/// submission over a plain connection.
 fn cmd_submit(cli: &Cli) {
-    let Some(socket) = &cli.socket else {
-        eprintln!("submit requires --socket PATH");
-        exit(2);
-    };
+    let addr = target_addr(cli, false);
     let src = match std::fs::read_to_string(&cli.file) {
         Ok(s) => s,
         Err(e) => {
@@ -509,24 +653,19 @@ fn cmd_submit(cli: &Cli) {
             exit(1);
         }
     };
-    let reply = if cli.grad {
-        mdh::runtime::server::client_submit_grad(
-            socket,
-            &src,
-            cli.device,
-            cli.count.max(1),
-            &cli.bindings,
-            cli.deadline_ms,
-        )
+    let opts = mdh::runtime::SubmitClientOpts {
+        bindings: cli.bindings.clone(),
+        deadline_ms: cli.deadline_ms,
+        grad: cli.grad,
+        tenant: cli.tenant.clone(),
+    };
+    let count = cli.count.max(1);
+    // Gradient submissions carry multi-line structured replies that the
+    // pipelined path would interleave per-frame; keep them sequential.
+    let reply = if count > 1 && !cli.sequential && !cli.grad {
+        mdh::runtime::server::client_submit_pipelined(&addr, &src, cli.device, count, &opts)
     } else {
-        mdh::runtime::server::client_submit_with_deadline(
-            socket,
-            &src,
-            cli.device,
-            cli.count.max(1),
-            &cli.bindings,
-            cli.deadline_ms,
-        )
+        mdh::runtime::server::client_submit_opts(&addr, &src, cli.device, count, &opts)
     };
     match reply {
         Ok(lines) => {
@@ -540,19 +679,21 @@ fn cmd_submit(cli: &Cli) {
             }
         }
         Err(e) => {
-            eprintln!("cannot reach server at {}: {e}", socket.display());
+            eprintln!("cannot reach server at {addr}: {e}");
             exit(1);
         }
     }
 }
 
-/// `mdhc stats <socket> [--json]`: print the server's runtime counters,
-/// human-formatted or as one machine-readable JSON line.
+/// `mdhc stats <socket> [--json] [--tcp HOST:PORT]`: print the server's
+/// runtime counters, human-formatted or as one machine-readable JSON
+/// line.
 fn cmd_stats(cli: &Cli) {
+    let addr = target_addr(cli, true);
     let reply = if cli.json {
-        mdh::runtime::server::client_stats_json(&cli.file)
+        mdh::runtime::server::client_stats_json_addr(&addr)
     } else {
-        mdh::runtime::server::client_stats(&cli.file)
+        mdh::runtime::server::client_stats_addr(&addr)
     };
     match reply {
         Ok(lines) => {
@@ -561,7 +702,7 @@ fn cmd_stats(cli: &Cli) {
             }
         }
         Err(e) => {
-            eprintln!("cannot reach server at {}: {e}", cli.file.display());
+            eprintln!("cannot reach server at {addr}: {e}");
             exit(1);
         }
     }
@@ -570,7 +711,8 @@ fn cmd_stats(cli: &Cli) {
 fn main() {
     let cli = parse_cli();
     match cli.cmd.as_str() {
-        "serve" => return cmd_serve(&cli),
+        "serve" => return cmd_serve(&cli, 1),
+        "front" => return cmd_serve(&cli, cli.shards.max(1)),
         "submit" => return cmd_submit(&cli),
         "stats" => return cmd_stats(&cli),
         _ => {}

@@ -1,14 +1,16 @@
-//! Malformed-input corpus for the Unix-socket serving protocol: every
-//! hostile or truncated byte sequence gets exactly one `err` line, the
-//! server never panics, and it still serves (and cleanly shuts down)
-//! afterwards — proving no connection threads leak and the accept loop
-//! survives abuse.
+//! Malformed-input corpus for the serving protocol — plain and pipelined
+//! framing, unix and TCP transports: every hostile or truncated byte
+//! sequence gets exactly one terminal `err` line, the server never
+//! panics, and it still serves (and cleanly shuts down) afterwards —
+//! proving no connection threads leak and the accept loop survives abuse.
 
 use mdh::lowering::asm::DeviceKind;
 use mdh::runtime::server::{
-    client_shutdown, client_submit, client_submit_with_deadline, serve, MAX_HEADER_BYTES,
+    client_shutdown, client_shutdown_addr, client_stats_json_addr, client_submit,
+    client_submit_opts, client_submit_pipelined, client_submit_with_deadline, serve, serve_opts,
+    MAX_HEADER_BYTES,
 };
-use mdh::runtime::{RuntimeConfig, TunePolicy};
+use mdh::runtime::{RuntimeConfig, ServeOptions, ServerAddr, SubmitClientOpts, TunePolicy};
 use std::io::{BufRead, BufReader, Write};
 use std::net::Shutdown;
 use std::os::unix::net::UnixStream;
@@ -250,6 +252,356 @@ fn submit_deadline_zero_is_answered_deadline_exceeded() {
 
     let bye = client_shutdown(&sock).unwrap();
     assert!(bye[0].starts_with("ok"), "{bye:?}");
+    server.join().unwrap();
+}
+
+/// One pipelined frame's wire bytes: SUBMIT header with `id=` plus body.
+fn frame(id: &str, n: i64) -> Vec<u8> {
+    format!("SUBMIT cpu 1 {} N={n} id={id}\n{DOT}", DOT.len()).into_bytes()
+}
+
+#[test]
+fn pipelined_malformed_frame_corpus_is_terminal_and_server_survives() {
+    let (sock, server) = start_server("pipecorpus");
+
+    // (name, bytes after PIPE, expected terminal err prefix,
+    //  ids whose replies must still arrive before the terminal line)
+    let corpus: Vec<(&str, Vec<u8>, &str, Vec<u64>)> = vec![
+        (
+            "duplicate id",
+            [frame("1", 64), frame("1", 64)].concat(),
+            "err id must increase (got 1 after 1)",
+            vec![1],
+        ),
+        (
+            "non-increasing id",
+            [frame("7", 64), frame("3", 64)].concat(),
+            "err id must increase (got 3 after 7)",
+            vec![7],
+        ),
+        (
+            // one past u64::MAX cannot parse as a frame id
+            "id overflow",
+            frame("18446744073709551616", 64),
+            "err bad id",
+            vec![],
+        ),
+        (
+            "missing id",
+            format!("SUBMIT cpu 1 {} N=64\n{DOT}", DOT.len()).into_bytes(),
+            "err pipelined SUBMIT requires id=<n>",
+            vec![],
+        ),
+        (
+            "interleaved SHUTDOWN mid-pipeline",
+            [frame("1", 64), b"SHUTDOWN\n".to_vec()].concat(),
+            "err pipelined connection accepts only SUBMIT frames (got SHUTDOWN)",
+            vec![1],
+        ),
+        (
+            "interleaved STATS mid-pipeline",
+            [frame("1", 64), b"STATS\n".to_vec()].concat(),
+            "err pipelined connection accepts only SUBMIT frames (got STATS)",
+            vec![1],
+        ),
+        (
+            "oversized frame header",
+            {
+                let mut b = vec![b'X'; MAX_HEADER_BYTES];
+                b.push(b'\n');
+                b
+            },
+            "err header too long",
+            vec![],
+        ),
+        (
+            "truncated frame body",
+            b"SUBMIT cpu 1 64 N=64 id=1\nshort!!!".to_vec(),
+            "err short source read",
+            vec![],
+        ),
+    ];
+
+    for (name, body, want, served_ids) in corpus {
+        let mut bytes = b"PIPE\n".to_vec();
+        bytes.extend_from_slice(&body);
+        let lines = send_raw(&sock, &bytes, true);
+        assert!(
+            lines
+                .first()
+                .is_some_and(|l| l.starts_with("ok pipelined depth=")),
+            "{name}: missing banner, got {lines:?}"
+        );
+        let last = lines.last().expect("terminal line");
+        assert!(
+            last.starts_with(want),
+            "{name}: terminal line must be '{want}…', got {lines:?}"
+        );
+        // the terminal error is unprefixed and unique; frames accepted
+        // before the poison frame still answer, id-tagged and complete
+        assert_eq!(
+            lines.iter().filter(|l| l.starts_with("err ")).count(),
+            1,
+            "{name}: exactly one terminal err, got {lines:?}"
+        );
+        for id in served_ids {
+            assert!(
+                lines.iter().any(|l| l.starts_with(&format!("id={id} ok "))),
+                "{name}: frame {id} lost its ok line: {lines:?}"
+            );
+            assert!(
+                lines
+                    .iter()
+                    .any(|l| l.starts_with(&format!("id={id} done 1"))),
+                "{name}: frame {id} lost its done line: {lines:?}"
+            );
+        }
+    }
+
+    // a SHUTDOWN smuggled into a pipeline must NOT have drained the
+    // server: it still serves a plain request afterwards
+    let lines = client_submit(&sock, DOT, DeviceKind::Cpu, 1, &[("N".into(), 64)]).unwrap();
+    assert!(lines.iter().any(|l| l.starts_with("ok ")), "{lines:?}");
+
+    let bye = client_shutdown(&sock).unwrap();
+    assert!(bye[0].starts_with("ok"), "{bye:?}");
+    server.join().unwrap();
+}
+
+/// `id=` is reserved for pipelined connections; on a plain connection it
+/// must be rejected, not silently treated as a size binding.
+#[test]
+fn id_field_is_rejected_outside_a_pipeline() {
+    let (sock, server) = start_server("idplain");
+    let lines = send_raw(
+        &sock,
+        format!("SUBMIT cpu 1 {} N=64 id=1\n{DOT}", DOT.len()).as_bytes(),
+        false,
+    );
+    assert_eq!(
+        lines,
+        vec!["err id= is only valid on a pipelined (PIPE) connection".to_string()]
+    );
+    client_shutdown(&sock).unwrap();
+    server.join().unwrap();
+}
+
+/// The multiset of `checksum=` tokens from a reply set — the
+/// bit-identity fingerprint (timings and cache-hit flags excluded).
+fn checksums(lines: &[String]) -> Vec<String> {
+    let mut sums: Vec<String> = lines
+        .iter()
+        .filter(|l| l.starts_with("ok "))
+        .filter_map(|l| l.split_whitespace().find(|t| t.starts_with("checksum=")))
+        .map(str::to_string)
+        .collect();
+    sums.sort();
+    sums
+}
+
+#[test]
+fn pipelined_submits_are_bit_identical_to_sequential() {
+    let (sock, server) = start_server("bitident");
+    let addr = ServerAddr::Unix(sock.clone());
+    let opts = SubmitClientOpts {
+        bindings: vec![("N".into(), 96)],
+        ..SubmitClientOpts::default()
+    };
+
+    const N: usize = 8;
+    let mut seq_lines = Vec::new();
+    for _ in 0..N {
+        seq_lines.extend(client_submit_opts(&addr, DOT, DeviceKind::Cpu, 1, &opts).unwrap());
+    }
+    let pipe_lines = client_submit_pipelined(&addr, DOT, DeviceKind::Cpu, N, &opts).unwrap();
+
+    let (seq, pipe) = (checksums(&seq_lines), checksums(&pipe_lines));
+    assert_eq!(
+        seq.len(),
+        N,
+        "sequential arm dropped replies: {seq_lines:?}"
+    );
+    assert_eq!(
+        pipe.len(),
+        N,
+        "pipelined arm dropped replies: {pipe_lines:?}"
+    );
+    assert_eq!(
+        seq, pipe,
+        "pipelined results must match sequential hash-for-hash"
+    );
+    assert_eq!(
+        pipe_lines
+            .iter()
+            .filter(|l| l.starts_with("done 1"))
+            .count(),
+        N,
+        "{pipe_lines:?}"
+    );
+
+    client_shutdown(&sock).unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn tcp_transport_speaks_the_same_grammar_and_shares_the_runtime() {
+    let dir = std::env::temp_dir().join(format!("mdh-proto-tcp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("rt.sock");
+    // grab a free port, release it, rebind it in the server
+    let tcp = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        format!("127.0.0.1:{}", probe.local_addr().unwrap().port())
+    };
+    let opts = ServeOptions {
+        unix: Some(sock.clone()),
+        tcp: Some(tcp.clone()),
+        ..ServeOptions::default()
+    };
+    let server = std::thread::spawn(move || {
+        serve_opts(
+            opts,
+            RuntimeConfig {
+                workers: 1,
+                exec_threads: 2,
+                read_timeout: Duration::from_millis(300),
+                tune: TunePolicy {
+                    enabled: false,
+                    ..TunePolicy::default()
+                },
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+    });
+    let tcp_addr = ServerAddr::Tcp(tcp);
+    for _ in 0..500 {
+        if sock.exists()
+            && std::net::TcpStream::connect(tcp_addr.to_string().trim_start_matches("tcp:")).is_ok()
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let copts = SubmitClientOpts {
+        bindings: vec![("N".into(), 64)],
+        ..SubmitClientOpts::default()
+    };
+    // one plain submit over each transport, one pipelined over TCP
+    let unix_addr = ServerAddr::Unix(sock.clone());
+    let a = client_submit_opts(&unix_addr, DOT, DeviceKind::Cpu, 1, &copts).unwrap();
+    let b = client_submit_opts(&tcp_addr, DOT, DeviceKind::Cpu, 1, &copts).unwrap();
+    assert_eq!(
+        checksums(&a),
+        checksums(&b),
+        "transports must agree bit-for-bit"
+    );
+    let p = client_submit_pipelined(&tcp_addr, DOT, DeviceKind::Cpu, 4, &copts).unwrap();
+    assert_eq!(checksums(&p).len(), 4, "{p:?}");
+    assert_eq!(checksums(&p)[0], checksums(&a)[0], "{p:?}");
+
+    // both listeners feed one runtime: the shared stats see all 6 launches
+    let stats = client_stats_json_addr(&tcp_addr).unwrap().join("\n");
+    assert!(stats.contains("\"completed\":6"), "{stats}");
+    assert!(stats.contains("\"pipelined_connections\":1"), "{stats}");
+    assert!(stats.contains("\"pipelined_frames\":4"), "{stats}");
+
+    // malformed input over TCP gets the same error strings
+    let err = client_submit_opts(
+        &tcp_addr,
+        DOT,
+        DeviceKind::Gpu,
+        1,
+        &SubmitClientOpts {
+            bindings: vec![],
+            ..SubmitClientOpts::default()
+        },
+    );
+    let err_lines = err.unwrap();
+    assert!(err_lines[0].starts_with("err "), "{err_lines:?}");
+
+    let bye = client_shutdown_addr(&tcp_addr).unwrap();
+    assert!(bye[0].starts_with("ok"), "{bye:?}");
+    server.join().unwrap();
+    assert!(!sock.exists(), "socket file removed on clean shutdown");
+}
+
+#[test]
+fn tenant_quota_sheds_the_flooder_but_not_the_tenant_itself() {
+    let dir = std::env::temp_dir().join(format!("mdh-proto-tenant-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("rt.sock");
+    let opts = ServeOptions {
+        unix: Some(sock.clone()),
+        ..ServeOptions::default()
+    };
+    let server = std::thread::spawn(move || {
+        serve_opts(
+            opts,
+            RuntimeConfig {
+                workers: 1,
+                exec_threads: 2,
+                tenant_quota: 2,
+                read_timeout: Duration::from_millis(1000),
+                tune: TunePolicy {
+                    enabled: false,
+                    ..TunePolicy::default()
+                },
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+    });
+    for _ in 0..500 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let addr = ServerAddr::Unix(sock.clone());
+
+    // warm the compile memo so the burst below races only dispatch
+    let copts = |tenant: &str| SubmitClientOpts {
+        bindings: vec![("N".into(), 64)],
+        tenant: Some(tenant.into()),
+        ..SubmitClientOpts::default()
+    };
+    client_submit_opts(&addr, DOT, DeviceKind::Cpu, 1, &copts("noisy")).unwrap();
+
+    // a 32-deep burst into a quota of 2: some launches must shed, the
+    // shed message must name the tenant, and at least one must serve
+    let lines = client_submit_opts(&addr, DOT, DeviceKind::Cpu, 32, &copts("noisy")).unwrap();
+    let ok = lines.iter().filter(|l| l.starts_with("ok ")).count();
+    let shed: Vec<_> = lines.iter().filter(|l| l.starts_with("err ")).collect();
+    assert!(
+        ok >= 1,
+        "the flooding tenant is throttled, not starved: {lines:?}"
+    );
+    assert!(
+        !shed.is_empty(),
+        "a 32-burst must shed at quota 2: {lines:?}"
+    );
+    assert!(
+        shed.iter().all(|l| l.contains("tenant 'noisy'")),
+        "shed lines name the tenant: {shed:?}"
+    );
+
+    // a different tenant is untouched by the flooder's quota
+    let lines = client_submit_opts(&addr, DOT, DeviceKind::Cpu, 2, &copts("polite")).unwrap();
+    assert_eq!(
+        lines.iter().filter(|l| l.starts_with("ok ")).count(),
+        2,
+        "{lines:?}"
+    );
+
+    // the counters surface per-tenant activity
+    let stats = client_stats_json_addr(&addr).unwrap().join("\n");
+    assert!(stats.contains("\"tenant_shed\":"), "{stats}");
+    assert!(stats.contains("\"noisy\":"), "{stats}");
+    assert!(stats.contains("\"polite\":"), "{stats}");
+
+    client_shutdown(&sock).unwrap();
     server.join().unwrap();
 }
 
